@@ -1,0 +1,140 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "synth/tpc.h"
+
+namespace autobi {
+namespace bench {
+
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  int64_t out = 0;
+  return ParseInt64(v, &out) ? long(out) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  double out = 0;
+  return ParseDouble(v, &out) ? out : fallback;
+}
+
+constexpr uint64_t kTrainSeed = 20230701;
+constexpr uint64_t kBenchSeed = 555;
+
+}  // namespace
+
+int RealCasesPerBucket() {
+  return int(EnvLong("AUTOBI_REAL_CASES", 4));
+}
+
+size_t TrainCases() { return size_t(EnvLong("AUTOBI_TRAIN_CASES", 150)); }
+
+double TpcScale() { return EnvDouble("AUTOBI_TPC_SCALE", 0.25); }
+
+LocalModel GetTrainedModel(const std::string& variant) {
+  std::string path = StrFormat("autobi_model_cache_%s_%zu.txt",
+                               variant.c_str(), TrainCases());
+  LocalModel model;
+  if (model.LoadFromFile(path)) {
+    std::fprintf(stderr, "[bench] loaded cached model %s\n", path.c_str());
+    return model;
+  }
+  std::fprintf(stderr,
+               "[bench] training local model (%zu cases, variant=%s)...\n",
+               TrainCases(), variant.c_str());
+  CorpusOptions corpus;
+  corpus.seed = kTrainSeed;
+  corpus.training_cases = TrainCases();
+  TrainerOptions trainer;
+  if (variant == "nosplit") trainer.split_one_to_one = false;
+  if (variant == "notrans") trainer.label_transitivity = false;
+  TrainerReport report;
+  model = TrainLocalModel(BuildTrainingCorpus(corpus), trainer, &report);
+  std::fprintf(stderr,
+               "[bench] trained: N1 %zu ex (%zu pos, AUC %.3f, ECE %.3f); "
+               "1:1 %zu ex (%zu pos, AUC %.3f)\n",
+               report.n1_examples, report.n1_positives, report.n1_auc,
+               report.n1_calibration_error, report.one_examples,
+               report.one_positives, report.one_auc);
+  if (!model.SaveToFile(path)) {
+    std::fprintf(stderr, "[bench] warning: could not cache model to %s\n",
+                 path.c_str());
+  }
+  return model;
+}
+
+RealBenchmark GetRealBenchmark() {
+  CorpusOptions opt;
+  opt.seed = kBenchSeed;
+  opt.cases_per_bucket = size_t(RealCasesPerBucket());
+  return BuildRealBenchmark(opt);
+}
+
+const MlFkModel* GetMlFkModel() {
+  static MlFkModel* model = [] {
+    auto* m = new MlFkModel();
+    std::string path = StrFormat("autobi_mlfk_cache_%zu.txt", TrainCases());
+    if (m->LoadFromFile(path)) return m;
+    std::fprintf(stderr, "[bench] training ML-FK baseline model...\n");
+    CorpusOptions corpus;
+    corpus.seed = kTrainSeed;
+    corpus.training_cases = TrainCases();
+    m->Train(BuildTrainingCorpus(corpus));
+    m->SaveToFile(path);
+    return m;
+  }();
+  return model;
+}
+
+std::vector<std::unique_ptr<JoinPredictor>> StandardMethods(
+    const LocalModel* model) {
+  std::vector<std::unique_ptr<JoinPredictor>> methods;
+  AutoBiOptions precision;
+  precision.mode = AutoBiMode::kPrecisionOnly;
+  methods.push_back(
+      std::make_unique<AutoBiPredictor>("Auto-BI-P", model, precision));
+  methods.push_back(
+      std::make_unique<AutoBiPredictor>("Auto-BI", model, AutoBiOptions{}));
+  AutoBiOptions schema_only;
+  schema_only.mode = AutoBiMode::kSchemaOnly;
+  methods.push_back(
+      std::make_unique<AutoBiPredictor>("Auto-BI-S", model, schema_only));
+  methods.push_back(std::make_unique<SystemX>());
+  methods.push_back(std::make_unique<McFk>());
+  methods.push_back(std::make_unique<FastFk>());
+  methods.push_back(std::make_unique<HoPf>());
+  methods.push_back(std::make_unique<MlFkRostin>(GetMlFkModel()));
+  methods.push_back(std::make_unique<NamePrior>());
+  return methods;
+}
+
+std::vector<std::unique_ptr<JoinPredictor>> EnhancedMethods(
+    const LocalModel* model) {
+  std::vector<std::unique_ptr<JoinPredictor>> methods;
+  methods.push_back(std::make_unique<McFk>(model));
+  methods.push_back(std::make_unique<FastFk>(model));
+  methods.push_back(std::make_unique<HoPf>(model));
+  methods.push_back(std::make_unique<LcOnly>(model));
+  return methods;
+}
+
+std::vector<BiCase> TpcBenchmarks() {
+  std::vector<BiCase> cases;
+  Rng rng(777);
+  cases.push_back(GenerateTpcH(TpcScale(), rng));
+  cases.push_back(GenerateTpcDs(TpcScale(), rng));
+  cases.push_back(GenerateTpcC(TpcScale(), rng));
+  cases.push_back(GenerateTpcE(TpcScale(), rng));
+  return cases;
+}
+
+}  // namespace bench
+}  // namespace autobi

@@ -1,0 +1,58 @@
+#ifndef AUTOBI_BENCH_BENCH_COMMON_H_
+#define AUTOBI_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/fk_baselines.h"
+#include "baselines/ml_fk.h"
+#include "core/local_model.h"
+#include "core/trainer.h"
+#include "synth/corpus.h"
+
+namespace autobi {
+namespace bench {
+
+// Shared setup for the paper-reproduction benchmark binaries.
+//
+// Scale knobs (environment variables, see DESIGN.md §3):
+//   AUTOBI_REAL_CASES  cases per REAL-benchmark bucket (default 4 -> 40
+//                      cases; the paper uses 100 -> 1000 cases).
+//   AUTOBI_TRAIN_CASES training-corpus size (default 150).
+//   AUTOBI_TPC_SCALE   TPC/classic-DB row scale (default 0.25).
+
+int RealCasesPerBucket();
+size_t TrainCases();
+double TpcScale();
+
+// Trains (or loads from the on-disk cache "autobi_model_cache_*.txt") the
+// local model with the given trainer ablations. `variant` distinguishes
+// cache files ("default", "nosplit", "notrans").
+LocalModel GetTrainedModel(const std::string& variant = "default");
+
+// The stratified REAL benchmark at the configured scale (seed disjoint from
+// training).
+RealBenchmark GetRealBenchmark();
+
+// Trains (or loads from cache) the ML-FK [48] baseline's model on the same
+// training corpus.
+const MlFkModel* GetMlFkModel();
+
+// All methods of Table 5 (Auto-BI variants + baselines), excluding the
+// enhanced "+LC" variants. `model` must outlive the returned predictors.
+std::vector<std::unique_ptr<JoinPredictor>> StandardMethods(
+    const LocalModel* model);
+
+// The enhanced baselines of Tables 9-12 (+LC variants and plain LC).
+std::vector<std::unique_ptr<JoinPredictor>> EnhancedMethods(
+    const LocalModel* model);
+
+// The four TPC benchmark cases at the configured scale.
+std::vector<BiCase> TpcBenchmarks();
+
+}  // namespace bench
+}  // namespace autobi
+
+#endif  // AUTOBI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Extension ablation: validates the paper's Section 4.3.3 claim that the
+// greedy EMS solution is near-optimal in practice ("we find different
+// solutions have very similar results"), by comparing greedy EMS against
+// the exact (exhaustive) solver on the REAL benchmark.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "core/candidates.h"
+#include "core/graph_builder.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "graph/ems.h"
+#include "graph/kmca_cc.h"
+
+int main() {
+  using namespace autobi;
+  using namespace autobi::bench;
+
+  LocalModel model = GetTrainedModel();
+  RealBenchmark real = GetRealBenchmark();
+
+  size_t comparable = 0;
+  size_t skipped_large = 0;
+  size_t identical_size = 0;
+  size_t exact_larger = 0;
+  std::vector<EdgeMetrics> greedy_metrics;
+  std::vector<EdgeMetrics> exact_metrics;
+
+  for (const BiCase& bi_case : real.cases) {
+    CandidateSet cands = GenerateCandidates(bi_case.tables);
+    JoinGraph graph = BuildJoinGraph(bi_case.tables, cands, model, false);
+    KmcaResult backbone = SolveKmcaCc(graph);
+    // Count remaining promising edges; the exact solver is exponential.
+    size_t remaining = 0;
+    std::set<int> in_backbone(backbone.edge_ids.begin(),
+                              backbone.edge_ids.end());
+    for (const JoinEdge& e : graph.edges()) {
+      if (!in_backbone.count(e.id) && e.probability >= 0.5) ++remaining;
+    }
+    if (remaining > 18) {
+      ++skipped_large;
+      continue;
+    }
+    ++comparable;
+    std::vector<int> greedy = SolveEmsGreedy(graph, backbone.edge_ids);
+    std::vector<int> exact = SolveEmsExact(graph, backbone.edge_ids);
+    if (greedy.size() == exact.size()) ++identical_size;
+    if (exact.size() > greedy.size()) ++exact_larger;
+
+    auto evaluate = [&](std::vector<int> extra) {
+      std::vector<int> all = backbone.edge_ids;
+      all.insert(all.end(), extra.begin(), extra.end());
+      return EvaluateCase(bi_case, EdgesToModel(graph, all));
+    };
+    greedy_metrics.push_back(evaluate(greedy));
+    exact_metrics.push_back(evaluate(exact));
+  }
+
+  std::printf("=== Extension: greedy vs exact EMS on the %zu-case REAL "
+              "benchmark ===\n",
+              real.cases.size());
+  std::printf("comparable cases: %zu (skipped %zu with > 18 remaining "
+              "edges)\n",
+              comparable, skipped_large);
+  std::printf("identical |S|: %zu / %zu; exact strictly larger: %zu\n",
+              identical_size, comparable, exact_larger);
+  AggregateMetrics g = Aggregate(greedy_metrics);
+  AggregateMetrics e = Aggregate(exact_metrics);
+  TablePrinter t({"EMS solver", "P_edge", "R_edge", "F_edge", "P_case"});
+  t.AddRow({"greedy (default)", Fmt3(g.precision), Fmt3(g.recall),
+            Fmt3(g.f1), Fmt3(g.case_precision)});
+  t.AddRow({"exact (exhaustive)", Fmt3(e.precision), Fmt3(e.recall),
+            Fmt3(e.f1), Fmt3(e.case_precision)});
+  t.Print();
+  std::printf("\nPaper reference (Section 4.3.3): EMS is NP-hard and "
+              "1/2-inapproximable, but the backbone leaves little slack, so "
+              "greedy and optimal solutions have very similar quality.\n");
+  return 0;
+}

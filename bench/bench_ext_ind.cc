@@ -1,0 +1,82 @@
+// Extension: compares the default hash-based approximate IND discovery with
+// the SPIDER-style exact merge algorithm [12] on generated cases —
+// agreement on clean data, divergence on dirty FKs (which only the
+// approximate variant tolerates), and wall-clock cost.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "eval/report.h"
+#include "profile/ind.h"
+#include "profile/spider.h"
+#include "synth/bi_generator.h"
+
+int main() {
+  using namespace autobi;
+  using namespace autobi::bench;
+
+  Rng rng(2023);
+  TablePrinter t({"case", "#tables", "hash INDs", "SPIDER exact INDs",
+                  "exact ⊆ approx?", "hash time", "SPIDER time"});
+  for (int size : {6, 10, 16, 24}) {
+    for (bool clean : {true, false}) {
+      BiGenOptions gen;
+      gen.num_tables = size;
+      if (clean) {
+        gen.dangling_fk_prob = 0.0;  // Perfect FKs: exact == approximate.
+      }
+      BiCase bi_case = GenerateBiCase(gen, rng);
+
+      Timer hash_timer;
+      auto profiles = ProfileTables(bi_case.tables);
+      std::vector<std::vector<Ucc>> uccs;
+      for (size_t i = 0; i < bi_case.tables.size(); ++i) {
+        uccs.push_back(DiscoverUccs(bi_case.tables[i], profiles[i]));
+      }
+      IndOptions opt;
+      opt.max_arity = 1;
+      std::vector<Ind> hash_inds =
+          DiscoverInds(bi_case.tables, profiles, uccs, opt);
+      double hash_seconds = hash_timer.Seconds();
+
+      Timer spider_timer;
+      std::vector<SpiderInd> exact_inds =
+          DiscoverExactIndsSpider(bi_case.tables);
+      double spider_seconds = spider_timer.Seconds();
+
+      // Every exact IND whose referenced side is key-like must also be an
+      // approximate IND (containment 1.0 >= threshold).
+      std::set<std::pair<ColumnRef, ColumnRef>> approx;
+      for (const Ind& ind : hash_inds) {
+        approx.insert({ind.dependent, ind.referenced});
+      }
+      bool contained = true;
+      for (const SpiderInd& ind : exact_inds) {
+        const ColumnProfile& ref =
+            profiles[size_t(ind.referenced.table)]
+                .columns[size_t(ind.referenced.columns[0])];
+        if (ref.distinct_ratio < opt.min_referenced_distinct_ratio) continue;
+        if (!approx.count({ind.dependent, ind.referenced})) {
+          contained = false;
+        }
+      }
+      t.AddRow({StrFormat("%s-%dT", clean ? "clean" : "dirty", size),
+                StrFormat("%zu", bi_case.tables.size()),
+                StrFormat("%zu", hash_inds.size()),
+                StrFormat("%zu", exact_inds.size()),
+                contained ? "yes" : "NO", FmtSeconds(hash_seconds),
+                FmtSeconds(spider_seconds)});
+    }
+  }
+  std::printf("=== Extension: hash-based approximate vs SPIDER exact IND "
+              "discovery ===\n");
+  t.Print();
+  std::printf("\nThe approximate variant is the Auto-BI default because "
+              "real BI joins are often not perfectly inclusive (dirty FKs); "
+              "on clean data every key-targeted exact IND is also found by "
+              "the approximate pass.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 8: ablation study of Auto-BI components on the REAL
+// benchmark — no-FK-once-constraint, no-precision-mode, no-N:1/1:1
+// separation, no-label-transitivity, no-data-features, and LC-only.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace autobi;
+  using namespace autobi::bench;
+
+  LocalModel model = GetTrainedModel();
+  LocalModel model_nosplit = GetTrainedModel("nosplit");
+  LocalModel model_notrans = GetTrainedModel("notrans");
+  RealBenchmark real = GetRealBenchmark();
+
+  struct Variant {
+    std::string name;
+    const LocalModel* model;
+    AutoBiOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"Auto-BI (full)", &model, AutoBiOptions{}});
+  {
+    AutoBiOptions o;
+    o.enforce_fk_once = false;
+    variants.push_back({"no-FK-once-constraint", &model, o});
+  }
+  {
+    AutoBiOptions o;
+    o.use_precision_mode = false;
+    variants.push_back({"no-precision-mode", &model, o});
+  }
+  variants.push_back(
+      {"no-N-1/1-1-separation", &model_nosplit, AutoBiOptions{}});
+  variants.push_back(
+      {"no-label-transitivity", &model_notrans, AutoBiOptions{}});
+  {
+    AutoBiOptions o;
+    o.mode = AutoBiMode::kSchemaOnly;  // Metadata-only features.
+    variants.push_back({"no-data-features", &model, o});
+  }
+  {
+    AutoBiOptions o;
+    o.lc_only = true;
+    variants.push_back({"LC-only", &model, o});
+  }
+
+  std::printf("=== Figure 8: ablation study on the %zu-case REAL "
+              "benchmark ===\n",
+              real.cases.size());
+  TablePrinter t({"Variant", "P_edge", "R_edge", "F_edge", "P_case"});
+  for (const Variant& v : variants) {
+    std::fprintf(stderr, "[fig8] running %s...\n", v.name.c_str());
+    AutoBiPredictor predictor(v.name, v.model, v.options);
+    AggregateMetrics q = RunMethod(predictor, real.cases).Quality();
+    t.AddRow({v.name, Fmt3(q.precision), Fmt3(q.recall), Fmt3(q.f1),
+              Fmt3(q.case_precision)});
+  }
+  t.Print();
+  std::printf("\nPaper reference: every ablation degrades the full system; "
+              "LC-only loses ~25 points of case precision; no-precision-mode "
+              "loses 6/13 points of edge/case precision.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Google-benchmark microbenchmarks for the graph solvers: Chu-Liu/Edmonds
+// (1-MCA), the artificial-root k-MCA reduction, and branch-and-bound
+// k-MCA-CC, on random schema-like graphs of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/edmonds.h"
+#include "graph/join_graph.h"
+#include "graph/kmca.h"
+#include "graph/kmca_cc.h"
+
+namespace autobi {
+namespace {
+
+// Random graph shaped like a scored schema graph: n vertices, ~3n candidate
+// edges, a few FK-once conflicts.
+JoinGraph RandomSchemaGraph(int n, Rng& rng) {
+  JoinGraph g(n);
+  int edges = 3 * n;
+  for (int i = 0; i < edges; ++i) {
+    int u = int(rng.NextBelow(size_t(n)));
+    int v = int(rng.NextBelow(size_t(n)));
+    if (u == v) continue;
+    // Small column space per vertex creates realistic conflict groups.
+    int col = int(rng.NextBelow(4));
+    g.AddEdge(u, v, {col}, {0}, rng.NextDouble(0.05, 0.95));
+  }
+  return g;
+}
+
+void BM_Edmonds(benchmark::State& state) {
+  int n = int(state.range(0));
+  Rng rng(99);
+  std::vector<Arc> arcs;
+  for (int i = 0; i < 4 * n; ++i) {
+    arcs.push_back(Arc{int(rng.NextBelow(size_t(n))),
+                       int(rng.NextBelow(size_t(n))),
+                       rng.NextDouble(0.0, 1.0)});
+  }
+  for (auto _ : state) {
+    auto result = SolveMinCostArborescence(n + 1, arcs, 0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Edmonds)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SolveKmca(benchmark::State& state) {
+  int n = int(state.range(0));
+  Rng rng(7);
+  JoinGraph g = RandomSchemaGraph(n, rng);
+  for (auto _ : state) {
+    KmcaResult r = SolveKmca(g, DefaultPenaltyWeight());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SolveKmca)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SolveKmcaCc(benchmark::State& state) {
+  int n = int(state.range(0));
+  Rng rng(13);
+  JoinGraph g = RandomSchemaGraph(n, rng);
+  long calls = 0;
+  for (auto _ : state) {
+    KmcaCcStats stats;
+    KmcaResult r = SolveKmcaCc(g, KmcaCcOptions{}, &stats);
+    benchmark::DoNotOptimize(r);
+    calls = stats.one_mca_calls;
+  }
+  state.counters["one_mca_calls"] = double(calls);
+}
+BENCHMARK(BM_SolveKmcaCc)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace autobi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Google-benchmark microbenchmarks for the data-facing pipeline stages:
+// column profiling, UCC discovery, IND discovery and featurization.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/candidates.h"
+#include "features/featurizer.h"
+#include "profile/column_profile.h"
+#include "profile/ind.h"
+#include "profile/ucc.h"
+#include "synth/bi_generator.h"
+
+namespace autobi {
+namespace {
+
+BiCase MakeCase(int tables, uint64_t seed) {
+  Rng rng(seed);
+  BiGenOptions opt;
+  opt.num_tables = tables;
+  return GenerateBiCase(opt, rng);
+}
+
+void BM_ProfileTables(benchmark::State& state) {
+  BiCase c = MakeCase(int(state.range(0)), 11);
+  for (auto _ : state) {
+    auto profiles = ProfileTables(c.tables);
+    benchmark::DoNotOptimize(profiles);
+  }
+}
+BENCHMARK(BM_ProfileTables)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_DiscoverUccs(benchmark::State& state) {
+  BiCase c = MakeCase(int(state.range(0)), 12);
+  auto profiles = ProfileTables(c.tables);
+  for (auto _ : state) {
+    for (size_t i = 0; i < c.tables.size(); ++i) {
+      auto uccs = DiscoverUccs(c.tables[i], profiles[i]);
+      benchmark::DoNotOptimize(uccs);
+    }
+  }
+}
+BENCHMARK(BM_DiscoverUccs)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_DiscoverInds(benchmark::State& state) {
+  BiCase c = MakeCase(int(state.range(0)), 13);
+  auto profiles = ProfileTables(c.tables);
+  std::vector<std::vector<Ucc>> uccs;
+  for (size_t i = 0; i < c.tables.size(); ++i) {
+    uccs.push_back(DiscoverUccs(c.tables[i], profiles[i]));
+  }
+  for (auto _ : state) {
+    auto inds = DiscoverInds(c.tables, profiles, uccs);
+    benchmark::DoNotOptimize(inds);
+  }
+}
+BENCHMARK(BM_DiscoverInds)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_FeaturizeCandidates(benchmark::State& state) {
+  BiCase c = MakeCase(int(state.range(0)), 14);
+  CandidateSet cands = GenerateCandidates(c.tables);
+  FeatureContext ctx{&c.tables, &cands.profiles, nullptr};
+  Featurizer f;
+  for (auto _ : state) {
+    for (const JoinCandidate& cand : cands.candidates) {
+      auto v = f.FeaturizeN1(ctx, cand, false);
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  state.counters["candidates"] = double(cands.candidates.size());
+}
+BENCHMARK(BM_FeaturizeCandidates)->Arg(6)->Arg(12)->Arg(24);
+
+}  // namespace
+}  // namespace autobi
+
+BENCHMARK_MAIN();

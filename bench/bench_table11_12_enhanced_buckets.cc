@@ -1,0 +1,60 @@
+// Reproduces Tables 11 and 12 (Appendix C): edge-level quality and
+// case-level precision by table-count bucket, including the enhanced
+// baselines.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace autobi;
+  using namespace autobi::bench;
+
+  LocalModel model = GetTrainedModel();
+  RealBenchmark real = GetRealBenchmark();
+
+  auto methods = StandardMethods(&model);
+  auto enhanced = EnhancedMethods(&model);
+  for (auto& m : enhanced) methods.push_back(std::move(m));
+
+  std::vector<std::vector<size_t>> bucket_cases(kNumBuckets);
+  for (size_t i = 0; i < real.cases.size(); ++i) {
+    bucket_cases[size_t(real.bucket_of[i])].push_back(i);
+  }
+
+  std::vector<std::string> header = {"Method"};
+  for (int b = 0; b < kNumBuckets; ++b) header.push_back(BucketLabel(b));
+  TablePrinter t11(header);
+  TablePrinter t12(header);
+
+  for (const auto& method : methods) {
+    std::fprintf(stderr, "[table11/12] running %s...\n",
+                 method->name().c_str());
+    MethodResults results = RunMethod(*method, real.cases);
+    std::vector<std::string> row11 = {method->name()};
+    std::vector<std::string> row12 = {method->name()};
+    for (int b = 0; b < kNumBuckets; ++b) {
+      AggregateMetrics q = QualityOnSubset(results, bucket_cases[size_t(b)]);
+      row11.push_back(
+          StrFormat("%.2f (%.2f,%.2f)", q.f1, q.precision, q.recall));
+      row12.push_back(Fmt3(q.case_precision));
+    }
+    t11.AddRow(row11);
+    t12.AddRow(row12);
+  }
+
+  std::printf("=== Table 11: edge-level quality \"F1 (P,R)\" by #tables, "
+              "incl. enhanced baselines ===\n");
+  t11.Print();
+  std::printf("\n=== Table 12: case-level precision by #tables, incl. "
+              "enhanced baselines ===\n");
+  t12.Print();
+  std::printf("\nPaper reference: enhanced baselines close much of the gap "
+              "in F1 but still trail Auto-BI in precision on large cases "
+              "(21+ tables: Auto-BI 0.94 precision vs ~0.73 for the best "
+              "enhanced baseline).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Tables 2, 3 and 4: characteristics of the harvested BI-model
+// population, the stratified REAL benchmark, and the four TPC benchmarks.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "eval/report.h"
+#include "synth/corpus.h"
+
+namespace autobi {
+namespace {
+
+void PrintStatsTable(const char* title, const CorpusStats& s) {
+  std::printf("\n%s\n", title);
+  TablePrinter t({"", "Average", "50-th p%", "90-th p%", "95-th p%"});
+  auto row = [&](const char* label, double avg, double p50, double p90,
+                 double p95) {
+    t.AddRow({label, StrFormat("%.1f", avg), StrFormat("%.1f", p50),
+              StrFormat("%.1f", p90), StrFormat("%.1f", p95)});
+  };
+  row("# of rows per table", s.rows_avg, s.rows_p50, s.rows_p90, s.rows_p95);
+  row("# of columns per table", s.cols_avg, s.cols_p50, s.cols_p90,
+      s.cols_p95);
+  row("# of tables (nodes) per case", s.tables_avg, s.tables_p50,
+      s.tables_p90, s.tables_p95);
+  row("# of relationships (edges) per case", s.edges_avg, s.edges_p50,
+      s.edges_p90, s.edges_p95);
+  t.Print();
+}
+
+}  // namespace
+}  // namespace autobi
+
+int main() {
+  using namespace autobi;
+  using namespace autobi::bench;
+
+  std::printf("=== Table 2: characteristics of all BI models harvested "
+              "(synthetic wild collection) ===\n");
+  CorpusOptions wild;
+  wild.seed = 20230701;
+  std::vector<BiCase> collection = BuildWildCollection(wild, 400);
+  PrintStatsTable("Table 2 (wild collection)",
+                  ComputeCorpusStats(collection));
+
+  std::printf("\n=== Table 3: characteristics of the stratified REAL "
+              "benchmark ===\n");
+  RealBenchmark real = GetRealBenchmark();
+  PrintStatsTable(
+      StrFormat("Table 3 (%zu-case REAL benchmark)", real.cases.size())
+          .c_str(),
+      ComputeCorpusStats(real.cases));
+
+  std::printf("\n=== Table 4: characteristics of the 4 TPC benchmarks ===\n");
+  TablePrinter t4({"", "TPC-H", "TPC-DS", "TPC-C", "TPC-E"});
+  std::vector<BiCase> tpc = TpcBenchmarks();
+  // TpcBenchmarks returns H, DS, C, E.
+  auto stat = [&](auto f) {
+    std::vector<std::string> row;
+    for (const BiCase& c : tpc) row.push_back(f(c));
+    return row;
+  };
+  auto rows_avg = stat([](const BiCase& c) {
+    double sum = 0;
+    for (const Table& t : c.tables) sum += double(t.num_rows());
+    return StrFormat("%.0f", sum / double(c.tables.size()));
+  });
+  auto cols_avg = stat([](const BiCase& c) {
+    double sum = 0;
+    for (const Table& t : c.tables) sum += double(t.num_columns());
+    return StrFormat("%.1f", sum / double(c.tables.size()));
+  });
+  auto tables = stat(
+      [](const BiCase& c) { return StrFormat("%zu", c.tables.size()); });
+  auto edges = stat([](const BiCase& c) {
+    return StrFormat("%zu", c.ground_truth.joins.size());
+  });
+  t4.AddRow({"average # of rows per table", rows_avg[0], rows_avg[1],
+             rows_avg[2], rows_avg[3]});
+  t4.AddRow({"average # of columns per table", cols_avg[0], cols_avg[1],
+             cols_avg[2], cols_avg[3]});
+  t4.AddRow({"# of tables (nodes)", tables[0], tables[1], tables[2],
+             tables[3]});
+  t4.AddRow({"# of relationships (edges)", edges[0], edges[1], edges[2],
+             edges[3]});
+  t4.Print();
+  std::printf("\nNote: row counts scale with AUTOBI_TPC_SCALE (=%.2f); the\n"
+              "paper's Table 4 used full-scale dbgen data.\n",
+              TpcScale());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Tables 7 and 8: edge-level quality "F1 (P,R)" and case-level
+// precision, bucketized by the number of input tables, plus the case-type
+// statistics row (star/snowflake/constellation/other counts per bucket).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace autobi;
+  using namespace autobi::bench;
+
+  LocalModel model = GetTrainedModel();
+  RealBenchmark real = GetRealBenchmark();
+  auto methods = StandardMethods(&model);
+
+  // Bucket membership.
+  std::vector<std::vector<size_t>> bucket_cases(kNumBuckets);
+  for (size_t i = 0; i < real.cases.size(); ++i) {
+    bucket_cases[size_t(real.bucket_of[i])].push_back(i);
+  }
+
+  std::vector<std::string> header = {"Method"};
+  for (int b = 0; b < kNumBuckets; ++b) header.push_back(BucketLabel(b));
+
+  // Case-type statistics (ST, SN, C, O) per bucket.
+  std::printf("=== Table 7: edge-level quality by #tables, reported as "
+              "\"F1 (P,R)\" ===\n");
+  TablePrinter t7(header);
+  {
+    std::vector<std::string> stats_row = {"(ST,SN,C,O)"};
+    for (int b = 0; b < kNumBuckets; ++b) {
+      int counts[4] = {0, 0, 0, 0};
+      for (size_t i : bucket_cases[size_t(b)]) {
+        ++counts[int(real.cases[i].schema_type)];
+      }
+      stats_row.push_back(StrFormat("(%d,%d,%d,%d)", counts[0], counts[1],
+                                    counts[2], counts[3]));
+    }
+    t7.AddRow(stats_row);
+    t7.AddSeparator();
+  }
+
+  TablePrinter t8(header);
+
+  for (const auto& method : methods) {
+    std::fprintf(stderr, "[table7/8] running %s...\n",
+                 method->name().c_str());
+    MethodResults results = RunMethod(*method, real.cases);
+    std::vector<std::string> row7 = {method->name()};
+    std::vector<std::string> row8 = {method->name()};
+    for (int b = 0; b < kNumBuckets; ++b) {
+      AggregateMetrics q = QualityOnSubset(results, bucket_cases[size_t(b)]);
+      row7.push_back(StrFormat("%.2f (%.2f,%.2f)", q.f1, q.precision,
+                               q.recall));
+      row8.push_back(Fmt3(q.case_precision));
+    }
+    t7.AddRow(row7);
+    t8.AddRow(row8);
+  }
+  t7.Print();
+
+  std::printf("\n=== Table 8: case-level precision by #tables ===\n");
+  t8.Print();
+  std::printf("\nPaper reference (Table 7, Auto-BI F1): 0.97 at 4 tables "
+              "declining to 0.79 at 21+; precision stays >= 0.94 across "
+              "buckets. (Table 8, Auto-BI-P case precision): 1.00 at 4 "
+              "tables to 0.67 at 21+.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Table 9 (Appendix C): end-to-end latency comparison including
+// the enhanced "+LC" baselines, which pay the classifier cost.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "common/stats_util.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace autobi;
+  using namespace autobi::bench;
+
+  LocalModel model = GetTrainedModel();
+  RealBenchmark real = GetRealBenchmark();
+
+  auto methods = StandardMethods(&model);
+  auto enhanced = EnhancedMethods(&model);
+  for (auto& m : enhanced) methods.push_back(std::move(m));
+
+  std::printf("=== Table 9: end-to-end latency (seconds) on the %zu-case "
+              "REAL benchmark ===\n",
+              real.cases.size());
+  TablePrinter t({"Method", "Average", "50%tile", "90%tile", "95%tile"});
+  for (const auto& method : methods) {
+    std::fprintf(stderr, "[table9] running %s...\n", method->name().c_str());
+    MethodResults r = RunMethod(*method, real.cases);
+    std::vector<double> totals = r.TotalSeconds();
+    t.AddRow({method->name(), FmtSeconds(Mean(totals)),
+              FmtSeconds(Percentile(totals, 50)),
+              FmtSeconds(Percentile(totals, 90)),
+              FmtSeconds(Percentile(totals, 95))});
+  }
+  t.Print();
+  std::printf("\nPaper reference: enhanced (+LC) baselines have latency "
+              "comparable to Auto-BI (they pay the same classifier cost); "
+              "HoPF+LC is the slowest.\n");
+  return 0;
+}

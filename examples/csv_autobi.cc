@@ -1,0 +1,133 @@
+// csv_autobi: predict the BI model for your own CSV files.
+//
+//   csv_autobi [--model FILE] [--format text|dot|sql|json] a.csv b.csv ...
+//
+// Loads a trained local model from --model if given (see train_and_save);
+// otherwise trains a default model on the built-in synthetic corpus (takes a
+// few seconds, then caches to ./autobi_default_model.txt). The predicted
+// join graph is printed in the requested format.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/auto_bi.h"
+#include "core/model_export.h"
+#include "core/trainer.h"
+#include "synth/corpus.h"
+#include "table/csv.h"
+#include "table/sql_ddl.h"
+
+namespace {
+
+autobi::LocalModel LoadOrTrainModel(const std::string& path) {
+  autobi::LocalModel model;
+  if (!path.empty()) {
+    if (!model.LoadFromFile(path)) {
+      std::fprintf(stderr, "error: cannot load model from %s\n",
+                   path.c_str());
+      std::exit(1);
+    }
+    return model;
+  }
+  const char* kCache = "autobi_default_model.txt";
+  if (model.LoadFromFile(kCache)) return model;
+  std::fprintf(stderr, "training default model (first run only)...\n");
+  autobi::CorpusOptions corpus;
+  corpus.training_cases = 120;
+  model = autobi::TrainLocalModel(autobi::BuildTrainingCorpus(corpus));
+  model.SaveToFile(kCache);
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace autobi;
+  std::string model_path;
+  std::string format = "text";
+  std::string ddl_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      format = argv[++i];
+    } else if (std::strcmp(argv[i], "--ddl") == 0 && i + 1 < argc) {
+      ddl_path = argv[++i];
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (ddl_path.empty() && files.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: csv_autobi [--model FILE] "
+                 "[--format text|dot|sql|json] a.csv b.csv ...\n"
+                 "       csv_autobi --ddl schema.sql    "
+                 "(schema-only prediction from CREATE TABLE DDL)\n");
+    return 2;
+  }
+
+  std::vector<Table> tables;
+  bool schema_only = !ddl_path.empty();
+  if (schema_only) {
+    std::ifstream in(ddl_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", ddl_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    DdlSchema schema;
+    std::string error;
+    if (!ParseSqlDdl(buf.str(), &schema, &error)) {
+      std::fprintf(stderr, "error parsing DDL: %s\n", error.c_str());
+      return 1;
+    }
+    tables = std::move(schema.tables);
+    std::fprintf(stderr, "parsed %zu tables from DDL (schema-only mode)\n",
+                 tables.size());
+  } else {
+    for (const std::string& path : files) {
+      Table t;
+      std::string error;
+      if (!ReadCsvFile(path, &t, &error)) {
+        std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "loaded %s: %zu rows, %zu columns\n",
+                   t.name().c_str(), t.num_rows(), t.num_columns());
+      tables.push_back(std::move(t));
+    }
+  }
+
+  LocalModel model = LoadOrTrainModel(model_path);
+  AutoBiOptions options;
+  if (schema_only) options.mode = AutoBiMode::kSchemaOnly;
+  AutoBi auto_bi(&model, options);
+  AutoBiResult result = auto_bi.Predict(tables);
+
+  if (format == "dot") {
+    std::printf("%s", ExportDot(tables, result.model).c_str());
+  } else if (format == "sql") {
+    std::printf("%s", ExportSqlDdl(tables, result.model).c_str());
+  } else if (format == "json") {
+    std::printf("%s", ExportJson(tables, result.model).c_str());
+  } else {
+    std::printf("Predicted BI model (%zu joins):\n",
+                result.model.joins.size());
+    for (const Join& join : result.model.joins) {
+      std::printf("  %s\n", JoinToString(tables, join).c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "latency: ucc %.3fs ind %.3fs inference %.3fs global %.3fs\n",
+               result.timing.ucc, result.timing.ind,
+               result.timing.local_inference, result.timing.global_predict);
+  return 0;
+}

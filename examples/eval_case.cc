@@ -1,0 +1,99 @@
+// eval_case: run every method on a BI case saved on disk and print a
+// Table-5-style quality/latency comparison for that single case.
+//
+//   eval_case <case_dir>           # a directory written by SaveCase
+//   eval_case --export <case_dir>  # generate + save a demo case, then exit
+//
+// The case directory layout is documented in core/case_io.h (one CSV per
+// table + case.manifest with the ground-truth joins).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "baselines/fk_baselines.h"
+#include "baselines/ml_fk.h"
+#include "common/rng.h"
+#include "core/case_io.h"
+#include "core/trainer.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+#include "synth/bi_generator.h"
+#include "synth/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace autobi;
+
+  if (argc >= 3 && std::strcmp(argv[1], "--export") == 0) {
+    std::filesystem::create_directories(argv[2]);
+    Rng rng(123);
+    BiGenOptions gen;
+    gen.num_tables = 7;
+    BiCase demo = GenerateBiCase(gen, rng);
+    std::string error;
+    if (!SaveCase(demo, argv[2], &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote demo case '%s' (%zu tables, %zu joins) to %s\n",
+                demo.name.c_str(), demo.tables.size(),
+                demo.ground_truth.joins.size(), argv[2]);
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: eval_case <case_dir>\n"
+                 "       eval_case --export <case_dir>\n");
+    return 2;
+  }
+
+  BiCase bi_case;
+  std::string error;
+  if (!LoadCase(argv[1], &bi_case, &error)) {
+    std::fprintf(stderr, "error loading case: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("case '%s': %zu tables, %zu ground-truth joins\n",
+              bi_case.name.c_str(), bi_case.tables.size(),
+              bi_case.ground_truth.joins.size());
+
+  std::fprintf(stderr, "training models (cached after first run)...\n");
+  CorpusOptions corpus_options;
+  corpus_options.training_cases = 120;
+  LocalModel model;
+  if (!model.LoadFromFile("autobi_default_model.txt")) {
+    model = TrainLocalModel(BuildTrainingCorpus(corpus_options));
+    model.SaveToFile("autobi_default_model.txt");
+  }
+  MlFkModel mlfk;
+  if (!mlfk.LoadFromFile("autobi_default_mlfk.txt")) {
+    mlfk.Train(BuildTrainingCorpus(corpus_options));
+    mlfk.SaveToFile("autobi_default_mlfk.txt");
+  }
+
+  std::vector<std::unique_ptr<JoinPredictor>> methods;
+  AutoBiOptions p_only;
+  p_only.mode = AutoBiMode::kPrecisionOnly;
+  methods.push_back(
+      std::make_unique<AutoBiPredictor>("Auto-BI-P", &model, p_only));
+  methods.push_back(
+      std::make_unique<AutoBiPredictor>("Auto-BI", &model, AutoBiOptions{}));
+  methods.push_back(std::make_unique<SystemX>());
+  methods.push_back(std::make_unique<McFk>());
+  methods.push_back(std::make_unique<FastFk>());
+  methods.push_back(std::make_unique<HoPf>());
+  methods.push_back(std::make_unique<MlFkRostin>(&mlfk));
+
+  TablePrinter table(
+      {"Method", "P_edge", "R_edge", "F_edge", "case OK?", "latency"});
+  for (const auto& method : methods) {
+    MethodResults r = RunMethod(*method, {bi_case});
+    const CaseResult& cr = r.cases[0];
+    table.AddRow({method->name(), Fmt3(cr.metrics.precision),
+                  Fmt3(cr.metrics.recall), Fmt3(cr.metrics.f1),
+                  cr.metrics.case_correct ? "yes" : "no",
+                  FmtSeconds(cr.timing.Total())});
+  }
+  table.Print();
+  return 0;
+}

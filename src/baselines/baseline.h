@@ -1,0 +1,48 @@
+#ifndef AUTOBI_BASELINES_BASELINE_H_
+#define AUTOBI_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/auto_bi.h"
+#include "core/bi_model.h"
+#include "table/table.h"
+
+namespace autobi {
+
+// Common interface for all join-prediction methods compared in Section 5
+// (Auto-BI variants, FK-detection baselines, commercial stand-in, enhanced
+// "+LC" baselines). `timing` receives the per-stage latency breakdown of
+// Figure 5(b) when non-null.
+class JoinPredictor {
+ public:
+  virtual ~JoinPredictor() = default;
+  virtual std::string name() const = 0;
+  virtual BiModel Predict(const std::vector<Table>& tables,
+                          AutoBiTiming* timing) const = 0;
+};
+
+// Adapts an AutoBi instance to the JoinPredictor interface.
+class AutoBiPredictor : public JoinPredictor {
+ public:
+  AutoBiPredictor(std::string name, const LocalModel* model,
+                  AutoBiOptions options)
+      : name_(std::move(name)), auto_bi_(model, std::move(options)) {}
+
+  std::string name() const override { return name_; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override {
+    AutoBiResult result = auto_bi_.Predict(tables);
+    if (timing != nullptr) *timing = result.timing;
+    return std::move(result.model);
+  }
+
+ private:
+  std::string name_;
+  AutoBi auto_bi_;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_BASELINES_BASELINE_H_

@@ -1,0 +1,378 @@
+#include "baselines/fk_baselines.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "graph/validate.h"
+#include "profile/emd.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace autobi {
+
+namespace {
+
+// Runs candidate generation and charges its cost to the timing breakdown.
+CandidateSet RunCandidates(const std::vector<Table>& tables,
+                           AutoBiTiming* timing) {
+  CandidateSet cands = GenerateCandidates(tables);
+  if (timing != nullptr) {
+    timing->ucc = cands.ucc_seconds;
+    timing->ind = cands.ind_seconds;
+  }
+  return cands;
+}
+
+Join CandidateToJoin(const JoinCandidate& cand) {
+  Join join;
+  join.from = cand.src;
+  join.to = cand.dst;
+  join.kind = cand.one_to_one ? JoinKind::kOneToOne : JoinKind::kNToOne;
+  return join.Normalized();
+}
+
+// Concatenated column name of a ref.
+std::string RefName(const std::vector<Table>& tables, const ColumnRef& ref) {
+  std::string out;
+  for (size_t i = 0; i < ref.columns.size(); ++i) {
+    if (i > 0) out += " ";
+    out += tables[size_t(ref.table)].column(size_t(ref.columns[i])).name();
+  }
+  return out;
+}
+
+// Hand-crafted name similarity used by Fast-FK/HoPF: max of direct and
+// dimension-table-augmented token Jaccard.
+double BaselineNameSim(const std::vector<Table>& tables,
+                       const JoinCandidate& cand) {
+  std::string src = RefName(tables, cand.src);
+  std::string dst = RefName(tables, cand.dst);
+  std::string aug = tables[size_t(cand.dst.table)].name() + " " + dst;
+  auto ts = TokenizeIdentifier(src);
+  double direct = TokenJaccard(ts, TokenizeIdentifier(dst));
+  double augmented = TokenJaccard(ts, TokenizeIdentifier(aug));
+  double edit = EditSimilarity(NormalizeIdentifier(src),
+                               NormalizeIdentifier(dst));
+  return std::max({direct, augmented, edit});
+}
+
+// Calibrated LC probability for a candidate (used by ML-FK/LC and the
+// enhanced "+LC" baselines), charged to the local-inference stage.
+std::vector<double> LcScores(const LocalModel& lc,
+                             const std::vector<Table>& tables,
+                             const CandidateSet& cands, AutoBiTiming* timing) {
+  Timer timer;
+  FeatureContext ctx;
+  ctx.tables = &tables;
+  ctx.profiles = &cands.profiles;
+  ctx.frequency = &lc.frequency();
+  std::vector<double> scores;
+  scores.reserve(cands.candidates.size());
+  for (const JoinCandidate& cand : cands.candidates) {
+    scores.push_back(lc.Score(ctx, cand, /*schema_only=*/false));
+  }
+  if (timing != nullptr) timing->local_inference = timer.Seconds();
+  return scores;
+}
+
+// Per-source-column argmax selection: for each FK column keep the single
+// best-scoring target whose score passes `threshold`. Higher = better.
+BiModel ArgmaxPerSource(const std::vector<Table>& tables,
+                        const CandidateSet& cands,
+                        const std::vector<double>& scores, double threshold) {
+  std::map<std::pair<int, std::vector<int>>, int> best;  // src ref -> index.
+  for (size_t i = 0; i < cands.candidates.size(); ++i) {
+    if (scores[i] < threshold) continue;
+    auto key = std::make_pair(cands.candidates[i].src.table,
+                              cands.candidates[i].src.columns);
+    auto it = best.find(key);
+    if (it == best.end() || scores[i] > scores[size_t(it->second)]) {
+      best[key] = static_cast<int>(i);
+    }
+  }
+  BiModel model;
+  for (const auto& [key, idx] : best) {
+    (void)key;
+    model.joins.push_back(CandidateToJoin(cands.candidates[size_t(idx)]));
+  }
+  (void)tables;
+  return model;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ MC-FK.
+
+BiModel McFk::Predict(const std::vector<Table>& tables,
+                      AutoBiTiming* timing) const {
+  CandidateSet cands = RunCandidates(tables, timing);
+  Timer timer;
+  std::vector<double> scores(cands.candidates.size(), 0.0);
+  if (lc_ != nullptr) {
+    scores = LcScores(*lc_, tables, cands, timing);
+  } else {
+    for (size_t i = 0; i < cands.candidates.size(); ++i) {
+      const JoinCandidate& c = cands.candidates[i];
+      const ColumnProfile& ps =
+          cands.profiles[size_t(c.src.table)].columns[size_t(
+              c.src.columns[0])];
+      const ColumnProfile& pd =
+          cands.profiles[size_t(c.dst.table)].columns[size_t(
+              c.dst.columns[0])];
+      // Randomness metric: 1 - EMD, so that higher is better; weight by
+      // containment like the original's pruning rules.
+      scores[i] = (1.0 - EmdScore(ps, pd)) * c.left_containment;
+    }
+  }
+  BiModel model = ArgmaxPerSource(tables, cands, scores,
+                                  lc_ != nullptr ? 0.5 : 0.55);
+  if (timing != nullptr) timing->global_predict = timer.Seconds();
+  return model;
+}
+
+// ----------------------------------------------------------------- Fast-FK.
+
+BiModel FastFk::Predict(const std::vector<Table>& tables,
+                        AutoBiTiming* timing) const {
+  CandidateSet cands = RunCandidates(tables, timing);
+  std::vector<double> scores;
+  if (lc_ != nullptr) {
+    scores = LcScores(*lc_, tables, cands, timing);
+  } else {
+    Timer timer;
+    scores.reserve(cands.candidates.size());
+    for (const JoinCandidate& c : cands.candidates) {
+      scores.push_back(0.5 * BaselineNameSim(tables, c) +
+                       0.5 * c.left_containment);
+    }
+    if (timing != nullptr) timing->local_inference = timer.Seconds();
+  }
+  Timer timer;
+  // Best-first until all tables connect (union-find over table endpoints).
+  std::vector<size_t> order(cands.candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<int> parent(tables.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[size_t(x)] != x) {
+      parent[size_t(x)] = parent[size_t(parent[size_t(x)])];
+      x = parent[size_t(x)];
+    }
+    return x;
+  };
+  int components = static_cast<int>(tables.size());
+  BiModel model;
+  double min_score = lc_ != nullptr ? 0.25 : 0.3;
+  double keep_score = lc_ != nullptr ? 0.85 : 0.8;
+  for (size_t i : order) {
+    if (scores[i] < min_score) break;
+    const JoinCandidate& c = cands.candidates[i];
+    int ra = find(c.src.table);
+    int rb = find(c.dst.table);
+    bool connects = ra != rb;
+    // Take connecting edges while disconnected; afterwards only
+    // high-confidence extras.
+    if (connects && components > 1) {
+      parent[size_t(ra)] = rb;
+      --components;
+      model.joins.push_back(CandidateToJoin(c));
+    } else if (scores[i] >= keep_score && connects) {
+      model.joins.push_back(CandidateToJoin(c));
+    }
+  }
+  if (timing != nullptr) timing->global_predict = timer.Seconds();
+  return model;
+}
+
+// -------------------------------------------------------------------- HoPF.
+
+BiModel HoPf::Predict(const std::vector<Table>& tables,
+                      AutoBiTiming* timing) const {
+  CandidateSet cands = RunCandidates(tables, timing);
+  Timer local_timer;
+  // PK-score per (table, column): uniqueness + name + leftmost position.
+  auto pk_score = [&](int t, int c) {
+    const ColumnProfile& p = cands.profiles[size_t(t)].columns[size_t(c)];
+    double score = 0.0;
+    if (p.IsUnique()) score += 0.5;
+    std::string lower = ToLower(tables[size_t(t)].column(size_t(c)).name());
+    if (lower.find("id") != std::string::npos ||
+        lower.find("key") != std::string::npos ||
+        lower.find("code") != std::string::npos) {
+      score += 0.25;
+    }
+    double ncols = double(tables[size_t(t)].num_columns());
+    score += 0.25 * (1.0 - double(c) / std::max(1.0, ncols));
+    return score;
+  };
+  std::vector<double> scores;
+  scores.reserve(cands.candidates.size());
+  for (const JoinCandidate& c : cands.candidates) {
+    if (lc_ != nullptr) {
+      scores.push_back(0.0);  // Filled below in one LC pass.
+    } else {
+      double fk = 0.45 * c.left_containment +
+                  0.3 * BaselineNameSim(tables, c) +
+                  0.25 * pk_score(c.dst.table, c.dst.columns[0]);
+      scores.push_back(fk);
+    }
+  }
+  if (lc_ != nullptr) {
+    scores = LcScores(*lc_, tables, cands, timing);
+    // HoPF+LC keeps its structural PK-prior as a tie-breaker.
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const JoinCandidate& c = cands.candidates[i];
+      scores[i] = 0.85 * scores[i] +
+                  0.15 * pk_score(c.dst.table, c.dst.columns[0]);
+    }
+  } else if (timing != nullptr) {
+    timing->local_inference = local_timer.Seconds();
+  }
+
+  Timer timer;
+  // Greedy best-first subject to HoPF's structural constraints: FK-once and
+  // no cycles.
+  std::vector<size_t> order(cands.candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::set<std::pair<int, std::vector<int>>> used_sources;
+  std::vector<std::pair<int, int>> arcs;
+  BiModel model;
+  double threshold = lc_ != nullptr ? 0.5 : 0.55;
+  for (size_t i : order) {
+    if (scores[i] < threshold) break;
+    const JoinCandidate& c = cands.candidates[i];
+    auto src_key = std::make_pair(c.src.table, c.src.columns);
+    if (used_sources.count(src_key)) continue;  // FK-once.
+    arcs.emplace_back(c.src.table, c.dst.table);
+    if (HasDirectedCycle(static_cast<int>(tables.size()), arcs)) {
+      arcs.pop_back();
+      continue;
+    }
+    used_sources.insert(src_key);
+    model.joins.push_back(CandidateToJoin(c));
+  }
+  if (timing != nullptr) timing->global_predict = timer.Seconds();
+  return model;
+}
+
+// ---------------------------------------------------------------- LC-only.
+
+BiModel LcOnly::Predict(const std::vector<Table>& tables,
+                        AutoBiTiming* timing) const {
+  CandidateSet cands = RunCandidates(tables, timing);
+  std::vector<double> scores = LcScores(*lc_, tables, cands, timing);
+  Timer timer;
+  BiModel model;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= 0.5) {
+      model.joins.push_back(CandidateToJoin(cands.candidates[i]));
+    }
+  }
+  if (timing != nullptr) timing->global_predict = timer.Seconds();
+  return model;
+}
+
+// ---------------------------------------------------------------- System-X.
+
+BiModel SystemX::Predict(const std::vector<Table>& tables,
+                         AutoBiTiming* timing) const {
+  CandidateSet cands = RunCandidates(tables, timing);
+  Timer timer;
+  BiModel model;
+  std::set<std::pair<int, std::vector<int>>> used_sources;
+  for (const JoinCandidate& c : cands.candidates) {
+    // Near-exact normalized name equality (optionally with the referenced
+    // table's name prefixed — modulo dim/fact prefixes and plural 's'),
+    // near-perfect containment, unique target. Generic stubs ("id", "key")
+    // are not accepted as evidence on their own — commercial detectors
+    // require a discriminative name.
+    std::string src = NormalizeIdentifier(RefName(tables, c.src));
+    std::string dst = NormalizeIdentifier(RefName(tables, c.dst));
+    std::vector<std::string> table_tokens =
+        TokenizeIdentifier(tables[size_t(c.dst.table)].name());
+    std::string entity;
+    for (const std::string& tok : table_tokens) {
+      if (tok == "dim" || tok == "fact" || tok == "tbl") continue;
+      entity += tok;
+    }
+    std::string entity_singular =
+        (entity.size() > 3 && entity.back() == 's')
+            ? entity.substr(0, entity.size() - 1)
+            : entity;
+    bool generic = src == "id" || src == "key" || src == "code" ||
+                   src == "rownum";
+    bool name_match = (src == dst && !generic) || src == entity + dst ||
+                      src == entity_singular + dst;
+    if (!name_match) continue;
+    if (c.left_containment < 0.98) continue;
+    const ColumnProfile& pd =
+        cands.profiles[size_t(c.dst.table)].columns[size_t(c.dst.columns[0])];
+    if (!pd.IsUnique()) continue;
+    auto src_key = std::make_pair(c.src.table, c.src.columns);
+    if (used_sources.count(src_key)) continue;
+    used_sources.insert(src_key);
+    model.joins.push_back(CandidateToJoin(c));
+  }
+  if (timing != nullptr) timing->global_predict = timer.Seconds();
+  return model;
+}
+
+// --------------------------------------------------------------- NamePrior.
+
+BiModel NamePrior::Predict(const std::vector<Table>& tables,
+                           AutoBiTiming* timing) const {
+  // Schema-only: enumerate column pairs directly (no profiling, no data).
+  Timer timer;
+  BiModel model;
+  std::map<std::pair<int, int>, std::pair<double, Join>> best_per_source;
+  for (size_t ti = 0; ti < tables.size(); ++ti) {
+    for (size_t tj = 0; tj < tables.size(); ++tj) {
+      if (ti == tj) continue;
+      for (size_t ci = 0; ci < tables[ti].num_columns(); ++ci) {
+        const std::string& src_name = tables[ti].column(ci).name();
+        std::string src_lower = ToLower(src_name);
+        bool src_keyish = src_lower.find("id") != std::string::npos ||
+                          src_lower.find("key") != std::string::npos ||
+                          src_lower.find("code") != std::string::npos;
+        if (!src_keyish) continue;  // An LLM only links key-looking columns.
+        for (size_t cj = 0; cj < tables[tj].num_columns(); ++cj) {
+          const std::string& dst_name = tables[tj].column(cj).name();
+          std::string aug = tables[tj].name() + " " + dst_name;
+          auto ts = TokenizeIdentifier(src_name);
+          double sim = std::max(
+              {TokenJaccard(ts, TokenizeIdentifier(dst_name)),
+               TokenJaccard(ts, TokenizeIdentifier(aug)),
+               EditSimilarity(NormalizeIdentifier(src_name),
+                              NormalizeIdentifier(dst_name))});
+          double score = 0.75 * sim + 0.25 * (cj == 0 ? 1.0 : 0.0);
+          if (score < 0.72) continue;
+          Join join;
+          join.from = ColumnRef{int(ti), {int(ci)}};
+          join.to = ColumnRef{int(tj), {int(cj)}};
+          join.kind = JoinKind::kNToOne;
+          auto key = std::make_pair(int(ti), int(ci));
+          auto it = best_per_source.find(key);
+          if (it == best_per_source.end() || score > it->second.first) {
+            best_per_source[key] = {score, join};
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [key, scored] : best_per_source) {
+    (void)key;
+    model.joins.push_back(scored.second);
+  }
+  if (timing != nullptr) timing->global_predict = timer.Seconds();
+  return model;
+}
+
+}  // namespace autobi

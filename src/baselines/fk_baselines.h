@@ -1,0 +1,99 @@
+#ifndef AUTOBI_BASELINES_FK_BASELINES_H_
+#define AUTOBI_BASELINES_FK_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/candidates.h"
+#include "core/local_model.h"
+
+namespace autobi {
+
+// Reimplementations of the FK-detection baselines of Section 5.2. Each can
+// optionally be "enhanced" (Appendix C) by injecting the calibrated
+// local-classifier scores in place of its hand-crafted scoring function —
+// the MC-FK+LC / Fast-FK+LC / HoPF+LC rows of Tables 9-12.
+
+// MC-FK [58]: scores candidate INDs by the EMD-based randomness metric
+// (an FK's values should look like a random sample of the PK's
+// distribution); per FK column, keeps the best-scoring PK below a cutoff.
+// Local and greedy by design.
+class McFk : public JoinPredictor {
+ public:
+  explicit McFk(const LocalModel* lc = nullptr) : lc_(lc) {}
+  std::string name() const override { return lc_ ? "MC-FK+LC" : "MC-FK"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override;
+
+ private:
+  const LocalModel* lc_;
+};
+
+// Fast-FK [17]: a predefined score mixing column-name similarity and value
+// containment; edges are taken best-first until all tables are connected
+// (plus any remaining edges above a high-confidence threshold).
+class FastFk : public JoinPredictor {
+ public:
+  explicit FastFk(const LocalModel* lc = nullptr) : lc_(lc) {}
+  std::string name() const override { return lc_ ? "Fast-FK+LC" : "Fast-FK"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override;
+
+ private:
+  const LocalModel* lc_;
+};
+
+// HoPF [30]: holistic PK+FK detection — combines a PK-score for the
+// referenced column (position, name, uniqueness) with an FK-score for the
+// pair, subject to structural constraints (no cycles, FK-once), selected
+// greedily by total score.
+class HoPf : public JoinPredictor {
+ public:
+  explicit HoPf(const LocalModel* lc = nullptr) : lc_(lc) {}
+  std::string name() const override { return lc_ ? "HoPF+LC" : "HoPF"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override;
+
+ private:
+  const LocalModel* lc_;
+};
+
+// "LC": keeps every candidate whose calibrated probability is >= 0.5 — the
+// local-classifier-only ablation row of Table 10 / Figure 8.
+class LcOnly : public JoinPredictor {
+ public:
+  explicit LcOnly(const LocalModel* lc) : lc_(lc) {}
+  std::string name() const override { return "LC"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override;
+
+ private:
+  const LocalModel* lc_;
+};
+
+// System-X stand-in (DESIGN.md §1): a conservative commercial-style
+// detector — near-exact (normalized) name match plus near-perfect
+// containment into a unique key. High precision, low recall; detects
+// nothing on TPC schemas whose FK names carry table prefixes.
+class SystemX : public JoinPredictor {
+ public:
+  std::string name() const override { return "System-X"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override;
+};
+
+// GPT-3.5 stand-in (DESIGN.md §1): a schema-only name/position prior with
+// no training and no data-value access, mimicking LLM few-shot guessing.
+// Reported for table-shape completeness; marked as a substitution in
+// EXPERIMENTS.md.
+class NamePrior : public JoinPredictor {
+ public:
+  std::string name() const override { return "NamePrior(GPT-sub)"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_BASELINES_FK_BASELINES_H_

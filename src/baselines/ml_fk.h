@@ -1,0 +1,60 @@
+#ifndef AUTOBI_BASELINES_ML_FK_H_
+#define AUTOBI_BASELINES_ML_FK_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/bi_model.h"
+#include "features/featurizer.h"
+#include "ml/logistic.h"
+
+namespace autobi {
+
+// ML-FK (Rostin et al. [48]): an ML classifier over a compact set of
+// hand-picked features — value coverage, name similarity, key-ish naming,
+// dependent distinctness, table-size ratio — trained with logistic
+// regression. It receives the same training data as Auto-BI's local
+// classifiers (Section 5.2) but, per the original method, neither the
+// 21-feature representation, the N:1/1:1 split, nor calibration; and it
+// makes purely local decisions (per-FK argmax at threshold 0.5).
+class MlFkModel {
+ public:
+  static std::vector<std::string> FeatureNames();
+
+  // Feature vector of a candidate (7 features).
+  static std::vector<double> Featurize(const FeatureContext& ctx,
+                                       const JoinCandidate& cand);
+
+  // Fits on labeled BI cases (same corpus the Auto-BI trainer consumes).
+  void Train(const std::vector<BiCase>& corpus);
+
+  double Score(const FeatureContext& ctx, const JoinCandidate& cand) const;
+  bool trained() const { return lr_.trained(); }
+
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  LogisticRegression lr_;
+};
+
+// The ML-FK predictor: per FK column, keep the best-scoring PK candidate
+// with score >= 0.5.
+class MlFkRostin : public JoinPredictor {
+ public:
+  explicit MlFkRostin(const MlFkModel* model) : model_(model) {}
+  std::string name() const override { return "ML-FK"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override;
+
+ private:
+  const MlFkModel* model_;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_BASELINES_ML_FK_H_

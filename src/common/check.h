@@ -1,0 +1,29 @@
+#ifndef AUTOBI_COMMON_CHECK_H_
+#define AUTOBI_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checks that stay on in release builds. Used for programmer errors
+// (violated preconditions), not for recoverable input errors.
+//
+// AUTOBI_CHECK(cond) aborts with file/line if `cond` is false.
+#define AUTOBI_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "AUTOBI_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define AUTOBI_CHECK_MSG(cond, msg)                                           \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "AUTOBI_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, (msg));                         \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // AUTOBI_COMMON_CHECK_H_

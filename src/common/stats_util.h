@@ -1,0 +1,23 @@
+#ifndef AUTOBI_COMMON_STATS_UTIL_H_
+#define AUTOBI_COMMON_STATS_UTIL_H_
+
+#include <vector>
+
+namespace autobi {
+
+// Descriptive-statistics helpers used when reporting experiment results
+// (percentile latencies, averages over test cases).
+
+// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+// p-th percentile (p in [0,100]) by linear interpolation between order
+// statistics; 0 for an empty input.
+double Percentile(std::vector<double> xs, double p);
+
+// Harmonic-mean style F-score given precision and recall; 0 when both are 0.
+double FScore(double precision, double recall);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_COMMON_STATS_UTIL_H_

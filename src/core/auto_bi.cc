@@ -1,0 +1,101 @@
+#include "core/auto_bi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "graph/ems.h"
+#include "graph/kmca.h"
+
+namespace autobi {
+
+AutoBi::AutoBi(const LocalModel* model, AutoBiOptions options)
+    : model_(model), options_(std::move(options)) {
+  AUTOBI_CHECK(model_ != nullptr);
+}
+
+BiModel EdgesToModel(const JoinGraph& graph, const std::vector<int>& edges) {
+  BiModel model;
+  std::set<int> used_pairs;
+  for (int id : edges) {
+    const JoinEdge& e = graph.edge(id);
+    if (e.one_to_one) {
+      if (used_pairs.count(e.pair_id)) continue;
+      used_pairs.insert(e.pair_id);
+    }
+    Join join;
+    join.from = ColumnRef{e.src, e.src_columns};
+    join.to = ColumnRef{e.dst, e.dst_columns};
+    join.kind = e.one_to_one ? JoinKind::kOneToOne : JoinKind::kNToOne;
+    model.joins.push_back(join.Normalized());
+  }
+  return model;
+}
+
+AutoBiResult AutoBi::Predict(const std::vector<Table>& tables) const {
+  AutoBiResult result;
+
+  // Stage 1+2: UCC and IND discovery (candidate generation).
+  CandidateSet candidates = GenerateCandidates(tables, options_.candidates);
+  result.timing.ucc = candidates.ucc_seconds;
+  result.timing.ind = candidates.ind_seconds;
+
+  // Stage 3: local inference — featurize and score each candidate with the
+  // calibrated classifiers (Algorithm 1).
+  bool schema_only = options_.mode == AutoBiMode::kSchemaOnly;
+  result.graph = BuildJoinGraph(tables, candidates, *model_, schema_only,
+                                &result.timing.local_inference);
+  const JoinGraph& graph = result.graph;
+
+  // Stage 4: global prediction.
+  Timer global_timer;
+  if (options_.lc_only) {
+    // Ablation: keep every edge with calibrated probability >= 0.5, no graph
+    // optimization (the "LC-only" bar of Figure 8).
+    std::vector<int> kept;
+    for (const JoinEdge& e : graph.edges()) {
+      if (e.probability >= 0.5) kept.push_back(e.id);
+    }
+    result.model = EdgesToModel(graph, kept);
+    result.backbone_edges = kept;
+    result.timing.global_predict = global_timer.Seconds();
+    return result;
+  }
+
+  double penalty =
+      -std::log(JoinGraph::ClampProbability(options_.penalty_probability));
+
+  if (options_.use_precision_mode) {
+    // Precision mode: the most probable k-snowflakes under FK-once
+    // (k-MCA-CC, Algorithm 3).
+    KmcaCcOptions solver = options_.solver;
+    solver.penalty_weight = penalty;
+    solver.enforce_fk_once = options_.enforce_fk_once;
+    Timer kmca_timer;
+    KmcaResult backbone = SolveKmcaCc(graph, solver, &result.solver_stats);
+    result.kmca_cc_seconds = kmca_timer.Seconds();
+    result.backbone_edges = backbone.edge_ids;
+  } else {
+    // Ablation "no-precision-mode": recall mode growing from nothing.
+    result.backbone_edges.clear();
+  }
+
+  if (options_.mode != AutoBiMode::kPrecisionOnly) {
+    // Recall mode: grow extra confident joins on top of the backbone (EMS).
+    EmsOptions ems;
+    ems.tau = options_.tau;
+    result.recall_edges = SolveEmsGreedy(graph, result.backbone_edges, ems);
+  }
+
+  std::vector<int> all_edges = result.backbone_edges;
+  all_edges.insert(all_edges.end(), result.recall_edges.begin(),
+                   result.recall_edges.end());
+  std::sort(all_edges.begin(), all_edges.end());
+  result.model = EdgesToModel(graph, all_edges);
+  result.timing.global_predict = global_timer.Seconds();
+  return result;
+}
+
+}  // namespace autobi

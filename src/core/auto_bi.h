@@ -1,0 +1,80 @@
+#ifndef AUTOBI_CORE_AUTO_BI_H_
+#define AUTOBI_CORE_AUTO_BI_H_
+
+#include <vector>
+
+#include "core/bi_model.h"
+#include "core/candidates.h"
+#include "core/graph_builder.h"
+#include "core/local_model.h"
+#include "graph/kmca_cc.h"
+
+namespace autobi {
+
+// The three Auto-BI variants evaluated in Section 5.
+enum class AutoBiMode {
+  kFull,           // Auto-BI: precision mode + recall mode.
+  kPrecisionOnly,  // Auto-BI-P: k-MCA-CC backbone only.
+  kSchemaOnly,     // Auto-BI-S: full pipeline on metadata-only features.
+};
+
+struct AutoBiOptions {
+  AutoBiMode mode = AutoBiMode::kFull;
+  // Virtual-edge probability: penalty p = -log(this). 0.5 is the calibrated
+  // coin-toss default (Section 4.3.2, Figure 9(a)).
+  double penalty_probability = 0.5;
+  // Recall-mode threshold τ (Section 4.3.3, Figure 9(b)).
+  double tau = 0.5;
+  // --- Ablation switches (Figure 8). Defaults are the full system.
+  bool enforce_fk_once = true;    // false => "no-FK-once-constraint".
+  bool use_precision_mode = true; // false => "no-precision-mode".
+  bool lc_only = false;           // true  => "LC-only".
+  CandidateGenOptions candidates;
+  KmcaCcOptions solver;  // penalty_weight/enforce_fk_once are overwritten.
+};
+
+// Per-stage latency (seconds) matching Figure 5(b)'s breakdown.
+struct AutoBiTiming {
+  double ucc = 0.0;
+  double ind = 0.0;
+  double local_inference = 0.0;
+  double global_predict = 0.0;
+  double Total() const { return ucc + ind + local_inference + global_predict; }
+};
+
+struct AutoBiResult {
+  BiModel model;
+  AutoBiTiming timing;
+  // Solver telemetry for Figures 6 and 7.
+  KmcaCcStats solver_stats;
+  double kmca_cc_seconds = 0.0;
+  // The constructed join graph (diagnostics / tests).
+  JoinGraph graph;
+  // Edge ids selected by precision mode (backbone J*) and recall mode (S).
+  std::vector<int> backbone_edges;
+  std::vector<int> recall_edges;
+};
+
+// The online Auto-BI predictor (Section 4.3): candidate generation ->
+// calibrated local scoring -> k-MCA-CC precision mode -> EMS recall mode.
+class AutoBi {
+ public:
+  // `model` must outlive this object.
+  AutoBi(const LocalModel* model, AutoBiOptions options = {});
+
+  AutoBiResult Predict(const std::vector<Table>& tables) const;
+
+  const AutoBiOptions& options() const { return options_; }
+
+ private:
+  const LocalModel* model_;
+  AutoBiOptions options_;
+};
+
+// Converts selected graph edges into BiModel joins (1:1 pairs deduplicated to
+// a single normalized join).
+BiModel EdgesToModel(const JoinGraph& graph, const std::vector<int>& edges);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_AUTO_BI_H_

@@ -1,0 +1,48 @@
+#include "core/bi_model.h"
+
+#include <algorithm>
+
+namespace autobi {
+
+Join Join::Normalized() const {
+  if (kind == JoinKind::kOneToOne && to < from) {
+    Join out = *this;
+    std::swap(out.from, out.to);
+    return out;
+  }
+  return *this;
+}
+
+bool Join::operator==(const Join& o) const {
+  Join a = Normalized();
+  Join b = o.Normalized();
+  return a.kind == b.kind && a.from == b.from && a.to == b.to;
+}
+
+bool BiModel::Contains(const Join& join) const {
+  return std::find(joins.begin(), joins.end(), join) != joins.end();
+}
+
+const char* SchemaTypeName(SchemaType type) {
+  switch (type) {
+    case SchemaType::kStar:
+      return "star";
+    case SchemaType::kSnowflake:
+      return "snowflake";
+    case SchemaType::kConstellation:
+      return "constellation";
+    case SchemaType::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string JoinToString(const std::vector<Table>& tables, const Join& join) {
+  std::string out = ColumnRefToString(tables, join.from);
+  out += join.kind == JoinKind::kOneToOne ? " <-> " : " -> ";
+  out += ColumnRefToString(tables, join.to);
+  out += join.kind == JoinKind::kOneToOne ? " [1:1]" : " [N:1]";
+  return out;
+}
+
+}  // namespace autobi

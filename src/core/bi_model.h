@@ -1,0 +1,58 @@
+#ifndef AUTOBI_CORE_BI_MODEL_H_
+#define AUTOBI_CORE_BI_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace autobi {
+
+// Kind of join relationship in a BI model. Unlike classic FK detection,
+// real BI models freely mix N:1 (FK -> PK) and 1:1 joins (Section 2).
+enum class JoinKind { kNToOne, kOneToOne };
+
+// One join relationship of a BI model (Definition 1): a pair of column lists
+// across two tables. For kNToOne, `from` is the N (FK) side and `to` the 1
+// (PK) side. For kOneToOne the orientation is not meaningful; use
+// Normalized() for canonical comparisons.
+struct Join {
+  ColumnRef from;
+  ColumnRef to;
+  JoinKind kind = JoinKind::kNToOne;
+
+  // Canonical form: 1:1 joins are oriented with the smaller (table, columns)
+  // endpoint first so that equality is orientation-insensitive.
+  Join Normalized() const;
+
+  bool operator==(const Join& o) const;
+};
+
+// A BI model: the set of join relationships over a table set.
+struct BiModel {
+  std::vector<Join> joins;
+
+  // True if an equivalent join (normalized comparison) is present.
+  bool Contains(const Join& join) const;
+};
+
+// The shape of a ground-truth schema graph (Table 7's "case type").
+enum class SchemaType { kStar, kSnowflake, kConstellation, kOther };
+
+const char* SchemaTypeName(SchemaType type);
+
+// One test or training case: input tables plus the user-specified
+// ground-truth model (what we extract from each harvested .pbix file).
+struct BiCase {
+  std::string name;
+  std::vector<Table> tables;
+  BiModel ground_truth;
+  SchemaType schema_type = SchemaType::kOther;
+};
+
+// Renders a join as "Fact(emp_id) -> Dim(emp_id) [N:1]" for diagnostics.
+std::string JoinToString(const std::vector<Table>& tables, const Join& join);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_BI_MODEL_H_

@@ -1,0 +1,136 @@
+#include "core/candidates.h"
+
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace autobi {
+
+namespace {
+
+double MeanDistinctRatio(const TableProfile& profile,
+                         const std::vector<int>& columns) {
+  double sum = 0.0;
+  for (int c : columns) sum += profile.columns[size_t(c)].distinct_ratio;
+  return sum / static_cast<double>(columns.size());
+}
+
+}  // namespace
+
+CandidateSet GenerateCandidates(const std::vector<Table>& tables,
+                                const CandidateGenOptions& options) {
+  CandidateSet out;
+
+  // UCC stage (includes profiling, which UCC pruning needs first).
+  Timer ucc_timer;
+  out.profiles = ProfileTables(tables);
+  out.uccs.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    out.uccs.push_back(DiscoverUccs(tables[i], out.profiles[i], options.ucc));
+  }
+  out.ucc_seconds = ucc_timer.Seconds();
+
+  // IND stage.
+  Timer ind_timer;
+  std::vector<Ind> inds = DiscoverInds(tables, out.profiles, out.uccs,
+                                       options.ind);
+
+  // Convert INDs to deduplicated candidates.
+  std::map<std::pair<ColumnRef, ColumnRef>, JoinCandidate> dedup;
+  for (const Ind& ind : inds) {
+    JoinCandidate cand;
+    cand.src = ind.dependent;
+    cand.dst = ind.referenced;
+    cand.left_containment = ind.containment;
+    // Reverse containment: cheap via profiles for unary, exact probe for
+    // composite INDs (which are rare).
+    if (!ind.IsComposite()) {
+      cand.right_containment = Containment(
+          out.profiles[size_t(cand.dst.table)]
+              .columns[size_t(cand.dst.columns[0])],
+          out.profiles[size_t(cand.src.table)]
+              .columns[size_t(cand.src.columns[0])]);
+    } else {
+      cand.right_containment =
+          CompositeContainment(tables[size_t(cand.dst.table)],
+                               cand.dst.columns,
+                               tables[size_t(cand.src.table)],
+                               cand.src.columns);
+    }
+
+    double src_distinct = MeanDistinctRatio(
+        out.profiles[size_t(cand.src.table)], cand.src.columns);
+    double dst_distinct = MeanDistinctRatio(
+        out.profiles[size_t(cand.dst.table)], cand.dst.columns);
+    cand.one_to_one =
+        src_distinct >= options.one_to_one_distinct_ratio &&
+        dst_distinct >= options.one_to_one_distinct_ratio &&
+        std::min(cand.left_containment, cand.right_containment) >=
+            options.one_to_one_min_containment;
+
+    // Canonical orientation for 1:1 candidates: both IND directions fold
+    // into one candidate keyed from the lower endpoint.
+    if (cand.one_to_one && cand.dst < cand.src) {
+      std::swap(cand.src, cand.dst);
+      std::swap(cand.left_containment, cand.right_containment);
+    }
+    auto key = std::make_pair(cand.src, cand.dst);
+    auto it = dedup.find(key);
+    if (it == dedup.end()) {
+      dedup.emplace(key, cand);
+    } else if (cand.one_to_one && !it->second.one_to_one) {
+      it->second = cand;  // Prefer the 1:1 interpretation when detected.
+    }
+  }
+  // Metadata fallback: for table pairs where the referenced side has no
+  // rows (DDL-only input), value probing is impossible — screen candidate
+  // pairs by name instead so the schema-only classifier can score them.
+  if (options.metadata_fallback_for_empty_tables) {
+    for (int ti = 0; ti < int(tables.size()); ++ti) {
+      for (int tj = 0; tj < int(tables.size()); ++tj) {
+        if (ti == tj) continue;
+        if (tables[size_t(tj)].num_rows() > 0 &&
+            tables[size_t(ti)].num_rows() > 0) {
+          continue;
+        }
+        for (int a = 0; a < int(tables[size_t(ti)].num_columns()); ++a) {
+          const std::string& src = tables[size_t(ti)].column(size_t(a)).name();
+          std::string src_norm = NormalizeIdentifier(src);
+          for (int b = 0; b < int(tables[size_t(tj)].num_columns()); ++b) {
+            const std::string& dst =
+                tables[size_t(tj)].column(size_t(b)).name();
+            std::string aug = tables[size_t(tj)].name() + " " + dst;
+            bool name_hit =
+                EditSimilarity(src_norm, NormalizeIdentifier(dst)) >= 0.5 ||
+                TokenContainment(TokenizeIdentifier(src),
+                                 TokenizeIdentifier(aug)) >= 0.99;
+            bool key_shaped =
+                b == 0 && (EndsWith(ToLower(src_norm), "id") ||
+                           EndsWith(ToLower(src_norm), "key") ||
+                           EndsWith(ToLower(src_norm), "code"));
+            if (!name_hit && !key_shaped) continue;
+            JoinCandidate cand;
+            cand.src = ColumnRef{ti, {a}};
+            cand.dst = ColumnRef{tj, {b}};
+            auto key = std::make_pair(cand.src, cand.dst);
+            if (!dedup.count(key)) dedup.emplace(key, cand);
+          }
+        }
+      }
+    }
+  }
+
+  out.candidates.reserve(dedup.size());
+  for (auto& [key, cand] : dedup) {
+    (void)key;
+    out.candidates.push_back(std::move(cand));
+  }
+  out.ind_seconds = ind_timer.Seconds();
+  return out;
+}
+
+}  // namespace autobi

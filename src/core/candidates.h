@@ -1,0 +1,47 @@
+#ifndef AUTOBI_CORE_CANDIDATES_H_
+#define AUTOBI_CORE_CANDIDATES_H_
+
+#include <vector>
+
+#include "features/featurizer.h"
+#include "profile/ind.h"
+#include "profile/ucc.h"
+#include "table/table.h"
+
+namespace autobi {
+
+struct CandidateGenOptions {
+  UccOptions ucc;
+  IndOptions ind;
+  // A candidate is 1:1-shaped when both endpoints have distinct ratio at
+  // least this and are mutually contained (Appendix A, "separate N-1 and 1-1
+  // classifiers").
+  double one_to_one_distinct_ratio = 0.95;
+  double one_to_one_min_containment = 0.9;
+  // When a table pair has no data to probe (e.g. tables parsed from DDL),
+  // fall back to metadata-screened candidates so schema-only prediction
+  // still works (extension beyond the paper).
+  bool metadata_fallback_for_empty_tables = true;
+};
+
+// Output of the candidate-generation stage (UCC + IND discovery, the first
+// two latency components of Figure 5(b)).
+struct CandidateSet {
+  std::vector<TableProfile> profiles;
+  std::vector<std::vector<Ucc>> uccs;
+  std::vector<JoinCandidate> candidates;
+  // Stage latencies in seconds.
+  double ucc_seconds = 0.0;
+  double ind_seconds = 0.0;
+};
+
+// Profiles the tables, discovers UCCs and approximate INDs, and converts
+// them into deduplicated join candidates. N:1 candidates keep the FK->PK
+// direction of their IND; 1:1-shaped pairs are emitted once (from the
+// lower-indexed table) with one_to_one = true.
+CandidateSet GenerateCandidates(const std::vector<Table>& tables,
+                                const CandidateGenOptions& options = {});
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_CANDIDATES_H_

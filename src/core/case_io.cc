@@ -1,0 +1,154 @@
+#include "core/case_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "table/csv.h"
+
+namespace autobi {
+
+namespace {
+
+const char* const kManifestName = "case.manifest";
+
+std::string ColumnsToCsvField(const std::vector<int>& columns) {
+  std::vector<std::string> parts;
+  parts.reserve(columns.size());
+  for (int c : columns) parts.push_back(std::to_string(c));
+  return JoinStrings(parts, ",");
+}
+
+bool ParseColumns(const std::string& field, std::vector<int>* out,
+                  std::string* error) {
+  out->clear();
+  for (const std::string& part : Split(field, ",")) {
+    int64_t v = 0;
+    if (!ParseInt64(part, &v)) {
+      *error = "bad column index '" + part + "' in manifest";
+      return false;
+    }
+    out->push_back(int(v));
+  }
+  if (out->empty()) {
+    *error = "empty column list in manifest";
+    return false;
+  }
+  return true;
+}
+
+SchemaType ParseSchemaType(const std::string& name) {
+  if (name == "star") return SchemaType::kStar;
+  if (name == "snowflake") return SchemaType::kSnowflake;
+  if (name == "constellation") return SchemaType::kConstellation;
+  return SchemaType::kOther;
+}
+
+}  // namespace
+
+bool SaveCase(const BiCase& bi_case, const std::string& dir,
+              std::string* error) {
+  std::ofstream manifest(dir + "/" + kManifestName);
+  if (!manifest) {
+    *error = "cannot write manifest in " + dir;
+    return false;
+  }
+  manifest << "autobi_case 1\n";
+  manifest << "name " << bi_case.name << "\n";
+  manifest << "schema_type " << SchemaTypeName(bi_case.schema_type) << "\n";
+  manifest << "tables " << bi_case.tables.size() << "\n";
+  for (const Table& t : bi_case.tables) {
+    manifest << t.name() << "\n";
+    std::ofstream csv(dir + "/" + t.name() + ".csv");
+    if (!csv) {
+      *error = "cannot write table file for " + t.name();
+      return false;
+    }
+    csv << WriteCsv(t);
+    if (!csv) {
+      *error = "write failed for " + t.name();
+      return false;
+    }
+  }
+  manifest << "joins " << bi_case.ground_truth.joins.size() << "\n";
+  for (const Join& j : bi_case.ground_truth.joins) {
+    manifest << (j.kind == JoinKind::kOneToOne ? "1:1" : "N:1") << " "
+             << j.from.table << " " << ColumnsToCsvField(j.from.columns)
+             << " " << j.to.table << " " << ColumnsToCsvField(j.to.columns)
+             << "\n";
+  }
+  return static_cast<bool>(manifest);
+}
+
+bool LoadCase(const std::string& dir, BiCase* bi_case, std::string* error) {
+  std::ifstream manifest(dir + "/" + kManifestName);
+  if (!manifest) {
+    *error = "cannot open manifest in " + dir;
+    return false;
+  }
+  *bi_case = BiCase{};
+  std::string tag;
+  int version = 0;
+  if (!(manifest >> tag >> version) || tag != "autobi_case" || version != 1) {
+    *error = "bad manifest header";
+    return false;
+  }
+  std::string key;
+  if (!(manifest >> key) || key != "name") {
+    *error = "expected 'name'";
+    return false;
+  }
+  manifest >> std::ws;
+  std::getline(manifest, bi_case->name);
+  std::string schema_type;
+  if (!(manifest >> key >> schema_type) || key != "schema_type") {
+    *error = "expected 'schema_type'";
+    return false;
+  }
+  bi_case->schema_type = ParseSchemaType(schema_type);
+  size_t num_tables = 0;
+  if (!(manifest >> key >> num_tables) || key != "tables") {
+    *error = "expected 'tables'";
+    return false;
+  }
+  manifest >> std::ws;
+  for (size_t i = 0; i < num_tables; ++i) {
+    std::string table_name;
+    std::getline(manifest, table_name);
+    Table t;
+    if (!ReadCsvFile(dir + "/" + table_name + ".csv", &t, error)) {
+      return false;
+    }
+    t.set_name(table_name);
+    bi_case->tables.push_back(std::move(t));
+  }
+  size_t num_joins = 0;
+  if (!(manifest >> key >> num_joins) || key != "joins") {
+    *error = "expected 'joins'";
+    return false;
+  }
+  for (size_t i = 0; i < num_joins; ++i) {
+    std::string kind, from_cols, to_cols;
+    Join join;
+    if (!(manifest >> kind >> join.from.table >> from_cols >> join.to.table
+                   >> to_cols)) {
+      *error = "truncated join list";
+      return false;
+    }
+    join.kind = (kind == "1:1") ? JoinKind::kOneToOne : JoinKind::kNToOne;
+    if (!ParseColumns(from_cols, &join.from.columns, error) ||
+        !ParseColumns(to_cols, &join.to.columns, error)) {
+      return false;
+    }
+    if (join.from.table < 0 ||
+        join.from.table >= int(bi_case->tables.size()) ||
+        join.to.table < 0 || join.to.table >= int(bi_case->tables.size())) {
+      *error = "join references table out of range";
+      return false;
+    }
+    bi_case->ground_truth.joins.push_back(join.Normalized());
+  }
+  return true;
+}
+
+}  // namespace autobi

@@ -1,0 +1,29 @@
+#ifndef AUTOBI_CORE_CASE_IO_H_
+#define AUTOBI_CORE_CASE_IO_H_
+
+#include <string>
+
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// On-disk persistence for BI cases: tables as one CSV per table plus a
+// `case.manifest` recording the case name, schema type and ground-truth
+// joins. This is the local analogue of the paper's harvested-model files —
+// it lets users keep benchmark cases, share them, and re-run methods
+// without regeneration.
+//
+// Layout:
+//   <dir>/case.manifest
+//   <dir>/<table_name>.csv        (one per table)
+
+// Writes the case. The directory must already exist; files are overwritten.
+bool SaveCase(const BiCase& bi_case, const std::string& dir,
+              std::string* error);
+
+// Reads a case previously written by SaveCase.
+bool LoadCase(const std::string& dir, BiCase* bi_case, std::string* error);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_CASE_IO_H_

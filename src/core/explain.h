@@ -1,0 +1,36 @@
+#ifndef AUTOBI_CORE_EXPLAIN_H_
+#define AUTOBI_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/auto_bi.h"
+
+namespace autobi {
+
+// Human-readable rationale for one predicted join: the calibrated
+// probability, whether the edge came from the precision-mode backbone or
+// recall mode, and the strongest evidence behind it. Self-service BI users
+// cannot debug a wrong join from a bare edge list (the paper's motivation
+// for case-level precision); explanations are the practical mitigation.
+struct JoinExplanation {
+  Join join;
+  double probability = 0.0;
+  // "precision-mode backbone" or "recall mode".
+  std::string stage;
+  // Evidence strings like "value containment 0.98", "column names highly
+  // similar", ordered by salience.
+  std::vector<std::string> evidence;
+
+  // One-line rendering.
+  std::string ToString(const std::vector<Table>& tables) const;
+};
+
+// Explains every join of an AutoBi prediction. `tables` must be the tables
+// the result was predicted from.
+std::vector<JoinExplanation> ExplainPrediction(
+    const std::vector<Table>& tables, const AutoBiResult& result);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_EXPLAIN_H_

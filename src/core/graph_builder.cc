@@ -1,0 +1,33 @@
+#include "core/graph_builder.h"
+
+#include "common/timer.h"
+
+namespace autobi {
+
+JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
+                         const CandidateSet& candidates,
+                         const LocalModel& model, bool schema_only,
+                         double* local_inference_seconds) {
+  Timer timer;
+  JoinGraph graph(static_cast<int>(tables.size()));
+  FeatureContext ctx;
+  ctx.tables = &tables;
+  ctx.profiles = &candidates.profiles;
+  ctx.frequency = &model.frequency();
+  for (const JoinCandidate& cand : candidates.candidates) {
+    double p = model.Score(ctx, cand, schema_only);
+    if (cand.one_to_one) {
+      graph.AddOneToOneEdge(cand.src.table, cand.dst.table, cand.src.columns,
+                            cand.dst.columns, p);
+    } else {
+      graph.AddEdge(cand.src.table, cand.dst.table, cand.src.columns,
+                    cand.dst.columns, p);
+    }
+  }
+  if (local_inference_seconds != nullptr) {
+    *local_inference_seconds = timer.Seconds();
+  }
+  return graph;
+}
+
+}  // namespace autobi

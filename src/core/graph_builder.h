@@ -1,0 +1,27 @@
+#ifndef AUTOBI_CORE_GRAPH_BUILDER_H_
+#define AUTOBI_CORE_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/local_model.h"
+#include "graph/join_graph.h"
+
+namespace autobi {
+
+// Algorithm 1: turns scored candidates into the weighted global join graph.
+// Each N:1 candidate becomes a directed edge (FK side -> PK side); each 1:1
+// candidate becomes a bi-directional edge pair. Edge weights are
+// w = -log(P) with P the calibrated local-classifier probability.
+//
+// Returns the graph; `edge_probabilities` come from `model` evaluated with
+// `schema_only` features. `local_inference_seconds`, if non-null, receives
+// the featurize+score latency (the Local-Inference component of Fig 5(b)).
+JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
+                         const CandidateSet& candidates,
+                         const LocalModel& model, bool schema_only,
+                         double* local_inference_seconds = nullptr);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_GRAPH_BUILDER_H_

@@ -1,0 +1,75 @@
+#ifndef AUTOBI_CORE_LOCAL_MODEL_H_
+#define AUTOBI_CORE_LOCAL_MODEL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "features/featurizer.h"
+#include "ml/calibration.h"
+#include "ml/random_forest.h"
+
+namespace autobi {
+
+// Which calibration technique maps raw classifier scores to probabilities.
+enum class CalibrationMethod { kPlatt, kIsotonic, kNone };
+
+// The trained local join-prediction models of Section 4.2: separate N:1 and
+// 1:1 classifiers (Appendix A), each in a full-feature and a schema-only
+// variant (the latter powers Auto-BI-S), plus per-classifier calibrators and
+// the corpus name-frequency table.
+class LocalModel {
+ public:
+  // Calibrated joinability probability of a candidate (Algorithm 1, Line 4).
+  // `schema_only` selects the metadata-only variant.
+  double Score(const FeatureContext& ctx, const JoinCandidate& cand,
+               bool schema_only) const;
+
+  bool trained() const { return n1_full_.trained(); }
+
+  // --- Accessors used by the Trainer (which owns fitting).
+  RandomForest& n1_full() { return n1_full_; }
+  RandomForest& n1_schema() { return n1_schema_; }
+  RandomForest& one_full() { return one_full_; }
+  RandomForest& one_schema() { return one_schema_; }
+  PlattCalibrator& platt(int index) { return platt_[index]; }
+  IsotonicCalibrator& isotonic(int index) { return isotonic_[index]; }
+  NameFrequency& frequency() { return frequency_; }
+  const NameFrequency& frequency() const { return frequency_; }
+
+  void set_split_one_to_one(bool v) { split_one_to_one_ = v; }
+  bool split_one_to_one() const { return split_one_to_one_; }
+  void set_calibration(CalibrationMethod m) { calibration_ = m; }
+  CalibrationMethod calibration() const { return calibration_; }
+
+  // Feature importances of the N:1 / 1:1 full-feature classifiers, paired
+  // with feature names (for the Appendix-B feature-importance report).
+  std::vector<std::pair<std::string, double>> N1FeatureImportance() const;
+  std::vector<std::pair<std::string, double>> OneToOneFeatureImportance()
+      const;
+
+  // Classifier indices for the calibrator arrays.
+  static constexpr int kN1Full = 0;
+  static constexpr int kN1Schema = 1;
+  static constexpr int kOneFull = 2;
+  static constexpr int kOneSchema = 3;
+
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  double Calibrate(int index, double raw) const;
+
+  RandomForest n1_full_, n1_schema_, one_full_, one_schema_;
+  PlattCalibrator platt_[4];
+  IsotonicCalibrator isotonic_[4];
+  NameFrequency frequency_;
+  Featurizer featurizer_;
+  bool split_one_to_one_ = true;
+  CalibrationMethod calibration_ = CalibrationMethod::kPlatt;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_LOCAL_MODEL_H_

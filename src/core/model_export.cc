@@ -1,0 +1,103 @@
+#include "core/model_export.h"
+
+#include "common/strings.h"
+
+namespace autobi {
+
+namespace {
+
+// Escapes a string for double-quoted DOT/JSON contexts.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string ColumnList(const std::vector<Table>& tables,
+                       const ColumnRef& ref, const char* sep = ", ") {
+  std::string out;
+  const Table& t = tables[size_t(ref.table)];
+  for (size_t i = 0; i < ref.columns.size(); ++i) {
+    if (i > 0) out += sep;
+    out += t.column(size_t(ref.columns[i])).name();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportDot(const std::vector<Table>& tables,
+                      const BiModel& model) {
+  std::string out = "digraph bi_model {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const Table& t : tables) {
+    out += StrFormat("  \"%s\";\n", Escape(t.name()).c_str());
+  }
+  for (const Join& join : model.joins) {
+    const std::string& from = tables[size_t(join.from.table)].name();
+    const std::string& to = tables[size_t(join.to.table)].name();
+    std::string label = Escape(ColumnList(tables, join.from) + " -> " +
+                               ColumnList(tables, join.to));
+    if (join.kind == JoinKind::kOneToOne) {
+      out += StrFormat(
+          "  \"%s\" -> \"%s\" [dir=both, style=dashed, label=\"%s\"];\n",
+          Escape(from).c_str(), Escape(to).c_str(), label.c_str());
+    } else {
+      out += StrFormat("  \"%s\" -> \"%s\" [label=\"%s\"];\n",
+                       Escape(from).c_str(), Escape(to).c_str(),
+                       label.c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ExportSqlDdl(const std::vector<Table>& tables,
+                         const BiModel& model) {
+  std::string out;
+  for (const Join& join : model.joins) {
+    const std::string& from = tables[size_t(join.from.table)].name();
+    const std::string& to = tables[size_t(join.to.table)].name();
+    if (join.kind == JoinKind::kOneToOne) {
+      out += StrFormat("-- 1:1 relationship: %s(%s) <-> %s(%s)\n",
+                       from.c_str(),
+                       ColumnList(tables, join.from).c_str(), to.c_str(),
+                       ColumnList(tables, join.to).c_str());
+      continue;
+    }
+    out += StrFormat(
+        "ALTER TABLE \"%s\" ADD FOREIGN KEY (%s) REFERENCES \"%s\" (%s);\n",
+        from.c_str(), ColumnList(tables, join.from).c_str(), to.c_str(),
+        ColumnList(tables, join.to).c_str());
+  }
+  return out;
+}
+
+std::string ExportJson(const std::vector<Table>& tables,
+                       const BiModel& model) {
+  std::string out = "{\n  \"tables\": [";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("\"%s\"", Escape(tables[i].name()).c_str());
+  }
+  out += "],\n  \"joins\": [\n";
+  for (size_t i = 0; i < model.joins.size(); ++i) {
+    const Join& join = model.joins[i];
+    out += StrFormat(
+        "    {\"from_table\": \"%s\", \"from_columns\": \"%s\", "
+        "\"to_table\": \"%s\", \"to_columns\": \"%s\", \"kind\": \"%s\"}%s\n",
+        Escape(tables[size_t(join.from.table)].name()).c_str(),
+        Escape(ColumnList(tables, join.from, ",")).c_str(),
+        Escape(tables[size_t(join.to.table)].name()).c_str(),
+        Escape(ColumnList(tables, join.to, ",")).c_str(),
+        join.kind == JoinKind::kOneToOne ? "1:1" : "N:1",
+        i + 1 < model.joins.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace autobi

@@ -1,0 +1,31 @@
+#ifndef AUTOBI_CORE_MODEL_EXPORT_H_
+#define AUTOBI_CORE_MODEL_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// Exporters that turn a predicted BI model into artifacts downstream tools
+// consume: Graphviz DOT (schema diagrams), SQL DDL (FOREIGN KEY clauses),
+// and a line-oriented JSON document.
+
+// Graphviz digraph: tables as nodes, N:1 joins as directed edges (FK -> PK),
+// 1:1 joins as bidirectional dashed edges. Column pairs label the edges.
+std::string ExportDot(const std::vector<Table>& tables, const BiModel& model);
+
+// ALTER TABLE ... ADD FOREIGN KEY statements for every N:1 join (1:1 joins
+// are emitted as comments, since SQL has no first-class 1:1 constraint).
+std::string ExportSqlDdl(const std::vector<Table>& tables,
+                         const BiModel& model);
+
+// A compact JSON document:
+// {"tables":[...names...],"joins":[{"from":...,"to":...,"kind":...}]}.
+std::string ExportJson(const std::vector<Table>& tables,
+                       const BiModel& model);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_MODEL_EXPORT_H_

@@ -1,0 +1,115 @@
+#include "core/schema_summary.h"
+
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace autobi {
+
+const char* TableRoleName(TableRole role) {
+  switch (role) {
+    case TableRole::kFact:
+      return "fact";
+    case TableRole::kHub:
+      return "hub";
+    case TableRole::kDimension:
+      return "dimension";
+    case TableRole::kIsolated:
+      return "isolated";
+  }
+  return "?";
+}
+
+std::vector<int> SchemaSummary::FactTables() const {
+  std::vector<int> out;
+  for (const TableSummary& t : tables) {
+    if (t.role == TableRole::kFact) out.push_back(t.table);
+  }
+  return out;
+}
+
+std::vector<int> SchemaSummary::HubTables() const {
+  std::vector<int> out;
+  for (const TableSummary& t : tables) {
+    if (t.role == TableRole::kHub) out.push_back(t.table);
+  }
+  return out;
+}
+
+SchemaSummary SummarizeSchema(const std::vector<Table>& tables,
+                              const BiModel& model) {
+  int n = int(tables.size());
+  SchemaSummary summary;
+  summary.tables.resize(size_t(n));
+  for (int i = 0; i < n; ++i) summary.tables[size_t(i)].table = i;
+
+  // Degrees + union-find connectivity.
+  std::vector<int> parent(static_cast<size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[size_t(x)] != x) {
+      parent[size_t(x)] = parent[size_t(parent[size_t(x)])];
+      x = parent[size_t(x)];
+    }
+    return x;
+  };
+  std::vector<char> joined(size_t(n), 0);
+  for (const Join& j : model.joins) {
+    joined[size_t(j.from.table)] = 1;
+    joined[size_t(j.to.table)] = 1;
+    parent[size_t(find(j.from.table))] = find(j.to.table);
+    if (j.kind == JoinKind::kNToOne) {
+      ++summary.tables[size_t(j.from.table)].out_degree;
+      ++summary.tables[size_t(j.to.table)].in_degree;
+    }
+  }
+
+  // Cluster ids (dense, joined components only; isolated tables get their
+  // own singleton clusters).
+  std::vector<int> cluster_of_root(size_t(n), -1);
+  int next_cluster = 0;
+  for (int i = 0; i < n; ++i) {
+    int root = find(i);
+    if (cluster_of_root[size_t(root)] < 0) {
+      cluster_of_root[size_t(root)] = next_cluster++;
+    }
+    summary.tables[size_t(i)].cluster = cluster_of_root[size_t(root)];
+  }
+  summary.num_clusters = next_cluster;
+
+  for (int i = 0; i < n; ++i) {
+    TableSummary& t = summary.tables[size_t(i)];
+    if (!joined[size_t(i)]) {
+      t.role = TableRole::kIsolated;
+    } else if (t.in_degree >= 2) {
+      t.role = TableRole::kHub;
+    } else if (t.in_degree == 0) {
+      t.role = TableRole::kFact;
+    } else {
+      t.role = TableRole::kDimension;
+    }
+  }
+  return summary;
+}
+
+std::string RenderSchemaSummary(const std::vector<Table>& tables,
+                                const SchemaSummary& summary) {
+  std::string out =
+      StrFormat("Schema summary: %zu tables, %d cluster(s)\n",
+                tables.size(), summary.num_clusters);
+  for (int c = 0; c < summary.num_clusters; ++c) {
+    std::vector<std::string> members;
+    for (const TableSummary& t : summary.tables) {
+      if (t.cluster != c) continue;
+      members.push_back(StrFormat("%s(%s in=%d out=%d)",
+                                  tables[size_t(t.table)].name().c_str(),
+                                  TableRoleName(t.role), t.in_degree,
+                                  t.out_degree));
+    }
+    out += StrFormat("  cluster %d: %s\n", c,
+                     JoinStrings(members, ", ").c_str());
+  }
+  return out;
+}
+
+}  // namespace autobi

@@ -1,0 +1,56 @@
+#ifndef AUTOBI_CORE_SCHEMA_SUMMARY_H_
+#define AUTOBI_CORE_SCHEMA_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// Schema summarization over a (predicted or ground-truth) BI model, in the
+// spirit of Yang et al. [57], which the paper invokes to explain why Auto-BI
+// works on OLTP schemas: tables cluster around a few "hub" tables
+// (Customers, Security, Trade in TPC-E). The summary classifies tables as
+// fact-like / hub / dimension / isolated and reports per-cluster membership.
+
+enum class TableRole {
+  kFact,       // Only outgoing joins (references others, nothing refers to it).
+  kHub,        // Referenced by 2+ tables (the spoke center).
+  kDimension,  // Referenced by exactly one table.
+  kIsolated,   // No joins at all.
+};
+
+const char* TableRoleName(TableRole role);
+
+struct TableSummary {
+  int table = -1;
+  TableRole role = TableRole::kIsolated;
+  int in_degree = 0;   // Joins referencing this table.
+  int out_degree = 0;  // Joins this table makes to others.
+  int cluster = -1;    // Weakly-connected component id.
+};
+
+struct SchemaSummary {
+  std::vector<TableSummary> tables;
+  int num_clusters = 0;
+
+  // Index of every fact-like table (candidate analysis entry points).
+  std::vector<int> FactTables() const;
+  // Index of every hub (in-degree >= 2).
+  std::vector<int> HubTables() const;
+};
+
+// Summarizes the schema graph induced by `model` over `tables`. 1:1 joins
+// count toward connectivity but not toward in/out degrees (both sides are
+// peers of one logical entity).
+SchemaSummary SummarizeSchema(const std::vector<Table>& tables,
+                              const BiModel& model);
+
+// Multi-line human-readable report.
+std::string RenderSchemaSummary(const std::vector<Table>& tables,
+                                const SchemaSummary& summary);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_SCHEMA_SUMMARY_H_

@@ -1,0 +1,58 @@
+#ifndef AUTOBI_CORE_TRAINER_H_
+#define AUTOBI_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/bi_model.h"
+#include "core/candidates.h"
+#include "core/local_model.h"
+#include "ml/random_forest.h"
+
+namespace autobi {
+
+struct TrainerOptions {
+  CandidateGenOptions candidates;
+  ForestOptions forest;
+  // Train separate N:1 / 1:1 classifiers (Appendix A). Disabled by the
+  // "no-N-1/1-1-seperation" ablation of Figure 8.
+  bool split_one_to_one = true;
+  // Apply label transitivity (Appendix A): columns connected through chains
+  // of ground-truth joins are positive pairs even without a direct join.
+  // Disabled by the "no-label-transitivity" ablation.
+  bool label_transitivity = true;
+  CalibrationMethod calibration = CalibrationMethod::kPlatt;
+  // Fraction of examples held out for calibrator fitting and reporting.
+  double calibration_holdout = 0.25;
+  uint64_t seed = 7;
+};
+
+// Offline-training telemetry.
+struct TrainerReport {
+  size_t num_cases = 0;
+  size_t n1_examples = 0;
+  size_t n1_positives = 0;
+  size_t one_examples = 0;
+  size_t one_positives = 0;
+  // Holdout quality of the calibrated full-feature classifiers.
+  double n1_auc = 0.5;
+  double one_auc = 0.5;
+  double n1_calibration_error = 0.0;
+  double one_calibration_error = 0.0;
+};
+
+// The offline component of Figure 2: harvest (tables, ground-truth joins)
+// pairs from the corpus, label candidates (with transitivity), featurize,
+// fit the four forests, and calibrate scores into probabilities.
+LocalModel TrainLocalModel(const std::vector<BiCase>& corpus,
+                           const TrainerOptions& options = {},
+                           TrainerReport* report = nullptr);
+
+// Labels one case's candidates against its ground truth, applying label
+// transitivity when requested. Exposed for tests.
+std::vector<int> LabelCandidates(const BiCase& bi_case,
+                                 const std::vector<JoinCandidate>& candidates,
+                                 bool label_transitivity);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_TRAINER_H_

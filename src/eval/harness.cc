@@ -1,0 +1,41 @@
+#include "eval/harness.h"
+
+namespace autobi {
+
+AggregateMetrics MethodResults::Quality() const {
+  std::vector<EdgeMetrics> per_case;
+  per_case.reserve(cases.size());
+  for (const CaseResult& r : cases) per_case.push_back(r.metrics);
+  return Aggregate(per_case);
+}
+
+std::vector<double> MethodResults::TotalSeconds() const {
+  std::vector<double> out;
+  out.reserve(cases.size());
+  for (const CaseResult& r : cases) out.push_back(r.timing.Total());
+  return out;
+}
+
+MethodResults RunMethod(const JoinPredictor& method,
+                        const std::vector<BiCase>& cases) {
+  MethodResults results;
+  results.method = method.name();
+  results.cases.reserve(cases.size());
+  for (const BiCase& bi_case : cases) {
+    CaseResult r;
+    BiModel predicted = method.Predict(bi_case.tables, &r.timing);
+    r.metrics = EvaluateCase(bi_case, predicted);
+    results.cases.push_back(r);
+  }
+  return results;
+}
+
+AggregateMetrics QualityOnSubset(const MethodResults& results,
+                                 const std::vector<size_t>& indices) {
+  std::vector<EdgeMetrics> per_case;
+  per_case.reserve(indices.size());
+  for (size_t i : indices) per_case.push_back(results.cases[i].metrics);
+  return Aggregate(per_case);
+}
+
+}  // namespace autobi

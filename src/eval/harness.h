@@ -1,0 +1,39 @@
+#ifndef AUTOBI_EVAL_HARNESS_H_
+#define AUTOBI_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "eval/metrics.h"
+
+namespace autobi {
+
+// Result of running one method on one case.
+struct CaseResult {
+  EdgeMetrics metrics;
+  AutoBiTiming timing;
+};
+
+// Result of running one method over a benchmark.
+struct MethodResults {
+  std::string method;
+  std::vector<CaseResult> cases;
+
+  AggregateMetrics Quality() const;
+  // Total end-to-end seconds per case.
+  std::vector<double> TotalSeconds() const;
+};
+
+// Runs `method` on every case, evaluating against each case's ground truth.
+MethodResults RunMethod(const JoinPredictor& method,
+                        const std::vector<BiCase>& cases);
+
+// Quality restricted to a subset of case indices (bucketized reporting,
+// Tables 7/8/11/12).
+AggregateMetrics QualityOnSubset(const MethodResults& results,
+                                 const std::vector<size_t>& indices);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_EVAL_HARNESS_H_

@@ -1,0 +1,122 @@
+#include "eval/metrics.h"
+
+#include <map>
+
+#include "common/stats_util.h"
+
+namespace autobi {
+
+namespace {
+
+// Union-find over the ColumnRefs connected by ground-truth 1:1 joins,
+// implementing footnote 7's semantic equivalence.
+class OneToOneClasses {
+ public:
+  explicit OneToOneClasses(const BiModel& ground_truth) {
+    for (const Join& j : ground_truth.joins) {
+      if (j.kind == JoinKind::kOneToOne) {
+        Union(Intern(j.from), Intern(j.to));
+      }
+    }
+  }
+
+  // Class id of a ref; refs not touched by any 1:1 join get a singleton id.
+  int ClassOf(const ColumnRef& ref) {
+    return Find(Intern(ref));
+  }
+
+ private:
+  int Intern(const ColumnRef& ref) {
+    auto it = ids_.find(ref);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(parent_.size());
+    ids_.emplace(ref, id);
+    parent_.push_back(id);
+    return id;
+  }
+  int Find(int x) {
+    while (parent_[size_t(x)] != x) {
+      parent_[size_t(x)] = parent_[size_t(parent_[size_t(x)])];
+      x = parent_[size_t(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[size_t(Find(a))] = Find(b); }
+
+  std::map<ColumnRef, int> ids_;
+  std::vector<int> parent_;
+};
+
+// Does `pred` match `truth` up to 1:1 class substitution?
+bool Matches(OneToOneClasses& classes, const Join& pred, const Join& truth) {
+  int pf = classes.ClassOf(pred.from);
+  int pt = classes.ClassOf(pred.to);
+  int tf = classes.ClassOf(truth.from);
+  int tt = classes.ClassOf(truth.to);
+  if (truth.kind == JoinKind::kOneToOne) {
+    // Both truth endpoints share a class; any predicted join inside that
+    // class (either kind, either orientation) identifies the relationship.
+    return pf == tf && pt == tf;
+  }
+  if (pred.kind == JoinKind::kOneToOne) {
+    // A predicted 1:1 matching an N:1 truth: endpoints may be either way.
+    return (pf == tf && pt == tt) || (pf == tt && pt == tf);
+  }
+  // N:1 vs N:1: direction matters.
+  return pf == tf && pt == tt;
+}
+
+}  // namespace
+
+EdgeMetrics EvaluateCase(const BiCase& bi_case, const BiModel& predicted) {
+  OneToOneClasses classes(bi_case.ground_truth);
+  EdgeMetrics m;
+  m.predicted = predicted.joins.size();
+  m.ground_truth = bi_case.ground_truth.joins.size();
+
+  std::vector<char> truth_used(bi_case.ground_truth.joins.size(), 0);
+  for (const Join& pred : predicted.joins) {
+    for (size_t t = 0; t < bi_case.ground_truth.joins.size(); ++t) {
+      if (truth_used[t]) continue;
+      if (Matches(classes, pred, bi_case.ground_truth.joins[t])) {
+        truth_used[t] = 1;
+        ++m.correct;
+        break;
+      }
+    }
+  }
+
+  if (m.predicted == 0) {
+    m.precision = (m.ground_truth == 0) ? 1.0 : 0.0;
+  } else {
+    m.precision = double(m.correct) / double(m.predicted);
+  }
+  if (m.ground_truth == 0) {
+    m.recall = (m.predicted == 0) ? 1.0 : 0.0;
+  } else {
+    m.recall = double(m.correct) / double(m.ground_truth);
+  }
+  m.f1 = FScore(m.precision, m.recall);
+  m.case_correct = (m.precision == 1.0);
+  return m;
+}
+
+AggregateMetrics Aggregate(const std::vector<EdgeMetrics>& per_case) {
+  AggregateMetrics agg;
+  agg.num_cases = per_case.size();
+  if (per_case.empty()) return agg;
+  for (const EdgeMetrics& m : per_case) {
+    agg.precision += m.precision;
+    agg.recall += m.recall;
+    agg.f1 += m.f1;
+    agg.case_precision += m.case_correct ? 1.0 : 0.0;
+  }
+  double n = double(per_case.size());
+  agg.precision /= n;
+  agg.recall /= n;
+  agg.f1 /= n;
+  agg.case_precision /= n;
+  return agg;
+}
+
+}  // namespace autobi

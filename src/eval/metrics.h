@@ -1,0 +1,41 @@
+#ifndef AUTOBI_EVAL_METRICS_H_
+#define AUTOBI_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// Per-case evaluation result (Section 5.1 metrics).
+struct EdgeMetrics {
+  size_t predicted = 0;
+  size_t ground_truth = 0;
+  size_t correct = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  // Case-level precision (Equation 20): 1 iff no incorrect edge predicted.
+  bool case_correct = false;
+};
+
+// Compares a predicted model against the case's ground truth. Matching
+// honors the paper's semantic-equivalence rule (footnote 7): endpoints may
+// be substituted across ground-truth 1:1 joins, so a predicted F -> B where
+// the truth is F -> A with A 1:1 B counts as correct. Each ground-truth join
+// can be matched by at most one prediction (and vice versa).
+EdgeMetrics EvaluateCase(const BiCase& bi_case, const BiModel& predicted);
+
+// Benchmark-level aggregates: per-case averages, as in Table 5.
+struct AggregateMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double case_precision = 0.0;
+  size_t num_cases = 0;
+};
+AggregateMetrics Aggregate(const std::vector<EdgeMetrics>& per_case);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_EVAL_METRICS_H_

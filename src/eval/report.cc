@@ -1,0 +1,68 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace autobi {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_sep = [&]() {
+    std::printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  print_sep();
+}
+
+std::string Fmt3(double v) { return StrFormat("%.3f", v); }
+
+std::string FmtSeconds(double v) {
+  // Sub-millisecond values (common for the C++ k-MCA-CC solver) switch to
+  // microsecond/millisecond units so distributions stay readable.
+  if (v < 0.0005) return StrFormat("%.0fus", v * 1e6);
+  if (v < 0.5) return StrFormat("%.2fms", v * 1e3);
+  return StrFormat("%.3fs", v);
+}
+
+}  // namespace autobi

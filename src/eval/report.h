@@ -1,0 +1,34 @@
+#ifndef AUTOBI_EVAL_REPORT_H_
+#define AUTOBI_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace autobi {
+
+// Fixed-width console table printer used by the benchmark binaries to
+// render paper-style tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Adds a separator line before the next row.
+  void AddSeparator();
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // Empty row == separator.
+};
+
+// "0.973" style formatting for metric cells.
+std::string Fmt3(double v);
+// "0.02s" style.
+std::string FmtSeconds(double v);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_EVAL_REPORT_H_

@@ -1,0 +1,307 @@
+#include "features/featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "profile/emd.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace autobi {
+
+namespace {
+
+// Concatenated display name of a (possibly composite) column reference.
+std::string RefName(const FeatureContext& ctx, const ColumnRef& ref) {
+  const Table& t = (*ctx.tables)[size_t(ref.table)];
+  std::string out;
+  for (size_t i = 0; i < ref.columns.size(); ++i) {
+    if (i > 0) out += " ";
+    out += t.column(size_t(ref.columns[i])).name();
+  }
+  return out;
+}
+
+const Table& RefTable(const FeatureContext& ctx, const ColumnRef& ref) {
+  return (*ctx.tables)[size_t(ref.table)];
+}
+
+const TableProfile& RefProfile(const FeatureContext& ctx,
+                               const ColumnRef& ref) {
+  return (*ctx.profiles)[size_t(ref.table)];
+}
+
+// Profile of the leading column of a composite ref (the dominant component
+// for column-level statistics).
+const ColumnProfile& LeadProfile(const FeatureContext& ctx,
+                                 const ColumnRef& ref) {
+  return RefProfile(ctx, ref).columns[size_t(ref.columns[0])];
+}
+
+// Mean over the ref's component columns.
+double MeanOver(const FeatureContext& ctx, const ColumnRef& ref,
+                double (*f)(const ColumnProfile&)) {
+  double sum = 0.0;
+  for (int c : ref.columns) {
+    sum += f(RefProfile(ctx, ref).columns[size_t(c)]);
+  }
+  return sum / static_cast<double>(ref.columns.size());
+}
+
+double DistinctRatioOf(const ColumnProfile& p) { return p.distinct_ratio; }
+double AvgLenOf(const ColumnProfile& p) { return p.avg_value_length; }
+
+// Mean (relative) position of the ref's columns, counting from the left.
+double MeanPosition(const ColumnRef& ref) {
+  double sum = 0.0;
+  for (int c : ref.columns) sum += static_cast<double>(c);
+  return sum / static_cast<double>(ref.columns.size());
+}
+
+// Position of the ref's lead column among *unique* columns from the left;
+// columns that are not key-like score as if last (Appendix B,
+// Unique_col_position).
+double UniquePosition(const FeatureContext& ctx, const ColumnRef& ref) {
+  const TableProfile& tp = RefProfile(ctx, ref);
+  int lead = ref.columns[0];
+  if (!tp.columns[size_t(lead)].IsUnique()) {
+    return static_cast<double>(tp.columns.size());
+  }
+  int pos = 0;
+  for (int c = 0; c < lead; ++c) {
+    if (tp.columns[size_t(c)].IsUnique()) ++pos;
+  }
+  return static_cast<double>(pos);
+}
+
+// Overlap of numeric [min,max] ranges relative to their union; 0 when either
+// side is non-numeric or empty.
+double RangeOverlap(const ColumnProfile& a, const ColumnProfile& b) {
+  if (!a.is_numeric || !b.is_numeric) return 0.0;
+  if (a.non_null_count == 0 || b.non_null_count == 0) return 0.0;
+  double lo = std::max(a.min_value, b.min_value);
+  double hi = std::min(a.max_value, b.max_value);
+  double union_lo = std::min(a.min_value, b.min_value);
+  double union_hi = std::max(a.max_value, b.max_value);
+  if (union_hi <= union_lo) return 1.0;  // Both ranges a single equal point.
+  return std::max(0.0, hi - lo) / (union_hi - union_lo);
+}
+
+double LogRows(size_t rows) { return std::log1p(static_cast<double>(rows)); }
+
+double BoundedRatio(double a, double b) {
+  double r = a / (b + 1.0);
+  return std::min(r, 100.0);
+}
+
+double TypeCode(ValueType t) { return static_cast<double>(t); }
+
+struct NamePair {
+  // All metadata similarities use max over (src vs dst) and (src vs
+  // dst-table-augmented dst), recovering entity names that live only in the
+  // dimension table's name (Appendix B).
+  double jaccard;
+  double containment;
+  double edit;
+  double jaro_winkler;
+  double embedding;
+};
+
+NamePair NameSimilarities(const FeatureContext& ctx,
+                          const NgramEmbedder& embedder,
+                          const ColumnRef& src, const ColumnRef& dst) {
+  std::string src_name = RefName(ctx, src);
+  std::string dst_name = RefName(ctx, dst);
+  std::string dst_aug = RefTable(ctx, dst).name() + " " + dst_name;
+
+  auto src_tokens = TokenizeIdentifier(src_name);
+  auto dst_tokens = TokenizeIdentifier(dst_name);
+  auto aug_tokens = TokenizeIdentifier(dst_aug);
+  std::string src_norm = NormalizeIdentifier(src_name);
+  std::string dst_norm = NormalizeIdentifier(dst_name);
+  std::string aug_norm = NormalizeIdentifier(dst_aug);
+
+  NamePair out;
+  out.jaccard = std::max(TokenJaccard(src_tokens, dst_tokens),
+                         TokenJaccard(src_tokens, aug_tokens));
+  out.containment = std::max(TokenContainment(src_tokens, dst_tokens),
+                             TokenContainment(src_tokens, aug_tokens));
+  out.edit = std::max(EditSimilarity(src_norm, dst_norm),
+                      EditSimilarity(src_norm, aug_norm));
+  out.jaro_winkler = std::max(JaroWinkler(src_norm, dst_norm),
+                              JaroWinkler(src_norm, aug_norm));
+  out.embedding = std::max(embedder.Similarity(src_name, dst_name),
+                           embedder.Similarity(src_name, dst_aug));
+  return out;
+}
+
+// Shared metadata block (the schema-only prefix of both classifiers).
+void AppendMetadataFeatures(const FeatureContext& ctx,
+                            const NgramEmbedder& embedder,
+                            const JoinCandidate& cand,
+                            std::vector<double>* f) {
+  NamePair sims = NameSimilarities(ctx, embedder, cand.src, cand.dst);
+  f->push_back(sims.jaccard);
+  f->push_back(sims.containment);
+  f->push_back(sims.edit);
+  f->push_back(sims.jaro_winkler);
+  f->push_back(sims.embedding);
+
+  std::string src_name = RefName(ctx, cand.src);
+  std::string dst_name = RefName(ctx, cand.dst);
+  f->push_back(double(TokenizeIdentifier(src_name).size()));
+  f->push_back(double(TokenizeIdentifier(dst_name).size()));
+  f->push_back(double(NormalizeIdentifier(src_name).size()));
+  f->push_back(double(NormalizeIdentifier(dst_name).size()));
+
+  double src_freq = 0.0, dst_freq = 0.0;
+  if (ctx.frequency != nullptr) {
+    src_freq = ctx.frequency->Frequency(src_name);
+    dst_freq = ctx.frequency->Frequency(dst_name);
+  }
+  f->push_back(src_freq);
+  f->push_back(dst_freq);
+
+  double src_cols = double(RefTable(ctx, cand.src).num_columns());
+  double dst_cols = double(RefTable(ctx, cand.dst).num_columns());
+  double src_pos = MeanPosition(cand.src);
+  double dst_pos = MeanPosition(cand.dst);
+  f->push_back(src_pos);
+  f->push_back(dst_pos);
+  f->push_back(src_cols > 0 ? src_pos / src_cols : 0.0);
+  f->push_back(dst_cols > 0 ? dst_pos / dst_cols : 0.0);
+  f->push_back(UniquePosition(ctx, cand.src));
+  f->push_back(UniquePosition(ctx, cand.dst));
+}
+
+std::vector<std::string> MetadataFeatureNames() {
+  return {
+      "Jaccard_similarity", "Jaccard_containment", "Edit_distance",
+      "Jaro_winkler",       "Embedding_similarity",
+      "Src_token_count",    "Dst_token_count",
+      "Src_char_count",     "Dst_char_count",
+      "Src_col_frequency",  "Dst_col_frequency",
+      "Src_col_position",   "Dst_col_position",
+      "Src_col_relative_position", "Dst_col_relative_position",
+      "Src_unique_col_position",   "Dst_unique_col_position",
+  };
+}
+
+}  // namespace
+
+std::vector<std::string> Featurizer::N1FeatureNames(bool schema_only) {
+  std::vector<std::string> names = MetadataFeatureNames();
+  if (schema_only) return names;
+  std::vector<std::string> data = {
+      "Left_containment",   "Right_containment", "Max_containment",
+      "Src_distinct_ratio", "Dst_distinct_ratio",
+      "Range_overlap",      "EMD_score",
+      "Src_value_length",   "Dst_value_length",
+      "Type_match",         "Src_type",          "Dst_type",
+      "Src_row_cnt",        "Dst_row_cnt",
+      "Row_ratio",          "Col_ratio",         "Cell_ratio",
+  };
+  names.insert(names.end(), data.begin(), data.end());
+  return names;
+}
+
+std::vector<std::string> Featurizer::OneToOneFeatureNames(bool schema_only) {
+  std::vector<std::string> names = MetadataFeatureNames();
+  names.push_back("Table_embedding");
+  names.push_back("Header_jaccard");
+  if (schema_only) return names;
+  std::vector<std::string> data = {
+      "Min_containment",    "Left_containment",  "Right_containment",
+      "Src_distinct_ratio", "Dst_distinct_ratio",
+      "Range_overlap",      "EMD_score",
+      "Src_value_length",   "Dst_value_length",
+      "Type_match",         "Src_type",          "Dst_type",
+      "Src_row_cnt",        "Dst_row_cnt",
+  };
+  names.insert(names.end(), data.begin(), data.end());
+  return names;
+}
+
+std::vector<double> Featurizer::FeaturizeN1(const FeatureContext& ctx,
+                                            const JoinCandidate& cand,
+                                            bool schema_only) const {
+  AUTOBI_CHECK(ctx.tables != nullptr && ctx.profiles != nullptr);
+  std::vector<double> f;
+  f.reserve(34);
+  AppendMetadataFeatures(ctx, embedder_, cand, &f);
+  if (schema_only) return f;
+
+  const ColumnProfile& ps = LeadProfile(ctx, cand.src);
+  const ColumnProfile& pd = LeadProfile(ctx, cand.dst);
+  f.push_back(cand.left_containment);
+  f.push_back(cand.right_containment);
+  f.push_back(std::max(cand.left_containment, cand.right_containment));
+  f.push_back(MeanOver(ctx, cand.src, DistinctRatioOf));
+  f.push_back(MeanOver(ctx, cand.dst, DistinctRatioOf));
+  f.push_back(RangeOverlap(ps, pd));
+  f.push_back(EmdScore(ps, pd));
+  f.push_back(MeanOver(ctx, cand.src, AvgLenOf));
+  f.push_back(MeanOver(ctx, cand.dst, AvgLenOf));
+  f.push_back(ps.type == pd.type ? 1.0 : 0.0);
+  f.push_back(TypeCode(ps.type));
+  f.push_back(TypeCode(pd.type));
+  double src_rows = double(RefProfile(ctx, cand.src).row_count);
+  double dst_rows = double(RefProfile(ctx, cand.dst).row_count);
+  double src_cols = double(RefTable(ctx, cand.src).num_columns());
+  double dst_cols = double(RefTable(ctx, cand.dst).num_columns());
+  f.push_back(LogRows(size_t(src_rows)));
+  f.push_back(LogRows(size_t(dst_rows)));
+  f.push_back(BoundedRatio(src_rows, dst_rows));
+  f.push_back(BoundedRatio(src_cols, dst_cols));
+  f.push_back(BoundedRatio(src_rows * src_cols, dst_rows * dst_cols));
+  return f;
+}
+
+std::vector<double> Featurizer::FeaturizeOneToOne(const FeatureContext& ctx,
+                                                  const JoinCandidate& cand,
+                                                  bool schema_only) const {
+  AUTOBI_CHECK(ctx.tables != nullptr && ctx.profiles != nullptr);
+  std::vector<double> f;
+  f.reserve(33);
+  AppendMetadataFeatures(ctx, embedder_, cand, &f);
+
+  // Table_embedding: 1:1 joins connect tables about the same entity.
+  const Table& ts = RefTable(ctx, cand.src);
+  const Table& td = RefTable(ctx, cand.dst);
+  f.push_back(embedder_.Similarity(ts.name(), td.name()));
+
+  // Header_jaccard over all column names of the two tables (high overlap of
+  // *all* headers between fact-like tables argues against a 1:1 join).
+  std::vector<std::string> hs, hd;
+  for (const Column& c : ts.columns()) {
+    auto toks = TokenizeIdentifier(c.name());
+    hs.insert(hs.end(), toks.begin(), toks.end());
+  }
+  for (const Column& c : td.columns()) {
+    auto toks = TokenizeIdentifier(c.name());
+    hd.insert(hd.end(), toks.begin(), toks.end());
+  }
+  f.push_back(TokenJaccard(hs, hd));
+  if (schema_only) return f;
+
+  const ColumnProfile& ps = LeadProfile(ctx, cand.src);
+  const ColumnProfile& pd = LeadProfile(ctx, cand.dst);
+  f.push_back(std::min(cand.left_containment, cand.right_containment));
+  f.push_back(cand.left_containment);
+  f.push_back(cand.right_containment);
+  f.push_back(MeanOver(ctx, cand.src, DistinctRatioOf));
+  f.push_back(MeanOver(ctx, cand.dst, DistinctRatioOf));
+  f.push_back(RangeOverlap(ps, pd));
+  f.push_back(EmdScore(ps, pd));
+  f.push_back(MeanOver(ctx, cand.src, AvgLenOf));
+  f.push_back(MeanOver(ctx, cand.dst, AvgLenOf));
+  f.push_back(ps.type == pd.type ? 1.0 : 0.0);
+  f.push_back(TypeCode(ps.type));
+  f.push_back(TypeCode(pd.type));
+  f.push_back(LogRows(RefProfile(ctx, cand.src).row_count));
+  f.push_back(LogRows(RefProfile(ctx, cand.dst).row_count));
+  return f;
+}
+
+}  // namespace autobi

@@ -1,0 +1,59 @@
+#ifndef AUTOBI_FEATURES_FEATURIZER_H_
+#define AUTOBI_FEATURES_FEATURIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "features/name_frequency.h"
+#include "profile/column_profile.h"
+#include "table/table.h"
+#include "text/embedding.h"
+
+namespace autobi {
+
+// Everything a featurizer call needs about the case being scored.
+struct FeatureContext {
+  const std::vector<Table>* tables = nullptr;
+  const std::vector<TableProfile>* profiles = nullptr;
+  // Corpus column-name frequencies (may be null before training).
+  const NameFrequency* frequency = nullptr;
+};
+
+// A candidate join to score: src is the prospective FK (N) side, dst the
+// prospective PK (1) side. Containments are precomputed by candidate
+// generation (they fall out of IND discovery).
+struct JoinCandidate {
+  ColumnRef src;
+  ColumnRef dst;
+  // Fraction of src distinct values present in dst, and vice versa.
+  double left_containment = 0.0;
+  double right_containment = 0.0;
+  // True if the candidate is 1:1-shaped (both sides key-like with mutual
+  // containment) and should be scored by the 1:1 classifier (Appendix A).
+  bool one_to_one = false;
+};
+
+// Computes the local-classifier feature vectors of Appendix B. Two distinct
+// feature sets are produced — N:1 and 1:1 — since the paper trains separate
+// classifiers per join kind; each also has a schema-only prefix used by
+// Auto-BI-S (metadata features only, no data access).
+class Featurizer {
+ public:
+  // Feature-name lists (positions match the produced vectors).
+  static std::vector<std::string> N1FeatureNames(bool schema_only);
+  static std::vector<std::string> OneToOneFeatureNames(bool schema_only);
+
+  std::vector<double> FeaturizeN1(const FeatureContext& ctx,
+                                  const JoinCandidate& cand,
+                                  bool schema_only) const;
+  std::vector<double> FeaturizeOneToOne(const FeatureContext& ctx,
+                                        const JoinCandidate& cand,
+                                        bool schema_only) const;
+
+ private:
+  NgramEmbedder embedder_;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_FEATURES_FEATURIZER_H_

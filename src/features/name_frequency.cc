@@ -1,0 +1,45 @@
+#include "features/name_frequency.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "text/tokenize.h"
+
+namespace autobi {
+
+void NameFrequency::Observe(std::string_view name) {
+  long& c = counts_[NormalizeIdentifier(name)];
+  ++c;
+  max_count_ = std::max(max_count_, c);
+}
+
+double NameFrequency::Frequency(std::string_view name) const {
+  if (max_count_ == 0) return 0.0;
+  auto it = counts_.find(NormalizeIdentifier(name));
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(max_count_);
+}
+
+void NameFrequency::Save(std::ostream& os) const {
+  os << "namefreq " << counts_.size() << " " << max_count_ << "\n";
+  for (const auto& [name, count] : counts_) {
+    os << count << " " << name << "\n";
+  }
+}
+
+bool NameFrequency::Load(std::istream& is) {
+  std::string tag;
+  size_t n = 0;
+  if (!(is >> tag >> n >> max_count_) || tag != "namefreq") return false;
+  counts_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    long count;
+    std::string name;
+    if (!(is >> count >> name)) return false;
+    counts_[name] = count;
+  }
+  return true;
+}
+
+}  // namespace autobi

@@ -1,0 +1,37 @@
+#ifndef AUTOBI_FEATURES_NAME_FREQUENCY_H_
+#define AUTOBI_FEATURES_NAME_FREQUENCY_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace autobi {
+
+// Corpus-level column-name frequency statistics (the Col_frequency feature,
+// Appendix B): matches between common generic names ("id", "name", "code")
+// are less reliable evidence of joinability, analogous to IDF in TF-IDF.
+// Built from the training corpus during offline training and serialized with
+// the model.
+class NameFrequency {
+ public:
+  // Counts one occurrence of a (normalized) column name.
+  void Observe(std::string_view name);
+
+  // Relative frequency in [0, 1]: occurrences / max-occurrences. Unknown
+  // names score 0 (maximally specific).
+  double Frequency(std::string_view name) const;
+
+  size_t vocabulary_size() const { return counts_.size(); }
+
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+
+ private:
+  std::unordered_map<std::string, long> counts_;
+  long max_count_ = 0;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_FEATURES_NAME_FREQUENCY_H_

@@ -1,0 +1,99 @@
+#include "graph/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "graph/kmca_cc.h"
+#include "graph/validate.h"
+
+namespace autobi {
+
+std::optional<std::vector<int>> BruteForceMinArborescence(
+    int num_vertices, const std::vector<Arc>& arcs, int root) {
+  // Collect candidate in-arcs per non-root vertex.
+  std::vector<std::vector<int>> in_arcs(static_cast<size_t>(num_vertices));
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    const Arc& a = arcs[i];
+    if (a.src == a.dst || a.dst == root) continue;
+    in_arcs[size_t(a.dst)].push_back(static_cast<int>(i));
+  }
+  std::vector<int> targets;
+  for (int v = 0; v < num_vertices; ++v) {
+    if (v == root) continue;
+    if (in_arcs[size_t(v)].empty()) return std::nullopt;
+    targets.push_back(v);
+  }
+
+  std::optional<std::vector<int>> best;
+  double best_weight = std::numeric_limits<double>::infinity();
+  std::vector<size_t> choice(targets.size(), 0);
+  for (;;) {
+    std::vector<int> selection;
+    std::vector<std::pair<int, int>> pairs;
+    for (size_t t = 0; t < targets.size(); ++t) {
+      int ai = in_arcs[size_t(targets[t])][choice[t]];
+      selection.push_back(ai);
+      pairs.emplace_back(arcs[size_t(ai)].src, arcs[size_t(ai)].dst);
+    }
+    if (IsSpanningArborescence(num_vertices, pairs, root)) {
+      double w = ArcSetWeight(arcs, selection);
+      if (w < best_weight) {
+        best_weight = w;
+        best = selection;
+      }
+    }
+    // Odometer increment.
+    size_t t = 0;
+    while (t < targets.size()) {
+      if (++choice[t] < in_arcs[size_t(targets[t])].size()) break;
+      choice[t] = 0;
+      ++t;
+    }
+    if (t == targets.size()) break;
+  }
+  return best;
+}
+
+namespace {
+
+KmcaResult BruteForceSubsets(const JoinGraph& graph, double penalty_weight,
+                             bool enforce_fk_once) {
+  size_t m = graph.num_edges();
+  AUTOBI_CHECK_MSG(m <= 22, "brute force limited to 22 edges");
+  KmcaResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (uint64_t bits = 0; bits < (1ULL << m); ++bits) {
+    std::vector<int> ids;
+    std::vector<std::pair<int, int>> pairs;
+    for (size_t i = 0; i < m; ++i) {
+      if (bits & (1ULL << i)) {
+        ids.push_back(static_cast<int>(i));
+        const JoinEdge& e = graph.edge(static_cast<int>(i));
+        pairs.emplace_back(e.src, e.dst);
+      }
+    }
+    if (!IsKArborescence(graph.num_vertices(), pairs)) continue;
+    if (enforce_fk_once && !SatisfiesFkOnce(graph, ids)) continue;
+    double cost = KArborescenceCost(graph, ids, penalty_weight);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.edge_ids = ids;
+      best.k = graph.num_vertices() - static_cast<int>(ids.size());
+      best.feasible = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KmcaResult BruteForceKmca(const JoinGraph& graph, double penalty_weight) {
+  return BruteForceSubsets(graph, penalty_weight, /*enforce_fk_once=*/false);
+}
+
+KmcaResult BruteForceKmcaCc(const JoinGraph& graph, double penalty_weight) {
+  return BruteForceSubsets(graph, penalty_weight, /*enforce_fk_once=*/true);
+}
+
+}  // namespace autobi

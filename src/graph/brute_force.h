@@ -1,0 +1,30 @@
+#ifndef AUTOBI_GRAPH_BRUTE_FORCE_H_
+#define AUTOBI_GRAPH_BRUTE_FORCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/edmonds.h"
+#include "graph/kmca.h"
+
+namespace autobi {
+
+// Exhaustive reference solvers, used only by tests and the Figure-7
+// counterfactuals. Exponential in the number of edges: callers must keep
+// instances small (<= ~20 edges).
+
+// Reference 1-MCA: enumerates every in-arc choice per non-root vertex and
+// keeps the cheapest acyclic spanning selection. Returns arc indices.
+std::optional<std::vector<int>> BruteForceMinArborescence(
+    int num_vertices, const std::vector<Arc>& arcs, int root);
+
+// Reference k-MCA: enumerates all edge subsets, keeps the cheapest
+// k-arborescence under Equation 8.
+KmcaResult BruteForceKmca(const JoinGraph& graph, double penalty_weight);
+
+// Reference k-MCA-CC: as above, additionally requiring FK-once.
+KmcaResult BruteForceKmcaCc(const JoinGraph& graph, double penalty_weight);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_GRAPH_BRUTE_FORCE_H_

@@ -1,0 +1,33 @@
+#ifndef AUTOBI_GRAPH_EDMONDS_H_
+#define AUTOBI_GRAPH_EDMONDS_H_
+
+#include <optional>
+#include <vector>
+
+namespace autobi {
+
+// A directed arc for the arborescence solvers.
+struct Arc {
+  int src = -1;
+  int dst = -1;
+  double weight = 0.0;
+};
+
+// Chu-Liu/Edmonds' algorithm for the Minimum-Cost Arborescence problem
+// (1-MCA, Table 1): given a digraph on `num_vertices` vertices and a root,
+// find the minimum-weight set of arcs such that every vertex other than the
+// root has in-degree exactly 1 and all vertices are reachable from the root.
+//
+// Returns the indices (into `arcs`) of the selected arcs, or nullopt when no
+// spanning arborescence rooted at `root` exists. Multi-arcs are allowed;
+// self-loops and arcs into the root are ignored. O(V * E).
+std::optional<std::vector<int>> SolveMinCostArborescence(
+    int num_vertices, const std::vector<Arc>& arcs, int root);
+
+// Sum of the weights of `selected` arcs.
+double ArcSetWeight(const std::vector<Arc>& arcs,
+                    const std::vector<int>& selected);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_GRAPH_EDMONDS_H_

@@ -1,0 +1,124 @@
+#include "graph/ems.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "graph/validate.h"
+
+namespace autobi {
+
+namespace {
+
+// Feasibility of S ∪ J* under the EMS constraints.
+bool EmsFeasible(const JoinGraph& graph, const std::vector<int>& backbone,
+                 const std::vector<int>& extra) {
+  std::set<int> source_keys;
+  std::set<int> pair_ids;
+  std::vector<std::pair<int, int>> arcs;
+  auto add = [&](int id) {
+    const JoinEdge& e = graph.edge(id);
+    if (!source_keys.insert(e.source_key).second) return false;
+    if (e.pair_id >= 0 && !pair_ids.insert(e.pair_id).second) return false;
+    arcs.emplace_back(e.src, e.dst);
+    return true;
+  };
+  for (int id : backbone) {
+    if (!add(id)) return false;
+  }
+  for (int id : extra) {
+    if (!add(id)) return false;
+  }
+  return !HasDirectedCycle(graph.num_vertices(), arcs);
+}
+
+}  // namespace
+
+std::vector<int> SolveEmsGreedy(const JoinGraph& graph,
+                                const std::vector<int>& backbone,
+                                const EmsOptions& options) {
+  std::set<int> in_backbone(backbone.begin(), backbone.end());
+  std::set<int> used_source_keys;
+  std::set<int> used_pair_ids;
+  std::vector<std::pair<int, int>> arcs;  // Current S ∪ J* arc set.
+  for (int id : backbone) {
+    const JoinEdge& e = graph.edge(id);
+    used_source_keys.insert(e.source_key);
+    if (e.pair_id >= 0) used_pair_ids.insert(e.pair_id);
+    arcs.emplace_back(e.src, e.dst);
+  }
+
+  // Remaining promising edges R, most confident first (ties: smaller id for
+  // determinism).
+  std::vector<int> candidates;
+  for (const JoinEdge& e : graph.edges()) {
+    if (in_backbone.count(e.id)) continue;
+    if (e.probability < options.tau) continue;
+    candidates.push_back(e.id);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    double pa = graph.edge(a).probability;
+    double pb = graph.edge(b).probability;
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+
+  std::vector<int> selected;
+  for (int id : candidates) {
+    const JoinEdge& e = graph.edge(id);
+    if (used_source_keys.count(e.source_key)) continue;      // FK-once.
+    if (e.pair_id >= 0 && used_pair_ids.count(e.pair_id)) continue;
+    arcs.emplace_back(e.src, e.dst);
+    if (HasDirectedCycle(graph.num_vertices(), arcs)) {      // Equation 19.
+      arcs.pop_back();
+      continue;
+    }
+    selected.push_back(id);
+    used_source_keys.insert(e.source_key);
+    if (e.pair_id >= 0) used_pair_ids.insert(e.pair_id);
+  }
+  return selected;
+}
+
+std::vector<int> SolveEmsExact(const JoinGraph& graph,
+                               const std::vector<int>& backbone,
+                               const EmsOptions& options) {
+  std::set<int> in_backbone(backbone.begin(), backbone.end());
+  std::set<int> backbone_pairs;
+  for (int id : backbone) {
+    if (graph.edge(id).pair_id >= 0) {
+      backbone_pairs.insert(graph.edge(id).pair_id);
+    }
+  }
+  std::vector<int> remaining;
+  for (const JoinEdge& e : graph.edges()) {
+    if (in_backbone.count(e.id)) continue;
+    if (e.probability < options.tau) continue;
+    if (e.pair_id >= 0 && backbone_pairs.count(e.pair_id)) continue;
+    remaining.push_back(e.id);
+  }
+  AUTOBI_CHECK_MSG(remaining.size() <= 22,
+                   "SolveEmsExact limited to 22 remaining edges");
+
+  std::vector<int> best;
+  double best_logp = -1.0;
+  for (uint64_t bits = 0; bits < (1ULL << remaining.size()); ++bits) {
+    std::vector<int> subset;
+    double logp = 0.0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (bits & (1ULL << i)) {
+        subset.push_back(remaining[i]);
+        logp += std::log(graph.edge(remaining[i]).probability);
+      }
+    }
+    if (subset.size() < best.size()) continue;
+    if (subset.size() == best.size() && logp <= best_logp) continue;
+    if (!EmsFeasible(graph, backbone, subset)) continue;
+    best = subset;
+    best_logp = logp;
+  }
+  return best;
+}
+
+}  // namespace autobi

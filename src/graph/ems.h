@@ -1,0 +1,41 @@
+#ifndef AUTOBI_GRAPH_EMS_H_
+#define AUTOBI_GRAPH_EMS_H_
+
+#include <vector>
+
+#include "graph/join_graph.h"
+
+namespace autobi {
+
+struct EmsOptions {
+  // Precision threshold τ: only remaining edges with calibrated probability
+  // >= τ are candidates (footnote 5; default 0.5 — the natural cutoff for
+  // calibrated probabilities).
+  double tau = 0.5;
+};
+
+// Recall mode (Section 4.3.3): greedily grows additional joins S on top of
+// the precision-mode backbone J*, maximizing |S| subject to
+//   - FK-once over S ∪ J* (Equation 18),
+//   - no directed cycles in S ∪ J* (Equation 19),
+//   - at most one orientation per 1:1 pair.
+// Candidates are taken most-confident-first; EMS is NP-hard in general but a
+// greedy solve is near-optimal here because J* leaves little slack
+// (Section 4.3.3). Returns the ids of the added edges S (not including J*).
+std::vector<int> SolveEmsGreedy(const JoinGraph& graph,
+                                const std::vector<int>& backbone,
+                                const EmsOptions& options = {});
+
+// Exact EMS by exhaustive subset search over the remaining promising edges
+// R (Equations 17-19). Exponential in |R| — callers must keep |R| <= ~20.
+// Returns a maximum-cardinality feasible S, breaking ties by higher joint
+// probability. Used by tests and the ablation bench that validates the
+// paper's claim that the greedy solution is near-optimal in practice
+// (Section 4.3.3).
+std::vector<int> SolveEmsExact(const JoinGraph& graph,
+                               const std::vector<int>& backbone,
+                               const EmsOptions& options = {});
+
+}  // namespace autobi
+
+#endif  // AUTOBI_GRAPH_EMS_H_

@@ -1,0 +1,56 @@
+#include "graph/join_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace autobi {
+
+double JoinGraph::ClampProbability(double p) {
+  return std::min(1.0 - 1e-9, std::max(1e-9, p));
+}
+
+int JoinGraph::InternSourceKey(int src, const std::vector<int>& cols) {
+  std::string name = StrFormat("%d|", src);
+  for (int c : cols) name += StrFormat("%d,", c);
+  for (size_t i = 0; i < source_key_names_.size(); ++i) {
+    if (source_key_names_[i] == name) return static_cast<int>(i);
+  }
+  source_key_names_.push_back(name);
+  return static_cast<int>(source_key_names_.size()) - 1;
+}
+
+int JoinGraph::AddEdge(int src, int dst, std::vector<int> src_columns,
+                       std::vector<int> dst_columns, double probability,
+                       bool one_to_one, int pair_id) {
+  AUTOBI_CHECK(src >= 0 && src < num_vertices_);
+  AUTOBI_CHECK(dst >= 0 && dst < num_vertices_);
+  AUTOBI_CHECK(src != dst);
+  JoinEdge e;
+  e.id = static_cast<int>(edges_.size());
+  e.src = src;
+  e.dst = dst;
+  e.src_columns = std::move(src_columns);
+  e.dst_columns = std::move(dst_columns);
+  e.probability = ClampProbability(probability);
+  e.weight = -std::log(e.probability);
+  e.one_to_one = one_to_one;
+  e.pair_id = pair_id;
+  e.source_key = InternSourceKey(src, e.src_columns);
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+int JoinGraph::AddOneToOneEdge(int a, int b, std::vector<int> a_columns,
+                               std::vector<int> b_columns,
+                               double probability) {
+  int pair = next_pair_id_++;
+  AddEdge(a, b, a_columns, b_columns, probability, /*one_to_one=*/true, pair);
+  AddEdge(b, a, std::move(b_columns), std::move(a_columns), probability,
+          /*one_to_one=*/true, pair);
+  return pair;
+}
+
+}  // namespace autobi

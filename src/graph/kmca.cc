@@ -1,0 +1,63 @@
+#include "graph/kmca.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/edmonds.h"
+
+namespace autobi {
+
+double KArborescenceCost(const JoinGraph& graph,
+                         const std::vector<int>& edge_ids,
+                         double penalty_weight) {
+  double sum = 0.0;
+  for (int id : edge_ids) sum += graph.edge(id).weight;
+  int k = graph.num_vertices() - static_cast<int>(edge_ids.size());
+  return sum + (k - 1) * penalty_weight;
+}
+
+KmcaResult SolveKmca(const JoinGraph& graph, double penalty_weight,
+                     const std::vector<char>& mask, long* one_mca_calls) {
+  KmcaResult result;
+  int n = graph.num_vertices();
+  if (n == 0) {
+    result.feasible = true;
+    result.k = 0;
+    return result;
+  }
+
+  // Build the augmented instance G' = (V + {r}, E + {r->v}) of Algorithm 2.
+  // Arc indices < graph.num_edges() are real edges; the rest are artificial.
+  std::vector<Arc> arcs;
+  arcs.reserve(graph.num_edges() + static_cast<size_t>(n));
+  std::vector<int> arc_to_edge;
+  arc_to_edge.reserve(arcs.capacity());
+  for (const JoinEdge& e : graph.edges()) {
+    if (!mask.empty() && !mask[size_t(e.id)]) continue;
+    arcs.push_back(Arc{e.src, e.dst, e.weight});
+    arc_to_edge.push_back(e.id);
+  }
+  int artificial_root = n;
+  for (int v = 0; v < n; ++v) {
+    arcs.push_back(Arc{artificial_root, v, penalty_weight});
+    arc_to_edge.push_back(-1);
+  }
+
+  auto selected = SolveMinCostArborescence(n + 1, arcs, artificial_root);
+  if (one_mca_calls != nullptr) ++(*one_mca_calls);
+  // With the artificial root every vertex is reachable, so this always
+  // succeeds.
+  AUTOBI_CHECK(selected.has_value());
+
+  for (int ai : *selected) {
+    int edge_id = arc_to_edge[size_t(ai)];
+    if (edge_id >= 0) result.edge_ids.push_back(edge_id);
+  }
+  std::sort(result.edge_ids.begin(), result.edge_ids.end());
+  result.k = n - static_cast<int>(result.edge_ids.size());
+  result.cost = KArborescenceCost(graph, result.edge_ids, penalty_weight);
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace autobi

@@ -1,0 +1,45 @@
+#ifndef AUTOBI_GRAPH_KMCA_H_
+#define AUTOBI_GRAPH_KMCA_H_
+
+#include <cmath>
+#include <vector>
+
+#include "graph/join_graph.h"
+
+namespace autobi {
+
+// The paper's default virtual-edge penalty p = -log(0.5): a virtual edge is a
+// coin-toss join (Section 4.3.2).
+inline double DefaultPenaltyWeight() { return -std::log(0.5); }
+
+struct KmcaResult {
+  // Ids of selected JoinGraph edges (the k-arborescence J*).
+  std::vector<int> edge_ids;
+  // Objective value: sum of edge weights + (k-1) * p (Equation 8).
+  double cost = 0.0;
+  // Number of arborescences (connected components).
+  int k = 0;
+  bool feasible = false;
+};
+
+// Objective value of an edge set under Equation 8 (cost of the induced
+// k-arborescence; k is derived as |V| - |J|).
+double KArborescenceCost(const JoinGraph& graph,
+                         const std::vector<int>& edge_ids,
+                         double penalty_weight);
+
+// Algorithm 2: solves k-MCA optimally by adding an artificial root with
+// penalty-weight edges to every vertex, solving one 1-MCA instance, and
+// stripping the artificial edges. Polynomial time (Theorem 2).
+//
+// `mask`: optional per-edge availability (used by the branch-and-bound of
+// k-MCA-CC); empty means all edges available. `one_mca_calls`, if non-null,
+// is incremented by the number of Chu-Liu/Edmonds invocations (one here) —
+// the counter reported in Figure 7.
+KmcaResult SolveKmca(const JoinGraph& graph, double penalty_weight,
+                     const std::vector<char>& mask = {},
+                     long* one_mca_calls = nullptr);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_GRAPH_KMCA_H_

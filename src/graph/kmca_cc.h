@@ -1,0 +1,62 @@
+#ifndef AUTOBI_GRAPH_KMCA_CC_H_
+#define AUTOBI_GRAPH_KMCA_CC_H_
+
+#include <vector>
+
+#include "graph/join_graph.h"
+#include "graph/kmca.h"
+
+namespace autobi {
+
+struct KmcaCcOptions {
+  // Virtual-edge penalty p (Equation 14); defaults to -log(0.5).
+  double penalty_weight = DefaultPenaltyWeight();
+  // Disables the FK-once constraint (ablation "no-FK-once-constraint",
+  // Figure 8) — the solve then degenerates to plain k-MCA.
+  bool enforce_fk_once = true;
+  // Safety valve on branch-and-bound recursion; the optimum is still
+  // returned for every case in our benchmarks (real conflict sets are
+  // sparse), this only guards against adversarial inputs.
+  long max_one_mca_calls = 2'000'000;
+};
+
+struct KmcaCcStats {
+  // Number of 1-MCA (Chu-Liu/Edmonds) invocations — the Figure 7 metric.
+  long one_mca_calls = 0;
+  // Branch-and-bound tree nodes explored.
+  long nodes = 0;
+  // Nodes cut by the bound (Line 4 of Algorithm 3).
+  long pruned = 0;
+  // True if max_one_mca_calls was hit (result may then be suboptimal).
+  bool budget_exhausted = false;
+};
+
+// Algorithm 3: solves k-MCA-CC (k-MCA + the FK-once cardinality constraint,
+// Equations 14-16) optimally via branch-and-bound over conflicting edge sets.
+// NP-hard and Exp-APX-complete in general (Theorem 3), efficient on real
+// schema graphs where few candidate edges share a source column.
+KmcaResult SolveKmcaCc(const JoinGraph& graph,
+                       const KmcaCcOptions& options = {},
+                       KmcaCcStats* stats = nullptr);
+
+// True if the edge set satisfies FK-once (Equation 16): no two selected
+// edges share the same source column set.
+bool SatisfiesFkOnce(const JoinGraph& graph, const std::vector<int>& edge_ids);
+
+// --- Counterfactual cost estimators for Figure 7. Both return the *count of
+// 1-MCA invocations* the unoptimized algorithms would need (computed
+// analytically; actually running them would time out, as the paper notes).
+
+// Brute-force k-MCA without the artificial-root reduction: one 1-MCA call
+// per block of every set partition of the vertices, i.e.
+// sum over k of S(n,k) * k (Stirling numbers of the second kind).
+double EstimateBruteForceKmcaCalls(int num_vertices);
+
+// k-MCA-CC without branch-and-bound pruning: exhaustive enumeration of one
+// edge per conflict group — the product of conflict-group sizes over all
+// FK-once groups with >= 2 candidate edges.
+double EstimateUnprunedBranchCalls(const JoinGraph& graph);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_GRAPH_KMCA_CC_H_

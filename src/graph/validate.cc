@@ -1,0 +1,106 @@
+#include "graph/validate.h"
+
+#include <cstddef>
+#include <numeric>
+
+using std::size_t;
+
+namespace autobi {
+
+namespace {
+
+// Union-find over vertex ids.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int n) : parent_(static_cast<size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[size_t(x)] != x) {
+      parent_[size_t(x)] = parent_[size_t(parent_[size_t(x)])];
+      x = parent_[size_t(x)];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return false;
+    parent_[size_t(ra)] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+bool HasDirectedCycle(int num_vertices,
+                      const std::vector<std::pair<int, int>>& arcs) {
+  std::vector<std::vector<int>> adj(static_cast<size_t>(num_vertices));
+  for (const auto& [u, v] : arcs) adj[size_t(u)].push_back(v);
+  // Iterative DFS with colors: 0 unvisited, 1 on stack, 2 done.
+  std::vector<int> color(static_cast<size_t>(num_vertices), 0);
+  std::vector<std::pair<int, size_t>> stack;
+  for (int s = 0; s < num_vertices; ++s) {
+    if (color[size_t(s)] != 0) continue;
+    stack.emplace_back(s, 0);
+    color[size_t(s)] = 1;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adj[size_t(v)].size()) {
+        int w = adj[size_t(v)][next++];
+        if (color[size_t(w)] == 1) return true;
+        if (color[size_t(w)] == 0) {
+          color[size_t(w)] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[size_t(v)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+bool IsKArborescence(int num_vertices,
+                     const std::vector<std::pair<int, int>>& arcs,
+                     int* k_out) {
+  std::vector<int> in_degree(static_cast<size_t>(num_vertices), 0);
+  for (const auto& [u, v] : arcs) {
+    (void)u;
+    if (++in_degree[size_t(v)] > 1) return false;
+  }
+  if (HasDirectedCycle(num_vertices, arcs)) return false;
+  if (k_out != nullptr) *k_out = CountWeakComponents(num_vertices, arcs);
+  return true;
+}
+
+bool IsSpanningArborescence(int num_vertices,
+                            const std::vector<std::pair<int, int>>& arcs,
+                            int root) {
+  int k = 0;
+  if (!IsKArborescence(num_vertices, arcs, &k)) return false;
+  if (k != 1) return false;
+  // Unique in-degree-0 vertex must be the root.
+  std::vector<int> in_degree(static_cast<size_t>(num_vertices), 0);
+  for (const auto& [u, v] : arcs) {
+    (void)u;
+    ++in_degree[size_t(v)];
+  }
+  return in_degree[size_t(root)] == 0;
+}
+
+int CountWeakComponents(int num_vertices,
+                        const std::vector<std::pair<int, int>>& arcs) {
+  DisjointSet ds(num_vertices);
+  int components = num_vertices;
+  for (const auto& [u, v] : arcs) {
+    if (ds.Union(u, v)) --components;
+  }
+  return components;
+}
+
+}  // namespace autobi

@@ -1,0 +1,38 @@
+#ifndef AUTOBI_GRAPH_VALIDATE_H_
+#define AUTOBI_GRAPH_VALIDATE_H_
+
+#include <utility>
+#include <vector>
+
+namespace autobi {
+
+// Structural predicates over arc sets, used to validate solver outputs and by
+// the recall-mode acyclicity constraint (Equation 19).
+
+// True if the digraph given by `arcs` (pairs src -> dst over `num_vertices`
+// vertices) contains a directed cycle.
+bool HasDirectedCycle(int num_vertices,
+                      const std::vector<std::pair<int, int>>& arcs);
+
+// True if `arcs` form a k-arborescence (Definition 3): every vertex has
+// in-degree <= 1 and there is no directed cycle. When true and `k_out` is
+// non-null, stores the number of weakly-connected components (isolated
+// vertices count as trivial arborescences).
+bool IsKArborescence(int num_vertices,
+                     const std::vector<std::pair<int, int>>& arcs,
+                     int* k_out = nullptr);
+
+// True if `arcs` form a single spanning arborescence rooted at `root`
+// (Definition 2): exactly one directed path from root to every other vertex.
+bool IsSpanningArborescence(int num_vertices,
+                            const std::vector<std::pair<int, int>>& arcs,
+                            int root);
+
+// Number of weakly-connected components of the digraph (isolated vertices
+// included).
+int CountWeakComponents(int num_vertices,
+                        const std::vector<std::pair<int, int>>& arcs);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_GRAPH_VALIDATE_H_

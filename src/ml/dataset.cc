@@ -1,0 +1,40 @@
+#include "ml/dataset.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace autobi {
+
+void Dataset::Add(const std::vector<double>& features, int label) {
+  AUTOBI_CHECK(features.size() == num_features());
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+std::vector<double> Dataset::Row(size_t row) const {
+  size_t nf = num_features();
+  return std::vector<double>(features_.begin() + row * nf,
+                             features_.begin() + (row + 1) * nf);
+}
+
+size_t Dataset::num_positives() const {
+  size_t n = 0;
+  for (int l : labels_) n += (l != 0);
+  return n;
+}
+
+void Dataset::Split(double train_fraction, Rng& rng, Dataset* train,
+                    Dataset* holdout) const {
+  *train = Dataset(feature_names_);
+  *holdout = Dataset(feature_names_);
+  std::vector<size_t> order(num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  size_t n_train = static_cast<size_t>(train_fraction * num_rows());
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < n_train ? train : holdout)->Add(Row(order[i]), Label(order[i]));
+  }
+}
+
+}  // namespace autobi

@@ -1,0 +1,54 @@
+#ifndef AUTOBI_ML_DATASET_H_
+#define AUTOBI_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace autobi {
+
+// A dense supervised-learning dataset: row-major feature matrix plus binary
+// labels. Produced by the featurizer over harvested training BI models,
+// consumed by the classifiers (Section 4.2).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  size_t num_rows() const { return labels_.size(); }
+  size_t num_features() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  // Adds one example. `features.size()` must equal num_features().
+  void Add(const std::vector<double>& features, int label);
+
+  double Feature(size_t row, size_t feature) const {
+    return features_[row * num_features() + feature];
+  }
+  int Label(size_t row) const { return labels_[row]; }
+
+  // Feature vector of one row (copy).
+  std::vector<double> Row(size_t row) const;
+
+  // Number of positive labels.
+  size_t num_positives() const;
+
+  // Splits rows (after a seeded shuffle) into train/holdout with the given
+  // train fraction. Used to reserve calibration data.
+  void Split(double train_fraction, Rng& rng, Dataset* train,
+             Dataset* holdout) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> features_;  // Row-major.
+  std::vector<int> labels_;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_ML_DATASET_H_

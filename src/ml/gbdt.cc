@@ -1,0 +1,195 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace autobi {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+int Gbdt::BuildTree(Tree& tree, const Dataset& data,
+                    const std::vector<double>& gradient,
+                    const std::vector<double>& hessian,
+                    std::vector<size_t>& rows, size_t begin, size_t end,
+                    int depth, const GbdtOptions& options) const {
+  double g_sum = 0.0;
+  double h_sum = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    g_sum += gradient[rows[i]];
+    h_sum += hessian[rows[i]];
+  }
+  int node_index = static_cast<int>(tree.size());
+  tree.emplace_back();
+  // Newton leaf value: -sum(g) / sum(h), lightly regularized.
+  tree[size_t(node_index)].value = -g_sum / (h_sum + 1.0);
+
+  size_t n = end - begin;
+  if (depth >= options.max_depth || n < 2 * options.min_samples_leaf) {
+    return node_index;
+  }
+
+  // Best split by gain of the Newton objective: G^2/H improvement.
+  double parent_score = g_sum * g_sum / (h_sum + 1.0);
+  double best_gain = 1e-10;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, size_t>> vals;
+  vals.reserve(n);
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    vals.clear();
+    for (size_t i = begin; i < end; ++i) {
+      vals.emplace_back(data.Feature(rows[i], f), rows[i]);
+    }
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;
+    double gl = 0.0;
+    double hl = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      gl += gradient[vals[i].second];
+      hl += hessian[vals[i].second];
+      if (vals[i].first == vals[i + 1].first) continue;
+      size_t left_n = i + 1;
+      if (left_n < options.min_samples_leaf ||
+          n - left_n < options.min_samples_leaf) {
+        continue;
+      }
+      double gr = g_sum - gl;
+      double hr = h_sum - hl;
+      double gain =
+          gl * gl / (hl + 1.0) + gr * gr / (hr + 1.0) - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (data.Feature(rows[i], size_t(best_feature)) <= best_threshold) {
+      std::swap(rows[i], rows[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) return node_index;
+
+  tree[size_t(node_index)].feature = best_feature;
+  tree[size_t(node_index)].threshold = best_threshold;
+  int left = BuildTree(tree, data, gradient, hessian, rows, begin, mid,
+                       depth + 1, options);
+  int right = BuildTree(tree, data, gradient, hessian, rows, mid, end,
+                        depth + 1, options);
+  tree[size_t(node_index)].left = left;
+  tree[size_t(node_index)].right = right;
+  return node_index;
+}
+
+double Gbdt::Evaluate(const Tree& tree, const std::vector<double>& features) {
+  int cur = 0;
+  for (;;) {
+    const Node& node = tree[size_t(cur)];
+    if (node.feature < 0) return node.value;
+    cur = features[size_t(node.feature)] <= node.threshold ? node.left
+                                                           : node.right;
+  }
+}
+
+void Gbdt::Fit(const Dataset& data, const GbdtOptions& options, Rng& rng) {
+  AUTOBI_CHECK(data.num_rows() > 0);
+  trees_.clear();
+  size_t n = data.num_rows();
+  double pos = double(data.num_positives());
+  double neg = double(n) - pos;
+  base_score_ = std::log((pos + 1.0) / (neg + 1.0));
+  learning_rate_ = options.learning_rate;
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> gradient(n);
+  std::vector<double> hessian(n);
+  std::vector<size_t> rows;
+  rows.reserve(n);
+  for (int round = 0; round < options.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      double p = Sigmoid(score[i]);
+      gradient[i] = p - (data.Label(i) ? 1.0 : 0.0);
+      hessian[i] = std::max(1e-9, p * (1.0 - p));
+    }
+    rows.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (options.subsample >= 1.0 || rng.NextBool(options.subsample)) {
+        rows.push_back(i);
+      }
+    }
+    if (rows.size() < 2 * options.min_samples_leaf) continue;
+    Tree tree;
+    BuildTree(tree, data, gradient, hessian, rows, 0, rows.size(), 0,
+              options);
+    for (size_t i = 0; i < n; ++i) {
+      score[i] += options.learning_rate * Evaluate(tree, data.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double Gbdt::PredictProba(const std::vector<double>& features) const {
+  AUTOBI_CHECK(trained());
+  double score = base_score_;
+  for (const Tree& tree : trees_) {
+    score += learning_rate_ * Evaluate(tree, features);
+  }
+  return Sigmoid(score);
+}
+
+void Gbdt::Save(std::ostream& os) const {
+  os.precision(17);
+  os << "gbdt " << trees_.size() << " " << base_score_ << " "
+     << learning_rate_ << "\n";
+  for (const Tree& tree : trees_) {
+    os << tree.size() << "\n";
+    for (const Node& n : tree) {
+      os << n.feature << " " << n.threshold << " " << n.left << " "
+         << n.right << " " << n.value << "\n";
+    }
+  }
+}
+
+bool Gbdt::Load(std::istream& is) {
+  std::string tag;
+  size_t count = 0;
+  if (!(is >> tag >> count >> base_score_ >> learning_rate_) ||
+      tag != "gbdt") {
+    return false;
+  }
+  trees_.assign(count, Tree{});
+  for (Tree& tree : trees_) {
+    size_t nodes = 0;
+    if (!(is >> nodes)) return false;
+    tree.assign(nodes, Node{});
+    for (Node& n : tree) {
+      if (!(is >> n.feature >> n.threshold >> n.left >> n.right >> n.value)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace autobi

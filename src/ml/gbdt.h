@@ -1,0 +1,64 @@
+#ifndef AUTOBI_ML_GBDT_H_
+#define AUTOBI_ML_GBDT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace autobi {
+
+struct GbdtOptions {
+  int num_rounds = 60;
+  double learning_rate = 0.15;
+  int max_depth = 4;
+  size_t min_samples_leaf = 5;
+  // Row subsampling per round (stochastic gradient boosting).
+  double subsample = 0.8;
+};
+
+// Gradient-boosted decision trees with logistic loss — an alternative local
+// classifier to the random forest (an extension beyond the paper's sklearn
+// setup, used by the classifier-choice ablation bench). Each round fits a
+// small regression tree to the loss gradient; leaf values use Friedman's
+// single Newton step for the logistic objective.
+class Gbdt {
+ public:
+  void Fit(const Dataset& data, const GbdtOptions& options, Rng& rng);
+
+  // Probability via sigmoid of the boosted score.
+  double PredictProba(const std::vector<double>& features) const;
+
+  bool trained() const { return !trees_.empty(); }
+  size_t num_rounds() const { return trees_.size(); }
+
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+
+ private:
+  struct Node {
+    int feature = -1;   // -1 for leaves.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  // Leaf output.
+  };
+  using Tree = std::vector<Node>;
+
+  int BuildTree(Tree& tree, const Dataset& data,
+                const std::vector<double>& gradient,
+                const std::vector<double>& hessian, std::vector<size_t>& rows,
+                size_t begin, size_t end, int depth,
+                const GbdtOptions& options) const;
+  static double Evaluate(const Tree& tree,
+                         const std::vector<double>& features);
+
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;     // Log-odds prior.
+  double learning_rate_ = 0.15;  // Shrinkage used at fit time.
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_ML_GBDT_H_

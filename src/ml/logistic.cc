@@ -1,0 +1,119 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace autobi {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+void LogisticRegression::Fit(const Dataset& data,
+                             const LogisticOptions& options) {
+  size_t n = data.num_rows();
+  size_t d = data.num_features();
+  AUTOBI_CHECK(n > 0 && d > 0);
+
+  // Standardize features for stable gradient descent.
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) mean_[j] += data.Feature(i, j);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double delta = data.Feature(i, j) - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    double s = std::sqrt(var[j] / static_cast<double>(n));
+    scale_[j] = s > 1e-12 ? s : 1.0;
+  }
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(d);
+  double prev_loss = 1e300;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) {
+        z += weights_[j] * (data.Feature(i, j) - mean_[j]) / scale_[j];
+      }
+      double p = Sigmoid(z);
+      double y = data.Label(i) ? 1.0 : 0.0;
+      double err = p - y;
+      for (size_t j = 0; j < d; ++j) {
+        grad[j] += err * (data.Feature(i, j) - mean_[j]) / scale_[j];
+      }
+      grad_b += err;
+      double pc = std::min(std::max(p, 1e-12), 1.0 - 1e-12);
+      loss += -(y * std::log(pc) + (1.0 - y) * std::log(1.0 - pc));
+    }
+    loss /= static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] = grad[j] / static_cast<double>(n) + options.l2 * weights_[j];
+      loss += 0.5 * options.l2 * weights_[j] * weights_[j];
+    }
+    grad_b /= static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      weights_[j] -= options.learning_rate * grad[j];
+    }
+    bias_ -= options.learning_rate * grad_b;
+    if (std::fabs(prev_loss - loss) < options.tolerance) break;
+    prev_loss = loss;
+  }
+}
+
+double LogisticRegression::PredictProba(
+    const std::vector<double>& features) const {
+  AUTOBI_CHECK(trained());
+  double z = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    z += weights_[j] * (features[j] - mean_[j]) / scale_[j];
+  }
+  return Sigmoid(z);
+}
+
+void LogisticRegression::Save(std::ostream& os) const {
+  os.precision(17);
+  os << "logistic " << weights_.size() << " " << bias_ << "\n";
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    os << weights_[j] << " " << mean_[j] << " " << scale_[j] << "\n";
+  }
+}
+
+bool LogisticRegression::Load(std::istream& is) {
+  std::string tag;
+  size_t d = 0;
+  if (!(is >> tag >> d >> bias_) || tag != "logistic") return false;
+  weights_.assign(d, 0.0);
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  for (size_t j = 0; j < d; ++j) {
+    if (!(is >> weights_[j] >> mean_[j] >> scale_[j])) return false;
+  }
+  return true;
+}
+
+}  // namespace autobi

@@ -1,0 +1,45 @@
+#ifndef AUTOBI_ML_LOGISTIC_H_
+#define AUTOBI_ML_LOGISTIC_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace autobi {
+
+struct LogisticOptions {
+  int max_iters = 200;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  double tolerance = 1e-7;
+};
+
+// L2-regularized logistic regression trained by batch gradient descent with
+// feature standardization. Serves two roles:
+//  - the 1-D case implements Platt scaling for probability calibration;
+//  - the multi-feature case is an alternative (linear) local classifier used
+//    in tests and ablations.
+class LogisticRegression {
+ public:
+  void Fit(const Dataset& data, const LogisticOptions& options = {});
+
+  double PredictProba(const std::vector<double>& features) const;
+
+  bool trained() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  void Save(std::ostream& os) const;
+  bool Load(std::istream& is);
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  double bias_ = 0.0;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_ML_LOGISTIC_H_

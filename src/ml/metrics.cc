@@ -1,0 +1,109 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autobi {
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<double>& scores,
+                                   const std::vector<int>& labels,
+                                   double threshold) {
+  AUTOBI_CHECK(scores.size() == labels.size());
+  BinaryMetrics m;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    bool pred = scores[i] >= threshold;
+    bool truth = labels[i] != 0;
+    if (pred && truth) ++m.true_positives;
+    else if (pred && !truth) ++m.false_positives;
+    else if (!pred && truth) ++m.false_negatives;
+    else ++m.true_negatives;
+  }
+  size_t n = scores.size();
+  if (n > 0) {
+    m.accuracy = double(m.true_positives + m.true_negatives) / double(n);
+  }
+  if (m.true_positives + m.false_positives > 0) {
+    m.precision = double(m.true_positives) /
+                  double(m.true_positives + m.false_positives);
+  }
+  if (m.true_positives + m.false_negatives > 0) {
+    m.recall = double(m.true_positives) /
+               double(m.true_positives + m.false_negatives);
+  }
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  AUTOBI_CHECK(scores.size() == labels.size());
+  // Rank-based (Mann-Whitney) computation with average ranks for ties.
+  size_t n = scores.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double avg_rank = (double(i) + double(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double n_pos = 0.0, rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k]) {
+      n_pos += 1.0;
+      rank_sum_pos += rank[k];
+    }
+  }
+  double n_neg = double(n) - n_pos;
+  if (n_pos == 0.0 || n_neg == 0.0) return 0.5;
+  return (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg);
+}
+
+double BrierScore(const std::vector<double>& scores,
+                  const std::vector<int>& labels) {
+  AUTOBI_CHECK(scores.size() == labels.size());
+  if (scores.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double err = scores[i] - (labels[i] ? 1.0 : 0.0);
+    sum += err * err;
+  }
+  return sum / double(scores.size());
+}
+
+double ExpectedCalibrationError(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                int num_bins) {
+  AUTOBI_CHECK(scores.size() == labels.size());
+  AUTOBI_CHECK(num_bins > 0);
+  if (scores.empty()) return 0.0;
+  std::vector<double> sum_p(num_bins, 0.0), sum_y(num_bins, 0.0);
+  std::vector<size_t> count(num_bins, 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    int b = std::min(num_bins - 1,
+                     static_cast<int>(scores[i] * num_bins));
+    b = std::max(0, b);
+    sum_p[b] += scores[i];
+    sum_y[b] += labels[i] ? 1.0 : 0.0;
+    ++count[b];
+  }
+  double ece = 0.0;
+  for (int b = 0; b < num_bins; ++b) {
+    if (count[b] == 0) continue;
+    double conf = sum_p[b] / double(count[b]);
+    double acc = sum_y[b] / double(count[b]);
+    ece += double(count[b]) / double(scores.size()) * std::fabs(conf - acc);
+  }
+  return ece;
+}
+
+}  // namespace autobi

@@ -1,0 +1,45 @@
+#ifndef AUTOBI_ML_METRICS_H_
+#define AUTOBI_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace autobi {
+
+// Classifier-quality metrics used by the offline training pipeline to report
+// local-classifier quality, and by tests to assert on calibration quality.
+
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t true_negatives = 0;
+};
+
+// Threshold-at-0.5 classification metrics.
+BinaryMetrics ComputeBinaryMetrics(const std::vector<double>& scores,
+                                   const std::vector<int>& labels,
+                                   double threshold = 0.5);
+
+// Area under the ROC curve (probability a random positive outranks a random
+// negative; ties count half). Returns 0.5 if either class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+// Brier score: mean squared error of probabilistic predictions.
+double BrierScore(const std::vector<double>& scores,
+                  const std::vector<int>& labels);
+
+// Expected calibration error with equal-width bins: weighted mean
+// |empirical positive rate - mean predicted probability| per bin.
+double ExpectedCalibrationError(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                int num_bins = 10);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_ML_METRICS_H_

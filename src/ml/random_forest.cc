@@ -1,0 +1,69 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace autobi {
+
+void RandomForest::Fit(const Dataset& data, const ForestOptions& options,
+                       Rng& rng) {
+  AUTOBI_CHECK(data.num_rows() > 0);
+  trees_.clear();
+  TreeOptions topt = options.tree;
+  if (options.sqrt_features && topt.features_per_split == 0) {
+    topt.features_per_split = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(data.num_features()))));
+  }
+  size_t sample_size = static_cast<size_t>(
+      options.sample_fraction * static_cast<double>(data.num_rows()));
+  if (sample_size == 0) sample_size = data.num_rows();
+  trees_.resize(static_cast<size_t>(options.num_trees));
+  std::vector<size_t> rows(sample_size);
+  for (DecisionTree& tree : trees_) {
+    for (size_t& r : rows) r = rng.NextBelow(data.num_rows());
+    tree.Fit(data, rows, topt, rng);
+  }
+}
+
+double RandomForest::PredictProba(const std::vector<double>& features) const {
+  AUTOBI_CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.PredictProba(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::FeatureImportance(
+    size_t num_features) const {
+  std::vector<double> importance(num_features, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    tree.AccumulateImportance(&importance);
+  }
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+void RandomForest::Save(std::ostream& os) const {
+  os << "forest " << trees_.size() << "\n";
+  for (const DecisionTree& tree : trees_) tree.Save(os);
+}
+
+bool RandomForest::Load(std::istream& is) {
+  std::string tag;
+  size_t count = 0;
+  if (!(is >> tag >> count) || tag != "forest") return false;
+  trees_.assign(count, DecisionTree{});
+  for (DecisionTree& tree : trees_) {
+    if (!tree.Load(is)) return false;
+  }
+  return true;
+}
+
+}  // namespace autobi

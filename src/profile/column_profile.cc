@@ -1,0 +1,85 @@
+#include "profile/column_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autobi {
+
+ColumnProfile ProfileColumn(const Column& col, size_t max_sample) {
+  ColumnProfile p;
+  p.type = col.type();
+  p.row_count = col.size();
+  p.non_null_count = col.num_non_null();
+  p.is_numeric =
+      col.type() == ValueType::kInt || col.type() == ValueType::kDouble;
+
+  std::string key;
+  double len_sum = 0.0;
+  bool first_numeric = true;
+  std::vector<double> numeric;
+  numeric.reserve(std::min(p.non_null_count, max_sample));
+  // Stride so the numeric sample covers the whole column.
+  size_t stride = 1;
+  if (p.is_numeric && p.non_null_count > max_sample) {
+    stride = (p.non_null_count + max_sample - 1) / max_sample;
+  }
+  size_t non_null_seen = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col.IsNull(i)) continue;
+    if (col.KeyAt(i, &key)) {
+      len_sum += static_cast<double>(key.size());
+      ++p.distinct[key];
+    }
+    if (p.is_numeric) {
+      double v = col.AsDouble(i);
+      if (first_numeric) {
+        p.min_value = p.max_value = v;
+        first_numeric = false;
+      } else {
+        p.min_value = std::min(p.min_value, v);
+        p.max_value = std::max(p.max_value, v);
+      }
+      if (non_null_seen % stride == 0 && numeric.size() < max_sample) {
+        numeric.push_back(v);
+      }
+    }
+    ++non_null_seen;
+  }
+  if (p.non_null_count > 0) {
+    p.distinct_ratio = static_cast<double>(p.distinct.size()) /
+                       static_cast<double>(p.non_null_count);
+    p.avg_value_length = len_sum / static_cast<double>(p.non_null_count);
+  }
+  std::sort(numeric.begin(), numeric.end());
+  p.sorted_numeric_sample = std::move(numeric);
+  return p;
+}
+
+TableProfile ProfileTable(const Table& table, size_t max_sample) {
+  TableProfile tp;
+  tp.row_count = table.num_rows();
+  tp.columns.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    tp.columns.push_back(ProfileColumn(table.column(c), max_sample));
+  }
+  return tp;
+}
+
+std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
+                                        size_t max_sample) {
+  std::vector<TableProfile> out;
+  out.reserve(tables.size());
+  for (const Table& t : tables) out.push_back(ProfileTable(t, max_sample));
+  return out;
+}
+
+double Containment(const ColumnProfile& a, const ColumnProfile& b) {
+  if (a.non_null_count == 0) return 0.0;
+  int64_t hits = 0;
+  for (const auto& [key, count] : a.distinct) {
+    if (b.distinct.count(key)) hits += count;
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.non_null_count);
+}
+
+}  // namespace autobi

@@ -1,0 +1,64 @@
+#ifndef AUTOBI_PROFILE_COLUMN_PROFILE_H_
+#define AUTOBI_PROFILE_COLUMN_PROFILE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+
+namespace autobi {
+
+// Precomputed per-column statistics shared by the IND/UCC discoverers, the
+// featurizers, and the baselines. Profiling is the only pass over the raw
+// data; everything downstream works off these summaries, which is what keeps
+// end-to-end inference fast (Figure 5).
+struct ColumnProfile {
+  ValueType type = ValueType::kNull;
+  size_t row_count = 0;
+  size_t non_null_count = 0;
+  // Distinct canonical keys of all non-null cells, with occurrence counts
+  // (counts make containment row-weighted; see Containment below).
+  std::unordered_map<std::string, int32_t> distinct;
+  // Distinct / non-null ratio (1.0 == column is a key candidate).
+  double distinct_ratio = 0.0;
+  // Numeric min/max (valid only if is_numeric).
+  bool is_numeric = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  // Sorted sample of numeric values, used for distribution features (EMD).
+  std::vector<double> sorted_numeric_sample;
+  // Average rendered value length (characters).
+  double avg_value_length = 0.0;
+
+  bool IsUnique() const {
+    return non_null_count > 0 && distinct.size() == non_null_count;
+  }
+};
+
+// Profile of every column of a table, plus table-level counts.
+struct TableProfile {
+  size_t row_count = 0;
+  std::vector<ColumnProfile> columns;
+};
+
+// Computes a profile for one column. `max_sample` bounds the numeric sample
+// retained for distribution features.
+ColumnProfile ProfileColumn(const Column& col, size_t max_sample = 512);
+
+// Profiles every column of `table`.
+TableProfile ProfileTable(const Table& table, size_t max_sample = 512);
+
+// Profiles every table of a case.
+std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
+                                        size_t max_sample = 512);
+
+// Row-weighted containment of A in B: the fraction of A's non-null cells
+// whose value appears among B's values. Row-weighting (rather than counting
+// distinct values) keeps true FK -> small-dimension joins detectable when a
+// handful of distinct junk values pollutes the FK column. 0 if A is empty.
+double Containment(const ColumnProfile& a, const ColumnProfile& b);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_PROFILE_COLUMN_PROFILE_H_

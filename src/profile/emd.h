@@ -1,0 +1,29 @@
+#ifndef AUTOBI_PROFILE_EMD_H_
+#define AUTOBI_PROFILE_EMD_H_
+
+#include <vector>
+
+#include "profile/column_profile.h"
+
+namespace autobi {
+
+// Earth Mover's Distance between two 1-D empirical distributions, the
+// "randomness" metric MC-FK [58] uses to decide whether an FK column's value
+// distribution looks like a random sample of the PK column.
+//
+// For 1-D distributions EMD equals the integral of |CDF_a - CDF_b|. Both
+// inputs must be sorted ascending. The result is normalized by the combined
+// value range so it lies in [0, 1] (0 == identical distributions).
+double NormalizedEmd(const std::vector<double>& sorted_a,
+                     const std::vector<double>& sorted_b);
+
+// EMD feature between two column profiles:
+//  - numeric columns use their sorted numeric samples;
+//  - string columns are mapped to numeric space via a stable hash so the
+//    metric still reflects distributional similarity of the key sets.
+// Returns 1.0 (maximally dissimilar) when either side has no values.
+double EmdScore(const ColumnProfile& a, const ColumnProfile& b);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_PROFILE_EMD_H_

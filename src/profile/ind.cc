@@ -1,0 +1,162 @@
+#include "profile/ind.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace autobi {
+
+namespace {
+
+// Tuple key of `columns` at row r (escaped '|' separators); false on null.
+bool TupleKey(const Table& table, const std::vector<int>& columns, size_t r,
+              std::string* out) {
+  out->clear();
+  std::string cell;
+  for (int c : columns) {
+    if (!table.column(static_cast<size_t>(c)).KeyAt(r, &cell)) return false;
+    for (char ch : cell) {
+      if (ch == '|' || ch == '\\') out->push_back('\\');
+      out->push_back(ch);
+    }
+    out->push_back('|');
+  }
+  return true;
+}
+
+// Cheap numeric-range disjointness screen: containment must be ~0 when the
+// dependent's range lies entirely outside the referenced range.
+bool RangesDisjoint(const ColumnProfile& a, const ColumnProfile& b) {
+  if (!a.is_numeric || !b.is_numeric) return false;
+  if (a.non_null_count == 0 || b.non_null_count == 0) return false;
+  return a.max_value < b.min_value || b.max_value < a.min_value;
+}
+
+}  // namespace
+
+double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const Table& tb, const std::vector<int>& cb) {
+  std::unordered_set<std::string> referenced;
+  referenced.reserve(tb.num_rows() * 2);
+  std::string key;
+  for (size_t r = 0; r < tb.num_rows(); ++r) {
+    if (TupleKey(tb, cb, r, &key)) referenced.insert(key);
+  }
+  // Row-weighted, matching the unary Containment semantics.
+  size_t total = 0;
+  size_t hits = 0;
+  for (size_t r = 0; r < ta.num_rows(); ++r) {
+    if (!TupleKey(ta, ca, r, &key)) continue;
+    ++total;
+    if (referenced.count(key)) ++hits;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
+                              const std::vector<TableProfile>& profiles,
+                              const std::vector<std::vector<Ucc>>& uccs,
+                              const IndOptions& options) {
+  std::vector<Ind> result;
+  int n = static_cast<int>(tables.size());
+  for (int ti = 0; ti < n; ++ti) {
+    for (int tj = 0; tj < n; ++tj) {
+      if (ti == tj) continue;
+      const TableProfile& pi = profiles[ti];
+      const TableProfile& pj = profiles[tj];
+      // --- Unary INDs.
+      for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
+        const ColumnProfile& pa = pi.columns[a];
+        if (pa.distinct.size() < options.min_distinct) continue;
+        for (int b = 0; b < static_cast<int>(pj.columns.size()); ++b) {
+          const ColumnProfile& pb = pj.columns[b];
+          if (pb.non_null_count == 0) continue;
+          if (pb.distinct_ratio < options.min_referenced_distinct_ratio) {
+            continue;
+          }
+          if (RangesDisjoint(pa, pb)) continue;
+          double c = Containment(pa, pb);
+          if (c >= options.min_containment) {
+            Ind ind;
+            ind.dependent = ColumnRef{ti, {a}};
+            ind.referenced = ColumnRef{tj, {b}};
+            ind.containment = c;
+            result.push_back(std::move(ind));
+          }
+        }
+      }
+      // --- Composite INDs: probe composite UCCs of the referenced table.
+      if (options.max_arity < 2) continue;
+      size_t probes = 0;
+      for (const Ucc& key : uccs[tj]) {
+        size_t arity = key.columns.size();
+        if (arity < 2 || arity > options.max_arity) continue;
+        // For each UCC component, collect plausible source columns by
+        // per-column containment pre-screen.
+        std::vector<std::vector<int>> component_candidates(arity);
+        bool viable = true;
+        for (size_t k = 0; k < arity; ++k) {
+          const ColumnProfile& pb = pj.columns[key.columns[k]];
+          for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
+            const ColumnProfile& pa = pi.columns[a];
+            if (pa.distinct.empty()) continue;
+            if (RangesDisjoint(pa, pb)) continue;
+            if (Containment(pa, pb) >= options.min_containment * 0.8) {
+              component_candidates[k].push_back(a);
+            }
+          }
+          if (component_candidates[k].empty()) {
+            viable = false;
+            break;
+          }
+        }
+        if (!viable) continue;
+        // Enumerate assignments (distinct source columns per component).
+        std::vector<int> assign(arity, -1);
+        std::vector<size_t> idx(arity, 0);
+        size_t level = 0;
+        while (true) {
+          if (idx[level] >= component_candidates[level].size()) {
+            if (level == 0) break;
+            idx[level] = 0;
+            --level;
+            ++idx[level];
+            continue;
+          }
+          int cand = component_candidates[level][idx[level]];
+          bool dup = false;
+          for (size_t k = 0; k < level; ++k) {
+            if (assign[k] == cand) {
+              dup = true;
+              break;
+            }
+          }
+          if (dup) {
+            ++idx[level];
+            continue;
+          }
+          assign[level] = cand;
+          if (level + 1 == arity) {
+            if (++probes > options.max_composite_probes) break;
+            std::vector<int> src(assign.begin(), assign.end());
+            double c = CompositeContainment(tables[ti], src, tables[tj],
+                                            key.columns);
+            if (c >= options.min_containment) {
+              Ind ind;
+              ind.dependent = ColumnRef{ti, src};
+              ind.referenced = ColumnRef{tj, key.columns};
+              ind.containment = c;
+              result.push_back(std::move(ind));
+            }
+            ++idx[level];
+          } else {
+            ++level;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace autobi

@@ -1,0 +1,60 @@
+#ifndef AUTOBI_PROFILE_IND_H_
+#define AUTOBI_PROFILE_IND_H_
+
+#include <vector>
+
+#include "profile/column_profile.h"
+#include "profile/ucc.h"
+#include "table/table.h"
+
+namespace autobi {
+
+// Approximate inclusion-dependency (IND) discovery. INDs are the candidate
+// generation step of Algorithm 1 (Line 3): every column pair (C_i, C_j) with
+// containment(C_i in C_j) above a threshold becomes a candidate join edge.
+
+struct IndOptions {
+  // Minimum fraction of the dependent (FK) side's distinct values contained
+  // in the referenced (PK) side. Real BI joins are often not perfectly
+  // inclusive, so this is < 1 by default.
+  double min_containment = 0.85;
+  // Dependent side must have at least this many distinct values (tiny
+  // domains overlap by accident).
+  size_t min_distinct = 1;
+  // Referenced side must have distinct ratio at least this (a join target
+  // should be key-like).
+  double min_referenced_distinct_ratio = 0.9;
+  // Also search composite (multi-column) INDs against composite UCCs of the
+  // referenced table, up to this arity. 1 disables composite search.
+  size_t max_arity = 2;
+  // Composite probes are capped per table pair.
+  size_t max_composite_probes = 64;
+};
+
+// One approximate inclusion dependency: dependent ⊆ referenced (dependent is
+// the prospective FK side, referenced the PK side).
+struct Ind {
+  ColumnRef dependent;
+  ColumnRef referenced;
+  // Fraction of dependent distinct values found in referenced.
+  double containment = 0.0;
+  bool IsComposite() const { return dependent.columns.size() > 1; }
+};
+
+// Exact containment of the composite tuple-set of (ta, ca) in (tb, cb):
+// fraction of distinct non-null tuples of `ca` that appear among tuples of
+// `cb`.
+double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const Table& tb, const std::vector<int>& cb);
+
+// Discovers all approximate INDs between distinct tables of `tables`.
+// `profiles` must come from ProfileTables(tables); `uccs[i]` are the UCCs of
+// table i (used to direct composite probes and filter referenced sides).
+std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
+                              const std::vector<TableProfile>& profiles,
+                              const std::vector<std::vector<Ucc>>& uccs,
+                              const IndOptions& options = {});
+
+}  // namespace autobi
+
+#endif  // AUTOBI_PROFILE_IND_H_

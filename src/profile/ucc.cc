@@ -1,0 +1,103 @@
+#include "profile/ucc.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace autobi {
+
+namespace {
+
+// Concatenates the canonical keys of `columns` at row r with an unambiguous
+// separator. Returns false if any cell is null.
+bool TupleKey(const Table& table, const std::vector<int>& columns, size_t r,
+              std::string* out) {
+  out->clear();
+  std::string cell;
+  for (int c : columns) {
+    if (!table.column(static_cast<size_t>(c)).KeyAt(r, &cell)) return false;
+    // Escape the separator so ("a|b","c") != ("a","b|c").
+    for (char ch : cell) {
+      if (ch == '|' || ch == '\\') out->push_back('\\');
+      out->push_back(ch);
+    }
+    out->push_back('|');
+  }
+  return true;
+}
+
+bool IsSubset(const std::vector<int>& small, const std::vector<int>& big) {
+  // Both sorted.
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+bool IsUniqueCombination(const Table& table, const std::vector<int>& columns) {
+  std::unordered_set<std::string> seen;
+  seen.reserve(table.num_rows() * 2);
+  std::string key;
+  size_t non_null_rows = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!TupleKey(table, columns, r, &key)) continue;
+    ++non_null_rows;
+    if (!seen.insert(key).second) return false;
+  }
+  return non_null_rows > 0;
+}
+
+std::vector<Ucc> DiscoverUccs(const Table& table, const TableProfile& profile,
+                              const UccOptions& options) {
+  std::vector<Ucc> result;
+  size_t ncols = table.num_columns();
+  if (ncols == 0 || table.num_rows() == 0) return result;
+
+  // Level 1: single columns.
+  std::vector<int> eligible;
+  for (size_t c = 0; c < ncols; ++c) {
+    const ColumnProfile& p = profile.columns[c];
+    if (p.non_null_count == 0) continue;
+    if (p.distinct_ratio < options.min_distinct_ratio) continue;
+    if (p.IsUnique()) {
+      result.push_back(Ucc{{static_cast<int>(c)}});
+    } else {
+      eligible.push_back(static_cast<int>(c));
+    }
+  }
+
+  // Higher levels: apriori over non-unique eligible columns; any candidate
+  // containing a known UCC is non-minimal and skipped.
+  std::vector<std::vector<int>> frontier;
+  for (int c : eligible) frontier.push_back({c});
+  size_t checks = 0;
+  for (size_t arity = 2;
+       arity <= options.max_arity && !frontier.empty(); ++arity) {
+    std::vector<std::vector<int>> next;
+    for (const std::vector<int>& base : frontier) {
+      for (int c : eligible) {
+        if (c <= base.back()) continue;  // Canonical extension order.
+        std::vector<int> cand = base;
+        cand.push_back(c);
+        // Minimality: skip if a discovered UCC is a subset.
+        bool covered = false;
+        for (const Ucc& u : result) {
+          if (IsSubset(u.columns, cand)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        if (++checks > options.max_candidates) return result;
+        if (IsUniqueCombination(table, cand)) {
+          result.push_back(Ucc{cand});
+        } else {
+          next.push_back(std::move(cand));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace autobi

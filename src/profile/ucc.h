@@ -1,0 +1,45 @@
+#ifndef AUTOBI_PROFILE_UCC_H_
+#define AUTOBI_PROFILE_UCC_H_
+
+#include <vector>
+
+#include "profile/column_profile.h"
+#include "table/table.h"
+
+namespace autobi {
+
+// Unique column combination (candidate key) discovery. UCC generation is the
+// first stage of the join-discovery pipeline (Figure 5(b)): join targets
+// ("1"-sides) must be unique, so only columns participating in a UCC can be
+// PK endpoints.
+
+struct UccOptions {
+  // Maximum combination size explored (composite keys).
+  size_t max_arity = 3;
+  // Apriori-style lattice search is cut off after this many candidate checks
+  // to bound worst-case cost on wide tables.
+  size_t max_candidates = 2000;
+  // A column with distinct ratio below this cannot participate in any UCC
+  // (pruning heuristic; 0 disables).
+  double min_distinct_ratio = 0.05;
+};
+
+// One discovered minimal unique column combination.
+struct Ucc {
+  std::vector<int> columns;  // Sorted column indices.
+};
+
+// Returns all *minimal* UCCs of `table` up to the option's arity, using a
+// breadth-first lattice search with superset pruning (in the spirit of the
+// IND/UCC discovery literature the paper invokes as a standard step).
+std::vector<Ucc> DiscoverUccs(const Table& table, const TableProfile& profile,
+                              const UccOptions& options = {});
+
+// True if the given column set has no duplicate (non-null-complete) tuples.
+// Rows with a null in any of the columns are skipped, matching the SQL
+// semantics of candidate keys with nullable columns.
+bool IsUniqueCombination(const Table& table, const std::vector<int>& columns);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_PROFILE_UCC_H_

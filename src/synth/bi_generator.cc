@@ -1,0 +1,626 @@
+#include "synth/bi_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "synth/names.h"
+#include "synth/schema_builder.h"
+#include "text/tokenize.h"
+
+namespace autobi {
+
+namespace {
+
+// Working description of one planned table before materialization.
+struct PlannedDim {
+  const EntityTemplate* entity = nullptr;
+  std::string table_name;
+  std::string pk_name;
+  bool string_key = false;
+  long key_base = 1;
+  size_t rows = 100;
+  int parent = -1;  // Index of parent dim (snowflake chaining), or -1.
+  int split_of = -1;  // If this is the "details" half of a 1:1 pair.
+  // TPC-style per-table column prefix ("c" in "c_custkey"); empty = none.
+  std::string col_prefix;
+};
+
+struct PlannedFact {
+  const FactTemplate* fact = nullptr;
+  std::string table_name;
+  std::string col_prefix;
+  size_t rows = 500;
+  std::vector<int> dims;             // Dim indices this fact references.
+  std::vector<int> role_play_dims;   // Dims referenced twice.
+  int references_fact = -1;          // "Other" anomaly: fact -> fact edge.
+};
+
+// Types an attribute column from its template name.
+ColumnSpec AttributeColumn(const std::string& name, Rng& rng) {
+  ColumnSpec col;
+  col.name = name;  // Renamed by the caller to the case style.
+  std::string lower = ToLower(name);
+  auto has = [&](const char* s) {
+    return lower.find(s) != std::string::npos;
+  };
+  if (has("date")) {
+    col.kind = ColumnKind::kDate;
+    col.min_value = 0;
+    col.max_value = 2000;
+  } else if (has("price") || has("salary") || has("budget") || has("rate") ||
+             has("amount") || has("cost") || has("weight") || has("premium")) {
+    col.kind = ColumnKind::kDouble;
+    col.min_value = 1.0;
+    col.max_value = 5000.0;
+  } else if (has("year") || has("qty") || has("count") || has("population") ||
+             has("pages") || has("credits") || has("capacity") ||
+             has("rooms") || has("sq_ft") || has("runtime") || has("stars") ||
+             has("founded") || has("rank") || has("distance") ||
+             has("zip") || has("level")) {
+    col.kind = ColumnKind::kInt;
+    col.min_value = 1;
+    col.max_value = 5000;
+  } else {
+    col.kind = ColumnKind::kText;
+  }
+  col.null_fraction = rng.NextBool(0.2) ? rng.NextDouble(0.0, 0.08) : 0.0;
+  return col;
+}
+
+// Schema-type mixture per table count, roughly matching the case-type
+// statistics of Table 7 (stars dominate small cases, constellations large).
+SchemaType PickSchemaType(int n, Rng& rng) {
+  double p_star = std::max(0.02, 0.55 - 0.06 * (n - 4));
+  double p_snow = 0.16 + std::min(0.12, 0.015 * (n - 4));
+  double p_other = std::min(0.24, 0.01 + 0.017 * (n - 4));
+  double p_con = std::max(0.05, 1.0 - p_star - p_snow - p_other);
+  size_t pick = rng.NextWeighted({p_star, p_snow, p_con, p_other});
+  switch (pick) {
+    case 0:
+      return SchemaType::kStar;
+    case 1:
+      return SchemaType::kSnowflake;
+    case 2:
+      return SchemaType::kConstellation;
+    default:
+      return SchemaType::kOther;
+  }
+}
+
+std::string Rename(const std::string& raw, NameStyle style) {
+  std::vector<std::string> tokens = TokenizeIdentifier(raw);
+  return StyleTokens(tokens, style);
+}
+
+// Styles `raw`, prepending the table's column prefix if it has one
+// (TPC-style "c_custkey" conventions).
+std::string PrefixedName(const std::string& prefix, const std::string& raw,
+                         NameStyle style) {
+  std::vector<std::string> tokens = TokenizeIdentifier(raw);
+  if (!prefix.empty()) tokens.insert(tokens.begin(), prefix);
+  return StyleTokens(tokens, style);
+}
+
+}  // namespace
+
+BiCase GenerateBiCase(const BiGenOptions& options, Rng& rng) {
+  int n = std::max(2, options.num_tables);
+  SchemaType type = PickSchemaType(n, rng);
+  NameStyle style = static_cast<NameStyle>(rng.NextBelow(4));
+  // Some models follow a TPC-like convention where every column carries a
+  // short table prefix ("c_custkey").
+  bool column_prefixes = rng.NextBool(options.column_prefix_prob);
+
+  // --- Plan the logical structure.
+  int num_facts = 1;
+  if (type == SchemaType::kConstellation || type == SchemaType::kOther) {
+    num_facts = 2 + static_cast<int>(rng.NextBelow(1 + size_t(n) / 10));
+    num_facts = std::min(num_facts, std::max(2, n / 3));
+  }
+  if (n <= 3) num_facts = 1;
+  int num_isolated =
+      (type == SchemaType::kOther) ? 1 + int(rng.NextBelow(2)) : 0;
+  num_isolated = std::min(num_isolated, n - num_facts - 1);
+  if (num_isolated < 0) num_isolated = 0;
+  int num_dims = n - num_facts - num_isolated;
+  if (num_dims < 1) {
+    num_dims = 1;
+    num_facts = std::max(1, n - num_dims - num_isolated);
+  }
+
+  // Sample distinct fact templates and dim entities.
+  std::vector<size_t> fact_idx(FactPool().size());
+  std::vector<size_t> dim_idx(EntityPool().size());
+  for (size_t i = 0; i < fact_idx.size(); ++i) fact_idx[i] = i;
+  for (size_t i = 0; i < dim_idx.size(); ++i) dim_idx[i] = i;
+  rng.Shuffle(fact_idx);
+  rng.Shuffle(dim_idx);
+
+  std::vector<PlannedDim> dims;
+  std::map<std::string, int> dim_by_entity;
+  int splits_budget = 0;
+  for (int i = 0; i < num_dims; ++i) {
+    PlannedDim d;
+    d.entity = &EntityPool()[dim_idx[size_t(i) % dim_idx.size()]];
+    d.rows = d.entity->small
+                 ? 4 + rng.NextBelow(16)
+                 : options.min_dim_rows +
+                       rng.NextBelow(options.max_dim_rows -
+                                     options.min_dim_rows);
+    d.string_key = rng.NextBool(options.string_key_prob);
+    d.key_base =
+        rng.NextBool(options.key_offset_prob) ? 1 + long(rng.NextBelow(5000))
+                                              : 1;
+    // Size ties: duplicate another dim's cardinality (and usually its key
+    // base) so value-overlap features cannot separate the two targets.
+    if (i > 0 && !d.entity->small && rng.NextBool(options.size_tie_prob)) {
+      const PlannedDim& other = dims[rng.NextBelow(dims.size())];
+      if (!other.entity->small) {
+        d.rows = other.rows;
+        if (!d.string_key && !other.string_key && rng.NextBool(0.7)) {
+          d.key_base = other.key_base;
+        }
+      }
+    }
+    dims.push_back(d);
+    dim_by_entity[d.entity->name] = i;
+  }
+
+  // Snowflake chaining: prefer the entity's natural parent if present. In
+  // pure snowflakes every dim keeps in-degree 1 (an arborescence,
+  // Definition 2), so a parent may be claimed by at most one child there;
+  // constellations/other may share parents (in-degree 2 dims are exactly
+  // the joins recall mode must recover, Figure 4).
+  bool pure_tree =
+      type == SchemaType::kStar || type == SchemaType::kSnowflake;
+  if (type != SchemaType::kStar) {
+    std::set<int> claimed_parents;
+    for (size_t i = 0; i < dims.size(); ++i) {
+      if (!rng.NextBool(options.snowflake_chain_prob)) continue;
+      int p = -1;
+      const char* parent = dims[i].entity->parent;
+      auto it = dim_by_entity.find(parent);
+      if (it != dim_by_entity.end() && it->second != int(i)) {
+        p = it->second;
+      } else if (type == SchemaType::kSnowflake && dims.size() > 1 &&
+                 rng.NextBool(0.3)) {
+        int cand = int(rng.NextBelow(dims.size()));
+        if (cand != int(i) && dims[size_t(cand)].parent != int(i)) p = cand;
+      }
+      if (p < 0) continue;
+      if (pure_tree && claimed_parents.count(p)) continue;
+      dims[i].parent = p;
+      claimed_parents.insert(p);
+    }
+    // Break any accidental parent cycles (follow each chain; a revisit of
+    // the start means the last link closed a loop).
+    for (size_t i = 0; i < dims.size(); ++i) {
+      int hops = 0;
+      int v = dims[i].parent;
+      while (v >= 0 && hops <= int(dims.size())) {
+        if (v == int(i)) {
+          dims[i].parent = -1;
+          break;
+        }
+        v = dims[size_t(v)].parent;
+        ++hops;
+      }
+    }
+  } else {
+    for (PlannedDim& d : dims) d.parent = -1;
+  }
+
+  // 1:1 splits: convert some dims into (dim, dim_details) pairs. Each split
+  // consumes one table slot, so it replaces the last planned dim.
+  std::vector<PlannedDim> split_dims;
+  for (size_t i = 0; i < dims.size() && int(split_dims.size()) < num_dims / 3;
+       ++i) {
+    if (dims[i].entity->small) continue;
+    if (!rng.NextBool(options.one_to_one_prob)) continue;
+    PlannedDim det = dims[i];
+    det.split_of = static_cast<int>(i);
+    det.parent = -1;
+    split_dims.push_back(det);
+    ++splits_budget;
+  }
+  while (splits_budget > 0 && !dims.empty()) {
+    // Keep the total table count at n: each split displaces one root dim
+    // (never a split source or a chained parent, if avoidable).
+    bool removed = false;
+    for (size_t i = dims.size(); i-- > 0;) {
+      bool is_split_source = false;
+      for (const PlannedDim& s : split_dims) {
+        if (s.split_of == int(i)) is_split_source = true;
+      }
+      bool is_parent = false;
+      for (const PlannedDim& d : dims) {
+        if (d.parent == int(i)) is_parent = true;
+      }
+      if (!is_split_source && !is_parent) {
+        // Reindex: drop dim i; fix parent/split references above i.
+        dims.erase(dims.begin() + long(i));
+        for (PlannedDim& d : dims) {
+          if (d.parent > int(i)) --d.parent;
+        }
+        for (PlannedDim& s : split_dims) {
+          if (s.split_of > int(i)) --s.split_of;
+        }
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) break;
+    --splits_budget;
+  }
+
+  // --- Facts and dim assignment.
+  std::vector<PlannedFact> facts;
+  for (int f = 0; f < num_facts; ++f) {
+    PlannedFact pf;
+    pf.fact = &FactPool()[fact_idx[size_t(f) % fact_idx.size()]];
+    pf.rows = options.min_fact_rows +
+              rng.NextBelow(options.max_fact_rows - options.min_fact_rows);
+    facts.push_back(pf);
+  }
+  // Facts attach the dims that are not themselves referenced by a finer dim
+  // (chained coarse dims like "segment" hang off their child, per the
+  // snowflake structure of Figure 1(b)).
+  std::set<int> is_parent;
+  for (const PlannedDim& d : dims) {
+    if (d.parent >= 0) is_parent.insert(d.parent);
+  }
+  std::vector<int> root_dims;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (!is_parent.count(int(i))) root_dims.push_back(int(i));
+  }
+  if (root_dims.empty() && !dims.empty()) root_dims.push_back(0);
+  for (size_t i = 0; i < root_dims.size(); ++i) {
+    facts[i % facts.size()].dims.push_back(root_dims[i]);
+  }
+  // Chained dims attach through parents automatically. Shared dims: other
+  // facts also reference some assigned dims (these extra edges are exactly
+  // what recall mode must recover).
+  if (facts.size() > 1) {
+    for (size_t f = 1; f < facts.size(); ++f) {
+      for (int d : facts[0].dims) {
+        if (rng.NextBool(options.shared_dim_prob)) {
+          if (std::find(facts[f].dims.begin(), facts[f].dims.end(), d) ==
+              facts[f].dims.end()) {
+            facts[f].dims.push_back(d);
+          }
+        }
+      }
+    }
+  }
+  // Every fact must reference at least one dim.
+  for (PlannedFact& pf : facts) {
+    if (pf.dims.empty() && !root_dims.empty()) {
+      pf.dims.push_back(root_dims[rng.NextBelow(root_dims.size())]);
+    }
+  }
+  // Role-playing dims (a second FK into the same dim): only outside pure
+  // star/snowflake cases, where the extra in-edge would break the
+  // arborescence the schema type promises.
+  if (!pure_tree) {
+    for (PlannedFact& pf : facts) {
+      for (int d : pf.dims) {
+        if (rng.NextBool(options.role_playing_prob) &&
+            std::string(dims[size_t(d)].entity->name) == "calendar") {
+          pf.role_play_dims.push_back(d);
+        }
+      }
+    }
+  }
+  // "Other" anomaly: one fact references another fact.
+  if (type == SchemaType::kOther && facts.size() >= 2 && rng.NextBool(0.6)) {
+    facts[1].references_fact = 0;
+  }
+
+  // --- Names.
+  std::set<std::string> used_names;
+  auto unique_table_name = [&](std::string base) {
+    std::string name = base;
+    int suffix = 2;
+    while (used_names.count(name)) name = base + std::to_string(suffix++);
+    used_names.insert(name);
+    return name;
+  };
+  // Which dims are chained parents, and of which child? (Used for the
+  // Example-1 naming trap below.)
+  std::vector<int> child_of(dims.size(), -1);
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i].parent >= 0 && child_of[size_t(dims[i].parent)] < 0) {
+      child_of[size_t(dims[i].parent)] = int(i);
+    }
+  }
+  for (size_t i = 0; i < dims.size(); ++i) {
+    std::vector<std::string> tokens;
+    if (rng.NextBool(options.dim_prefix_prob)) tokens.push_back("dim");
+    tokens.push_back(dims[i].entity->name);
+    dims[i].table_name = unique_table_name(StyleTokens(tokens, style));
+    if (column_prefixes) {
+      dims[i].col_prefix = std::string(dims[i].entity->name)
+                               .substr(0, 1 + rng.NextBelow(2));
+    }
+    static const char* kSuffix[] = {"id", "key", "code"};
+    // Example-1 trap: a parent dim's PK may carry its child's entity name
+    // ("customer_segment_id"), highly name-similar to the fact's
+    // "customer_id" FK while being a semantically different id.
+    std::vector<std::string> pk_tokens;
+    if (child_of[i] >= 0 && rng.NextBool(options.related_pk_name_prob)) {
+      pk_tokens = {dims[size_t(child_of[i])].entity->name,
+                   dims[i].entity->name, kSuffix[rng.NextBelow(3)]};
+    } else if (rng.NextBool(options.generic_pk_name_prob)) {
+      static const char* kGeneric[] = {"id", "key", "code"};
+      pk_tokens = {kGeneric[rng.NextBelow(3)]};
+    } else {
+      std::string ent = dims[i].entity->name;
+      if (rng.NextBool(0.3)) ent = Abbreviate(ent, rng);
+      pk_tokens = {ent, kSuffix[rng.NextBelow(3)]};
+    }
+    if (!dims[i].col_prefix.empty()) {
+      pk_tokens.insert(pk_tokens.begin(), dims[i].col_prefix);
+    }
+    dims[i].pk_name = StyleTokens(pk_tokens, style);
+  }
+  std::vector<PlannedDim>& all_split = split_dims;
+  for (PlannedDim& s : all_split) {
+    static const char* kDetailSuffix[] = {"details", "info", "extra",
+                                          "attributes"};
+    s.table_name = unique_table_name(StyleTokens(
+        {dims[size_t(s.split_of)].entity->name,
+         kDetailSuffix[rng.NextBelow(4)]},
+        style));
+    s.pk_name = dims[size_t(s.split_of)].pk_name;
+    s.string_key = dims[size_t(s.split_of)].string_key;
+    s.key_base = dims[size_t(s.split_of)].key_base;
+    s.rows = dims[size_t(s.split_of)].rows;
+  }
+  for (PlannedFact& pf : facts) {
+    std::vector<std::string> tokens;
+    if (rng.NextBool(0.4)) tokens.push_back("fact");
+    tokens.push_back(pf.fact->name);
+    pf.table_name = unique_table_name(StyleTokens(tokens, style));
+    if (column_prefixes) {
+      pf.col_prefix =
+          std::string(pf.fact->name).substr(0, 1 + rng.NextBelow(2));
+    }
+  }
+
+  // --- Materialize with the schema builder.
+  SchemaBuilder builder;
+  auto add_dim_table = [&](const PlannedDim& d, bool is_detail_half) {
+    TableSpec spec;
+    spec.name = d.table_name;
+    spec.rows = d.rows;
+    ColumnSpec pk;
+    pk.name = d.pk_name;
+    if (d.string_key) {
+      pk.kind = ColumnKind::kStringKey;
+      // Single-letter prefixes collide across entities on purpose
+      // ("C00042" for both customer and country).
+      pk.prefix = std::string(1, char(std::toupper(d.entity->name[0])));
+      pk.pad_width = 5;
+      pk.key_base = d.key_base;
+    } else {
+      pk.kind = ColumnKind::kSurrogateKey;
+      pk.key_base = d.key_base;
+    }
+    spec.columns.push_back(pk);
+    // Attributes: detail halves take the tail of the attribute list so the
+    // two halves complement each other.
+    const auto& attrs = d.entity->attributes;
+    size_t start = is_detail_half ? attrs.size() / 2 : 0;
+    size_t end = is_detail_half ? attrs.size() : (attrs.size() + 1) / 2 + 1;
+    end = std::min(end, attrs.size());
+    for (size_t a = start; a < end; ++a) {
+      ColumnSpec col = AttributeColumn(attrs[a], rng);
+      col.name = PrefixedName(d.col_prefix, attrs[a], style);
+      spec.columns.push_back(col);
+    }
+    // Decoy: occasionally a second unique sequence column (a classic false
+    // PK target), slightly shifted so it rarely coincides with the PK.
+    if (rng.NextBool(options.decoy_column_prob * 0.4)) {
+      ColumnSpec seq;
+      seq.name = PrefixedName(d.col_prefix, "row_num", style);
+      seq.kind = ColumnKind::kSurrogateKey;
+      seq.key_base = 1 + long(rng.NextBelow(6));
+      spec.columns.push_back(seq);
+    }
+    // Alternate near-key ("code"): overlaps the PK's range with a small
+    // shift — a plausible but wrong join target inside the same table.
+    if (!d.string_key && rng.NextBool(options.alternate_key_prob)) {
+      ColumnSpec alt;
+      std::string ent = d.entity->name;
+      alt.name = rng.NextBool(0.5)
+                     ? PrefixedName(d.col_prefix, "code", style)
+                     : PrefixedName(d.col_prefix, ent + " code", style);
+      if (alt.name == d.pk_name) alt.name = Rename("alt_code", style);
+      alt.kind = ColumnKind::kSurrogateKey;
+      alt.key_base = d.key_base + 1 + long(rng.NextBelow(8));
+      spec.columns.push_back(alt);
+    }
+    builder.AddTable(std::move(spec));
+  };
+
+  for (const PlannedDim& d : dims) add_dim_table(d, false);
+  for (const PlannedDim& s : all_split) add_dim_table(s, true);
+
+  // Dim -> parent-dim FKs (snowflake chains).
+  for (size_t i = 0; i < dims.size(); ++i) {
+    int p = dims[i].parent;
+    if (p < 0) continue;
+    std::string ent = dims[size_t(p)].entity->name;
+    if (rng.NextBool(options.cryptic_fk_prob)) {
+      ent = ent.substr(0, 1 + rng.NextBelow(2));
+    } else if (rng.NextBool(options.abbrev_fk_prob)) {
+      ent = Abbreviate(ent, rng);
+    }
+    std::string fk_name = PrefixedName(dims[i].col_prefix, ent + " id",
+                                       style);
+    double dangling = rng.NextBool(options.dangling_fk_prob)
+                          ? rng.NextDouble(0.01, 0.08)
+                          : 0.0;
+    builder.AddFkColumn(dims[i].table_name, fk_name,
+                        dims[size_t(p)].table_name, dims[size_t(p)].pk_name,
+                        /*skew=*/0.6, dangling);
+  }
+  // 1:1 ground truth between split halves.
+  for (const PlannedDim& s : all_split) {
+    builder.AddOneToOne(dims[size_t(s.split_of)].table_name,
+                        dims[size_t(s.split_of)].pk_name, s.table_name,
+                        s.pk_name);
+  }
+
+  // Fact tables.
+  for (const PlannedFact& pf : facts) {
+    TableSpec spec;
+    spec.name = pf.table_name;
+    spec.rows = pf.rows;
+    // Measures.
+    for (const char* m : pf.fact->measures) {
+      ColumnSpec col;
+      col.name = PrefixedName(pf.col_prefix, m, style);
+      col.kind = ColumnKind::kDouble;
+      col.min_value = 0.0;
+      col.max_value = 10000.0;
+      spec.columns.push_back(col);
+    }
+    // Decoys.
+    if (rng.NextBool(options.decoy_column_prob)) {
+      ColumnSpec status;
+      status.name = PrefixedName(pf.col_prefix, "status", style);
+      status.kind = ColumnKind::kInt;
+      status.min_value = 0;
+      status.max_value = 5;
+      spec.columns.push_back(status);
+    }
+    // Key-named low-cardinality codes ("type_id", "group_id"): they look
+    // like FKs and are value-contained in most base-1 surrogate dims, but
+    // join nothing — the spurious-join trap of real BI data.
+    if (rng.NextBool(options.decoy_column_prob)) {
+      static const char* kKeyDecoys[] = {"type_id",  "status_id", "group_id",
+                                         "class_id", "seq_no",    "ref_no"};
+      size_t n_decoys = 1 + rng.NextBelow(2);
+      for (size_t k = 0; k < n_decoys; ++k) {
+        ColumnSpec code;
+        code.name =
+            PrefixedName(pf.col_prefix, kKeyDecoys[rng.NextBelow(6)], style);
+        bool dup = false;
+        for (const ColumnSpec& existing : spec.columns) {
+          if (existing.name == code.name) dup = true;
+        }
+        if (dup) continue;
+        code.kind = ColumnKind::kInt;
+        code.min_value = 1;
+        code.max_value = double(4 + rng.NextBelow(60));
+        spec.columns.push_back(code);
+      }
+    }
+    if (rng.NextBool(options.decoy_column_prob * 0.6)) {
+      ColumnSpec notes;
+      notes.name = PrefixedName(pf.col_prefix, "notes", style);
+      notes.kind = ColumnKind::kText;
+      notes.null_fraction = 0.3;
+      spec.columns.push_back(notes);
+    }
+    builder.AddTable(std::move(spec));
+  }
+  // Fact FK columns (added after the table exists).
+  for (const PlannedFact& pf : facts) {
+    std::set<std::string> fk_names;
+    auto fk_name_for = [&](const PlannedDim& d, const std::string& role) {
+      std::string ent = d.entity->name;
+      std::vector<std::string> tokens;
+      if (rng.NextBool(options.cryptic_fk_prob)) {
+        // Cryptic FK: no entity signal ("ref_id", "c_id", ...).
+        static const char* kCryptic[] = {"ref", "parent", "link", "src"};
+        if (rng.NextBool(0.5)) {
+          tokens.push_back(kCryptic[rng.NextBelow(4)]);
+        } else {
+          tokens.push_back(ent.substr(0, 1 + rng.NextBelow(2)));
+        }
+      } else {
+        if (rng.NextBool(options.abbrev_fk_prob)) ent = Abbreviate(ent, rng);
+        if (!role.empty()) tokens.push_back(role);
+        tokens.push_back(ent);
+      }
+      tokens.push_back("id");
+      if (!pf.col_prefix.empty()) tokens.insert(tokens.begin(), pf.col_prefix);
+      std::string name = StyleTokens(tokens, style);
+      int suffix = 2;
+      while (fk_names.count(name)) name = name + std::to_string(suffix++);
+      fk_names.insert(name);
+      return name;
+    };
+    for (int di : pf.dims) {
+      const PlannedDim& d = dims[size_t(di)];
+      double dangling = rng.NextBool(options.dangling_fk_prob)
+                            ? rng.NextDouble(0.01, 0.08)
+                            : 0.0;
+      double nulls = rng.NextBool(0.15) ? rng.NextDouble(0.0, 0.05) : 0.0;
+      builder.AddFkColumn(pf.table_name, fk_name_for(d, ""), d.table_name,
+                          d.pk_name, /*skew=*/0.8, dangling, nulls);
+    }
+    for (int di : pf.role_play_dims) {
+      const PlannedDim& d = dims[size_t(di)];
+      static const char* kRoles[] = {"ship", "order", "due", "start"};
+      builder.AddFkColumn(pf.table_name,
+                          fk_name_for(d, kRoles[rng.NextBelow(4)]),
+                          d.table_name, d.pk_name, /*skew=*/0.8, 0.0);
+    }
+    if (pf.references_fact >= 0) {
+      // Fact -> fact degenerate reference ("other" anomaly): points at a
+      // unique sequence we add to the referenced fact.
+      PlannedFact& target = facts[size_t(pf.references_fact)];
+      (void)target;
+    }
+  }
+
+  // Isolated tables ("other" cases): standalone lookup tables with no joins.
+  for (int i = 0; i < num_isolated; ++i) {
+    const EntityTemplate& ent =
+        EntityPool()[dim_idx[size_t(num_dims + i) % dim_idx.size()]];
+    TableSpec spec;
+    spec.name = unique_table_name(StyleTokens({ent.name, "list"}, style));
+    spec.rows = 10 + rng.NextBelow(80);
+    ColumnSpec pk;
+    pk.name = Rename("id", style);
+    pk.kind = ColumnKind::kSurrogateKey;
+    pk.key_base = 1;
+    spec.columns.push_back(pk);
+    for (size_t a = 0; a < std::min<size_t>(3, ent.attributes.size()); ++a) {
+      ColumnSpec col = AttributeColumn(ent.attributes[a], rng);
+      col.name = Rename(ent.attributes[a], style);
+      spec.columns.push_back(col);
+    }
+    builder.AddTable(std::move(spec));
+  }
+
+  BiCase out = builder.Generate(
+      StrFormat("bi_case_%08lx_%s", static_cast<unsigned long>(rng.Next()),
+                SchemaTypeName(type)),
+      rng);
+  out.schema_type = type;
+  // Incomplete ground truth: drop a few recorded joins (data unchanged),
+  // but never a 1:1 join's record (that would break the footnote-7
+  // equivalence classes the evaluation relies on).
+  if (options.missing_gt_prob > 0 && out.ground_truth.joins.size() > 2) {
+    std::vector<Join> kept;
+    for (const Join& j : out.ground_truth.joins) {
+      if (j.kind == JoinKind::kNToOne &&
+          rng.NextBool(options.missing_gt_prob)) {
+        continue;
+      }
+      kept.push_back(j);
+    }
+    if (!kept.empty()) out.ground_truth.joins = std::move(kept);
+  }
+  return out;
+}
+
+}  // namespace autobi

@@ -1,0 +1,73 @@
+#ifndef AUTOBI_SYNTH_BI_GENERATOR_H_
+#define AUTOBI_SYNTH_BI_GENERATOR_H_
+
+#include "common/rng.h"
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// Parameters of the synthetic BI-model generator that stands in for the
+// paper's harvested .pbix corpus (DESIGN.md §1). The noise knobs reproduce
+// the failure modes the paper reports for local methods: generic column
+// names, accidentally-overlapping surrogate keys, dirty (non-inclusive) FKs,
+// 1:1 entity splits and role-playing dimensions.
+struct BiGenOptions {
+  // Total number of tables in the case (after 1:1 splits).
+  int num_tables = 6;
+
+  // Row-count ranges (log-uniform-ish sampling inside).
+  size_t min_dim_rows = 12;
+  size_t max_dim_rows = 400;
+  size_t min_fact_rows = 150;
+  size_t max_fact_rows = 1500;
+
+  // --- Naming noise.
+  double generic_pk_name_prob = 0.6;  // Dim PK named just "id"/"key"/"code".
+  double abbrev_fk_prob = 0.45;        // FK uses an abbreviation ("cust_id").
+  double dim_prefix_prob = 0.3;        // Table named "dim_customer" etc.
+  // The whole model uses TPC-style per-table column prefixes
+  // ("c_custkey", "l_partkey").
+  double column_prefix_prob = 0.25;
+  // A chained parent dim's PK carries the child's entity too
+  // ("customer_segment_id"), making it name-confusable with the fact's
+  // "customer_id" FK — the paper's Example 1.
+  double related_pk_name_prob = 0.4;
+  // FK columns occasionally carry cryptic names ("ref_id", "c_id") that
+  // give no entity signal at all — the name noise the paper highlights in
+  // harvested models.
+  double cryptic_fk_prob = 0.38;
+
+  // --- Structural noise.
+  double key_offset_prob = 0.08;   // Dim key range starts away from 1 (most
+                                   // dims share 1..N, so surrogate ranges
+                                   // overlap accidentally).
+  // Dims carry a second near-key column ("code") whose values overlap the
+  // PK range with a small shift — a plausible but wrong join target.
+  double alternate_key_prob = 0.3;
+  // A dim copies another dim's exact size (and usually key base), making
+  // containment and distribution features tie between true and wrong
+  // targets.
+  double size_tie_prob = 0.5;
+  double string_key_prob = 0.3;    // String business keys ("C00042").
+  double one_to_one_prob = 0.15;   // Chance a dim is split into a 1:1 pair.
+  double dangling_fk_prob = 0.35;  // Chance an FK column has dirty values.
+  double shared_dim_prob = 0.5;    // Constellations: facts share dims.
+  double role_playing_prob = 0.2;  // Fact holds 2 FKs to one dim (ship/order
+                                   // date).
+  double decoy_column_prob = 0.5;  // Extra status/sequence decoy columns.
+  double snowflake_chain_prob = 0.55;  // Dim chains to a parent dim.
+  // Incomplete ground truth: users forget to define some joins in their BI
+  // models (the paper's Appendix A motivates label transitivity with this).
+  // The data still joins; only the recorded relationship is missing. This
+  // injects label noise in training and caps measurable precision on the
+  // benchmark, like real harvested models do.
+  double missing_gt_prob = 0.03;
+};
+
+// Generates one BI case (tables + ground truth + schema type). Deterministic
+// given the Rng state.
+BiCase GenerateBiCase(const BiGenOptions& options, Rng& rng);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_BI_GENERATOR_H_

@@ -1,0 +1,814 @@
+#include "synth/classic_dbs.h"
+
+#include "common/check.h"
+#include "synth/tpc_util.h"
+
+namespace autobi {
+
+const char* ClassicDbName(ClassicDb db) {
+  switch (db) {
+    case ClassicDb::kFoodMart:
+      return "FoodMart";
+    case ClassicDb::kNorthwind:
+      return "Northwind";
+    case ClassicDb::kAdventureWorks:
+      return "AdventureWorks";
+    case ClassicDb::kWorldWideImporters:
+      return "WorldWideImporters";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------- FoodMart.
+
+BiCase FoodMartOlap(double scale, Rng& rng) {
+  SchemaBuilder b;
+  size_t customers = ScaleRows(scale, 300);
+  size_t products = ScaleRows(scale, 250);
+  b.AddTable({"time_by_day",
+              ScaleRows(scale, 400),
+              {Pk("time_id", 367), DateCol("the_date"),
+               CatCol("the_day", {"Monday", "Tuesday", "Wednesday", "Thursday",
+                                  "Friday", "Saturday", "Sunday"}),
+               CatCol("the_month", {"January", "February", "March", "April",
+                                    "May", "June", "July"}),
+               IntCol("the_year", 1997, 1998), IntCol("month_of_year", 1, 12),
+               IntCol("quarter", 1, 4)}});
+  b.AddTable({"product_class",
+              ScaleRows(scale, 30),
+              {Pk("product_class_id"), TextCol("product_subcategory"),
+               TextCol("product_category"), TextCol("product_department"),
+               CatCol("product_family", {"Food", "Drink", "Non-Consumable"})}});
+  b.AddTable({"product",
+              products,
+              {Pk("product_id"), TextCol("brand_name"), TextCol("product_name"),
+               NumCol("SRP", 0.5, 30), NumCol("gross_weight", 4, 22),
+               NumCol("net_weight", 3, 21), IntCol("units_per_case", 1, 36),
+               IntCol("cases_per_pallet", 5, 14)}});
+  b.AddTable({"customer",
+              customers,
+              {Pk("customer_id"), TextCol("lname"), TextCol("fname"),
+               TextCol("address1"), TextCol("city"),
+               CatCol("state_province", {"CA", "WA", "OR"}),
+               StrKey("postal_code", "9", 5), TextCol("phone1"),
+               CatCol("marital_status", {"M", "S"}),
+               CatCol("gender", {"M", "F"}), IntCol("num_children_at_home", 0,
+                                                    5)}});
+  b.AddTable({"store",
+              ScaleRows(scale, 25),
+              {Pk("store_id"),
+               CatCol("store_type", {"Supermarket", "Deluxe Supermarket",
+                                     "Gourmet Supermarket", "Small Grocery"}),
+               TextCol("store_name"), TextCol("store_city"),
+               CatCol("store_state", {"CA", "WA", "OR"}),
+               IntCol("store_sqft", 20000, 40000),
+               IntCol("grocery_sqft", 15000, 30000)}});
+  b.AddTable({"promotion",
+              ScaleRows(scale, 50),
+              {Pk("promotion_id"), TextCol("promotion_name"),
+               CatCol("media_type", {"TV", "Radio", "Daily Paper",
+                                     "Street Handout", "In-Store Coupon"}),
+               NumCol("cost", 1000, 100000), DateCol("start_date"),
+               DateCol("end_date")}});
+  b.AddTable({"warehouse",
+              ScaleRows(scale, 20),
+              {Pk("warehouse_id"), TextCol("warehouse_name"),
+               TextCol("wa_address1"), TextCol("warehouse_city"),
+               CatCol("warehouse_state_province", {"CA", "WA", "OR"})}});
+  b.AddTable({"sales_fact",
+              ScaleRows(scale, 2500),
+              {NumCol("store_sales", 0.5, 50), NumCol("store_cost", 0.2, 25),
+               NumCol("unit_sales", 1, 6)}});
+  b.AddTable({"inventory_fact",
+              ScaleRows(scale, 1200),
+              {IntCol("units_ordered", 1, 200), IntCol("units_shipped", 1,
+                                                       200),
+               NumCol("supply_time", 0, 10), NumCol("store_invoice", 1,
+                                                    1000)}});
+
+  b.AddFkColumn("product", "product_class_id_fk", "product_class",
+                "product_class_id");
+  b.AddFkColumn("sales_fact", "product_id", "product", "product_id", 0.5);
+  b.AddFkColumn("sales_fact", "time_id", "time_by_day", "time_id", 0.3);
+  b.AddFkColumn("sales_fact", "customer_id", "customer", "customer_id", 0.5);
+  b.AddFkColumn("sales_fact", "promotion_id", "promotion", "promotion_id",
+                0.5);
+  b.AddFkColumn("sales_fact", "store_id", "store", "store_id", 0.3);
+  b.AddFkColumn("inventory_fact", "product_id", "product", "product_id", 0.5);
+  b.AddFkColumn("inventory_fact", "time_id", "time_by_day", "time_id", 0.3);
+  b.AddFkColumn("inventory_fact", "warehouse_id", "warehouse", "warehouse_id",
+                0.3);
+  b.AddFkColumn("inventory_fact", "store_id", "store", "store_id", 0.3);
+
+  BiCase out = b.Generate("FoodMart-OLAP", rng);
+  out.schema_type = SchemaType::kConstellation;
+  return out;
+}
+
+BiCase FoodMartOltp(double scale, Rng& rng) {
+  SchemaBuilder b;
+  b.AddTable({"region",
+              ScaleRows(scale, 20),
+              {Pk("region_id"), TextCol("sales_city"),
+               CatCol("sales_state_province", {"CA", "WA", "OR"}),
+               TextCol("sales_district"), TextCol("sales_country")}});
+  b.AddTable({"store",
+              ScaleRows(scale, 25),
+              {Pk("store_id"), TextCol("store_name"),
+               IntCol("store_sqft", 20000, 40000),
+               CatCol("store_type", {"Supermarket", "Small Grocery"})}});
+  b.AddTable({"department",
+              12,
+              {Pk("department_id"), TextCol("department_description")}});
+  b.AddTable({"position",
+              ScaleRows(scale, 18),
+              {Pk("position_id"), TextCol("position_title"),
+               NumCol("min_scale", 5, 20), NumCol("max_scale", 10, 50),
+               CatCol("pay_type", {"Hourly", "Monthly"})}});
+  b.AddTable({"employee",
+              ScaleRows(scale, 200),
+              {Pk("employee_id"), TextCol("full_name"), TextCol("first_name"),
+               TextCol("last_name"), DateCol("hire_date"),
+               NumCol("salary", 5000, 80000),
+               CatCol("marital_status", {"M", "S"}),
+               CatCol("gender", {"M", "F"})}});
+  b.AddTable({"salary",
+              ScaleRows(scale, 900),
+              {DateCol("pay_date"), NumCol("salary_paid", 100, 5000),
+               IntCol("overtime_paid", 0, 400), IntCol("vacation_accrued", 0,
+                                                       30),
+               IntCol("vacation_used", 0, 30)}});
+  b.AddTable({"customer",
+              ScaleRows(scale, 300),
+              {Pk("customer_id"), StrKey("account_num", "8", 10),
+               TextCol("lname"), TextCol("fname"), TextCol("city"),
+               CatCol("state_province", {"CA", "WA", "OR"})}});
+  b.AddTable({"product_class",
+              ScaleRows(scale, 30),
+              {Pk("product_class_id"), TextCol("product_subcategory"),
+               TextCol("product_category"),
+               CatCol("product_family", {"Food", "Drink",
+                                         "Non-Consumable"})}});
+  b.AddTable({"product",
+              ScaleRows(scale, 250),
+              {Pk("product_id"), TextCol("product_name"),
+               TextCol("brand_name"), NumCol("SRP", 0.5, 30)}});
+  b.AddTable({"transactions",
+              ScaleRows(scale, 2000),
+              {NumCol("amount", 0.5, 100), IntCol("quantity", 1, 10),
+               DateCol("transaction_date")}});
+
+  b.AddFkColumn("store", "region_id", "region", "region_id");
+  b.AddFkColumn("employee", "store_id", "store", "store_id", 0.3);
+  b.AddFkColumn("employee", "department_id", "department", "department_id",
+                0.2);
+  b.AddFkColumn("employee", "position_id", "position", "position_id", 0.3);
+  b.AddFkColumn("salary", "employee_id", "employee", "employee_id", 0.4);
+  b.AddFkColumn("salary", "department_id", "department", "department_id",
+                0.2);
+  b.AddFkColumn("customer", "customer_region_id", "region", "region_id",
+                0.3);
+  b.AddFkColumn("product", "product_class_id_fk", "product_class",
+                "product_class_id");
+  b.AddFkColumn("transactions", "product_id", "product", "product_id", 0.5);
+  b.AddFkColumn("transactions", "customer_id", "customer", "customer_id",
+                0.5);
+  b.AddFkColumn("transactions", "store_id", "store", "store_id", 0.3);
+
+  BiCase out = b.Generate("FoodMart-OLTP", rng);
+  out.schema_type = SchemaType::kOther;
+  return out;
+}
+
+// --------------------------------------------------------------- Northwind.
+
+BiCase NorthwindOlap(double scale, Rng& rng) {
+  SchemaBuilder b;
+  b.AddTable({"dim_date",
+              ScaleRows(scale, 400),
+              {Pk("date_key"), DateCol("full_date"), IntCol("year", 1996,
+                                                            1998),
+               IntCol("month", 1, 12), IntCol("day", 1, 31),
+               CatCol("month_name", {"January", "February", "March", "April",
+                                     "May", "June"})}});
+  b.AddTable({"dim_customer",
+              ScaleRows(scale, 90),
+              {StrKey("customer_key", "ALF", 2), TextCol("company_name"),
+               TextCol("contact_name"), TextCol("contact_title"),
+               TextCol("city"), TextCol("country")}});
+  b.AddTable({"dim_employee",
+              ScaleRows(scale, 9, 5),
+              {Pk("employee_key"), TextCol("last_name"), TextCol("first_name"),
+               CatCol("title", {"Sales Representative", "Sales Manager",
+                                "Inside Sales Coordinator"}),
+               DateCol("hire_date"), TextCol("city"), TextCol("country")}});
+  b.AddTable({"dim_category",
+              8,
+              {Pk("category_key"), TextCol("category_name"),
+               TextCol("description")}});
+  b.AddTable({"dim_product",
+              ScaleRows(scale, 77),
+              {Pk("product_key"), TextCol("product_name"),
+               TextCol("quantity_per_unit"), NumCol("unit_price", 2, 300),
+               IntCol("units_in_stock", 0, 125),
+               IntCol("discontinued", 0, 1)}});
+  b.AddTable({"dim_shipper",
+              ScaleRows(scale, 3, 3),
+              {Pk("shipper_key"), TextCol("company_name"), TextCol("phone")}});
+  b.AddTable({"fact_orders",
+              ScaleRows(scale, 2100),
+              {IntCol("order_id", 10248, 11078), IntCol("quantity", 1, 130),
+               NumCol("unit_price", 2, 300), NumCol("discount", 0, 0.25),
+               NumCol("freight", 0, 1000)}});
+
+  b.AddFkColumn("dim_product", "category_key", "dim_category",
+                "category_key");
+  b.AddFkColumn("fact_orders", "customer_key", "dim_customer",
+                "customer_key", 0.5);
+  b.AddFkColumn("fact_orders", "employee_key", "dim_employee",
+                "employee_key", 0.4);
+  b.AddFkColumn("fact_orders", "product_key", "dim_product", "product_key",
+                0.5);
+  b.AddFkColumn("fact_orders", "shipper_key", "dim_shipper", "shipper_key",
+                0.2);
+  b.AddFkColumn("fact_orders", "order_date_key", "dim_date", "date_key",
+                0.3);
+  b.AddFkColumn("fact_orders", "shipped_date_key", "dim_date", "date_key",
+                0.3);
+
+  BiCase out = b.Generate("Northwind-OLAP", rng);
+  out.schema_type = SchemaType::kSnowflake;
+  return out;
+}
+
+BiCase NorthwindOltp(double scale, Rng& rng) {
+  SchemaBuilder b;
+  b.AddTable({"categories",
+              8,
+              {Pk("category_id"), TextCol("category_name"),
+               TextCol("description")}});
+  b.AddTable({"suppliers",
+              ScaleRows(scale, 29),
+              {Pk("supplier_id"), TextCol("company_name"),
+               TextCol("contact_name"), TextCol("city"), TextCol("country"),
+               TextCol("phone")}});
+  b.AddTable({"products",
+              ScaleRows(scale, 77),
+              {Pk("product_id"), TextCol("product_name"),
+               TextCol("quantity_per_unit"), NumCol("unit_price", 2, 300),
+               IntCol("units_in_stock", 0, 125), IntCol("units_on_order", 0,
+                                                        100),
+               IntCol("reorder_level", 0, 30), IntCol("discontinued", 0, 1)}});
+  b.AddTable({"customers",
+              ScaleRows(scale, 91),
+              {StrKey("customer_id", "CU", 3), TextCol("company_name"),
+               TextCol("contact_name"), TextCol("contact_title"),
+               TextCol("address"), TextCol("city"), TextCol("country"),
+               TextCol("phone")}});
+  b.AddTable({"employees",
+              ScaleRows(scale, 9, 5),
+              {Pk("employee_id"), TextCol("last_name"), TextCol("first_name"),
+               CatCol("title", {"Sales Representative", "Sales Manager",
+                                "Vice President Sales"}),
+               DateCol("birth_date"), DateCol("hire_date"), TextCol("city"),
+               TextCol("country")}});
+  b.AddTable({"shippers",
+              ScaleRows(scale, 3, 3),
+              {Pk("shipper_id"), TextCol("company_name"), TextCol("phone")}});
+  b.AddTable({"orders",
+              ScaleRows(scale, 830),
+              {Pk("order_id", 10248), DateCol("order_date"),
+               DateCol("required_date"), DateCol("shipped_date", 0.1),
+               NumCol("freight", 0, 1000), TextCol("ship_city"),
+               TextCol("ship_country")}});
+  b.AddTable({"order_details",
+              ScaleRows(scale, 2155),
+              {NumCol("unit_price", 2, 300), IntCol("quantity", 1, 130),
+               NumCol("discount", 0, 0.25)}});
+  b.AddTable({"region",
+              4,
+              {Pk("region_id"), CatCol("region_description",
+                                       {"Eastern", "Western", "Northern",
+                                        "Southern"})}});
+  b.AddTable({"territories",
+              ScaleRows(scale, 53),
+              {StrKey("territory_id", "0", 5),
+               TextCol("territory_description")}});
+  b.AddTable({"employee_territories", ScaleRows(scale, 49), {}});
+
+  b.AddFkColumn("products", "supplier_id", "suppliers", "supplier_id", 0.3);
+  b.AddFkColumn("products", "category_id", "categories", "category_id", 0.2);
+  b.AddFkColumn("orders", "customer_id", "customers", "customer_id", 0.4);
+  b.AddFkColumn("orders", "employee_id", "employees", "employee_id", 0.3);
+  b.AddFkColumn("orders", "ship_via", "shippers", "shipper_id", 0.2);
+  b.AddFkColumn("order_details", "order_id_fk", "orders", "order_id", 0.2);
+  b.AddFkColumn("order_details", "product_id", "products", "product_id",
+                0.4);
+  b.AddFkColumn("territories", "region_id", "region", "region_id");
+  b.AddFkColumn("employee_territories", "employee_id", "employees",
+                "employee_id", 0.3);
+  b.AddFkColumn("employee_territories", "territory_id", "territories",
+                "territory_id", 0.3);
+
+  BiCase out = b.Generate("Northwind-OLTP", rng);
+  out.schema_type = SchemaType::kOther;
+  return out;
+}
+
+// --------------------------------------------------------- AdventureWorks.
+
+BiCase AdventureWorksOlap(double scale, Rng& rng) {
+  SchemaBuilder b;
+  b.AddTable({"DimDate",
+              ScaleRows(scale, 700),
+              {Pk("DateKey", 20050101), DateCol("FullDateAlternateKey"),
+               IntCol("CalendarYear", 2005, 2008),
+               IntCol("CalendarQuarter", 1, 4), IntCol("MonthNumberOfYear", 1,
+                                                       12),
+               CatCol("EnglishDayNameOfWeek",
+                      {"Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+                       "Saturday", "Sunday"})}});
+  b.AddTable({"DimGeography",
+              ScaleRows(scale, 120),
+              {Pk("GeographyKey"), TextCol("City"),
+               CatCol("StateProvinceCode", {"CA", "WA", "OR", "TX"}),
+               TextCol("StateProvinceName"),
+               CatCol("EnglishCountryRegionName",
+                      {"United States", "Canada", "France", "Germany",
+                       "Australia", "United Kingdom"}),
+               StrKey("PostalCode", "9", 5)}});
+  b.AddTable({"DimCustomer",
+              ScaleRows(scale, 350),
+              {Pk("CustomerKey"), StrKey("CustomerAlternateKey", "AW", 8),
+               TextCol("FirstName"), TextCol("LastName"),
+               DateCol("BirthDate"), CatCol("MaritalStatus", {"M", "S"}),
+               CatCol("Gender", {"M", "F"}), NumCol("YearlyIncome", 10000,
+                                                    170000),
+               IntCol("TotalChildren", 0, 5), TextCol("EmailAddress")}});
+  b.AddTable({"DimProductCategory",
+              4,
+              {Pk("ProductCategoryKey"),
+               CatCol("EnglishProductCategoryName",
+                      {"Bikes", "Components", "Clothing", "Accessories"})}});
+  b.AddTable({"DimProductSubcategory",
+              ScaleRows(scale, 37),
+              {Pk("ProductSubcategoryKey"),
+               TextCol("EnglishProductSubcategoryName")}});
+  b.AddTable({"DimProduct",
+              ScaleRows(scale, 300),
+              {Pk("ProductKey"), StrKey("ProductAlternateKey", "BK", 6),
+               TextCol("EnglishProductName"), CatCol("Color",
+                                                     {"Black", "Red", "Silver",
+                                                      "Blue", "Yellow"}),
+               NumCol("StandardCost", 1, 2200), NumCol("ListPrice", 2, 3600),
+               CatCol("SizeRange", {"38-40 CM", "42-46 CM", "48-52 CM",
+                                    "NA"})}});
+  b.AddTable({"DimSalesTerritory",
+              ScaleRows(scale, 11, 5),
+              {Pk("SalesTerritoryKey"), TextCol("SalesTerritoryRegion"),
+               CatCol("SalesTerritoryCountry",
+                      {"United States", "Canada", "France", "Germany",
+                       "Australia", "United Kingdom"}),
+               CatCol("SalesTerritoryGroup", {"North America", "Europe",
+                                              "Pacific"})}});
+  b.AddTable({"DimCurrency",
+              ScaleRows(scale, 105),
+              {Pk("CurrencyKey"), StrKey("CurrencyAlternateKey", "CR", 3),
+               TextCol("CurrencyName")}});
+  b.AddTable({"DimPromotion",
+              ScaleRows(scale, 16, 5),
+              {Pk("PromotionKey"), TextCol("EnglishPromotionName"),
+               NumCol("DiscountPct", 0, 0.5),
+               CatCol("EnglishPromotionType", {"No Discount",
+                                               "Volume Discount",
+                                               "Seasonal Discount"}),
+               DateCol("StartDate"), DateCol("EndDate")}});
+  b.AddTable({"FactInternetSales",
+              ScaleRows(scale, 2500),
+              {IntCol("SalesOrderNumber", 43697, 75122),
+               IntCol("OrderQuantity", 1, 4), NumCol("UnitPrice", 2, 3600),
+               NumCol("SalesAmount", 2, 3600), NumCol("TaxAmt", 0, 290),
+               NumCol("Freight", 0, 90)}});
+  b.AddTable({"FactResellerSales",
+              ScaleRows(scale, 1800),
+              {IntCol("SalesOrderNumber", 43659, 71952),
+               IntCol("OrderQuantity", 1, 40), NumCol("UnitPrice", 2, 2200),
+               NumCol("SalesAmount", 2, 40000),
+               NumCol("DiscountAmount", 0, 500)}});
+
+  b.AddFkColumn("DimProductSubcategory", "ProductCategoryKey",
+                "DimProductCategory", "ProductCategoryKey");
+  b.AddFkColumn("DimProduct", "ProductSubcategoryKey",
+                "DimProductSubcategory", "ProductSubcategoryKey", 0.2);
+  b.AddFkColumn("DimCustomer", "GeographyKey", "DimGeography",
+                "GeographyKey", 0.3);
+  b.AddFkColumn("FactInternetSales", "ProductKey", "DimProduct", "ProductKey",
+                0.5);
+  b.AddFkColumn("FactInternetSales", "OrderDateKey", "DimDate", "DateKey",
+                0.3);
+  b.AddFkColumn("FactInternetSales", "DueDateKey", "DimDate", "DateKey",
+                0.3);
+  b.AddFkColumn("FactInternetSales", "ShipDateKey", "DimDate", "DateKey",
+                0.3);
+  b.AddFkColumn("FactInternetSales", "CustomerKey", "DimCustomer",
+                "CustomerKey", 0.5);
+  b.AddFkColumn("FactInternetSales", "PromotionKey", "DimPromotion",
+                "PromotionKey", 0.2);
+  b.AddFkColumn("FactInternetSales", "CurrencyKey", "DimCurrency",
+                "CurrencyKey", 0.3);
+  b.AddFkColumn("FactInternetSales", "SalesTerritoryKey", "DimSalesTerritory",
+                "SalesTerritoryKey", 0.2);
+  b.AddFkColumn("FactResellerSales", "ProductKey", "DimProduct", "ProductKey",
+                0.5);
+  b.AddFkColumn("FactResellerSales", "OrderDateKey", "DimDate", "DateKey",
+                0.3);
+  b.AddFkColumn("FactResellerSales", "CurrencyKey", "DimCurrency",
+                "CurrencyKey", 0.3);
+  b.AddFkColumn("FactResellerSales", "SalesTerritoryKey",
+                "DimSalesTerritory", "SalesTerritoryKey", 0.2);
+  b.AddFkColumn("FactResellerSales", "PromotionKey", "DimPromotion",
+                "PromotionKey", 0.2);
+
+  BiCase out = b.Generate("AdventureWorks-OLAP", rng);
+  out.schema_type = SchemaType::kConstellation;
+  return out;
+}
+
+BiCase AdventureWorksOltp(double scale, Rng& rng) {
+  SchemaBuilder b;
+  b.AddTable({"Person",
+              ScaleRows(scale, 400),
+              {Pk("BusinessEntityID"), CatCol("PersonType", {"IN", "EM", "SP",
+                                                             "SC", "VC"}),
+               TextCol("FirstName"), TextCol("MiddleName", 0.4),
+               TextCol("LastName"), IntCol("EmailPromotion", 0, 2)}});
+  b.AddTable({"Address",
+              ScaleRows(scale, 350),
+              {Pk("AddressID"), TextCol("AddressLine1"),
+               TextCol("AddressLine2", 0.6), TextCol("City"),
+               StrKey("PostalCode", "9", 5)}});
+  b.AddTable({"SalesTerritory",
+              ScaleRows(scale, 10, 5),
+              {Pk("TerritoryID"), TextCol("Name"),
+               CatCol("CountryRegionCode", {"US", "CA", "FR", "DE", "AU",
+                                            "GB"}),
+               CatCol("Group", {"North America", "Europe", "Pacific"}),
+               NumCol("SalesYTD", 0, 10000000)}});
+  b.AddTable({"SalesPerson",
+              ScaleRows(scale, 17, 5),
+              {Pk("BusinessEntityID", 274), NumCol("SalesQuota", 0, 300000,
+                                                   0.2),
+               NumCol("Bonus", 0, 7000), NumCol("CommissionPct", 0, 0.02),
+               NumCol("SalesYTD", 0, 5000000)}});
+  b.AddTable({"Store",
+              ScaleRows(scale, 120),
+              {Pk("BusinessEntityID", 292), TextCol("Name"),
+               TextCol("Demographics")}});
+  b.AddTable({"Customer",
+              ScaleRows(scale, 350),
+              {Pk("CustomerID"), StrKey("AccountNumber", "AW", 8)}});
+  b.AddTable({"ProductCategory",
+              4,
+              {Pk("ProductCategoryID"),
+               CatCol("Name", {"Bikes", "Components", "Clothing",
+                               "Accessories"})}});
+  b.AddTable({"ProductSubcategory",
+              ScaleRows(scale, 37),
+              {Pk("ProductSubcategoryID"), TextCol("Name")}});
+  b.AddTable({"Product",
+              ScaleRows(scale, 300),
+              {Pk("ProductID"), TextCol("Name"),
+               StrKey("ProductNumber", "BK", 6),
+               CatCol("Color", {"Black", "Red", "Silver", "Blue"}, 0.3),
+               IntCol("SafetyStockLevel", 4, 1000),
+               NumCol("StandardCost", 0, 2200), NumCol("ListPrice", 0, 3600),
+               DateCol("SellStartDate")}});
+  b.AddTable({"SpecialOffer",
+              ScaleRows(scale, 16, 5),
+              {Pk("SpecialOfferID"), TextCol("Description"),
+               NumCol("DiscountPct", 0, 0.5), CatCol("Type", {"No Discount",
+                                                              "Volume Discount",
+                                                              "Seasonal "
+                                                              "Discount"}),
+               DateCol("StartDate"), DateCol("EndDate")}});
+  b.AddTable({"ShipMethod",
+              5,
+              {Pk("ShipMethodID"),
+               CatCol("Name", {"XRQ - TRUCK GROUND", "ZY - EXPRESS",
+                               "OVERSEAS - DELUXE", "OVERNIGHT J-FAST",
+                               "CARGO TRANSPORT 5"}),
+               NumCol("ShipBase", 3, 22), NumCol("ShipRate", 0.2, 2)}});
+  b.AddTable({"CreditCard",
+              ScaleRows(scale, 250),
+              {Pk("CreditCardID"), CatCol("CardType", {"SuperiorCard",
+                                                       "Distinguish", "ColonialVoice",
+                                                       "Vista"}),
+               StrKey("CardNumber", "4", 14), IntCol("ExpMonth", 1, 12),
+               IntCol("ExpYear", 2006, 2010)}});
+  b.AddTable({"SalesOrderHeader",
+              ScaleRows(scale, 1500),
+              {Pk("SalesOrderID", 43659), DateCol("OrderDate"),
+               DateCol("DueDate"), DateCol("ShipDate", 0.05),
+               IntCol("Status", 1, 5), NumCol("SubTotal", 1, 100000),
+               NumCol("TaxAmt", 0, 10000), NumCol("Freight", 0, 3000)}});
+  b.AddTable({"SalesOrderDetail",
+              ScaleRows(scale, 4000),
+              {IntCol("OrderQty", 1, 40), NumCol("UnitPrice", 1, 3600),
+               NumCol("UnitPriceDiscount", 0, 0.4),
+               NumCol("LineTotal", 1, 30000)}});
+
+  b.AddFkColumn("Customer", "PersonID", "Person", "BusinessEntityID", 0.4);
+  b.AddFkColumn("Customer", "StoreID", "Store", "BusinessEntityID", 0.3,
+                0.0, 0.3);
+  b.AddFkColumn("Customer", "TerritoryID", "SalesTerritory", "TerritoryID",
+                0.2);
+  b.AddFkColumn("Store", "SalesPersonID", "SalesPerson", "BusinessEntityID",
+                0.2);
+  b.AddFkColumn("SalesPerson", "TerritoryID", "SalesTerritory", "TerritoryID",
+                0.2, 0.0, 0.2);
+  b.AddFkColumn("ProductSubcategory", "ProductCategoryID", "ProductCategory",
+                "ProductCategoryID");
+  b.AddFkColumn("Product", "ProductSubcategoryID", "ProductSubcategory",
+                "ProductSubcategoryID", 0.2, 0.0, 0.2);
+  b.AddFkColumn("SalesOrderHeader", "CustomerID", "Customer", "CustomerID",
+                0.4);
+  b.AddFkColumn("SalesOrderHeader", "SalesPersonID", "SalesPerson",
+                "BusinessEntityID", 0.2, 0.0, 0.3);
+  b.AddFkColumn("SalesOrderHeader", "TerritoryID", "SalesTerritory",
+                "TerritoryID", 0.2);
+  b.AddFkColumn("SalesOrderHeader", "BillToAddressID", "Address", "AddressID",
+                0.3);
+  b.AddFkColumn("SalesOrderHeader", "ShipToAddressID", "Address", "AddressID",
+                0.3);
+  b.AddFkColumn("SalesOrderHeader", "ShipMethodID", "ShipMethod",
+                "ShipMethodID", 0.2);
+  b.AddFkColumn("SalesOrderHeader", "CreditCardID", "CreditCard",
+                "CreditCardID", 0.3, 0.0, 0.1);
+  b.AddFkColumn("SalesOrderDetail", "SalesOrderID", "SalesOrderHeader",
+                "SalesOrderID", 0.3);
+  b.AddFkColumn("SalesOrderDetail", "ProductID", "Product", "ProductID",
+                0.4);
+  b.AddFkColumn("SalesOrderDetail", "SpecialOfferID", "SpecialOffer",
+                "SpecialOfferID", 0.3);
+
+  BiCase out = b.Generate("AdventureWorks-OLTP", rng);
+  out.schema_type = SchemaType::kOther;
+  return out;
+}
+
+// --------------------------------------------------- WorldWideImporters.
+
+BiCase WorldWideImportersOlap(double scale, Rng& rng) {
+  SchemaBuilder b;
+  b.AddTable({"Dimension_Date",
+              ScaleRows(scale, 700),
+              {Pk("Date", 20130101), DateCol("DayDate"),
+               IntCol("CalendarYear", 2013, 2016),
+               CatCol("CalendarMonthLabel",
+                      {"CY2013-Jan", "CY2013-Feb", "CY2014-Mar",
+                       "CY2015-Apr"}),
+               IntCol("DayNumber", 1, 31), IntCol("ISOWeekNumber", 1, 53)}});
+  b.AddTable({"Dimension_City",
+              ScaleRows(scale, 250),
+              {Pk("CityKey"), TextCol("City"), TextCol("StateProvince"),
+               CatCol("Country", {"United States"}),
+               CatCol("Continent", {"North America"}),
+               CatCol("SalesTerritory", {"Southeast", "Plains", "Mideast",
+                                         "Far West", "New England"}),
+               IntCol("LatestRecordedPopulation", 1000, 9000000)}});
+  b.AddTable({"Dimension_Customer",
+              ScaleRows(scale, 200),
+              {Pk("CustomerKey"), TextCol("Customer"), TextCol("BillToCustomer"),
+               CatCol("Category", {"Novelty Shop", "Supermarket",
+                                   "Computer Store", "Gift Store",
+                                   "Corporate"}),
+               CatCol("BuyingGroup", {"Tailspin Toys", "Wingtip Toys",
+                                      "N/A"}),
+               TextCol("PrimaryContact"), StrKey("PostalCode", "9", 5)}});
+  b.AddTable({"Dimension_Employee",
+              ScaleRows(scale, 25, 5),
+              {Pk("EmployeeKey"), TextCol("Employee"),
+               TextCol("PreferredName"), IntCol("IsSalesperson", 0, 1)}});
+  b.AddTable({"Dimension_StockItem",
+              ScaleRows(scale, 230),
+              {Pk("StockItemKey"), TextCol("StockItem"), CatCol("Color",
+                                                                {"Red", "Blue",
+                                                                 "Black",
+                                                                 "White",
+                                                                 "N/A"}),
+               CatCol("SellingPackage", {"Each", "Carton", "Packet", "Bag"}),
+               IntCol("QuantityPerOuter", 1, 100),
+               NumCol("TaxRate", 10, 15), NumCol("UnitPrice", 1, 2000)}});
+  b.AddTable({"Dimension_Supplier",
+              ScaleRows(scale, 13, 5),
+              {Pk("SupplierKey"), TextCol("Supplier"),
+               CatCol("SupplierCategory", {"Toy Supplier", "Packaging Supplier",
+                                           "Novelty Goods Supplier",
+                                           "Clothing Supplier"}),
+               TextCol("PrimaryContact"), IntCol("PaymentDays", 7, 30)}});
+  b.AddTable({"Dimension_TransactionType",
+              ScaleRows(scale, 9, 5),
+              {Pk("TransactionTypeKey"), TextCol("TransactionType")}});
+  b.AddTable({"Fact_Sale",
+              ScaleRows(scale, 2800),
+              {IntCol("Quantity", 1, 360), NumCol("UnitPrice", 1, 2000),
+               NumCol("TaxRate", 10, 15), NumCol("TotalExcludingTax", 1,
+                                                 10000),
+               NumCol("TaxAmount", 0, 1500), NumCol("Profit", -100, 5000),
+               NumCol("TotalIncludingTax", 1, 11500)}});
+  b.AddTable({"Fact_Order",
+              ScaleRows(scale, 2200),
+              {IntCol("Quantity", 1, 360), NumCol("UnitPrice", 1, 2000),
+               NumCol("TaxRate", 10, 15), NumCol("TotalExcludingTax", 1,
+                                                 10000),
+               NumCol("TotalIncludingTax", 1, 11500)}});
+  b.AddTable({"Fact_Purchase",
+              ScaleRows(scale, 1200),
+              {IntCol("OrderedOuters", 1, 100), IntCol("OrderedQuantity", 1,
+                                                       1000),
+               IntCol("ReceivedOuters", 0, 100), IntCol("IsOrderFinalized", 0,
+                                                        1)}});
+
+  b.AddFkColumn("Fact_Sale", "InvoiceDateKey", "Dimension_Date", "Date", 0.3);
+  b.AddFkColumn("Fact_Sale", "DeliveryDateKey", "Dimension_Date", "Date",
+                0.3);
+  b.AddFkColumn("Fact_Sale", "CityKey", "Dimension_City", "CityKey", 0.4);
+  b.AddFkColumn("Fact_Sale", "CustomerKey", "Dimension_Customer",
+                "CustomerKey", 0.4);
+  b.AddFkColumn("Fact_Sale", "SalespersonKey", "Dimension_Employee",
+                "EmployeeKey", 0.3);
+  b.AddFkColumn("Fact_Sale", "StockItemKey", "Dimension_StockItem",
+                "StockItemKey", 0.4);
+  b.AddFkColumn("Fact_Order", "OrderDateKey", "Dimension_Date", "Date", 0.3);
+  b.AddFkColumn("Fact_Order", "PickedDateKey", "Dimension_Date", "Date",
+                0.3);
+  b.AddFkColumn("Fact_Order", "CityKey", "Dimension_City", "CityKey", 0.4);
+  b.AddFkColumn("Fact_Order", "CustomerKey", "Dimension_Customer",
+                "CustomerKey", 0.4);
+  b.AddFkColumn("Fact_Order", "SalespersonKey", "Dimension_Employee",
+                "EmployeeKey", 0.3);
+  b.AddFkColumn("Fact_Order", "PickerKey", "Dimension_Employee",
+                "EmployeeKey", 0.3);
+  b.AddFkColumn("Fact_Order", "StockItemKey", "Dimension_StockItem",
+                "StockItemKey", 0.4);
+  b.AddFkColumn("Fact_Purchase", "DateKey", "Dimension_Date", "Date", 0.3);
+  b.AddFkColumn("Fact_Purchase", "SupplierKey", "Dimension_Supplier",
+                "SupplierKey", 0.2);
+  b.AddFkColumn("Fact_Purchase", "StockItemKey", "Dimension_StockItem",
+                "StockItemKey", 0.4);
+
+  BiCase out = b.Generate("WorldWideImporters-OLAP", rng);
+  out.schema_type = SchemaType::kConstellation;
+  return out;
+}
+
+BiCase WorldWideImportersOltp(double scale, Rng& rng) {
+  SchemaBuilder b;
+  b.AddTable({"Countries",
+              ScaleRows(scale, 190),
+              {Pk("CountryID"), TextCol("CountryName"),
+               TextCol("FormalName"), CatCol("Continent",
+                                             {"Africa", "Asia", "Europe",
+                                              "North America", "Oceania",
+                                              "South America"}),
+               IntCol("LatestRecordedPopulation", 10000, 1400000000)}});
+  b.AddTable({"StateProvinces",
+              ScaleRows(scale, 53),
+              {Pk("StateProvinceID"), StrKey("StateProvinceCode", "S", 2),
+               TextCol("StateProvinceName"), TextCol("SalesTerritory"),
+               IntCol("LatestRecordedPopulation", 500000, 39000000)}});
+  b.AddTable({"Cities",
+              ScaleRows(scale, 400),
+              {Pk("CityID"), TextCol("CityName"),
+               IntCol("LatestRecordedPopulation", 1000, 9000000, 0.2)}});
+  b.AddTable({"People",
+              ScaleRows(scale, 300),
+              {Pk("PersonID"), TextCol("FullName"), TextCol("PreferredName"),
+               IntCol("IsEmployee", 0, 1), IntCol("IsSalesperson", 0, 1),
+               TextCol("PhoneNumber"), TextCol("EmailAddress")}});
+  b.AddTable({"CustomerCategories",
+              ScaleRows(scale, 8, 4),
+              {Pk("CustomerCategoryID"), TextCol("CustomerCategoryName")}});
+  b.AddTable({"BuyingGroups",
+              ScaleRows(scale, 3, 2),
+              {Pk("BuyingGroupID"), TextCol("BuyingGroupName")}});
+  b.AddTable({"Customers",
+              ScaleRows(scale, 200),
+              {Pk("CustomerID"), TextCol("CustomerName"),
+               NumCol("CreditLimit", 1000, 5000, 0.2),
+               DateCol("AccountOpenedDate"), NumCol("StandardDiscountPercentage",
+                                                    0, 0.1),
+               IntCol("IsOnCreditHold", 0, 1)}});
+  b.AddTable({"SupplierCategories",
+              ScaleRows(scale, 9, 4),
+              {Pk("SupplierCategoryID"), TextCol("SupplierCategoryName")}});
+  b.AddTable({"Suppliers",
+              ScaleRows(scale, 13, 5),
+              {Pk("SupplierID"), TextCol("SupplierName"),
+               StrKey("SupplierReference", "SU", 5),
+               IntCol("PaymentDays", 7, 30)}});
+  b.AddTable({"Colors",
+              ScaleRows(scale, 36),
+              {Pk("ColorID"), TextCol("ColorName")}});
+  b.AddTable({"PackageTypes",
+              ScaleRows(scale, 14, 5),
+              {Pk("PackageTypeID"), TextCol("PackageTypeName")}});
+  b.AddTable({"StockItems",
+              ScaleRows(scale, 230),
+              {Pk("StockItemID"), TextCol("StockItemName"),
+               IntCol("QuantityPerOuter", 1, 100), NumCol("TaxRate", 10, 15),
+               NumCol("UnitPrice", 1, 2000), NumCol("RecommendedRetailPrice",
+                                                    1, 3000),
+               IntCol("LeadTimeDays", 1, 30)}});
+  b.AddTable({"Orders",
+              ScaleRows(scale, 1800),
+              {Pk("OrderID"), DateCol("OrderDate"),
+               DateCol("ExpectedDeliveryDate"), IntCol("IsUndersupplyBackordered",
+                                                       0, 1)}});
+  b.AddTable({"OrderLines",
+              ScaleRows(scale, 4500),
+              {Pk("OrderLineID"), TextCol("Description"),
+               IntCol("Quantity", 1, 360), NumCol("UnitPrice", 1, 2000, 0.1),
+               NumCol("TaxRate", 10, 15), IntCol("PickedQuantity", 0, 360)}});
+  b.AddTable({"Invoices",
+              ScaleRows(scale, 1700),
+              {Pk("InvoiceID"), DateCol("InvoiceDate"),
+               IntCol("IsCreditNote", 0, 1), TextCol("DeliveryInstructions",
+                                                     0.3)}});
+  b.AddTable({"InvoiceLines",
+              ScaleRows(scale, 4200),
+              {Pk("InvoiceLineID"), TextCol("Description"),
+               IntCol("Quantity", 1, 360), NumCol("UnitPrice", 1, 2000, 0.1),
+               NumCol("TaxRate", 10, 15), NumCol("TaxAmount", 0, 1500),
+               NumCol("LineProfit", -100, 5000),
+               NumCol("ExtendedPrice", 1, 11500)}});
+  b.AddTable({"DeliveryMethods",
+              ScaleRows(scale, 10, 5),
+              {Pk("DeliveryMethodID"), TextCol("DeliveryMethodName")}});
+
+  b.AddFkColumn("StateProvinces", "CountryID", "Countries", "CountryID");
+  b.AddFkColumn("Cities", "StateProvinceID", "StateProvinces",
+                "StateProvinceID", 0.3);
+  b.AddFkColumn("Customers", "CustomerCategoryID", "CustomerCategories",
+                "CustomerCategoryID", 0.2);
+  b.AddFkColumn("Customers", "BuyingGroupID", "BuyingGroups", "BuyingGroupID",
+                0.2, 0.0, 0.4);
+  b.AddFkColumn("Customers", "PrimaryContactPersonID", "People", "PersonID",
+                0.3);
+  b.AddFkColumn("Customers", "DeliveryCityID", "Cities", "CityID", 0.4);
+  b.AddFkColumn("Suppliers", "SupplierCategoryID", "SupplierCategories",
+                "SupplierCategoryID", 0.2);
+  b.AddFkColumn("Suppliers", "PrimaryContactPersonID", "People", "PersonID",
+                0.2);
+  b.AddFkColumn("Suppliers", "DeliveryCityID", "Cities", "CityID", 0.3);
+  b.AddFkColumn("StockItems", "SupplierID", "Suppliers", "SupplierID", 0.3);
+  b.AddFkColumn("StockItems", "ColorID", "Colors", "ColorID", 0.3, 0.0, 0.4);
+  b.AddFkColumn("StockItems", "UnitPackageID", "PackageTypes",
+                "PackageTypeID", 0.2);
+  b.AddFkColumn("Orders", "CustomerID", "Customers", "CustomerID", 0.4);
+  b.AddFkColumn("Orders", "SalespersonPersonID", "People", "PersonID", 0.3);
+  b.AddFkColumn("Orders", "ContactPersonID", "People", "PersonID", 0.3);
+  b.AddFkColumn("OrderLines", "OrderID", "Orders", "OrderID", 0.3);
+  b.AddFkColumn("OrderLines", "StockItemID", "StockItems", "StockItemID",
+                0.4);
+  b.AddFkColumn("OrderLines", "PackageTypeID", "PackageTypes",
+                "PackageTypeID", 0.2);
+  b.AddFkColumn("Invoices", "CustomerID", "Customers", "CustomerID", 0.4);
+  b.AddFkColumn("Invoices", "OrderID", "Orders", "OrderID", 0.3);
+  b.AddFkColumn("Invoices", "DeliveryMethodID", "DeliveryMethods",
+                "DeliveryMethodID", 0.2);
+  b.AddFkColumn("Invoices", "SalespersonPersonID", "People", "PersonID",
+                0.3);
+  b.AddFkColumn("InvoiceLines", "InvoiceID", "Invoices", "InvoiceID", 0.3);
+  b.AddFkColumn("InvoiceLines", "StockItemID", "StockItems", "StockItemID",
+                0.4);
+  b.AddFkColumn("InvoiceLines", "PackageTypeID", "PackageTypes",
+                "PackageTypeID", 0.2);
+
+  BiCase out = b.Generate("WorldWideImporters-OLTP", rng);
+  out.schema_type = SchemaType::kOther;
+  return out;
+}
+
+}  // namespace
+
+BiCase GenerateClassicDb(ClassicDb db, bool olap, double scale, Rng& rng) {
+  switch (db) {
+    case ClassicDb::kFoodMart:
+      return olap ? FoodMartOlap(scale, rng) : FoodMartOltp(scale, rng);
+    case ClassicDb::kNorthwind:
+      return olap ? NorthwindOlap(scale, rng) : NorthwindOltp(scale, rng);
+    case ClassicDb::kAdventureWorks:
+      return olap ? AdventureWorksOlap(scale, rng)
+                  : AdventureWorksOltp(scale, rng);
+    case ClassicDb::kWorldWideImporters:
+      return olap ? WorldWideImportersOlap(scale, rng)
+                  : WorldWideImportersOltp(scale, rng);
+  }
+  AUTOBI_CHECK(false);
+  return {};
+}
+
+}  // namespace autobi

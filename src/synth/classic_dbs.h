@@ -1,0 +1,26 @@
+#ifndef AUTOBI_SYNTH_CLASSIC_DBS_H_
+#define AUTOBI_SYNTH_CLASSIC_DBS_H_
+
+#include "common/rng.h"
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// The four classic sample databases of Table 6, each in a denormalized
+// ("OLAP-like", star/snowflake warehouse) and a normalized ("OLTP-like")
+// variant — 8 test databases total. Schemas are transcribed from the public
+// sample databases; data is seeded synthetic (DESIGN.md §1).
+enum class ClassicDb {
+  kFoodMart,
+  kNorthwind,
+  kAdventureWorks,
+  kWorldWideImporters,
+};
+
+const char* ClassicDbName(ClassicDb db);
+
+BiCase GenerateClassicDb(ClassicDb db, bool olap, double scale, Rng& rng);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_CLASSIC_DBS_H_

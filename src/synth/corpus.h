@@ -1,0 +1,61 @@
+#ifndef AUTOBI_SYNTH_CORPUS_H_
+#define AUTOBI_SYNTH_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bi_model.h"
+#include "synth/bi_generator.h"
+
+namespace autobi {
+
+// Builders for the corpora that stand in for the paper's harvested BI
+// models: an offline training corpus, a "wild collection" mirroring the
+// simple harvested population (Table 2), and the stratified REAL benchmark
+// (Table 3) bucketized by table count exactly as in Section 5.1.
+
+struct CorpusOptions {
+  uint64_t seed = 42;
+  // Number of training cases (drawn from the same generator family as the
+  // benchmark but from a disjoint seed stream — no leakage).
+  size_t training_cases = 240;
+  // Cases per REAL-benchmark bucket; the paper uses 100 (1000 cases total).
+  size_t cases_per_bucket = 20;
+  BiGenOptions gen;
+};
+
+// The 10 table-count buckets of Tables 7/8: {4,...,10,[11-15],[16-20],21+}.
+inline constexpr int kNumBuckets = 10;
+int BucketOfTableCount(int num_tables);       // -1 if below 4.
+const char* BucketLabel(int bucket);
+
+struct RealBenchmark {
+  std::vector<BiCase> cases;
+  std::vector<int> bucket_of;  // Bucket index per case.
+};
+
+// Training corpus: mostly small models (the harvested population skews
+// simple), sizes 3-12.
+std::vector<BiCase> BuildTrainingCorpus(const CorpusOptions& options);
+
+// The full "wild collection" population for Table 2 statistics: table counts
+// concentrated at 2-6 like the harvested 100K+ models.
+std::vector<BiCase> BuildWildCollection(const CorpusOptions& options,
+                                        size_t num_cases);
+
+// Stratified REAL benchmark (Table 3): `cases_per_bucket` cases in each of
+// the 10 buckets.
+RealBenchmark BuildRealBenchmark(const CorpusOptions& options);
+
+// Descriptive statistics matching the rows of Tables 2/3.
+struct CorpusStats {
+  double rows_avg = 0, rows_p50 = 0, rows_p90 = 0, rows_p95 = 0;
+  double cols_avg = 0, cols_p50 = 0, cols_p90 = 0, cols_p95 = 0;
+  double tables_avg = 0, tables_p50 = 0, tables_p90 = 0, tables_p95 = 0;
+  double edges_avg = 0, edges_p50 = 0, edges_p90 = 0, edges_p95 = 0;
+};
+CorpusStats ComputeCorpusStats(const std::vector<BiCase>& cases);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_CORPUS_H_

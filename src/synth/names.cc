@@ -1,0 +1,175 @@
+#include "synth/names.h"
+
+#include <cctype>
+#include <map>
+
+namespace autobi {
+
+const std::vector<EntityTemplate>& EntityPool() {
+  static const std::vector<EntityTemplate>* pool =
+      new std::vector<EntityTemplate>{
+          {"customer",
+           {"name", "email", "phone", "city", "address", "birth_date"},
+           false,
+           "segment"},
+          {"segment", {"name", "description"}, true, ""},
+          {"product",
+           {"name", "brand", "list_price", "color", "size", "weight"},
+           false,
+           "category"},
+          {"category", {"name", "department"}, true, ""},
+          {"store", {"name", "city", "phone", "sq_ft"}, false, "region"},
+          {"region", {"name", "manager"}, true, "country"},
+          {"country", {"name", "iso_code", "population"}, true, ""},
+          {"employee",
+           {"first_name", "last_name", "hire_date", "salary", "title"},
+           false,
+           "department"},
+          {"department", {"name", "budget"}, true, ""},
+          {"supplier", {"name", "contact", "phone", "city"}, false, "country"},
+          {"calendar",
+           {"full_date", "day_of_week", "month", "quarter", "year"},
+           false,
+           ""},
+          {"promotion", {"name", "discount_pct", "start_date", "end_date"},
+           true, ""},
+          {"currency", {"name", "symbol", "exchange_rate"}, true, ""},
+          {"warehouse", {"name", "city", "capacity"}, false, "region"},
+          {"carrier", {"name", "phone", "service_level"}, true, ""},
+          {"channel", {"name", "medium"}, true, ""},
+          {"campaign", {"name", "budget", "start_date"}, true, "channel"},
+          {"account", {"name", "account_type", "open_date"}, false,
+           "customer"},
+          {"payment_method", {"name", "provider"}, true, ""},
+          {"city", {"name", "state", "zip"}, false, "country"},
+          {"vendor", {"name", "rating", "contact"}, false, "country"},
+          {"item", {"name", "unit", "unit_cost"}, false, "category"},
+          {"patient", {"first_name", "last_name", "birth_date", "gender"},
+           false, "city"},
+          {"doctor", {"name", "specialty", "license_no"}, false,
+           "department"},
+          {"policy", {"policy_type", "premium", "start_date"}, false,
+           "agent"},
+          {"agent", {"name", "phone", "commission_rate"}, false, "branch"},
+          {"branch", {"name", "city", "manager"}, true, "region"},
+          {"vehicle", {"make", "model", "year", "vin"}, false, "category"},
+          {"driver", {"name", "license_no", "hire_date"}, false, ""},
+          {"route", {"origin", "destination", "distance"}, false, ""},
+          {"hotel", {"name", "city", "stars", "rooms"}, false, "city"},
+          {"flight", {"flight_no", "origin", "destination"}, false,
+           "airline"},
+          {"airline", {"name", "iata_code", "country"}, true, ""},
+          {"student", {"first_name", "last_name", "enroll_year"}, false,
+           "major"},
+          {"major", {"name", "school"}, true, ""},
+          {"course", {"title", "credits", "level"}, false, "department"},
+          {"movie", {"title", "release_year", "runtime", "rating"}, false,
+           "genre"},
+          {"genre", {"name"}, true, ""},
+          {"book", {"title", "isbn", "pages", "publish_year"}, false,
+           "publisher"},
+          {"publisher", {"name", "city"}, true, ""},
+          {"team", {"name", "city", "founded"}, false, "league"},
+          {"league", {"name", "level"}, true, ""},
+          {"project", {"name", "budget", "start_date", "status"}, false,
+           "department"},
+          {"machine", {"serial_no", "model", "install_date"}, false,
+           "plant"},
+          {"plant", {"name", "city", "capacity"}, true, "region"},
+          {"shipper", {"company_name", "phone"}, true, ""},
+          {"territory", {"name", "zone"}, true, "region"},
+          {"status_type", {"name"}, true, ""},
+          {"order_priority", {"name", "rank"}, true, ""},
+      };
+  return *pool;
+}
+
+const std::vector<FactTemplate>& FactPool() {
+  static const std::vector<FactTemplate>* pool = new std::vector<FactTemplate>{
+      {"sales", {"quantity", "unit_price", "discount", "total_amount"}},
+      {"orders", {"order_qty", "freight", "order_total"}},
+      {"shipments", {"weight", "freight_cost", "days_in_transit"}},
+      {"returns", {"return_qty", "refund_amount", "restock_fee"}},
+      {"inventory", {"qty_on_hand", "qty_on_order", "reorder_point"}},
+      {"payments", {"amount", "fee", "tax"}},
+      {"visits", {"duration_min", "pages_viewed", "conversion"}},
+      {"claims", {"claim_amount", "deductible", "payout"}},
+      {"trades", {"shares", "price", "commission"}},
+      {"bookings", {"nights", "room_rate", "total_charge"}},
+      {"enrollments", {"credits", "tuition", "grade_points"}},
+      {"admissions", {"length_of_stay", "total_cost", "copay"}},
+      {"rentals", {"days", "daily_rate", "late_fee"}},
+      {"expenses", {"amount", "tax_amount", "reimbursed"}},
+      {"production", {"units_produced", "defects", "downtime_min"}},
+      {"budget", {"planned_amount", "actual_amount", "variance"}},
+  };
+  return *pool;
+}
+
+namespace {
+
+std::string Capitalize(const std::string& s) {
+  std::string out = s;
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StyleTokens(const std::vector<std::string>& tokens,
+                        NameStyle style) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    switch (style) {
+      case NameStyle::kSnake:
+        if (i > 0) out += "_";
+        out += tokens[i];
+        break;
+      case NameStyle::kCamel:
+        out += (i == 0) ? tokens[i] : Capitalize(tokens[i]);
+        break;
+      case NameStyle::kPascal:
+        out += Capitalize(tokens[i]);
+        break;
+      case NameStyle::kFlat:
+        out += tokens[i];
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Abbreviate(const std::string& token, Rng& rng) {
+  static const std::map<std::string, std::string>* known =
+      new std::map<std::string, std::string>{
+          {"customer", "cust"},   {"product", "prod"},
+          {"quantity", "qty"},    {"amount", "amt"},
+          {"number", "no"},       {"employee", "emp"},
+          {"department", "dept"}, {"category", "cat"},
+          {"account", "acct"},    {"address", "addr"},
+          {"warehouse", "whse"},  {"supplier", "supp"},
+          {"segment", "seg"},     {"description", "desc"},
+          {"calendar", "cal"},    {"promotion", "promo"},
+          {"payment", "pmt"},     {"vehicle", "veh"},
+          {"shipment", "shpmt"},  {"inventory", "inv"},
+      };
+  auto it = known->find(token);
+  if (it != known->end()) return it->second;
+  if (token.size() <= 4) return token;
+  // Either a prefix cut or vowel-stripping after the first letter.
+  if (rng.NextBool(0.5)) {
+    return token.substr(0, 3 + rng.NextBelow(2));
+  }
+  std::string out;
+  out += token[0];
+  for (size_t i = 1; i < token.size() && out.size() < 5; ++i) {
+    char c = token[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') continue;
+    out += c;
+  }
+  return out.size() >= 2 ? out : token.substr(0, 4);
+}
+
+}  // namespace autobi

@@ -1,0 +1,51 @@
+#ifndef AUTOBI_SYNTH_NAMES_H_
+#define AUTOBI_SYNTH_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace autobi {
+
+// Vocabulary + naming-noise model for the synthetic BI corpus (DESIGN.md §1).
+// Real harvested BI models use messy identifiers: generic PK names ("id",
+// "code"), abbreviations ("cust_id"), inconsistent casing, and entity names
+// that live only in table names. These helpers reproduce those habits.
+
+// A business entity with typical attribute names (used as dimension tables).
+struct EntityTemplate {
+  const char* name;
+  std::vector<const char*> attributes;
+  // True for small enumeration-like dimensions (few rows).
+  bool small = false;
+  // Optional parent entity for snowflake hierarchies ("" = none); e.g.
+  // city -> country.
+  const char* parent = "";
+};
+
+// The dimension-entity pool.
+const std::vector<EntityTemplate>& EntityPool();
+
+// Fact-table subjects ("sales", "orders", ...), with measure column names.
+struct FactTemplate {
+  const char* name;
+  std::vector<const char*> measures;
+};
+const std::vector<FactTemplate>& FactPool();
+
+// Identifier casing conventions seen in the wild; one is picked per case.
+enum class NameStyle { kSnake, kCamel, kPascal, kFlat };
+
+// Renders tokens in the given style ("customer","id" -> "customer_id" /
+// "customerId" / "CustomerID"-ish / "customerid").
+std::string StyleTokens(const std::vector<std::string>& tokens,
+                        NameStyle style);
+
+// Abbreviates a token the way schema authors do ("customer" -> "cust",
+// "quantity" -> "qty"); falls back to prefix truncation.
+std::string Abbreviate(const std::string& token, Rng& rng);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_NAMES_H_

@@ -1,0 +1,390 @@
+#include "synth/schema_builder.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace autobi {
+
+namespace {
+
+constexpr const char* kTextWords[] = {
+    "alpha", "beta",  "gamma", "delta", "omega", "prime", "north", "south",
+    "east",  "west",  "blue",  "green", "red",   "gold",  "iron",  "stone",
+    "river", "ridge", "lake",  "hill",  "rapid", "quiet", "misc",  "extra",
+};
+
+std::string RandomText(Rng& rng) {
+  size_t words = 2 + rng.NextBelow(4);
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out += " ";
+    out += kTextWords[rng.NextBelow(std::size(kTextWords))];
+  }
+  return out;
+}
+
+std::string DateString(long day_offset) {
+  // Days since 2019-01-01, rendered with a simple proleptic calculation.
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  long year = 2019;
+  long day = day_offset;
+  for (;;) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    long in_year = leap ? 366 : 365;
+    if (day < in_year) break;
+    day -= in_year;
+    ++year;
+  }
+  bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  int month = 0;
+  for (; month < 12; ++month) {
+    long in_month = kDays[month] + (month == 1 && leap ? 1 : 0);
+    if (day < in_month) break;
+    day -= in_month;
+  }
+  return StrFormat("%04ld-%02d-%02ld", year, month + 1, day + 1);
+}
+
+// Copies cell `row` of `src` into `dst` (types must match).
+void CopyCell(const Column& src, size_t row, Column* dst) {
+  if (src.IsNull(row)) {
+    dst->AppendNull();
+    return;
+  }
+  switch (src.type()) {
+    case ValueType::kInt:
+      dst->AppendInt(src.Int(row));
+      break;
+    case ValueType::kDouble:
+      dst->AppendDouble(src.Double(row));
+      break;
+    case ValueType::kString:
+      dst->AppendString(src.Str(row));
+      break;
+    case ValueType::kNull:
+      dst->AppendNull();
+      break;
+  }
+}
+
+}  // namespace
+
+int SchemaBuilder::AddTable(TableSpec spec) {
+  tables_.push_back(std::move(spec));
+  return static_cast<int>(tables_.size()) - 1;
+}
+
+void SchemaBuilder::AddRelationship(RelationshipSpec rel) {
+  relationships_.push_back(std::move(rel));
+}
+
+void SchemaBuilder::AddFkColumn(const std::string& table,
+                                const std::string& column,
+                                const std::string& ref_table,
+                                const std::string& ref_column, double skew,
+                                double dangling, double null_fraction) {
+  for (TableSpec& t : tables_) {
+    if (t.name != table) continue;
+    ColumnSpec col;
+    col.name = column;
+    col.kind = ColumnKind::kForeignKey;
+    col.ref_table = ref_table;
+    col.ref_column = ref_column;
+    col.fk_skew = skew;
+    col.fk_dangling = dangling;
+    col.null_fraction = null_fraction;
+    t.columns.push_back(std::move(col));
+    AddRelationship(RelationshipSpec{table, {column}, ref_table, {ref_column},
+                                     JoinKind::kNToOne});
+    return;
+  }
+  AUTOBI_CHECK_MSG(false, "AddFkColumn: unknown table");
+}
+
+void SchemaBuilder::AddOneToOne(const std::string& table_a,
+                                const std::string& column_a,
+                                const std::string& table_b,
+                                const std::string& column_b) {
+  AddRelationship(RelationshipSpec{table_a, {column_a}, table_b, {column_b},
+                                   JoinKind::kOneToOne});
+}
+
+BiCase SchemaBuilder::Generate(const std::string& case_name, Rng& rng) const {
+  BiCase out;
+  out.name = case_name;
+
+  // Topological order over FK dependencies (Kahn); cycles fall back to
+  // declaration order for the remaining tables.
+  std::map<std::string, int> table_index;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    table_index[tables_[i].name] = static_cast<int>(i);
+  }
+  std::vector<std::vector<int>> dependents(tables_.size());
+  std::vector<int> pending(tables_.size(), 0);
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    for (const ColumnSpec& c : tables_[i].columns) {
+      if (c.kind != ColumnKind::kForeignKey && c.kind != ColumnKind::kModKey &&
+          c.kind != ColumnKind::kDivKey) {
+        continue;
+      }
+      auto it = table_index.find(c.ref_table);
+      AUTOBI_CHECK_MSG(it != table_index.end(), "FK references unknown table");
+      if (it->second == static_cast<int>(i)) continue;  // Self-reference.
+      dependents[size_t(it->second)].push_back(static_cast<int>(i));
+      ++pending[i];
+    }
+  }
+  std::vector<int> order;
+  std::vector<int> queue;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (pending[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  while (!queue.empty()) {
+    int t = queue.back();
+    queue.pop_back();
+    order.push_back(t);
+    for (int d : dependents[size_t(t)]) {
+      if (--pending[size_t(d)] == 0) queue.push_back(d);
+    }
+  }
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (std::find(order.begin(), order.end(), int(i)) == order.end()) {
+      order.push_back(static_cast<int>(i));  // Cycle remainder.
+    }
+  }
+
+  // Which (table, column) pairs participate in a declared 1:1 join on the
+  // FK ("from") side? Those sample referenced rows without replacement.
+  std::map<std::pair<std::string, std::string>, bool> one_to_one_fk;
+  for (const RelationshipSpec& rel : relationships_) {
+    if (rel.kind != JoinKind::kOneToOne) continue;
+    for (const std::string& c : rel.from_columns) {
+      one_to_one_fk[{rel.from_table, c}] = true;
+    }
+  }
+  // Composite-FK grouping: FK columns of a table belonging to one
+  // multi-column relationship must pick the *same* referenced row.
+  // rel_of[table][column] = relationship index (only for composite rels).
+  std::map<std::pair<std::string, std::string>, int> composite_rel;
+  for (size_t r = 0; r < relationships_.size(); ++r) {
+    const RelationshipSpec& rel = relationships_[r];
+    if (rel.from_columns.size() < 2) continue;
+    for (size_t k = 0; k < rel.from_columns.size(); ++k) {
+      composite_rel[{rel.from_table, rel.from_columns[k]}] =
+          static_cast<int>(r);
+    }
+  }
+
+  out.tables.resize(tables_.size());
+  for (int ti : order) {
+    const TableSpec& spec = tables_[size_t(ti)];
+    Table& table = out.tables[size_t(ti)];
+    table.set_name(spec.name);
+    size_t rows = spec.rows;
+
+    // Pre-sample referenced row indices per composite relationship.
+    std::map<int, std::vector<size_t>> composite_rows;
+    for (const auto& [key, rel_idx] : composite_rel) {
+      if (key.first != spec.name) continue;
+      if (composite_rows.count(rel_idx)) continue;
+      const RelationshipSpec& rel = relationships_[size_t(rel_idx)];
+      int ref_ti = table_index.at(rel.to_table);
+      size_t ref_rows = out.tables[size_t(ref_ti)].num_rows();
+      if (ref_rows == 0) ref_rows = tables_[size_t(ref_ti)].rows;
+      std::vector<size_t>& picks = composite_rows[rel_idx];
+      picks.resize(rows);
+      for (size_t r = 0; r < rows; ++r) picks[r] = rng.NextBelow(ref_rows);
+    }
+
+    for (const ColumnSpec& cs : spec.columns) {
+      switch (cs.kind) {
+        case ColumnKind::kSurrogateKey: {
+          Column& col = table.AddColumn(cs.name, ValueType::kInt);
+          for (size_t r = 0; r < rows; ++r) {
+            col.AppendInt(cs.key_base + static_cast<long>(r));
+          }
+          break;
+        }
+        case ColumnKind::kStringKey: {
+          Column& col = table.AddColumn(cs.name, ValueType::kString);
+          for (size_t r = 0; r < rows; ++r) {
+            long n = cs.key_base + static_cast<long>(r);
+            if (cs.pad_width > 0) {
+              col.AppendString(
+                  StrFormat("%s%0*ld", cs.prefix.c_str(), cs.pad_width, n));
+            } else {
+              col.AppendString(StrFormat("%s%ld", cs.prefix.c_str(), n));
+            }
+          }
+          break;
+        }
+        case ColumnKind::kForeignKey: {
+          int ref_ti = table_index.at(cs.ref_table);
+          const Table& ref = out.tables[size_t(ref_ti)];
+          int ref_ci = ref.ColumnIndex(cs.ref_column);
+          AUTOBI_CHECK_MSG(ref_ci >= 0 && ref.num_rows() > 0,
+                           "FK referenced column not materialized");
+          const Column& ref_col = ref.column(size_t(ref_ci));
+          Column& col = table.AddColumn(
+              cs.name, ref_col.type() == ValueType::kNull ? ValueType::kInt
+                                                          : ref_col.type());
+          bool without_replacement =
+              one_to_one_fk.count({spec.name, cs.name}) > 0;
+          auto comp_it = composite_rel.find({spec.name, cs.name});
+          std::vector<size_t> permutation;
+          if (without_replacement) {
+            permutation.resize(ref.num_rows());
+            std::iota(permutation.begin(), permutation.end(), 0);
+            rng.Shuffle(permutation);
+          }
+          long dangle_counter = 0;
+          for (size_t r = 0; r < rows; ++r) {
+            if (cs.null_fraction > 0 && rng.NextBool(cs.null_fraction)) {
+              col.AppendNull();
+              continue;
+            }
+            if (cs.fk_dangling > 0 && rng.NextBool(cs.fk_dangling)) {
+              // Dangling value outside the referenced set (dirty FK). Like
+              // real dirty data, most dirt is a sentinel (-1/0/"unknown");
+              // only a minority are unique orphan values, so distinct-value
+              // containment stays high for true joins.
+              bool sentinel = rng.NextBool(0.75);
+              if (col.type() == ValueType::kInt) {
+                col.AppendInt(sentinel ? (rng.NextBool() ? -1 : 0)
+                                       : 1000000000L + (++dangle_counter));
+              } else if (col.type() == ValueType::kDouble) {
+                col.AppendDouble(sentinel ? -1.0
+                                          : 1e12 + double(++dangle_counter));
+              } else {
+                col.AppendString(sentinel
+                                     ? std::string("unknown")
+                                     : StrFormat("zz_%ld", ++dangle_counter));
+              }
+              continue;
+            }
+            size_t pick;
+            if (without_replacement) {
+              pick = permutation[r % permutation.size()];
+            } else if (comp_it != composite_rel.end()) {
+              pick = composite_rows.at(comp_it->second)[r];
+            } else if (cs.fk_skew > 0) {
+              pick = rng.NextZipf(ref.num_rows(), cs.fk_skew);
+            } else {
+              pick = rng.NextBelow(ref.num_rows());
+            }
+            CopyCell(ref_col, pick, &col);
+          }
+          break;
+        }
+        case ColumnKind::kModKey:
+        case ColumnKind::kDivKey: {
+          int ref_ti = table_index.at(cs.ref_table);
+          const Table& ref = out.tables[size_t(ref_ti)];
+          int ref_ci = ref.ColumnIndex(cs.ref_column);
+          AUTOBI_CHECK_MSG(ref_ci >= 0 && ref.num_rows() > 0,
+                           "ModKey/DivKey referenced column missing");
+          const Column& ref_col = ref.column(size_t(ref_ci));
+          Column& col = table.AddColumn(cs.name, ref_col.type());
+          size_t div = std::max<size_t>(1, cs.divisor);
+          for (size_t r = 0; r < rows; ++r) {
+            // kDivKey uses a "diagonal" (r%div + r/div) so that, paired with
+            // a kModKey over `div` values, tuples stay unique while both
+            // components cover their full referenced domains.
+            size_t pick = (cs.kind == ColumnKind::kModKey)
+                              ? r % ref.num_rows()
+                              : (r % div + r / div) % ref.num_rows();
+            CopyCell(ref_col, pick, &col);
+          }
+          break;
+        }
+        case ColumnKind::kInt: {
+          Column& col = table.AddColumn(cs.name, ValueType::kInt);
+          for (size_t r = 0; r < rows; ++r) {
+            if (cs.null_fraction > 0 && rng.NextBool(cs.null_fraction)) {
+              col.AppendNull();
+            } else {
+              col.AppendInt(rng.NextInt(long(cs.min_value),
+                                        long(cs.max_value)));
+            }
+          }
+          break;
+        }
+        case ColumnKind::kDouble: {
+          Column& col = table.AddColumn(cs.name, ValueType::kDouble);
+          for (size_t r = 0; r < rows; ++r) {
+            if (cs.null_fraction > 0 && rng.NextBool(cs.null_fraction)) {
+              col.AppendNull();
+            } else {
+              col.AppendDouble(rng.NextDouble(cs.min_value, cs.max_value));
+            }
+          }
+          break;
+        }
+        case ColumnKind::kCategory: {
+          Column& col = table.AddColumn(cs.name, ValueType::kString);
+          AUTOBI_CHECK(!cs.categories.empty());
+          for (size_t r = 0; r < rows; ++r) {
+            if (cs.null_fraction > 0 && rng.NextBool(cs.null_fraction)) {
+              col.AppendNull();
+            } else {
+              col.AppendString(cs.categories[rng.NextBelow(
+                  cs.categories.size())]);
+            }
+          }
+          break;
+        }
+        case ColumnKind::kText: {
+          Column& col = table.AddColumn(cs.name, ValueType::kString);
+          for (size_t r = 0; r < rows; ++r) {
+            if (cs.null_fraction > 0 && rng.NextBool(cs.null_fraction)) {
+              col.AppendNull();
+            } else {
+              col.AppendString(RandomText(rng));
+            }
+          }
+          break;
+        }
+        case ColumnKind::kDate: {
+          Column& col = table.AddColumn(cs.name, ValueType::kString);
+          long lo = long(cs.min_value);
+          long hi = std::max(lo + 1, long(cs.max_value));
+          for (size_t r = 0; r < rows; ++r) {
+            if (cs.null_fraction > 0 && rng.NextBool(cs.null_fraction)) {
+              col.AppendNull();
+            } else {
+              col.AppendString(DateString(rng.NextInt(lo, hi)));
+            }
+          }
+          break;
+        }
+      }
+    }
+    AUTOBI_CHECK(table.Validate());
+  }
+
+  // Ground-truth joins from the declared relationships.
+  for (const RelationshipSpec& rel : relationships_) {
+    Join join;
+    join.kind = rel.kind;
+    join.from.table = table_index.at(rel.from_table);
+    join.to.table = table_index.at(rel.to_table);
+    for (const std::string& c : rel.from_columns) {
+      int ci = out.tables[size_t(join.from.table)].ColumnIndex(c);
+      AUTOBI_CHECK_MSG(ci >= 0, "relationship from-column missing");
+      join.from.columns.push_back(ci);
+    }
+    for (const std::string& c : rel.to_columns) {
+      int ci = out.tables[size_t(join.to.table)].ColumnIndex(c);
+      AUTOBI_CHECK_MSG(ci >= 0, "relationship to-column missing");
+      join.to.columns.push_back(ci);
+    }
+    out.ground_truth.joins.push_back(join.Normalized());
+  }
+  return out;
+}
+
+}  // namespace autobi

@@ -1,0 +1,108 @@
+#ifndef AUTOBI_SYNTH_SCHEMA_BUILDER_H_
+#define AUTOBI_SYNTH_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/bi_model.h"
+#include "table/table.h"
+
+namespace autobi {
+
+// Declarative schema + data generator shared by every synthetic workload
+// (the BI-model corpus, the four TPC benchmarks, and the classic sample
+// databases). Tables are declared with typed column specs; Generate()
+// materializes data with referential integrity and returns a BiCase whose
+// ground truth contains exactly the declared FK / 1:1 relationships.
+
+enum class ColumnKind {
+  kSurrogateKey,  // Dense int key: base, base+1, ...
+  kStringKey,     // Unique string key: "<prefix><n>" (optionally zero-padded).
+  kForeignKey,    // Values drawn from a referenced column.
+  kInt,           // Uniform int in [min_value, max_value].
+  kDouble,        // Uniform double in [min_value, max_value].
+  kCategory,      // String drawn from a small category pool.
+  kText,          // Pseudo-text filler (low distinctness).
+  kDate,          // "YYYY-MM-DD" strings over a range.
+  // Deterministic references used to build composite primary keys with
+  // guaranteed tuple uniqueness (e.g. TPC-H partsupp = part x supplier):
+  kModKey,        // value = ref[row % ref_rows]
+  kDivKey,        // value = ref[(row % divisor + row / divisor) % ref_rows]
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind = ColumnKind::kInt;
+  // kSurrogateKey: first value (keys are base .. base+rows-1).
+  long key_base = 1;
+  // kStringKey: value prefix; pad_width > 0 zero-pads the counter.
+  std::string prefix;
+  int pad_width = 0;
+  // kForeignKey / kModKey / kDivKey: referenced table/column (by name).
+  std::string ref_table;
+  std::string ref_column;
+  // kDivKey divisor.
+  size_t divisor = 1;
+  double fk_skew = 0.0;        // Zipf exponent; 0 = uniform.
+  double fk_dangling = 0.0;    // Fraction of FK values outside the ref set.
+  // kInt / kDouble ranges.
+  double min_value = 0.0;
+  double max_value = 100.0;
+  // kCategory pool.
+  std::vector<std::string> categories;
+  // Any column: fraction of nulls.
+  double null_fraction = 0.0;
+};
+
+struct TableSpec {
+  std::string name;
+  size_t rows = 100;
+  std::vector<ColumnSpec> columns;
+};
+
+// A declared relationship that becomes both a ground-truth join and (for
+// FK columns) the value-sampling dependency.
+struct RelationshipSpec {
+  std::string from_table;
+  std::vector<std::string> from_columns;
+  std::string to_table;
+  std::vector<std::string> to_columns;
+  JoinKind kind = JoinKind::kNToOne;
+};
+
+class SchemaBuilder {
+ public:
+  // Adds a table spec; returns its index.
+  int AddTable(TableSpec spec);
+  TableSpec& table(int index) { return tables_[size_t(index)]; }
+
+  // Declares a ground-truth relationship. FK columns involved must have
+  // matching kForeignKey specs (AddFkColumn is the convenient path).
+  void AddRelationship(RelationshipSpec rel);
+
+  // Convenience: appends an FK column to `table` referencing
+  // ref_table.ref_column and records the N:1 ground-truth join.
+  void AddFkColumn(const std::string& table, const std::string& column,
+                   const std::string& ref_table, const std::string& ref_column,
+                   double skew = 0.0, double dangling = 0.0,
+                   double null_fraction = 0.0);
+
+  // Convenience: records a 1:1 ground-truth join between two key columns
+  // (the generator keeps their value sets aligned when the second column is
+  // declared as an FK with dangling == 0, or as an identical surrogate key).
+  void AddOneToOne(const std::string& table_a, const std::string& column_a,
+                   const std::string& table_b, const std::string& column_b);
+
+  // Materializes all tables (topological order over FK dependencies) and
+  // returns the case with ground truth filled in.
+  BiCase Generate(const std::string& case_name, Rng& rng) const;
+
+ private:
+  std::vector<TableSpec> tables_;
+  std::vector<RelationshipSpec> relationships_;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_SCHEMA_BUILDER_H_

@@ -1,0 +1,22 @@
+#ifndef AUTOBI_SYNTH_TPC_H_
+#define AUTOBI_SYNTH_TPC_H_
+
+#include "common/rng.h"
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// Generators for the four TPC benchmarks of Section 5.1 (Table 4). Schemas
+// (tables, columns, PK/FK ground truth) follow the TPC specifications; the
+// data is seeded synthetic at a configurable scale (DESIGN.md §1 documents
+// the substitution for the official dbgen tools). `scale` multiplies base
+// row counts (1.0 ≈ thousands of fact rows — sized for single-core runs).
+
+BiCase GenerateTpcH(double scale, Rng& rng);   //  8 tables,   8 FKs (OLAP).
+BiCase GenerateTpcDs(double scale, Rng& rng);  // 24 tables, ~107 FKs (OLAP).
+BiCase GenerateTpcC(double scale, Rng& rng);   //  9 tables,  10 FKs (OLTP).
+BiCase GenerateTpcE(double scale, Rng& rng);   // 32 tables, ~45 FKs (OLTP).
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_TPC_H_

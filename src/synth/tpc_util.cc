@@ -1,0 +1,100 @@
+#include "synth/tpc_util.h"
+
+#include <algorithm>
+
+namespace autobi {
+
+ColumnSpec Pk(const std::string& name, long base) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kSurrogateKey;
+  c.key_base = base;
+  return c;
+}
+
+ColumnSpec StrKey(const std::string& name, const std::string& prefix,
+                  int pad) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kStringKey;
+  c.prefix = prefix;
+  c.pad_width = pad;
+  return c;
+}
+
+ColumnSpec IntCol(const std::string& name, double lo, double hi,
+                  double nulls) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kInt;
+  c.min_value = lo;
+  c.max_value = hi;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec NumCol(const std::string& name, double lo, double hi,
+                  double nulls) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kDouble;
+  c.min_value = lo;
+  c.max_value = hi;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec TextCol(const std::string& name, double nulls) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kText;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec DateCol(const std::string& name, double nulls) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kDate;
+  c.min_value = 0;
+  c.max_value = 2500;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec CatCol(const std::string& name, std::vector<std::string> pool,
+                  double nulls) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kCategory;
+  c.categories = std::move(pool);
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec ModKey(const std::string& name, const std::string& ref_table,
+                  const std::string& ref_column) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kModKey;
+  c.ref_table = ref_table;
+  c.ref_column = ref_column;
+  return c;
+}
+
+ColumnSpec DivKey(const std::string& name, const std::string& ref_table,
+                  const std::string& ref_column, size_t divisor) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kDivKey;
+  c.ref_table = ref_table;
+  c.ref_column = ref_column;
+  c.divisor = divisor;
+  return c;
+}
+
+size_t ScaleRows(double scale, size_t base, size_t floor) {
+  return std::max(floor, size_t(double(base) * scale));
+}
+
+}  // namespace autobi

@@ -1,0 +1,35 @@
+#ifndef AUTOBI_SYNTH_TPC_UTIL_H_
+#define AUTOBI_SYNTH_TPC_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/schema_builder.h"
+
+namespace autobi {
+
+// Small helpers shared by the TPC/classic-database schema transcriptions:
+// terse ColumnSpec factories so table definitions read like DDL.
+
+ColumnSpec Pk(const std::string& name, long base = 1);
+ColumnSpec StrKey(const std::string& name, const std::string& prefix,
+                  int pad = 6);
+ColumnSpec IntCol(const std::string& name, double lo = 0, double hi = 1000,
+                  double nulls = 0.0);
+ColumnSpec NumCol(const std::string& name, double lo = 0, double hi = 10000,
+                  double nulls = 0.0);
+ColumnSpec TextCol(const std::string& name, double nulls = 0.0);
+ColumnSpec DateCol(const std::string& name, double nulls = 0.0);
+ColumnSpec CatCol(const std::string& name, std::vector<std::string> pool,
+                  double nulls = 0.0);
+ColumnSpec ModKey(const std::string& name, const std::string& ref_table,
+                  const std::string& ref_column);
+ColumnSpec DivKey(const std::string& name, const std::string& ref_table,
+                  const std::string& ref_column, size_t divisor);
+
+// Scales a base row count, keeping at least `floor` rows.
+size_t ScaleRows(double scale, size_t base, size_t floor = 5);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_TPC_UTIL_H_

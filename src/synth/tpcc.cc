@@ -1,0 +1,87 @@
+#include "synth/tpc.h"
+#include "synth/tpc_util.h"
+
+namespace autobi {
+
+// TPC-C: 9 tables, 10 FK relationships (OLTP). The spec's composite keys
+// (district keyed by (d_w_id, d_id), etc.) are flattened to globally-unique
+// surrogate ids, preserving the relationship graph the paper evaluates
+// against while keeping candidate INDs unary (DESIGN.md §1 records this
+// simplification).
+BiCase GenerateTpcC(double scale, Rng& rng) {
+  SchemaBuilder b;
+  size_t warehouses = ScaleRows(scale, 8);
+  size_t districts = warehouses * 10;
+  size_t customers = ScaleRows(scale, 600);
+  size_t items = ScaleRows(scale, 300);
+  size_t stocks = ScaleRows(scale, 1200);
+  size_t orders = ScaleRows(scale, 1500);
+  size_t order_lines = ScaleRows(scale, 4500);
+  size_t history = ScaleRows(scale, 1200);
+  size_t new_orders = ScaleRows(scale, 450);
+
+  b.AddTable({"warehouse",
+              warehouses,
+              {Pk("w_id"), TextCol("w_name"), TextCol("w_street_1"),
+               TextCol("w_city"), CatCol("w_state", {"CA", "NY", "TX", "WA"}),
+               StrKey("w_zip", "1", 8), NumCol("w_tax", 0, 0.2),
+               NumCol("w_ytd", 0, 900000)}});
+  b.AddTable({"district",
+              districts,
+              {Pk("d_id"), TextCol("d_name"), TextCol("d_street_1"),
+               TextCol("d_city"), CatCol("d_state", {"CA", "NY", "TX", "WA"}),
+               StrKey("d_zip", "2", 8), NumCol("d_tax", 0, 0.2),
+               NumCol("d_ytd", 0, 90000), IntCol("d_next_o_id", 1, 10000)}});
+  b.AddTable({"customer",
+              customers,
+              {Pk("c_id"), TextCol("c_first"), CatCol("c_middle", {"OE"}),
+               TextCol("c_last"), TextCol("c_street_1"), TextCol("c_city"),
+               CatCol("c_state", {"CA", "NY", "TX", "WA"}),
+               StrKey("c_zip", "3", 8), TextCol("c_phone"),
+               DateCol("c_since"), CatCol("c_credit", {"GC", "BC"}),
+               NumCol("c_credit_lim", 0, 50000),
+               NumCol("c_discount", 0, 0.5), NumCol("c_balance", -10, 10)}});
+  b.AddTable({"item",
+              items,
+              {Pk("i_id"), IntCol("i_im_id", 1, 10000), TextCol("i_name"),
+               NumCol("i_price", 1, 100), TextCol("i_data")}});
+  b.AddTable({"stock",
+              stocks,
+              {Pk("s_id"), IntCol("s_quantity", 10, 100),
+               TextCol("s_dist_01"), TextCol("s_dist_02"),
+               NumCol("s_ytd", 0, 1000), IntCol("s_order_cnt", 0, 100),
+               IntCol("s_remote_cnt", 0, 10), TextCol("s_data")}});
+  b.AddTable({"orders",
+              orders,
+              {Pk("o_id"), DateCol("o_entry_d"),
+               IntCol("o_carrier_id", 1, 10, 0.3),
+               IntCol("o_ol_cnt", 5, 15), IntCol("o_all_local", 0, 1)}});
+  b.AddTable({"new_order", new_orders, {Pk("no_seq")}});
+  b.AddTable({"order_line",
+              order_lines,
+              {Pk("ol_seq"), IntCol("ol_number", 1, 15),
+               DateCol("ol_delivery_d", 0.25), IntCol("ol_quantity", 1, 10),
+               NumCol("ol_amount", 0, 10000), TextCol("ol_dist_info")}});
+  b.AddTable({"history",
+              history,
+              {DateCol("h_date"), NumCol("h_amount", 1, 5000),
+               TextCol("h_data")}});
+
+  // The 10 spec relationships.
+  b.AddFkColumn("district", "d_w_id", "warehouse", "w_id");
+  b.AddFkColumn("customer", "c_d_id", "district", "d_id", 0.3);
+  b.AddFkColumn("stock", "s_w_id", "warehouse", "w_id");
+  b.AddFkColumn("stock", "s_i_id", "item", "i_id", 0.0);
+  b.AddFkColumn("orders", "o_c_id", "customer", "c_id", 0.4);
+  b.AddFkColumn("new_order", "no_o_id", "orders", "o_id");
+  b.AddFkColumn("order_line", "ol_o_id", "orders", "o_id", 0.2);
+  b.AddFkColumn("order_line", "ol_supply_s_id", "stock", "s_id", 0.3);
+  b.AddFkColumn("history", "h_c_id", "customer", "c_id", 0.4);
+  b.AddFkColumn("history", "h_d_id", "district", "d_id", 0.3);
+
+  BiCase out = b.Generate("TPC-C", rng);
+  out.schema_type = SchemaType::kOther;
+  return out;
+}
+
+}  // namespace autobi

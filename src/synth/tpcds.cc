@@ -1,0 +1,343 @@
+#include "synth/tpc.h"
+#include "synth/tpc_util.h"
+
+namespace autobi {
+
+// TPC-DS: 24 tables and ~107 FK relationships per the specification. The
+// density comes from role-playing: every fact references date_dim/time_dim/
+// customer/demographics several times under different roles, which is what
+// stresses recall (Table 5: Auto-BI-P's recall on TPC-DS is only 0.28
+// because a k-arborescence backbone keeps a single in-edge per dimension).
+BiCase GenerateTpcDs(double scale, Rng& rng) {
+  SchemaBuilder b;
+  size_t dates = ScaleRows(scale, 800);
+  size_t times = ScaleRows(scale, 600);
+  size_t items = ScaleRows(scale, 250);
+  size_t customers = ScaleRows(scale, 400);
+  size_t cdemo = ScaleRows(scale, 350);
+  size_t hdemo = ScaleRows(scale, 120);
+  size_t addresses = ScaleRows(scale, 300);
+  size_t ss = ScaleRows(scale, 2500);
+  size_t cs = ScaleRows(scale, 1800);
+  size_t ws = ScaleRows(scale, 1200);
+  size_t sr = ScaleRows(scale, 500);
+  size_t cr = ScaleRows(scale, 400);
+  size_t wr = ScaleRows(scale, 300);
+  size_t inv = ScaleRows(scale, 1500);
+
+  // --- Dimensions.
+  b.AddTable({"date_dim",
+              dates,
+              {Pk("d_date_sk", 2415022), StrKey("d_date_id", "AAAA", 12),
+               DateCol("d_date"), IntCol("d_year", 1998, 2003),
+               IntCol("d_moy", 1, 12), IntCol("d_dom", 1, 31),
+               IntCol("d_qoy", 1, 4), CatCol("d_day_name",
+                                             {"Monday", "Tuesday", "Wednesday",
+                                              "Thursday", "Friday", "Saturday",
+                                              "Sunday"})}});
+  b.AddTable({"time_dim",
+              times,
+              {Pk("t_time_sk", 0), StrKey("t_time_id", "AAAB", 12),
+               IntCol("t_hour", 0, 23), IntCol("t_minute", 0, 59),
+               IntCol("t_second", 0, 59),
+               CatCol("t_meal_time", {"breakfast", "lunch", "dinner", ""})}});
+  b.AddTable({"item",
+              items,
+              {Pk("i_item_sk"), StrKey("i_item_id", "AAAC", 12),
+               TextCol("i_item_desc"), NumCol("i_current_price", 1, 100),
+               NumCol("i_wholesale_cost", 1, 80), TextCol("i_brand"),
+               TextCol("i_class"), TextCol("i_category"),
+               CatCol("i_size", {"small", "medium", "large", "extra large"}),
+               TextCol("i_color"), CatCol("i_units", {"Each", "Dozen", "Case",
+                                                      "Pallet"})}});
+  b.AddTable({"customer_demographics",
+              cdemo,
+              {Pk("cd_demo_sk"),
+               CatCol("cd_gender", {"M", "F"}),
+               CatCol("cd_marital_status", {"M", "S", "D", "W", "U"}),
+               CatCol("cd_education_status",
+                      {"Primary", "Secondary", "College", "2 yr Degree",
+                       "4 yr Degree", "Advanced Degree", "Unknown"}),
+               IntCol("cd_purchase_estimate", 500, 10000),
+               IntCol("cd_dep_count", 0, 6)}});
+  b.AddTable({"income_band",
+              20,
+              {Pk("ib_income_band_sk"), IntCol("ib_lower_bound", 0, 190000),
+               IntCol("ib_upper_bound", 10000, 200000)}});
+  b.AddTable({"household_demographics",
+              hdemo,
+              {Pk("hd_demo_sk"),
+               CatCol("hd_buy_potential",
+                      {">10000", "5001-10000", "1001-5000", "501-1000",
+                       "0-500", "Unknown"}),
+               IntCol("hd_dep_count", 0, 9),
+               IntCol("hd_vehicle_count", 0, 4)}});
+  b.AddTable({"customer_address",
+              addresses,
+              {Pk("ca_address_sk"), StrKey("ca_address_id", "AAAD", 12),
+               TextCol("ca_street_name"), TextCol("ca_city"),
+               TextCol("ca_county"), CatCol("ca_state", {"CA", "NY", "TX",
+                                                         "WA", "IL", "GA"}),
+               StrKey("ca_zip", "9", 4), TextCol("ca_country")}});
+  b.AddTable({"customer",
+              customers,
+              {Pk("c_customer_sk"), StrKey("c_customer_id", "AAAE", 12),
+               TextCol("c_first_name"), TextCol("c_last_name"),
+               IntCol("c_birth_year", 1930, 2000),
+               TextCol("c_login", 0.4), TextCol("c_email_address")}});
+  b.AddTable({"store",
+              ScaleRows(scale, 12),
+              {Pk("s_store_sk"), StrKey("s_store_id", "AAAF", 12),
+               TextCol("s_store_name"), IntCol("s_number_employees", 200, 300),
+               IntCol("s_floor_space", 5000000, 10000000),
+               TextCol("s_city"), CatCol("s_state", {"CA", "NY", "TX"}),
+               TextCol("s_manager")}});
+  b.AddTable({"call_center",
+              ScaleRows(scale, 6),
+              {Pk("cc_call_center_sk"), StrKey("cc_call_center_id", "AAAG",
+                                               12),
+               TextCol("cc_name"), CatCol("cc_class", {"small", "medium",
+                                                       "large"}),
+               IntCol("cc_employees", 100, 700), TextCol("cc_manager")}});
+  b.AddTable({"catalog_page",
+              ScaleRows(scale, 60),
+              {Pk("cp_catalog_page_sk"), StrKey("cp_catalog_page_id", "AAAH",
+                                                12),
+               IntCol("cp_catalog_number", 1, 30),
+               IntCol("cp_catalog_page_number", 1, 200),
+               TextCol("cp_description")}});
+  b.AddTable({"web_site",
+              ScaleRows(scale, 8),
+              {Pk("web_site_sk"), StrKey("web_site_id", "AAAI", 12),
+               TextCol("web_name"), TextCol("web_manager"),
+               CatCol("web_class", {"Unknown"})}});
+  b.AddTable({"web_page",
+              ScaleRows(scale, 30),
+              {Pk("wp_web_page_sk"), StrKey("wp_web_page_id", "AAAJ", 12),
+               CatCol("wp_autogen_flag", {"Y", "N"}),
+               TextCol("wp_url"), CatCol("wp_type", {"order", "general",
+                                                     "welcome", "protected",
+                                                     "feedback"})}});
+  b.AddTable({"warehouse",
+              ScaleRows(scale, 5),
+              {Pk("w_warehouse_sk"), StrKey("w_warehouse_id", "AAAK", 12),
+               TextCol("w_warehouse_name"),
+               IntCol("w_warehouse_sq_ft", 50000, 1000000),
+               TextCol("w_city"), CatCol("w_state", {"CA", "NY", "TX"})}});
+  b.AddTable({"ship_mode",
+              20,
+              {Pk("sm_ship_mode_sk"), StrKey("sm_ship_mode_id", "AAAL", 12),
+               CatCol("sm_type", {"EXPRESS", "NEXT DAY", "OVERNIGHT",
+                                  "REGULAR", "TWO DAY"}),
+               CatCol("sm_code", {"AIR", "SURFACE", "SEA"}),
+               TextCol("sm_carrier")}});
+  b.AddTable({"reason",
+              ScaleRows(scale, 35),
+              {Pk("r_reason_sk"), StrKey("r_reason_id", "AAAM", 12),
+               TextCol("r_reason_desc")}});
+  b.AddTable({"promotion",
+              ScaleRows(scale, 30),
+              {Pk("p_promo_sk"), StrKey("p_promo_id", "AAAN", 12),
+               NumCol("p_cost", 0, 1000), CatCol("p_channel_dmail", {"Y",
+                                                                     "N"}),
+               TextCol("p_promo_name"), CatCol("p_discount_active", {"Y",
+                                                                     "N"})}});
+
+  // --- Facts.
+  b.AddTable({"store_sales",
+              ss,
+              {IntCol("ss_ticket_number", 1, 1 << 24),
+               IntCol("ss_quantity", 1, 100), NumCol("ss_list_price", 1, 200),
+               NumCol("ss_sales_price", 1, 200),
+               NumCol("ss_ext_discount_amt", 0, 1000),
+               NumCol("ss_net_paid", 0, 20000),
+               NumCol("ss_net_profit", -10000, 10000)}});
+  b.AddTable({"store_returns",
+              sr,
+              {IntCol("sr_ticket_number", 1, 1 << 24),
+               IntCol("sr_return_quantity", 1, 100),
+               NumCol("sr_return_amt", 0, 20000),
+               NumCol("sr_fee", 0, 100), NumCol("sr_net_loss", 0, 10000)}});
+  b.AddTable({"catalog_sales",
+              cs,
+              {IntCol("cs_order_number", 1, 1 << 24),
+               IntCol("cs_quantity", 1, 100),
+               NumCol("cs_wholesale_cost", 1, 100),
+               NumCol("cs_list_price", 1, 300), NumCol("cs_sales_price", 1,
+                                                       300),
+               NumCol("cs_ext_ship_cost", 0, 1000),
+               NumCol("cs_net_profit", -10000, 20000)}});
+  b.AddTable({"catalog_returns",
+              cr,
+              {IntCol("cr_order_number", 1, 1 << 24),
+               IntCol("cr_return_quantity", 1, 100),
+               NumCol("cr_return_amount", 0, 20000),
+               NumCol("cr_fee", 0, 100), NumCol("cr_net_loss", 0, 15000)}});
+  b.AddTable({"web_sales",
+              ws,
+              {IntCol("ws_order_number", 1, 1 << 24),
+               IntCol("ws_quantity", 1, 100), NumCol("ws_list_price", 1, 300),
+               NumCol("ws_sales_price", 1, 300),
+               NumCol("ws_ext_sales_price", 0, 30000),
+               NumCol("ws_net_paid", 0, 30000),
+               NumCol("ws_net_profit", -10000, 20000)}});
+  b.AddTable({"web_returns",
+              wr,
+              {IntCol("wr_order_number", 1, 1 << 24),
+               IntCol("wr_return_quantity", 1, 100),
+               NumCol("wr_return_amt", 0, 20000),
+               NumCol("wr_fee", 0, 100), NumCol("wr_net_loss", 0, 15000)}});
+  b.AddTable({"inventory",
+              inv,
+              {IntCol("inv_quantity_on_hand", 0, 1000)}});
+
+  // --- FK relationships (the spec's ~107, role-playing included).
+  auto fk = [&](const std::string& t, const std::string& c,
+                const std::string& rt, const std::string& rc,
+                double nulls = 0.02) {
+    b.AddFkColumn(t, c, rt, rc, /*skew=*/0.4, /*dangling=*/0.0, nulls);
+  };
+  // Dimension-to-dimension (snowflake) references.
+  fk("household_demographics", "hd_income_band_sk", "income_band",
+     "ib_income_band_sk", 0);
+  fk("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk");
+  fk("customer", "c_current_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("customer", "c_current_addr_sk", "customer_address", "ca_address_sk");
+  fk("customer", "c_first_shipto_date_sk", "date_dim", "d_date_sk");
+  fk("customer", "c_first_sales_date_sk", "date_dim", "d_date_sk");
+  fk("customer", "c_last_review_date_sk", "date_dim", "d_date_sk");
+  fk("store", "s_closed_date_sk", "date_dim", "d_date_sk", 0.3);
+  fk("call_center", "cc_open_date_sk", "date_dim", "d_date_sk");
+  fk("call_center", "cc_closed_date_sk", "date_dim", "d_date_sk", 0.3);
+  fk("catalog_page", "cp_start_date_sk", "date_dim", "d_date_sk");
+  fk("catalog_page", "cp_end_date_sk", "date_dim", "d_date_sk");
+  fk("web_site", "web_open_date_sk", "date_dim", "d_date_sk");
+  fk("web_site", "web_close_date_sk", "date_dim", "d_date_sk", 0.3);
+  fk("web_page", "wp_creation_date_sk", "date_dim", "d_date_sk");
+  fk("web_page", "wp_access_date_sk", "date_dim", "d_date_sk");
+  fk("web_page", "wp_customer_sk", "customer", "c_customer_sk", 0.3);
+  fk("promotion", "p_start_date_sk", "date_dim", "d_date_sk");
+  fk("promotion", "p_end_date_sk", "date_dim", "d_date_sk");
+  fk("promotion", "p_item_sk", "item", "i_item_sk");
+
+  // store_sales (9).
+  fk("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk");
+  fk("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk");
+  fk("store_sales", "ss_item_sk", "item", "i_item_sk", 0);
+  fk("store_sales", "ss_customer_sk", "customer", "c_customer_sk");
+  fk("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk");
+  fk("store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk");
+  fk("store_sales", "ss_addr_sk", "customer_address", "ca_address_sk");
+  fk("store_sales", "ss_store_sk", "store", "s_store_sk");
+  fk("store_sales", "ss_promo_sk", "promotion", "p_promo_sk");
+  // store_returns (9).
+  fk("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("store_returns", "sr_return_time_sk", "time_dim", "t_time_sk");
+  fk("store_returns", "sr_item_sk", "item", "i_item_sk", 0);
+  fk("store_returns", "sr_customer_sk", "customer", "c_customer_sk");
+  fk("store_returns", "sr_cdemo_sk", "customer_demographics", "cd_demo_sk");
+  fk("store_returns", "sr_hdemo_sk", "household_demographics", "hd_demo_sk");
+  fk("store_returns", "sr_addr_sk", "customer_address", "ca_address_sk");
+  fk("store_returns", "sr_store_sk", "store", "s_store_sk");
+  fk("store_returns", "sr_reason_sk", "reason", "r_reason_sk");
+  // catalog_sales (17).
+  fk("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk");
+  fk("catalog_sales", "cs_sold_time_sk", "time_dim", "t_time_sk");
+  fk("catalog_sales", "cs_ship_date_sk", "date_dim", "d_date_sk");
+  fk("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk");
+  fk("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("catalog_sales", "cs_bill_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("catalog_sales", "cs_bill_addr_sk", "customer_address", "ca_address_sk");
+  fk("catalog_sales", "cs_ship_customer_sk", "customer", "c_customer_sk");
+  fk("catalog_sales", "cs_ship_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("catalog_sales", "cs_ship_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("catalog_sales", "cs_ship_addr_sk", "customer_address", "ca_address_sk");
+  fk("catalog_sales", "cs_call_center_sk", "call_center",
+     "cc_call_center_sk");
+  fk("catalog_sales", "cs_catalog_page_sk", "catalog_page",
+     "cp_catalog_page_sk");
+  fk("catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk");
+  fk("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("catalog_sales", "cs_item_sk", "item", "i_item_sk", 0);
+  fk("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk");
+  // catalog_returns (16).
+  fk("catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("catalog_returns", "cr_returned_time_sk", "time_dim", "t_time_sk");
+  fk("catalog_returns", "cr_item_sk", "item", "i_item_sk", 0);
+  fk("catalog_returns", "cr_refunded_customer_sk", "customer",
+     "c_customer_sk");
+  fk("catalog_returns", "cr_refunded_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("catalog_returns", "cr_refunded_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("catalog_returns", "cr_refunded_addr_sk", "customer_address",
+     "ca_address_sk");
+  fk("catalog_returns", "cr_returning_customer_sk", "customer",
+     "c_customer_sk");
+  fk("catalog_returns", "cr_returning_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("catalog_returns", "cr_returning_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("catalog_returns", "cr_returning_addr_sk", "customer_address",
+     "ca_address_sk");
+  fk("catalog_returns", "cr_call_center_sk", "call_center",
+     "cc_call_center_sk");
+  fk("catalog_returns", "cr_catalog_page_sk", "catalog_page",
+     "cp_catalog_page_sk");
+  fk("catalog_returns", "cr_ship_mode_sk", "ship_mode", "sm_ship_mode_sk");
+  fk("catalog_returns", "cr_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("catalog_returns", "cr_reason_sk", "reason", "r_reason_sk");
+  // web_sales (17).
+  fk("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk");
+  fk("web_sales", "ws_sold_time_sk", "time_dim", "t_time_sk");
+  fk("web_sales", "ws_ship_date_sk", "date_dim", "d_date_sk");
+  fk("web_sales", "ws_item_sk", "item", "i_item_sk", 0);
+  fk("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk");
+  fk("web_sales", "ws_bill_cdemo_sk", "customer_demographics", "cd_demo_sk");
+  fk("web_sales", "ws_bill_hdemo_sk", "household_demographics", "hd_demo_sk");
+  fk("web_sales", "ws_bill_addr_sk", "customer_address", "ca_address_sk");
+  fk("web_sales", "ws_ship_customer_sk", "customer", "c_customer_sk");
+  fk("web_sales", "ws_ship_cdemo_sk", "customer_demographics", "cd_demo_sk");
+  fk("web_sales", "ws_ship_hdemo_sk", "household_demographics", "hd_demo_sk");
+  fk("web_sales", "ws_ship_addr_sk", "customer_address", "ca_address_sk");
+  fk("web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk");
+  fk("web_sales", "ws_web_site_sk", "web_site", "web_site_sk");
+  fk("web_sales", "ws_ship_mode_sk", "ship_mode", "sm_ship_mode_sk");
+  fk("web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("web_sales", "ws_promo_sk", "promotion", "p_promo_sk");
+  // web_returns (13).
+  fk("web_returns", "wr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("web_returns", "wr_returned_time_sk", "time_dim", "t_time_sk");
+  fk("web_returns", "wr_item_sk", "item", "i_item_sk", 0);
+  fk("web_returns", "wr_refunded_customer_sk", "customer", "c_customer_sk");
+  fk("web_returns", "wr_refunded_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("web_returns", "wr_refunded_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("web_returns", "wr_refunded_addr_sk", "customer_address",
+     "ca_address_sk");
+  fk("web_returns", "wr_returning_customer_sk", "customer", "c_customer_sk");
+  fk("web_returns", "wr_returning_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("web_returns", "wr_returning_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("web_returns", "wr_returning_addr_sk", "customer_address",
+     "ca_address_sk");
+  fk("web_returns", "wr_web_page_sk", "web_page", "wp_web_page_sk");
+  fk("web_returns", "wr_reason_sk", "reason", "r_reason_sk");
+  // inventory (3).
+  fk("inventory", "inv_date_sk", "date_dim", "d_date_sk", 0);
+  fk("inventory", "inv_item_sk", "item", "i_item_sk", 0);
+  fk("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk", 0);
+
+  BiCase out = b.Generate("TPC-DS", rng);
+  out.schema_type = SchemaType::kConstellation;
+  return out;
+}
+
+}  // namespace autobi

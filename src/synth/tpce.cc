@@ -1,0 +1,225 @@
+#include "synth/tpc.h"
+#include "synth/tpc_util.h"
+
+namespace autobi {
+
+// TPC-E: 32 tables, ~45 FK relationships (OLTP). The schema forms the
+// hub-and-spoke clusters the paper highlights (customer cluster joining
+// through CUSTOMER, market cluster through SECURITY/COMPANY, trade cluster
+// through TRADE) — the reason Auto-BI works on OLTP despite not being
+// designed for it (Section 5.3).
+BiCase GenerateTpcE(double scale, Rng& rng) {
+  SchemaBuilder b;
+  size_t customers = ScaleRows(scale, 300);
+  size_t accounts = ScaleRows(scale, 450);
+  size_t companies = ScaleRows(scale, 150);
+  size_t securities = ScaleRows(scale, 200);
+  size_t trades = ScaleRows(scale, 2500);
+  size_t brokers = ScaleRows(scale, 30);
+  size_t addresses = ScaleRows(scale, 400);
+
+  // --- Reference tables (no outgoing FKs).
+  b.AddTable({"zip_code",
+              ScaleRows(scale, 200),
+              {StrKey("zc_code", "Z", 5), TextCol("zc_town"),
+               TextCol("zc_div")}});
+  b.AddTable({"status_type",
+              5,
+              {StrKey("st_id", "ST", 2), CatCol("st_name",
+                                                {"ACTIVE", "COMPLETED",
+                                                 "PENDING", "CANCELED",
+                                                 "SUBMITTED"})}});
+  b.AddTable({"trade_type",
+              5,
+              {StrKey("tt_id", "TT", 2),
+               CatCol("tt_name", {"MARKET BUY", "MARKET SELL", "STOP LOSS",
+                                  "LIMIT BUY", "LIMIT SELL"}),
+               IntCol("tt_is_sell", 0, 1), IntCol("tt_is_mrkt", 0, 1)}});
+  b.AddTable({"taxrate",
+              ScaleRows(scale, 60),
+              {StrKey("tx_id", "TX", 3), TextCol("tx_name"),
+               NumCol("tx_rate", 0, 0.5)}});
+  b.AddTable({"exchange",
+              4,
+              {StrKey("ex_id", "EX", 4),
+               CatCol("ex_name", {"NYSE", "NASDAQ", "AMEX", "PCX"}),
+               IntCol("ex_num_symb", 100, 10000), IntCol("ex_open", 900, 930),
+               IntCol("ex_close", 1600, 1630)}});
+  b.AddTable({"sector",
+              12,
+              {StrKey("sc_id", "SC", 2), TextCol("sc_name")}});
+  b.AddTable({"charge",
+              15,
+              {IntCol("ch_c_tier", 1, 3), NumCol("ch_chrg", 0, 100)}});
+
+  // --- Customer cluster (hub: customer).
+  b.AddTable({"address",
+              addresses,
+              {Pk("ad_id"), TextCol("ad_line1"), TextCol("ad_line2", 0.5),
+               TextCol("ad_ctry")}});
+  b.AddTable({"customer",
+              customers,
+              {Pk("c_id"), StrKey("c_tax_id", "C", 9), TextCol("c_l_name"),
+               TextCol("c_f_name"), CatCol("c_gndr", {"M", "F"}),
+               IntCol("c_tier", 1, 3), DateCol("c_dob"),
+               TextCol("c_email_1")}});
+  b.AddTable({"customer_account",
+              accounts,
+              {Pk("ca_id"), TextCol("ca_name"), NumCol("ca_bal", 0, 1000000),
+               IntCol("ca_tax_st", 0, 2)}});
+  b.AddTable({"customer_taxrate", ScaleRows(scale, 400), {}});
+  b.AddTable({"account_permission",
+              ScaleRows(scale, 300),
+              {StrKey("ap_tax_id", "P", 9), CatCol("ap_acl", {"0000", "0001",
+                                                              "0011"}),
+               TextCol("ap_l_name"), TextCol("ap_f_name")}});
+  b.AddTable({"watch_list", ScaleRows(scale, 120), {Pk("wl_id")}});
+  b.AddTable({"watch_item", ScaleRows(scale, 600), {}});
+
+  // --- Broker cluster.
+  b.AddTable({"broker",
+              brokers,
+              {Pk("b_id"), TextCol("b_name"), IntCol("b_num_trades", 0,
+                                                     100000),
+               NumCol("b_comm_total", 0, 500000)}});
+  b.AddTable({"commission_rate",
+              ScaleRows(scale, 80),
+              {IntCol("cr_c_tier", 1, 3), IntCol("cr_from_qty", 0, 10000),
+               IntCol("cr_to_qty", 1, 100000), NumCol("cr_rate", 0, 1)}});
+
+  // --- Market cluster (hubs: company, security).
+  b.AddTable({"industry",
+              ScaleRows(scale, 40),
+              {StrKey("in_id", "IN", 2), TextCol("in_name")}});
+  b.AddTable({"company",
+              companies,
+              {Pk("co_id"), StrKey("co_name_id", "CO", 6), TextCol("co_name"),
+               TextCol("co_ceo"), TextCol("co_desc"),
+               DateCol("co_open_date")}});
+  b.AddTable({"company_competitor", ScaleRows(scale, 200), {}});
+  b.AddTable({"security",
+              securities,
+              {StrKey("s_symb", "S", 6), TextCol("s_issue"),
+               TextCol("s_name"), IntCol("s_num_out", 1000, 10000000),
+               DateCol("s_start_date"), NumCol("s_dividend", 0, 10)}});
+  b.AddTable({"daily_market",
+              ScaleRows(scale, 1500),
+              {DateCol("dm_date"), NumCol("dm_close", 1, 500),
+               NumCol("dm_high", 1, 550), NumCol("dm_low", 1, 450),
+               IntCol("dm_vol", 100, 1000000)}});
+  b.AddTable({"financial",
+              ScaleRows(scale, 600),
+              {IntCol("fi_year", 1995, 2005), IntCol("fi_qtr", 1, 4),
+               NumCol("fi_revenue", 0, 1e9), NumCol("fi_net_earn", -1e8,
+                                                    1e8)}});
+  b.AddTable({"last_trade",
+              securities,
+              {NumCol("lt_price", 1, 500), NumCol("lt_open_price", 1, 500),
+               IntCol("lt_vol", 0, 1000000)}});
+  b.AddTable({"news_item",
+              ScaleRows(scale, 150),
+              {Pk("ni_id"), TextCol("ni_headline"), TextCol("ni_summary"),
+               DateCol("ni_dts"), TextCol("ni_author", 0.4)}});
+  b.AddTable({"news_xref", ScaleRows(scale, 300), {}});
+
+  // --- Trade cluster (hub: trade).
+  b.AddTable({"trade",
+              trades,
+              {Pk("t_id"), DateCol("t_dts"), IntCol("t_qty", 1, 1000),
+               NumCol("t_bid_price", 1, 500), NumCol("t_trade_price", 1, 500,
+                                                     0.1),
+               NumCol("t_chrg", 0, 100), NumCol("t_comm", 0, 100),
+               IntCol("t_lifo", 0, 1)}});
+  b.AddTable({"trade_history",
+              ScaleRows(scale, 5000),
+              {DateCol("th_dts")}});
+  b.AddTable({"trade_request",
+              ScaleRows(scale, 300),
+              {IntCol("tr_qty", 1, 1000), NumCol("tr_bid_price", 1, 500)}});
+  b.AddTable({"settlement",
+              trades,
+              {CatCol("se_cash_type", {"Margin", "Cash Account"}),
+               DateCol("se_cash_due_date"), NumCol("se_amt", 0, 500000)}});
+  b.AddTable({"cash_transaction",
+              ScaleRows(scale, 1800),
+              {DateCol("ct_dts"), NumCol("ct_amt", -100000, 100000),
+               TextCol("ct_name")}});
+  b.AddTable({"holding",
+              ScaleRows(scale, 900),
+              {Pk("h_seq"), DateCol("h_dts"), NumCol("h_price", 1, 500),
+               IntCol("h_qty", 1, 1000)}});
+  b.AddTable({"holding_history",
+              ScaleRows(scale, 1500),
+              {IntCol("hh_before_qty", 0, 1000),
+               IntCol("hh_after_qty", 0, 1000)}});
+  b.AddTable({"holding_summary",
+              ScaleRows(scale, 500),
+              {IntCol("hs_qty", 1, 10000)}});
+
+  // --- The ~45 FK relationships.
+  auto fk = [&](const std::string& t, const std::string& c,
+                const std::string& rt, const std::string& rc,
+                double nulls = 0.0) {
+    b.AddFkColumn(t, c, rt, rc, /*skew=*/0.4, /*dangling=*/0.0, nulls);
+  };
+  // Customer cluster.
+  fk("address", "ad_zc_code", "zip_code", "zc_code");
+  fk("customer", "c_ad_id", "address", "ad_id");
+  fk("customer", "c_st_id", "status_type", "st_id");
+  fk("customer_account", "ca_c_id", "customer", "c_id");
+  fk("customer_account", "ca_b_id", "broker", "b_id");
+  fk("customer_taxrate", "cx_c_id", "customer", "c_id");
+  fk("customer_taxrate", "cx_tx_id", "taxrate", "tx_id");
+  fk("account_permission", "ap_ca_id", "customer_account", "ca_id");
+  fk("watch_list", "wl_c_id", "customer", "c_id");
+  fk("watch_item", "wi_wl_id", "watch_list", "wl_id");
+  fk("watch_item", "wi_s_symb", "security", "s_symb");
+  // Broker cluster.
+  fk("broker", "b_st_id", "status_type", "st_id");
+  fk("commission_rate", "cr_tt_id", "trade_type", "tt_id");
+  fk("commission_rate", "cr_ex_id", "exchange", "ex_id");
+  // Market cluster.
+  fk("exchange", "ex_ad_id", "address", "ad_id");
+  fk("industry", "in_sc_id", "sector", "sc_id");
+  fk("company", "co_st_id", "status_type", "st_id");
+  fk("company", "co_in_id", "industry", "in_id");
+  fk("company", "co_ad_id", "address", "ad_id");
+  fk("company_competitor", "cp_co_id", "company", "co_id");
+  fk("company_competitor", "cp_comp_co_id", "company", "co_id");
+  fk("company_competitor", "cp_in_id", "industry", "in_id");
+  fk("security", "s_st_id", "status_type", "st_id");
+  fk("security", "s_ex_id", "exchange", "ex_id");
+  fk("security", "s_co_id", "company", "co_id");
+  fk("daily_market", "dm_s_symb", "security", "s_symb");
+  fk("financial", "fi_co_id", "company", "co_id");
+  fk("last_trade", "lt_s_symb", "security", "s_symb");
+  fk("news_xref", "nx_ni_id", "news_item", "ni_id");
+  fk("news_xref", "nx_co_id", "company", "co_id");
+  // Trade cluster.
+  fk("trade", "t_st_id", "status_type", "st_id");
+  fk("trade", "t_tt_id", "trade_type", "tt_id");
+  fk("trade", "t_s_symb", "security", "s_symb");
+  fk("trade", "t_ca_id", "customer_account", "ca_id");
+  fk("trade_history", "th_t_id", "trade", "t_id");
+  fk("trade_history", "th_st_id", "status_type", "st_id");
+  fk("trade_request", "tr_t_id", "trade", "t_id");
+  fk("trade_request", "tr_tt_id", "trade_type", "tt_id");
+  fk("trade_request", "tr_s_symb", "security", "s_symb");
+  fk("trade_request", "tr_b_id", "broker", "b_id");
+  fk("settlement", "se_t_id", "trade", "t_id");
+  fk("cash_transaction", "ct_t_id", "trade", "t_id");
+  fk("holding", "h_t_id", "trade", "t_id");
+  fk("holding", "h_ca_id", "customer_account", "ca_id");
+  fk("holding", "h_s_symb", "security", "s_symb");
+  fk("holding_history", "hh_h_t_id", "holding", "h_seq");
+  fk("holding_history", "hh_t_id", "trade", "t_id");
+  fk("holding_summary", "hs_ca_id", "customer_account", "ca_id");
+  fk("holding_summary", "hs_s_symb", "security", "s_symb");
+  fk("charge", "ch_tt_id", "trade_type", "tt_id");
+
+  BiCase out = b.Generate("TPC-E", rng);
+  out.schema_type = SchemaType::kOther;
+  return out;
+}
+
+}  // namespace autobi

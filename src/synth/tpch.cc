@@ -1,0 +1,117 @@
+#include "synth/tpc.h"
+#include "synth/tpc_util.h"
+
+namespace autobi {
+
+// TPC-H: 8 tables, 8 FK relationships (including the composite
+// lineitem -> partsupp join on (l_partkey, l_suppkey)).
+BiCase GenerateTpcH(double scale, Rng& rng) {
+  SchemaBuilder b;
+  // Floors keep the spec's size ordering (supplier/customer >> nation) even
+  // at tiny scales.
+  size_t parts = ScaleRows(scale, 200, 60);
+  size_t suppliers = ScaleRows(scale, 50, 35);
+  size_t customers = ScaleRows(scale, 150, 60);
+  size_t orders = ScaleRows(scale, 1500);
+  size_t lineitems = ScaleRows(scale, 4000);
+
+  b.AddTable({"region",
+              5,
+              {Pk("r_regionkey", 0),
+               CatCol("r_name",
+                      {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}),
+               TextCol("r_comment")}});
+  b.AddTable({"nation",
+              25,
+              {Pk("n_nationkey", 0), TextCol("n_name"), TextCol("n_comment")}});
+  b.AddTable({"supplier",
+              suppliers,
+              {Pk("s_suppkey"), TextCol("s_name"), TextCol("s_address"),
+               TextCol("s_phone"), NumCol("s_acctbal", -999, 9999),
+               TextCol("s_comment")}});
+  b.AddTable({"customer",
+              customers,
+              {Pk("c_custkey"), TextCol("c_name"), TextCol("c_address"),
+               TextCol("c_phone"), NumCol("c_acctbal", -999, 9999),
+               CatCol("c_mktsegment", {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                       "HOUSEHOLD", "MACHINERY"}),
+               TextCol("c_comment")}});
+  b.AddTable(
+      {"part",
+       parts,
+       {Pk("p_partkey"), TextCol("p_name"), TextCol("p_mfgr"),
+        TextCol("p_brand"), TextCol("p_type"), IntCol("p_size", 1, 50),
+        CatCol("p_container", {"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR"}),
+        NumCol("p_retailprice", 900, 2000), TextCol("p_comment")}});
+  // partsupp: composite PK (ps_partkey, ps_suppkey); 4 suppliers per part,
+  // generated with deterministic cross keys so tuples are unique.
+  b.AddTable({"partsupp",
+              parts * 4,
+              {ModKey("ps_partkey", "part", "p_partkey"),
+               DivKey("ps_suppkey", "supplier", "s_suppkey", parts),
+               IntCol("ps_availqty", 1, 9999),
+               NumCol("ps_supplycost", 1, 1000), TextCol("ps_comment")}});
+  b.AddTable({"orders",
+              orders,
+              {Pk("o_orderkey"),
+               CatCol("o_orderstatus", {"F", "O", "P"}),
+               NumCol("o_totalprice", 800, 500000), DateCol("o_orderdate"),
+               CatCol("o_orderpriority",
+                      {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                       "5-LOW"}),
+               TextCol("o_clerk"), IntCol("o_shippriority", 0, 0),
+               TextCol("o_comment")}});
+  b.AddTable({"lineitem",
+              lineitems,
+              {IntCol("l_linenumber", 1, 7),
+               NumCol("l_quantity", 1, 50), NumCol("l_extendedprice", 1, 95000),
+               NumCol("l_discount", 0, 0.1), NumCol("l_tax", 0, 0.08),
+               CatCol("l_returnflag", {"A", "N", "R"}),
+               CatCol("l_linestatus", {"F", "O"}), DateCol("l_shipdate"),
+               DateCol("l_commitdate"), DateCol("l_receiptdate"),
+               CatCol("l_shipinstruct",
+                      {"COLLECT COD", "DELIVER IN PERSON", "NONE",
+                       "TAKE BACK RETURN"}),
+               CatCol("l_shipmode", {"AIR", "FOB", "MAIL", "RAIL", "REG AIR",
+                                     "SHIP", "TRUCK"}),
+               TextCol("l_comment")}});
+
+  // The 8 spec relationships.
+  b.AddFkColumn("nation", "n_regionkey", "region", "r_regionkey");
+  b.AddFkColumn("supplier", "s_nationkey", "nation", "n_nationkey");
+  b.AddFkColumn("customer", "c_nationkey", "nation", "n_nationkey");
+  b.AddRelationship({"partsupp", {"ps_partkey"}, "part", {"p_partkey"},
+                     JoinKind::kNToOne});
+  b.AddRelationship({"partsupp", {"ps_suppkey"}, "supplier", {"s_suppkey"},
+                     JoinKind::kNToOne});
+  b.AddFkColumn("orders", "o_custkey", "customer", "c_custkey", 0.5);
+  b.AddFkColumn("lineitem", "l_orderkey", "orders", "o_orderkey", 0.3);
+  // Composite FK: (l_partkey, l_suppkey) -> partsupp(ps_partkey, ps_suppkey).
+  {
+    ColumnSpec pk;
+    pk.name = "l_partkey";
+    pk.kind = ColumnKind::kForeignKey;
+    pk.ref_table = "partsupp";
+    pk.ref_column = "ps_partkey";
+    ColumnSpec sk;
+    sk.name = "l_suppkey";
+    sk.kind = ColumnKind::kForeignKey;
+    sk.ref_table = "partsupp";
+    sk.ref_column = "ps_suppkey";
+    // Insert before the descriptive columns for realism.
+    TableSpec& li = b.table(7);
+    li.columns.insert(li.columns.begin(), sk);
+    li.columns.insert(li.columns.begin(), pk);
+    b.AddRelationship({"lineitem",
+                       {"l_partkey", "l_suppkey"},
+                       "partsupp",
+                       {"ps_partkey", "ps_suppkey"},
+                       JoinKind::kNToOne});
+  }
+
+  BiCase out = b.Generate("TPC-H", rng);
+  out.schema_type = SchemaType::kSnowflake;
+  return out;
+}
+
+}  // namespace autobi

@@ -1,0 +1,185 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "table/value.h"
+
+namespace autobi {
+
+namespace {
+
+// Splits CSV text into rows of fields, honoring quotes. Returns false on an
+// unterminated quoted field.
+bool ParseCsvCells(std::string_view text,
+                   std::vector<std::vector<std::string>>* rows,
+                   std::string* error) {
+  rows->clear();
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    row.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    // Skip rows that are entirely empty (e.g. trailing newline).
+    bool all_empty = true;
+    for (const auto& f : row) {
+      if (!f.empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (!(row.size() == 1 && all_empty)) rows->push_back(row);
+    row.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started || field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field += c;  // Stray quote mid-field: keep it verbatim.
+        }
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;  // Tolerate CRLF.
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    *error = "unterminated quoted field";
+    return false;
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return true;
+}
+
+}  // namespace
+
+bool ReadCsv(std::string_view text, std::string table_name, Table* out,
+             std::string* error) {
+  std::vector<std::vector<std::string>> rows;
+  if (!ParseCsvCells(text, &rows, error)) return false;
+  if (rows.empty()) {
+    *error = "empty CSV input";
+    return false;
+  }
+  const std::vector<std::string>& header = rows[0];
+  size_t width = header.size();
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != width) {
+      *error = StrFormat("row %zu has %zu fields, expected %zu", r,
+                         rows[r].size(), width);
+      return false;
+    }
+  }
+  // Infer each column's type across all data rows.
+  std::vector<ValueType> types(width, ValueType::kNull);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      types[c] = UnifyValueTypes(types[c], InferValueType(rows[r][c]));
+    }
+  }
+  *out = Table(std::move(table_name));
+  for (size_t c = 0; c < width; ++c) {
+    ValueType t = types[c] == ValueType::kNull ? ValueType::kString : types[c];
+    out->AddColumn(header[c], t);
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      out->column(c).AppendParsed(rows[r][c]);
+    }
+  }
+  return true;
+}
+
+bool ReadCsvFile(const std::string& path, Table* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string name = path;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (EndsWith(name, ".csv")) name = name.substr(0, name.size() - 4);
+  return ReadCsv(buf.str(), name, out, error);
+}
+
+namespace {
+
+// Quotes a field if it contains separators, quotes or newlines.
+std::string CsvQuote(const std::string& s) {
+  bool needs = s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsv(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += CsvQuote(table.column(c).name());
+  }
+  out += "\n";
+  std::string key;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      if (table.column(c).KeyAt(r, &key)) out += CsvQuote(key);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace autobi

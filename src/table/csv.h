@@ -1,0 +1,30 @@
+#ifndef AUTOBI_TABLE_CSV_H_
+#define AUTOBI_TABLE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+
+namespace autobi {
+
+// Minimal RFC-4180-style CSV support so users can feed their own tables to
+// Auto-BI (see examples/quickstart.cc). Quoted fields with embedded commas,
+// quotes ("" escaping) and newlines are handled. Types are inferred from the
+// data: a column is int/double only if every non-empty cell parses.
+
+// Parses CSV text (first row = header) into a Table. Returns false and fills
+// *error on malformed input (ragged rows, unterminated quote).
+bool ReadCsv(std::string_view text, std::string table_name, Table* out,
+             std::string* error);
+
+// Reads a CSV file; the table name defaults to the basename without ".csv".
+bool ReadCsvFile(const std::string& path, Table* out, std::string* error);
+
+// Serializes a table as CSV (header + rows; nulls render as empty fields).
+std::string WriteCsv(const Table& table);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_TABLE_CSV_H_

@@ -1,0 +1,280 @@
+#include "table/sql_ddl.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "table/value.h"
+
+namespace autobi {
+
+namespace {
+
+struct Token {
+  std::string text;   // Unquoted, original case for identifiers.
+  bool quoted = false;
+};
+
+// Tokenizes SQL into identifiers/keywords, punctuation and literals.
+// Comments (-- and /* */) are stripped.
+std::vector<Token> Tokenize(std::string_view s) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isspace(uc)) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < s.size() && s[i + 1] == '-') {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < s.size() && !(s[i] == '*' && s[i + 1] == '/')) ++i;
+      i = std::min(s.size(), i + 2);
+      continue;
+    }
+    if (c == '"' || c == '`' || c == '[') {
+      char close = c == '[' ? ']' : c;
+      size_t j = i + 1;
+      std::string ident;
+      while (j < s.size() && s[j] != close) ident += s[j++];
+      out.push_back({ident, true});
+      i = j + 1;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string lit;
+      while (j < s.size() && s[j] != '\'') lit += s[j++];
+      out.push_back({lit, true});
+      i = j + 1;
+      continue;
+    }
+    if (std::isalnum(uc) || c == '_') {
+      size_t j = i;
+      while (j < s.size() && (std::isalnum(static_cast<unsigned char>(s[j])) ||
+                              s[j] == '_')) {
+        ++j;
+      }
+      out.push_back({std::string(s.substr(i, j - i)), false});
+      i = j;
+      continue;
+    }
+    out.push_back({std::string(1, c), false});
+    ++i;
+  }
+  return out;
+}
+
+bool IsKeyword(const Token& t, const char* kw) {
+  return !t.quoted && ToLower(t.text) == kw;
+}
+
+ValueType TypeFromSql(const std::string& type_name) {
+  std::string t = ToLower(type_name);
+  if (t == "int" || t == "integer" || t == "bigint" || t == "smallint" ||
+      t == "tinyint" || t == "serial") {
+    return ValueType::kInt;
+  }
+  if (t == "float" || t == "double" || t == "real" || t == "decimal" ||
+      t == "numeric" || t == "money") {
+    return ValueType::kDouble;
+  }
+  return ValueType::kString;
+}
+
+// Parses "(ident [, ident]*)" starting at tokens[i] == "("; returns the
+// identifiers and advances i past the ")".
+bool ParseIdentList(const std::vector<Token>& tokens, size_t& i,
+                    std::vector<std::string>* out, std::string* error) {
+  out->clear();
+  if (i >= tokens.size() || tokens[i].text != "(") {
+    *error = "expected '('";
+    return false;
+  }
+  ++i;
+  while (i < tokens.size() && tokens[i].text != ")") {
+    if (tokens[i].text == ",") {
+      ++i;
+      continue;
+    }
+    out->push_back(tokens[i].text);
+    ++i;
+  }
+  if (i >= tokens.size()) {
+    *error = "unterminated identifier list";
+    return false;
+  }
+  ++i;  // Consume ')'.
+  return !out->empty();
+}
+
+}  // namespace
+
+bool ParseSqlDdl(std::string_view script, DdlSchema* out,
+                 std::string* error) {
+  *out = DdlSchema{};
+  std::vector<Token> tokens = Tokenize(script);
+  size_t i = 0;
+  auto skip_statement = [&]() {
+    while (i < tokens.size() && tokens[i].text != ";") ++i;
+    if (i < tokens.size()) ++i;
+  };
+
+  while (i < tokens.size()) {
+    if (!IsKeyword(tokens[i], "create")) {
+      skip_statement();
+      continue;
+    }
+    ++i;
+    if (i >= tokens.size() || !IsKeyword(tokens[i], "table")) {
+      skip_statement();
+      continue;
+    }
+    ++i;
+    // Optional IF NOT EXISTS.
+    if (i + 2 < tokens.size() && IsKeyword(tokens[i], "if") &&
+        IsKeyword(tokens[i + 1], "not") && IsKeyword(tokens[i + 2], "exists")) {
+      i += 3;
+    }
+    if (i >= tokens.size()) {
+      *error = "truncated CREATE TABLE";
+      return false;
+    }
+    // [schema.]name — keep the last component.
+    std::string table_name = tokens[i].text;
+    ++i;
+    while (i + 1 < tokens.size() && tokens[i].text == ".") {
+      table_name = tokens[i + 1].text;
+      i += 2;
+    }
+    if (i >= tokens.size() || tokens[i].text != "(") {
+      *error = "expected '(' after table name " + table_name;
+      return false;
+    }
+    ++i;
+
+    Table table(table_name);
+    // Parse comma-separated items at depth 1.
+    while (i < tokens.size() && tokens[i].text != ")") {
+      // Table-level constraints.
+      if (IsKeyword(tokens[i], "constraint")) {
+        i += 2;  // CONSTRAINT <name>.
+        continue;  // The constraint kind follows as the next item token.
+      }
+      if (IsKeyword(tokens[i], "primary") || IsKeyword(tokens[i], "unique") ||
+          IsKeyword(tokens[i], "check") || IsKeyword(tokens[i], "index") ||
+          IsKeyword(tokens[i], "key")) {
+        // Skip to end of this item (depth-aware).
+        int depth = 0;
+        while (i < tokens.size()) {
+          if (tokens[i].text == "(") ++depth;
+          if (tokens[i].text == ")") {
+            if (depth == 0) break;
+            --depth;
+          }
+          if (tokens[i].text == "," && depth == 0) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      if (IsKeyword(tokens[i], "foreign")) {
+        i += 2;  // FOREIGN KEY.
+        DdlForeignKey fk;
+        fk.from_table = table_name;
+        if (!ParseIdentList(tokens, i, &fk.from_columns, error)) return false;
+        if (i >= tokens.size() || !IsKeyword(tokens[i], "references")) {
+          *error = "expected REFERENCES in " + table_name;
+          return false;
+        }
+        ++i;
+        fk.to_table = tokens[i].text;
+        ++i;
+        while (i + 1 < tokens.size() && tokens[i].text == ".") {
+          fk.to_table = tokens[i + 1].text;
+          i += 2;
+        }
+        if (i < tokens.size() && tokens[i].text == "(") {
+          if (!ParseIdentList(tokens, i, &fk.to_columns, error)) return false;
+        }
+        out->foreign_keys.push_back(std::move(fk));
+        // Skip trailing ON DELETE/UPDATE actions up to ',' or ')'.
+        while (i < tokens.size() && tokens[i].text != "," &&
+               tokens[i].text != ")") {
+          ++i;
+        }
+        if (i < tokens.size() && tokens[i].text == ",") ++i;
+        continue;
+      }
+      // Column definition: name TYPE[(args)] [inline constraints].
+      std::string column_name = tokens[i].text;
+      ++i;
+      if (i >= tokens.size()) {
+        *error = "truncated column definition in " + table_name;
+        return false;
+      }
+      std::string type_name = tokens[i].text;
+      ++i;
+      table.AddColumn(column_name, TypeFromSql(type_name));
+      // Inline REFERENCES constraint.
+      int depth = 0;
+      while (i < tokens.size()) {
+        if (IsKeyword(tokens[i], "references") && depth == 0) {
+          ++i;
+          DdlForeignKey fk;
+          fk.from_table = table_name;
+          fk.from_columns = {column_name};
+          fk.to_table = tokens[i].text;
+          ++i;
+          while (i + 1 < tokens.size() && tokens[i].text == ".") {
+            fk.to_table = tokens[i + 1].text;
+            i += 2;
+          }
+          if (i < tokens.size() && tokens[i].text == "(") {
+            if (!ParseIdentList(tokens, i, &fk.to_columns, error)) {
+              return false;
+            }
+          }
+          out->foreign_keys.push_back(std::move(fk));
+          continue;
+        }
+        if (tokens[i].text == "(") {
+          ++depth;
+          ++i;
+          continue;
+        }
+        if (tokens[i].text == ")") {
+          if (depth == 0) break;
+          --depth;
+          ++i;
+          continue;
+        }
+        if (tokens[i].text == "," && depth == 0) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+    }
+    if (i >= tokens.size()) {
+      *error = "unterminated CREATE TABLE " + table_name;
+      return false;
+    }
+    ++i;  // Consume ')'.
+    if (i < tokens.size() && tokens[i].text == ";") ++i;
+    out->tables.push_back(std::move(table));
+  }
+  if (out->tables.empty()) {
+    *error = "no CREATE TABLE statements found";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace autobi

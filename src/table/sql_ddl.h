@@ -1,0 +1,47 @@
+#ifndef AUTOBI_TABLE_SQL_DDL_H_
+#define AUTOBI_TABLE_SQL_DDL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/table.h"
+
+namespace autobi {
+
+// Minimal SQL-DDL ingestion: parses a script of CREATE TABLE statements
+// into empty typed Tables, so Auto-BI-S (schema-only mode) can run directly
+// on a database's DDL dump before any data is available. Also extracts any
+// declared FOREIGN KEY constraints for comparison with predictions.
+//
+// Supported subset (case-insensitive):
+//   CREATE TABLE [schema.]name (
+//     col TYPE [constraints...],
+//     ...,
+//     [PRIMARY KEY (...)],
+//     [FOREIGN KEY (a[, b]) REFERENCES other (x[, y])]
+//   );
+// Types map as: INT/INTEGER/BIGINT/SMALLINT -> kInt; FLOAT/DOUBLE/REAL/
+// DECIMAL/NUMERIC -> kDouble; everything else -> kString. Quoted
+// identifiers ("name", `name`, [name]) are unquoted.
+
+struct DdlForeignKey {
+  std::string from_table;
+  std::vector<std::string> from_columns;
+  std::string to_table;
+  std::vector<std::string> to_columns;
+};
+
+struct DdlSchema {
+  std::vector<Table> tables;  // Empty (0-row) typed tables.
+  std::vector<DdlForeignKey> foreign_keys;
+};
+
+// Parses `script`. Returns false and sets *error on malformed input.
+// Unknown constraints within a column definition are ignored.
+bool ParseSqlDdl(std::string_view script, DdlSchema* out,
+                 std::string* error);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_TABLE_SQL_DDL_H_

@@ -1,0 +1,53 @@
+#include "table/table.h"
+
+#include "common/strings.h"
+
+namespace autobi {
+
+Column& Table::AddColumn(std::string name, ValueType type) {
+  columns_.emplace_back(std::move(name), type);
+  return columns_.back();
+}
+
+int Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Table::Validate() const {
+  if (columns_.empty()) return true;
+  size_t n = columns_[0].size();
+  for (const Column& c : columns_) {
+    if (c.size() != n) return false;
+  }
+  return true;
+}
+
+std::string ColumnRefToString(const std::vector<Table>& tables,
+                              const ColumnRef& ref) {
+  std::string out;
+  if (ref.table >= 0 && ref.table < static_cast<int>(tables.size())) {
+    out = tables[ref.table].name();
+  } else {
+    out = StrFormat("T%d", ref.table);
+  }
+  out += "(";
+  const Table* t = (ref.table >= 0 && ref.table < (int)tables.size())
+                       ? &tables[ref.table]
+                       : nullptr;
+  for (size_t i = 0; i < ref.columns.size(); ++i) {
+    if (i > 0) out += ",";
+    int c = ref.columns[i];
+    if (t != nullptr && c >= 0 && c < static_cast<int>(t->num_columns())) {
+      out += t->column(c).name();
+    } else {
+      out += StrFormat("c%d", c);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace autobi

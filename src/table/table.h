@@ -1,0 +1,69 @@
+#ifndef AUTOBI_TABLE_TABLE_H_
+#define AUTOBI_TABLE_TABLE_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace autobi {
+
+// An in-memory relational table: a name plus equal-length typed columns.
+// Tables are the unit the Auto-BI problem is defined over (Definition 1).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::deque<Column>& columns() const { return columns_; }
+
+  // Adds a column; all columns must end up with the same length (checked by
+  // Validate()). The returned reference stays valid across later AddColumn
+  // calls (columns live in a deque).
+  Column& AddColumn(std::string name, ValueType type = ValueType::kNull);
+
+  // Index of the column with the given name, or -1.
+  int ColumnIndex(std::string_view name) const;
+
+  // Checks that all columns have the same number of rows.
+  bool Validate() const;
+
+ private:
+  std::string name_;
+  std::deque<Column> columns_;
+};
+
+// A reference to an ordered list of columns within one table of a table set
+// (used for join endpoints; usually a single column, composite for
+// multi-column joins).
+struct ColumnRef {
+  int table = -1;
+  std::vector<int> columns;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && columns == o.columns;
+  }
+  bool operator<(const ColumnRef& o) const {
+    if (table != o.table) return table < o.table;
+    return columns < o.columns;
+  }
+};
+
+// Renders "TableName(colA,colB)" for diagnostics.
+std::string ColumnRefToString(const std::vector<Table>& tables,
+                              const ColumnRef& ref);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_TABLE_TABLE_H_

@@ -1,0 +1,42 @@
+#include "table/value.h"
+
+#include "common/strings.h"
+
+namespace autobi {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType InferValueType(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) return ValueType::kNull;
+  int64_t i;
+  if (ParseInt64(t, &i)) return ValueType::kInt;
+  double d;
+  if (ParseDouble(t, &d)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+ValueType UnifyValueTypes(ValueType a, ValueType b) {
+  if (a == ValueType::kNull) return b;
+  if (b == ValueType::kNull) return a;
+  if (a == b) return a;
+  if ((a == ValueType::kInt && b == ValueType::kDouble) ||
+      (a == ValueType::kDouble && b == ValueType::kInt)) {
+    return ValueType::kDouble;
+  }
+  return ValueType::kString;
+}
+
+}  // namespace autobi

@@ -1,0 +1,31 @@
+#ifndef AUTOBI_TABLE_VALUE_H_
+#define AUTOBI_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace autobi {
+
+// Logical type of a column. Mixed-type columns degrade to kString.
+enum class ValueType : uint8_t {
+  kNull = 0,   // All-null column (type unknown).
+  kInt = 1,    // 64-bit signed integer.
+  kDouble = 2, // IEEE double.
+  kString = 3, // UTF-8 / opaque bytes.
+};
+
+// Human-readable type name ("int", "double", "string", "null").
+const char* ValueTypeName(ValueType t);
+
+// Infers the narrowest ValueType that can represent the textual cell `s`.
+// Empty (after trimming) means kNull.
+ValueType InferValueType(std::string_view s);
+
+// Widens `a` to also accommodate `b` (e.g. int + double -> double,
+// anything + string -> string; null is the identity).
+ValueType UnifyValueTypes(ValueType a, ValueType b);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_TABLE_VALUE_H_

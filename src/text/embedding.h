@@ -1,0 +1,34 @@
+#ifndef AUTOBI_TEXT_EMBEDDING_H_
+#define AUTOBI_TEXT_EMBEDDING_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autobi {
+
+// Lightweight stand-in for the paper's SentenceBERT header embeddings
+// (DESIGN.md §1): a signed feature-hashed bag of character n-grams (n = 2..4)
+// over the tokenized identifier, L2-normalized. It captures the same signal
+// the feature needs — soft name similarity that is robust to token
+// reordering, abbreviation and morphological variation — without a
+// pretrained model.
+class NgramEmbedder {
+ public:
+  static constexpr int kDims = 256;
+
+  // Embeds an identifier (or a space-joined phrase); deterministic.
+  std::array<float, kDims> Embed(std::string_view text) const;
+
+  // Cosine similarity of two embeddings, mapped from [-1,1] to [0,1].
+  static double Cosine01(const std::array<float, kDims>& a,
+                         const std::array<float, kDims>& b);
+
+  // Convenience: embedding cosine of two raw identifiers.
+  double Similarity(std::string_view a, std::string_view b) const;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_TEXT_EMBEDDING_H_

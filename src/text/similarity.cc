@@ -1,0 +1,101 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace autobi {
+
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double TokenContainment(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  size_t denom = std::min(sa.size(), sb.size());
+  return static_cast<double>(inter) / static_cast<double>(denom);
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t cur = row[i];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+    }
+  }
+  return row[a.size()];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t d = LevenshteinDistance(a, b);
+  size_t m = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(m);
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t la = a.size();
+  size_t lb = b.size();
+  size_t match_window =
+      la > lb ? la / 2 : lb / 2;
+  if (match_window > 0) match_window -= 1;
+  std::vector<char> a_matched(la, 0), b_matched(lb, 0);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(lb, i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = 1;
+      b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  double jaro = (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+  // Winkler prefix boost.
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({la, lb, size_t{4}}); ++i) {
+    if (a[i] == b[i]) ++prefix;
+    else break;
+  }
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+}  // namespace autobi

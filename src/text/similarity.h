@@ -1,0 +1,34 @@
+#ifndef AUTOBI_TEXT_SIMILARITY_H_
+#define AUTOBI_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autobi {
+
+// String similarity metrics used as classifier features (Appendix B). All
+// return values in [0, 1], with 1 meaning identical.
+
+// Token-set Jaccard similarity |A∩B| / |A∪B| over identifier tokens.
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+// Token-set containment |A∩B| / min(|A|, |B|). 1 when either token set is a
+// subset of the other; both-empty inputs score 0.
+double TokenContainment(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+// 1 - normalized Levenshtein distance over normalized identifiers.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+// Jaro-Winkler similarity over normalized identifiers (standard prefix boost
+// p = 0.1, max prefix 4).
+double JaroWinkler(std::string_view a, std::string_view b);
+
+// Raw Levenshtein edit distance (exposed for tests).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_TEXT_SIMILARITY_H_

@@ -1,0 +1,82 @@
+#include "text/tokenize.h"
+
+#include <cctype>
+
+namespace autobi {
+
+namespace {
+
+bool IsDelim(char c) {
+  return c == '_' || c == '-' || c == '.' || c == ' ' || c == '/' ||
+         c == ':' || c == '#';
+}
+
+char LowerAscii(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeIdentifier(std::string_view name) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  // Tracks case/category of the previous character to find boundaries:
+  // lower->Upper starts a token; an acronym run ends before Upper+lower
+  // ("XMLFile" -> xml, file); digit runs are their own tokens.
+  bool prev_upper = false;
+  bool prev_digit = false;
+  auto flush = [&]() {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (IsDelim(c)) {
+      flush();
+      prev_upper = prev_digit = false;
+      continue;
+    }
+    if (std::isdigit(uc)) {
+      if (!cur.empty() && !prev_digit) flush();
+      cur += c;
+      prev_digit = true;
+      prev_upper = false;
+      continue;
+    }
+    if (std::isupper(uc)) {
+      bool next_lower = i + 1 < name.size() &&
+                        std::islower(static_cast<unsigned char>(name[i + 1]));
+      if (!cur.empty() && (!prev_upper || (prev_upper && next_lower))) {
+        // Either a lower/digit->Upper boundary, or the last letter of an
+        // acronym run followed by a lowercase word.
+        flush();
+      }
+      cur += LowerAscii(c);
+      prev_upper = true;
+      prev_digit = false;
+      continue;
+    }
+    // Lowercase letter (or other byte).
+    if (prev_digit && !cur.empty()) flush();
+    cur += LowerAscii(c);
+    prev_upper = false;
+    prev_digit = false;
+  }
+  flush();
+  return tokens;
+}
+
+std::string NormalizeIdentifier(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (IsDelim(c)) continue;
+    out += LowerAscii(c);
+  }
+  return out;
+}
+
+}  // namespace autobi

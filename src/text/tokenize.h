@@ -1,0 +1,23 @@
+#ifndef AUTOBI_TEXT_TOKENIZE_H_
+#define AUTOBI_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autobi {
+
+// Standardizes a schema identifier into lowercase tokens, splitting on
+// camel-casing and delimiters (dash, underscore, dot, space), per the paper's
+// metadata-feature preprocessing ("CustomerID" -> {"customer","id"};
+// "cust_seg-key" -> {"cust","seg","key"}). Digit runs become their own
+// tokens.
+std::vector<std::string> TokenizeIdentifier(std::string_view name);
+
+// Lowercased identifier with all delimiters removed ("Customer_ID" ->
+// "customerid"); used by character-level similarity metrics.
+std::string NormalizeIdentifier(std::string_view name);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_TEXT_TOKENIZE_H_

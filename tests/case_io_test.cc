@@ -1,0 +1,118 @@
+#include "core/case_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "synth/bi_generator.h"
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+std::string TempCaseDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(CaseIoTest, RoundTripsHandBuiltCase) {
+  BiCase original;
+  original.name = "mini case";
+  original.schema_type = SchemaType::kStar;
+  original.tables.push_back(MakeTable(
+      "fact", {{"cust_id", {"1", "2", "1"}}, {"amt", {"5.5", "6.5", ""}}}));
+  original.tables.push_back(MakeTable(
+      "customers", {{"id", {"1", "2"}}, {"who", {"ann", "bob"}}}));
+  original.ground_truth.joins.push_back(
+      Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
+
+  std::string dir = TempCaseDir("roundtrip");
+  std::string error;
+  ASSERT_TRUE(SaveCase(original, dir, &error)) << error;
+
+  BiCase loaded;
+  ASSERT_TRUE(LoadCase(dir, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.name, "mini case");
+  EXPECT_EQ(loaded.schema_type, SchemaType::kStar);
+  ASSERT_EQ(loaded.tables.size(), 2u);
+  EXPECT_EQ(loaded.tables[0].name(), "fact");
+  EXPECT_EQ(loaded.tables[0].num_rows(), 3u);
+  EXPECT_EQ(loaded.tables[0].column(0).Int(1), 2);
+  EXPECT_TRUE(loaded.tables[0].column(1).IsNull(2));
+  ASSERT_EQ(loaded.ground_truth.joins.size(), 1u);
+  EXPECT_TRUE(loaded.ground_truth.joins[0] == original.ground_truth.joins[0]);
+}
+
+TEST(CaseIoTest, RoundTripsGeneratedCaseWithEquivalentEvaluation) {
+  Rng rng(5150);
+  BiGenOptions opt;
+  opt.num_tables = 6;
+  BiCase original = GenerateBiCase(opt, rng);
+  std::string dir = TempCaseDir("generated");
+  std::string error;
+  ASSERT_TRUE(SaveCase(original, dir, &error)) << error;
+  BiCase loaded;
+  ASSERT_TRUE(LoadCase(dir, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.tables.size(), original.tables.size());
+  ASSERT_EQ(loaded.ground_truth.joins.size(),
+            original.ground_truth.joins.size());
+  // Evaluating the original ground truth as a "prediction" against the
+  // loaded case must be perfect: same joins, same semantics.
+  EdgeMetrics m = EvaluateCase(loaded, original.ground_truth);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  // Row counts survive.
+  for (size_t t = 0; t < original.tables.size(); ++t) {
+    EXPECT_EQ(loaded.tables[t].num_rows(), original.tables[t].num_rows());
+    EXPECT_EQ(loaded.tables[t].num_columns(),
+              original.tables[t].num_columns());
+  }
+}
+
+TEST(CaseIoTest, MissingDirectoryFails) {
+  BiCase c;
+  std::string error;
+  EXPECT_FALSE(LoadCase("/nonexistent/path", &c, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CaseIoTest, CorruptManifestFails) {
+  std::string dir = TempCaseDir("corrupt");
+  {
+    std::ofstream m(dir + "/case.manifest");
+    m << "not_a_manifest 9\n";
+  }
+  BiCase c;
+  std::string error;
+  EXPECT_FALSE(LoadCase(dir, &c, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(CaseIoTest, JoinTableRangeValidated) {
+  std::string dir = TempCaseDir("range");
+  BiCase original;
+  original.name = "r";
+  original.tables.push_back(MakeTable("t", {{"a", {"1"}}}));
+  std::string error;
+  ASSERT_TRUE(SaveCase(original, dir, &error)) << error;
+  // Append a join that references a table out of range.
+  {
+    std::ofstream m(dir + "/case.manifest", std::ios::app);
+  }
+  // Rewrite manifest with a bogus join.
+  {
+    std::ofstream m(dir + "/case.manifest");
+    m << "autobi_case 1\nname r\nschema_type other\ntables 1\nt\n"
+      << "joins 1\nN:1 0 0 7 0\n";
+  }
+  BiCase c;
+  EXPECT_FALSE(LoadCase(dir, &c, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,101 @@
+#include "table/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace autobi {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTypedColumns) {
+  Table t;
+  std::string err;
+  ASSERT_TRUE(ReadCsv("id,name,price\n1,apple,1.5\n2,pear,2.0\n", "fruits",
+                      &t, &err))
+      << err;
+  EXPECT_EQ(t.name(), "fruits");
+  ASSERT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).type(), ValueType::kInt);
+  EXPECT_EQ(t.column(1).type(), ValueType::kString);
+  EXPECT_EQ(t.column(2).type(), ValueType::kDouble);
+  EXPECT_EQ(t.column(0).Int(1), 2);
+  EXPECT_EQ(t.column(1).Str(0), "apple");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasQuotesAndNewlines) {
+  Table t;
+  std::string err;
+  ASSERT_TRUE(ReadCsv(
+      "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",plain\n", "t",
+      &t, &err))
+      << err;
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).Str(0), "x,y");
+  EXPECT_EQ(t.column(1).Str(0), "he said \"hi\"");
+  EXPECT_EQ(t.column(0).Str(1), "line1\nline2");
+}
+
+TEST(CsvTest, EmptyCellsBecomeNulls) {
+  Table t;
+  std::string err;
+  ASSERT_TRUE(ReadCsv("a,b\n1,\n,2\n", "t", &t, &err)) << err;
+  EXPECT_TRUE(t.column(1).IsNull(0));
+  EXPECT_TRUE(t.column(0).IsNull(1));
+  EXPECT_EQ(t.column(0).Int(0), 1);
+}
+
+TEST(CsvTest, MixedColumnDegradesToString) {
+  Table t;
+  std::string err;
+  ASSERT_TRUE(ReadCsv("a\n1\nx\n", "t", &t, &err)) << err;
+  EXPECT_EQ(t.column(0).type(), ValueType::kString);
+  EXPECT_EQ(t.column(0).Str(0), "1");
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  Table t;
+  std::string err;
+  ASSERT_TRUE(ReadCsv("a,b\r\n1,2\r\n", "t", &t, &err)) << err;
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.column(1).Int(0), 2);
+}
+
+TEST(CsvTest, RaggedRowIsAnError) {
+  Table t;
+  std::string err;
+  EXPECT_FALSE(ReadCsv("a,b\n1\n", "t", &t, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsAnError) {
+  Table t;
+  std::string err;
+  EXPECT_FALSE(ReadCsv("a\n\"broken\n", "t", &t, &err));
+}
+
+TEST(CsvTest, EmptyInputIsAnError) {
+  Table t;
+  std::string err;
+  EXPECT_FALSE(ReadCsv("", "t", &t, &err));
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Table t("rt");
+  Column& a = t.AddColumn("num", ValueType::kInt);
+  Column& b = t.AddColumn("txt", ValueType::kString);
+  a.AppendInt(1);
+  b.AppendString("with, comma");
+  a.AppendNull();
+  b.AppendString("with \"quote\"");
+  std::string csv = WriteCsv(t);
+  Table back;
+  std::string err;
+  ASSERT_TRUE(ReadCsv(csv, "rt", &back, &err)) << err;
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.column(0).Int(0), 1);
+  EXPECT_TRUE(back.column(0).IsNull(1));
+  EXPECT_EQ(back.column(1).Str(0), "with, comma");
+  EXPECT_EQ(back.column(1).Str(1), "with \"quote\"");
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,129 @@
+// Degenerate-input behaviour across the pipeline: single tables, empty
+// columns, all-null data, empty graphs. The system must stay well-defined
+// (no crashes, sensible empty outputs) on inputs real users will feed it.
+
+#include <gtest/gtest.h>
+
+#include "core/auto_bi.h"
+#include "core/candidates.h"
+#include "core/trainer.h"
+#include "graph/ems.h"
+#include "graph/kmca.h"
+#include "graph/kmca_cc.h"
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+TEST(EdgeCaseTest, EmptyGraphSolves) {
+  JoinGraph g(0);
+  KmcaResult r = SolveKmca(g, DefaultPenaltyWeight());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.edge_ids.empty());
+  KmcaResult cc = SolveKmcaCc(g);
+  EXPECT_TRUE(cc.edge_ids.empty());
+}
+
+TEST(EdgeCaseTest, GraphWithoutEdges) {
+  JoinGraph g(4);
+  KmcaResult r = SolveKmca(g, DefaultPenaltyWeight());
+  EXPECT_TRUE(r.edge_ids.empty());
+  EXPECT_EQ(r.k, 4);
+  EXPECT_TRUE(SolveEmsGreedy(g, {}).empty());
+}
+
+TEST(EdgeCaseTest, SingleVertexGraph) {
+  JoinGraph g(1);
+  KmcaResult r = SolveKmcaCc(g);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.k, 1);
+}
+
+TEST(EdgeCaseTest, CandidatesOnSingleTable) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("only", {{"id", SeqCells(1, 5)}}));
+  CandidateSet cs = GenerateCandidates(tables);
+  EXPECT_TRUE(cs.candidates.empty());
+}
+
+TEST(EdgeCaseTest, CandidatesOnEmptyTableSet) {
+  CandidateSet cs = GenerateCandidates({});
+  EXPECT_TRUE(cs.candidates.empty());
+  EXPECT_TRUE(cs.profiles.empty());
+}
+
+TEST(EdgeCaseTest, AllNullColumnsProduceNoCandidates) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("a", {{"x", {"", "", ""}}}));
+  tables.push_back(MakeTable("b", {{"y", {"", "", ""}}}));
+  CandidateSet cs = GenerateCandidates(tables);
+  EXPECT_TRUE(cs.candidates.empty());
+}
+
+TEST(EdgeCaseTest, PredictOnCandidatelessTables) {
+  // Untrained model + disjoint tables: empty prediction, no crash.
+  LocalModel model;
+  AutoBi auto_bi(&model, AutoBiOptions{});
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("a", {{"x", SeqCells(1, 5)}}));
+  tables.push_back(MakeTable("b", {{"y", SeqCells(1000, 1005)}}));
+  AutoBiResult r = auto_bi.Predict(tables);
+  EXPECT_TRUE(r.model.joins.empty());
+}
+
+TEST(EdgeCaseTest, UntrainedModelScoresHalf) {
+  LocalModel model;
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("a", {{"x", {"1", "2", "2"}}}));
+  tables.push_back(MakeTable("b", {{"x", {"1", "2"}}}));
+  CandidateSet cs = GenerateCandidates(tables);
+  ASSERT_FALSE(cs.candidates.empty());
+  FeatureContext ctx{&tables, &cs.profiles, nullptr};
+  EXPECT_DOUBLE_EQ(model.Score(ctx, cs.candidates[0], false), 0.5);
+}
+
+TEST(EdgeCaseTest, TrainerOnEmptyCorpus) {
+  LocalModel model = TrainLocalModel({});
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(EdgeCaseTest, DuplicateColumnValuesStillKeyIfUniqueAfterNulls) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("fact", {{"k", {"1", "1", "2"}}}));
+  tables.push_back(MakeTable("dim", {{"k", {"1", "2", ""}}}));
+  CandidateSet cs = GenerateCandidates(tables);
+  bool found = false;
+  for (const JoinCandidate& c : cs.candidates) {
+    if (c.src.table == 0 && c.dst.table == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EdgeCaseTest, EmsWithEmptyBackbone) {
+  JoinGraph g(3);
+  g.AddEdge(0, 1, {0}, {0}, 0.9);
+  g.AddEdge(1, 2, {0}, {0}, 0.9);
+  std::vector<int> s = SolveEmsGreedy(g, {});
+  EXPECT_EQ(s.size(), 2u);  // Both edges fit without cycles/conflicts.
+}
+
+TEST(EdgeCaseTest, KmcaCcBudgetExhaustionIsReported) {
+  // A dense conflict graph with a tiny call budget must set the flag and
+  // still return a feasible (if possibly suboptimal) answer.
+  JoinGraph g(6);
+  Rng rng(4);
+  for (int i = 0; i < 18; ++i) {
+    int u = int(rng.NextBelow(6));
+    int v = int(rng.NextBelow(6));
+    if (u == v) continue;
+    g.AddEdge(u, v, {0}, {0}, rng.NextDouble(0.4, 0.9));  // One source col.
+  }
+  KmcaCcOptions opt;
+  opt.max_one_mca_calls = 2;
+  KmcaCcStats stats;
+  KmcaResult r = SolveKmcaCc(g, opt, &stats);
+  EXPECT_TRUE(stats.budget_exhausted || r.feasible);
+}
+
+}  // namespace
+}  // namespace autobi

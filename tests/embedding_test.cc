@@ -1,0 +1,62 @@
+#include "text/embedding.h"
+
+#include <gtest/gtest.h>
+
+namespace autobi {
+namespace {
+
+TEST(EmbeddingTest, SelfSimilarityIsOne) {
+  NgramEmbedder e;
+  EXPECT_NEAR(e.Similarity("customer_id", "customer_id"), 1.0, 1e-6);
+}
+
+TEST(EmbeddingTest, CaseAndDelimiterInsensitive) {
+  NgramEmbedder e;
+  EXPECT_NEAR(e.Similarity("CustomerID", "customer_id"), 1.0, 1e-6);
+}
+
+TEST(EmbeddingTest, TokenReorderScoresHigh) {
+  NgramEmbedder e;
+  // The whole point of the embedding feature: "id customer" should still be
+  // close to "customer id" where edit distance fails.
+  EXPECT_GT(e.Similarity("id_customer", "customer_id"), 0.9);
+}
+
+TEST(EmbeddingTest, RelatedBeatsUnrelated) {
+  NgramEmbedder e;
+  double related = e.Similarity("cust_key", "customer_key");
+  double unrelated = e.Similarity("cust_key", "warehouse_zone");
+  EXPECT_GT(related, unrelated);
+}
+
+TEST(EmbeddingTest, OutputIsUnitNormOrZero) {
+  NgramEmbedder e;
+  auto v = e.Embed("product_code");
+  double norm = 0;
+  for (float x : v) norm += double(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  auto zero = e.Embed("");
+  double znorm = 0;
+  for (float x : zero) znorm += double(x) * x;
+  EXPECT_DOUBLE_EQ(znorm, 0.0);
+}
+
+TEST(EmbeddingTest, SimilarityBoundedInUnitInterval) {
+  NgramEmbedder e;
+  const char* names[] = {"a", "customer", "x9", "order_line_total", ""};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      double s = e.Similarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(EmbeddingTest, Deterministic) {
+  NgramEmbedder e;
+  EXPECT_EQ(e.Embed("stable_name"), e.Embed("stable_name"));
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,95 @@
+#include "profile/emd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+TEST(NormalizedEmdTest, IdenticalDistributionsScoreZero) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(NormalizedEmd(a, a), 0.0);
+}
+
+TEST(NormalizedEmdTest, DisjointDistributionsScoreHigh) {
+  std::vector<double> a = {0, 0.01, 0.02};
+  std::vector<double> b = {0.98, 0.99, 1.0};
+  EXPECT_GT(NormalizedEmd(a, b), 0.9);
+}
+
+TEST(NormalizedEmdTest, EmptyInputIsMaximal) {
+  EXPECT_DOUBLE_EQ(NormalizedEmd({}, {1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEmd({1.0}, {}), 1.0);
+}
+
+TEST(NormalizedEmdTest, SinglePointDistributions) {
+  EXPECT_DOUBLE_EQ(NormalizedEmd({5.0}, {5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEmd({0.0}, {1.0}), 1.0);
+}
+
+TEST(NormalizedEmdTest, SymmetricAndBounded) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 30; ++i) a.push_back(rng.NextDouble(0, 10));
+    for (int i = 0; i < 20; ++i) b.push_back(rng.NextDouble(3, 14));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    double ab = NormalizedEmd(a, b);
+    double ba = NormalizedEmd(b, a);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST(NormalizedEmdTest, SubsampleOfSameDistributionScoresLow) {
+  // An FK that is a random sample of the PK domain should look "random"
+  // (low EMD) — the MC-FK signal.
+  Rng rng(23);
+  std::vector<double> pk, fk;
+  for (int i = 0; i < 500; ++i) pk.push_back(double(i));
+  for (int i = 0; i < 300; ++i) fk.push_back(double(rng.NextBelow(500)));
+  std::sort(fk.begin(), fk.end());
+  EXPECT_LT(NormalizedEmd(pk, fk), 0.1);
+}
+
+TEST(EmdScoreTest, SameKeyDomainScoresLowerThanDifferent) {
+  Table dim = MakeTable("dim", {{"id", SeqCells(1, 100)}});
+  std::vector<std::string> fk_cells;
+  Rng rng(5);
+  for (int i = 0; i < 80; ++i) {
+    fk_cells.push_back(std::to_string(1 + rng.NextBelow(100)));
+  }
+  Table fact = MakeTable("fact", {{"fk", fk_cells}});
+  Table other = MakeTable("other", {{"id", SeqCells(5000, 5100)}});
+  ColumnProfile p_dim = ProfileColumn(dim.column(0));
+  ColumnProfile p_fk = ProfileColumn(fact.column(0));
+  ColumnProfile p_other = ProfileColumn(other.column(0));
+  EXPECT_LT(EmdScore(p_fk, p_dim), EmdScore(p_fk, p_other));
+}
+
+TEST(EmdScoreTest, EmptyColumnIsMaximal) {
+  Table t = MakeTable("t", {{"a", {"", ""}}, {"b", {"1", "2"}}});
+  ColumnProfile pa = ProfileColumn(t.column(0));
+  ColumnProfile pb = ProfileColumn(t.column(1));
+  EXPECT_DOUBLE_EQ(EmdScore(pa, pb), 1.0);
+}
+
+TEST(EmdScoreTest, StringColumnsUseHashedDistributions) {
+  // Same string key domain -> low; different domains -> higher.
+  Table a = MakeTable("a", {{"k", {"x1", "x2", "x3", "x4", "x5", "x6"}}});
+  Table b = MakeTable("b", {{"k", {"x1", "x2", "x3", "x4", "x5", "x6"}}});
+  Table c = MakeTable("c", {{"k", {"zz1", "zz2", "zz3", "zz4", "zz5",
+                                   "zz6"}}});
+  ColumnProfile pa = ProfileColumn(a.column(0));
+  ColumnProfile pb = ProfileColumn(b.column(0));
+  ColumnProfile pc = ProfileColumn(c.column(0));
+  EXPECT_DOUBLE_EQ(EmdScore(pa, pb), 0.0);
+  EXPECT_GT(EmdScore(pa, pc), 0.0);
+}
+
+}  // namespace
+}  // namespace autobi

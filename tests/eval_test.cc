@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace autobi {
+namespace {
+
+Join N1(int ft, int fc, int tt, int tc) {
+  return Join{ColumnRef{ft, {fc}}, ColumnRef{tt, {tc}}, JoinKind::kNToOne};
+}
+Join OneOne(int ft, int fc, int tt, int tc) {
+  return Join{ColumnRef{ft, {fc}}, ColumnRef{tt, {tc}}, JoinKind::kOneToOne}
+      .Normalized();
+}
+
+TEST(EvaluateCaseTest, PerfectPrediction) {
+  BiCase c;
+  c.ground_truth.joins = {N1(0, 0, 1, 0), N1(0, 1, 2, 0)};
+  BiModel pred;
+  pred.joins = {N1(0, 0, 1, 0), N1(0, 1, 2, 0)};
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_TRUE(m.case_correct);
+}
+
+TEST(EvaluateCaseTest, FalsePositiveBreaksCasePrecision) {
+  BiCase c;
+  c.ground_truth.joins = {N1(0, 0, 1, 0)};
+  BiModel pred;
+  pred.joins = {N1(0, 0, 1, 0), N1(0, 1, 2, 0)};
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_FALSE(m.case_correct);
+}
+
+TEST(EvaluateCaseTest, WrongDirectionIsIncorrect) {
+  BiCase c;
+  c.ground_truth.joins = {N1(0, 0, 1, 0)};
+  BiModel pred;
+  pred.joins = {N1(1, 0, 0, 0)};
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(EvaluateCaseTest, EmptyPredictionOnEmptyTruthIsPerfect) {
+  BiCase c;
+  BiModel pred;
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_TRUE(m.case_correct);
+}
+
+TEST(EvaluateCaseTest, EmptyPredictionOnNonEmptyTruthScoresZero) {
+  BiCase c;
+  c.ground_truth.joins = {N1(0, 0, 1, 0)};
+  EdgeMetrics m = EvaluateCase(c, BiModel{});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(EvaluateCaseTest, DuplicatePredictionsNotDoubleCounted) {
+  BiCase c;
+  c.ground_truth.joins = {N1(0, 0, 1, 0)};
+  BiModel pred;
+  pred.joins = {N1(0, 0, 1, 0), N1(0, 0, 1, 0)};
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_EQ(m.correct, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+}
+
+// Footnote 7: F -(N:1)-> A -(1:1)- B is equivalent to F -(N:1)-> B plus
+// B -(1:1)- A.
+TEST(EvaluateCaseTest, SemanticEquivalenceAcrossOneToOne) {
+  BiCase c;
+  // Truth: F(0) -> A(1); A(1) 1:1 B(2).
+  c.ground_truth.joins = {N1(0, 0, 1, 0), OneOne(1, 0, 2, 0)};
+  // Prediction: F -> B; B 1:1 A. Semantically identical.
+  BiModel pred;
+  pred.joins = {N1(0, 0, 2, 0), OneOne(2, 0, 1, 0)};
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_TRUE(m.case_correct);
+}
+
+TEST(EvaluateCaseTest, EquivalenceDoesNotLeakAcrossUnrelatedRefs) {
+  BiCase c;
+  c.ground_truth.joins = {N1(0, 0, 1, 0), OneOne(1, 0, 2, 0)};
+  // F -> C(3) is NOT in any 1:1 class with A.
+  BiModel pred;
+  pred.joins = {N1(0, 0, 3, 0)};
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+TEST(EvaluateCaseTest, PredictedOneToOneMatchesNToOneTruthEitherWay) {
+  BiCase c;
+  c.ground_truth.joins = {N1(0, 0, 1, 0)};
+  BiModel pred;
+  pred.joins = {OneOne(1, 0, 0, 0)};
+  EdgeMetrics m = EvaluateCase(c, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(AggregateTest, AveragesAcrossCases) {
+  EdgeMetrics a;
+  a.precision = 1.0;
+  a.recall = 0.5;
+  a.f1 = 2.0 / 3.0;
+  a.case_correct = true;
+  EdgeMetrics b;
+  b.precision = 0.5;
+  b.recall = 1.0;
+  b.f1 = 2.0 / 3.0;
+  b.case_correct = false;
+  AggregateMetrics agg = Aggregate({a, b});
+  EXPECT_DOUBLE_EQ(agg.precision, 0.75);
+  EXPECT_DOUBLE_EQ(agg.recall, 0.75);
+  EXPECT_DOUBLE_EQ(agg.case_precision, 0.5);
+  EXPECT_EQ(agg.num_cases, 2u);
+}
+
+TEST(ReportTest, FormattingHelpers) {
+  EXPECT_EQ(Fmt3(0.97342), "0.973");
+  EXPECT_EQ(FmtSeconds(1.5), "1.500s");
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,100 @@
+#include "ml/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/metrics.h"
+
+namespace autobi {
+namespace {
+
+Dataset XorTask(size_t n, Rng& rng) {
+  // XOR is not linearly separable: boosted trees must compose splits.
+  Dataset d({"a", "b"});
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.NextDouble();
+    double b = rng.NextDouble();
+    d.Add({a, b}, ((a > 0.5) != (b > 0.5)) ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(GbdtTest, LearnsXor) {
+  Rng rng(1);
+  Dataset train = XorTask(1000, rng);
+  Gbdt gbdt;
+  GbdtOptions opt;
+  gbdt.Fit(train, opt, rng);
+  Dataset test = XorTask(300, rng);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    scores.push_back(gbdt.PredictProba(test.Row(i)));
+    labels.push_back(test.Label(i));
+  }
+  EXPECT_GT(RocAuc(scores, labels), 0.95);
+}
+
+TEST(GbdtTest, ProbaBounded) {
+  Rng rng(2);
+  Dataset d = XorTask(200, rng);
+  Gbdt gbdt;
+  gbdt.Fit(d, GbdtOptions{}, rng);
+  for (int i = 0; i < 50; ++i) {
+    double p = gbdt.PredictProba({rng.NextDouble(), rng.NextDouble()});
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(GbdtTest, BasePriorMatchesClassBalance) {
+  // On constant features, the prediction converges to the positive rate.
+  Rng rng(3);
+  Dataset d({"x"});
+  for (int i = 0; i < 400; ++i) d.Add({1.0}, i % 4 == 0 ? 1 : 0);
+  Gbdt gbdt;
+  gbdt.Fit(d, GbdtOptions{}, rng);
+  EXPECT_NEAR(gbdt.PredictProba({1.0}), 0.25, 0.05);
+}
+
+TEST(GbdtTest, MoreRoundsImproveTrainingFit) {
+  Rng rng(4);
+  Dataset d = XorTask(600, rng);
+  auto auc_with_rounds = [&](int rounds) {
+    Rng local(5);
+    Gbdt gbdt;
+    GbdtOptions opt;
+    opt.num_rounds = rounds;
+    gbdt.Fit(d, opt, local);
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (size_t i = 0; i < d.num_rows(); ++i) {
+      scores.push_back(gbdt.PredictProba(d.Row(i)));
+      labels.push_back(d.Label(i));
+    }
+    return RocAuc(scores, labels);
+  };
+  EXPECT_GT(auc_with_rounds(40), auc_with_rounds(2));
+}
+
+TEST(GbdtTest, SerializationRoundTrip) {
+  Rng rng(6);
+  Dataset d = XorTask(300, rng);
+  Gbdt gbdt;
+  GbdtOptions opt;
+  opt.learning_rate = 0.3;  // Non-default: must survive the round trip.
+  gbdt.Fit(d, opt, rng);
+  std::stringstream ss;
+  gbdt.Save(ss);
+  Gbdt loaded;
+  ASSERT_TRUE(loaded.Load(ss));
+  EXPECT_EQ(gbdt.num_rounds(), loaded.num_rounds());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x = {rng.NextDouble(), rng.NextDouble()};
+    EXPECT_NEAR(gbdt.PredictProba(x), loaded.PredictProba(x), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace autobi

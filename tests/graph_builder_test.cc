@@ -1,0 +1,106 @@
+// Tests of Algorithm 1 (graph construction): candidates become edges with
+// calibrated probabilities and -log weights; 1:1 candidates become
+// bidirectional pairs.
+
+#include "core/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+std::vector<Table> BuilderTables() {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable(
+      "fact", {{"cust_id", {"1", "2", "2", "3", "1", "3"}},
+               {"v", {"1", "2", "3", "4", "5", "6"}}}));
+  tables.push_back(MakeTable("customers", {{"id", {"1", "2", "3"}},
+                                           {"who", {"a", "b", "c"}}}));
+  tables.push_back(MakeTable("cust_info", {{"id", {"1", "2", "3"}},
+                                           {"mail", {"x", "y", "z"}}}));
+  return tables;
+}
+
+TEST(GraphBuilderTest, EdgesMirrorCandidates) {
+  std::vector<Table> tables = BuilderTables();
+  CandidateSet cands = GenerateCandidates(tables);
+  LocalModel model;  // Untrained: every score is 0.5.
+  JoinGraph graph = BuildJoinGraph(tables, cands, model, false);
+  EXPECT_EQ(graph.num_vertices(), 3);
+  // Each 1:1 candidate contributes 2 edges, each N:1 contributes 1.
+  size_t expected = 0;
+  for (const JoinCandidate& c : cands.candidates) {
+    expected += c.one_to_one ? 2 : 1;
+  }
+  EXPECT_EQ(graph.num_edges(), expected);
+}
+
+TEST(GraphBuilderTest, WeightsAreNegLogOfScore) {
+  std::vector<Table> tables = BuilderTables();
+  CandidateSet cands = GenerateCandidates(tables);
+  LocalModel model;
+  JoinGraph graph = BuildJoinGraph(tables, cands, model, false);
+  for (const JoinEdge& e : graph.edges()) {
+    EXPECT_NEAR(e.weight, -std::log(e.probability), 1e-12);
+    EXPECT_NEAR(e.probability, 0.5, 1e-9);  // Untrained fallback.
+  }
+}
+
+TEST(GraphBuilderTest, OneToOneCandidatesBecomePairs) {
+  std::vector<Table> tables = BuilderTables();
+  CandidateSet cands = GenerateCandidates(tables);
+  LocalModel model;
+  JoinGraph graph = BuildJoinGraph(tables, cands, model, false);
+  // customers <-> cust_info is 1:1-shaped; find its two orientations.
+  int forward = -1, backward = -1;
+  for (const JoinEdge& e : graph.edges()) {
+    if (!e.one_to_one) continue;
+    if (e.src == 1 && e.dst == 2) forward = e.id;
+    if (e.src == 2 && e.dst == 1) backward = e.id;
+  }
+  ASSERT_GE(forward, 0);
+  ASSERT_GE(backward, 0);
+  EXPECT_EQ(graph.edge(forward).pair_id, graph.edge(backward).pair_id);
+}
+
+TEST(GraphBuilderTest, TimingReported) {
+  std::vector<Table> tables = BuilderTables();
+  CandidateSet cands = GenerateCandidates(tables);
+  LocalModel model;
+  double seconds = -1.0;
+  BuildJoinGraph(tables, cands, model, false, &seconds);
+  EXPECT_GE(seconds, 0.0);
+}
+
+TEST(GraphBuilderTest, SchemaOnlyScoresDifferFromFullOnceTrained) {
+  // With a trained model, schema-only and full-feature scores come from
+  // different classifiers.
+  BiCase c;
+  c.tables = BuilderTables();
+  c.ground_truth.joins.push_back(
+      Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
+  std::vector<BiCase> corpus(10, c);
+  TrainerOptions opt;
+  opt.forest.num_trees = 8;
+  LocalModel model = TrainLocalModel(corpus, opt);
+  CandidateSet cands = GenerateCandidates(c.tables);
+  JoinGraph full = BuildJoinGraph(c.tables, cands, model, false);
+  JoinGraph schema = BuildJoinGraph(c.tables, cands, model, true);
+  ASSERT_EQ(full.num_edges(), schema.num_edges());
+  bool any_diff = false;
+  for (size_t i = 0; i < full.num_edges(); ++i) {
+    if (std::fabs(full.edge(int(i)).probability -
+                  schema.edge(int(i)).probability) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace autobi

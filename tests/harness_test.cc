@@ -1,0 +1,91 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+// A predictor that always returns a fixed model and timing.
+class FixedPredictor : public JoinPredictor {
+ public:
+  FixedPredictor(BiModel model, double seconds)
+      : model_(std::move(model)), seconds_(seconds) {}
+  std::string name() const override { return "fixed"; }
+  BiModel Predict(const std::vector<Table>& tables,
+                  AutoBiTiming* timing) const override {
+    (void)tables;
+    if (timing != nullptr) {
+      timing->ucc = seconds_ / 4;
+      timing->ind = seconds_ / 4;
+      timing->local_inference = seconds_ / 4;
+      timing->global_predict = seconds_ / 4;
+    }
+    return model_;
+  }
+
+ private:
+  BiModel model_;
+  double seconds_;
+};
+
+BiCase TwoTableCase() {
+  BiCase c;
+  c.tables.push_back(MakeTable("a", {{"x", {"1"}}}));
+  c.tables.push_back(MakeTable("b", {{"x", {"1"}}}));
+  c.ground_truth.joins.push_back(
+      Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
+  return c;
+}
+
+TEST(HarnessTest, RunMethodEvaluatesEveryCase) {
+  std::vector<BiCase> cases = {TwoTableCase(), TwoTableCase()};
+  BiModel perfect;
+  perfect.joins.push_back(
+      Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
+  FixedPredictor predictor(perfect, 1.0);
+  MethodResults r = RunMethod(predictor, cases);
+  EXPECT_EQ(r.method, "fixed");
+  ASSERT_EQ(r.cases.size(), 2u);
+  AggregateMetrics q = r.Quality();
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.case_precision, 1.0);
+}
+
+TEST(HarnessTest, TotalSecondsSumsBreakdown) {
+  FixedPredictor predictor(BiModel{}, 2.0);
+  MethodResults r = RunMethod(predictor, {TwoTableCase()});
+  std::vector<double> totals = r.TotalSeconds();
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_NEAR(totals[0], 2.0, 1e-9);
+}
+
+TEST(HarnessTest, QualityOnSubsetSelectsIndices) {
+  std::vector<BiCase> cases = {TwoTableCase(), TwoTableCase()};
+  BiModel perfect;
+  perfect.joins.push_back(
+      Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
+  FixedPredictor predictor(perfect, 0.0);
+  MethodResults r = RunMethod(predictor, cases);
+  AggregateMetrics first = QualityOnSubset(r, {0});
+  EXPECT_EQ(first.num_cases, 1u);
+  EXPECT_DOUBLE_EQ(first.f1, 1.0);
+  AggregateMetrics none = QualityOnSubset(r, {});
+  EXPECT_EQ(none.num_cases, 0u);
+}
+
+TEST(HarnessTest, WrongPredictionScoresZero) {
+  BiModel wrong;
+  wrong.joins.push_back(
+      Join{ColumnRef{1, {0}}, ColumnRef{0, {0}}, JoinKind::kNToOne});
+  FixedPredictor predictor(wrong, 0.0);
+  MethodResults r = RunMethod(predictor, {TwoTableCase()});
+  AggregateMetrics q = r.Quality();
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.case_precision, 0.0);
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/fk_baselines.h"
+#include "baselines/ml_fk.h"
+#include "core/auto_bi.h"
+#include "core/trainer.h"
+#include "eval/harness.h"
+#include "synth/corpus.h"
+#include "synth/tpc.h"
+
+namespace autobi {
+namespace {
+
+// Shares one trained model + one small REAL-style benchmark across all
+// integration tests (training is the expensive step).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusOptions train_opt;
+    train_opt.seed = 101;
+    train_opt.training_cases = 60;
+    TrainerOptions trainer;
+    trainer.forest.num_trees = 24;
+    model_ = new LocalModel(
+        TrainLocalModel(BuildTrainingCorpus(train_opt), trainer, &report_));
+
+    CorpusOptions bench_opt;
+    bench_opt.seed = 555;  // Disjoint from training.
+    bench_opt.cases_per_bucket = 2;
+    benchmark_ = new RealBenchmark(BuildRealBenchmark(bench_opt));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete benchmark_;
+    model_ = nullptr;
+    benchmark_ = nullptr;
+  }
+
+  static LocalModel* model_;
+  static RealBenchmark* benchmark_;
+  static TrainerReport report_;
+};
+
+LocalModel* PipelineTest::model_ = nullptr;
+RealBenchmark* PipelineTest::benchmark_ = nullptr;
+TrainerReport PipelineTest::report_;
+
+TEST_F(PipelineTest, TrainingProducesUsableClassifiers) {
+  EXPECT_TRUE(model_->trained());
+  EXPECT_GT(report_.n1_examples, 100u);
+  EXPECT_GT(report_.n1_positives, 20u);
+  EXPECT_GT(report_.n1_auc, 0.85);
+  EXPECT_LT(report_.n1_calibration_error, 0.2);
+}
+
+TEST_F(PipelineTest, AutoBiBeatsQualityFloorOnRealBenchmark) {
+  AutoBiPredictor auto_bi("Auto-BI", model_, AutoBiOptions{});
+  MethodResults results = RunMethod(auto_bi, benchmark_->cases);
+  AggregateMetrics q = results.Quality();
+  // Floors well below paper numbers but high enough to catch regressions.
+  EXPECT_GT(q.precision, 0.8);
+  EXPECT_GT(q.recall, 0.6);
+  EXPECT_GT(q.f1, 0.7);
+}
+
+TEST_F(PipelineTest, PrecisionModeHasHigherPrecisionThanFull) {
+  AutoBiOptions p_opt;
+  p_opt.mode = AutoBiMode::kPrecisionOnly;
+  AutoBiPredictor precision("Auto-BI-P", model_, p_opt);
+  AutoBiPredictor full("Auto-BI", model_, AutoBiOptions{});
+  AggregateMetrics qp = RunMethod(precision, benchmark_->cases).Quality();
+  AggregateMetrics qf = RunMethod(full, benchmark_->cases).Quality();
+  // Precision mode is precision-oriented and full mode recall-oriented; a
+  // small tolerance absorbs per-case averaging noise on small samples.
+  EXPECT_GE(qp.precision + 0.02, qf.precision);
+  EXPECT_GE(qf.recall + 0.02, qp.recall);
+}
+
+TEST_F(PipelineTest, PredictionIsDeterministic) {
+  AutoBi auto_bi(model_, AutoBiOptions{});
+  const BiCase& c = benchmark_->cases[0];
+  BiModel a = auto_bi.Predict(c.tables).model;
+  BiModel b = auto_bi.Predict(c.tables).model;
+  ASSERT_EQ(a.joins.size(), b.joins.size());
+  for (size_t i = 0; i < a.joins.size(); ++i) {
+    EXPECT_TRUE(a.joins[i] == b.joins[i]);
+  }
+}
+
+TEST_F(PipelineTest, PredictionsSatisfyFkOnceAndAcyclicity) {
+  AutoBi auto_bi(model_, AutoBiOptions{});
+  for (const BiCase& c : benchmark_->cases) {
+    AutoBiResult r = auto_bi.Predict(c.tables);
+    // FK-once over all N:1 joins.
+    std::set<std::pair<int, std::vector<int>>> sources;
+    for (const Join& j : r.model.joins) {
+      if (j.kind != JoinKind::kNToOne) continue;
+      EXPECT_TRUE(sources.emplace(j.from.table, j.from.columns).second)
+          << "FK-once violated in " << c.name;
+    }
+  }
+}
+
+TEST_F(PipelineTest, SolverStatsArepopulated) {
+  AutoBi auto_bi(model_, AutoBiOptions{});
+  AutoBiResult r = auto_bi.Predict(benchmark_->cases[0].tables);
+  EXPECT_GE(r.solver_stats.one_mca_calls, 1);
+  EXPECT_GE(r.kmca_cc_seconds, 0.0);
+  EXPECT_GE(r.timing.Total(), 0.0);
+}
+
+TEST_F(PipelineTest, AblationsDegradeGracefully) {
+  // Each ablation must still produce valid output; LC-only should have
+  // (weakly) lower case precision than the full system.
+  AutoBiOptions lc;
+  lc.lc_only = true;
+  AutoBiOptions no_fk;
+  no_fk.enforce_fk_once = false;
+  AutoBiOptions no_prec;
+  no_prec.use_precision_mode = false;
+  AggregateMetrics full =
+      RunMethod(AutoBiPredictor("full", model_, AutoBiOptions{}),
+                benchmark_->cases)
+          .Quality();
+  AggregateMetrics q_lc =
+      RunMethod(AutoBiPredictor("lc", model_, lc), benchmark_->cases)
+          .Quality();
+  AggregateMetrics q_nofk =
+      RunMethod(AutoBiPredictor("nofk", model_, no_fk), benchmark_->cases)
+          .Quality();
+  AggregateMetrics q_noprec =
+      RunMethod(AutoBiPredictor("noprec", model_, no_prec),
+                benchmark_->cases)
+          .Quality();
+  EXPECT_GE(full.case_precision + 1e-9, q_lc.case_precision);
+  EXPECT_GT(q_nofk.f1, 0.3);
+  EXPECT_GT(q_noprec.f1, 0.3);
+}
+
+TEST_F(PipelineTest, SchemaOnlyModeRuns) {
+  AutoBiOptions opt;
+  opt.mode = AutoBiMode::kSchemaOnly;
+  AggregateMetrics q =
+      RunMethod(AutoBiPredictor("Auto-BI-S", model_, opt), benchmark_->cases)
+          .Quality();
+  EXPECT_GT(q.f1, 0.5);
+}
+
+// --- Baselines all run and produce sane output.
+
+TEST_F(PipelineTest, BaselinesProduceValidModels) {
+  std::vector<std::unique_ptr<JoinPredictor>> methods;
+  methods.push_back(std::make_unique<McFk>());
+  methods.push_back(std::make_unique<FastFk>());
+  methods.push_back(std::make_unique<HoPf>());
+  MlFkModel mlfk_model;
+  {
+    CorpusOptions mini;
+    mini.seed = 909;
+    mini.training_cases = 12;
+    mlfk_model.Train(BuildTrainingCorpus(mini));
+  }
+  methods.push_back(std::make_unique<MlFkRostin>(&mlfk_model));
+  methods.push_back(std::make_unique<LcOnly>(model_));
+  methods.push_back(std::make_unique<SystemX>());
+  methods.push_back(std::make_unique<NamePrior>());
+  methods.push_back(std::make_unique<McFk>(model_));
+  methods.push_back(std::make_unique<FastFk>(model_));
+  methods.push_back(std::make_unique<HoPf>(model_));
+  std::vector<BiCase> subset(benchmark_->cases.begin(),
+                             benchmark_->cases.begin() + 4);
+  for (const auto& m : methods) {
+    MethodResults r = RunMethod(*m, subset);
+    AggregateMetrics q = r.Quality();
+    EXPECT_GE(q.precision, 0.0) << m->name();
+    EXPECT_LE(q.precision, 1.0) << m->name();
+    for (const CaseResult& cr : r.cases) {
+      EXPECT_GE(cr.timing.Total(), 0.0) << m->name();
+    }
+  }
+}
+
+TEST_F(PipelineTest, AutoBiOutperformsLocalBaselinesOnF1) {
+  AggregateMetrics auto_bi =
+      RunMethod(AutoBiPredictor("Auto-BI", model_, AutoBiOptions{}),
+                benchmark_->cases)
+          .Quality();
+  AggregateMetrics mcfk = RunMethod(McFk(), benchmark_->cases).Quality();
+  AggregateMetrics fastfk = RunMethod(FastFk(), benchmark_->cases).Quality();
+  EXPECT_GT(auto_bi.f1, mcfk.f1);
+  EXPECT_GT(auto_bi.f1, fastfk.f1);
+}
+
+TEST_F(PipelineTest, SystemXIsConservative) {
+  MethodResults r = RunMethod(SystemX(), benchmark_->cases);
+  // Stand-in contract (DESIGN.md): high precision *when it predicts*,
+  // modest recall. (Cases with zero predictions score precision 0 by the
+  // evaluation convention, which is about recall, not about wrong edges.)
+  std::vector<EdgeMetrics> non_empty;
+  for (const CaseResult& cr : r.cases) {
+    if (cr.metrics.predicted > 0) non_empty.push_back(cr.metrics);
+  }
+  ASSERT_FALSE(non_empty.empty());
+  AggregateMetrics q = Aggregate(non_empty);
+  EXPECT_GT(q.precision, 0.85);
+  EXPECT_LT(r.Quality().recall, 0.9);
+}
+
+TEST_F(PipelineTest, TpcHEndToEnd) {
+  Rng rng(7);
+  BiCase tpch = GenerateTpcH(0.25, rng);
+  AutoBi auto_bi(model_, AutoBiOptions{});
+  AutoBiResult r = auto_bi.Predict(tpch.tables);
+  EdgeMetrics m = EvaluateCase(tpch, r.model);
+  EXPECT_GT(m.f1, 0.6);
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,84 @@
+#include "core/join_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+TEST(JoinStatsTest, CleanNToOne) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("fact", {{"k", {"1", "2", "2", "3"}}}));
+  tables.push_back(MakeTable("dim", {{"k", {"1", "2", "3"}}}));
+  Join join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne};
+  JoinStats s = ComputeJoinStats(tables, join);
+  EXPECT_EQ(s.left_rows, 4u);
+  EXPECT_EQ(s.matched_rows, 4u);
+  EXPECT_EQ(s.output_rows, 4u);
+  EXPECT_EQ(s.max_fanout, 1u);
+  EXPECT_EQ(s.left_distinct, 3u);
+  EXPECT_EQ(s.right_distinct, 3u);
+  EXPECT_DOUBLE_EQ(s.MatchRate(), 1.0);
+  EXPECT_TRUE(s.LooksLikeCleanNToOne());
+}
+
+TEST(JoinStatsTest, DirtyJoinReportsUnmatched) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("fact", {{"k", {"1", "9", "2", "9"}}}));
+  tables.push_back(MakeTable("dim", {{"k", {"1", "2"}}}));
+  Join join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne};
+  JoinStats s = ComputeJoinStats(tables, join);
+  EXPECT_EQ(s.matched_rows, 2u);
+  EXPECT_DOUBLE_EQ(s.MatchRate(), 0.5);
+  EXPECT_FALSE(s.LooksLikeCleanNToOne());
+}
+
+TEST(JoinStatsTest, FanOutDetectedWhenTargetNotUnique) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("fact", {{"k", {"1", "2"}}}));
+  tables.push_back(MakeTable("dim", {{"k", {"1", "1", "1", "2"}}}));
+  Join join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne};
+  JoinStats s = ComputeJoinStats(tables, join);
+  EXPECT_EQ(s.max_fanout, 3u);
+  EXPECT_EQ(s.output_rows, 4u);  // 3 + 1.
+  EXPECT_FALSE(s.LooksLikeCleanNToOne());
+}
+
+TEST(JoinStatsTest, NullKeysSkipped) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("fact", {{"k", {"1", "", "2"}}}));
+  tables.push_back(MakeTable("dim", {{"k", {"1", "2", ""}}}));
+  Join join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne};
+  JoinStats s = ComputeJoinStats(tables, join);
+  EXPECT_EQ(s.left_rows, 2u);
+  EXPECT_EQ(s.right_distinct, 2u);
+  EXPECT_EQ(s.matched_rows, 2u);
+}
+
+TEST(JoinStatsTest, CompositeKeyJoin) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("fact", {{"a", {"1", "1", "2"}},
+                                      {"b", {"7", "8", "7"}}}));
+  tables.push_back(MakeTable("link", {{"a", {"1", "1", "2"}},
+                                      {"b", {"7", "8", "8"}}}));
+  Join join{ColumnRef{0, {0, 1}}, ColumnRef{1, {0, 1}}, JoinKind::kNToOne};
+  JoinStats s = ComputeJoinStats(tables, join);
+  // (1,7) and (1,8) match, (2,7) does not.
+  EXPECT_EQ(s.matched_rows, 2u);
+  EXPECT_EQ(s.left_distinct, 3u);
+  EXPECT_EQ(s.right_distinct, 3u);
+}
+
+TEST(JoinStatsTest, ToStringMentionsCleanVerdict) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("fact", {{"k", {"1", "2"}}}));
+  tables.push_back(MakeTable("dim", {{"k", {"1", "2"}}}));
+  Join join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne};
+  std::string text = ComputeJoinStats(tables, join).ToString();
+  EXPECT_NE(text.find("clean N:1"), std::string::npos);
+  EXPECT_NE(text.find("matched=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autobi

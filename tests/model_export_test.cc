@@ -1,0 +1,81 @@
+#include "core/model_export.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+struct ExportFixture {
+  std::vector<Table> tables;
+  BiModel model;
+  ExportFixture() {
+    tables.push_back(MakeTable("fact", {{"cust_id", {"1"}}}));
+    tables.push_back(MakeTable("customers", {{"id", {"1"}}}));
+    tables.push_back(MakeTable("cust_details", {{"id", {"1"}}}));
+    model.joins.push_back(
+        Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
+    model.joins.push_back(
+        Join{ColumnRef{1, {0}}, ColumnRef{2, {0}}, JoinKind::kOneToOne}
+            .Normalized());
+  }
+};
+
+TEST(ExportDotTest, ContainsNodesAndEdges) {
+  ExportFixture f;
+  std::string dot = ExportDot(f.tables, f.model);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"fact\""), std::string::npos);
+  EXPECT_NE(dot.find("\"customers\""), std::string::npos);
+  EXPECT_NE(dot.find("\"fact\" -> \"customers\""), std::string::npos);
+  // 1:1 edges render dashed & bidirectional.
+  EXPECT_NE(dot.find("dir=both"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(ExportDotTest, EscapesQuotesInNames) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("we\"ird", {{"a", {"1"}}}));
+  tables.push_back(MakeTable("other", {{"a", {"1"}}}));
+  BiModel model;
+  model.joins.push_back(
+      Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
+  std::string dot = ExportDot(tables, model);
+  EXPECT_NE(dot.find("we\\\"ird"), std::string::npos);
+}
+
+TEST(ExportSqlTest, EmitsForeignKeys) {
+  ExportFixture f;
+  std::string sql = ExportSqlDdl(f.tables, f.model);
+  EXPECT_NE(sql.find("ALTER TABLE \"fact\" ADD FOREIGN KEY (cust_id) "
+                     "REFERENCES \"customers\" (id);"),
+            std::string::npos);
+  // 1:1 joins become comments.
+  EXPECT_NE(sql.find("-- 1:1 relationship"), std::string::npos);
+}
+
+TEST(ExportJsonTest, WellFormedStructure) {
+  ExportFixture f;
+  std::string json = ExportJson(f.tables, f.model);
+  EXPECT_NE(json.find("\"tables\": [\"fact\", \"customers\", "
+                      "\"cust_details\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"N:1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"1:1\""), std::string::npos);
+  // Exactly one comma between the two join objects (valid JSON list).
+  EXPECT_NE(json.find("\"},"), std::string::npos);
+}
+
+TEST(ExportTest, EmptyModel) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("lonely", {{"a", {"1"}}}));
+  BiModel empty;
+  EXPECT_NE(ExportDot(tables, empty).find("\"lonely\""), std::string::npos);
+  EXPECT_EQ(ExportSqlDdl(tables, empty), "");
+  EXPECT_NE(ExportJson(tables, empty).find("\"joins\": [\n  ]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace autobi

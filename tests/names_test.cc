@@ -1,0 +1,79 @@
+#include "synth/names.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace autobi {
+namespace {
+
+TEST(EntityPoolTest, NonEmptyAndWellFormed) {
+  const auto& pool = EntityPool();
+  EXPECT_GE(pool.size(), 40u);
+  std::set<std::string> names;
+  for (const EntityTemplate& e : pool) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate entity " << e.name;
+    EXPECT_FALSE(e.attributes.empty()) << e.name;
+  }
+}
+
+TEST(EntityPoolTest, ParentLinksResolveAndAreAcyclic) {
+  const auto& pool = EntityPool();
+  std::set<std::string> names;
+  for (const EntityTemplate& e : pool) names.insert(e.name);
+  for (const EntityTemplate& e : pool) {
+    if (std::string(e.parent).empty()) continue;
+    EXPECT_TRUE(names.count(e.parent))
+        << e.name << " -> unknown parent " << e.parent;
+  }
+  // Follow parent chains; they must terminate (no cycles).
+  auto find = [&](const std::string& n) -> const EntityTemplate* {
+    for (const EntityTemplate& e : pool) {
+      if (n == e.name) return &e;
+    }
+    return nullptr;
+  };
+  for (const EntityTemplate& e : pool) {
+    const EntityTemplate* cur = &e;
+    int hops = 0;
+    while (cur != nullptr && !std::string(cur->parent).empty()) {
+      cur = find(cur->parent);
+      ASSERT_LT(++hops, 20) << "parent cycle at " << e.name;
+    }
+  }
+}
+
+TEST(FactPoolTest, EveryFactHasMeasures) {
+  for (const FactTemplate& f : FactPool()) {
+    EXPECT_GE(f.measures.size(), 2u) << f.name;
+  }
+}
+
+TEST(StyleTokensTest, AllStyles) {
+  std::vector<std::string> tokens = {"customer", "id"};
+  EXPECT_EQ(StyleTokens(tokens, NameStyle::kSnake), "customer_id");
+  EXPECT_EQ(StyleTokens(tokens, NameStyle::kCamel), "customerId");
+  EXPECT_EQ(StyleTokens(tokens, NameStyle::kPascal), "CustomerId");
+  EXPECT_EQ(StyleTokens(tokens, NameStyle::kFlat), "customerid");
+  EXPECT_EQ(StyleTokens({}, NameStyle::kSnake), "");
+}
+
+TEST(AbbreviateTest, KnownAbbreviations) {
+  Rng rng(1);
+  EXPECT_EQ(Abbreviate("customer", rng), "cust");
+  EXPECT_EQ(Abbreviate("quantity", rng), "qty");
+  EXPECT_EQ(Abbreviate("department", rng), "dept");
+}
+
+TEST(AbbreviateTest, ShortTokensUnchangedLongTokensShortened) {
+  Rng rng(2);
+  EXPECT_EQ(Abbreviate("id", rng), "id");
+  for (int i = 0; i < 20; ++i) {
+    std::string abbr = Abbreviate("warehouse_zone_xyz", rng);
+    EXPECT_LT(abbr.size(), std::string("warehouse_zone_xyz").size());
+    EXPECT_GE(abbr.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,113 @@
+// End-to-end property sweep: on generated cases of varied sizes, Auto-BI's
+// predictions must always satisfy the structural guarantees the paper
+// proves or assumes — FK-once, acyclicity, valid column references, and
+// value-containment on every predicted N:1 join.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/auto_bi.h"
+#include "core/trainer.h"
+#include "graph/validate.h"
+#include "profile/column_profile.h"
+#include "synth/bi_generator.h"
+#include "synth/corpus.h"
+
+namespace autobi {
+namespace {
+
+// One shared model for the whole sweep (training dominates runtime).
+const LocalModel& SharedModel() {
+  static const LocalModel* model = [] {
+    CorpusOptions opt;
+    opt.seed = 808;
+    opt.training_cases = 50;
+    TrainerOptions trainer;
+    trainer.forest.num_trees = 16;
+    return new LocalModel(TrainLocalModel(BuildTrainingCorpus(opt),
+                                          trainer));
+  }();
+  return *model;
+}
+
+struct SweepParam {
+  uint64_t seed;
+  int tables;
+};
+
+class PredictionPropertyTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PredictionPropertyTest, StructuralGuaranteesHold) {
+  Rng rng(GetParam().seed * 7919);
+  BiGenOptions gen;
+  gen.num_tables = GetParam().tables;
+  BiCase bi_case = GenerateBiCase(gen, rng);
+
+  AutoBi auto_bi(&SharedModel(), AutoBiOptions{});
+  AutoBiResult result = auto_bi.Predict(bi_case.tables);
+
+  // Valid references.
+  int n = int(bi_case.tables.size());
+  for (const Join& j : result.model.joins) {
+    ASSERT_GE(j.from.table, 0);
+    ASSERT_LT(j.from.table, n);
+    ASSERT_LT(j.to.table, n);
+    for (int c : j.from.columns) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, int(bi_case.tables[size_t(j.from.table)].num_columns()));
+    }
+    for (int c : j.to.columns) {
+      ASSERT_LT(c, int(bi_case.tables[size_t(j.to.table)].num_columns()));
+    }
+  }
+
+  // FK-once over N:1 joins.
+  std::set<std::pair<int, std::vector<int>>> sources;
+  for (const Join& j : result.model.joins) {
+    if (j.kind != JoinKind::kNToOne) continue;
+    EXPECT_TRUE(sources.emplace(j.from.table, j.from.columns).second);
+  }
+
+  // Acyclicity of the directed N:1 graph (Equation 19).
+  std::vector<std::pair<int, int>> arcs;
+  for (const Join& j : result.model.joins) {
+    if (j.kind == JoinKind::kNToOne) {
+      arcs.emplace_back(j.from.table, j.to.table);
+    }
+  }
+  EXPECT_FALSE(HasDirectedCycle(n, arcs));
+
+  // The precision-mode backbone alone is a k-arborescence.
+  std::vector<std::pair<int, int>> backbone_arcs;
+  for (int id : result.backbone_edges) {
+    const JoinEdge& e = result.graph.edge(id);
+    backbone_arcs.emplace_back(e.src, e.dst);
+  }
+  EXPECT_TRUE(IsKArborescence(n, backbone_arcs));
+
+  // Every predicted single-column N:1 join is a genuine approximate IND in
+  // the data (the candidate-generation contract survives to the output).
+  auto profiles = ProfileTables(bi_case.tables);
+  for (const Join& j : result.model.joins) {
+    if (j.kind != JoinKind::kNToOne || j.from.columns.size() != 1) continue;
+    const ColumnProfile& src =
+        profiles[size_t(j.from.table)].columns[size_t(j.from.columns[0])];
+    const ColumnProfile& dst =
+        profiles[size_t(j.to.table)].columns[size_t(j.to.columns[0])];
+    EXPECT_GE(Containment(src, dst), 0.8)
+        << "non-inclusive join predicted in " << bi_case.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSweep, PredictionPropertyTest,
+    ::testing::Values(SweepParam{1, 4}, SweepParam{2, 6}, SweepParam{3, 8},
+                      SweepParam{4, 10}, SweepParam{5, 13},
+                      SweepParam{6, 17}, SweepParam{7, 22},
+                      SweepParam{8, 5}, SweepParam{9, 9},
+                      SweepParam{10, 12}));
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,89 @@
+#include "profile/column_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace autobi {
+namespace {
+
+TEST(ColumnProfileTest, BasicStatistics) {
+  Table t = MakeTable("t", {{"c", {"1", "2", "2", "", "5"}}});
+  ColumnProfile p = ProfileColumn(t.column(0));
+  EXPECT_EQ(p.row_count, 5u);
+  EXPECT_EQ(p.non_null_count, 4u);
+  EXPECT_EQ(p.distinct.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.distinct_ratio, 3.0 / 4.0);
+  EXPECT_TRUE(p.is_numeric);
+  EXPECT_DOUBLE_EQ(p.min_value, 1.0);
+  EXPECT_DOUBLE_EQ(p.max_value, 5.0);
+  EXPECT_FALSE(p.IsUnique());
+}
+
+TEST(ColumnProfileTest, UniqueColumnDetected) {
+  Table t = MakeTable("t", {{"c", SeqCells(1, 50)}});
+  ColumnProfile p = ProfileColumn(t.column(0));
+  EXPECT_TRUE(p.IsUnique());
+  EXPECT_DOUBLE_EQ(p.distinct_ratio, 1.0);
+}
+
+TEST(ColumnProfileTest, StringColumnNotNumeric) {
+  Table t = MakeTable("t", {{"c", {"x", "y", "x"}}});
+  ColumnProfile p = ProfileColumn(t.column(0));
+  EXPECT_FALSE(p.is_numeric);
+  EXPECT_EQ(p.distinct.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.avg_value_length, 1.0);
+}
+
+TEST(ColumnProfileTest, NumericSampleIsSortedAndBounded) {
+  std::vector<std::string> cells;
+  for (int i = 2000; i > 0; --i) cells.push_back(std::to_string(i));
+  Table t = MakeTable("t", {{"c", cells}});
+  ColumnProfile p = ProfileColumn(t.column(0), /*max_sample=*/128);
+  EXPECT_LE(p.sorted_numeric_sample.size(), 128u);
+  EXPECT_TRUE(std::is_sorted(p.sorted_numeric_sample.begin(),
+                             p.sorted_numeric_sample.end()));
+}
+
+TEST(ColumnProfileTest, AllNullColumn) {
+  Table t = MakeTable("t", {{"c", {"", "", ""}}});
+  ColumnProfile p = ProfileColumn(t.column(0));
+  EXPECT_EQ(p.non_null_count, 0u);
+  EXPECT_FALSE(p.IsUnique());
+  EXPECT_DOUBLE_EQ(p.distinct_ratio, 0.0);
+}
+
+TEST(ContainmentTest, DirectionalFraction) {
+  Table t = MakeTable("t", {{"a", {"1", "2", "3"}},
+                            {"b", {"2", "3", "4"}},
+                            {"c", {"1", "2", "3"}}});
+  TableProfile tp = ProfileTable(t);
+  EXPECT_NEAR(Containment(tp.columns[0], tp.columns[1]), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Containment(tp.columns[0], tp.columns[2]), 1.0);
+  // Empty dependent side -> 0.
+  Table e = MakeTable("e", {{"x", {"", ""}}});
+  ColumnProfile pe = ProfileColumn(e.column(0));
+  EXPECT_DOUBLE_EQ(Containment(pe, tp.columns[0]), 0.0);
+}
+
+TEST(ContainmentTest, CrossTypeIntVsStringDigits) {
+  Table a = MakeTable("a", {{"k", {"1", "2"}}});
+  Table b = MakeTable("b", {{"k", {"1", "2", "x"}}});  // Mixed -> string.
+  ColumnProfile pa = ProfileColumn(a.column(0));
+  ColumnProfile pb = ProfileColumn(b.column(0));
+  EXPECT_EQ(b.column(0).type(), ValueType::kString);
+  EXPECT_DOUBLE_EQ(Containment(pa, pb), 1.0);
+}
+
+TEST(ProfileTablesTest, ProfilesEveryTable) {
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("a", {{"x", SeqCells(1, 3)}}));
+  tables.push_back(MakeTable("b", {{"y", SeqCells(1, 5)}}));
+  auto profiles = ProfileTables(tables);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].row_count, 3u);
+  EXPECT_EQ(profiles[1].row_count, 5u);
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,53 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace autobi {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"Method", "P"});
+  t.AddRow({"Auto-BI", "0.973"});
+  t.AddRow({"a-very-long-method-name", "1.0"});
+  ::testing::internal::CaptureStdout();
+  t.Print();
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| Method "), std::string::npos);
+  EXPECT_NE(out.find("| Auto-BI "), std::string::npos);
+  EXPECT_NE(out.find("a-very-long-method-name"), std::string::npos);
+  // All rows share the same width.
+  size_t first_nl = out.find('\n');
+  std::string first_line = out.substr(0, first_nl);
+  size_t pos = 0;
+  size_t lines = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, first_line.size()) << "ragged table row";
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_GE(lines, 6u);  // 3 separators + header + 2 rows.
+}
+
+TEST(TablePrinterTest, SeparatorAndShortRows) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"1"});  // Missing cells render empty.
+  t.AddSeparator();
+  t.AddRow({"2", "3", "4"});
+  ::testing::internal::CaptureStdout();
+  t.Print();
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| 2 | 3 | 4 |"), std::string::npos);
+}
+
+TEST(FormattersTest, Values) {
+  EXPECT_EQ(Fmt3(1.0), "1.000");
+  EXPECT_EQ(Fmt3(0.12349), "0.123");
+  EXPECT_EQ(FmtSeconds(0.02), "20.00ms");
+  EXPECT_EQ(FmtSeconds(2.5), "2.500s");
+  EXPECT_EQ(FmtSeconds(0.0001), "100us");
+}
+
+}  // namespace
+}  // namespace autobi

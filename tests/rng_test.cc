@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace autobi {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(8);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+TEST(RngTest, ZipfFavorsSmallIndices) {
+  Rng rng(9);
+  size_t first_bucket = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.NextZipf(100, 1.0) == 0) ++first_bucket;
+  }
+  // Index 0 should get far more than the uniform 1/100 share.
+  EXPECT_GT(first_bucket, 200u);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.NextZipf(7, 0.8), 7u);
+  }
+}
+
+TEST(RngTest, WeightedSamplingRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {1.0, 0.0, 9.0};
+  size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(13);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,106 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/tokenize.h"
+
+namespace autobi {
+namespace {
+
+using V = std::vector<std::string>;
+
+TEST(TokenJaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(TokenJaccard(V{"a", "b"}, V{"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard(V{"a", "b"}, V{"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard(V{"a"}, V{"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard(V{}, V{}), 0.0);
+}
+
+TEST(TokenJaccardTest, DuplicatesIgnored) {
+  EXPECT_DOUBLE_EQ(TokenJaccard(V{"a", "a", "b"}, V{"a", "b", "b"}), 1.0);
+}
+
+TEST(TokenContainmentTest, SubsetScoresOne) {
+  EXPECT_DOUBLE_EQ(TokenContainment(V{"customer", "id"},
+                                    V{"customer", "id", "number"}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TokenContainment(V{"a"}, V{"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(TokenContainment(V{}, V{"a"}), 0.0);
+}
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2u);
+}
+
+TEST(EditSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, KnownBehavior) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", ""), 0.0);
+  // Shared prefix beats same-length non-prefix overlap.
+  EXPECT_GT(JaroWinkler("customer", "customor"),
+            JaroWinkler("customer", "rustomec"));
+}
+
+TEST(JaroWinklerTest, MartthaReference) {
+  // Classic reference value: JW("MARTHA","MARHTA") = 0.9611.
+  EXPECT_NEAR(JaroWinkler("martha", "marhta"), 0.9611, 0.001);
+}
+
+// Property sweep: similarity metrics are symmetric, bounded in [0,1], and
+// score identical strings as 1.
+class SimilarityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityPropertyTest, SymmetryBoundsIdentity) {
+  Rng rng(GetParam());
+  auto random_ident = [&rng]() {
+    static const char* parts[] = {"cust", "order", "id",  "key", "date",
+                                  "line", "prod",  "amt", "seg", "x"};
+    std::string s;
+    size_t n = 1 + rng.NextBelow(3);
+    for (size_t i = 0; i < n; ++i) {
+      if (i) s += "_";
+      s += parts[rng.NextBelow(10)];
+    }
+    return s;
+  };
+  for (int i = 0; i < 20; ++i) {
+    std::string a = random_ident();
+    std::string b = random_ident();
+    auto ta = TokenizeIdentifier(a);
+    auto tb = TokenizeIdentifier(b);
+
+    double j1 = TokenJaccard(ta, tb), j2 = TokenJaccard(tb, ta);
+    EXPECT_DOUBLE_EQ(j1, j2);
+    EXPECT_GE(j1, 0.0);
+    EXPECT_LE(j1, 1.0);
+    EXPECT_DOUBLE_EQ(TokenJaccard(ta, ta), ta.empty() ? 0.0 : 1.0);
+
+    double e1 = EditSimilarity(a, b), e2 = EditSimilarity(b, a);
+    EXPECT_DOUBLE_EQ(e1, e2);
+    EXPECT_GE(e1, 0.0);
+    EXPECT_LE(e1, 1.0);
+    EXPECT_DOUBLE_EQ(EditSimilarity(a, a), 1.0);
+
+    double w1 = JaroWinkler(a, b), w2 = JaroWinkler(b, a);
+    EXPECT_DOUBLE_EQ(w1, w2);
+    EXPECT_GE(w1, 0.0);
+    EXPECT_LE(w1, 1.0);
+    EXPECT_DOUBLE_EQ(JaroWinkler(a, a), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,42 @@
+#include "common/stats_util.h"
+
+#include <gtest/gtest.h>
+
+namespace autobi {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 25), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> xs = {4, 8, 15, 16, 23, 42};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Percentile({42, 4, 23, 8, 16, 15}, 100), 42.0);
+}
+
+TEST(FScoreTest, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(FScore(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FScore(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FScore(1.0, 0.0), 0.0);
+  EXPECT_NEAR(FScore(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace autobi

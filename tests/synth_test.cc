@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/validate.h"
+#include "profile/column_profile.h"
+#include "synth/bi_generator.h"
+#include "synth/classic_dbs.h"
+#include "synth/corpus.h"
+#include "synth/schema_builder.h"
+#include "synth/tpc.h"
+
+namespace autobi {
+namespace {
+
+// --- SchemaBuilder.
+
+TEST(SchemaBuilderTest, FkValuesComeFromReferencedColumn) {
+  SchemaBuilder b;
+  TableSpec dim;
+  dim.name = "dim";
+  dim.rows = 20;
+  ColumnSpec pk;
+  pk.name = "id";
+  pk.kind = ColumnKind::kSurrogateKey;
+  dim.columns.push_back(pk);
+  b.AddTable(dim);
+  TableSpec fact;
+  fact.name = "fact";
+  fact.rows = 100;
+  b.AddTable(fact);
+  b.AddFkColumn("fact", "dim_id", "dim", "id");
+
+  Rng rng(1);
+  BiCase c = b.Generate("t", rng);
+  const Table& f = c.tables[1];
+  int fk = f.ColumnIndex("dim_id");
+  ASSERT_GE(fk, 0);
+  for (size_t r = 0; r < f.num_rows(); ++r) {
+    int64_t v = f.column(size_t(fk)).Int(r);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 20);
+  }
+  ASSERT_EQ(c.ground_truth.joins.size(), 1u);
+  EXPECT_EQ(c.ground_truth.joins[0].kind, JoinKind::kNToOne);
+}
+
+TEST(SchemaBuilderTest, DanglingFractionRespected) {
+  SchemaBuilder b;
+  TableSpec dim;
+  dim.name = "dim";
+  dim.rows = 50;
+  ColumnSpec pk;
+  pk.name = "id";
+  pk.kind = ColumnKind::kSurrogateKey;
+  dim.columns.push_back(pk);
+  b.AddTable(dim);
+  TableSpec fact;
+  fact.name = "fact";
+  fact.rows = 1000;
+  b.AddTable(fact);
+  b.AddFkColumn("fact", "dim_id", "dim", "id", 0.0, /*dangling=*/0.2);
+  Rng rng(2);
+  BiCase c = b.Generate("t", rng);
+  const Column& fk = c.tables[1].column(0);
+  size_t dangling = 0;
+  for (size_t r = 0; r < fk.size(); ++r) {
+    int64_t v = fk.Int(r);
+    if (v < 1 || v > 50) ++dangling;
+  }
+  EXPECT_NEAR(double(dangling) / 1000.0, 0.2, 0.05);
+}
+
+TEST(SchemaBuilderTest, OneToOneKeysAlign) {
+  SchemaBuilder b;
+  TableSpec a;
+  a.name = "a";
+  a.rows = 30;
+  ColumnSpec pk;
+  pk.name = "id";
+  pk.kind = ColumnKind::kSurrogateKey;
+  a.columns.push_back(pk);
+  b.AddTable(a);
+  TableSpec d = a;
+  d.name = "a_details";
+  b.AddTable(d);
+  b.AddOneToOne("a", "id", "a_details", "id");
+  Rng rng(3);
+  BiCase c = b.Generate("t", rng);
+  ColumnProfile pa = ProfileColumn(c.tables[0].column(0));
+  ColumnProfile pb = ProfileColumn(c.tables[1].column(0));
+  EXPECT_DOUBLE_EQ(Containment(pa, pb), 1.0);
+  EXPECT_DOUBLE_EQ(Containment(pb, pa), 1.0);
+  EXPECT_TRUE(pa.IsUnique());
+  EXPECT_TRUE(pb.IsUnique());
+}
+
+TEST(SchemaBuilderTest, CompositeFkTuplesComeFromReferencedRows) {
+  // partsupp-style: pair key via Mod/Div, composite FK sampling rows.
+  SchemaBuilder b;
+  TableSpec part;
+  part.name = "part";
+  part.rows = 10;
+  ColumnSpec ppk;
+  ppk.name = "p_id";
+  ppk.kind = ColumnKind::kSurrogateKey;
+  part.columns.push_back(ppk);
+  b.AddTable(part);
+  TableSpec supp = part;
+  supp.name = "supp";
+  supp.rows = 8;
+  supp.columns[0].name = "s_id";
+  b.AddTable(supp);
+  TableSpec ps;
+  ps.name = "ps";
+  ps.rows = 40;
+  ColumnSpec m;
+  m.name = "ps_p";
+  m.kind = ColumnKind::kModKey;
+  m.ref_table = "part";
+  m.ref_column = "p_id";
+  ColumnSpec dv;
+  dv.name = "ps_s";
+  dv.kind = ColumnKind::kDivKey;
+  dv.ref_table = "supp";
+  dv.ref_column = "s_id";
+  dv.divisor = 10;
+  ps.columns.push_back(m);
+  ps.columns.push_back(dv);
+  b.AddTable(ps);
+  TableSpec line;
+  line.name = "line";
+  line.rows = 200;
+  ColumnSpec f1;
+  f1.name = "l_p";
+  f1.kind = ColumnKind::kForeignKey;
+  f1.ref_table = "ps";
+  f1.ref_column = "ps_p";
+  ColumnSpec f2;
+  f2.name = "l_s";
+  f2.kind = ColumnKind::kForeignKey;
+  f2.ref_table = "ps";
+  f2.ref_column = "ps_s";
+  line.columns.push_back(f1);
+  line.columns.push_back(f2);
+  b.AddTable(line);
+  b.AddRelationship({"line", {"l_p", "l_s"}, "ps", {"ps_p", "ps_s"},
+                     JoinKind::kNToOne});
+  Rng rng(4);
+  BiCase c = b.Generate("t", rng);
+  // (ps_p, ps_s) pairs must be unique; line tuples must be drawn from them.
+  const Table& tps = c.tables[2];
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (size_t r = 0; r < tps.num_rows(); ++r) {
+    EXPECT_TRUE(pairs.emplace(tps.column(0).Int(r), tps.column(1).Int(r))
+                    .second);
+  }
+  const Table& tl = c.tables[3];
+  for (size_t r = 0; r < tl.num_rows(); ++r) {
+    EXPECT_TRUE(pairs.count(
+        {tl.column(0).Int(r), tl.column(1).Int(r)}));
+  }
+}
+
+// --- BI-case generator invariants (property sweep over seeds/sizes).
+
+struct GenParam {
+  uint64_t seed;
+  int tables;
+};
+
+class BiGeneratorPropertyTest
+    : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(BiGeneratorPropertyTest, StructuralInvariants) {
+  Rng rng(GetParam().seed);
+  BiGenOptions opt;
+  opt.num_tables = GetParam().tables;
+  BiCase c = GenerateBiCase(opt, rng);
+
+  // Tables are valid and close to the requested count.
+  EXPECT_NEAR(double(c.tables.size()), double(opt.num_tables), 2.0);
+  for (const Table& t : c.tables) {
+    EXPECT_TRUE(t.Validate());
+    EXPECT_GT(t.num_columns(), 0u);
+    EXPECT_GT(t.num_rows(), 0u);
+  }
+
+  // Ground-truth joins reference valid tables/columns, and N:1 joins have
+  // high value containment (valid approximate INDs).
+  auto profiles = ProfileTables(c.tables);
+  for (const Join& j : c.ground_truth.joins) {
+    ASSERT_GE(j.from.table, 0);
+    ASSERT_LT(j.from.table, int(c.tables.size()));
+    ASSERT_LT(j.to.table, int(c.tables.size()));
+    for (int col : j.from.columns) {
+      ASSERT_LT(col, int(c.tables[size_t(j.from.table)].num_columns()));
+    }
+    if (j.kind == JoinKind::kNToOne && j.from.columns.size() == 1) {
+      const ColumnProfile& pf =
+          profiles[size_t(j.from.table)].columns[size_t(j.from.columns[0])];
+      const ColumnProfile& pt =
+          profiles[size_t(j.to.table)].columns[size_t(j.to.columns[0])];
+      EXPECT_GE(Containment(pf, pt), 0.85)
+          << "dirty FK exceeded generator limits in case " << c.name;
+      EXPECT_TRUE(pt.IsUnique());
+    }
+  }
+
+  // FK-once holds in the ground truth: no source column set joins twice.
+  std::set<std::pair<int, std::vector<int>>> sources;
+  for (const Join& j : c.ground_truth.joins) {
+    if (j.kind != JoinKind::kNToOne) continue;
+    EXPECT_TRUE(sources.emplace(j.from.table, j.from.columns).second);
+  }
+
+  // Star/snowflake ground truths are 1-arborescences over joined tables;
+  // constellations are k-arborescences (N:1 edges only).
+  if (c.schema_type == SchemaType::kStar ||
+      c.schema_type == SchemaType::kSnowflake) {
+    std::vector<std::pair<int, int>> arcs;
+    for (const Join& j : c.ground_truth.joins) {
+      if (j.kind == JoinKind::kNToOne) {
+        arcs.emplace_back(j.from.table, j.to.table);
+      }
+    }
+    EXPECT_TRUE(IsKArborescence(int(c.tables.size()), arcs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, BiGeneratorPropertyTest,
+    ::testing::Values(GenParam{1, 4}, GenParam{2, 5}, GenParam{3, 6},
+                      GenParam{4, 8}, GenParam{5, 10}, GenParam{6, 12},
+                      GenParam{7, 16}, GenParam{8, 21}, GenParam{9, 28},
+                      GenParam{10, 7}, GenParam{11, 9}, GenParam{12, 14}));
+
+// --- Corpus builders.
+
+TEST(CorpusTest, BucketMapping) {
+  EXPECT_EQ(BucketOfTableCount(3), -1);
+  EXPECT_EQ(BucketOfTableCount(4), 0);
+  EXPECT_EQ(BucketOfTableCount(10), 6);
+  EXPECT_EQ(BucketOfTableCount(11), 7);
+  EXPECT_EQ(BucketOfTableCount(15), 7);
+  EXPECT_EQ(BucketOfTableCount(16), 8);
+  EXPECT_EQ(BucketOfTableCount(20), 8);
+  EXPECT_EQ(BucketOfTableCount(21), 9);
+  EXPECT_EQ(BucketOfTableCount(88), 9);
+}
+
+TEST(CorpusTest, RealBenchmarkIsStratified) {
+  CorpusOptions opt;
+  opt.cases_per_bucket = 2;
+  RealBenchmark bench = BuildRealBenchmark(opt);
+  ASSERT_EQ(bench.cases.size(), size_t(2 * kNumBuckets));
+  std::vector<int> counts(kNumBuckets, 0);
+  for (size_t i = 0; i < bench.cases.size(); ++i) {
+    int b = BucketOfTableCount(int(bench.cases[i].tables.size()));
+    EXPECT_EQ(b, bench.bucket_of[i]);
+    ++counts[size_t(b)];
+  }
+  for (int b = 0; b < kNumBuckets; ++b) EXPECT_EQ(counts[size_t(b)], 2);
+}
+
+TEST(CorpusTest, TrainingCorpusDeterministicPerSeed) {
+  CorpusOptions opt;
+  opt.training_cases = 5;
+  auto a = BuildTrainingCorpus(opt);
+  auto b = BuildTrainingCorpus(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].tables.size(), b[i].tables.size());
+  }
+  opt.seed = 777;
+  auto c = BuildTrainingCorpus(opt);
+  EXPECT_NE(a[0].name, c[0].name);
+}
+
+TEST(CorpusTest, StatsComputation) {
+  CorpusOptions opt;
+  opt.training_cases = 6;
+  auto corpus = BuildTrainingCorpus(opt);
+  CorpusStats stats = ComputeCorpusStats(corpus);
+  EXPECT_GT(stats.rows_avg, 0);
+  EXPECT_GT(stats.tables_avg, 2);
+  EXPECT_GE(stats.rows_p95, stats.rows_p50);
+  EXPECT_GE(stats.edges_p90, stats.edges_p50);
+}
+
+// --- TPC generators.
+
+TEST(TpcTest, TpcHShape) {
+  Rng rng(1);
+  BiCase c = GenerateTpcH(0.3, rng);
+  EXPECT_EQ(c.tables.size(), 8u);
+  EXPECT_EQ(c.ground_truth.joins.size(), 8u);
+  // The composite lineitem->partsupp join is present.
+  bool composite = false;
+  for (const Join& j : c.ground_truth.joins) {
+    if (j.from.columns.size() == 2) composite = true;
+  }
+  EXPECT_TRUE(composite);
+  for (const Table& t : c.tables) EXPECT_TRUE(t.Validate());
+}
+
+TEST(TpcTest, TpcDsShape) {
+  Rng rng(2);
+  BiCase c = GenerateTpcDs(0.2, rng);
+  EXPECT_EQ(c.tables.size(), 24u);
+  EXPECT_NEAR(double(c.ground_truth.joins.size()), 107.0, 10.0);
+  for (const Table& t : c.tables) EXPECT_TRUE(t.Validate());
+}
+
+TEST(TpcTest, TpcCShape) {
+  Rng rng(3);
+  BiCase c = GenerateTpcC(0.3, rng);
+  EXPECT_EQ(c.tables.size(), 9u);
+  EXPECT_EQ(c.ground_truth.joins.size(), 10u);
+}
+
+TEST(TpcTest, TpcEShape) {
+  Rng rng(4);
+  BiCase c = GenerateTpcE(0.2, rng);
+  EXPECT_NEAR(double(c.tables.size()), 32.0, 2.0);
+  EXPECT_NEAR(double(c.ground_truth.joins.size()), 45.0, 6.0);
+}
+
+TEST(TpcTest, GroundTruthFksAreContained) {
+  Rng rng(5);
+  for (BiCase c : {GenerateTpcH(0.2, rng), GenerateTpcC(0.2, rng)}) {
+    auto profiles = ProfileTables(c.tables);
+    for (const Join& j : c.ground_truth.joins) {
+      if (j.from.columns.size() != 1) continue;
+      const ColumnProfile& pf =
+          profiles[size_t(j.from.table)].columns[size_t(j.from.columns[0])];
+      const ColumnProfile& pt =
+          profiles[size_t(j.to.table)].columns[size_t(j.to.columns[0])];
+      EXPECT_GE(Containment(pf, pt), 0.99);
+    }
+  }
+}
+
+// --- Classic DBs.
+
+TEST(ClassicDbsTest, AllEightVariantsGenerate) {
+  Rng rng(6);
+  for (ClassicDb db : {ClassicDb::kFoodMart, ClassicDb::kNorthwind,
+                       ClassicDb::kAdventureWorks,
+                       ClassicDb::kWorldWideImporters}) {
+    for (bool olap : {true, false}) {
+      BiCase c = GenerateClassicDb(db, olap, 0.3, rng);
+      EXPECT_GE(c.tables.size(), 7u) << ClassicDbName(db);
+      EXPECT_GE(c.ground_truth.joins.size(), 6u) << ClassicDbName(db);
+      for (const Table& t : c.tables) EXPECT_TRUE(t.Validate());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,167 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "table/value.h"
+
+namespace autobi {
+namespace {
+
+// --- ValueType inference.
+
+TEST(InferValueTypeTest, Basic) {
+  EXPECT_EQ(InferValueType("42"), ValueType::kInt);
+  EXPECT_EQ(InferValueType("-17"), ValueType::kInt);
+  EXPECT_EQ(InferValueType("3.14"), ValueType::kDouble);
+  EXPECT_EQ(InferValueType("2e5"), ValueType::kDouble);
+  EXPECT_EQ(InferValueType("abc"), ValueType::kString);
+  EXPECT_EQ(InferValueType("12ab"), ValueType::kString);
+  EXPECT_EQ(InferValueType(""), ValueType::kNull);
+  EXPECT_EQ(InferValueType("   "), ValueType::kNull);
+}
+
+TEST(UnifyValueTypesTest, NullIsIdentity) {
+  EXPECT_EQ(UnifyValueTypes(ValueType::kNull, ValueType::kInt),
+            ValueType::kInt);
+  EXPECT_EQ(UnifyValueTypes(ValueType::kString, ValueType::kNull),
+            ValueType::kString);
+}
+
+TEST(UnifyValueTypesTest, IntWidensToDouble) {
+  EXPECT_EQ(UnifyValueTypes(ValueType::kInt, ValueType::kDouble),
+            ValueType::kDouble);
+  EXPECT_EQ(UnifyValueTypes(ValueType::kDouble, ValueType::kInt),
+            ValueType::kDouble);
+}
+
+TEST(UnifyValueTypesTest, MixedDegradesToString) {
+  EXPECT_EQ(UnifyValueTypes(ValueType::kInt, ValueType::kString),
+            ValueType::kString);
+  EXPECT_EQ(UnifyValueTypes(ValueType::kDouble, ValueType::kString),
+            ValueType::kString);
+}
+
+// --- Column.
+
+TEST(ColumnTest, IntColumnRoundTrip) {
+  Column col("c", ValueType::kInt);
+  col.AppendInt(5);
+  col.AppendNull();
+  col.AppendInt(-3);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.Int(0), 5);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.Int(2), -3);
+  EXPECT_EQ(col.num_non_null(), 2u);
+  EXPECT_EQ(col.num_null(), 1u);
+}
+
+TEST(ColumnTest, NullsBeforeFirstTypedAppendAreBackfilled) {
+  Column col("c");
+  col.AppendNull();
+  col.AppendNull();
+  col.AppendString("x");
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.Str(2), "x");
+}
+
+TEST(ColumnTest, KeyAtCanonicalizesIntAndIntegralDouble) {
+  Column ints("a", ValueType::kInt);
+  ints.AppendInt(3);
+  Column doubles("b", ValueType::kDouble);
+  doubles.AppendDouble(3.0);
+  std::string ka, kb;
+  ASSERT_TRUE(ints.KeyAt(0, &ka));
+  ASSERT_TRUE(doubles.KeyAt(0, &kb));
+  EXPECT_EQ(ka, kb);  // Cross-type joins line up.
+}
+
+TEST(ColumnTest, KeyAtReturnsFalseForNull) {
+  Column col("c", ValueType::kInt);
+  col.AppendNull();
+  std::string key;
+  EXPECT_FALSE(col.KeyAt(0, &key));
+}
+
+TEST(ColumnTest, KeysSkipsNulls) {
+  Column col("c", ValueType::kString);
+  col.AppendString("a");
+  col.AppendNull();
+  col.AppendString("b");
+  EXPECT_EQ(col.Keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ColumnTest, AsDoubleNumericAndNan) {
+  Column col("c", ValueType::kInt);
+  col.AppendInt(7);
+  col.AppendNull();
+  EXPECT_DOUBLE_EQ(col.AsDouble(0), 7.0);
+  EXPECT_TRUE(std::isnan(col.AsDouble(1)));
+  Column s("s", ValueType::kString);
+  s.AppendString("x");
+  EXPECT_TRUE(std::isnan(s.AsDouble(0)));
+}
+
+TEST(ColumnTest, AppendParsedHonorsColumnType) {
+  Column col("c", ValueType::kInt);
+  col.AppendParsed("12");
+  col.AppendParsed("oops");  // Unparseable numeric -> null.
+  col.AppendParsed("");
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.Int(0), 12);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_TRUE(col.IsNull(2));
+}
+
+// --- Table.
+
+TEST(TableTest, AddAndLookupColumns) {
+  Table t("orders");
+  t.AddColumn("id", ValueType::kInt);
+  t.AddColumn("name", ValueType::kString);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.ColumnIndex("name"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+}
+
+TEST(TableTest, ValidateDetectsRaggedColumns) {
+  Table t("t");
+  t.AddColumn("a", ValueType::kInt).AppendInt(1);
+  t.AddColumn("b", ValueType::kInt);
+  EXPECT_FALSE(t.Validate());
+  t.column(1).AppendInt(2);
+  EXPECT_TRUE(t.Validate());
+}
+
+TEST(TableTest, NumRowsComesFromFirstColumn) {
+  Table t("t");
+  EXPECT_EQ(t.num_rows(), 0u);
+  Column& c = t.AddColumn("a", ValueType::kInt);
+  c.AppendInt(1);
+  c.AppendInt(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ColumnRefTest, OrderingAndToString) {
+  ColumnRef a{0, {1}};
+  ColumnRef b{0, {2}};
+  ColumnRef c{1, {0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ColumnRef{0, {1}}));
+
+  Table t("orders");
+  t.AddColumn("id", ValueType::kInt);
+  t.AddColumn("cust", ValueType::kInt);
+  std::vector<Table> tables;
+  tables.push_back(std::move(t));
+  EXPECT_EQ(ColumnRefToString(tables, ColumnRef{0, {0, 1}}),
+            "orders(id,cust)");
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,52 @@
+#include "text/tokenize.h"
+
+#include <gtest/gtest.h>
+
+namespace autobi {
+namespace {
+
+using V = std::vector<std::string>;
+
+TEST(TokenizeTest, SnakeCase) {
+  EXPECT_EQ(TokenizeIdentifier("customer_id"), (V{"customer", "id"}));
+  EXPECT_EQ(TokenizeIdentifier("cust_seg_key"), (V{"cust", "seg", "key"}));
+}
+
+TEST(TokenizeTest, CamelAndPascalCase) {
+  EXPECT_EQ(TokenizeIdentifier("customerId"), (V{"customer", "id"}));
+  EXPECT_EQ(TokenizeIdentifier("CustomerID"), (V{"customer", "id"}));
+  EXPECT_EQ(TokenizeIdentifier("XMLHttpRequest"),
+            (V{"xml", "http", "request"}));
+}
+
+TEST(TokenizeTest, MixedDelimiters) {
+  EXPECT_EQ(TokenizeIdentifier("Cust-Segment.Key Name"),
+            (V{"cust", "segment", "key", "name"}));
+}
+
+TEST(TokenizeTest, DigitRunsAreTokens) {
+  EXPECT_EQ(TokenizeIdentifier("addr2line"), (V{"addr", "2", "line"}));
+  EXPECT_EQ(TokenizeIdentifier("col_12"), (V{"col", "12"}));
+}
+
+TEST(TokenizeTest, EmptyAndDelimiterOnly) {
+  EXPECT_TRUE(TokenizeIdentifier("").empty());
+  EXPECT_TRUE(TokenizeIdentifier("___").empty());
+}
+
+TEST(NormalizeIdentifierTest, LowercasesAndStripsDelimiters) {
+  EXPECT_EQ(NormalizeIdentifier("Customer_ID"), "customerid");
+  EXPECT_EQ(NormalizeIdentifier("cust-seg key"), "custsegkey");
+  EXPECT_EQ(NormalizeIdentifier(""), "");
+}
+
+// Property: tokenization is insensitive to casing convention.
+TEST(TokenizeTest, CaseConventionInvariance) {
+  EXPECT_EQ(TokenizeIdentifier("order_date_key"),
+            TokenizeIdentifier("OrderDateKey"));
+  EXPECT_EQ(TokenizeIdentifier("ship_to_address"),
+            TokenizeIdentifier("ShipToAddress"));
+}
+
+}  // namespace
+}  // namespace autobi

@@ -1,0 +1,107 @@
+// Trainer-option matrix: calibration methods, split/transitivity toggles,
+// and the training-report contract.
+
+#include <gtest/gtest.h>
+
+#include "core/auto_bi.h"
+#include "core/trainer.h"
+#include "synth/corpus.h"
+
+namespace autobi {
+namespace {
+
+std::vector<BiCase> SmallCorpus(uint64_t seed = 321) {
+  CorpusOptions opt;
+  opt.seed = seed;
+  opt.training_cases = 30;
+  return BuildTrainingCorpus(opt);
+}
+
+TEST(TrainerOptionsTest, PlattAndIsotonicBothProduceCalibratedModels) {
+  std::vector<BiCase> corpus = SmallCorpus();
+  for (CalibrationMethod method :
+       {CalibrationMethod::kPlatt, CalibrationMethod::kIsotonic}) {
+    TrainerOptions opt;
+    opt.calibration = method;
+    opt.forest.num_trees = 16;
+    TrainerReport report;
+    LocalModel model = TrainLocalModel(corpus, opt, &report);
+    EXPECT_TRUE(model.trained());
+    EXPECT_EQ(model.calibration(), method);
+    EXPECT_GT(report.n1_auc, 0.8);
+    EXPECT_LT(report.n1_calibration_error, 0.25);
+  }
+}
+
+TEST(TrainerOptionsTest, NoCalibrationStillScoresInUnitInterval) {
+  TrainerOptions opt;
+  opt.calibration = CalibrationMethod::kNone;
+  opt.forest.num_trees = 12;
+  LocalModel model = TrainLocalModel(SmallCorpus(), opt);
+  BiCase probe = SmallCorpus(999)[0];
+  CandidateSet cands = GenerateCandidates(probe.tables);
+  FeatureContext ctx{&probe.tables, &cands.profiles, &model.frequency()};
+  for (const JoinCandidate& c : cands.candidates) {
+    double p = model.Score(ctx, c, false);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(TrainerOptionsTest, SplitToggleRoutesOneToOneCandidates) {
+  TrainerOptions split_opt;
+  split_opt.forest.num_trees = 12;
+  TrainerOptions merged_opt = split_opt;
+  merged_opt.split_one_to_one = false;
+  TrainerReport split_report, merged_report;
+  LocalModel split_model =
+      TrainLocalModel(SmallCorpus(), split_opt, &split_report);
+  LocalModel merged_model =
+      TrainLocalModel(SmallCorpus(), merged_opt, &merged_report);
+  EXPECT_TRUE(split_model.split_one_to_one());
+  EXPECT_FALSE(merged_model.split_one_to_one());
+  // Without the split, 1:1 candidates feed the N:1 dataset.
+  EXPECT_EQ(merged_report.one_examples, 0u);
+  EXPECT_GT(merged_report.n1_examples, split_report.n1_examples);
+}
+
+TEST(TrainerOptionsTest, TransitivityAddsPositiveLabels) {
+  TrainerOptions with;
+  with.forest.num_trees = 8;
+  TrainerOptions without = with;
+  without.label_transitivity = false;
+  TrainerReport with_report, without_report;
+  TrainLocalModel(SmallCorpus(), with, &with_report);
+  TrainLocalModel(SmallCorpus(), without, &without_report);
+  EXPECT_GE(with_report.n1_positives, without_report.n1_positives);
+}
+
+TEST(TrainerOptionsTest, ReportCountsConsistent) {
+  TrainerOptions opt;
+  opt.forest.num_trees = 8;
+  TrainerReport report;
+  std::vector<BiCase> corpus = SmallCorpus();
+  TrainLocalModel(corpus, opt, &report);
+  EXPECT_EQ(report.num_cases, corpus.size());
+  EXPECT_GE(report.n1_examples, report.n1_positives);
+  EXPECT_GE(report.one_examples, report.one_positives);
+  EXPECT_GT(report.n1_examples, 0u);
+}
+
+TEST(TrainerOptionsTest, SeedControlsDeterminism) {
+  TrainerOptions opt;
+  opt.forest.num_trees = 8;
+  std::vector<BiCase> corpus = SmallCorpus();
+  LocalModel a = TrainLocalModel(corpus, opt);
+  LocalModel b = TrainLocalModel(corpus, opt);
+  BiCase probe = SmallCorpus(999)[0];
+  CandidateSet cands = GenerateCandidates(probe.tables);
+  FeatureContext ctx_a{&probe.tables, &cands.profiles, &a.frequency()};
+  FeatureContext ctx_b{&probe.tables, &cands.profiles, &b.frequency()};
+  for (const JoinCandidate& c : cands.candidates) {
+    EXPECT_DOUBLE_EQ(a.Score(ctx_a, c, false), b.Score(ctx_b, c, false));
+  }
+}
+
+}  // namespace
+}  // namespace autobi
