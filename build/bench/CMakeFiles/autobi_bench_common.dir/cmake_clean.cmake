@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/autobi_bench_common.dir/bench_common.cc.o.d"
+  "libautobi_bench_common.a"
+  "libautobi_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_classifiers.dir/bench_ext_classifiers.cc.o"
+  "CMakeFiles/bench_ext_classifiers.dir/bench_ext_classifiers.cc.o.d"
+  "bench_ext_classifiers"
+  "bench_ext_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ems.dir/bench_ext_ems.cc.o"
+  "CMakeFiles/bench_ext_ems.dir/bench_ext_ems.cc.o.d"
+  "bench_ext_ems"
+  "bench_ext_ems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ind.dir/bench_ext_ind.cc.o"
+  "CMakeFiles/bench_ext_ind.dir/bench_ext_ind.cc.o.d"
+  "bench_ext_ind"
+  "bench_ext_ind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_kmcacc.dir/bench_fig6_kmcacc.cc.o"
+  "CMakeFiles/bench_fig6_kmcacc.dir/bench_fig6_kmcacc.cc.o.d"
+  "bench_fig6_kmcacc"
+  "bench_fig6_kmcacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_kmcacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_12_enhanced_buckets.dir/bench_table11_12_enhanced_buckets.cc.o"
+  "CMakeFiles/bench_table11_12_enhanced_buckets.dir/bench_table11_12_enhanced_buckets.cc.o.d"
+  "bench_table11_12_enhanced_buckets"
+  "bench_table11_12_enhanced_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_12_enhanced_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_demo.dir/constellation_demo.cc.o"
+  "CMakeFiles/constellation_demo.dir/constellation_demo.cc.o.d"
+  "constellation_demo"
+  "constellation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

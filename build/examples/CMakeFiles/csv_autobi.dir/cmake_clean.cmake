@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_autobi.dir/csv_autobi.cc.o"
+  "CMakeFiles/csv_autobi.dir/csv_autobi.cc.o.d"
+  "csv_autobi"
+  "csv_autobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_autobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_case.dir/eval_case.cc.o"
+  "CMakeFiles/eval_case.dir/eval_case.cc.o.d"
+  "eval_case"
+  "eval_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

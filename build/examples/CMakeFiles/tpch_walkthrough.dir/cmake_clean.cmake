@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_walkthrough.dir/tpch_walkthrough.cc.o"
+  "CMakeFiles/tpch_walkthrough.dir/tpch_walkthrough.cc.o.d"
+  "tpch_walkthrough"
+  "tpch_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

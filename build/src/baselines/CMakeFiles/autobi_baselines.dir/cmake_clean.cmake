@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_baselines.dir/fk_baselines.cc.o"
+  "CMakeFiles/autobi_baselines.dir/fk_baselines.cc.o.d"
+  "CMakeFiles/autobi_baselines.dir/ml_fk.cc.o"
+  "CMakeFiles/autobi_baselines.dir/ml_fk.cc.o.d"
+  "libautobi_baselines.a"
+  "libautobi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_common.dir/rng.cc.o"
+  "CMakeFiles/autobi_common.dir/rng.cc.o.d"
+  "CMakeFiles/autobi_common.dir/stats_util.cc.o"
+  "CMakeFiles/autobi_common.dir/stats_util.cc.o.d"
+  "CMakeFiles/autobi_common.dir/strings.cc.o"
+  "CMakeFiles/autobi_common.dir/strings.cc.o.d"
+  "libautobi_common.a"
+  "libautobi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auto_bi.cc" "src/core/CMakeFiles/autobi_core.dir/auto_bi.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/auto_bi.cc.o.d"
+  "/root/repo/src/core/bi_model.cc" "src/core/CMakeFiles/autobi_core.dir/bi_model.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/bi_model.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/autobi_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/case_io.cc" "src/core/CMakeFiles/autobi_core.dir/case_io.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/case_io.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/autobi_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/graph_builder.cc" "src/core/CMakeFiles/autobi_core.dir/graph_builder.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/graph_builder.cc.o.d"
+  "/root/repo/src/core/join_stats.cc" "src/core/CMakeFiles/autobi_core.dir/join_stats.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/join_stats.cc.o.d"
+  "/root/repo/src/core/local_model.cc" "src/core/CMakeFiles/autobi_core.dir/local_model.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/local_model.cc.o.d"
+  "/root/repo/src/core/model_export.cc" "src/core/CMakeFiles/autobi_core.dir/model_export.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/model_export.cc.o.d"
+  "/root/repo/src/core/schema_summary.cc" "src/core/CMakeFiles/autobi_core.dir/schema_summary.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/schema_summary.cc.o.d"
+  "/root/repo/src/core/suggest.cc" "src/core/CMakeFiles/autobi_core.dir/suggest.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/suggest.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/autobi_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/autobi_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/autobi_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/autobi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autobi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/autobi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/autobi_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/autobi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

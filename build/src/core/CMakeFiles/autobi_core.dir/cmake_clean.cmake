@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_core.dir/auto_bi.cc.o"
+  "CMakeFiles/autobi_core.dir/auto_bi.cc.o.d"
+  "CMakeFiles/autobi_core.dir/bi_model.cc.o"
+  "CMakeFiles/autobi_core.dir/bi_model.cc.o.d"
+  "CMakeFiles/autobi_core.dir/candidates.cc.o"
+  "CMakeFiles/autobi_core.dir/candidates.cc.o.d"
+  "CMakeFiles/autobi_core.dir/case_io.cc.o"
+  "CMakeFiles/autobi_core.dir/case_io.cc.o.d"
+  "CMakeFiles/autobi_core.dir/explain.cc.o"
+  "CMakeFiles/autobi_core.dir/explain.cc.o.d"
+  "CMakeFiles/autobi_core.dir/graph_builder.cc.o"
+  "CMakeFiles/autobi_core.dir/graph_builder.cc.o.d"
+  "CMakeFiles/autobi_core.dir/join_stats.cc.o"
+  "CMakeFiles/autobi_core.dir/join_stats.cc.o.d"
+  "CMakeFiles/autobi_core.dir/local_model.cc.o"
+  "CMakeFiles/autobi_core.dir/local_model.cc.o.d"
+  "CMakeFiles/autobi_core.dir/model_export.cc.o"
+  "CMakeFiles/autobi_core.dir/model_export.cc.o.d"
+  "CMakeFiles/autobi_core.dir/schema_summary.cc.o"
+  "CMakeFiles/autobi_core.dir/schema_summary.cc.o.d"
+  "CMakeFiles/autobi_core.dir/suggest.cc.o"
+  "CMakeFiles/autobi_core.dir/suggest.cc.o.d"
+  "CMakeFiles/autobi_core.dir/trainer.cc.o"
+  "CMakeFiles/autobi_core.dir/trainer.cc.o.d"
+  "libautobi_core.a"
+  "libautobi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_eval.dir/harness.cc.o"
+  "CMakeFiles/autobi_eval.dir/harness.cc.o.d"
+  "CMakeFiles/autobi_eval.dir/metrics.cc.o"
+  "CMakeFiles/autobi_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/autobi_eval.dir/report.cc.o"
+  "CMakeFiles/autobi_eval.dir/report.cc.o.d"
+  "libautobi_eval.a"
+  "libautobi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

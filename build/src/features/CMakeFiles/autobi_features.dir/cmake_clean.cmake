@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_features.dir/featurizer.cc.o"
+  "CMakeFiles/autobi_features.dir/featurizer.cc.o.d"
+  "CMakeFiles/autobi_features.dir/name_frequency.cc.o"
+  "CMakeFiles/autobi_features.dir/name_frequency.cc.o.d"
+  "libautobi_features.a"
+  "libautobi_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

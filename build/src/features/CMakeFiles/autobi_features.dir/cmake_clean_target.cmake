@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautobi_features.a"
+)

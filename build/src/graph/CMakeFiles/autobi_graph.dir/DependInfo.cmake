@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/brute_force.cc" "src/graph/CMakeFiles/autobi_graph.dir/brute_force.cc.o" "gcc" "src/graph/CMakeFiles/autobi_graph.dir/brute_force.cc.o.d"
+  "/root/repo/src/graph/edmonds.cc" "src/graph/CMakeFiles/autobi_graph.dir/edmonds.cc.o" "gcc" "src/graph/CMakeFiles/autobi_graph.dir/edmonds.cc.o.d"
+  "/root/repo/src/graph/ems.cc" "src/graph/CMakeFiles/autobi_graph.dir/ems.cc.o" "gcc" "src/graph/CMakeFiles/autobi_graph.dir/ems.cc.o.d"
+  "/root/repo/src/graph/join_graph.cc" "src/graph/CMakeFiles/autobi_graph.dir/join_graph.cc.o" "gcc" "src/graph/CMakeFiles/autobi_graph.dir/join_graph.cc.o.d"
+  "/root/repo/src/graph/kmca.cc" "src/graph/CMakeFiles/autobi_graph.dir/kmca.cc.o" "gcc" "src/graph/CMakeFiles/autobi_graph.dir/kmca.cc.o.d"
+  "/root/repo/src/graph/kmca_cc.cc" "src/graph/CMakeFiles/autobi_graph.dir/kmca_cc.cc.o" "gcc" "src/graph/CMakeFiles/autobi_graph.dir/kmca_cc.cc.o.d"
+  "/root/repo/src/graph/validate.cc" "src/graph/CMakeFiles/autobi_graph.dir/validate.cc.o" "gcc" "src/graph/CMakeFiles/autobi_graph.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

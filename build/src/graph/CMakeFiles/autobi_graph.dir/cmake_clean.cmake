@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_graph.dir/brute_force.cc.o"
+  "CMakeFiles/autobi_graph.dir/brute_force.cc.o.d"
+  "CMakeFiles/autobi_graph.dir/edmonds.cc.o"
+  "CMakeFiles/autobi_graph.dir/edmonds.cc.o.d"
+  "CMakeFiles/autobi_graph.dir/ems.cc.o"
+  "CMakeFiles/autobi_graph.dir/ems.cc.o.d"
+  "CMakeFiles/autobi_graph.dir/join_graph.cc.o"
+  "CMakeFiles/autobi_graph.dir/join_graph.cc.o.d"
+  "CMakeFiles/autobi_graph.dir/kmca.cc.o"
+  "CMakeFiles/autobi_graph.dir/kmca.cc.o.d"
+  "CMakeFiles/autobi_graph.dir/kmca_cc.cc.o"
+  "CMakeFiles/autobi_graph.dir/kmca_cc.cc.o.d"
+  "CMakeFiles/autobi_graph.dir/validate.cc.o"
+  "CMakeFiles/autobi_graph.dir/validate.cc.o.d"
+  "libautobi_graph.a"
+  "libautobi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

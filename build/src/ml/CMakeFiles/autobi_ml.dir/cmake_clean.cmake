@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_ml.dir/calibration.cc.o"
+  "CMakeFiles/autobi_ml.dir/calibration.cc.o.d"
+  "CMakeFiles/autobi_ml.dir/dataset.cc.o"
+  "CMakeFiles/autobi_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/autobi_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/autobi_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/autobi_ml.dir/gbdt.cc.o"
+  "CMakeFiles/autobi_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/autobi_ml.dir/logistic.cc.o"
+  "CMakeFiles/autobi_ml.dir/logistic.cc.o.d"
+  "CMakeFiles/autobi_ml.dir/metrics.cc.o"
+  "CMakeFiles/autobi_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/autobi_ml.dir/random_forest.cc.o"
+  "CMakeFiles/autobi_ml.dir/random_forest.cc.o.d"
+  "libautobi_ml.a"
+  "libautobi_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

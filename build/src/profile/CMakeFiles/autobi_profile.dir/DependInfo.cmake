@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/column_profile.cc" "src/profile/CMakeFiles/autobi_profile.dir/column_profile.cc.o" "gcc" "src/profile/CMakeFiles/autobi_profile.dir/column_profile.cc.o.d"
+  "/root/repo/src/profile/emd.cc" "src/profile/CMakeFiles/autobi_profile.dir/emd.cc.o" "gcc" "src/profile/CMakeFiles/autobi_profile.dir/emd.cc.o.d"
+  "/root/repo/src/profile/ind.cc" "src/profile/CMakeFiles/autobi_profile.dir/ind.cc.o" "gcc" "src/profile/CMakeFiles/autobi_profile.dir/ind.cc.o.d"
+  "/root/repo/src/profile/spider.cc" "src/profile/CMakeFiles/autobi_profile.dir/spider.cc.o" "gcc" "src/profile/CMakeFiles/autobi_profile.dir/spider.cc.o.d"
+  "/root/repo/src/profile/ucc.cc" "src/profile/CMakeFiles/autobi_profile.dir/ucc.cc.o" "gcc" "src/profile/CMakeFiles/autobi_profile.dir/ucc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/autobi_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_profile.dir/column_profile.cc.o"
+  "CMakeFiles/autobi_profile.dir/column_profile.cc.o.d"
+  "CMakeFiles/autobi_profile.dir/emd.cc.o"
+  "CMakeFiles/autobi_profile.dir/emd.cc.o.d"
+  "CMakeFiles/autobi_profile.dir/ind.cc.o"
+  "CMakeFiles/autobi_profile.dir/ind.cc.o.d"
+  "CMakeFiles/autobi_profile.dir/spider.cc.o"
+  "CMakeFiles/autobi_profile.dir/spider.cc.o.d"
+  "CMakeFiles/autobi_profile.dir/ucc.cc.o"
+  "CMakeFiles/autobi_profile.dir/ucc.cc.o.d"
+  "libautobi_profile.a"
+  "libautobi_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

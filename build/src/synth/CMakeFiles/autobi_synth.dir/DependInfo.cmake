@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/bi_generator.cc" "src/synth/CMakeFiles/autobi_synth.dir/bi_generator.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/bi_generator.cc.o.d"
+  "/root/repo/src/synth/classic_dbs.cc" "src/synth/CMakeFiles/autobi_synth.dir/classic_dbs.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/classic_dbs.cc.o.d"
+  "/root/repo/src/synth/corpus.cc" "src/synth/CMakeFiles/autobi_synth.dir/corpus.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/corpus.cc.o.d"
+  "/root/repo/src/synth/names.cc" "src/synth/CMakeFiles/autobi_synth.dir/names.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/names.cc.o.d"
+  "/root/repo/src/synth/schema_builder.cc" "src/synth/CMakeFiles/autobi_synth.dir/schema_builder.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/schema_builder.cc.o.d"
+  "/root/repo/src/synth/tpc_util.cc" "src/synth/CMakeFiles/autobi_synth.dir/tpc_util.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/tpc_util.cc.o.d"
+  "/root/repo/src/synth/tpcc.cc" "src/synth/CMakeFiles/autobi_synth.dir/tpcc.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/tpcc.cc.o.d"
+  "/root/repo/src/synth/tpcds.cc" "src/synth/CMakeFiles/autobi_synth.dir/tpcds.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/tpcds.cc.o.d"
+  "/root/repo/src/synth/tpce.cc" "src/synth/CMakeFiles/autobi_synth.dir/tpce.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/tpce.cc.o.d"
+  "/root/repo/src/synth/tpch.cc" "src/synth/CMakeFiles/autobi_synth.dir/tpch.cc.o" "gcc" "src/synth/CMakeFiles/autobi_synth.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autobi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/autobi_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/autobi_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/autobi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autobi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/autobi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/autobi_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_synth.dir/bi_generator.cc.o"
+  "CMakeFiles/autobi_synth.dir/bi_generator.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/classic_dbs.cc.o"
+  "CMakeFiles/autobi_synth.dir/classic_dbs.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/corpus.cc.o"
+  "CMakeFiles/autobi_synth.dir/corpus.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/names.cc.o"
+  "CMakeFiles/autobi_synth.dir/names.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/schema_builder.cc.o"
+  "CMakeFiles/autobi_synth.dir/schema_builder.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/tpc_util.cc.o"
+  "CMakeFiles/autobi_synth.dir/tpc_util.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/tpcc.cc.o"
+  "CMakeFiles/autobi_synth.dir/tpcc.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/tpcds.cc.o"
+  "CMakeFiles/autobi_synth.dir/tpcds.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/tpce.cc.o"
+  "CMakeFiles/autobi_synth.dir/tpce.cc.o.d"
+  "CMakeFiles/autobi_synth.dir/tpch.cc.o"
+  "CMakeFiles/autobi_synth.dir/tpch.cc.o.d"
+  "libautobi_synth.a"
+  "libautobi_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

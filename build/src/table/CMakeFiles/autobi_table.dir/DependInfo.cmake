@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/column.cc" "src/table/CMakeFiles/autobi_table.dir/column.cc.o" "gcc" "src/table/CMakeFiles/autobi_table.dir/column.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/table/CMakeFiles/autobi_table.dir/csv.cc.o" "gcc" "src/table/CMakeFiles/autobi_table.dir/csv.cc.o.d"
+  "/root/repo/src/table/sql_ddl.cc" "src/table/CMakeFiles/autobi_table.dir/sql_ddl.cc.o" "gcc" "src/table/CMakeFiles/autobi_table.dir/sql_ddl.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/autobi_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/autobi_table.dir/table.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/table/CMakeFiles/autobi_table.dir/value.cc.o" "gcc" "src/table/CMakeFiles/autobi_table.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_table.dir/column.cc.o"
+  "CMakeFiles/autobi_table.dir/column.cc.o.d"
+  "CMakeFiles/autobi_table.dir/csv.cc.o"
+  "CMakeFiles/autobi_table.dir/csv.cc.o.d"
+  "CMakeFiles/autobi_table.dir/sql_ddl.cc.o"
+  "CMakeFiles/autobi_table.dir/sql_ddl.cc.o.d"
+  "CMakeFiles/autobi_table.dir/table.cc.o"
+  "CMakeFiles/autobi_table.dir/table.cc.o.d"
+  "CMakeFiles/autobi_table.dir/value.cc.o"
+  "CMakeFiles/autobi_table.dir/value.cc.o.d"
+  "libautobi_table.a"
+  "libautobi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

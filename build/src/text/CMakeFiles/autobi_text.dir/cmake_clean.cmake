@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_text.dir/embedding.cc.o"
+  "CMakeFiles/autobi_text.dir/embedding.cc.o.d"
+  "CMakeFiles/autobi_text.dir/similarity.cc.o"
+  "CMakeFiles/autobi_text.dir/similarity.cc.o.d"
+  "CMakeFiles/autobi_text.dir/tokenize.cc.o"
+  "CMakeFiles/autobi_text.dir/tokenize.cc.o.d"
+  "libautobi_text.a"
+  "libautobi_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

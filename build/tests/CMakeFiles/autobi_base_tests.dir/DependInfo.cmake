@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/embedding_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/embedding_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/embedding_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/similarity_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/similarity_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/similarity_test.cc.o.d"
+  "/root/repo/tests/stats_util_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/stats_util_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/stats_util_test.cc.o.d"
+  "/root/repo/tests/strings_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/strings_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/strings_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/table_test.cc.o.d"
+  "/root/repo/tests/tokenize_test.cc" "tests/CMakeFiles/autobi_base_tests.dir/tokenize_test.cc.o" "gcc" "tests/CMakeFiles/autobi_base_tests.dir/tokenize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/autobi_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/autobi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_base_tests.dir/csv_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/csv_test.cc.o.d"
+  "CMakeFiles/autobi_base_tests.dir/embedding_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/embedding_test.cc.o.d"
+  "CMakeFiles/autobi_base_tests.dir/rng_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/rng_test.cc.o.d"
+  "CMakeFiles/autobi_base_tests.dir/similarity_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/similarity_test.cc.o.d"
+  "CMakeFiles/autobi_base_tests.dir/stats_util_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/stats_util_test.cc.o.d"
+  "CMakeFiles/autobi_base_tests.dir/strings_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/strings_test.cc.o.d"
+  "CMakeFiles/autobi_base_tests.dir/table_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/table_test.cc.o.d"
+  "CMakeFiles/autobi_base_tests.dir/tokenize_test.cc.o"
+  "CMakeFiles/autobi_base_tests.dir/tokenize_test.cc.o.d"
+  "autobi_base_tests"
+  "autobi_base_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

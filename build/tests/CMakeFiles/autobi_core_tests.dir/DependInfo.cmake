@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/case_io_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/case_io_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/case_io_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/explain_summary_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/explain_summary_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/explain_summary_test.cc.o.d"
+  "/root/repo/tests/graph_builder_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/graph_builder_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/graph_builder_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/join_stats_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/join_stats_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/join_stats_test.cc.o.d"
+  "/root/repo/tests/model_export_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/model_export_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/model_export_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/sql_ddl_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/sql_ddl_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/sql_ddl_test.cc.o.d"
+  "/root/repo/tests/suggest_test.cc" "tests/CMakeFiles/autobi_core_tests.dir/suggest_test.cc.o" "gcc" "tests/CMakeFiles/autobi_core_tests.dir/suggest_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/autobi_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/autobi_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autobi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/autobi_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autobi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autobi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/autobi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/autobi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/autobi_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/autobi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

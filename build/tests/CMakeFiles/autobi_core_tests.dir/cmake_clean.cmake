@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_core_tests.dir/case_io_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/case_io_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/core_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/edge_cases_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/edge_cases_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/eval_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/eval_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/explain_summary_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/explain_summary_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/graph_builder_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/graph_builder_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/harness_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/harness_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/join_stats_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/join_stats_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/model_export_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/model_export_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/report_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/report_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/sql_ddl_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/sql_ddl_test.cc.o.d"
+  "CMakeFiles/autobi_core_tests.dir/suggest_test.cc.o"
+  "CMakeFiles/autobi_core_tests.dir/suggest_test.cc.o.d"
+  "autobi_core_tests"
+  "autobi_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/auto_bi_test.cc" "tests/CMakeFiles/autobi_graph_tests.dir/auto_bi_test.cc.o" "gcc" "tests/CMakeFiles/autobi_graph_tests.dir/auto_bi_test.cc.o.d"
+  "/root/repo/tests/ems_exact_test.cc" "tests/CMakeFiles/autobi_graph_tests.dir/ems_exact_test.cc.o" "gcc" "tests/CMakeFiles/autobi_graph_tests.dir/ems_exact_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/autobi_graph_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/autobi_graph_tests.dir/graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/autobi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_graph_tests.dir/auto_bi_test.cc.o"
+  "CMakeFiles/autobi_graph_tests.dir/auto_bi_test.cc.o.d"
+  "CMakeFiles/autobi_graph_tests.dir/ems_exact_test.cc.o"
+  "CMakeFiles/autobi_graph_tests.dir/ems_exact_test.cc.o.d"
+  "CMakeFiles/autobi_graph_tests.dir/graph_test.cc.o"
+  "CMakeFiles/autobi_graph_tests.dir/graph_test.cc.o.d"
+  "autobi_graph_tests"
+  "autobi_graph_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_integration_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/autobi_integration_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/autobi_integration_tests.dir/integration_test.cc.o"
+  "CMakeFiles/autobi_integration_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/autobi_integration_tests.dir/prediction_property_test.cc.o"
+  "CMakeFiles/autobi_integration_tests.dir/prediction_property_test.cc.o.d"
+  "CMakeFiles/autobi_integration_tests.dir/trainer_options_test.cc.o"
+  "CMakeFiles/autobi_integration_tests.dir/trainer_options_test.cc.o.d"
+  "autobi_integration_tests"
+  "autobi_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/emd_test.cc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/emd_test.cc.o" "gcc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/emd_test.cc.o.d"
+  "/root/repo/tests/gbdt_test.cc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/gbdt_test.cc.o" "gcc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/gbdt_test.cc.o.d"
+  "/root/repo/tests/ind_test.cc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/ind_test.cc.o" "gcc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/ind_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/profile_test.cc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/profile_test.cc.o" "gcc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/profile_test.cc.o.d"
+  "/root/repo/tests/spider_test.cc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/spider_test.cc.o" "gcc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/spider_test.cc.o.d"
+  "/root/repo/tests/ucc_test.cc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/ucc_test.cc.o" "gcc" "tests/CMakeFiles/autobi_profile_ml_tests.dir/ucc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/autobi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autobi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/autobi_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

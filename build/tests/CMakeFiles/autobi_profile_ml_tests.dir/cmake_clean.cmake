@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_profile_ml_tests.dir/emd_test.cc.o"
+  "CMakeFiles/autobi_profile_ml_tests.dir/emd_test.cc.o.d"
+  "CMakeFiles/autobi_profile_ml_tests.dir/gbdt_test.cc.o"
+  "CMakeFiles/autobi_profile_ml_tests.dir/gbdt_test.cc.o.d"
+  "CMakeFiles/autobi_profile_ml_tests.dir/ind_test.cc.o"
+  "CMakeFiles/autobi_profile_ml_tests.dir/ind_test.cc.o.d"
+  "CMakeFiles/autobi_profile_ml_tests.dir/ml_test.cc.o"
+  "CMakeFiles/autobi_profile_ml_tests.dir/ml_test.cc.o.d"
+  "CMakeFiles/autobi_profile_ml_tests.dir/profile_test.cc.o"
+  "CMakeFiles/autobi_profile_ml_tests.dir/profile_test.cc.o.d"
+  "CMakeFiles/autobi_profile_ml_tests.dir/spider_test.cc.o"
+  "CMakeFiles/autobi_profile_ml_tests.dir/spider_test.cc.o.d"
+  "CMakeFiles/autobi_profile_ml_tests.dir/ucc_test.cc.o"
+  "CMakeFiles/autobi_profile_ml_tests.dir/ucc_test.cc.o.d"
+  "autobi_profile_ml_tests"
+  "autobi_profile_ml_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_profile_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/names_test.cc" "tests/CMakeFiles/autobi_synth_tests.dir/names_test.cc.o" "gcc" "tests/CMakeFiles/autobi_synth_tests.dir/names_test.cc.o.d"
+  "/root/repo/tests/synth_test.cc" "tests/CMakeFiles/autobi_synth_tests.dir/synth_test.cc.o" "gcc" "tests/CMakeFiles/autobi_synth_tests.dir/synth_test.cc.o.d"
+  "/root/repo/tests/tpc_depth_test.cc" "tests/CMakeFiles/autobi_synth_tests.dir/tpc_depth_test.cc.o" "gcc" "tests/CMakeFiles/autobi_synth_tests.dir/tpc_depth_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/autobi_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/autobi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autobi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/autobi_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autobi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/autobi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/autobi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/autobi_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autobi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autobi_synth_tests.dir/names_test.cc.o"
+  "CMakeFiles/autobi_synth_tests.dir/names_test.cc.o.d"
+  "CMakeFiles/autobi_synth_tests.dir/synth_test.cc.o"
+  "CMakeFiles/autobi_synth_tests.dir/synth_test.cc.o.d"
+  "CMakeFiles/autobi_synth_tests.dir/tpc_depth_test.cc.o"
+  "CMakeFiles/autobi_synth_tests.dir/tpc_depth_test.cc.o.d"
+  "autobi_synth_tests"
+  "autobi_synth_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autobi_synth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(autobi_base_tests "/root/repo/build/tests/autobi_base_tests")
+set_tests_properties(autobi_base_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autobi_profile_ml_tests "/root/repo/build/tests/autobi_profile_ml_tests")
+set_tests_properties(autobi_profile_ml_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autobi_graph_tests "/root/repo/build/tests/autobi_graph_tests")
+set_tests_properties(autobi_graph_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autobi_core_tests "/root/repo/build/tests/autobi_core_tests")
+set_tests_properties(autobi_core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autobi_synth_tests "/root/repo/build/tests/autobi_synth_tests")
+set_tests_properties(autobi_synth_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autobi_integration_tests "/root/repo/build/tests/autobi_integration_tests")
+set_tests_properties(autobi_integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
