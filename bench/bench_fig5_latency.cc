@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "common/stats_util.h"
 #include "eval/harness.h"
@@ -18,6 +19,10 @@ int main() {
   RealBenchmark real = GetRealBenchmark();
   auto methods = StandardMethods(&model);
 
+  std::printf("worker threads: %d of %d hardware (override with "
+              "AUTOBI_THREADS; per-case latencies use the parallel "
+              "pipeline, speedup = serial time / these times)\n",
+              ResolveThreads(0), HardwareThreads());
   std::printf("=== Figure 5(a): end-to-end latency percentiles (seconds) "
               "on the %zu-case REAL benchmark ===\n",
               real.cases.size());
@@ -38,18 +43,21 @@ int main() {
   std::printf("\n=== Figure 5(b): latency breakdown (mean seconds per "
               "stage) ===\n");
   TablePrinter tb({"Method", "UCC", "IND", "Local-Inference",
-                   "Global-Predict"});
+                   "Global-Predict", "Threads"});
   for (const MethodResults& r : all_results) {
     double ucc = 0, ind = 0, local = 0, global = 0;
+    int threads = 0;
     for (const CaseResult& cr : r.cases) {
       ucc += cr.timing.ucc;
       ind += cr.timing.ind;
       local += cr.timing.local_inference;
       global += cr.timing.global_predict;
+      if (cr.timing.threads > threads) threads = cr.timing.threads;
     }
     double n = double(r.cases.size());
     tb.AddRow({r.method, FmtSeconds(ucc / n), FmtSeconds(ind / n),
-               FmtSeconds(local / n), FmtSeconds(global / n)});
+               FmtSeconds(local / n), FmtSeconds(global / n),
+               threads > 0 ? StrFormat("%d", threads) : "-"});
   }
   tb.Print();
   std::printf("\nPaper reference: Auto-BI-S and Fast-FK fastest (2-3s on "

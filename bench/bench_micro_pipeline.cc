@@ -1,15 +1,22 @@
 // Google-benchmark microbenchmarks for the data-facing pipeline stages:
-// column profiling, UCC discovery, IND discovery and featurization.
+// column profiling, UCC discovery, IND discovery and featurization — plus
+// thread-count sweeps over candidate generation and end-to-end prediction
+// (the speedup trajectory of the parallel pipeline; use --benchmark_filter=
+// Threads and compare real time across the threads counter).
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "core/auto_bi.h"
 #include "core/candidates.h"
+#include "core/trainer.h"
 #include "features/featurizer.h"
 #include "profile/column_profile.h"
 #include "profile/ind.h"
 #include "profile/ucc.h"
 #include "synth/bi_generator.h"
+#include "synth/corpus.h"
 
 namespace autobi {
 namespace {
@@ -70,6 +77,60 @@ void BM_FeaturizeCandidates(benchmark::State& state) {
   state.counters["candidates"] = double(cands.candidates.size());
 }
 BENCHMARK(BM_FeaturizeCandidates)->Arg(6)->Arg(12)->Arg(24);
+
+// --- Thread-count sweeps. Real time is the relevant axis (internal
+// parallelism doesn't show in the calling thread's CPU time); the speedup at
+// threads=N is time(threads=1) / time(threads=N) on a machine with >= N
+// hardware threads. Results are bit-identical across the sweep by the
+// concurrency contract, so only latency changes.
+
+void BM_GenerateCandidatesThreads(benchmark::State& state) {
+  BiCase c = MakeCase(16, 15);
+  CandidateGenOptions opt;
+  opt.threads = int(state.range(0));
+  for (auto _ : state) {
+    CandidateSet cands = GenerateCandidates(c.tables, opt);
+    benchmark::DoNotOptimize(cands);
+  }
+  state.counters["threads"] = double(state.range(0));
+  state.counters["hw_threads"] = double(HardwareThreads());
+}
+BENCHMARK(BM_GenerateCandidatesThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// A small but real local model for the end-to-end sweep (trained once;
+// candidate generation + local inference + global predict all run per
+// iteration).
+const LocalModel& SweepModel() {
+  static const LocalModel* model = [] {
+    CorpusOptions copt;
+    copt.seed = 77;
+    copt.training_cases = 24;
+    TrainerOptions topt;
+    topt.forest.num_trees = 12;
+    return new LocalModel(TrainLocalModel(BuildTrainingCorpus(copt), topt));
+  }();
+  return *model;
+}
+
+void BM_AutoBiPredictThreads(benchmark::State& state) {
+  BiCase c = MakeCase(16, 16);
+  AutoBiOptions opt;
+  opt.threads = int(state.range(0));
+  AutoBi auto_bi(&SweepModel(), opt);
+  for (auto _ : state) {
+    AutoBiResult r = auto_bi.Predict(c.tables);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = double(state.range(0));
+  state.counters["hw_threads"] = double(HardwareThreads());
+}
+BENCHMARK(BM_AutoBiPredictThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace autobi

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Data-race check for the parallel pipeline: build with ThreadSanitizer and
+# run the concurrency-sensitive suites (pool semantics + cross-thread-count
+# determinism, plus the core pipeline tests that exercise every parallel
+# stage). Any TSan report fails the run (halt_on_error).
+#
+# Usage: scripts/check.sh [build-dir]     (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DAUTOBI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target autobi_parallel_tests autobi_core_tests
+
+export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+# Force multi-threaded execution even on small machines so races are reachable.
+export AUTOBI_THREADS="${AUTOBI_THREADS:-4}"
+
+"$BUILD_DIR/tests/autobi_parallel_tests"
+"$BUILD_DIR/tests/autobi_core_tests"
+
+echo "check.sh: ThreadSanitizer clean."

@@ -1,0 +1,172 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+
+namespace autobi {
+
+namespace {
+
+// Set once, permanently, by every pool worker thread; ParallelFor consults
+// it to fall back to the serial loop on nested calls (a worker blocking on
+// further pool tasks could deadlock a saturated pool).
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+int HardwareThreads() {
+  int h = static_cast<int>(std::thread::hardware_concurrency());
+  return h > 0 ? h : 1;
+}
+
+int ParseThreadCount(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return 0;
+  if (parsed <= 0) return 0;
+  return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  int env = ParseThreadCount(std::getenv("AUTOBI_THREADS"));
+  if (env > 0) return env;
+  return HardwareThreads();
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  EnsureWorkers(num_threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!workers_.empty()) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
+  }
+  task();  // Zero-worker pool: degrade to inline execution.
+}
+
+void ThreadPool::EnsureWorkers(int num_threads) {
+  int target = std::clamp(num_threads, 0, kMaxThreads);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+ThreadPool& ThreadPool::Global() {
+  // Starts empty; ParallelFor grows it to the largest concurrency actually
+  // requested, so processes that never parallelize never spawn threads.
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: queued tasks hold references
+      // into live ParallelFor frames and must signal completion.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 int threads) {
+  if (n == 0) return;
+  int effective = ResolveThreads(threads);
+  if (effective <= 1 || n < 2 || ThreadPool::InWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  size_t chunks = std::min(static_cast<size_t>(effective), n);
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(static_cast<int>(chunks) - 1);
+
+  struct ChunkState {
+    std::exception_ptr error;
+    size_t error_index = std::numeric_limits<size_t>::max();
+  };
+  std::vector<ChunkState> states(chunks);
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = chunks - 1;
+
+  // Deterministic block partition: chunk c owns [n*c/chunks, n*(c+1)/chunks).
+  // A chunk stops at its first throwing iteration, so the minimum recorded
+  // error_index across chunks is the smallest failing index overall.
+  auto run_chunk = [&](size_t c) {
+    size_t begin = n * c / chunks;
+    size_t end = n * (c + 1) / chunks;
+    size_t i = begin;
+    try {
+      for (; i < end; ++i) fn(i);
+    } catch (...) {
+      states[c].error = std::current_exception();
+      states[c].error_index = i;
+    }
+  };
+
+  for (size_t c = 1; c < chunks; ++c) {
+    pool.Submit([&, c] {
+      run_chunk(c);
+      // Notify while holding the lock: mu/cv live on the caller's stack, and
+      // the caller may destroy them the instant it can observe pending == 0.
+      // Signalling under the lock guarantees this worker is done touching
+      // them before the caller's wait() can re-acquire mu and return.
+      std::lock_guard<std::mutex> lock(mu);
+      --pending;
+      cv.notify_one();
+    });
+  }
+  // The caller runs chunk 0 itself: progress never depends on pool capacity,
+  // and a serial caller's cache-warm first block stays on its own core.
+  run_chunk(0);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+  }
+
+  std::exception_ptr first_error;
+  size_t first_index = std::numeric_limits<size_t>::max();
+  for (const ChunkState& s : states) {
+    if (s.error && s.error_index < first_index) {
+      first_index = s.error_index;
+      first_error = s.error;
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace autobi

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "graph/ems.h"
 #include "graph/kmca.h"
@@ -36,9 +37,14 @@ BiModel EdgesToModel(const JoinGraph& graph, const std::vector<int>& edges) {
 
 AutoBiResult AutoBi::Predict(const std::vector<Table>& tables) const {
   AutoBiResult result;
+  result.timing.threads = ResolveThreads(options_.threads);
 
-  // Stage 1+2: UCC and IND discovery (candidate generation).
-  CandidateSet candidates = GenerateCandidates(tables, options_.candidates);
+  // Stage 1+2: UCC and IND discovery (candidate generation). The top-level
+  // thread setting flows into candidate generation unless the caller pinned
+  // a stage-specific count.
+  CandidateGenOptions cand_options = options_.candidates;
+  if (cand_options.threads == 0) cand_options.threads = options_.threads;
+  CandidateSet candidates = GenerateCandidates(tables, cand_options);
   result.timing.ucc = candidates.ucc_seconds;
   result.timing.ind = candidates.ind_seconds;
 
@@ -46,7 +52,8 @@ AutoBiResult AutoBi::Predict(const std::vector<Table>& tables) const {
   // calibrated classifiers (Algorithm 1).
   bool schema_only = options_.mode == AutoBiMode::kSchemaOnly;
   result.graph = BuildJoinGraph(tables, candidates, *model_, schema_only,
-                                &result.timing.local_inference);
+                                &result.timing.local_inference,
+                                options_.threads);
   const JoinGraph& graph = result.graph;
 
   // Stage 4: global prediction.

@@ -20,6 +20,11 @@ enum class AutoBiMode {
 
 struct AutoBiOptions {
   AutoBiMode mode = AutoBiMode::kFull;
+  // Worker threads for the data-parallel pipeline stages (profiling/UCC,
+  // IND, local inference). ResolveThreads semantics: 0 = AUTOBI_THREADS env
+  // or hardware concurrency, 1 = serial. Predictions are bit-identical at
+  // any thread count (see ARCHITECTURE.md, "Concurrency model").
+  int threads = 0;
   // Virtual-edge probability: penalty p = -log(this). 0.5 is the calibrated
   // coin-toss default (Section 4.3.2, Figure 9(a)).
   double penalty_probability = 0.5;
@@ -39,6 +44,9 @@ struct AutoBiTiming {
   double ind = 0.0;
   double local_inference = 0.0;
   double global_predict = 0.0;
+  // Effective worker-thread count the parallel stages ran with (0 when the
+  // producing method predates / bypasses the thread pool).
+  int threads = 0;
   double Total() const { return ucc + ind + local_inference + global_predict; }
 };
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "text/similarity.h"
@@ -25,19 +26,27 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
                                 const CandidateGenOptions& options) {
   CandidateSet out;
 
-  // UCC stage (includes profiling, which UCC pruning needs first).
+  // UCC stage (includes profiling, which UCC pruning needs first). Each
+  // table's profile + UCC lattice search is independent, so tables fan out
+  // across the pool; slot-per-table writes keep the output order fixed.
   Timer ucc_timer;
-  out.profiles = ProfileTables(tables);
-  out.uccs.reserve(tables.size());
-  for (size_t i = 0; i < tables.size(); ++i) {
-    out.uccs.push_back(DiscoverUccs(tables[i], out.profiles[i], options.ucc));
-  }
+  out.profiles.resize(tables.size());
+  out.uccs.resize(tables.size());
+  ParallelFor(
+      tables.size(),
+      [&](size_t i) {
+        out.profiles[i] = ProfileTable(tables[i]);
+        out.uccs[i] = DiscoverUccs(tables[i], out.profiles[i], options.ucc);
+      },
+      options.threads);
   out.ucc_seconds = ucc_timer.Seconds();
 
   // IND stage.
   Timer ind_timer;
+  IndOptions ind_options = options.ind;
+  if (ind_options.threads == 0) ind_options.threads = options.threads;
   std::vector<Ind> inds = DiscoverInds(tables, out.profiles, out.uccs,
-                                       options.ind);
+                                       ind_options);
 
   // Convert INDs to deduplicated candidates.
   std::map<std::pair<ColumnRef, ColumnRef>, JoinCandidate> dedup;

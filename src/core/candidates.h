@@ -22,6 +22,11 @@ struct CandidateGenOptions {
   // fall back to metadata-screened candidates so schema-only prediction
   // still works (extension beyond the paper).
   bool metadata_fallback_for_empty_tables = true;
+  // Worker threads for profiling/UCC (per table) and IND discovery (per
+  // table pair). ResolveThreads semantics: 0 = AUTOBI_THREADS/hardware,
+  // 1 = serial. Also the default for ind.threads when that is 0. The
+  // candidate set produced is identical at any thread count.
+  int threads = 0;
 };
 
 // Output of the candidate-generation stage (UCC + IND discovery, the first

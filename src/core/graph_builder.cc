@@ -1,5 +1,6 @@
 #include "core/graph_builder.h"
 
+#include "common/parallel.h"
 #include "common/timer.h"
 
 namespace autobi {
@@ -7,15 +8,24 @@ namespace autobi {
 JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
                          const CandidateSet& candidates,
                          const LocalModel& model, bool schema_only,
-                         double* local_inference_seconds) {
+                         double* local_inference_seconds, int threads) {
   Timer timer;
   JoinGraph graph(static_cast<int>(tables.size()));
   FeatureContext ctx;
   ctx.tables = &tables;
   ctx.profiles = &candidates.profiles;
   ctx.frequency = &model.frequency();
-  for (const JoinCandidate& cand : candidates.candidates) {
-    double p = model.Score(ctx, cand, schema_only);
+  // Featurize + score (the expensive part) in parallel; LocalModel::Score is
+  // const and stateless. Graph mutation stays serial in candidate order.
+  std::vector<double> probabilities = ParallelMap(
+      candidates.candidates.size(),
+      [&](size_t i) {
+        return model.Score(ctx, candidates.candidates[i], schema_only);
+      },
+      threads);
+  for (size_t i = 0; i < candidates.candidates.size(); ++i) {
+    const JoinCandidate& cand = candidates.candidates[i];
+    double p = probabilities[i];
     if (cand.one_to_one) {
       graph.AddOneToOneEdge(cand.src.table, cand.dst.table, cand.src.columns,
                             cand.dst.columns, p);

@@ -17,10 +17,14 @@ namespace autobi {
 // Returns the graph; `edge_probabilities` come from `model` evaluated with
 // `schema_only` features. `local_inference_seconds`, if non-null, receives
 // the featurize+score latency (the Local-Inference component of Fig 5(b)).
+// Candidates are featurized and scored in parallel (`threads` as in
+// ResolveThreads); edges are then added serially in candidate order, so edge
+// ids and probabilities are identical at any thread count.
 JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
                          const CandidateSet& candidates,
                          const LocalModel& model, bool schema_only,
-                         double* local_inference_seconds = nullptr);
+                         double* local_inference_seconds = nullptr,
+                         int threads = 0);
 
 }  // namespace autobi
 

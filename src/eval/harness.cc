@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include "common/parallel.h"
+
 namespace autobi {
 
 AggregateMetrics MethodResults::Quality() const {
@@ -17,16 +19,19 @@ std::vector<double> MethodResults::TotalSeconds() const {
 }
 
 MethodResults RunMethod(const JoinPredictor& method,
-                        const std::vector<BiCase>& cases) {
+                        const std::vector<BiCase>& cases,
+                        const HarnessOptions& options) {
   MethodResults results;
   results.method = method.name();
-  results.cases.reserve(cases.size());
-  for (const BiCase& bi_case : cases) {
-    CaseResult r;
-    BiModel predicted = method.Predict(bi_case.tables, &r.timing);
-    r.metrics = EvaluateCase(bi_case, predicted);
-    results.cases.push_back(r);
-  }
+  results.cases.resize(cases.size());
+  ParallelFor(
+      cases.size(),
+      [&](size_t i) {
+        CaseResult& r = results.cases[i];
+        BiModel predicted = method.Predict(cases[i].tables, &r.timing);
+        r.metrics = EvaluateCase(cases[i], predicted);
+      },
+      options.threads);
   return results;
 }
 

@@ -25,9 +25,19 @@ struct MethodResults {
   std::vector<double> TotalSeconds() const;
 };
 
+struct HarnessOptions {
+  // Worker threads for per-case evaluation (ResolveThreads semantics: 0 =
+  // AUTOBI_THREADS / hardware, 1 = serial). Cases are independent and write
+  // to per-case result slots, so metrics are identical at any thread count.
+  // Note: per-case parallelism subsumes the predictor's internal parallelism
+  // (nested parallel regions run serially).
+  int threads = 0;
+};
+
 // Runs `method` on every case, evaluating against each case's ground truth.
 MethodResults RunMethod(const JoinPredictor& method,
-                        const std::vector<BiCase>& cases);
+                        const std::vector<BiCase>& cases,
+                        const HarnessOptions& options = {});
 
 // Quality restricted to a subset of case indices (bucketized reporting,
 // Tables 7/8/11/12).

@@ -16,6 +16,12 @@ struct GbdtOptions {
   size_t min_samples_leaf = 5;
   // Row subsampling per round (stochastic gradient boosting).
   double subsample = 0.8;
+  // Worker threads for the per-feature split search inside each boosting
+  // round (rounds themselves are inherently sequential). ResolveThreads
+  // semantics; the fitted ensemble is identical at any thread count because
+  // per-feature gains are computed independently and reduced in feature
+  // order with the same strict-improvement tie-break as the serial scan.
+  int threads = 0;
 };
 
 // Gradient-boosted decision trees with logistic loss — an alternative local

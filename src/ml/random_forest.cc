@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace autobi {
 
@@ -22,11 +23,21 @@ void RandomForest::Fit(const Dataset& data, const ForestOptions& options,
       options.sample_fraction * static_cast<double>(data.num_rows()));
   if (sample_size == 0) sample_size = data.num_rows();
   trees_.resize(static_cast<size_t>(options.num_trees));
-  std::vector<size_t> rows(sample_size);
-  for (DecisionTree& tree : trees_) {
-    for (size_t& r : rows) r = rng.NextBelow(data.num_rows());
-    tree.Fit(data, rows, topt, rng);
-  }
+  // Fork one RNG stream per tree *before* the parallel region, in tree
+  // order: every tree's bootstrap sample and split randomness depend only on
+  // its own stream, so the fitted forest is bit-identical at any thread
+  // count (the concurrency contract in ARCHITECTURE.md).
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(trees_.size());
+  for (size_t t = 0; t < trees_.size(); ++t) tree_rngs.push_back(rng.Fork());
+  ParallelFor(
+      trees_.size(),
+      [&](size_t t) {
+        std::vector<size_t> rows(sample_size);
+        for (size_t& r : rows) r = tree_rngs[t].NextBelow(data.num_rows());
+        trees_[t].Fit(data, rows, topt, tree_rngs[t]);
+      },
+      options.threads);
 }
 
 double RandomForest::PredictProba(const std::vector<double>& features) const {

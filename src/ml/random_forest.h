@@ -15,6 +15,11 @@ struct ForestOptions {
   double sample_fraction = 1.0;
   // If true, tree.features_per_split defaults to sqrt(num_features).
   bool sqrt_features = true;
+  // Worker threads for per-tree fitting (ResolveThreads semantics: 0 = use
+  // AUTOBI_THREADS / hardware, 1 = serial). Each tree draws from its own
+  // deterministically forked RNG stream, so the fitted forest is identical
+  // at any thread count.
+  int threads = 0;
 };
 
 // Bagged random forest over CART trees — the feature-based local join

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace autobi {
 
 ColumnProfile ProfileColumn(const Column& col, size_t max_sample) {
@@ -66,10 +68,12 @@ TableProfile ProfileTable(const Table& table, size_t max_sample) {
 }
 
 std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
-                                        size_t max_sample) {
-  std::vector<TableProfile> out;
-  out.reserve(tables.size());
-  for (const Table& t : tables) out.push_back(ProfileTable(t, max_sample));
+                                        size_t max_sample, int threads) {
+  std::vector<TableProfile> out(tables.size());
+  ParallelFor(
+      tables.size(),
+      [&](size_t i) { out[i] = ProfileTable(tables[i], max_sample); },
+      threads);
   return out;
 }
 

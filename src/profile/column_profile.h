@@ -49,9 +49,12 @@ ColumnProfile ProfileColumn(const Column& col, size_t max_sample = 512);
 // Profiles every column of `table`.
 TableProfile ProfileTable(const Table& table, size_t max_sample = 512);
 
-// Profiles every table of a case.
+// Profiles every table of a case. Tables are profiled in parallel on the
+// shared pool (`threads` as in ResolveThreads: 0 = AUTOBI_THREADS/hardware,
+// 1 = serial); output order and contents are thread-count-invariant.
 std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
-                                        size_t max_sample = 512);
+                                        size_t max_sample = 512,
+                                        int threads = 0);
 
 // Row-weighted containment of A in B: the fraction of A's non-null cells
 // whose value appears among B's values. Row-weighting (rather than counting

@@ -1,7 +1,11 @@
 #include "profile/ind.h"
 
+#include <iterator>
 #include <string>
 #include <unordered_set>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace autobi {
 
@@ -31,6 +35,110 @@ bool RangesDisjoint(const ColumnProfile& a, const ColumnProfile& b) {
   return a.max_value < b.min_value || b.max_value < a.min_value;
 }
 
+// Scans one ordered table pair (ti -> tj) for unary and composite INDs.
+// Pure function of its inputs, so pairs can be scanned on any thread; the
+// caller concatenates per-pair results in serial pair order to keep the
+// output identical to a single-threaded scan.
+std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
+                               const std::vector<TableProfile>& profiles,
+                               const std::vector<std::vector<Ucc>>& uccs,
+                               const IndOptions& options, int ti, int tj) {
+  std::vector<Ind> result;
+  const TableProfile& pi = profiles[ti];
+  const TableProfile& pj = profiles[tj];
+  // --- Unary INDs.
+  for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
+    const ColumnProfile& pa = pi.columns[a];
+    if (pa.distinct.size() < options.min_distinct) continue;
+    for (int b = 0; b < static_cast<int>(pj.columns.size()); ++b) {
+      const ColumnProfile& pb = pj.columns[b];
+      if (pb.non_null_count == 0) continue;
+      if (pb.distinct_ratio < options.min_referenced_distinct_ratio) {
+        continue;
+      }
+      if (RangesDisjoint(pa, pb)) continue;
+      double c = Containment(pa, pb);
+      if (c >= options.min_containment) {
+        Ind ind;
+        ind.dependent = ColumnRef{ti, {a}};
+        ind.referenced = ColumnRef{tj, {b}};
+        ind.containment = c;
+        result.push_back(std::move(ind));
+      }
+    }
+  }
+  // --- Composite INDs: probe composite UCCs of the referenced table.
+  if (options.max_arity < 2) return result;
+  size_t probes = 0;
+  for (const Ucc& key : uccs[tj]) {
+    size_t arity = key.columns.size();
+    if (arity < 2 || arity > options.max_arity) continue;
+    // For each UCC component, collect plausible source columns by
+    // per-column containment pre-screen.
+    std::vector<std::vector<int>> component_candidates(arity);
+    bool viable = true;
+    for (size_t k = 0; k < arity; ++k) {
+      const ColumnProfile& pb = pj.columns[key.columns[k]];
+      for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
+        const ColumnProfile& pa = pi.columns[a];
+        if (pa.distinct.empty()) continue;
+        if (RangesDisjoint(pa, pb)) continue;
+        if (Containment(pa, pb) >= options.min_containment * 0.8) {
+          component_candidates[k].push_back(a);
+        }
+      }
+      if (component_candidates[k].empty()) {
+        viable = false;
+        break;
+      }
+    }
+    if (!viable) continue;
+    // Enumerate assignments (distinct source columns per component).
+    std::vector<int> assign(arity, -1);
+    std::vector<size_t> idx(arity, 0);
+    size_t level = 0;
+    while (true) {
+      if (idx[level] >= component_candidates[level].size()) {
+        if (level == 0) break;
+        idx[level] = 0;
+        --level;
+        ++idx[level];
+        continue;
+      }
+      int cand = component_candidates[level][idx[level]];
+      bool dup = false;
+      for (size_t k = 0; k < level; ++k) {
+        if (assign[k] == cand) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) {
+        ++idx[level];
+        continue;
+      }
+      assign[level] = cand;
+      if (level + 1 == arity) {
+        if (++probes > options.max_composite_probes) break;
+        std::vector<int> src(assign.begin(), assign.end());
+        double c = CompositeContainment(tables[ti], src, tables[tj],
+                                        key.columns);
+        if (c >= options.min_containment) {
+          Ind ind;
+          ind.dependent = ColumnRef{ti, src};
+          ind.referenced = ColumnRef{tj, key.columns};
+          ind.containment = c;
+          result.push_back(std::move(ind));
+        }
+        ++idx[level];
+      } else {
+        ++level;
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 double CompositeContainment(const Table& ta, const std::vector<int>& ca,
@@ -57,104 +165,28 @@ std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
                               const std::vector<TableProfile>& profiles,
                               const std::vector<std::vector<Ucc>>& uccs,
                               const IndOptions& options) {
-  std::vector<Ind> result;
+  // Enumerate ordered pairs in the serial scan order, fan the per-pair scans
+  // out, then concatenate per-pair results in that same order: the combined
+  // IND list is byte-identical at any thread count.
   int n = static_cast<int>(tables.size());
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(n) * static_cast<size_t>(n));
   for (int ti = 0; ti < n; ++ti) {
     for (int tj = 0; tj < n; ++tj) {
-      if (ti == tj) continue;
-      const TableProfile& pi = profiles[ti];
-      const TableProfile& pj = profiles[tj];
-      // --- Unary INDs.
-      for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
-        const ColumnProfile& pa = pi.columns[a];
-        if (pa.distinct.size() < options.min_distinct) continue;
-        for (int b = 0; b < static_cast<int>(pj.columns.size()); ++b) {
-          const ColumnProfile& pb = pj.columns[b];
-          if (pb.non_null_count == 0) continue;
-          if (pb.distinct_ratio < options.min_referenced_distinct_ratio) {
-            continue;
-          }
-          if (RangesDisjoint(pa, pb)) continue;
-          double c = Containment(pa, pb);
-          if (c >= options.min_containment) {
-            Ind ind;
-            ind.dependent = ColumnRef{ti, {a}};
-            ind.referenced = ColumnRef{tj, {b}};
-            ind.containment = c;
-            result.push_back(std::move(ind));
-          }
-        }
-      }
-      // --- Composite INDs: probe composite UCCs of the referenced table.
-      if (options.max_arity < 2) continue;
-      size_t probes = 0;
-      for (const Ucc& key : uccs[tj]) {
-        size_t arity = key.columns.size();
-        if (arity < 2 || arity > options.max_arity) continue;
-        // For each UCC component, collect plausible source columns by
-        // per-column containment pre-screen.
-        std::vector<std::vector<int>> component_candidates(arity);
-        bool viable = true;
-        for (size_t k = 0; k < arity; ++k) {
-          const ColumnProfile& pb = pj.columns[key.columns[k]];
-          for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
-            const ColumnProfile& pa = pi.columns[a];
-            if (pa.distinct.empty()) continue;
-            if (RangesDisjoint(pa, pb)) continue;
-            if (Containment(pa, pb) >= options.min_containment * 0.8) {
-              component_candidates[k].push_back(a);
-            }
-          }
-          if (component_candidates[k].empty()) {
-            viable = false;
-            break;
-          }
-        }
-        if (!viable) continue;
-        // Enumerate assignments (distinct source columns per component).
-        std::vector<int> assign(arity, -1);
-        std::vector<size_t> idx(arity, 0);
-        size_t level = 0;
-        while (true) {
-          if (idx[level] >= component_candidates[level].size()) {
-            if (level == 0) break;
-            idx[level] = 0;
-            --level;
-            ++idx[level];
-            continue;
-          }
-          int cand = component_candidates[level][idx[level]];
-          bool dup = false;
-          for (size_t k = 0; k < level; ++k) {
-            if (assign[k] == cand) {
-              dup = true;
-              break;
-            }
-          }
-          if (dup) {
-            ++idx[level];
-            continue;
-          }
-          assign[level] = cand;
-          if (level + 1 == arity) {
-            if (++probes > options.max_composite_probes) break;
-            std::vector<int> src(assign.begin(), assign.end());
-            double c = CompositeContainment(tables[ti], src, tables[tj],
-                                            key.columns);
-            if (c >= options.min_containment) {
-              Ind ind;
-              ind.dependent = ColumnRef{ti, src};
-              ind.referenced = ColumnRef{tj, key.columns};
-              ind.containment = c;
-              result.push_back(std::move(ind));
-            }
-            ++idx[level];
-          } else {
-            ++level;
-          }
-        }
-      }
+      if (ti != tj) pairs.emplace_back(ti, tj);
     }
+  }
+  std::vector<std::vector<Ind>> per_pair = ParallelMap(
+      pairs.size(),
+      [&](size_t p) {
+        return ScanTablePair(tables, profiles, uccs, options, pairs[p].first,
+                             pairs[p].second);
+      },
+      options.threads);
+  std::vector<Ind> result;
+  for (std::vector<Ind>& part : per_pair) {
+    result.insert(result.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
   }
   return result;
 }

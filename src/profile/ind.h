@@ -29,6 +29,9 @@ struct IndOptions {
   size_t max_arity = 2;
   // Composite probes are capped per table pair.
   size_t max_composite_probes = 64;
+  // Worker threads for the pairwise scan (ResolveThreads semantics: 0 = use
+  // AUTOBI_THREADS / hardware, 1 = serial). Output is identical regardless.
+  int threads = 0;
 };
 
 // One approximate inclusion dependency: dependent ⊆ referenced (dependent is
