@@ -1,0 +1,235 @@
+// Micro-benchmark of the hash-sketch profiling layer (profile/sketch.h):
+//
+//   1. ProfileColumn cost (now includes building the sorted hash vectors).
+//   2. Exact unary Containment: legacy string-map implementation vs the
+//      sorted-hash merge, on high-cardinality string columns (the hottest
+//      kernel of candidate generation) and on the skewed small-FK-in-big-PK
+//      shape where the merge switches to binary search.
+//   3. KMV pre-screen hit-rate and DiscoverInds end-to-end with the screen
+//      on vs off, on REAL-style synthetic cases.
+//
+// Usage: bench_micro_profile [--json]
+//   --json   emit a single machine-readable JSON object on stdout (consumed
+//            by scripts/bench_smoke.sh, accumulated as BENCH_*.json).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "profile/column_profile.h"
+#include "profile/ind.h"
+#include "profile/ucc.h"
+#include "synth/corpus.h"
+#include "table/table.h"
+
+namespace autobi {
+namespace {
+
+Column StringColumn(const char* name, size_t rows, size_t distinct,
+                    const char* prefix, uint64_t salt) {
+  Column col(name, ValueType::kString);
+  for (size_t r = 0; r < rows; ++r) {
+    // Deterministic pseudo-random pick so duplicates are spread out.
+    uint64_t v = (r * 2654435761ULL + salt) % distinct;
+    col.AppendString(StrFormat("%s%llu", prefix,
+                               static_cast<unsigned long long>(v)));
+  }
+  return col;
+}
+
+// Accumulator that keeps benchmarked results observable (defeats dead-code
+// elimination); checked at the end of main.
+double g_sink = 0.0;
+
+// Times `fn` over `iters` calls; returns microseconds per call.
+template <typename Fn>
+double TimeUs(size_t iters, const Fn& fn) {
+  double sink = 0.0;
+  Timer t;
+  for (size_t i = 0; i < iters; ++i) sink += fn();
+  double us = t.Seconds() * 1e6 / static_cast<double>(iters);
+  g_sink += sink;
+  return us;
+}
+
+struct Result {
+  std::string name;
+  double value;
+  std::string unit;
+};
+
+}  // namespace
+}  // namespace autobi
+
+int main(int argc, char** argv) {
+  using namespace autobi;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  std::vector<Result> results;
+  auto add = [&](const std::string& name, double value,
+                 const std::string& unit) {
+    results.push_back({name, value, unit});
+    if (!json) std::printf("%-42s %12.3f %s\n", name.c_str(), value,
+                           unit.c_str());
+  };
+
+  // --- 1+2. Unary kernel on high-cardinality string columns.
+  constexpr size_t kRows = 100000;
+  constexpr size_t kDistinct = 40000;
+  Column fk = StringColumn("fk", kRows, kDistinct, "cust_", 17);
+  Column pk = StringColumn("pk", kDistinct, kDistinct, "cust_", 0);
+
+  Timer prof_timer;
+  ColumnProfile pfk = ProfileColumn(fk);
+  double profile_ms = prof_timer.Millis();
+  ColumnProfile ppk = ProfileColumn(pk);
+  add("profile_column_100k_rows", profile_ms, "ms");
+
+  constexpr size_t kIters = 20;
+  double old_us = TimeUs(kIters, [&] {
+    return ContainmentViaStringMap(pfk, ppk);
+  });
+  double new_us = TimeUs(kIters, [&] { return Containment(pfk, ppk); });
+  add("containment_string_map_40k_distinct", old_us, "us");
+  add("containment_hash_merge_40k_distinct", new_us, "us");
+  add("containment_speedup_40k_distinct", old_us / new_us, "x");
+
+  // Skewed shape: small FK distinct set probing a big key column (the merge
+  // switches to per-hash binary search).
+  Column small_fk = StringColumn("sfk", 20000, 500, "cust_", 23);
+  ColumnProfile psmall = ProfileColumn(small_fk);
+  double old_skew_us = TimeUs(kIters * 10, [&] {
+    return ContainmentViaStringMap(psmall, ppk);
+  });
+  double new_skew_us = TimeUs(kIters * 10, [&] {
+    return Containment(psmall, ppk);
+  });
+  add("containment_string_map_skewed", old_skew_us, "us");
+  add("containment_hash_merge_skewed", new_skew_us, "us");
+  add("containment_speedup_skewed", old_skew_us / new_skew_us, "x");
+
+  // --- 3. KMV screen hit-rate + DiscoverInds end-to-end on REAL-style
+  // cases (serial, so the kernel change is what's measured).
+  CorpusOptions copt;
+  copt.seed = 4242;
+  copt.cases_per_bucket = 2;
+  RealBenchmark real = BuildRealBenchmark(copt);
+  std::vector<std::vector<TableProfile>> profiles(real.cases.size());
+  std::vector<std::vector<std::vector<Ucc>>> uccs(real.cases.size());
+  for (size_t i = 0; i < real.cases.size(); ++i) {
+    profiles[i] = ProfileTables(real.cases[i].tables);
+    for (size_t t = 0; t < real.cases[i].tables.size(); ++t) {
+      uccs[i].push_back(
+          DiscoverUccs(real.cases[i].tables[t], profiles[i][t]));
+    }
+  }
+  // Old vs new candidate-generation kernel end-to-end: evaluate exactly the
+  // column pairs the unary IND scan evaluates (same pre-screens), with the
+  // legacy string-map kernel vs the hash-merge kernel.
+  IndOptions defaults;
+  auto unary_kernel_ms = [&](bool legacy) {
+    double sum = 0.0;
+    Timer t;
+    for (size_t i = 0; i < real.cases.size(); ++i) {
+      const auto& tp = profiles[i];
+      for (size_t ti = 0; ti < tp.size(); ++ti) {
+        for (size_t tj = 0; tj < tp.size(); ++tj) {
+          if (ti == tj) continue;
+          for (const ColumnProfile& pa : tp[ti].columns) {
+            if (pa.distinct.size() < defaults.min_distinct) continue;
+            for (const ColumnProfile& pb : tp[tj].columns) {
+              if (pb.non_null_count == 0 ||
+                  pb.distinct_ratio <
+                      defaults.min_referenced_distinct_ratio) {
+                continue;
+              }
+              sum += legacy ? ContainmentViaStringMap(pa, pb)
+                            : Containment(pa, pb);
+            }
+          }
+        }
+      }
+    }
+    g_sink += sum;
+    return t.Millis();
+  };
+  double kernel_old_ms = unary_kernel_ms(/*legacy=*/true);
+  double kernel_new_ms = unary_kernel_ms(/*legacy=*/false);
+  add("unary_kernel_e2e_string_map", kernel_old_ms, "ms");
+  add("unary_kernel_e2e_hash_merge", kernel_new_ms, "ms");
+  add("unary_kernel_e2e_speedup", kernel_old_ms / kernel_new_ms, "x");
+
+  IndStats on_stats;
+  IndStats off_stats;
+  double on_ms = 0.0;
+  double off_ms = 0.0;
+  size_t inds_on = 0;
+  size_t inds_off = 0;
+  for (size_t i = 0; i < real.cases.size(); ++i) {
+    IndOptions on;
+    on.threads = 1;
+    IndStats s;
+    Timer t;
+    inds_on += DiscoverInds(real.cases[i].tables, profiles[i], uccs[i], on,
+                            &s).size();
+    on_ms += t.Millis();
+    on_stats.Add(s);
+
+    IndOptions off;
+    off.threads = 1;
+    off.kmv_screen = false;
+    Timer t2;
+    inds_off += DiscoverInds(real.cases[i].tables, profiles[i], uccs[i], off,
+                             &s).size();
+    off_ms += t2.Millis();
+    off_stats.Add(s);
+  }
+  if (inds_on != inds_off) {
+    std::fprintf(stderr,
+                 "FATAL: KMV screen changed the IND count (%zu vs %zu)\n",
+                 inds_on, inds_off);
+    return 1;
+  }
+  double screen_rate =
+      on_stats.unary_kmv_screened + on_stats.unary_exact_checks > 0
+          ? double(on_stats.unary_kmv_screened) /
+                double(on_stats.unary_kmv_screened +
+                       on_stats.unary_exact_checks)
+          : 0.0;
+  add("real_cases", double(real.cases.size()), "cases");
+  add("discover_inds_total_inds", double(inds_on), "inds");
+  add("kmv_screen_hit_rate", screen_rate, "frac");
+  add("discover_inds_screen_on", on_ms, "ms");
+  add("discover_inds_screen_off", off_ms, "ms");
+  add("discover_inds_screen_speedup", off_ms / on_ms, "x");
+  add("composite_sets_built", double(on_stats.composite_sets_built), "sets");
+  add("composite_budget_truncations",
+      double(on_stats.composite_budget_truncations), "pairs");
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"bench_micro_profile\",\n");
+    std::printf("  \"config\": {\"rows\": %zu, \"distinct\": %zu, "
+                "\"cases_per_bucket\": %zu},\n",
+                kRows, kDistinct, copt.cases_per_bucket);
+    std::printf("  \"results\": {\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("    \"%s\": {\"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                  results[i].name.c_str(), results[i].value,
+                  results[i].unit.c_str(),
+                  i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  }\n}\n");
+  }
+  // Keep the accumulated kernel outputs observable so nothing above was
+  // optimized away (NaN would indicate a broken kernel, too).
+  if (!(g_sink == g_sink)) {
+    std::fprintf(stderr, "FATAL: kernel produced NaN\n");
+    return 1;
+  }
+  return 0;
+}

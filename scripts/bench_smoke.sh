@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf-trajectory smoke run: builds Release, runs the profiling
+# micro-benchmark (machine-readable) and the Figure 5 latency benchmark, and
+# writes BENCH_pr2.json at the repo root. Each perf-focused PR writes its own
+# BENCH_<pr>.json with the same shape, so the trajectory of the hot kernels
+# (candidate-generation above all) accumulates in-repo and regressions are
+# diffable.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]     (default: build-bench)
+# Scale knobs (see DESIGN.md §3): AUTOBI_REAL_CASES (default 2 here — smoke,
+# not the paper scale), AUTOBI_TRAIN_CASES, AUTOBI_TPC_SCALE.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+OUT="BENCH_pr2.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD_DIR" -j --target bench_micro_profile bench_fig5_latency \
+  > /dev/null
+
+echo "bench_smoke: running bench_micro_profile..." >&2
+MICRO_JSON="$("$BUILD_DIR/bench/bench_micro_profile" --json)"
+
+export AUTOBI_REAL_CASES="${AUTOBI_REAL_CASES:-2}"
+FIG5_LOG="$BUILD_DIR/fig5_latency.txt"
+echo "bench_smoke: running bench_fig5_latency (AUTOBI_REAL_CASES=$AUTOBI_REAL_CASES)..." >&2
+"$BUILD_DIR/bench/bench_fig5_latency" > "$FIG5_LOG"
+
+# The Auto-BI row of the Figure 5(b) per-stage table: mean seconds for the
+# UCC / IND / Local-Inference / Global-Predict stages (candidate generation
+# is UCC + IND). FmtSeconds cells carry a us/ms/s unit suffix.
+read -r UCC IND LOCAL GLOBAL < <(awk -F'|' '
+  function secs(cell,    v) {
+    gsub(/[[:space:]]/, "", cell);
+    v = cell + 0;
+    if (cell ~ /us$/) return v / 1e6;
+    if (cell ~ /ms$/) return v / 1e3;
+    return v;
+  }
+  /Figure 5\(b\)/ { in5b = 1 }
+  in5b && $2 ~ /^[[:space:]]*Auto-BI[[:space:]]*$/ {
+    printf "%.9g %.9g %.9g %.9g\n", secs($3), secs($4), secs($5), secs($6);
+    exit
+  }' "$FIG5_LOG")
+if [[ -z "${IND:-}" ]]; then
+  echo "bench_smoke: FAILED to parse Figure 5(b) Auto-BI row from $FIG5_LOG" >&2
+  exit 1
+fi
+
+cat > "$OUT" <<EOF
+{
+  "pr": 2,
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "note": "hash-sketch profiling layer: sorted-hash containment merge, KMV pre-screen, composite key-set cache",
+  "real_cases_per_bucket": $AUTOBI_REAL_CASES,
+  "fig5b_auto_bi_mean_seconds": {
+    "ucc": $UCC,
+    "ind": $IND,
+    "local_inference": $LOCAL,
+    "global_predict": $GLOBAL
+  },
+  "micro": $MICRO_JSON
+}
+EOF
+echo "bench_smoke: wrote $OUT (fig5b IND stage: ${IND}s, full log: $FIG5_LOG)" >&2

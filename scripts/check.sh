@@ -21,3 +21,9 @@ export AUTOBI_THREADS="${AUTOBI_THREADS:-4}"
 "$BUILD_DIR/tests/autobi_core_tests"
 
 echo "check.sh: ThreadSanitizer clean."
+
+# Opt-in perf smoke (AUTOBI_BENCH_SMOKE=1): refresh the BENCH_*.json perf
+# trajectory after the sanitizer gate passes.
+if [[ "${AUTOBI_BENCH_SMOKE:-0}" == "1" ]]; then
+  scripts/bench_smoke.sh
+fi

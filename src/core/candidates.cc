@@ -41,12 +41,16 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
       options.threads);
   out.ucc_seconds = ucc_timer.Seconds();
 
-  // IND stage.
+  // IND stage. The composite-key cache is shared between discovery and the
+  // reverse-containment probes below, so each referenced tuple-hash set is
+  // built at most once per (table, key-columns) for the whole stage.
   Timer ind_timer;
   IndOptions ind_options = options.ind;
   if (ind_options.threads == 0) ind_options.threads = options.threads;
+  CompositeKeyCache composite_cache;
   std::vector<Ind> inds = DiscoverInds(tables, out.profiles, out.uccs,
-                                       ind_options);
+                                       ind_options, &out.ind_stats,
+                                       &composite_cache);
 
   // Convert INDs to deduplicated candidates.
   std::map<std::pair<ColumnRef, ColumnRef>, JoinCandidate> dedup;
@@ -64,11 +68,11 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
           out.profiles[size_t(cand.src.table)]
               .columns[size_t(cand.src.columns[0])]);
     } else {
-      cand.right_containment =
-          CompositeContainment(tables[size_t(cand.dst.table)],
-                               cand.dst.columns,
-                               tables[size_t(cand.src.table)],
-                               cand.src.columns);
+      std::shared_ptr<const CompositeKeyCache::HashSet> referenced =
+          composite_cache.Get(tables[size_t(cand.src.table)], cand.src.table,
+                              cand.src.columns);
+      cand.right_containment = CompositeContainment(
+          tables[size_t(cand.dst.table)], cand.dst.columns, *referenced);
     }
 
     double src_distinct = MeanDistinctRatio(
@@ -138,6 +142,8 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
     (void)key;
     out.candidates.push_back(std::move(cand));
   }
+  // Fold in the sets built by reverse-containment probing above.
+  out.ind_stats.composite_sets_built = composite_cache.builds();
   out.ind_seconds = ind_timer.Seconds();
   return out;
 }

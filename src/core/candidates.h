@@ -38,6 +38,10 @@ struct CandidateSet {
   // Stage latencies in seconds.
   double ucc_seconds = 0.0;
   double ind_seconds = 0.0;
+  // Observability counters of the IND stage (screens hit, exact checks run,
+  // composite sets built/truncated); includes the reverse-containment
+  // composite sets built by candidate conversion.
+  IndStats ind_stats;
 };
 
 // Profiles the tables, discovers UCCs and approximate INDs, and converts

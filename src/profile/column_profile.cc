@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "profile/sketch.h"
 
 namespace autobi {
 
@@ -54,6 +55,9 @@ ColumnProfile ProfileColumn(const Column& col, size_t max_sample) {
   }
   std::sort(numeric.begin(), numeric.end());
   p.sorted_numeric_sample = std::move(numeric);
+  SortedHashCounts shc = BuildSortedHashCounts(p.distinct);
+  p.distinct_hashes = std::move(shc.hashes);
+  p.distinct_counts = std::move(shc.counts);
   return p;
 }
 
@@ -78,6 +82,38 @@ std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
 }
 
 double Containment(const ColumnProfile& a, const ColumnProfile& b) {
+  if (a.non_null_count == 0) return 0.0;
+  const std::vector<uint64_t>& ah = a.distinct_hashes;
+  const std::vector<uint64_t>& bh = b.distinct_hashes;
+  int64_t hits = 0;
+  if (ah.size() * 16 < bh.size()) {
+    // Heavy size skew (typical FK probing a much larger key column): binary
+    // search each dependent hash instead of sweeping the big side.
+    for (size_t i = 0; i < ah.size(); ++i) {
+      if (std::binary_search(bh.begin(), bh.end(), ah[i])) {
+        hits += a.distinct_counts[i];
+      }
+    }
+  } else {
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ah.size() && j < bh.size()) {
+      if (ah[i] < bh[j]) {
+        ++i;
+      } else if (bh[j] < ah[i]) {
+        ++j;
+      } else {
+        hits += a.distinct_counts[i];
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.non_null_count);
+}
+
+double ContainmentViaStringMap(const ColumnProfile& a,
+                               const ColumnProfile& b) {
   if (a.non_null_count == 0) return 0.0;
   int64_t hits = 0;
   for (const auto& [key, count] : a.distinct) {

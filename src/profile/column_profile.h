@@ -18,8 +18,18 @@ struct ColumnProfile {
   size_t row_count = 0;
   size_t non_null_count = 0;
   // Distinct canonical keys of all non-null cells, with occurrence counts
-  // (counts make containment row-weighted; see Containment below).
+  // (counts make containment row-weighted; see Containment below). Kept for
+  // the consumers that need the values themselves (EMD's legacy
+  // high-cardinality path, tests, debugging); kernels that only need
+  // membership/counts use the hash vectors below.
   std::unordered_map<std::string, int32_t> distinct;
+  // Hash-sketch view of `distinct` (profile/sketch.h): stable 64-bit FNV-1a
+  // hashes of the canonical keys, sorted ascending and strictly increasing
+  // (in-column collisions merged), with parallel occurrence counts.
+  // Containment runs as a sorted-merge intersection over these vectors, and
+  // the first min(k, n) entries double as the column's bottom-k KMV sketch.
+  std::vector<uint64_t> distinct_hashes;
+  std::vector<int32_t> distinct_counts;
   // Distinct / non-null ratio (1.0 == column is a key candidate).
   double distinct_ratio = 0.0;
   // Numeric min/max (valid only if is_numeric).
@@ -60,7 +70,19 @@ std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
 // whose value appears among B's values. Row-weighting (rather than counting
 // distinct values) keeps true FK -> small-dimension joins detectable when a
 // handful of distinct junk values pollutes the FK column. 0 if A is empty.
+//
+// Implemented as a sorted-merge intersection of the columns' distinct-hash
+// vectors: no string hashing, contiguous memory. Exact modulo 64-bit FNV
+// collisions between distinct canonical keys (probability ~ n^2 / 2^64;
+// the sketch property tests verify equality with the string-map reference
+// on randomized and corpus data).
 double Containment(const ColumnProfile& a, const ColumnProfile& b);
+
+// Legacy reference implementation of Containment over the string map.
+// Retained as the oracle for the sketch property tests and the old-vs-new
+// micro-benchmark (bench_micro_profile); production call sites use
+// Containment.
+double ContainmentViaStringMap(const ColumnProfile& a, const ColumnProfile& b);
 
 }  // namespace autobi
 

@@ -4,26 +4,30 @@
 #include <cmath>
 #include <string>
 
+#include "profile/sketch.h"
+
 namespace autobi {
 
 namespace {
 
-// Stable 64-bit hash of a string, mapped to [0,1).
-double HashToUnit(const std::string& s) {
-  uint64_t h = 1469598103934665603ULL;
-  for (char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
 std::vector<double> HashedSample(const ColumnProfile& p, size_t cap = 512) {
   std::vector<double> vals;
+  // Fast path: the profile's sorted distinct-hash vector uses the same
+  // FNV-1a hash this sample always did, so when the whole column fits under
+  // the cap it already IS the sample — monotone hash->unit mapping keeps it
+  // sorted, no re-hashing and no sort. (Columns above the cap keep the
+  // legacy map-order truncation so the feature stays byte-identical.)
+  if (p.distinct.size() <= cap && !p.distinct_hashes.empty()) {
+    vals.reserve(p.distinct_hashes.size());
+    for (uint64_t h : p.distinct_hashes) {
+      vals.push_back(HashToUnitInterval(h));
+    }
+    return vals;
+  }
   vals.reserve(std::min(p.distinct.size(), cap));
   for (const auto& [key, count] : p.distinct) {
     (void)count;
-    vals.push_back(HashToUnit(key));
+    vals.push_back(HashToUnitInterval(StableHash64(key)));
     if (vals.size() >= cap) break;
   }
   std::sort(vals.begin(), vals.end());

@@ -2,30 +2,14 @@
 
 #include <iterator>
 #include <string>
-#include <unordered_set>
 #include <utility>
 
 #include "common/parallel.h"
+#include "profile/sketch.h"
 
 namespace autobi {
 
 namespace {
-
-// Tuple key of `columns` at row r (escaped '|' separators); false on null.
-bool TupleKey(const Table& table, const std::vector<int>& columns, size_t r,
-              std::string* out) {
-  out->clear();
-  std::string cell;
-  for (int c : columns) {
-    if (!table.column(static_cast<size_t>(c)).KeyAt(r, &cell)) return false;
-    for (char ch : cell) {
-      if (ch == '|' || ch == '\\') out->push_back('\\');
-      out->push_back(ch);
-    }
-    out->push_back('|');
-  }
-  return true;
-}
 
 // Cheap numeric-range disjointness screen: containment must be ~0 when the
 // dependent's range lies entirely outside the referenced range.
@@ -35,15 +19,46 @@ bool RangesDisjoint(const ColumnProfile& a, const ColumnProfile& b) {
   return a.max_value < b.min_value || b.max_value < a.min_value;
 }
 
+// Conservative KMV pre-screen: true if the pair (a in b) can safely be
+// skipped without running the exact merge against `threshold`. Only fires
+// on pairs large enough for the exact merge to matter, with enough sampled
+// values to trust the estimate, and with a generous slack margin; the
+// defaults are validated corpus-wide by the sketch tests (identical
+// candidate sets with the screen on and off).
+bool KmvScreenRejects(const ColumnProfile& a, const ColumnProfile& b,
+                      double threshold, const IndOptions& options) {
+  if (!options.kmv_screen || options.kmv_k == 0) return false;
+  if (a.distinct_hashes.size() + b.distinct_hashes.size() <
+      options.kmv_min_merge_size) {
+    return false;
+  }
+  KmvEstimate est = EstimateContainment(a.distinct_hashes, a.distinct_counts,
+                                        b.distinct_hashes, options.kmv_k);
+  if (est.sample < options.kmv_min_sample) return false;
+  return est.containment + options.kmv_slack < threshold;
+}
+
+// Result of scanning one ordered table pair: the INDs found plus the pair's
+// share of the run counters (aggregated serially by DiscoverInds).
+struct PairScan {
+  std::vector<Ind> inds;
+  IndStats stats;
+};
+
 // Scans one ordered table pair (ti -> tj) for unary and composite INDs.
-// Pure function of its inputs, so pairs can be scanned on any thread; the
-// caller concatenates per-pair results in serial pair order to keep the
-// output identical to a single-threaded scan.
-std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
-                               const std::vector<TableProfile>& profiles,
-                               const std::vector<std::vector<Ucc>>& uccs,
-                               const IndOptions& options, int ti, int tj) {
-  std::vector<Ind> result;
+// Pure function of its inputs apart from the (internally synchronized)
+// composite-key cache, so pairs can be scanned on any thread; the caller
+// concatenates per-pair results in serial pair order to keep the output
+// identical to a single-threaded scan.
+PairScan ScanTablePair(const std::vector<Table>& tables,
+                       const std::vector<TableProfile>& profiles,
+                       const std::vector<std::vector<Ucc>>& uccs,
+                       const IndOptions& options, CompositeKeyCache* cache,
+                       int ti, int tj) {
+  PairScan out;
+  std::vector<Ind>& result = out.inds;
+  IndStats& stats = out.stats;
+  stats.pairs_scanned = 1;
   const TableProfile& pi = profiles[ti];
   const TableProfile& pj = profiles[tj];
   // --- Unary INDs.
@@ -56,7 +71,15 @@ std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
       if (pb.distinct_ratio < options.min_referenced_distinct_ratio) {
         continue;
       }
-      if (RangesDisjoint(pa, pb)) continue;
+      if (RangesDisjoint(pa, pb)) {
+        ++stats.unary_range_screened;
+        continue;
+      }
+      if (KmvScreenRejects(pa, pb, options.min_containment, options)) {
+        ++stats.unary_kmv_screened;
+        continue;
+      }
+      ++stats.unary_exact_checks;
       double c = Containment(pa, pb);
       if (c >= options.min_containment) {
         Ind ind;
@@ -68,9 +91,12 @@ std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
     }
   }
   // --- Composite INDs: probe composite UCCs of the referenced table.
-  if (options.max_arity < 2) return result;
+  if (options.max_arity < 2) return out;
   size_t probes = 0;
+  bool budget_exhausted = false;
+  double component_threshold = options.min_containment * 0.8;
   for (const Ucc& key : uccs[tj]) {
+    if (budget_exhausted) break;
     size_t arity = key.columns.size();
     if (arity < 2 || arity > options.max_arity) continue;
     // For each UCC component, collect plausible source columns by
@@ -83,7 +109,8 @@ std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
         const ColumnProfile& pa = pi.columns[a];
         if (pa.distinct.empty()) continue;
         if (RangesDisjoint(pa, pb)) continue;
-        if (Containment(pa, pb) >= options.min_containment * 0.8) {
+        if (KmvScreenRejects(pa, pb, component_threshold, options)) continue;
+        if (Containment(pa, pb) >= component_threshold) {
           component_candidates[k].push_back(a);
         }
       }
@@ -93,6 +120,9 @@ std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
       }
     }
     if (!viable) continue;
+    // Referenced tuple-hash set: built once per (table, UCC) across ALL
+    // dependent tables via the shared cache, not once per probe.
+    std::shared_ptr<const CompositeKeyCache::HashSet> referenced;
     // Enumerate assignments (distinct source columns per component).
     std::vector<int> assign(arity, -1);
     std::vector<size_t> idx(arity, 0);
@@ -119,10 +149,19 @@ std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
       }
       assign[level] = cand;
       if (level + 1 == arity) {
-        if (++probes > options.max_composite_probes) break;
+        if (++probes > options.max_composite_probes) {
+          // Budget exhausted: stop ALL composite probing for this pair (not
+          // just this UCC) and record the truncation.
+          budget_exhausted = true;
+          ++stats.composite_budget_truncations;
+          break;
+        }
+        ++stats.composite_probes;
+        if (referenced == nullptr) {
+          referenced = cache->Get(tables[tj], tj, key.columns);
+        }
         std::vector<int> src(assign.begin(), assign.end());
-        double c = CompositeContainment(tables[ti], src, tables[tj],
-                                        key.columns);
+        double c = CompositeContainment(tables[ti], src, *referenced);
         if (c >= options.min_containment) {
           Ind ind;
           ind.dependent = ColumnRef{ti, src};
@@ -136,38 +175,82 @@ std::vector<Ind> ScanTablePair(const std::vector<Table>& tables,
       }
     }
   }
-  return result;
+  return out;
 }
 
 }  // namespace
 
-double CompositeContainment(const Table& ta, const std::vector<int>& ca,
-                            const Table& tb, const std::vector<int>& cb) {
-  std::unordered_set<std::string> referenced;
-  referenced.reserve(tb.num_rows() * 2);
-  std::string key;
-  for (size_t r = 0; r < tb.num_rows(); ++r) {
-    if (TupleKey(tb, cb, r, &key)) referenced.insert(key);
+std::shared_ptr<const CompositeKeyCache::HashSet> CompositeKeyCache::Get(
+    const Table& table, int table_index, const std::vector<int>& columns) {
+  std::promise<std::shared_ptr<const HashSet>> promise;
+  std::shared_future<std::shared_ptr<const HashSet>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{table_index, columns};
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      entries_.emplace(std::move(key), future);
+      builder = true;
+    }
   }
+  if (builder) {
+    auto set = std::make_shared<const HashSet>(
+        BuildCompositeKeySet(table, columns));
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(set);
+    return set;
+  }
+  return future.get();
+}
+
+CompositeKeyCache::HashSet BuildCompositeKeySet(
+    const Table& table, const std::vector<int>& cols) {
+  CompositeKeyCache::HashSet referenced;
+  referenced.reserve(table.num_rows() * 2);
+  std::string scratch;
+  uint64_t h = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (TupleHash(table, cols, r, &h, &scratch)) referenced.insert(h);
+  }
+  return referenced;
+}
+
+double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const CompositeKeyCache::HashSet& referenced) {
   // Row-weighted, matching the unary Containment semantics.
   size_t total = 0;
   size_t hits = 0;
+  std::string scratch;
+  uint64_t h = 0;
   for (size_t r = 0; r < ta.num_rows(); ++r) {
-    if (!TupleKey(ta, ca, r, &key)) continue;
+    if (!TupleHash(ta, ca, r, &h, &scratch)) continue;
     ++total;
-    if (referenced.count(key)) ++hits;
+    if (referenced.count(h)) ++hits;
   }
   if (total == 0) return 0.0;
   return static_cast<double>(hits) / static_cast<double>(total);
 }
 
+double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const Table& tb, const std::vector<int>& cb) {
+  return CompositeContainment(ta, ca, BuildCompositeKeySet(tb, cb));
+}
+
 std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
                               const std::vector<TableProfile>& profiles,
                               const std::vector<std::vector<Ucc>>& uccs,
-                              const IndOptions& options) {
+                              const IndOptions& options, IndStats* stats,
+                              CompositeKeyCache* cache) {
   // Enumerate ordered pairs in the serial scan order, fan the per-pair scans
   // out, then concatenate per-pair results in that same order: the combined
   // IND list is byte-identical at any thread count.
+  CompositeKeyCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+  size_t builds_before = cache->builds();
   int n = static_cast<int>(tables.size());
   std::vector<std::pair<int, int>> pairs;
   pairs.reserve(static_cast<size_t>(n) * static_cast<size_t>(n));
@@ -176,18 +259,24 @@ std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
       if (ti != tj) pairs.emplace_back(ti, tj);
     }
   }
-  std::vector<std::vector<Ind>> per_pair = ParallelMap(
+  std::vector<PairScan> per_pair = ParallelMap(
       pairs.size(),
       [&](size_t p) {
-        return ScanTablePair(tables, profiles, uccs, options, pairs[p].first,
-                             pairs[p].second);
+        return ScanTablePair(tables, profiles, uccs, options, cache,
+                             pairs[p].first, pairs[p].second);
       },
       options.threads);
   std::vector<Ind> result;
-  for (std::vector<Ind>& part : per_pair) {
-    result.insert(result.end(), std::make_move_iterator(part.begin()),
-                  std::make_move_iterator(part.end()));
+  IndStats total;
+  for (PairScan& part : per_pair) {
+    total.Add(part.stats);
+    result.insert(result.end(), std::make_move_iterator(part.inds.begin()),
+                  std::make_move_iterator(part.inds.end()));
   }
+  // Attribute exactly the sets built during this run (the cache may be
+  // shared across calls).
+  total.composite_sets_built = cache->builds() - builds_before;
+  if (stats != nullptr) *stats = total;
   return result;
 }
 

@@ -1,6 +1,14 @@
 #ifndef AUTOBI_PROFILE_IND_H_
 #define AUTOBI_PROFILE_IND_H_
 
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "profile/column_profile.h"
@@ -27,11 +35,82 @@ struct IndOptions {
   // Also search composite (multi-column) INDs against composite UCCs of the
   // referenced table, up to this arity. 1 disables composite search.
   size_t max_arity = 2;
-  // Composite probes are capped per table pair.
+  // Composite probes are capped per table pair. When the cap is hit, ALL
+  // remaining composite probing for the pair stops and the truncation is
+  // recorded in IndStats::composite_budget_truncations (no silent caps).
   size_t max_composite_probes = 64;
   // Worker threads for the pairwise scan (ResolveThreads semantics: 0 = use
   // AUTOBI_THREADS / hardware, 1 = serial). Output is identical regardless.
   int threads = 0;
+
+  // --- KMV pre-screen (profile/sketch.h). Before running the exact
+  // sorted-merge containment on a large column pair, a bottom-k sketch
+  // estimate is computed from the first `kmv_k` entries of each side's
+  // distinct-hash vector; pairs whose estimate falls more than `kmv_slack`
+  // below the containment threshold are skipped. The screen is conservative
+  // by construction (generous slack + minimum sample + minimum size) and
+  // the defaults are validated by a test asserting candidate sets on the
+  // synthetic REAL corpus are identical with and without it.
+  bool kmv_screen = true;
+  // Sketch size (bottom-k prefix of the sorted hash vector).
+  size_t kmv_k = 256;
+  // Estimated containment must be below (threshold - kmv_slack) to skip.
+  double kmv_slack = 0.25;
+  // Minimum distinct A-values the estimate must have seen to be trusted.
+  size_t kmv_min_sample = 64;
+  // Screen only pairs whose combined distinct counts exceed this (small
+  // pairs are cheap to merge exactly; screening them risks more than it
+  // saves).
+  size_t kmv_min_merge_size = 1024;
+};
+
+// Observability counters for one DiscoverInds run (summed over table pairs
+// in deterministic pair order; thread-count invariant).
+struct IndStats {
+  size_t pairs_scanned = 0;
+  // Unary screens/evaluations.
+  size_t unary_range_screened = 0;  // Skipped by numeric-range disjointness.
+  size_t unary_kmv_screened = 0;    // Skipped by the KMV sketch screen.
+  size_t unary_exact_checks = 0;    // Exact sorted-merge containments run.
+  // Composite search.
+  size_t composite_probes = 0;      // Exact composite containments run.
+  size_t composite_sets_built = 0;  // Referenced tuple-hash sets constructed.
+  size_t composite_budget_truncations = 0;  // Pairs that hit the probe cap.
+
+  void Add(const IndStats& o) {
+    pairs_scanned += o.pairs_scanned;
+    unary_range_screened += o.unary_range_screened;
+    unary_kmv_screened += o.unary_kmv_screened;
+    unary_exact_checks += o.unary_exact_checks;
+    composite_probes += o.composite_probes;
+    composite_sets_built += o.composite_sets_built;
+    composite_budget_truncations += o.composite_budget_truncations;
+  }
+};
+
+// Thread-safe cache of referenced-side composite tuple-hash sets, keyed by
+// (table index, key columns). Under DiscoverInds' per-pair ParallelMap many
+// dependent tables probe the same referenced UCC; the cache guarantees each
+// set is built exactly once (first requester builds, concurrent requesters
+// block on a shared future), so `builds()` == number of distinct keys ever
+// requested, at any thread count.
+class CompositeKeyCache {
+ public:
+  using HashSet = std::unordered_set<uint64_t>;
+
+  // Returns the tuple-hash set of `columns` over `table` (which must be the
+  // table at `table_index` of the case), building it on first request.
+  std::shared_ptr<const HashSet> Get(const Table& table, int table_index,
+                                     const std::vector<int>& columns);
+
+  // Number of sets actually constructed so far.
+  size_t builds() const { return builds_.load(std::memory_order_relaxed); }
+
+ private:
+  using Key = std::pair<int, std::vector<int>>;
+  std::mutex mu_;
+  std::map<Key, std::shared_future<std::shared_ptr<const HashSet>>> entries_;
+  std::atomic<size_t> builds_{0};
 };
 
 // One approximate inclusion dependency: dependent ⊆ referenced (dependent is
@@ -44,19 +123,36 @@ struct Ind {
   bool IsComposite() const { return dependent.columns.size() > 1; }
 };
 
-// Exact containment of the composite tuple-set of (ta, ca) in (tb, cb):
-// fraction of distinct non-null tuples of `ca` that appear among tuples of
-// `cb`.
+// Builds the set of stable 64-bit tuple hashes of the non-null-complete
+// tuples of `columns` over `table` (the referenced side of composite
+// containment). Exposed for CompositeKeyCache and tests.
+CompositeKeyCache::HashSet BuildCompositeKeySet(const Table& table,
+                                                const std::vector<int>& cols);
+
+// Row-weighted containment of the composite tuples of (ta, ca) in a
+// prebuilt referenced tuple-hash set: fraction of ta's non-null-complete
+// `ca` tuples (per row) that appear in `referenced`.
+double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const CompositeKeyCache::HashSet& referenced);
+
+// Convenience form that builds the referenced set ad hoc. Prefer the
+// prebuilt-set overload (via CompositeKeyCache) on hot paths.
 double CompositeContainment(const Table& ta, const std::vector<int>& ca,
                             const Table& tb, const std::vector<int>& cb);
 
 // Discovers all approximate INDs between distinct tables of `tables`.
 // `profiles` must come from ProfileTables(tables); `uccs[i]` are the UCCs of
 // table i (used to direct composite probes and filter referenced sides).
+// If `stats` is non-null it receives the run's counters; if `cache` is
+// non-null referenced composite key sets are built/reused through it (pass
+// one cache across calls to share sets with e.g. reverse-containment
+// probing in GenerateCandidates), otherwise a run-local cache is used.
 std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
                               const std::vector<TableProfile>& profiles,
                               const std::vector<std::vector<Ucc>>& uccs,
-                              const IndOptions& options = {});
+                              const IndOptions& options = {},
+                              IndStats* stats = nullptr,
+                              CompositeKeyCache* cache = nullptr);
 
 }  // namespace autobi
 

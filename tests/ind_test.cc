@@ -105,6 +105,78 @@ TEST(IndTest, CompositeIndAgainstCompositeUcc) {
   EXPECT_TRUE(composite_found);
 }
 
+// Regression (PR 2 tentpole cache): the referenced composite tuple-hash set
+// is built at most once per (table, UCC) even when several dependent tables
+// probe the same UCC — before the cache it was rebuilt on every probe.
+TEST(IndTest, CompositeReferencedSetBuiltOncePerUcc) {
+  // dim's columns are individually non-unique; (a,b) is its only (minimal,
+  // composite) UCC. The three fact tables have duplicated rows, so they have
+  // no UCCs and are never referenced sides themselves.
+  std::vector<Table> tables;
+  tables.push_back(MakeTable(
+      "dim", {{"a", {"1", "1", "2", "2"}}, {"b", {"1", "2", "1", "2"}}}));
+  for (const char* name : {"f1", "f2", "f3"}) {
+    tables.push_back(MakeTable(
+        name, {{"fa", {"1", "1", "2", "2"}}, {"fb", {"1", "1", "2", "2"}}}));
+  }
+  auto profiles = ProfileTables(tables);
+  std::vector<std::vector<Ucc>> uccs;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    uccs.push_back(DiscoverUccs(tables[i], profiles[i]));
+  }
+  ASSERT_EQ(uccs[0].size(), 1u);
+  ASSERT_EQ(uccs[0][0].columns.size(), 2u);
+
+  for (int threads : {1, 8}) {
+    IndOptions opt;
+    opt.threads = threads;
+    IndStats stats;
+    DiscoverInds(tables, profiles, uccs, opt, &stats);
+    // Every fact table probed dim's (a,b) UCC...
+    EXPECT_GE(stats.composite_probes, 3u) << "threads=" << threads;
+    // ...but the referenced tuple-hash set was constructed exactly once.
+    EXPECT_EQ(stats.composite_sets_built, 1u) << "threads=" << threads;
+    EXPECT_EQ(stats.composite_budget_truncations, 0u);
+  }
+}
+
+// Regression (PR 2 budget fix): exhausting max_composite_probes terminates
+// ALL composite probing for the pair (it used to silently continue with the
+// next UCC) and the truncation is recorded, not silent.
+TEST(IndTest, CompositeBudgetTerminatesPairAndRecordsTruncation) {
+  // dim has three minimal composite UCCs: (a,b), (a,c), (b,c); each admits
+  // two source assignments from fact's (fa, fb).
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("dim", {{"a", {"1", "1", "2", "2"}},
+                                     {"b", {"1", "2", "1", "2"}},
+                                     {"c", {"1", "2", "2", "1"}}}));
+  tables.push_back(MakeTable(
+      "fact", {{"fa", {"1", "1", "2", "2"}}, {"fb", {"1", "1", "2", "2"}}}));
+  auto profiles = ProfileTables(tables);
+  std::vector<std::vector<Ucc>> uccs;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    uccs.push_back(DiscoverUccs(tables[i], profiles[i]));
+  }
+  ASSERT_EQ(uccs[0].size(), 3u);
+
+  IndOptions opt;
+  opt.max_composite_probes = 1;
+  IndStats stats;
+  DiscoverInds(tables, profiles, uccs, opt, &stats);
+  // Exactly one probe executed, then the pair's budget cut off everything —
+  // including the two untouched UCCs (5 enumerable assignments remained).
+  EXPECT_EQ(stats.composite_probes, 1u);
+  EXPECT_EQ(stats.composite_budget_truncations, 1u);
+
+  // With a budget that covers the space there is no truncation.
+  IndOptions roomy;
+  roomy.max_composite_probes = 64;
+  IndStats full;
+  DiscoverInds(tables, profiles, uccs, roomy, &full);
+  EXPECT_EQ(full.composite_budget_truncations, 0u);
+  EXPECT_EQ(full.composite_probes, 6u);
+}
+
 // Property test: discovered unary INDs exactly match a naive O(n^2)
 // reference computation over random tables.
 class IndPropertyTest : public ::testing::TestWithParam<uint64_t> {};
