@@ -27,3 +27,14 @@ echo "check.sh: ThreadSanitizer clean."
 if [[ "${AUTOBI_BENCH_SMOKE:-0}" == "1" ]]; then
   scripts/bench_smoke.sh
 fi
+
+# Opt-in fuzz smoke (AUTOBI_FUZZ_SMOKE=1): run the differential/metamorphic
+# harness under the same sanitizer build — corpus replay, the bounded gtest
+# campaign, and a fresh randomized campaign against the checked-in corpus.
+if [[ "${AUTOBI_FUZZ_SMOKE:-0}" == "1" ]]; then
+  cmake --build "$BUILD_DIR" -j --target autobi_fuzz autobi_fuzz_tests
+  "$BUILD_DIR/tests/autobi_fuzz_tests" --gtest_filter='FuzzSmoke.*'
+  "$BUILD_DIR/src/fuzz/autobi_fuzz" --seed 1 --cases 1500 --max_edges 14 \
+    --corpus tests/corpus --no_write
+  echo "check.sh: fuzz smoke clean."
+fi

@@ -61,18 +61,32 @@ KmcaResult BruteForceSubsets(const JoinGraph& graph, double penalty_weight,
                              bool enforce_fk_once) {
   size_t m = graph.num_edges();
   AUTOBI_CHECK_MSG(m <= 22, "brute force limited to 22 edges");
+  int n = graph.num_vertices();
   KmcaResult best;
   best.cost = std::numeric_limits<double>::infinity();
+  // Hoisted out of the 2^m loop (the fuzzer runs thousands of these), with
+  // an inline in-degree pre-filter: most random subsets die on in-degree
+  // before the cycle check, so skip the IsKArborescence allocations early.
+  std::vector<int> ids;
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<int> in_degree(static_cast<size_t>(n), 0);
   for (uint64_t bits = 0; bits < (1ULL << m); ++bits) {
-    std::vector<int> ids;
-    std::vector<std::pair<int, int>> pairs;
+    ids.clear();
+    pairs.clear();
+    std::fill(in_degree.begin(), in_degree.end(), 0);
+    bool in_degree_ok = true;
     for (size_t i = 0; i < m; ++i) {
       if (bits & (1ULL << i)) {
-        ids.push_back(static_cast<int>(i));
         const JoinEdge& e = graph.edge(static_cast<int>(i));
+        if (++in_degree[static_cast<size_t>(e.dst)] > 1) {
+          in_degree_ok = false;
+          break;
+        }
+        ids.push_back(static_cast<int>(i));
         pairs.emplace_back(e.src, e.dst);
       }
     }
+    if (!in_degree_ok) continue;
     if (!IsKArborescence(graph.num_vertices(), pairs)) continue;
     if (enforce_fk_once && !SatisfiesFkOnce(graph, ids)) continue;
     double cost = KArborescenceCost(graph, ids, penalty_weight);

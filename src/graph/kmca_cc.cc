@@ -108,14 +108,38 @@ KmcaResult SolveKmcaCc(const JoinGraph& graph, const KmcaCcOptions& options,
   std::vector<char> mask(graph.num_edges(), 1);
   Search(state, mask);
 
-  KmcaResult result;
-  if (state.have_best) {
-    result.edge_ids = state.best_edges;
-    result.cost = state.best_cost;
-    result.k =
-        graph.num_vertices() - static_cast<int>(state.best_edges.size());
-    result.feasible = true;
+  if (!state.have_best) {
+    // Budget exhausted before any feasible leaf was reached. Fall back to
+    // the unconstrained relaxation thinned to one edge per conflict group
+    // (cheapest wins, ties to the lowest id): dropping edges from a
+    // k-arborescence cannot create cycles or in-degree > 1, so the result
+    // always satisfies both Definition 3 and FK-once — suboptimal, but a
+    // usable model instead of an empty one. Costs one extra 1-MCA call.
+    KmcaResult relaxed =
+        SolveKmca(graph, options.penalty_weight, {}, &stats->one_mca_calls);
+    std::map<int, int> keep;  // source_key -> cheapest selected edge.
+    for (int id : relaxed.edge_ids) {
+      auto [it, inserted] = keep.emplace(graph.edge(id).source_key, id);
+      if (!inserted &&
+          graph.edge(id).weight < graph.edge(it->second).weight) {
+        it->second = id;
+      }
+    }
+    for (const auto& [key, id] : keep) {
+      (void)key;
+      state.best_edges.push_back(id);
+    }
+    std::sort(state.best_edges.begin(), state.best_edges.end());
+    state.best_cost =
+        KArborescenceCost(graph, state.best_edges, options.penalty_weight);
+    state.have_best = true;
   }
+
+  KmcaResult result;
+  result.edge_ids = state.best_edges;
+  result.cost = state.best_cost;
+  result.k = graph.num_vertices() - static_cast<int>(state.best_edges.size());
+  result.feasible = true;
   return result;
 }
 

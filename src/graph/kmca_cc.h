@@ -16,7 +16,11 @@ struct KmcaCcOptions {
   bool enforce_fk_once = true;
   // Safety valve on branch-and-bound recursion; the optimum is still
   // returned for every case in our benchmarks (real conflict sets are
-  // sparse), this only guards against adversarial inputs.
+  // sparse), this only guards against adversarial inputs. When the budget
+  // is exhausted before any feasible leaf is reached, the solver returns a
+  // greedy feasible fallback (the k-MCA relaxation thinned to one edge per
+  // conflict group) rather than an infeasible result; `budget_exhausted`
+  // reports that the answer may be suboptimal either way.
   long max_one_mca_calls = 2'000'000;
 };
 

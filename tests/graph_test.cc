@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "fuzz/corpus.h"
+#include "fuzz/differential.h"
 #include "graph/brute_force.h"
 #include "graph/edmonds.h"
 #include "graph/ems.h"
@@ -446,6 +448,56 @@ TEST(EmsTest, TauThresholdHonored) {
   EXPECT_TRUE(SolveEmsGreedy(g, {}, opt).empty());
   opt.tau = 0.5;
   EXPECT_EQ(SolveEmsGreedy(g, {}, opt).size(), 1u);
+}
+
+// --- Corpus replay.
+
+#ifndef AUTOBI_CORPUS_DIR
+#define AUTOBI_CORPUS_DIR ""
+#endif
+
+// Every checked-in fuzz-corpus case (seeded adversarial instances plus
+// minimized finds) must parse and pass the full differential cross-check.
+// Keeping this in the core graph suite means a solver regression on a known
+// repro fails even when the fuzz smoke target is not built.
+TEST(CorpusReplayTest, CheckedInCasesPassDifferentialCrossCheck) {
+  std::vector<std::string> files = ListCorpusFiles(AUTOBI_CORPUS_DIR);
+  ASSERT_GE(files.size(), 10u)
+      << "fuzz corpus missing or too small at " << AUTOBI_CORPUS_DIR;
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    CorpusCase c;
+    std::string error;
+    ASSERT_TRUE(LoadCorpusFile(path, &c, &error)) << error;
+    if (c.graph.num_edges() > 20) continue;  // Oracle cap; fuzzer covers it.
+    CheckResult r = CheckJoinGraphDifferential(c.graph, c.penalty_weight);
+    EXPECT_TRUE(r.ok) << r.kind << ": " << r.message;
+  }
+}
+
+// The corpus text format round-trips exactly (ids, columns, probabilities).
+TEST(CorpusReplayTest, FormatRoundTripsBitExactly) {
+  for (const std::string& path : ListCorpusFiles(AUTOBI_CORPUS_DIR)) {
+    SCOPED_TRACE(path);
+    CorpusCase c;
+    std::string error;
+    ASSERT_TRUE(LoadCorpusFile(path, &c, &error)) << error;
+    std::string text =
+        FormatCorpusCase(c.graph, c.penalty_weight, c.comments);
+    CorpusCase again;
+    ASSERT_TRUE(ParseCorpusCase(text, &again, &error)) << error;
+    ASSERT_EQ(again.graph.num_edges(), c.graph.num_edges());
+    for (size_t i = 0; i < c.graph.num_edges(); ++i) {
+      const JoinEdge& a = c.graph.edge(int(i));
+      const JoinEdge& b = again.graph.edge(int(i));
+      EXPECT_EQ(a.src, b.src);
+      EXPECT_EQ(a.dst, b.dst);
+      EXPECT_EQ(a.probability, b.probability);  // Bitwise via %.17g.
+      EXPECT_EQ(a.weight, b.weight);
+      EXPECT_EQ(a.source_key, b.source_key);
+      EXPECT_EQ(a.one_to_one, b.one_to_one);
+    }
+  }
 }
 
 }  // namespace

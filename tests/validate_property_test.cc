@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/validate.h"
+
+namespace autobi {
+namespace {
+
+using Pairs = std::vector<std::pair<int, int>>;
+
+// --- Naive reference implementations, deliberately written with a different
+// algorithmic strategy than src/graph/validate.cc so shared bugs are
+// unlikely: reachability via O(V^3) transitive closure and components via
+// O(V * E) label propagation, vs. the library's DFS/union-find.
+
+bool NaiveHasDirectedCycle(int n, const Pairs& arcs) {
+  std::vector<std::vector<char>> reach(size_t(n),
+                                       std::vector<char>(size_t(n), 0));
+  for (const auto& [src, dst] : arcs) reach[size_t(src)][size_t(dst)] = 1;
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (reach[size_t(i)][size_t(k)] && reach[size_t(k)][size_t(j)]) {
+          reach[size_t(i)][size_t(j)] = 1;
+        }
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (reach[size_t(v)][size_t(v)]) return true;
+  }
+  return false;
+}
+
+int NaiveCountWeakComponents(int n, const Pairs& arcs) {
+  std::vector<int> label(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) label[size_t(v)] = v;
+  // Propagate minimum labels across (undirected) arcs until fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [src, dst] : arcs) {
+      int m = std::min(label[size_t(src)], label[size_t(dst)]);
+      if (label[size_t(src)] != m || label[size_t(dst)] != m) {
+        label[size_t(src)] = m;
+        label[size_t(dst)] = m;
+        changed = true;
+      }
+    }
+  }
+  int count = 0;
+  for (int v = 0; v < n; ++v) {
+    if (label[size_t(v)] == v) ++count;
+  }
+  return count;
+}
+
+bool NaiveIsKArborescence(int n, const Pairs& arcs, int* k_out) {
+  std::vector<int> in_degree(size_t(n), 0);
+  for (const auto& [src, dst] : arcs) {
+    (void)src;
+    ++in_degree[size_t(dst)];
+  }
+  for (int v = 0; v < n; ++v) {
+    if (in_degree[size_t(v)] > 1) return false;
+  }
+  if (NaiveHasDirectedCycle(n, arcs)) return false;
+  if (k_out != nullptr) *k_out = NaiveCountWeakComponents(n, arcs);
+  return true;
+}
+
+// Random digraph with the shapes the predicates must survive: self-loops,
+// exact duplicate arcs, and vertices no arc touches.
+Pairs GenArcs(int n, Rng& rng) {
+  Pairs arcs;
+  int m = int(rng.NextInt(0, 3 * n));
+  for (int i = 0; i < m; ++i) {
+    if (!arcs.empty() && rng.NextBool(0.15)) {
+      arcs.push_back(arcs[rng.NextBelow(arcs.size())]);  // Duplicate.
+      continue;
+    }
+    int src = int(rng.NextBelow(uint64_t(n)));
+    int dst = rng.NextBool(0.1) ? src : int(rng.NextBelow(uint64_t(n)));
+    arcs.emplace_back(src, dst);
+  }
+  return arcs;
+}
+
+TEST(ValidatePropertyTest, MatchesNaiveReferencesOnRandomDigraphs) {
+  Rng master(0xA11DA7EULL);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Rng rng = master.Fork();
+    int n = int(rng.NextInt(1, 9));
+    Pairs arcs = GenArcs(n, rng);
+
+    SCOPED_TRACE(testing::Message() << "trial=" << trial << " n=" << n
+                                    << " m=" << arcs.size());
+    EXPECT_EQ(HasDirectedCycle(n, arcs), NaiveHasDirectedCycle(n, arcs));
+    EXPECT_EQ(CountWeakComponents(n, arcs),
+              NaiveCountWeakComponents(n, arcs));
+
+    int k = -1, naive_k = -1;
+    bool is = IsKArborescence(n, arcs, &k);
+    bool naive_is = NaiveIsKArborescence(n, arcs, &naive_k);
+    EXPECT_EQ(is, naive_is);
+    if (is && naive_is) {
+      EXPECT_EQ(k, naive_k);
+    }
+  }
+}
+
+TEST(ValidatePropertyTest, IsolatedVerticesCountAsComponents) {
+  // No arcs: every vertex is its own trivial arborescence.
+  for (int n = 1; n <= 6; ++n) {
+    int k = 0;
+    EXPECT_TRUE(IsKArborescence(n, {}, &k));
+    EXPECT_EQ(k, n);
+    EXPECT_EQ(CountWeakComponents(n, {}), n);
+    EXPECT_FALSE(HasDirectedCycle(n, {}));
+  }
+}
+
+TEST(ValidatePropertyTest, SelfLoopIsACycleAndDuplicateArcBreaksInDegree) {
+  EXPECT_TRUE(HasDirectedCycle(2, {{1, 1}}));
+  EXPECT_FALSE(IsKArborescence(2, {{1, 1}}));
+  // The same arc twice gives in-degree 2 at its head.
+  EXPECT_FALSE(IsKArborescence(3, {{0, 1}, {0, 1}}));
+  // ...but duplicates do not confuse weak-component counting.
+  EXPECT_EQ(CountWeakComponents(3, {{0, 1}, {0, 1}}), 2);
+}
+
+}  // namespace
+}  // namespace autobi
