@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke run: builds Release, runs the profiling
-# micro-benchmark (machine-readable) and the Figure 5 latency benchmark, and
-# writes BENCH_pr2.json at the repo root. Each perf-focused PR writes its own
-# BENCH_<pr>.json with the same shape, so the trajectory of the hot kernels
-# (candidate-generation above all) accumulates in-repo and regressions are
-# diffable.
+# micro-benchmark (machine-readable), the Figure 5 latency benchmark, and the
+# PR 4 solver comparison (legacy vs wave-parallel k-MCA-CC on adversarial
+# instances), and writes BENCH_pr4.json at the repo root. Each perf-focused
+# PR writes its own BENCH_<pr>.json with the same shape, so the trajectory of
+# the hot kernels accumulates in-repo and regressions are diffable.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]     (default: build-bench)
 # Scale knobs (see DESIGN.md §3): AUTOBI_REAL_CASES (default 2 here — smoke,
@@ -13,14 +13,17 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
-OUT="BENCH_pr2.json"
+OUT="BENCH_pr4.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_profile bench_fig5_latency \
-  > /dev/null
+  bench_fig6_kmcacc > /dev/null
 
 echo "bench_smoke: running bench_micro_profile..." >&2
 MICRO_JSON="$("$BUILD_DIR/bench/bench_micro_profile" --json)"
+
+echo "bench_smoke: running bench_fig6_kmcacc --json (solver comparison)..." >&2
+SOLVER_JSON="$("$BUILD_DIR/bench/bench_fig6_kmcacc" --json)"
 
 export AUTOBI_REAL_CASES="${AUTOBI_REAL_CASES:-2}"
 FIG5_LOG="$BUILD_DIR/fig5_latency.txt"
@@ -50,9 +53,9 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "pr": 2,
+  "pr": 4,
   "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "note": "hash-sketch profiling layer: sorted-hash containment merge, KMV pre-screen, composite key-set cache",
+  "note": "fast k-MCA-CC: reusable Edmonds workspace + shared augmented instance, best-first wave-parallel branch-and-bound, canonical-signature memoization",
   "real_cases_per_bucket": $AUTOBI_REAL_CASES,
   "fig5b_auto_bi_mean_seconds": {
     "ucc": $UCC,
@@ -60,6 +63,7 @@ cat > "$OUT" <<EOF
     "local_inference": $LOCAL,
     "global_predict": $GLOBAL
   },
+  "solver": $SOLVER_JSON,
   "micro": $MICRO_JSON
 }
 EOF

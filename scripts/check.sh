@@ -2,7 +2,9 @@
 # Data-race check for the parallel pipeline: build with ThreadSanitizer and
 # run the concurrency-sensitive suites (pool semantics + cross-thread-count
 # determinism, plus the core pipeline tests that exercise every parallel
-# stage). Any TSan report fails the run (halt_on_error).
+# stage, plus the 1-vs-8-thread solver determinism sweep for the
+# wave-parallel k-MCA-CC branch-and-bound). Any TSan report fails the run
+# (halt_on_error).
 #
 # Usage: scripts/check.sh [build-dir]     (default: build-tsan)
 set -euo pipefail
@@ -11,7 +13,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DAUTOBI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j --target autobi_parallel_tests autobi_core_tests
+cmake --build "$BUILD_DIR" -j --target autobi_parallel_tests autobi_core_tests \
+  autobi_fuzz_tests
 
 export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
 # Force multi-threaded execution even on small machines so races are reachable.
@@ -20,7 +23,18 @@ export AUTOBI_THREADS="${AUTOBI_THREADS:-4}"
 "$BUILD_DIR/tests/autobi_parallel_tests"
 "$BUILD_DIR/tests/autobi_core_tests"
 
-echo "check.sh: ThreadSanitizer clean."
+# Solver determinism under TSan: the wave-parallel branch-and-bound must be
+# byte-identical (results and stats) at 1, 2, and 8 threads, with the
+# parallel relaxation phase actually racing real pool workers. Runs the
+# explicit-threads sweep, then the whole suite again under the forced
+# AUTOBI_THREADS=1 and =8 environment overrides.
+"$BUILD_DIR/tests/autobi_fuzz_tests" --gtest_filter='SolverDeterminismTest.*'
+AUTOBI_THREADS=1 "$BUILD_DIR/tests/autobi_fuzz_tests" \
+  --gtest_filter='SolverDeterminismTest.*'
+AUTOBI_THREADS=8 "$BUILD_DIR/tests/autobi_fuzz_tests" \
+  --gtest_filter='SolverDeterminismTest.*'
+
+echo "check.sh: ThreadSanitizer clean (pipeline + solver determinism)."
 
 # Opt-in perf smoke (AUTOBI_BENCH_SMOKE=1): refresh the BENCH_*.json perf
 # trajectory after the sanitizer gate passes.

@@ -129,6 +129,19 @@ CheckResult CheckJoinGraphDifferential(const JoinGraph& g,
                   brute_cc.cost, IdsToString(brute_cc.edge_ids).c_str()));
   }
 
+  // --- New wave-parallel k-MCA-CC vs the frozen serial reference. Cost
+  // only: both are exact, but equal-cost optima may resolve to different
+  // edge sets (the legacy search has no lexicographic incumbent rule).
+  KmcaResult legacy_cc = SolveKmcaCcLegacy(g, cc_opt);
+  if (std::fabs(fast_cc.cost - legacy_cc.cost) >
+      CostTolerance(fast_cc.cost, legacy_cc.cost)) {
+    return CheckFail(
+        "kmca_cc_legacy_mismatch",
+        StrFormat("SolveKmcaCc=%.17g %s vs SolveKmcaCcLegacy=%.17g %s",
+                  fast_cc.cost, IdsToString(fast_cc.edge_ids).c_str(),
+                  legacy_cc.cost, IdsToString(legacy_cc.edge_ids).c_str()));
+  }
+
   // --- k-MCA vs exhaustive oracle.
   KmcaResult fast_k = SolveKmca(g, penalty_weight);
   if (CheckResult v = ValidateKmcaResult(g, fast_k, penalty_weight,
@@ -216,6 +229,18 @@ CheckResult CheckArcDifferential(const ArcInstance& instance) {
   if (!again.has_value() || *again != *fast) {
     return CheckFail("edmonds_nondeterministic",
                      StrFormat("repeated solves differ on %s",
+                               FormatArcInstance(instance).c_str()));
+  }
+
+  // --- Iterative workspace vs the frozen recursive reference: the
+  // contraction orders are mirrored exactly, so the selected arc indices
+  // (not just the weight) must match arc-for-arc.
+  auto legacy = SolveMinCostArborescenceLegacy(instance.num_vertices,
+                                               instance.arcs, instance.root);
+  if (!legacy.has_value() || *legacy != *fast) {
+    return CheckFail("edmonds_legacy_mismatch",
+                     StrFormat("iterative workspace and recursive reference "
+                               "select different arcs on %s",
                                FormatArcInstance(instance).c_str()));
   }
   return CheckResult{};

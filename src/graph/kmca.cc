@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "graph/edmonds.h"
 
 namespace autobi {
 
@@ -16,47 +15,66 @@ double KArborescenceCost(const JoinGraph& graph,
   return sum + (k - 1) * penalty_weight;
 }
 
+KmcaInstance BuildKmcaInstance(const JoinGraph& graph, double penalty_weight) {
+  KmcaInstance inst;
+  int n = graph.num_vertices();
+  inst.num_vertices = n;
+  inst.artificial_root = n;
+  inst.arcs.reserve(graph.num_edges() + static_cast<size_t>(n));
+  inst.arc_to_edge.reserve(inst.arcs.capacity());
+  for (const JoinEdge& e : graph.edges()) {
+    inst.arcs.push_back(Arc{e.src, e.dst, e.weight});
+    inst.arc_to_edge.push_back(e.id);
+  }
+  for (int v = 0; v < n; ++v) {
+    inst.arcs.push_back(Arc{inst.artificial_root, v, penalty_weight});
+    inst.arc_to_edge.push_back(-1);
+  }
+  return inst;
+}
+
+void SolveKmcaOverInstance(const JoinGraph& graph, const KmcaInstance& inst,
+                           const char* edge_mask, double penalty_weight,
+                           EdmondsWorkspace& workspace, KmcaResult* out) {
+  out->edge_ids.clear();
+  out->cost = 0.0;
+  out->k = 0;
+  out->feasible = false;
+  int n = inst.num_vertices;
+  if (n == 0) {
+    out->feasible = true;
+    return;
+  }
+
+  bool ok = workspace.Solve(n + 1, inst.arcs, inst.artificial_root,
+                            inst.arc_to_edge.data(), edge_mask);
+  // With the artificial root every vertex is reachable, so this always
+  // succeeds.
+  AUTOBI_CHECK(ok);
+
+  for (int ai : workspace.selected()) {
+    int edge_id = inst.arc_to_edge[size_t(ai)];
+    if (edge_id >= 0) out->edge_ids.push_back(edge_id);
+  }
+  std::sort(out->edge_ids.begin(), out->edge_ids.end());
+  out->k = n - static_cast<int>(out->edge_ids.size());
+  out->cost = KArborescenceCost(graph, out->edge_ids, penalty_weight);
+  out->feasible = true;
+}
+
 KmcaResult SolveKmca(const JoinGraph& graph, double penalty_weight,
                      const std::vector<char>& mask, long* one_mca_calls) {
   KmcaResult result;
-  int n = graph.num_vertices();
-  if (n == 0) {
+  if (graph.num_vertices() == 0) {
     result.feasible = true;
     result.k = 0;
     return result;
   }
-
-  // Build the augmented instance G' = (V + {r}, E + {r->v}) of Algorithm 2.
-  // Arc indices < graph.num_edges() are real edges; the rest are artificial.
-  std::vector<Arc> arcs;
-  arcs.reserve(graph.num_edges() + static_cast<size_t>(n));
-  std::vector<int> arc_to_edge;
-  arc_to_edge.reserve(arcs.capacity());
-  for (const JoinEdge& e : graph.edges()) {
-    if (!mask.empty() && !mask[size_t(e.id)]) continue;
-    arcs.push_back(Arc{e.src, e.dst, e.weight});
-    arc_to_edge.push_back(e.id);
-  }
-  int artificial_root = n;
-  for (int v = 0; v < n; ++v) {
-    arcs.push_back(Arc{artificial_root, v, penalty_weight});
-    arc_to_edge.push_back(-1);
-  }
-
-  auto selected = SolveMinCostArborescence(n + 1, arcs, artificial_root);
+  KmcaInstance inst = BuildKmcaInstance(graph, penalty_weight);
+  static thread_local EdmondsWorkspace workspace;
+  SolveKmcaOverInstance(graph, inst, mask.empty() ? nullptr : mask.data(),
+                        penalty_weight, workspace, &result);
   if (one_mca_calls != nullptr) ++(*one_mca_calls);
-  // With the artificial root every vertex is reachable, so this always
-  // succeeds.
-  AUTOBI_CHECK(selected.has_value());
-
-  for (int ai : *selected) {
-    int edge_id = arc_to_edge[size_t(ai)];
-    if (edge_id >= 0) result.edge_ids.push_back(edge_id);
-  }
-  std::sort(result.edge_ids.begin(), result.edge_ids.end());
-  result.k = n - static_cast<int>(result.edge_ids.size());
-  result.cost = KArborescenceCost(graph, result.edge_ids, penalty_weight);
-  result.feasible = true;
   return result;
 }
 

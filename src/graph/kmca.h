@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "graph/edmonds.h"
 #include "graph/join_graph.h"
 
 namespace autobi {
@@ -27,6 +28,32 @@ struct KmcaResult {
 double KArborescenceCost(const JoinGraph& graph,
                          const std::vector<int>& edge_ids,
                          double penalty_weight);
+
+// The augmented 1-MCA instance G' = (V + {r}, E + {r->v}) of Algorithm 2,
+// materialized once per (graph, penalty): real edges in id order followed by
+// one artificial root->v arc per vertex. `arc_to_edge[i]` maps arc i back to
+// its JoinGraph edge id (-1 for artificial arcs). The branch-and-bound of
+// k-MCA-CC builds this once per SolveKmcaCc call and shares it read-only
+// across every search node; per-node availability is expressed as an edge
+// mask applied by EdmondsWorkspace at scan time, so no node ever copies or
+// filters the arc array.
+struct KmcaInstance {
+  int num_vertices = 0;
+  int artificial_root = 0;
+  std::vector<Arc> arcs;
+  std::vector<int> arc_to_edge;
+};
+
+KmcaInstance BuildKmcaInstance(const JoinGraph& graph, double penalty_weight);
+
+// Solves k-MCA over a prebuilt augmented instance. `edge_mask` is indexed by
+// edge id (nullptr = every edge available); artificial arcs are always
+// available. Scratch lives in `workspace` and `out`'s buffers are reused, so
+// repeated solves perform no heap allocation in the steady state. Results
+// are identical to SolveKmca on the equivalently masked graph.
+void SolveKmcaOverInstance(const JoinGraph& graph, const KmcaInstance& inst,
+                           const char* edge_mask, double penalty_weight,
+                           EdmondsWorkspace& workspace, KmcaResult* out);
 
 // Algorithm 2: solves k-MCA optimally by adding an artificial root with
 // penalty-weight edges to every vertex, solving one 1-MCA instance, and
