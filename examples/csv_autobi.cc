@@ -82,27 +82,27 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    DdlSchema schema;
-    std::string error;
-    if (!ParseSqlDdl(buf.str(), &schema, &error)) {
-      std::fprintf(stderr, "error parsing DDL: %s\n", error.c_str());
+    StatusOr<DdlSchema> schema = ParseSqlDdl(buf.str());
+    if (!schema.ok()) {
+      std::fprintf(stderr, "error parsing DDL: %s\n",
+                   schema.status().ToString().c_str());
       return 1;
     }
-    tables = std::move(schema.tables);
+    tables = std::move(schema.value().tables);
     std::fprintf(stderr, "parsed %zu tables from DDL (schema-only mode)\n",
                  tables.size());
   } else {
     for (const std::string& path : files) {
-      Table t;
-      std::string error;
-      if (!ReadCsvFile(path, &t, &error)) {
+      StatusOr<Table> t = ReadCsvFile(path);
+      if (!t.ok()) {
         std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
-                     error.c_str());
+                     t.status().ToString().c_str());
         return 1;
       }
       std::fprintf(stderr, "loaded %s: %zu rows, %zu columns\n",
-                   t.name().c_str(), t.num_rows(), t.num_columns());
-      tables.push_back(std::move(t));
+                   t.value().name().c_str(), t.value().num_rows(),
+                   t.value().num_columns());
+      tables.push_back(std::move(t).value());
     }
   }
 
@@ -110,14 +110,28 @@ int main(int argc, char** argv) {
   AutoBiOptions options;
   if (schema_only) options.mode = AutoBiMode::kSchemaOnly;
   AutoBi auto_bi(&model, options);
-  AutoBiResult result = auto_bi.Predict(tables);
+  StatusOr<AutoBiResult> predicted = auto_bi.Predict(tables, nullptr);
+  if (!predicted.ok()) {
+    std::fprintf(stderr, "prediction failed: %s\n",
+                 predicted.status().ToString().c_str());
+    return 1;
+  }
+  const AutoBiResult& result = predicted.value();
 
+  auto print_export = [&](StatusOr<std::string> rendered) {
+    if (!rendered.ok()) {
+      std::fprintf(stderr, "export failed: %s\n",
+                   rendered.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("%s", rendered.value().c_str());
+  };
   if (format == "dot") {
-    std::printf("%s", ExportDot(tables, result.model).c_str());
+    print_export(ExportDot(tables, result.model));
   } else if (format == "sql") {
-    std::printf("%s", ExportSqlDdl(tables, result.model).c_str());
+    print_export(ExportSqlDdl(tables, result.model));
   } else if (format == "json") {
-    std::printf("%s", ExportJson(tables, result.model).c_str());
+    print_export(ExportJson(tables, result.model));
   } else {
     std::printf("Predicted BI model (%zu joins):\n",
                 result.model.joins.size());

@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
     BiGenOptions gen;
     gen.num_tables = 7;
     BiCase demo = GenerateBiCase(gen, rng);
-    std::string error;
-    if (!SaveCase(demo, argv[2], &error)) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
+    Status saved = SaveCase(demo, argv[2]);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
       return 1;
     }
     std::printf("wrote demo case '%s' (%zu tables, %zu joins) to %s\n",
@@ -47,12 +47,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  BiCase bi_case;
-  std::string error;
-  if (!LoadCase(argv[1], &bi_case, &error)) {
-    std::fprintf(stderr, "error loading case: %s\n", error.c_str());
+  StatusOr<BiCase> loaded = LoadCase(argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error loading case: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  BiCase bi_case = std::move(loaded).value();
   std::printf("case '%s': %zu tables, %zu ground-truth joins\n",
               bi_case.name.c_str(), bi_case.tables.size(),
               bi_case.ground_truth.joins.size());

@@ -56,8 +56,8 @@ int main() {
   }
 
   std::printf("\n--- Graphviz DOT ---\n%s",
-              ExportDot(tpch.tables, r.model).c_str());
+              ExportDot(tpch.tables, r.model).value_or("").c_str());
   std::printf("\n--- SQL DDL ---\n%s",
-              ExportSqlDdl(tpch.tables, r.model).c_str());
+              ExportSqlDdl(tpch.tables, r.model).value_or("").c_str());
   return 0;
 }

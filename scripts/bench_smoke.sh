@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke run: builds Release, runs the profiling
-# micro-benchmark (machine-readable), the Figure 5 latency benchmark, and the
+# micro-benchmark (machine-readable), the Figure 5 latency benchmark, the
 # PR 4 solver comparison (legacy vs wave-parallel k-MCA-CC on adversarial
-# instances), and writes BENCH_pr4.json at the repo root. Each perf-focused
-# PR writes its own BENCH_<pr>.json with the same shape, so the trajectory of
-# the hot kernels accumulates in-repo and regressions are diffable.
+# instances), and the PR 5 RunContext overhead guard (Predict with an armed
+# but untripped context vs no context; must stay under 2%), and writes
+# BENCH_pr5.json at the repo root. Each perf-focused PR writes its own
+# BENCH_<pr>.json with the same shape, so the trajectory of the hot kernels
+# accumulates in-repo and regressions are diffable.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]     (default: build-bench)
 # Scale knobs (see DESIGN.md §3): AUTOBI_REAL_CASES (default 2 here — smoke,
@@ -13,17 +15,20 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
-OUT="BENCH_pr4.json"
+OUT="BENCH_pr5.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_profile bench_fig5_latency \
-  bench_fig6_kmcacc > /dev/null
+  bench_fig6_kmcacc bench_micro_pipeline > /dev/null
 
 echo "bench_smoke: running bench_micro_profile..." >&2
 MICRO_JSON="$("$BUILD_DIR/bench/bench_micro_profile" --json)"
 
 echo "bench_smoke: running bench_fig6_kmcacc --json (solver comparison)..." >&2
 SOLVER_JSON="$("$BUILD_DIR/bench/bench_fig6_kmcacc" --json)"
+
+echo "bench_smoke: running bench_micro_pipeline --json (RunContext overhead)..." >&2
+RUNCTX_JSON="$("$BUILD_DIR/bench/bench_micro_pipeline" --json)"
 
 export AUTOBI_REAL_CASES="${AUTOBI_REAL_CASES:-2}"
 FIG5_LOG="$BUILD_DIR/fig5_latency.txt"
@@ -53,9 +58,9 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "pr": 4,
+  "pr": 5,
   "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "note": "fast k-MCA-CC: reusable Edmonds workspace + shared augmented instance, best-first wave-parallel branch-and-bound, canonical-signature memoization",
+  "note": "hardened service layer: Status/StatusOr propagation, RunContext deadlines/budgets through the pipeline, fault-injection harness; runcontext section guards the armed-but-untripped context overhead (< 2%)",
   "real_cases_per_bucket": $AUTOBI_REAL_CASES,
   "fig5b_auto_bi_mean_seconds": {
     "ucc": $UCC,
@@ -63,6 +68,7 @@ cat > "$OUT" <<EOF
     "local_inference": $LOCAL,
     "global_predict": $GLOBAL
   },
+  "runcontext": $RUNCTX_JSON,
   "solver": $SOLVER_JSON,
   "micro": $MICRO_JSON
 }

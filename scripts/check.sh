@@ -12,6 +12,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
+# --- Service-layer lint (always on; no build needed). New code must use
+# Status/StatusOr on fallible paths, not bool+out-param errors, and must
+# never call std::abort() outside the AUTOBI_CHECK machinery itself.
+lint_fail=0
+if grep -rnE 'bool [A-Za-z_]+\([^)]*std::string\* *error' src/*/*.h; then
+  echo "check.sh: LINT FAIL — bool+std::string* error out-param signature;" \
+       "use Status/StatusOr (common/status.h) instead." >&2
+  lint_fail=1
+fi
+if grep -rn 'std::abort()' src --include='*.cc' --include='*.h' \
+    | grep -v 'src/common/check.h'; then
+  echo "check.sh: LINT FAIL — bare std::abort() outside common/check.h;" \
+       "use AUTOBI_CHECK for invariants or return a Status." >&2
+  lint_fail=1
+fi
+[[ "$lint_fail" == "0" ]] || exit 1
+echo "check.sh: service-layer lint clean."
+
 cmake -B "$BUILD_DIR" -S . -DAUTOBI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target autobi_parallel_tests autobi_core_tests \
   autobi_fuzz_tests
@@ -51,4 +69,18 @@ if [[ "${AUTOBI_FUZZ_SMOKE:-0}" == "1" ]]; then
   "$BUILD_DIR/src/fuzz/autobi_fuzz" --seed 1 --cases 1500 --max_edges 14 \
     --corpus tests/corpus --no_write
   echo "check.sh: fuzz smoke clean."
+fi
+
+# Opt-in fault-injection smoke (AUTOBI_FAULT_SMOKE=1): build the end-to-end
+# fault campaign under ASan/UBSan and run it. Every case must yield a
+# well-formed Status or a validator-passing (possibly degraded) model — no
+# crash, hang, or leak (leaks are ASan-fatal by default).
+if [[ "${AUTOBI_FAULT_SMOKE:-0}" == "1" ]]; then
+  ASAN_BUILD_DIR="${AUTOBI_ASAN_BUILD_DIR:-build-asan}"
+  cmake -B "$ASAN_BUILD_DIR" -S . -DAUTOBI_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$ASAN_BUILD_DIR" -j --target autobi_faultfuzz
+  UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+    "$ASAN_BUILD_DIR/src/fuzz/autobi_faultfuzz" --seed 1 --cases 500
+  echo "check.sh: fault-injection smoke clean (ASan/UBSan)."
 fi

@@ -1,0 +1,49 @@
+#include "common/run_context.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace autobi {
+
+void RunContext::set_deadline(std::chrono::steady_clock::time_point deadline) {
+  deadline_ = deadline;
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void RunContext::set_deadline_after(double seconds) {
+  set_deadline(std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(seconds)));
+}
+
+void RunContext::clear_deadline() {
+  has_deadline_.store(false, std::memory_order_relaxed);
+}
+
+double RunContext::SecondsRemaining() const {
+  if (!has_deadline()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+bool RunContext::StopRequested() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  if (!has_deadline_.load(std::memory_order_acquire)) return false;
+  return std::chrono::steady_clock::now() >= deadline_;
+}
+
+Status RunContext::CheckStop(const char* stage) const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled(StrFormat("run cancelled before %s", stage));
+  }
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        StrFormat("deadline exceeded before %s", stage));
+  }
+  return Status::Ok();
+}
+
+}  // namespace autobi

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace autobi {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidInput:
+      return "INVALID_INPUT";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";  // invariant: all enumerators handled above.
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok() || context.empty()) return *this;
+  std::string chained;
+  chained.reserve(context.size() + 2 + message_.size());
+  chained.append(context);
+  chained.append(": ");
+  chained.append(message_);
+  return Status(code_, std::move(chained));
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace autobi

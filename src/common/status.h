@@ -1,0 +1,154 @@
+#ifndef AUTOBI_COMMON_STATUS_H_
+#define AUTOBI_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace autobi {
+
+// Typed error propagation for every untrusted-input surface of the service
+// layer (ARCHITECTURE.md, "Error handling & graceful degradation"). The
+// contract: any bytes in, a typed error or a best-effort degraded model out —
+// never a crash or a hang. AUTOBI_CHECK stays reserved for true programmer
+// invariants; anything reachable from file/CSV/DDL bytes returns a Status.
+
+enum class StatusCode {
+  kOk = 0,
+  // Malformed or semantically invalid input (unparseable bytes, references
+  // out of range, inconsistent manifest...).
+  kInvalidInput,
+  // A RunContext deadline expired before the operation finished.
+  kDeadlineExceeded,
+  // The RunContext was cancelled cooperatively.
+  kCancelled,
+  // A resource budget was exceeded (byte caps, row/cell/pair budgets).
+  kResourceExhausted,
+  // Environment failures and caught internal exceptions (I/O errors,
+  // injected faults, unexpected std::exception at a service boundary).
+  kInternal,
+};
+
+// Stable upper-case name ("OK", "INVALID_INPUT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying a code plus a human-readable message. Context
+// is chained outermost-first: callers wrap callee errors via WithContext, so
+// a deep failure reads "load case: read table.csv: unterminated quoted
+// field".
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidInput(std::string message) {
+    return Status(StatusCode::kInvalidInput, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns a copy with `context` prepended ("context: message"). No-op on
+  // OK statuses, so it is safe inside AUTOBI_RETURN_IF_ERROR chains.
+  Status WithContext(std::string_view context) const;
+
+  // "CODE_NAME: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+  bool operator!=(const Status& o) const { return !(*this == o); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A Status or a value of type T. Accessing value() on an error status is a
+// programmer invariant violation (checked), mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    AUTOBI_CHECK_MSG(!status_.ok(),
+                     "StatusOr constructed from an OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AUTOBI_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    AUTOBI_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    AUTOBI_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // The value, or `fallback` on error (degraded-path convenience).
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ is meaningful.
+  T value_{};
+};
+
+// Propagates a non-OK Status to the caller.
+//
+//   AUTOBI_RETURN_IF_ERROR(DoThing().WithContext("doing thing"));
+#define AUTOBI_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::autobi::Status autobi_status_tmp_ = (expr);   \
+    if (!autobi_status_tmp_.ok()) {                 \
+      return autobi_status_tmp_;                    \
+    }                                               \
+  } while (0)
+
+// Unwraps a StatusOr into `lhs`, propagating errors to the caller.
+//
+//   AUTOBI_ASSIGN_OR_RETURN(Table t, ReadCsv(text, "name"));
+#define AUTOBI_ASSIGN_OR_RETURN(lhs, expr) \
+  AUTOBI_ASSIGN_OR_RETURN_IMPL_(           \
+      AUTOBI_STATUS_CONCAT_(autobi_statusor_, __LINE__), lhs, expr)
+
+#define AUTOBI_STATUS_CONCAT_INNER_(a, b) a##b
+#define AUTOBI_STATUS_CONCAT_(a, b) AUTOBI_STATUS_CONCAT_INNER_(a, b)
+#define AUTOBI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace autobi
+
+#endif  // AUTOBI_COMMON_STATUS_H_

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/strings.h"
 #include "common/timer.h"
 #include "graph/ems.h"
 #include "graph/kmca.h"
@@ -14,6 +17,8 @@ namespace autobi {
 
 AutoBi::AutoBi(const LocalModel* model, AutoBiOptions options)
     : model_(model), options_(std::move(options)) {
+  // invariant: constructing a predictor without a trained model is a
+  // programmer error, not an input error.
   AUTOBI_CHECK(model_ != nullptr);
 }
 
@@ -35,30 +40,48 @@ BiModel EdgesToModel(const JoinGraph& graph, const std::vector<int>& edges) {
   return model;
 }
 
-AutoBiResult AutoBi::Predict(const std::vector<Table>& tables) const {
+namespace {
+
+// The pipeline proper. May throw (pool-propagated worker exceptions,
+// injected parallel-task faults); the public entry point converts those to
+// kInternal.
+AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
+                         const std::vector<Table>& tables,
+                         const RunContext* ctx) {
   AutoBiResult result;
-  result.timing.threads = ResolveThreads(options_.threads);
+  result.timing.threads = ResolveThreads(options.threads);
 
   // Stage 1+2: UCC and IND discovery (candidate generation). The top-level
   // thread setting flows into candidate generation unless the caller pinned
   // a stage-specific count.
-  CandidateGenOptions cand_options = options_.candidates;
-  if (cand_options.threads == 0) cand_options.threads = options_.threads;
-  CandidateSet candidates = GenerateCandidates(tables, cand_options);
+  CandidateGenOptions cand_options = options.candidates;
+  if (cand_options.threads == 0) cand_options.threads = options.threads;
+  CandidateSet candidates = GenerateCandidates(tables, cand_options, ctx);
   result.timing.ucc = candidates.ucc_seconds;
   result.timing.ind = candidates.ind_seconds;
+  result.degradation.ucc = candidates.ucc_health;
+  result.degradation.ind = candidates.ind_health;
 
   // Stage 3: local inference — featurize and score each candidate with the
   // calibrated classifiers (Algorithm 1).
-  bool schema_only = options_.mode == AutoBiMode::kSchemaOnly;
-  result.graph = BuildJoinGraph(tables, candidates, *model_, schema_only,
+  bool schema_only = options.mode == AutoBiMode::kSchemaOnly;
+  result.graph = BuildJoinGraph(tables, candidates, model, schema_only,
                                 &result.timing.local_inference,
-                                options_.threads);
+                                options.threads, ctx,
+                                &result.degradation.local_inference);
   const JoinGraph& graph = result.graph;
 
   // Stage 4: global prediction.
   Timer global_timer;
-  if (options_.lc_only) {
+  if (ctx != nullptr && ctx->StopRequested()) {
+    // Stage-boundary trip: an empty model is always feasible; return it
+    // rather than starting a solve we are not allowed to finish.
+    result.degradation.global_predict.MarkDegraded(
+        "run stopped before global solve; empty model returned");
+    result.timing.global_predict = global_timer.Seconds();
+    return result;
+  }
+  if (options.lc_only) {
     // Ablation: keep every edge with calibrated probability >= 0.5, no graph
     // optimization (the "LC-only" bar of Figure 8).
     std::vector<int> kept;
@@ -72,28 +95,45 @@ AutoBiResult AutoBi::Predict(const std::vector<Table>& tables) const {
   }
 
   double penalty =
-      -std::log(JoinGraph::ClampProbability(options_.penalty_probability));
+      -std::log(JoinGraph::ClampProbability(options.penalty_probability));
 
-  if (options_.use_precision_mode) {
+  if (options.use_precision_mode) {
     // Precision mode: the most probable k-snowflakes under FK-once
-    // (k-MCA-CC, Algorithm 3).
-    KmcaCcOptions solver = options_.solver;
+    // (k-MCA-CC, Algorithm 3). The RunContext 1-MCA budget tightens (never
+    // loosens) the solver's own call budget; on exhaustion the solver
+    // returns its greedy feasible fallback and we record the degradation.
+    KmcaCcOptions solver = options.solver;
     solver.penalty_weight = penalty;
-    solver.enforce_fk_once = options_.enforce_fk_once;
+    solver.enforce_fk_once = options.enforce_fk_once;
+    if (ctx != nullptr && ctx->budgets.max_one_mca_calls > 0) {
+      solver.max_one_mca_calls =
+          std::min(solver.max_one_mca_calls, ctx->budgets.max_one_mca_calls);
+    }
     Timer kmca_timer;
     KmcaResult backbone = SolveKmcaCc(graph, solver, &result.solver_stats);
     result.kmca_cc_seconds = kmca_timer.Seconds();
     result.backbone_edges = backbone.edge_ids;
+    if (result.solver_stats.budget_exhausted) {
+      result.degradation.global_predict.MarkDegraded(
+          "1-MCA call budget exhausted; greedy feasible backbone");
+    }
   } else {
     // Ablation "no-precision-mode": recall mode growing from nothing.
     result.backbone_edges.clear();
   }
 
-  if (options_.mode != AutoBiMode::kPrecisionOnly) {
-    // Recall mode: grow extra confident joins on top of the backbone (EMS).
-    EmsOptions ems;
-    ems.tau = options_.tau;
-    result.recall_edges = SolveEmsGreedy(graph, result.backbone_edges, ems);
+  if (options.mode != AutoBiMode::kPrecisionOnly) {
+    if (ctx != nullptr && ctx->StopRequested()) {
+      // The backbone alone is a feasible model; skip recall growth.
+      result.degradation.global_predict.MarkDegraded(
+          "run stopped before recall mode; backbone-only model");
+    } else {
+      // Recall mode: grow extra confident joins on top of the backbone
+      // (EMS).
+      EmsOptions ems;
+      ems.tau = options.tau;
+      result.recall_edges = SolveEmsGreedy(graph, result.backbone_edges, ems);
+    }
   }
 
   std::vector<int> all_edges = result.backbone_edges;
@@ -103,6 +143,35 @@ AutoBiResult AutoBi::Predict(const std::vector<Table>& tables) const {
   result.model = EdgesToModel(graph, all_edges);
   result.timing.global_predict = global_timer.Seconds();
   return result;
+}
+
+}  // namespace
+
+StatusOr<AutoBiResult> AutoBi::Predict(const std::vector<Table>& tables,
+                                       const RunContext* ctx) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (!tables[i].Validate()) {
+      return Status::InvalidInput(
+          StrFormat("table %zu ('%s') is malformed (ragged columns)", i,
+                    tables[i].name().c_str()));
+    }
+  }
+  try {
+    return RunPipeline(*model_, options_, tables, ctx);
+  } catch (const std::exception& e) {
+    // Worker exceptions propagate out of the pool from the lowest-indexed
+    // failing iteration; service callers get a Status, never a throw.
+    return Status::Internal(
+        StrFormat("prediction pipeline failed: %s", e.what()));
+  }
+}
+
+AutoBiResult AutoBi::Predict(const std::vector<Table>& tables) const {
+  StatusOr<AutoBiResult> result = Predict(tables, nullptr);
+  // invariant: legacy callers feed trusted (synthetic/test) tables; a
+  // Status error here is a harness bug.
+  AUTOBI_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 }  // namespace autobi

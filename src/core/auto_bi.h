@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/run_context.h"
+#include "common/status.h"
 #include "core/bi_model.h"
 #include "core/candidates.h"
 #include "core/graph_builder.h"
@@ -50,6 +52,23 @@ struct AutoBiTiming {
   double Total() const { return ucc + ind + local_inference + global_predict; }
 };
 
+// Per-stage degradation markers for a RunContext-governed run. A healthy
+// run (null context, or nothing tripped) leaves every stage untouched; a
+// tripped deadline/cancel/budget marks the stages that gave work up, with a
+// human-readable trigger (see ARCHITECTURE.md, "Error handling & graceful
+// degradation").
+struct AutoBiDegradation {
+  StageHealth ucc;
+  StageHealth ind;
+  StageHealth local_inference;
+  StageHealth global_predict;
+
+  bool Any() const {
+    return ucc.degraded || ind.degraded || local_inference.degraded ||
+           global_predict.degraded;
+  }
+};
+
 struct AutoBiResult {
   BiModel model;
   AutoBiTiming timing;
@@ -61,6 +80,8 @@ struct AutoBiResult {
   // Edge ids selected by precision mode (backbone J*) and recall mode (S).
   std::vector<int> backbone_edges;
   std::vector<int> recall_edges;
+  // What (if anything) was degraded by the run's deadline/cancel/budgets.
+  AutoBiDegradation degradation;
 };
 
 // The online Auto-BI predictor (Section 4.3): candidate generation ->
@@ -70,6 +91,19 @@ class AutoBi {
   // `model` must outlive this object.
   AutoBi(const LocalModel* model, AutoBiOptions options = {});
 
+  // Service entry point. Validates the input tables (kInvalidInput on
+  // malformed ones) and runs the pipeline under `ctx` (may be null):
+  // deadline/cancel trips and budgets degrade stages gracefully — the call
+  // still succeeds with a feasible partial model and the skipped work
+  // recorded in result.degradation. Unexpected internal failures (including
+  // injected parallel-task faults) surface as kInternal rather than
+  // propagating exceptions. A null or untripped context produces output
+  // bit-identical to the legacy overload at any thread count.
+  StatusOr<AutoBiResult> Predict(const std::vector<Table>& tables,
+                                 const RunContext* ctx) const;
+
+  // Legacy trusted-caller form (tests, benchmarks, baselines, synthetic
+  // corpora): no context, CHECK-fails on Status errors.
   AutoBiResult Predict(const std::vector<Table>& tables) const;
 
   const AutoBiOptions& options() const { return options_; }

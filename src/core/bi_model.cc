@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/strings.h"
+
 namespace autobi {
 
 Join Join::Normalized() const {
@@ -35,6 +37,48 @@ const char* SchemaTypeName(SchemaType type) {
       return "other";
   }
   return "?";
+}
+
+namespace {
+
+Status ValidateColumnRef(const std::vector<Table>& tables,
+                         const ColumnRef& ref, size_t join_index,
+                         const char* side) {
+  if (ref.table < 0 || ref.table >= int(tables.size())) {
+    return Status::InvalidInput(
+        StrFormat("join %zu %s side references table %d of %zu", join_index,
+                  side, ref.table, tables.size()));
+  }
+  if (ref.columns.empty()) {
+    return Status::InvalidInput(StrFormat(
+        "join %zu %s side has an empty column list", join_index, side));
+  }
+  const Table& t = tables[size_t(ref.table)];
+  for (int c : ref.columns) {
+    if (c < 0 || c >= int(t.num_columns())) {
+      return Status::InvalidInput(
+          StrFormat("join %zu %s side references column %d of table '%s' "
+                    "(%zu columns)",
+                    join_index, side, c, t.name().c_str(), t.num_columns()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateBiModel(const std::vector<Table>& tables,
+                       const BiModel& model) {
+  for (size_t i = 0; i < model.joins.size(); ++i) {
+    const Join& join = model.joins[i];
+    AUTOBI_RETURN_IF_ERROR(ValidateColumnRef(tables, join.from, i, "from"));
+    AUTOBI_RETURN_IF_ERROR(ValidateColumnRef(tables, join.to, i, "to"));
+    if (join.from.table == join.to.table) {
+      return Status::InvalidInput(
+          StrFormat("join %zu is a self-join on table %d", i, join.from.table));
+    }
+  }
+  return Status::Ok();
 }
 
 std::string JoinToString(const std::vector<Table>& tables, const Join& join) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "table/table.h"
 
 namespace autobi {
@@ -52,6 +53,12 @@ struct BiCase {
 
 // Renders a join as "Fact(emp_id) -> Dim(emp_id) [N:1]" for diagnostics.
 std::string JoinToString(const std::vector<Table>& tables, const Join& join);
+
+// Structural validity of a model against its table set: every join endpoint
+// names an in-range table, a non-empty in-range column list, and two
+// distinct tables. Exporters and the fault-injection harness gate on this
+// before dereferencing any reference (kInvalidInput on violation).
+Status ValidateBiModel(const std::vector<Table>& tables, const BiModel& model);
 
 }  // namespace autobi
 

@@ -1,11 +1,13 @@
 #include "core/candidates.h"
 
+#include <atomic>
 #include <map>
 #include <utility>
 
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "fuzz/faultpoints.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
 
@@ -20,11 +22,40 @@ double MeanDistinctRatio(const TableProfile& profile,
   return sum / static_cast<double>(columns.size());
 }
 
+// True when a RunContext row/cell budget excludes `table` from value probing.
+bool OverTableBudget(const Table& table, const RunContext::Budgets& budgets) {
+  if (budgets.max_rows_per_table > 0 &&
+      table.num_rows() > budgets.max_rows_per_table) {
+    return true;
+  }
+  if (budgets.max_cells_per_table > 0 &&
+      table.num_rows() * table.num_columns() > budgets.max_cells_per_table) {
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 CandidateSet GenerateCandidates(const std::vector<Table>& tables,
-                                const CandidateGenOptions& options) {
+                                const CandidateGenOptions& options,
+                                const RunContext* ctx) {
   CandidateSet out;
+
+  // Admission under RunContext table budgets: over-budget tables are
+  // excluded from value probing up front (deterministically — counted, not
+  // timed) and handled exactly like empty DDL tables downstream.
+  std::vector<char> admitted(tables.size(), 1);
+  if (ctx != nullptr) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (OverTableBudget(tables[i], ctx->budgets)) {
+        admitted[i] = 0;
+        out.ucc_health.MarkDegraded(StrFormat(
+            "table '%s' over row/cell budget; metadata-only profile",
+            tables[i].name().c_str()));
+      }
+    }
+  }
 
   // UCC stage (includes profiling, which UCC pruning needs first). Each
   // table's profile + UCC lattice search is independent, so tables fan out
@@ -32,13 +63,25 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
   Timer ucc_timer;
   out.profiles.resize(tables.size());
   out.uccs.resize(tables.size());
+  std::atomic<bool> ucc_stopped{false};
   ParallelFor(
       tables.size(),
       [&](size_t i) {
+        // Item-boundary stop poll: once the deadline passes or the run is
+        // cancelled, remaining tables fall back to metadata-only profiles.
+        if (!admitted[i] || (ctx != nullptr && ctx->StopRequested())) {
+          if (admitted[i]) ucc_stopped.store(true, std::memory_order_relaxed);
+          out.profiles[i] = MetadataOnlyProfile(tables[i]);
+          return;
+        }
         out.profiles[i] = ProfileTable(tables[i]);
         out.uccs[i] = DiscoverUccs(tables[i], out.profiles[i], options.ucc);
       },
       options.threads);
+  if (ucc_stopped.load(std::memory_order_relaxed)) {
+    out.ucc_health.MarkDegraded(
+        "run stopped during profiling/UCC; remaining tables metadata-only");
+  }
   out.ucc_seconds = ucc_timer.Seconds();
 
   // IND stage. The composite-key cache is shared between discovery and the
@@ -50,7 +93,13 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
   CompositeKeyCache composite_cache;
   std::vector<Ind> inds = DiscoverInds(tables, out.profiles, out.uccs,
                                        ind_options, &out.ind_stats,
-                                       &composite_cache);
+                                       &composite_cache, ctx);
+  if (ctx != nullptr && ctx->StopRequested()) {
+    // Conservative: the stop may have tripped after the last pair finished,
+    // but once it is set any remaining per-pair scans returned empty.
+    out.ind_health.MarkDegraded(
+        "run stopped during IND discovery; remaining pairs skipped");
+  }
 
   // Convert INDs to deduplicated candidates.
   std::map<std::pair<ColumnRef, ColumnRef>, JoinCandidate> dedup;
@@ -99,17 +148,19 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
       it->second = cand;  // Prefer the 1:1 interpretation when detected.
     }
   }
-  // Metadata fallback: for table pairs where the referenced side has no
-  // rows (DDL-only input), value probing is impossible — screen candidate
-  // pairs by name instead so the schema-only classifier can score them.
+  // Metadata fallback: for table pairs where a side could not be value
+  // probed (no rows in DDL-only input, or excluded by a RunContext table
+  // budget), screen candidate pairs by name instead so the schema-only
+  // classifier can score them.
   if (options.metadata_fallback_for_empty_tables) {
+    std::vector<char> probed(tables.size(), 1);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      probed[i] = admitted[i] && tables[i].num_rows() > 0;
+    }
     for (int ti = 0; ti < int(tables.size()); ++ti) {
       for (int tj = 0; tj < int(tables.size()); ++tj) {
         if (ti == tj) continue;
-        if (tables[size_t(tj)].num_rows() > 0 &&
-            tables[size_t(ti)].num_rows() > 0) {
-          continue;
-        }
+        if (probed[size_t(ti)] && probed[size_t(tj)]) continue;
         for (int a = 0; a < int(tables[size_t(ti)].num_columns()); ++a) {
           const std::string& src = tables[size_t(ti)].column(size_t(a)).name();
           std::string src_norm = NormalizeIdentifier(src);
@@ -141,6 +192,28 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
   for (auto& [key, cand] : dedup) {
     (void)key;
     out.candidates.push_back(std::move(cand));
+  }
+  // Candidate-pair budget: deterministic truncation of the sorted dedup
+  // order (std::map iteration order), so the same inputs always keep the
+  // same prefix at any thread count.
+  if (ctx != nullptr && ctx->budgets.max_candidate_pairs > 0 &&
+      out.candidates.size() > ctx->budgets.max_candidate_pairs) {
+    size_t dropped = out.candidates.size() - ctx->budgets.max_candidate_pairs;
+    out.candidates.resize(ctx->budgets.max_candidate_pairs);
+    out.ind_health.MarkDegraded(StrFormat(
+        "candidate-pair budget hit: dropped %zu of %zu pairs", dropped,
+        dropped + out.candidates.size()));
+  }
+  // Fault point: simulated resource exhaustion of the candidate stage, for
+  // the end-to-end fault-injection campaign. Drops a deterministic suffix
+  // and marks the stage degraded exactly like a real budget trip.
+  if (FaultPoints::Global().Fire("candidates.exhausted") &&
+      !out.candidates.empty()) {
+    double keep = FaultPoints::Global().Fraction("candidates.exhausted");
+    size_t kept = static_cast<size_t>(keep * double(out.candidates.size()));
+    out.candidates.resize(kept);
+    out.ind_health.MarkDegraded(
+        "injected resource exhaustion in candidate generation");
   }
   // Fold in the sets built by reverse-containment probing above.
   out.ind_stats.composite_sets_built = composite_cache.builds();

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/run_context.h"
 #include "features/featurizer.h"
 #include "profile/ind.h"
 #include "profile/ucc.h"
@@ -18,7 +19,8 @@ struct CandidateGenOptions {
   // classifiers").
   double one_to_one_distinct_ratio = 0.95;
   double one_to_one_min_containment = 0.9;
-  // When a table pair has no data to probe (e.g. tables parsed from DDL),
+  // When a table pair has no data to probe (e.g. tables parsed from DDL, or
+  // tables excluded from value probing by a RunContext row/cell budget),
   // fall back to metadata-screened candidates so schema-only prediction
   // still works (extension beyond the paper).
   bool metadata_fallback_for_empty_tables = true;
@@ -42,14 +44,28 @@ struct CandidateSet {
   // composite sets built/truncated); includes the reverse-containment
   // composite sets built by candidate conversion.
   IndStats ind_stats;
+  // Degradation markers (RunContext budgets / deadline / cancellation; see
+  // ARCHITECTURE.md). Healthy runs leave both untouched.
+  StageHealth ucc_health;
+  StageHealth ind_health;
 };
 
 // Profiles the tables, discovers UCCs and approximate INDs, and converts
 // them into deduplicated join candidates. N:1 candidates keep the FK->PK
 // direction of their IND; 1:1-shaped pairs are emitted once (from the
 // lower-indexed table) with one_to_one = true.
+//
+// If `ctx` is non-null, the stage honours its budgets and deadline/cancel
+// flag: tables over the row/cell budget keep metadata-only profiles (and
+// flow through the same name-based fallback as empty DDL tables), the
+// deduplicated candidate list is truncated to max_candidate_pairs in its
+// deterministic sorted order, and a tripped deadline/cancel skips remaining
+// per-table / per-pair work. Whatever degrades is recorded in
+// ucc_health/ind_health; a null or untripped context yields byte-identical
+// output to a context-free run.
 CandidateSet GenerateCandidates(const std::vector<Table>& tables,
-                                const CandidateGenOptions& options = {});
+                                const CandidateGenOptions& options = {},
+                                const RunContext* ctx = nullptr);
 
 }  // namespace autobi
 

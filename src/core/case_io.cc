@@ -1,9 +1,9 @@
 #include "core/case_io.h"
 
 #include <fstream>
-#include <sstream>
 
 #include "common/strings.h"
+#include "fuzz/faultpoints.h"
 #include "table/csv.h"
 
 namespace autobi {
@@ -12,6 +12,10 @@ namespace {
 
 const char* const kManifestName = "case.manifest";
 
+// Hostile-manifest guard: counts beyond this are rejected outright rather
+// than looped over.
+constexpr size_t kMaxManifestEntries = 1'000'000;
+
 std::string ColumnsToCsvField(const std::vector<int>& columns) {
   std::vector<std::string> parts;
   parts.reserve(columns.size());
@@ -19,22 +23,20 @@ std::string ColumnsToCsvField(const std::vector<int>& columns) {
   return JoinStrings(parts, ",");
 }
 
-bool ParseColumns(const std::string& field, std::vector<int>* out,
-                  std::string* error) {
+Status ParseColumns(const std::string& field, std::vector<int>* out) {
   out->clear();
   for (const std::string& part : Split(field, ",")) {
     int64_t v = 0;
     if (!ParseInt64(part, &v)) {
-      *error = "bad column index '" + part + "' in manifest";
-      return false;
+      return Status::InvalidInput("bad column index '" + part +
+                                  "' in manifest");
     }
     out->push_back(int(v));
   }
   if (out->empty()) {
-    *error = "empty column list in manifest";
-    return false;
+    return Status::InvalidInput("empty column list in manifest");
   }
-  return true;
+  return Status::Ok();
 }
 
 SchemaType ParseSchemaType(const std::string& name) {
@@ -44,30 +46,42 @@ SchemaType ParseSchemaType(const std::string& name) {
   return SchemaType::kOther;
 }
 
+// Table names become file names under `dir`; reject anything that could
+// escape it or collide with the manifest.
+Status ValidateTableFileName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidInput("empty table name in manifest");
+  }
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos || name == "." || name == "..") {
+    return Status::InvalidInput("table name '" + name +
+                                "' is not a plain file name");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
-bool SaveCase(const BiCase& bi_case, const std::string& dir,
-              std::string* error) {
+Status SaveCase(const BiCase& bi_case, const std::string& dir) {
   std::ofstream manifest(dir + "/" + kManifestName);
-  if (!manifest) {
-    *error = "cannot write manifest in " + dir;
-    return false;
+  if (!manifest || FaultPoints::Global().Fire("io.open")) {
+    return Status::Internal("cannot write manifest in " + dir);
   }
   manifest << "autobi_case 1\n";
   manifest << "name " << bi_case.name << "\n";
   manifest << "schema_type " << SchemaTypeName(bi_case.schema_type) << "\n";
   manifest << "tables " << bi_case.tables.size() << "\n";
   for (const Table& t : bi_case.tables) {
+    AUTOBI_RETURN_IF_ERROR(
+        ValidateTableFileName(t.name()).WithContext("save case"));
     manifest << t.name() << "\n";
     std::ofstream csv(dir + "/" + t.name() + ".csv");
-    if (!csv) {
-      *error = "cannot write table file for " + t.name();
-      return false;
+    if (!csv || FaultPoints::Global().Fire("io.open")) {
+      return Status::Internal("cannot write table file for " + t.name());
     }
     csv << WriteCsv(t);
     if (!csv) {
-      *error = "write failed for " + t.name();
-      return false;
+      return Status::Internal("write failed for " + t.name());
     }
   }
   manifest << "joins " << bi_case.ground_truth.joins.size() << "\n";
@@ -77,78 +91,87 @@ bool SaveCase(const BiCase& bi_case, const std::string& dir,
              << " " << j.to.table << " " << ColumnsToCsvField(j.to.columns)
              << "\n";
   }
-  return static_cast<bool>(manifest);
+  if (!manifest) {
+    return Status::Internal("write failed for manifest in " + dir);
+  }
+  return Status::Ok();
 }
 
-bool LoadCase(const std::string& dir, BiCase* bi_case, std::string* error) {
+StatusOr<BiCase> LoadCase(const std::string& dir) {
   std::ifstream manifest(dir + "/" + kManifestName);
-  if (!manifest) {
-    *error = "cannot open manifest in " + dir;
-    return false;
+  if (!manifest || FaultPoints::Global().Fire("io.open")) {
+    return Status::Internal("cannot open manifest in " + dir);
   }
-  *bi_case = BiCase{};
+  BiCase bi_case;
   std::string tag;
   int version = 0;
   if (!(manifest >> tag >> version) || tag != "autobi_case" || version != 1) {
-    *error = "bad manifest header";
-    return false;
+    return Status::InvalidInput("bad manifest header in " + dir);
   }
   std::string key;
   if (!(manifest >> key) || key != "name") {
-    *error = "expected 'name'";
-    return false;
+    return Status::InvalidInput("expected 'name' in manifest");
   }
   manifest >> std::ws;
-  std::getline(manifest, bi_case->name);
+  std::getline(manifest, bi_case.name);
   std::string schema_type;
   if (!(manifest >> key >> schema_type) || key != "schema_type") {
-    *error = "expected 'schema_type'";
-    return false;
+    return Status::InvalidInput("expected 'schema_type' in manifest");
   }
-  bi_case->schema_type = ParseSchemaType(schema_type);
+  bi_case.schema_type = ParseSchemaType(schema_type);
   size_t num_tables = 0;
-  if (!(manifest >> key >> num_tables) || key != "tables") {
-    *error = "expected 'tables'";
-    return false;
+  if (!(manifest >> key >> num_tables) || key != "tables" ||
+      num_tables > kMaxManifestEntries) {
+    return Status::InvalidInput("expected 'tables' count in manifest");
   }
   manifest >> std::ws;
   for (size_t i = 0; i < num_tables; ++i) {
     std::string table_name;
-    std::getline(manifest, table_name);
-    Table t;
-    if (!ReadCsvFile(dir + "/" + table_name + ".csv", &t, error)) {
-      return false;
+    if (!std::getline(manifest, table_name)) {
+      return Status::InvalidInput("truncated table list in manifest");
     }
-    t.set_name(table_name);
-    bi_case->tables.push_back(std::move(t));
+    AUTOBI_RETURN_IF_ERROR(
+        ValidateTableFileName(table_name).WithContext("load case"));
+    StatusOr<Table> t = ReadCsvFile(dir + "/" + table_name + ".csv");
+    if (!t.ok()) return t.status().WithContext("load case table");
+    t->set_name(table_name);
+    bi_case.tables.push_back(std::move(t).value());
   }
   size_t num_joins = 0;
-  if (!(manifest >> key >> num_joins) || key != "joins") {
-    *error = "expected 'joins'";
-    return false;
+  if (!(manifest >> key >> num_joins) || key != "joins" ||
+      num_joins > kMaxManifestEntries) {
+    return Status::InvalidInput("expected 'joins' count in manifest");
   }
   for (size_t i = 0; i < num_joins; ++i) {
     std::string kind, from_cols, to_cols;
     Join join;
     if (!(manifest >> kind >> join.from.table >> from_cols >> join.to.table
                    >> to_cols)) {
-      *error = "truncated join list";
-      return false;
+      return Status::InvalidInput("truncated join list in manifest");
     }
     join.kind = (kind == "1:1") ? JoinKind::kOneToOne : JoinKind::kNToOne;
-    if (!ParseColumns(from_cols, &join.from.columns, error) ||
-        !ParseColumns(to_cols, &join.to.columns, error)) {
-      return false;
-    }
+    AUTOBI_RETURN_IF_ERROR(ParseColumns(from_cols, &join.from.columns));
+    AUTOBI_RETURN_IF_ERROR(ParseColumns(to_cols, &join.to.columns));
     if (join.from.table < 0 ||
-        join.from.table >= int(bi_case->tables.size()) ||
-        join.to.table < 0 || join.to.table >= int(bi_case->tables.size())) {
-      *error = "join references table out of range";
-      return false;
+        join.from.table >= int(bi_case.tables.size()) ||
+        join.to.table < 0 || join.to.table >= int(bi_case.tables.size())) {
+      return Status::InvalidInput("join references table out of range");
     }
-    bi_case->ground_truth.joins.push_back(join.Normalized());
+    const Table& from_t = bi_case.tables[size_t(join.from.table)];
+    const Table& to_t = bi_case.tables[size_t(join.to.table)];
+    for (int c : join.from.columns) {
+      if (c < 0 || c >= int(from_t.num_columns())) {
+        return Status::InvalidInput("join references column out of range");
+      }
+    }
+    for (int c : join.to.columns) {
+      if (c < 0 || c >= int(to_t.num_columns())) {
+        return Status::InvalidInput("join references column out of range");
+      }
+    }
+    bi_case.ground_truth.joins.push_back(join.Normalized());
   }
-  return true;
+  return bi_case;
 }
 
 }  // namespace autobi

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "core/bi_model.h"
 
 namespace autobi {
@@ -16,13 +17,16 @@ namespace autobi {
 // Layout:
 //   <dir>/case.manifest
 //   <dir>/<table_name>.csv        (one per table)
+//
+// Both directions are untrusted-input surfaces (a case directory may come
+// from anywhere): errors come back as a typed Status — kInternal for I/O
+// failures, kInvalidInput for malformed manifests/CSVs — never a crash.
 
 // Writes the case. The directory must already exist; files are overwritten.
-bool SaveCase(const BiCase& bi_case, const std::string& dir,
-              std::string* error);
+Status SaveCase(const BiCase& bi_case, const std::string& dir);
 
 // Reads a case previously written by SaveCase.
-bool LoadCase(const std::string& dir, BiCase* bi_case, std::string* error);
+StatusOr<BiCase> LoadCase(const std::string& dir);
 
 }  // namespace autobi
 

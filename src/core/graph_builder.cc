@@ -1,14 +1,24 @@
 #include "core/graph_builder.h"
 
+#include <stdexcept>
+
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "fuzz/faultpoints.h"
 
 namespace autobi {
+
+namespace {
+// Sentinel probability marking a candidate whose scoring was skipped after
+// a RunContext deadline/cancel trip (real scores are in [0, 1]).
+constexpr double kSkippedScore = -1.0;
+}  // namespace
 
 JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
                          const CandidateSet& candidates,
                          const LocalModel& model, bool schema_only,
-                         double* local_inference_seconds, int threads) {
+                         double* local_inference_seconds, int threads,
+                         const RunContext* run_ctx, StageHealth* health) {
   Timer timer;
   JoinGraph graph(static_cast<int>(tables.size()));
   FeatureContext ctx;
@@ -20,12 +30,28 @@ JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
   std::vector<double> probabilities = ParallelMap(
       candidates.candidates.size(),
       [&](size_t i) {
+        // Item-boundary stop poll: skipped candidates are marked with a
+        // sentinel and dropped during the serial edge-add pass below.
+        if (run_ctx != nullptr && run_ctx->StopRequested()) {
+          return kSkippedScore;
+        }
+        // Fault point: a worker exception inside a parallel region. The pool
+        // rethrows it from the lowest-indexed failing iteration and the
+        // service boundary converts it to kInternal.
+        if (FaultPoints::Global().Fire("parallel.task")) {
+          throw std::runtime_error("injected parallel task fault");
+        }
         return model.Score(ctx, candidates.candidates[i], schema_only);
       },
       threads);
+  size_t skipped = 0;
   for (size_t i = 0; i < candidates.candidates.size(); ++i) {
     const JoinCandidate& cand = candidates.candidates[i];
     double p = probabilities[i];
+    if (p == kSkippedScore) {
+      ++skipped;
+      continue;
+    }
     if (cand.one_to_one) {
       graph.AddOneToOneEdge(cand.src.table, cand.dst.table, cand.src.columns,
                             cand.dst.columns, p);
@@ -33,6 +59,10 @@ JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
       graph.AddEdge(cand.src.table, cand.dst.table, cand.src.columns,
                     cand.dst.columns, p);
     }
+  }
+  if (skipped > 0 && health != nullptr) {
+    health->MarkDegraded(
+        "run stopped during local inference; unscored candidates dropped");
   }
   if (local_inference_seconds != nullptr) {
     *local_inference_seconds = timer.Seconds();

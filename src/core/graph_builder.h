@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/run_context.h"
 #include "core/candidates.h"
 #include "core/local_model.h"
 #include "graph/join_graph.h"
@@ -20,11 +21,19 @@ namespace autobi {
 // Candidates are featurized and scored in parallel (`threads` as in
 // ResolveThreads); edges are then added serially in candidate order, so edge
 // ids and probabilities are identical at any thread count.
+//
+// If `run_ctx` is non-null, each candidate's scoring polls
+// RunContext::StopRequested at its boundary; candidates skipped after a
+// deadline/cancel trip are dropped from the graph and `health` (if non-null)
+// is marked degraded. A null or untripped context yields a byte-identical
+// graph.
 JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
                          const CandidateSet& candidates,
                          const LocalModel& model, bool schema_only,
                          double* local_inference_seconds = nullptr,
-                         int threads = 0);
+                         int threads = 0,
+                         const RunContext* run_ctx = nullptr,
+                         StageHealth* health = nullptr);
 
 }  // namespace autobi
 

@@ -30,8 +30,10 @@ std::string ColumnList(const std::vector<Table>& tables,
 
 }  // namespace
 
-std::string ExportDot(const std::vector<Table>& tables,
-                      const BiModel& model) {
+StatusOr<std::string> ExportDot(const std::vector<Table>& tables,
+                                const BiModel& model) {
+  AUTOBI_RETURN_IF_ERROR(
+      ValidateBiModel(tables, model).WithContext("export DOT"));
   std::string out = "digraph bi_model {\n  rankdir=LR;\n  node [shape=box];\n";
   for (const Table& t : tables) {
     out += StrFormat("  \"%s\";\n", Escape(t.name()).c_str());
@@ -55,8 +57,10 @@ std::string ExportDot(const std::vector<Table>& tables,
   return out;
 }
 
-std::string ExportSqlDdl(const std::vector<Table>& tables,
-                         const BiModel& model) {
+StatusOr<std::string> ExportSqlDdl(const std::vector<Table>& tables,
+                                   const BiModel& model) {
+  AUTOBI_RETURN_IF_ERROR(
+      ValidateBiModel(tables, model).WithContext("export SQL DDL"));
   std::string out;
   for (const Join& join : model.joins) {
     const std::string& from = tables[size_t(join.from.table)].name();
@@ -76,8 +80,10 @@ std::string ExportSqlDdl(const std::vector<Table>& tables,
   return out;
 }
 
-std::string ExportJson(const std::vector<Table>& tables,
-                       const BiModel& model) {
+StatusOr<std::string> ExportJson(const std::vector<Table>& tables,
+                                 const BiModel& model) {
+  AUTOBI_RETURN_IF_ERROR(
+      ValidateBiModel(tables, model).WithContext("export JSON"));
   std::string out = "{\n  \"tables\": [";
   for (size_t i = 0; i < tables.size(); ++i) {
     if (i > 0) out += ", ";

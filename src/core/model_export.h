@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/bi_model.h"
 
 namespace autobi {
@@ -11,20 +12,26 @@ namespace autobi {
 // Exporters that turn a predicted BI model into artifacts downstream tools
 // consume: Graphviz DOT (schema diagrams), SQL DDL (FOREIGN KEY clauses),
 // and a line-oriented JSON document.
+//
+// A model can arrive from an untrusted file (case manifests, external
+// callers), so every exporter validates it against the table set first
+// (ValidateBiModel) and returns kInvalidInput instead of indexing out of
+// range.
 
 // Graphviz digraph: tables as nodes, N:1 joins as directed edges (FK -> PK),
 // 1:1 joins as bidirectional dashed edges. Column pairs label the edges.
-std::string ExportDot(const std::vector<Table>& tables, const BiModel& model);
+StatusOr<std::string> ExportDot(const std::vector<Table>& tables,
+                                const BiModel& model);
 
 // ALTER TABLE ... ADD FOREIGN KEY statements for every N:1 join (1:1 joins
 // are emitted as comments, since SQL has no first-class 1:1 constraint).
-std::string ExportSqlDdl(const std::vector<Table>& tables,
-                         const BiModel& model);
+StatusOr<std::string> ExportSqlDdl(const std::vector<Table>& tables,
+                                   const BiModel& model);
 
 // A compact JSON document:
 // {"tables":[...names...],"joins":[{"from":...,"to":...,"kind":...}]}.
-std::string ExportJson(const std::vector<Table>& tables,
-                       const BiModel& model);
+StatusOr<std::string> ExportJson(const std::vector<Table>& tables,
+                                 const BiModel& model);
 
 }  // namespace autobi
 

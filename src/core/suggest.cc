@@ -55,6 +55,7 @@ std::vector<Join> PredictJoinsForNewTable(const std::vector<Table>& tables,
                                           const BiModel& confirmed,
                                           const LocalModel& model,
                                           const AutoBiOptions& options) {
+  // invariant: documented API precondition (the new table is tables.back()).
   AUTOBI_CHECK(!tables.empty());
   int new_table = int(tables.size()) - 1;
 

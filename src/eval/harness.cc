@@ -7,14 +7,18 @@ namespace autobi {
 AggregateMetrics MethodResults::Quality() const {
   std::vector<EdgeMetrics> per_case;
   per_case.reserve(cases.size());
-  for (const CaseResult& r : cases) per_case.push_back(r.metrics);
+  for (const CaseResult& r : cases) {
+    if (!r.skipped) per_case.push_back(r.metrics);
+  }
   return Aggregate(per_case);
 }
 
 std::vector<double> MethodResults::TotalSeconds() const {
   std::vector<double> out;
   out.reserve(cases.size());
-  for (const CaseResult& r : cases) out.push_back(r.timing.Total());
+  for (const CaseResult& r : cases) {
+    if (!r.skipped) out.push_back(r.timing.Total());
+  }
   return out;
 }
 
@@ -24,14 +28,24 @@ MethodResults RunMethod(const JoinPredictor& method,
   MethodResults results;
   results.method = method.name();
   results.cases.resize(cases.size());
+  const RunContext* ctx = options.ctx;
   ParallelFor(
       cases.size(),
       [&](size_t i) {
         CaseResult& r = results.cases[i];
+        // Case-boundary stop poll: a tripped deadline/cancel skips the
+        // remaining cases rather than abandoning the whole run.
+        if (ctx != nullptr && ctx->StopRequested()) {
+          r.skipped = true;
+          return;
+        }
         BiModel predicted = method.Predict(cases[i].tables, &r.timing);
         r.metrics = EvaluateCase(cases[i], predicted);
       },
       options.threads);
+  for (const CaseResult& r : results.cases) {
+    if (r.skipped) ++results.skipped_cases;
+  }
   return results;
 }
 
@@ -39,7 +53,11 @@ AggregateMetrics QualityOnSubset(const MethodResults& results,
                                  const std::vector<size_t>& indices) {
   std::vector<EdgeMetrics> per_case;
   per_case.reserve(indices.size());
-  for (size_t i : indices) per_case.push_back(results.cases[i].metrics);
+  for (size_t i : indices) {
+    if (!results.cases[i].skipped) {
+      per_case.push_back(results.cases[i].metrics);
+    }
+  }
   return Aggregate(per_case);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/baseline.h"
+#include "common/run_context.h"
 #include "eval/metrics.h"
 
 namespace autobi {
@@ -13,15 +14,22 @@ namespace autobi {
 struct CaseResult {
   EdgeMetrics metrics;
   AutoBiTiming timing;
+  // True when a RunContext stop tripped before this case was evaluated; the
+  // metrics slot is then default (empty prediction scored against ground
+  // truth is NOT computed — the case simply did not run).
+  bool skipped = false;
 };
 
 // Result of running one method over a benchmark.
 struct MethodResults {
   std::string method;
   std::vector<CaseResult> cases;
+  // Number of cases skipped by a RunContext deadline/cancel trip (0 on
+  // healthy runs). Quality() aggregates evaluated cases only.
+  size_t skipped_cases = 0;
 
   AggregateMetrics Quality() const;
-  // Total end-to-end seconds per case.
+  // Total end-to-end seconds per case (evaluated cases only).
   std::vector<double> TotalSeconds() const;
 };
 
@@ -32,6 +40,10 @@ struct HarnessOptions {
   // Note: per-case parallelism subsumes the predictor's internal parallelism
   // (nested parallel regions run serially).
   int threads = 0;
+  // Optional cooperative run control: each case polls StopRequested at its
+  // boundary; once tripped, remaining cases are marked skipped instead of
+  // evaluated. Null (the default) is a no-op with byte-identical results.
+  const RunContext* ctx = nullptr;
 };
 
 // Runs `method` on every case, evaluating against each case's ground truth.
@@ -40,7 +52,7 @@ MethodResults RunMethod(const JoinPredictor& method,
                         const HarnessOptions& options = {});
 
 // Quality restricted to a subset of case indices (bucketized reporting,
-// Tables 7/8/11/12).
+// Tables 7/8/11/12). Skipped cases in the subset are ignored.
 AggregateMetrics QualityOnSubset(const MethodResults& results,
                                  const std::vector<size_t>& indices);
 

@@ -226,6 +226,7 @@ std::vector<std::string> Featurizer::OneToOneFeatureNames(bool schema_only) {
 std::vector<double> Featurizer::FeaturizeN1(const FeatureContext& ctx,
                                             const JoinCandidate& cand,
                                             bool schema_only) const {
+  // invariant: FeatureContext is fully populated by the pipeline.
   AUTOBI_CHECK(ctx.tables != nullptr && ctx.profiles != nullptr);
   std::vector<double> f;
   f.reserve(34);
@@ -261,6 +262,7 @@ std::vector<double> Featurizer::FeaturizeN1(const FeatureContext& ctx,
 std::vector<double> Featurizer::FeaturizeOneToOne(const FeatureContext& ctx,
                                                   const JoinCandidate& cand,
                                                   bool schema_only) const {
+  // invariant: FeatureContext is fully populated by the pipeline.
   AUTOBI_CHECK(ctx.tables != nullptr && ctx.profiles != nullptr);
   std::vector<double> f;
   f.reserve(33);

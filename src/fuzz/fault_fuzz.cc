@@ -1,0 +1,361 @@
+#include "fuzz/fault_fuzz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/auto_bi.h"
+#include "core/bi_model.h"
+#include "core/model_export.h"
+#include "core/trainer.h"
+#include "fuzz/faultpoints.h"
+#include "synth/bi_generator.h"
+#include "synth/corpus.h"
+#include "table/csv.h"
+#include "table/sql_ddl.h"
+
+namespace autobi {
+
+namespace {
+
+// Seed templates the mutators start from: small but feature-covering inputs
+// (quoting, escapes, numerics, CRLF, BOM, composite keys, inline and
+// table-level REFERENCES).
+const char* const kCsvSeeds[] = {
+    "id,name,score\n1,alice,3.5\n2,bob,4.0\n3,\"c,d\",5\n",
+    "\xEF\xBB\xBFord_id,cust_id,qty\r\n10,1,2\r\n11,2,\r\n12,1,7\r\n",
+    "a,b\n\"multi\nline\",\"quote\"\"esc\"\n,\n",
+    "k\n1\n2\n3\n4\n5\n",
+};
+
+const char* const kDdlSeeds[] = {
+    "CREATE TABLE dim (id INT PRIMARY KEY, name TEXT);\n"
+    "CREATE TABLE fact (fid INT, did INT REFERENCES dim(id));\n",
+    "CREATE TABLE a (x INT, y INT, PRIMARY KEY (x, y));\n"
+    "CREATE TABLE b (x INT, y INT, z TEXT,\n"
+    "  FOREIGN KEY (x, y) REFERENCES a (x, y));\n",
+    "create table t1 (c1 varchar(10));\ncreate table t2 (c2 int);\n",
+};
+
+// Bytes the mutators like to splice in: CSV/DDL structure characters plus
+// binary junk.
+const char kSpiceBytes[] = {',', '"', '\n', '\r', '(',  ')',   ';',
+                            '0', '\\', '\'', '\t', '\0', '\x80', '\xff'};
+
+std::string MutateBytes(const std::string& seed_text, Rng& rng) {
+  std::string text = seed_text;
+  int edits = 1 + int(rng.NextBelow(8));
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    size_t pos = size_t(rng.NextBelow(text.size()));
+    switch (rng.NextBelow(5)) {
+      case 0:  // Overwrite with a spice byte.
+        text[pos] = kSpiceBytes[rng.NextBelow(sizeof(kSpiceBytes))];
+        break;
+      case 1:  // Overwrite with a fully random byte.
+        text[pos] = char(rng.NextBelow(256));
+        break;
+      case 2:  // Insert a spice byte.
+        text.insert(text.begin() + long(pos),
+                    kSpiceBytes[rng.NextBelow(sizeof(kSpiceBytes))]);
+        break;
+      case 3:  // Delete a byte.
+        text.erase(text.begin() + long(pos));
+        break;
+      case 4:  // Truncate (short-input / mid-token cases).
+        text.resize(pos);
+        break;
+    }
+  }
+  return text;
+}
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string text(rng.NextBelow(max_len + 1), '\0');
+  for (char& c : text) c = char(rng.NextBelow(256));
+  return text;
+}
+
+// One small LocalModel trained once and shared by every pipeline case (the
+// campaign probes the service layer, not classifier quality).
+const LocalModel& SharedTinyModel() {
+  static const LocalModel* model = [] {
+    CorpusOptions copt;
+    copt.seed = 77;
+    copt.training_cases = 10;
+    TrainerOptions topt;
+    topt.forest.num_trees = 4;
+    return new LocalModel(TrainLocalModel(BuildTrainingCorpus(copt), topt));
+  }();
+  return *model;
+}
+
+struct Scratch {
+  FaultFuzzReport* report;
+  long case_index = 0;
+  const char* scenario = "";
+
+  void Fail(const std::string& message) {
+    ++report->failures;
+    if (report->failure_messages.size() < 50) {
+      report->failure_messages.push_back(StrFormat(
+          "case %ld (%s): %s", case_index, scenario, message.c_str()));
+    }
+  }
+};
+
+// Checks the universal invariant on a StatusOr'd table parse: either a
+// well-formed error or a structurally valid table.
+void CheckParsedTable(const StatusOr<Table>& table, Scratch& s) {
+  if (!table.ok()) {
+    if (table.status().message().empty()) {
+      s.Fail("error Status with empty message");
+    }
+    ++s.report->status_errors;
+    return;
+  }
+  ++s.report->parses_ok;
+  if (!table.value().Validate()) {
+    s.Fail("parse returned OK but table fails Validate()");
+  }
+}
+
+void RunCsvCase(Rng& rng, Scratch& s) {
+  ++s.report->csv_cases;
+  std::string text;
+  if (rng.NextBool(0.25)) {
+    text = RandomBytes(rng, 256);
+  } else {
+    const char* seed =
+        kCsvSeeds[rng.NextBelow(sizeof(kCsvSeeds) / sizeof(kCsvSeeds[0]))];
+    text = MutateBytes(seed, rng);
+  }
+  CsvOptions opt;
+  opt.lenient = rng.NextBool();
+  if (rng.NextBool(0.3)) opt.max_bytes = 1 + rng.NextBelow(64);
+  CsvStats stats;
+  CheckParsedTable(ReadCsv(text, "fuzz", opt, &stats), s);
+}
+
+void RunDdlCase(Rng& rng, Scratch& s) {
+  ++s.report->ddl_cases;
+  std::string text;
+  if (rng.NextBool(0.25)) {
+    text = RandomBytes(rng, 256);
+  } else {
+    const char* seed =
+        kDdlSeeds[rng.NextBelow(sizeof(kDdlSeeds) / sizeof(kDdlSeeds[0]))];
+    text = MutateBytes(seed, rng);
+  }
+  StatusOr<DdlSchema> schema = ParseSqlDdl(text);
+  if (!schema.ok()) {
+    if (schema.status().message().empty()) {
+      s.Fail("error Status with empty message");
+    }
+    ++s.report->status_errors;
+    return;
+  }
+  ++s.report->parses_ok;
+  for (const Table& t : schema.value().tables) {
+    if (!t.Validate()) s.Fail("DDL parse returned OK but table is invalid");
+  }
+}
+
+void RunFileCase(Rng& rng, Scratch& s, const std::string& scratch_dir) {
+  ++s.report->file_cases;
+  const char* seed =
+      kCsvSeeds[rng.NextBelow(sizeof(kCsvSeeds) / sizeof(kCsvSeeds[0]))];
+  std::string text = MutateBytes(seed, rng);
+  std::filesystem::path path =
+      std::filesystem::path(scratch_dir) / "autobi_faultfuzz_case.csv";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), long(text.size()));
+  }
+  // Arm the I/O fault points with case-specific probabilities and seed.
+  std::string spec = StrFormat("io.open=%.2f,io.short_read=%.2f@%llu",
+                               rng.NextDouble(0.0, 0.6),
+                               rng.NextDouble(0.0, 0.8),
+                               (unsigned long long)rng.Next());
+  FaultPoints::Global().Configure(spec);
+  CsvOptions opt;
+  opt.lenient = rng.NextBool();
+  CheckParsedTable(ReadCsvFile(path.string(), opt), s);
+  s.report->injected_faults += FaultPoints::Global().fires();
+  FaultPoints::Global().Disable();
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+void RunPipelineCase(Rng& rng, Scratch& s) {
+  ++s.report->pipeline_cases;
+  BiGenOptions gen;
+  gen.num_tables = 2 + int(rng.NextBelow(5));
+  gen.min_dim_rows = 4;
+  gen.max_dim_rows = 40;
+  gen.min_fact_rows = 10;
+  gen.max_fact_rows = 80;
+  Rng case_rng = rng.Fork();
+  BiCase bi_case = GenerateBiCase(gen, case_rng);
+
+  // Arm pipeline fault points for roughly half the cases.
+  bool faults_armed = rng.NextBool();
+  if (faults_armed) {
+    std::string spec =
+        StrFormat("candidates.exhausted=%.2f,parallel.task=%.3f@%llu",
+                  rng.NextDouble(0.0, 0.7), rng.NextDouble(0.0, 0.05),
+                  (unsigned long long)rng.Next());
+    FaultPoints::Global().Configure(spec);
+  }
+
+  // Randomized run control: tight deterministic budgets, near-zero
+  // deadlines, and up-front cancellation all take this path.
+  RunContext ctx;
+  if (rng.NextBool(0.4)) {
+    ctx.budgets.max_rows_per_table = 1 + rng.NextBelow(64);
+  }
+  if (rng.NextBool(0.3)) {
+    ctx.budgets.max_cells_per_table = 1 + rng.NextBelow(512);
+  }
+  if (rng.NextBool(0.4)) {
+    ctx.budgets.max_candidate_pairs = rng.NextBelow(8);
+  }
+  if (rng.NextBool(0.3)) {
+    ctx.budgets.max_one_mca_calls = long(1 + rng.NextBelow(50));
+  }
+  if (rng.NextBool(0.2)) ctx.set_deadline_after(0.0);
+  if (rng.NextBool(0.1)) ctx.Cancel();
+
+  AutoBiOptions opt;
+  opt.threads = 1 + int(rng.NextBelow(2));
+  switch (rng.NextBelow(3)) {
+    case 0: opt.mode = AutoBiMode::kFull; break;
+    case 1: opt.mode = AutoBiMode::kPrecisionOnly; break;
+    case 2: opt.mode = AutoBiMode::kSchemaOnly; break;
+  }
+  AutoBi autobi(&SharedTinyModel(), opt);
+  StatusOr<AutoBiResult> result =
+      autobi.Predict(bi_case.tables, rng.NextBool(0.9) ? &ctx : nullptr);
+  if (faults_armed) {
+    s.report->injected_faults += FaultPoints::Global().fires();
+    FaultPoints::Global().Disable();
+  }
+
+  if (!result.ok()) {
+    // The only acceptable hard error from trusted synthetic tables is an
+    // injected internal fault; budgets/deadlines must degrade, not error.
+    if (result.status().code() != StatusCode::kInternal) {
+      s.Fail(StrFormat("unexpected error from pipeline: %s",
+                       result.status().ToString().c_str()));
+    } else if (!faults_armed) {
+      s.Fail(StrFormat("kInternal without armed faults: %s",
+                       result.status().ToString().c_str()));
+    }
+    ++s.report->status_errors;
+    return;
+  }
+  const AutoBiResult& r = result.value();
+  Status valid = ValidateBiModel(bi_case.tables, r.model);
+  if (!valid.ok()) {
+    s.Fail(StrFormat("predicted model fails validation: %s",
+                     valid.ToString().c_str()));
+  }
+  if (r.degradation.Any()) {
+    ++s.report->degraded_models;
+    // Degradation markers must carry a trigger.
+    for (const StageHealth* h :
+         {&r.degradation.ucc, &r.degradation.ind,
+          &r.degradation.local_inference, &r.degradation.global_predict}) {
+      if (h->degraded && h->trigger.empty()) {
+        s.Fail("degraded stage with empty trigger");
+      }
+    }
+  }
+  // Exporters must accept any validated (possibly degraded) model.
+  StatusOr<std::string> json = ExportJson(bi_case.tables, r.model);
+  if (!json.ok()) {
+    s.Fail(StrFormat("ExportJson rejected a validated model: %s",
+                     json.status().ToString().c_str()));
+  }
+}
+
+}  // namespace
+
+FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
+  FaultFuzzReport report;
+  Timer timer;
+  Rng master(options.seed);
+  // Make sure the env-configured global state never leaks into the
+  // campaign's own deterministic specs.
+  FaultPoints::Global().Disable();
+  for (long i = 0; i < options.cases; ++i) {
+    if (options.time_budget_sec > 0 &&
+        timer.Seconds() > options.time_budget_sec) {
+      report.time_budget_hit = true;
+      break;
+    }
+    Rng rng = master.Fork();
+    Scratch s{&report, i};
+    switch (rng.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2:
+        s.scenario = "csv";
+        RunCsvCase(rng, s);
+        break;
+      case 3:
+      case 4:
+        s.scenario = "ddl";
+        RunDdlCase(rng, s);
+        break;
+      case 5:
+        s.scenario = "file";
+        if (options.scratch_dir.empty()) {
+          s.scenario = "csv";
+          RunCsvCase(rng, s);
+        } else {
+          RunFileCase(rng, s, options.scratch_dir);
+        }
+        break;
+      default:
+        s.scenario = "pipeline";
+        RunPipelineCase(rng, s);
+        break;
+    }
+    ++report.cases_run;
+  }
+  FaultPoints::Global().Disable();
+  report.elapsed_sec = timer.Seconds();
+  return report;
+}
+
+std::string FormatFaultFuzzReport(const FaultFuzzReport& report) {
+  std::string out = StrFormat(
+      "faultfuzz: %s — %ld cases in %.1fs (%ld failures)\n",
+      report.failures == 0 ? "PASS" : "FAIL", report.cases_run,
+      report.elapsed_sec, report.failures);
+  out += StrFormat(
+      "  scenarios: csv=%ld ddl=%ld file=%ld pipeline=%ld%s\n",
+      report.csv_cases, report.ddl_cases, report.file_cases,
+      report.pipeline_cases,
+      report.time_budget_hit ? " (time budget hit)" : "");
+  out += StrFormat(
+      "  outcomes: status_errors=%ld parses_ok=%ld degraded_models=%ld "
+      "injected_faults=%ld\n",
+      report.status_errors, report.parses_ok, report.degraded_models,
+      report.injected_faults);
+  for (const std::string& f : report.failure_messages) {
+    out += "  FAILURE " + f + "\n";
+  }
+  return out;
+}
+
+}  // namespace autobi

@@ -1,0 +1,63 @@
+#ifndef AUTOBI_FUZZ_FAULT_FUZZ_H_
+#define AUTOBI_FUZZ_FAULT_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autobi {
+
+// End-to-end fault-injection campaign (the robustness counterpart of the
+// solver-correctness fuzzer in fuzzer.h). Each seeded case draws one
+// scenario:
+//   - byte-mutated / arbitrary-byte CSV text through ReadCsv (strict and
+//     lenient, with and without a byte cap),
+//   - byte-mutated / arbitrary-byte DDL scripts through ParseSqlDdl,
+//   - mutated CSV bytes written to disk and loaded through ReadCsvFile with
+//     io.open / io.short_read faults armed,
+//   - a full Predict run on a synthetic case under a randomized RunContext
+//     (budgets, near-zero deadlines, pre-cancellation) and a randomized
+//     AUTOBI_FAULT-style spec arming candidates.exhausted / parallel.task.
+//
+// The invariant checked on every case: the service layer either returns a
+// well-formed Status error or a result whose model passes ValidateBiModel
+// (possibly degraded) — never a crash, hang, or leak (the CI smoke runs the
+// campaign under ASan/UBSan).
+struct FaultFuzzOptions {
+  uint64_t seed = 1;
+  long cases = 1000;
+  // Wall-clock budget in seconds; 0 disables. When exhausted the run stops
+  // early and reports time_budget_hit.
+  double time_budget_sec = 0.0;
+  // Scratch directory for the ReadCsvFile scenario; empty skips it.
+  std::string scratch_dir = "/tmp";
+};
+
+struct FaultFuzzReport {
+  long cases_run = 0;
+  // Per-scenario counts.
+  long csv_cases = 0;
+  long ddl_cases = 0;
+  long file_cases = 0;
+  long pipeline_cases = 0;
+  // Outcome counts (informational; none of these are failures).
+  long status_errors = 0;    // Well-formed non-OK Statuses observed.
+  long parses_ok = 0;        // Mutated inputs that still parsed.
+  long degraded_models = 0;  // Pipeline runs with degradation markers set.
+  long injected_faults = 0;  // FaultPoints fires across the campaign.
+  // Invariant violations (exit code 1 when nonzero).
+  long failures = 0;
+  bool time_budget_hit = false;
+  double elapsed_sec = 0.0;
+  // One line per violation: "case <n> (<scenario>): <message>".
+  std::vector<std::string> failure_messages;
+};
+
+FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options);
+
+// Renders a human-readable summary (first line is the verdict).
+std::string FormatFaultFuzzReport(const FaultFuzzReport& report);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_FUZZ_FAULT_FUZZ_H_

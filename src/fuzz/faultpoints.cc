@@ -1,0 +1,122 @@
+#include "fuzz/faultpoints.h"
+
+#include <cstdlib>
+
+namespace autobi {
+
+namespace {
+
+// splitmix64: the same cheap, stable mixer the solver memoization uses.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const char* s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a.
+  for (; *s; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Uniform [0, 1) from one draw of the (seed, point, counter) stream.
+double DrawUnit(uint64_t seed, uint64_t point_hash, uint64_t counter) {
+  uint64_t bits = Mix64(seed ^ Mix64(point_hash ^ Mix64(counter)));
+  return double(bits >> 11) * (1.0 / 9007199254740992.0);  // 2^53.
+}
+
+}  // namespace
+
+FaultPoints& FaultPoints::Global() {
+  static FaultPoints* instance = [] {
+    auto* fp = new FaultPoints();
+    fp->ConfigureFromEnv();
+    return fp;
+  }();
+  return *instance;
+}
+
+bool FaultPoints::Configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  seed_ = 1;
+  fires_.store(0, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (spec.empty()) return true;
+
+  std::string body = spec;
+  size_t at = body.rfind('@');
+  if (at != std::string::npos) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(body.c_str() + at + 1, &end, 10);
+    if (end == body.c_str() + at + 1 || *end != '\0') return false;
+    seed_ = static_cast<uint64_t>(parsed);
+    body = body.substr(0, at);
+  }
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t comma = body.find(',', pos);
+    std::string entry = body.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? body.size() : comma + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == 0 || eq == std::string::npos) {
+      points_.clear();
+      return false;
+    }
+    char* end = nullptr;
+    double prob = std::strtod(entry.c_str() + eq + 1, &end);
+    if (end == entry.c_str() + eq + 1 || *end != '\0' || prob < 0.0 ||
+        prob > 1.0) {
+      points_.clear();
+      return false;
+    }
+    points_[entry.substr(0, eq)].probability = prob;
+  }
+  enabled_.store(!points_.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultPoints::ConfigureFromEnv() {
+  const char* spec = std::getenv("AUTOBI_FAULT");
+  Configure(spec == nullptr ? std::string() : std::string(spec));
+}
+
+void FaultPoints::Disable() { Configure(std::string()); }
+
+bool FaultPoints::Fire(const char* point) {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || it->second.probability <= 0.0) return false;
+  PointState& state = it->second;
+  double draw = DrawUnit(seed_, HashName(point), state.queries++);
+  if (draw >= state.probability) return false;
+  ++state.fires;
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double FaultPoints::Fraction(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A distinct stream per point, keyed off a flipped name hash so Fraction
+  // draws never collide with Fire decisions.
+  PointState& state = points_[std::string(point) + "#fraction"];
+  return DrawUnit(seed_, ~HashName(point), state.queries++);
+}
+
+std::vector<std::pair<std::string, long>> FaultPoints::FireCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, long>> out;
+  for (const auto& [name, state] : points_) {
+    if (state.fires > 0) out.emplace_back(name, state.fires);
+  }
+  return out;
+}
+
+}  // namespace autobi

@@ -60,6 +60,7 @@ namespace {
 KmcaResult BruteForceSubsets(const JoinGraph& graph, double penalty_weight,
                              bool enforce_fk_once) {
   size_t m = graph.num_edges();
+  // invariant: callers gate on the brute-force size limit before calling.
   AUTOBI_CHECK_MSG(m <= 22, "brute force limited to 22 edges");
   int n = graph.num_vertices();
   KmcaResult best;

@@ -118,6 +118,7 @@ EdmondsWorkspace::Level& EdmondsWorkspace::level(size_t l) {
 bool EdmondsWorkspace::Solve(int num_vertices, const std::vector<Arc>& arcs,
                              int root, const int* arc_edge,
                              const char* edge_mask) {
+  // invariant: the solver passes a root it constructed in range.
   AUTOBI_CHECK(root >= 0 && root < num_vertices);
   selected_.clear();
   if (num_vertices == 1) return true;
@@ -258,6 +259,7 @@ std::optional<std::vector<int>> SolveMinCostArborescence(
 
 std::optional<std::vector<int>> SolveMinCostArborescenceLegacy(
     int num_vertices, const std::vector<Arc>& arcs, int root) {
+  // invariant: the solver passes a root it constructed in range.
   AUTOBI_CHECK(root >= 0 && root < num_vertices);
   if (num_vertices == 1) return std::vector<int>{};
   return SolveRecursive(num_vertices, arcs, root);

@@ -98,6 +98,7 @@ std::vector<int> SolveEmsExact(const JoinGraph& graph,
     if (e.pair_id >= 0 && backbone_pairs.count(e.pair_id)) continue;
     remaining.push_back(e.id);
   }
+  // invariant: callers gate on the exact-solver size limit before calling.
   AUTOBI_CHECK_MSG(remaining.size() <= 22,
                    "SolveEmsExact limited to 22 remaining edges");
 

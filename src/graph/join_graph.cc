@@ -25,6 +25,7 @@ int JoinGraph::InternSourceKey(int src, const std::vector<int>& cols) {
 int JoinGraph::AddEdge(int src, int dst, std::vector<int> src_columns,
                        std::vector<int> dst_columns, double probability,
                        bool one_to_one, int pair_id) {
+  // invariant: graph builders only add edges between existing vertices.
   AUTOBI_CHECK(src >= 0 && src < num_vertices_);
   AUTOBI_CHECK(dst >= 0 && dst < num_vertices_);
   AUTOBI_CHECK(src != dst);

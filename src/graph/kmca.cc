@@ -50,7 +50,7 @@ void SolveKmcaOverInstance(const JoinGraph& graph, const KmcaInstance& inst,
                             inst.arc_to_edge.data(), edge_mask);
   // With the artificial root every vertex is reachable, so this always
   // succeeds.
-  AUTOBI_CHECK(ok);
+  AUTOBI_CHECK(ok);  // invariant: see comment above.
 
   for (int ai : workspace.selected()) {
     int edge_id = inst.arc_to_edge[size_t(ai)];

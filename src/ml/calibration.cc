@@ -25,6 +25,7 @@ double Sigmoid(double z) {
 
 void PlattCalibrator::Fit(const std::vector<double>& scores,
                           const std::vector<int>& labels) {
+  // invariant: the trainer builds scores and labels in lockstep, non-empty.
   AUTOBI_CHECK(scores.size() == labels.size());
   AUTOBI_CHECK(!scores.empty());
   size_t n = scores.size();
@@ -86,6 +87,7 @@ bool PlattCalibrator::Load(std::istream& is) {
 
 void IsotonicCalibrator::Fit(const std::vector<double>& scores,
                              const std::vector<int>& labels) {
+  // invariant: the trainer builds scores and labels in lockstep, non-empty.
   AUTOBI_CHECK(scores.size() == labels.size());
   AUTOBI_CHECK(!scores.empty());
   size_t n = scores.size();

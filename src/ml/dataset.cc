@@ -7,6 +7,7 @@
 namespace autobi {
 
 void Dataset::Add(const std::vector<double>& features, int label) {
+  // invariant: the featurizer emits fixed-width rows.
   AUTOBI_CHECK(features.size() == num_features());
   features_.insert(features_.end(), features.begin(), features.end());
   labels_.push_back(label);

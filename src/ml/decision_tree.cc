@@ -26,7 +26,7 @@ double Gini(double pos, double total) {
 void DecisionTree::Fit(const Dataset& data, const std::vector<size_t>& rows,
                        const TreeOptions& options, Rng& rng) {
   nodes_.clear();
-  AUTOBI_CHECK(!rows.empty());
+  AUTOBI_CHECK(!rows.empty());  // invariant: forests never fit empty node sets.
   std::vector<size_t> work = rows;
   Build(data, work, 0, work.size(), 0, options, rng);
 }
@@ -126,7 +126,7 @@ int DecisionTree::Build(const Dataset& data, std::vector<size_t>& rows,
 }
 
 double DecisionTree::PredictProba(const std::vector<double>& features) const {
-  AUTOBI_CHECK(!nodes_.empty());
+  AUTOBI_CHECK(!nodes_.empty());  // invariant: Fit() precedes prediction.
   int cur = 0;
   for (;;) {
     const Node& node = nodes_[static_cast<size_t>(cur)];

@@ -141,7 +141,7 @@ double Gbdt::Evaluate(const Tree& tree, const std::vector<double>& features) {
 }
 
 void Gbdt::Fit(const Dataset& data, const GbdtOptions& options, Rng& rng) {
-  AUTOBI_CHECK(data.num_rows() > 0);
+  AUTOBI_CHECK(data.num_rows() > 0);  // invariant: trainer filters empty data.
   trees_.clear();
   size_t n = data.num_rows();
   double pos = double(data.num_positives());
@@ -178,7 +178,7 @@ void Gbdt::Fit(const Dataset& data, const GbdtOptions& options, Rng& rng) {
 }
 
 double Gbdt::PredictProba(const std::vector<double>& features) const {
-  AUTOBI_CHECK(trained());
+  AUTOBI_CHECK(trained());  // invariant: Fit() precedes prediction.
   double score = base_score_;
   for (const Tree& tree : trees_) {
     score += learning_rate_ * Evaluate(tree, features);

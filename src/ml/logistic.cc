@@ -26,6 +26,7 @@ void LogisticRegression::Fit(const Dataset& data,
                              const LogisticOptions& options) {
   size_t n = data.num_rows();
   size_t d = data.num_features();
+  // invariant: the trainer never fits on an empty dataset.
   AUTOBI_CHECK(n > 0 && d > 0);
 
   // Standardize features for stable gradient descent.
@@ -87,7 +88,7 @@ void LogisticRegression::Fit(const Dataset& data,
 
 double LogisticRegression::PredictProba(
     const std::vector<double>& features) const {
-  AUTOBI_CHECK(trained());
+  AUTOBI_CHECK(trained());  // invariant: Fit() precedes prediction.
   double z = bias_;
   for (size_t j = 0; j < weights_.size(); ++j) {
     z += weights_[j] * (features[j] - mean_[j]) / scale_[j];

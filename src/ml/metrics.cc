@@ -10,6 +10,7 @@ namespace autobi {
 BinaryMetrics ComputeBinaryMetrics(const std::vector<double>& scores,
                                    const std::vector<int>& labels,
                                    double threshold) {
+  // invariant: evaluators build scores and labels in lockstep.
   AUTOBI_CHECK(scores.size() == labels.size());
   BinaryMetrics m;
   for (size_t i = 0; i < scores.size(); ++i) {
@@ -40,6 +41,7 @@ BinaryMetrics ComputeBinaryMetrics(const std::vector<double>& scores,
 
 double RocAuc(const std::vector<double>& scores,
               const std::vector<int>& labels) {
+  // invariant: evaluators build scores and labels in lockstep.
   AUTOBI_CHECK(scores.size() == labels.size());
   // Rank-based (Mann-Whitney) computation with average ranks for ties.
   size_t n = scores.size();
@@ -70,6 +72,7 @@ double RocAuc(const std::vector<double>& scores,
 
 double BrierScore(const std::vector<double>& scores,
                   const std::vector<int>& labels) {
+  // invariant: evaluators build scores and labels in lockstep.
   AUTOBI_CHECK(scores.size() == labels.size());
   if (scores.empty()) return 0.0;
   double sum = 0.0;
@@ -83,8 +86,9 @@ double BrierScore(const std::vector<double>& scores,
 double ExpectedCalibrationError(const std::vector<double>& scores,
                                 const std::vector<int>& labels,
                                 int num_bins) {
+  // invariant: evaluators build scores and labels in lockstep.
   AUTOBI_CHECK(scores.size() == labels.size());
-  AUTOBI_CHECK(num_bins > 0);
+  AUTOBI_CHECK(num_bins > 0);  // invariant: bin count is a compile-time-ish knob.
   if (scores.empty()) return 0.0;
   std::vector<double> sum_p(num_bins, 0.0), sum_y(num_bins, 0.0);
   std::vector<size_t> count(num_bins, 0);

@@ -12,7 +12,7 @@ namespace autobi {
 
 void RandomForest::Fit(const Dataset& data, const ForestOptions& options,
                        Rng& rng) {
-  AUTOBI_CHECK(data.num_rows() > 0);
+  AUTOBI_CHECK(data.num_rows() > 0);  // invariant: trainer filters empty data.
   trees_.clear();
   TreeOptions topt = options.tree;
   if (options.sqrt_features && topt.features_per_split == 0) {
@@ -41,7 +41,7 @@ void RandomForest::Fit(const Dataset& data, const ForestOptions& options,
 }
 
 double RandomForest::PredictProba(const std::vector<double>& features) const {
-  AUTOBI_CHECK(!trees_.empty());
+  AUTOBI_CHECK(!trees_.empty());  // invariant: Fit() precedes prediction.
   double sum = 0.0;
   for (const DecisionTree& tree : trees_) sum += tree.PredictProba(features);
   return sum / static_cast<double>(trees_.size());

@@ -71,6 +71,18 @@ TableProfile ProfileTable(const Table& table, size_t max_sample) {
   return tp;
 }
 
+TableProfile MetadataOnlyProfile(const Table& table) {
+  TableProfile tp;
+  tp.row_count = 0;
+  tp.columns.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    tp.columns[c].type = table.column(c).type();
+    tp.columns[c].is_numeric = tp.columns[c].type == ValueType::kInt ||
+                               tp.columns[c].type == ValueType::kDouble;
+  }
+  return tp;
+}
+
 std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
                                         size_t max_sample, int threads) {
   std::vector<TableProfile> out(tables.size());

@@ -59,6 +59,12 @@ ColumnProfile ProfileColumn(const Column& col, size_t max_sample = 512);
 // Profiles every column of `table`.
 TableProfile ProfileTable(const Table& table, size_t max_sample = 512);
 
+// A schema-shaped profile that never scans rows: per-column types only, zero
+// counts and empty distinct sets. Used when a RunContext row/cell budget
+// excludes a table from value probing — downstream treats the table exactly
+// like an empty (DDL-only) one.
+TableProfile MetadataOnlyProfile(const Table& table);
+
 // Profiles every table of a case. Tables are profiled in parallel on the
 // shared pool (`threads` as in ResolveThreads: 0 = AUTOBI_THREADS/hardware,
 // 1 = serial); output order and contents are thread-count-invariant.

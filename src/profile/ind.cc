@@ -244,7 +244,8 @@ std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
                               const std::vector<TableProfile>& profiles,
                               const std::vector<std::vector<Ucc>>& uccs,
                               const IndOptions& options, IndStats* stats,
-                              CompositeKeyCache* cache) {
+                              CompositeKeyCache* cache,
+                              const RunContext* ctx) {
   // Enumerate ordered pairs in the serial scan order, fan the per-pair scans
   // out, then concatenate per-pair results in that same order: the combined
   // IND list is byte-identical at any thread count.
@@ -262,6 +263,10 @@ std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
   std::vector<PairScan> per_pair = ParallelMap(
       pairs.size(),
       [&](size_t p) {
+        // Item-boundary stop poll: once the deadline passes or the run is
+        // cancelled, remaining pairs contribute nothing (the caller marks
+        // the stage degraded). A null/untripped context changes nothing.
+        if (ctx != nullptr && ctx->StopRequested()) return PairScan{};
         return ScanTablePair(tables, profiles, uccs, options, cache,
                              pairs[p].first, pairs[p].second);
       },

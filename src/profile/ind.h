@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/run_context.h"
 #include "profile/column_profile.h"
 #include "profile/ucc.h"
 #include "table/table.h"
@@ -147,12 +148,16 @@ double CompositeContainment(const Table& ta, const std::vector<int>& ca,
 // non-null referenced composite key sets are built/reused through it (pass
 // one cache across calls to share sets with e.g. reverse-containment
 // probing in GenerateCandidates), otherwise a run-local cache is used.
+// If `ctx` is non-null, each table-pair scan polls RunContext::StopRequested
+// at its boundary and returns no INDs once the run is stopped (graceful
+// degradation; a null or untripped context leaves results byte-identical).
 std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
                               const std::vector<TableProfile>& profiles,
                               const std::vector<std::vector<Ucc>>& uccs,
                               const IndOptions& options = {},
                               IndStats* stats = nullptr,
-                              CompositeKeyCache* cache = nullptr);
+                              CompositeKeyCache* cache = nullptr,
+                              const RunContext* ctx = nullptr);
 
 }  // namespace autobi
 

@@ -807,7 +807,7 @@ BiCase GenerateClassicDb(ClassicDb db, bool olap, double scale, Rng& rng) {
       return olap ? WorldWideImportersOlap(scale, rng)
                   : WorldWideImportersOltp(scale, rng);
   }
-  AUTOBI_CHECK(false);
+  AUTOBI_CHECK(false);  // invariant: the switch above covers every enum value.
   return {};
 }
 

@@ -19,6 +19,7 @@ int BucketOfTableCount(int num_tables) {
 const char* BucketLabel(int bucket) {
   static const char* kLabels[kNumBuckets] = {
       "4", "5", "6", "7", "8", "9", "10", "[11,15]", "[16,20]", "21+"};
+  // invariant: bucket indices come from the bucketing function above.
   AUTOBI_CHECK(bucket >= 0 && bucket < kNumBuckets);
   return kLabels[bucket];
 }

@@ -102,6 +102,7 @@ void SchemaBuilder::AddFkColumn(const std::string& table,
                                      JoinKind::kNToOne});
     return;
   }
+  // invariant: generator schemas only reference tables they created.
   AUTOBI_CHECK_MSG(false, "AddFkColumn: unknown table");
 }
 
@@ -132,6 +133,7 @@ BiCase SchemaBuilder::Generate(const std::string& case_name, Rng& rng) const {
         continue;
       }
       auto it = table_index.find(c.ref_table);
+      // invariant: generator schemas only reference tables they created.
       AUTOBI_CHECK_MSG(it != table_index.end(), "FK references unknown table");
       if (it->second == static_cast<int>(i)) continue;  // Self-reference.
       dependents[size_t(it->second)].push_back(static_cast<int>(i));
@@ -326,6 +328,7 @@ BiCase SchemaBuilder::Generate(const std::string& case_name, Rng& rng) const {
         }
         case ColumnKind::kCategory: {
           Column& col = table.AddColumn(cs.name, ValueType::kString);
+          // invariant: generators always supply a category vocabulary.
           AUTOBI_CHECK(!cs.categories.empty());
           for (size_t r = 0; r < rows; ++r) {
             if (cs.null_fraction > 0 && rng.NextBool(cs.null_fraction)) {
@@ -363,7 +366,7 @@ BiCase SchemaBuilder::Generate(const std::string& case_name, Rng& rng) const {
         }
       }
     }
-    AUTOBI_CHECK(table.Validate());
+    AUTOBI_CHECK(table.Validate());  // invariant: generated columns align.
   }
 
   // Ground-truth joins from the declared relationships.
@@ -374,11 +377,13 @@ BiCase SchemaBuilder::Generate(const std::string& case_name, Rng& rng) const {
     join.to.table = table_index.at(rel.to_table);
     for (const std::string& c : rel.from_columns) {
       int ci = out.tables[size_t(join.from.table)].ColumnIndex(c);
+      // invariant: relationships name columns the builder just emitted.
       AUTOBI_CHECK_MSG(ci >= 0, "relationship from-column missing");
       join.from.columns.push_back(ci);
     }
     for (const std::string& c : rel.to_columns) {
       int ci = out.tables[size_t(join.to.table)].ColumnIndex(c);
+      // invariant: relationships name columns the builder just emitted.
       AUTOBI_CHECK_MSG(ci >= 0, "relationship to-column missing");
       join.to.columns.push_back(ci);
     }

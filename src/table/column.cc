@@ -29,6 +29,7 @@ void Column::EnsureType(ValueType t) {
     }
     return;
   }
+  // invariant: loaders fix a column's type before appending to it.
   AUTOBI_CHECK_MSG(type_ == t, "column type mismatch on append");
 }
 
@@ -101,17 +102,17 @@ void Column::AppendParsed(std::string_view cell) {
 }
 
 int64_t Column::Int(size_t i) const {
-  AUTOBI_CHECK(type_ == ValueType::kInt);
+  AUTOBI_CHECK(type_ == ValueType::kInt);  // invariant: caller checked type().
   return ints_[i];
 }
 
 double Column::Double(size_t i) const {
-  AUTOBI_CHECK(type_ == ValueType::kDouble);
+  AUTOBI_CHECK(type_ == ValueType::kDouble);  // invariant: caller checked type().
   return doubles_[i];
 }
 
 const std::string& Column::Str(size_t i) const {
-  AUTOBI_CHECK(type_ == ValueType::kString);
+  AUTOBI_CHECK(type_ == ValueType::kString);  // invariant: caller checked type().
   return strings_[i];
 }
 

@@ -1,21 +1,22 @@
 #include "table/csv.h"
 
 #include <fstream>
-#include <sstream>
 #include <vector>
 
 #include "common/strings.h"
+#include "fuzz/faultpoints.h"
 #include "table/value.h"
 
 namespace autobi {
 
 namespace {
 
-// Splits CSV text into rows of fields, honoring quotes. Returns false on an
+constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+
+// Splits CSV text into rows of fields, honoring quotes. Errors on an
 // unterminated quoted field.
-bool ParseCsvCells(std::string_view text,
-                   std::vector<std::vector<std::string>>* rows,
-                   std::string* error) {
+Status ParseCsvCells(std::string_view text,
+                     std::vector<std::vector<std::string>>* rows) {
   rows->clear();
   std::vector<std::string> row;
   std::string field;
@@ -72,7 +73,7 @@ bool ParseCsvCells(std::string_view text,
         ++i;
         break;
       case '\r':
-        ++i;  // Tolerate CRLF.
+        ++i;  // Tolerate CRLF (and stray CR).
         break;
       case '\n':
         end_row();
@@ -86,30 +87,47 @@ bool ParseCsvCells(std::string_view text,
     }
   }
   if (in_quotes) {
-    *error = "unterminated quoted field";
-    return false;
+    return Status::InvalidInput("unterminated quoted field");
   }
   if (field_started || !field.empty() || !row.empty()) end_row();
-  return true;
+  return Status::Ok();
 }
 
 }  // namespace
 
-bool ReadCsv(std::string_view text, std::string table_name, Table* out,
-             std::string* error) {
+StatusOr<Table> ReadCsv(std::string_view text, std::string table_name,
+                        const CsvOptions& options, CsvStats* stats) {
+  CsvStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = CsvStats{};
+  if (options.max_bytes > 0 && text.size() > options.max_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("CSV input is %zu bytes, over the %zu-byte cap", text.size(),
+                  options.max_bytes));
+  }
+  if (StartsWith(text, kUtf8Bom)) {
+    text.remove_prefix(kUtf8Bom.size());
+    stats->had_bom = true;
+  }
   std::vector<std::vector<std::string>> rows;
-  if (!ParseCsvCells(text, &rows, error)) return false;
+  AUTOBI_RETURN_IF_ERROR(ParseCsvCells(text, &rows));
   if (rows.empty()) {
-    *error = "empty CSV input";
-    return false;
+    return Status::InvalidInput("empty CSV input");
   }
   const std::vector<std::string>& header = rows[0];
   size_t width = header.size();
   for (size_t r = 1; r < rows.size(); ++r) {
-    if (rows[r].size() != width) {
-      *error = StrFormat("row %zu has %zu fields, expected %zu", r,
-                         rows[r].size(), width);
-      return false;
+    if (rows[r].size() == width) continue;
+    if (!options.lenient) {
+      return Status::InvalidInput(StrFormat(
+          "row %zu has %zu fields, expected %zu", r, rows[r].size(), width));
+    }
+    if (rows[r].size() < width) {
+      rows[r].resize(width);  // Pad with empty cells (become nulls).
+      ++stats->ragged_rows_padded;
+    } else {
+      rows[r].resize(width);
+      ++stats->ragged_rows_truncated;
     }
   }
   // Infer each column's type across all data rows.
@@ -119,32 +137,51 @@ bool ReadCsv(std::string_view text, std::string table_name, Table* out,
       types[c] = UnifyValueTypes(types[c], InferValueType(rows[r][c]));
     }
   }
-  *out = Table(std::move(table_name));
+  Table out(std::move(table_name));
   for (size_t c = 0; c < width; ++c) {
     ValueType t = types[c] == ValueType::kNull ? ValueType::kString : types[c];
-    out->AddColumn(header[c], t);
+    out.AddColumn(header[c], t);
   }
   for (size_t r = 1; r < rows.size(); ++r) {
     for (size_t c = 0; c < width; ++c) {
-      out->column(c).AppendParsed(rows[r][c]);
+      out.column(c).AppendParsed(rows[r][c]);
     }
   }
-  return true;
+  return out;
 }
 
-bool ReadCsvFile(const std::string& path, Table* out, std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    *error = "cannot open " + path;
-    return false;
+StatusOr<Table> ReadCsvFile(const std::string& path, const CsvOptions& options,
+                            CsvStats* stats) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in || FaultPoints::Global().Fire("io.open")) {
+    return Status::Internal("cannot open " + path);
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
+  std::streamoff size = in.tellg();
+  if (size < 0) {
+    return Status::Internal("cannot determine size of " + path);
+  }
+  // Reject oversized files before buffering a single byte.
+  if (options.max_bytes > 0 && size_t(size) > options.max_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("%s is %lld bytes, over the %zu-byte cap", path.c_str(),
+                  static_cast<long long>(size), options.max_bytes));
+  }
+  in.seekg(0, std::ios::beg);
+  std::string bytes(size_t(size), '\0');
+  if (size > 0 && !in.read(bytes.data(), size)) {
+    return Status::Internal("read failed for " + path);
+  }
+  if (FaultPoints::Global().Fire("io.short_read")) {
+    bytes.resize(size_t(double(bytes.size()) *
+                        FaultPoints::Global().Fraction("io.short_read")));
+  }
   std::string name = path;
   size_t slash = name.find_last_of('/');
   if (slash != std::string::npos) name = name.substr(slash + 1);
   if (EndsWith(name, ".csv")) name = name.substr(0, name.size() - 4);
-  return ReadCsv(buf.str(), name, out, error);
+  StatusOr<Table> table = ReadCsv(bytes, name, options, stats);
+  if (!table.ok()) return table.status().WithContext("read " + path);
+  return table;
 }
 
 namespace {

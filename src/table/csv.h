@@ -1,26 +1,55 @@
 #ifndef AUTOBI_TABLE_CSV_H_
 #define AUTOBI_TABLE_CSV_H_
 
-#include <iosfwd>
+#include <cstddef>
 #include <string>
 #include <string_view>
 
+#include "common/status.h"
 #include "table/table.h"
 
 namespace autobi {
 
 // Minimal RFC-4180-style CSV support so users can feed their own tables to
 // Auto-BI (see examples/quickstart.cc). Quoted fields with embedded commas,
-// quotes ("" escaping) and newlines are handled. Types are inferred from the
-// data: a column is int/double only if every non-empty cell parses.
+// quotes ("" escaping) and newlines are handled; a leading UTF-8 BOM and
+// CRLF line endings are tolerated. Types are inferred from the data: a
+// column is int/double only if every non-empty cell parses.
+//
+// This is an untrusted-input surface: all entry points return a typed
+// Status (common/status.h) instead of aborting, whatever the bytes are.
 
-// Parses CSV text (first row = header) into a Table. Returns false and fills
-// *error on malformed input (ragged rows, unterminated quote).
-bool ReadCsv(std::string_view text, std::string table_name, Table* out,
-             std::string* error);
+struct CsvOptions {
+  // Inputs larger than this many bytes are rejected with kResourceExhausted
+  // before any buffering happens (ReadCsvFile checks the file size up
+  // front). 0 disables the cap.
+  size_t max_bytes = size_t{512} << 20;  // 512 MiB.
+  // Strict mode (default) rejects ragged rows with kInvalidInput. Lenient
+  // mode pads short rows with nulls and truncates long rows to the header
+  // width, counting the repairs in CsvStats.
+  bool lenient = false;
+};
+
+// Per-load observability: what the reader tolerated or repaired.
+struct CsvStats {
+  bool had_bom = false;
+  size_t ragged_rows_padded = 0;
+  size_t ragged_rows_truncated = 0;
+  size_t Warnings() const { return ragged_rows_padded + ragged_rows_truncated; }
+};
+
+// Parses CSV text (first row = header) into a Table. Errors: kInvalidInput
+// on malformed input (ragged rows in strict mode, unterminated quote, empty
+// input), kResourceExhausted past options.max_bytes.
+StatusOr<Table> ReadCsv(std::string_view text, std::string table_name,
+                        const CsvOptions& options = {},
+                        CsvStats* stats = nullptr);
 
 // Reads a CSV file; the table name defaults to the basename without ".csv".
-bool ReadCsvFile(const std::string& path, Table* out, std::string* error);
+// Adds kInternal for I/O failures (cannot open / read failure).
+StatusOr<Table> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options = {},
+                            CsvStats* stats = nullptr);
 
 // Serializes a table as CSV (header + rows; nulls render as empty fields).
 std::string WriteCsv(const Table& table);

@@ -88,12 +88,11 @@ ValueType TypeFromSql(const std::string& type_name) {
 
 // Parses "(ident [, ident]*)" starting at tokens[i] == "("; returns the
 // identifiers and advances i past the ")".
-bool ParseIdentList(const std::vector<Token>& tokens, size_t& i,
-                    std::vector<std::string>* out, std::string* error) {
+Status ParseIdentList(const std::vector<Token>& tokens, size_t& i,
+                      std::vector<std::string>* out) {
   out->clear();
   if (i >= tokens.size() || tokens[i].text != "(") {
-    *error = "expected '('";
-    return false;
+    return Status::InvalidInput("expected '('");
   }
   ++i;
   while (i < tokens.size() && tokens[i].text != ")") {
@@ -105,18 +104,20 @@ bool ParseIdentList(const std::vector<Token>& tokens, size_t& i,
     ++i;
   }
   if (i >= tokens.size()) {
-    *error = "unterminated identifier list";
-    return false;
+    return Status::InvalidInput("unterminated identifier list");
   }
   ++i;  // Consume ')'.
-  return !out->empty();
+  if (out->empty()) {
+    return Status::InvalidInput("empty identifier list");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
-bool ParseSqlDdl(std::string_view script, DdlSchema* out,
-                 std::string* error) {
-  *out = DdlSchema{};
+StatusOr<DdlSchema> ParseSqlDdl(std::string_view script) {
+  DdlSchema schema;
+  DdlSchema* out = &schema;
   std::vector<Token> tokens = Tokenize(script);
   size_t i = 0;
   auto skip_statement = [&]() {
@@ -141,8 +142,7 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
       i += 3;
     }
     if (i >= tokens.size()) {
-      *error = "truncated CREATE TABLE";
-      return false;
+      return Status::InvalidInput("truncated CREATE TABLE");
     }
     // [schema.]name — keep the last component.
     std::string table_name = tokens[i].text;
@@ -152,8 +152,8 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
       i += 2;
     }
     if (i >= tokens.size() || tokens[i].text != "(") {
-      *error = "expected '(' after table name " + table_name;
-      return false;
+      return Status::InvalidInput("expected '(' after table name " +
+                                  table_name);
     }
     ++i;
 
@@ -188,12 +188,16 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
         i += 2;  // FOREIGN KEY.
         DdlForeignKey fk;
         fk.from_table = table_name;
-        if (!ParseIdentList(tokens, i, &fk.from_columns, error)) return false;
+        AUTOBI_RETURN_IF_ERROR(ParseIdentList(tokens, i, &fk.from_columns)
+                                   .WithContext("FOREIGN KEY in " +
+                                                table_name));
         if (i >= tokens.size() || !IsKeyword(tokens[i], "references")) {
-          *error = "expected REFERENCES in " + table_name;
-          return false;
+          return Status::InvalidInput("expected REFERENCES in " + table_name);
         }
         ++i;
+        if (i >= tokens.size()) {
+          return Status::InvalidInput("truncated REFERENCES in " + table_name);
+        }
         fk.to_table = tokens[i].text;
         ++i;
         while (i + 1 < tokens.size() && tokens[i].text == ".") {
@@ -201,7 +205,9 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
           i += 2;
         }
         if (i < tokens.size() && tokens[i].text == "(") {
-          if (!ParseIdentList(tokens, i, &fk.to_columns, error)) return false;
+          AUTOBI_RETURN_IF_ERROR(
+              ParseIdentList(tokens, i, &fk.to_columns)
+                  .WithContext("REFERENCES in " + table_name));
         }
         out->foreign_keys.push_back(std::move(fk));
         // Skip trailing ON DELETE/UPDATE actions up to ',' or ')'.
@@ -216,8 +222,8 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
       std::string column_name = tokens[i].text;
       ++i;
       if (i >= tokens.size()) {
-        *error = "truncated column definition in " + table_name;
-        return false;
+        return Status::InvalidInput("truncated column definition in " +
+                                    table_name);
       }
       std::string type_name = tokens[i].text;
       ++i;
@@ -227,6 +233,10 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
       while (i < tokens.size()) {
         if (IsKeyword(tokens[i], "references") && depth == 0) {
           ++i;
+          if (i >= tokens.size()) {
+            return Status::InvalidInput("truncated REFERENCES in " +
+                                        table_name);
+          }
           DdlForeignKey fk;
           fk.from_table = table_name;
           fk.from_columns = {column_name};
@@ -237,9 +247,9 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
             i += 2;
           }
           if (i < tokens.size() && tokens[i].text == "(") {
-            if (!ParseIdentList(tokens, i, &fk.to_columns, error)) {
-              return false;
-            }
+            AUTOBI_RETURN_IF_ERROR(
+                ParseIdentList(tokens, i, &fk.to_columns)
+                    .WithContext("REFERENCES in " + table_name));
           }
           out->foreign_keys.push_back(std::move(fk));
           continue;
@@ -263,18 +273,16 @@ bool ParseSqlDdl(std::string_view script, DdlSchema* out,
       }
     }
     if (i >= tokens.size()) {
-      *error = "unterminated CREATE TABLE " + table_name;
-      return false;
+      return Status::InvalidInput("unterminated CREATE TABLE " + table_name);
     }
     ++i;  // Consume ')'.
     if (i < tokens.size() && tokens[i].text == ";") ++i;
     out->tables.push_back(std::move(table));
   }
   if (out->tables.empty()) {
-    *error = "no CREATE TABLE statements found";
-    return false;
+    return Status::InvalidInput("no CREATE TABLE statements found");
   }
-  return true;
+  return schema;
 }
 
 }  // namespace autobi

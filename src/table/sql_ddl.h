@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "table/table.h"
 
 namespace autobi {
@@ -37,10 +38,11 @@ struct DdlSchema {
   std::vector<DdlForeignKey> foreign_keys;
 };
 
-// Parses `script`. Returns false and sets *error on malformed input.
-// Unknown constraints within a column definition are ignored.
-bool ParseSqlDdl(std::string_view script, DdlSchema* out,
-                 std::string* error);
+// Parses `script`. This is an untrusted-input surface: malformed input
+// yields kInvalidInput (truncated statements, missing parens, no CREATE
+// TABLE at all), never a crash. Unknown constraints within a column
+// definition are ignored.
+StatusOr<DdlSchema> ParseSqlDdl(std::string_view script);
 
 }  // namespace autobi
 

@@ -31,20 +31,21 @@ TEST(CaseIoTest, RoundTripsHandBuiltCase) {
       Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
 
   std::string dir = TempCaseDir("roundtrip");
-  std::string error;
-  ASSERT_TRUE(SaveCase(original, dir, &error)) << error;
+  Status saved = SaveCase(original, dir);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
 
-  BiCase loaded;
-  ASSERT_TRUE(LoadCase(dir, &loaded, &error)) << error;
-  EXPECT_EQ(loaded.name, "mini case");
-  EXPECT_EQ(loaded.schema_type, SchemaType::kStar);
-  ASSERT_EQ(loaded.tables.size(), 2u);
-  EXPECT_EQ(loaded.tables[0].name(), "fact");
-  EXPECT_EQ(loaded.tables[0].num_rows(), 3u);
-  EXPECT_EQ(loaded.tables[0].column(0).Int(1), 2);
-  EXPECT_TRUE(loaded.tables[0].column(1).IsNull(2));
-  ASSERT_EQ(loaded.ground_truth.joins.size(), 1u);
-  EXPECT_TRUE(loaded.ground_truth.joins[0] == original.ground_truth.joins[0]);
+  StatusOr<BiCase> loaded = LoadCase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const BiCase& c = loaded.value();
+  EXPECT_EQ(c.name, "mini case");
+  EXPECT_EQ(c.schema_type, SchemaType::kStar);
+  ASSERT_EQ(c.tables.size(), 2u);
+  EXPECT_EQ(c.tables[0].name(), "fact");
+  EXPECT_EQ(c.tables[0].num_rows(), 3u);
+  EXPECT_EQ(c.tables[0].column(0).Int(1), 2);
+  EXPECT_TRUE(c.tables[0].column(1).IsNull(2));
+  ASSERT_EQ(c.ground_truth.joins.size(), 1u);
+  EXPECT_TRUE(c.ground_truth.joins[0] == original.ground_truth.joins[0]);
 }
 
 TEST(CaseIoTest, RoundTripsGeneratedCaseWithEquivalentEvaluation) {
@@ -53,31 +54,32 @@ TEST(CaseIoTest, RoundTripsGeneratedCaseWithEquivalentEvaluation) {
   opt.num_tables = 6;
   BiCase original = GenerateBiCase(opt, rng);
   std::string dir = TempCaseDir("generated");
-  std::string error;
-  ASSERT_TRUE(SaveCase(original, dir, &error)) << error;
-  BiCase loaded;
-  ASSERT_TRUE(LoadCase(dir, &loaded, &error)) << error;
-  ASSERT_EQ(loaded.tables.size(), original.tables.size());
-  ASSERT_EQ(loaded.ground_truth.joins.size(),
+  Status saved = SaveCase(original, dir);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  StatusOr<BiCase> loaded = LoadCase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().tables.size(), original.tables.size());
+  ASSERT_EQ(loaded.value().ground_truth.joins.size(),
             original.ground_truth.joins.size());
   // Evaluating the original ground truth as a "prediction" against the
   // loaded case must be perfect: same joins, same semantics.
-  EdgeMetrics m = EvaluateCase(loaded, original.ground_truth);
+  EdgeMetrics m = EvaluateCase(loaded.value(), original.ground_truth);
   EXPECT_DOUBLE_EQ(m.precision, 1.0);
   EXPECT_DOUBLE_EQ(m.recall, 1.0);
   // Row counts survive.
   for (size_t t = 0; t < original.tables.size(); ++t) {
-    EXPECT_EQ(loaded.tables[t].num_rows(), original.tables[t].num_rows());
-    EXPECT_EQ(loaded.tables[t].num_columns(),
+    EXPECT_EQ(loaded.value().tables[t].num_rows(),
+              original.tables[t].num_rows());
+    EXPECT_EQ(loaded.value().tables[t].num_columns(),
               original.tables[t].num_columns());
   }
 }
 
 TEST(CaseIoTest, MissingDirectoryFails) {
-  BiCase c;
-  std::string error;
-  EXPECT_FALSE(LoadCase("/nonexistent/path", &c, &error));
-  EXPECT_FALSE(error.empty());
+  StatusOr<BiCase> loaded = LoadCase("/nonexistent/path");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(loaded.status().message().empty());
 }
 
 TEST(CaseIoTest, CorruptManifestFails) {
@@ -86,10 +88,10 @@ TEST(CaseIoTest, CorruptManifestFails) {
     std::ofstream m(dir + "/case.manifest");
     m << "not_a_manifest 9\n";
   }
-  BiCase c;
-  std::string error;
-  EXPECT_FALSE(LoadCase(dir, &c, &error));
-  EXPECT_NE(error.find("header"), std::string::npos);
+  StatusOr<BiCase> loaded = LoadCase(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(loaded.status().message().find("header"), std::string::npos);
 }
 
 TEST(CaseIoTest, JoinTableRangeValidated) {
@@ -97,21 +99,41 @@ TEST(CaseIoTest, JoinTableRangeValidated) {
   BiCase original;
   original.name = "r";
   original.tables.push_back(MakeTable("t", {{"a", {"1"}}}));
-  std::string error;
-  ASSERT_TRUE(SaveCase(original, dir, &error)) << error;
-  // Append a join that references a table out of range.
-  {
-    std::ofstream m(dir + "/case.manifest", std::ios::app);
-  }
-  // Rewrite manifest with a bogus join.
+  Status saved = SaveCase(original, dir);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  // Rewrite manifest with a join that references a table out of range.
   {
     std::ofstream m(dir + "/case.manifest");
     m << "autobi_case 1\nname r\nschema_type other\ntables 1\nt\n"
       << "joins 1\nN:1 0 0 7 0\n";
   }
-  BiCase c;
-  EXPECT_FALSE(LoadCase(dir, &c, &error));
-  EXPECT_NE(error.find("out of range"), std::string::npos);
+  StatusOr<BiCase> loaded = LoadCase(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(CaseIoTest, TraversalTableNameRejected) {
+  std::string dir = TempCaseDir("traversal");
+  {
+    std::ofstream m(dir + "/case.manifest");
+    m << "autobi_case 1\nname r\nschema_type other\ntables 1\n"
+      << "../../etc/passwd\njoins 0\n";
+  }
+  StatusOr<BiCase> loaded = LoadCase(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST(CaseIoTest, AbsurdManifestCountRejected) {
+  std::string dir = TempCaseDir("huge");
+  {
+    std::ofstream m(dir + "/case.manifest");
+    m << "autobi_case 1\nname r\nschema_type other\ntables 99999999999\n";
+  }
+  StatusOr<BiCase> loaded = LoadCase(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidInput);
 }
 
 }  // namespace

@@ -6,11 +6,10 @@ namespace autobi {
 namespace {
 
 TEST(CsvTest, ParsesHeaderAndTypedColumns) {
-  Table t;
-  std::string err;
-  ASSERT_TRUE(ReadCsv("id,name,price\n1,apple,1.5\n2,pear,2.0\n", "fruits",
-                      &t, &err))
-      << err;
+  StatusOr<Table> parsed =
+      ReadCsv("id,name,price\n1,apple,1.5\n2,pear,2.0\n", "fruits");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& t = parsed.value();
   EXPECT_EQ(t.name(), "fruits");
   ASSERT_EQ(t.num_columns(), 3u);
   EXPECT_EQ(t.num_rows(), 2u);
@@ -22,12 +21,10 @@ TEST(CsvTest, ParsesHeaderAndTypedColumns) {
 }
 
 TEST(CsvTest, QuotedFieldsWithCommasQuotesAndNewlines) {
-  Table t;
-  std::string err;
-  ASSERT_TRUE(ReadCsv(
-      "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",plain\n", "t",
-      &t, &err))
-      << err;
+  StatusOr<Table> parsed = ReadCsv(
+      "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",plain\n", "t");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& t = parsed.value();
   ASSERT_EQ(t.num_rows(), 2u);
   EXPECT_EQ(t.column(0).Str(0), "x,y");
   EXPECT_EQ(t.column(1).Str(0), "he said \"hi\"");
@@ -35,47 +32,82 @@ TEST(CsvTest, QuotedFieldsWithCommasQuotesAndNewlines) {
 }
 
 TEST(CsvTest, EmptyCellsBecomeNulls) {
-  Table t;
-  std::string err;
-  ASSERT_TRUE(ReadCsv("a,b\n1,\n,2\n", "t", &t, &err)) << err;
+  StatusOr<Table> parsed = ReadCsv("a,b\n1,\n,2\n", "t");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& t = parsed.value();
   EXPECT_TRUE(t.column(1).IsNull(0));
   EXPECT_TRUE(t.column(0).IsNull(1));
   EXPECT_EQ(t.column(0).Int(0), 1);
 }
 
 TEST(CsvTest, MixedColumnDegradesToString) {
-  Table t;
-  std::string err;
-  ASSERT_TRUE(ReadCsv("a\n1\nx\n", "t", &t, &err)) << err;
-  EXPECT_EQ(t.column(0).type(), ValueType::kString);
-  EXPECT_EQ(t.column(0).Str(0), "1");
+  StatusOr<Table> parsed = ReadCsv("a\n1\nx\n", "t");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().column(0).type(), ValueType::kString);
+  EXPECT_EQ(parsed.value().column(0).Str(0), "1");
 }
 
 TEST(CsvTest, CrLfTolerated) {
-  Table t;
-  std::string err;
-  ASSERT_TRUE(ReadCsv("a,b\r\n1,2\r\n", "t", &t, &err)) << err;
-  EXPECT_EQ(t.num_rows(), 1u);
-  EXPECT_EQ(t.column(1).Int(0), 2);
+  StatusOr<Table> parsed = ReadCsv("a,b\r\n1,2\r\n", "t");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().num_rows(), 1u);
+  EXPECT_EQ(parsed.value().column(1).Int(0), 2);
+}
+
+TEST(CsvTest, Utf8BomStripped) {
+  CsvStats stats;
+  StatusOr<Table> parsed =
+      ReadCsv("\xEF\xBB\xBF""a,b\n1,2\n", "t", CsvOptions{}, &stats);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(stats.had_bom);
+  EXPECT_EQ(parsed.value().column(0).name(), "a");
+  EXPECT_EQ(parsed.value().column(0).Int(0), 1);
 }
 
 TEST(CsvTest, RaggedRowIsAnError) {
-  Table t;
-  std::string err;
-  EXPECT_FALSE(ReadCsv("a,b\n1\n", "t", &t, &err));
-  EXPECT_FALSE(err.empty());
+  StatusOr<Table> parsed = ReadCsv("a,b\n1\n", "t");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidInput);
+  EXPECT_FALSE(parsed.status().message().empty());
+}
+
+TEST(CsvTest, LenientModePadsAndTruncatesRaggedRows) {
+  CsvOptions opt;
+  opt.lenient = true;
+  CsvStats stats;
+  StatusOr<Table> parsed = ReadCsv("a,b\n1\n1,2,3\n4,5\n", "t", opt, &stats);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& t = parsed.value();
+  ASSERT_EQ(t.num_columns(), 2u);
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.column(1).IsNull(0));   // Short row padded with null.
+  EXPECT_EQ(t.column(1).Int(1), 2);     // Long row kept its first two cells.
+  EXPECT_EQ(stats.ragged_rows_padded, 1u);
+  EXPECT_EQ(stats.ragged_rows_truncated, 1u);
+  EXPECT_EQ(stats.Warnings(), 2u);
+}
+
+TEST(CsvTest, ByteCapRejectsOversizedInput) {
+  CsvOptions opt;
+  opt.max_bytes = 8;
+  StatusOr<Table> parsed = ReadCsv("a,b\n1,2\n3,4\n", "t", opt);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(CsvTest, UnterminatedQuoteIsAnError) {
-  Table t;
-  std::string err;
-  EXPECT_FALSE(ReadCsv("a\n\"broken\n", "t", &t, &err));
+  EXPECT_FALSE(ReadCsv("a\n\"broken\n", "t").ok());
 }
 
 TEST(CsvTest, EmptyInputIsAnError) {
-  Table t;
-  std::string err;
-  EXPECT_FALSE(ReadCsv("", "t", &t, &err));
+  EXPECT_FALSE(ReadCsv("", "t").ok());
+}
+
+TEST(CsvTest, MissingFileIsInternalErrorWithPathContext) {
+  StatusOr<Table> parsed = ReadCsvFile("/nonexistent/path/zzz.csv");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInternal);
+  EXPECT_NE(parsed.status().message().find("zzz.csv"), std::string::npos);
 }
 
 TEST(CsvTest, WriteReadRoundTrip) {
@@ -87,9 +119,9 @@ TEST(CsvTest, WriteReadRoundTrip) {
   a.AppendNull();
   b.AppendString("with \"quote\"");
   std::string csv = WriteCsv(t);
-  Table back;
-  std::string err;
-  ASSERT_TRUE(ReadCsv(csv, "rt", &back, &err)) << err;
+  StatusOr<Table> parsed = ReadCsv(csv, "rt");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& back = parsed.value();
   ASSERT_EQ(back.num_rows(), 2u);
   EXPECT_EQ(back.column(0).Int(0), 1);
   EXPECT_TRUE(back.column(0).IsNull(1));

@@ -7,6 +7,12 @@
 namespace autobi {
 namespace {
 
+// Unwraps an export expected to succeed.
+std::string MustExport(StatusOr<std::string> result) {
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::string();
+}
+
 struct ExportFixture {
   std::vector<Table> tables;
   BiModel model;
@@ -24,7 +30,7 @@ struct ExportFixture {
 
 TEST(ExportDotTest, ContainsNodesAndEdges) {
   ExportFixture f;
-  std::string dot = ExportDot(f.tables, f.model);
+  std::string dot = MustExport(ExportDot(f.tables, f.model));
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("\"fact\""), std::string::npos);
   EXPECT_NE(dot.find("\"customers\""), std::string::npos);
@@ -41,13 +47,13 @@ TEST(ExportDotTest, EscapesQuotesInNames) {
   BiModel model;
   model.joins.push_back(
       Join{ColumnRef{0, {0}}, ColumnRef{1, {0}}, JoinKind::kNToOne});
-  std::string dot = ExportDot(tables, model);
+  std::string dot = MustExport(ExportDot(tables, model));
   EXPECT_NE(dot.find("we\\\"ird"), std::string::npos);
 }
 
 TEST(ExportSqlTest, EmitsForeignKeys) {
   ExportFixture f;
-  std::string sql = ExportSqlDdl(f.tables, f.model);
+  std::string sql = MustExport(ExportSqlDdl(f.tables, f.model));
   EXPECT_NE(sql.find("ALTER TABLE \"fact\" ADD FOREIGN KEY (cust_id) "
                      "REFERENCES \"customers\" (id);"),
             std::string::npos);
@@ -57,7 +63,7 @@ TEST(ExportSqlTest, EmitsForeignKeys) {
 
 TEST(ExportJsonTest, WellFormedStructure) {
   ExportFixture f;
-  std::string json = ExportJson(f.tables, f.model);
+  std::string json = MustExport(ExportJson(f.tables, f.model));
   EXPECT_NE(json.find("\"tables\": [\"fact\", \"customers\", "
                       "\"cust_details\"]"),
             std::string::npos);
@@ -71,10 +77,27 @@ TEST(ExportTest, EmptyModel) {
   std::vector<Table> tables;
   tables.push_back(MakeTable("lonely", {{"a", {"1"}}}));
   BiModel empty;
-  EXPECT_NE(ExportDot(tables, empty).find("\"lonely\""), std::string::npos);
-  EXPECT_EQ(ExportSqlDdl(tables, empty), "");
-  EXPECT_NE(ExportJson(tables, empty).find("\"joins\": [\n  ]"),
+  EXPECT_NE(MustExport(ExportDot(tables, empty)).find("\"lonely\""),
             std::string::npos);
+  EXPECT_EQ(MustExport(ExportSqlDdl(tables, empty)), "");
+  EXPECT_NE(MustExport(ExportJson(tables, empty)).find("\"joins\": [\n  ]"),
+            std::string::npos);
+}
+
+TEST(ExportTest, OutOfRangeJoinRejectedNotDereferenced) {
+  // A model whose join points at table 7 of a 1-table set must produce
+  // kInvalidInput from every exporter, never an out-of-bounds access.
+  std::vector<Table> tables;
+  tables.push_back(MakeTable("only", {{"a", {"1"}}}));
+  BiModel bad;
+  bad.joins.push_back(
+      Join{ColumnRef{0, {0}}, ColumnRef{7, {0}}, JoinKind::kNToOne});
+  EXPECT_EQ(ExportDot(tables, bad).status().code(),
+            StatusCode::kInvalidInput);
+  EXPECT_EQ(ExportSqlDdl(tables, bad).status().code(),
+            StatusCode::kInvalidInput);
+  EXPECT_EQ(ExportJson(tables, bad).status().code(),
+            StatusCode::kInvalidInput);
 }
 
 }  // namespace

@@ -1,0 +1,229 @@
+#include "common/run_context.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/auto_bi.h"
+#include "core/bi_model.h"
+#include "core/trainer.h"
+#include "synth/corpus.h"
+
+namespace autobi {
+namespace {
+
+TEST(RunContextTest, DefaultIsNoOp) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.StopRequested());
+  EXPECT_TRUE(ctx.CheckStop("stage").ok());
+  EXPECT_TRUE(std::isinf(ctx.SecondsRemaining()));
+}
+
+TEST(RunContextTest, ExpiredDeadlineTrips) {
+  RunContext ctx;
+  ctx.set_deadline_after(0.0);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.StopRequested());
+  Status s = ctx.CheckStop("IND discovery");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("IND discovery"), std::string::npos);
+  EXPECT_LE(ctx.SecondsRemaining(), 0.0);
+  ctx.clear_deadline();
+  EXPECT_FALSE(ctx.StopRequested());
+}
+
+TEST(RunContextTest, FutureDeadlineDoesNotTrip) {
+  RunContext ctx;
+  ctx.set_deadline_after(3600.0);
+  EXPECT_FALSE(ctx.StopRequested());
+  EXPECT_TRUE(ctx.CheckStop("stage").ok());
+  EXPECT_GT(ctx.SecondsRemaining(), 3000.0);
+}
+
+TEST(RunContextTest, CancelTripsAndWinsOverDeadline) {
+  RunContext ctx;
+  ctx.set_deadline_after(0.0);
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_TRUE(ctx.StopRequested());
+  EXPECT_EQ(ctx.CheckStop("solve").code(), StatusCode::kCancelled);
+}
+
+TEST(StageHealthTest, FirstTriggerWins) {
+  StageHealth h;
+  EXPECT_FALSE(h.degraded);
+  h.MarkDegraded("first");
+  h.MarkDegraded("second");
+  EXPECT_TRUE(h.degraded);
+  EXPECT_EQ(h.trigger, "first");
+}
+
+// --- Pipeline-level behavior. One small shared model keeps this suite fast.
+
+const LocalModel& TestModel() {
+  static const LocalModel* model = [] {
+    CorpusOptions copt;
+    copt.seed = 77;
+    copt.training_cases = 8;
+    TrainerOptions topt;
+    topt.forest.num_trees = 6;
+    return new LocalModel(TrainLocalModel(BuildTrainingCorpus(copt), topt));
+  }();
+  return *model;
+}
+
+std::vector<BiCase> TestCases() {
+  CorpusOptions opt;
+  opt.seed = 4321;  // Disjoint from training.
+  opt.training_cases = 3;
+  return BuildTrainingCorpus(opt);
+}
+
+// Serializes everything observable about a prediction (joins, edge choices,
+// graph shape, probabilities) for bit-identity comparisons.
+std::string Fingerprint(const AutoBiResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const Join& j : r.model.joins) {
+    os << j.from.table << "/" << j.to.table << ":";
+    for (int c : j.from.columns) os << c << ",";
+    os << "->";
+    for (int c : j.to.columns) os << c << ",";
+    os << (j.kind == JoinKind::kOneToOne ? "1:1" : "N:1") << ";";
+  }
+  os << "|b:";
+  for (int e : r.backbone_edges) os << e << ",";
+  os << "|r:";
+  for (int e : r.recall_edges) os << e << ",";
+  os << "|g:" << r.graph.edges().size();
+  for (const JoinEdge& e : r.graph.edges()) os << ":" << e.probability;
+  return os.str();
+}
+
+TEST(RunContextPipelineTest, NullAndUntrippedContextBitIdentical) {
+  std::vector<BiCase> cases = TestCases();
+  for (const BiCase& bi_case : cases) {
+    std::string reference;
+    for (int threads : {1, 2, 8}) {
+      AutoBiOptions opt;
+      opt.threads = threads;
+      AutoBi autobi(&TestModel(), opt);
+      // Legacy (no-context) path.
+      AutoBiResult legacy = autobi.Predict(bi_case.tables);
+      // Untripped context: generous deadline, no budgets.
+      RunContext ctx;
+      ctx.set_deadline_after(3600.0);
+      StatusOr<AutoBiResult> with_ctx = autobi.Predict(bi_case.tables, &ctx);
+      ASSERT_TRUE(with_ctx.ok()) << with_ctx.status().ToString();
+      EXPECT_FALSE(with_ctx.value().degradation.Any());
+      std::string fp = Fingerprint(legacy);
+      EXPECT_EQ(fp, Fingerprint(with_ctx.value()))
+          << "context-on diverged (threads=" << threads << ")";
+      if (reference.empty()) {
+        reference = fp;
+      } else {
+        EXPECT_EQ(fp, reference)
+            << "thread count changed the prediction (threads=" << threads
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(RunContextPipelineTest, PreCancelledRunDegradesToEmptyFeasibleModel) {
+  BiCase bi_case = TestCases()[0];
+  AutoBi autobi(&TestModel(), AutoBiOptions{});
+  RunContext ctx;
+  ctx.Cancel();
+  StatusOr<AutoBiResult> result = autobi.Predict(bi_case.tables, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AutoBiResult& r = result.value();
+  EXPECT_TRUE(r.degradation.Any());
+  EXPECT_TRUE(r.degradation.global_predict.degraded);
+  EXPECT_FALSE(r.degradation.global_predict.trigger.empty());
+  EXPECT_TRUE(r.model.joins.empty());
+  EXPECT_TRUE(ValidateBiModel(bi_case.tables, r.model).ok());
+}
+
+TEST(RunContextPipelineTest, ExpiredDeadlineDegradesGracefully) {
+  BiCase bi_case = TestCases()[0];
+  AutoBi autobi(&TestModel(), AutoBiOptions{});
+  RunContext ctx;
+  ctx.set_deadline_after(0.0);
+  StatusOr<AutoBiResult> result = autobi.Predict(bi_case.tables, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degradation.Any());
+  EXPECT_TRUE(ValidateBiModel(bi_case.tables, result.value().model).ok());
+}
+
+TEST(RunContextPipelineTest, RowBudgetExcludesTablesDeterministically) {
+  BiCase bi_case = TestCases()[0];
+  AutoBi autobi(&TestModel(), AutoBiOptions{});
+  RunContext ctx;
+  ctx.budgets.max_rows_per_table = 1;  // Excludes every non-empty table.
+  StatusOr<AutoBiResult> result = autobi.Predict(bi_case.tables, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AutoBiResult& r = result.value();
+  EXPECT_TRUE(r.degradation.ucc.degraded);
+  EXPECT_NE(r.degradation.ucc.trigger.find("budget"), std::string::npos);
+  EXPECT_TRUE(ValidateBiModel(bi_case.tables, r.model).ok());
+  // Metadata fallback still yields candidates (schema-only style), so the
+  // graph is not necessarily empty.
+  // Determinism: a second identical run gives the identical result.
+  StatusOr<AutoBiResult> again = autobi.Predict(bi_case.tables, &ctx);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Fingerprint(r), Fingerprint(again.value()));
+}
+
+TEST(RunContextPipelineTest, CandidatePairBudgetTruncates) {
+  BiCase bi_case = TestCases()[0];
+  AutoBiOptions opt;
+  AutoBi autobi(&TestModel(), opt);
+  // Baseline candidate count.
+  AutoBiResult full = autobi.Predict(bi_case.tables);
+  ASSERT_GT(full.graph.edges().size(), 2u);
+  RunContext ctx;
+  ctx.budgets.max_candidate_pairs = 1;
+  StatusOr<AutoBiResult> result = autobi.Predict(bi_case.tables, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AutoBiResult& r = result.value();
+  EXPECT_TRUE(r.degradation.ind.degraded);
+  EXPECT_NE(r.degradation.ind.trigger.find("candidate-pair budget"),
+            std::string::npos);
+  // 1 candidate -> at most 2 graph edges (a 1:1 pair expands to two).
+  EXPECT_LE(r.graph.edges().size(), 2u);
+  EXPECT_TRUE(ValidateBiModel(bi_case.tables, r.model).ok());
+}
+
+TEST(RunContextPipelineTest, SolverBudgetFallsBackToFeasibleBackbone) {
+  BiCase bi_case = TestCases()[0];
+  AutoBi autobi(&TestModel(), AutoBiOptions{});
+  RunContext ctx;
+  ctx.budgets.max_one_mca_calls = 1;
+  StatusOr<AutoBiResult> result = autobi.Predict(bi_case.tables, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AutoBiResult& r = result.value();
+  // The degradation marker must track the solver's own budget telemetry.
+  EXPECT_EQ(r.degradation.global_predict.degraded,
+            r.solver_stats.budget_exhausted);
+  EXPECT_TRUE(ValidateBiModel(bi_case.tables, r.model).ok());
+}
+
+TEST(RunContextPipelineTest, MalformedTableIsInvalidInput) {
+  BiCase bi_case = TestCases()[0];
+  std::vector<Table> tables = bi_case.tables;
+  // Make table 0 ragged: one column longer than the others.
+  tables[0].column(0).AppendInt(1);
+  AutoBi autobi(&TestModel(), AutoBiOptions{});
+  StatusOr<AutoBiResult> result = autobi.Predict(tables, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace autobi

@@ -7,13 +7,17 @@
 namespace autobi {
 namespace {
 
+// Unwraps a parse expected to succeed, failing the test with the Status
+// message otherwise.
+DdlSchema MustParse(std::string_view script) {
+  StatusOr<DdlSchema> schema = ParseSqlDdl(script);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return schema.ok() ? std::move(schema).value() : DdlSchema{};
+}
+
 TEST(SqlDdlTest, ParsesSimpleCreateTable) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl(
-      "CREATE TABLE customers (id INT, name VARCHAR(50), balance DECIMAL);",
-      &schema, &error))
-      << error;
+  DdlSchema schema = MustParse(
+      "CREATE TABLE customers (id INT, name VARCHAR(50), balance DECIMAL);");
   ASSERT_EQ(schema.tables.size(), 1u);
   const Table& t = schema.tables[0];
   EXPECT_EQ(t.name(), "customers");
@@ -25,28 +29,21 @@ TEST(SqlDdlTest, ParsesSimpleCreateTable) {
 }
 
 TEST(SqlDdlTest, MultipleTablesAndCaseInsensitivity) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl("create table a (x integer);\n"
-                          "CREATE TABLE b (y BIGINT);",
-                          &schema, &error))
-      << error;
+  DdlSchema schema = MustParse(
+      "create table a (x integer);\n"
+      "CREATE TABLE b (y BIGINT);");
   ASSERT_EQ(schema.tables.size(), 2u);
   EXPECT_EQ(schema.tables[1].name(), "b");
   EXPECT_EQ(schema.tables[1].column(0).type(), ValueType::kInt);
 }
 
 TEST(SqlDdlTest, TableLevelForeignKey) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl(
+  DdlSchema schema = MustParse(
       "CREATE TABLE orders (\n"
       "  id INT PRIMARY KEY,\n"
       "  cust_id INT NOT NULL,\n"
       "  FOREIGN KEY (cust_id) REFERENCES customers (id) ON DELETE CASCADE\n"
-      ");",
-      &schema, &error))
-      << error;
+      ");");
   ASSERT_EQ(schema.foreign_keys.size(), 1u);
   const DdlForeignKey& fk = schema.foreign_keys[0];
   EXPECT_EQ(fk.from_table, "orders");
@@ -58,12 +55,8 @@ TEST(SqlDdlTest, TableLevelForeignKey) {
 }
 
 TEST(SqlDdlTest, InlineReferences) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl(
-      "CREATE TABLE line (prod_id INT REFERENCES products(id), qty INT);",
-      &schema, &error))
-      << error;
+  DdlSchema schema = MustParse(
+      "CREATE TABLE line (prod_id INT REFERENCES products(id), qty INT);");
   ASSERT_EQ(schema.foreign_keys.size(), 1u);
   EXPECT_EQ(schema.foreign_keys[0].from_columns,
             (std::vector<std::string>{"prod_id"}));
@@ -72,13 +65,9 @@ TEST(SqlDdlTest, InlineReferences) {
 }
 
 TEST(SqlDdlTest, CompositeForeignKey) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl(
+  DdlSchema schema = MustParse(
       "CREATE TABLE lineitem (p INT, s INT,\n"
-      "  FOREIGN KEY (p, s) REFERENCES partsupp (ps_p, ps_s));",
-      &schema, &error))
-      << error;
+      "  FOREIGN KEY (p, s) REFERENCES partsupp (ps_p, ps_s));");
   ASSERT_EQ(schema.foreign_keys.size(), 1u);
   EXPECT_EQ(schema.foreign_keys[0].from_columns,
             (std::vector<std::string>{"p", "s"}));
@@ -87,61 +76,53 @@ TEST(SqlDdlTest, CompositeForeignKey) {
 }
 
 TEST(SqlDdlTest, QuotedIdentifiersAndSchemaPrefix) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl(
+  DdlSchema schema = MustParse(
       "CREATE TABLE \"Sales\".\"Order Details\" (\n"
       "  [Order ID] INT,\n"
       "  `unit price` FLOAT\n"
-      ");",
-      &schema, &error))
-      << error;
+      ");");
   EXPECT_EQ(schema.tables[0].name(), "Order Details");
   EXPECT_EQ(schema.tables[0].column(0).name(), "Order ID");
   EXPECT_EQ(schema.tables[0].column(1).name(), "unit price");
 }
 
 TEST(SqlDdlTest, CommentsAndOtherStatementsIgnored) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl(
+  DdlSchema schema = MustParse(
       "-- schema dump\n"
       "DROP TABLE IF EXISTS old;\n"
       "/* block\n comment */\n"
       "CREATE TABLE t (a INT);\n"
-      "INSERT INTO t VALUES (1);\n",
-      &schema, &error))
-      << error;
+      "INSERT INTO t VALUES (1);\n");
   ASSERT_EQ(schema.tables.size(), 1u);
 }
 
 TEST(SqlDdlTest, IfNotExists) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl("CREATE TABLE IF NOT EXISTS t (a INT);", &schema,
-                          &error))
-      << error;
+  DdlSchema schema = MustParse("CREATE TABLE IF NOT EXISTS t (a INT);");
   EXPECT_EQ(schema.tables[0].name(), "t");
 }
 
 TEST(SqlDdlTest, ErrorsOnGarbageAndEmpty) {
-  DdlSchema schema;
-  std::string error;
-  EXPECT_FALSE(ParseSqlDdl("SELECT 1;", &schema, &error));
-  EXPECT_FALSE(ParseSqlDdl("", &schema, &error));
-  EXPECT_FALSE(ParseSqlDdl("CREATE TABLE broken (a INT", &schema, &error));
+  EXPECT_EQ(ParseSqlDdl("SELECT 1;").status().code(),
+            StatusCode::kInvalidInput);
+  EXPECT_EQ(ParseSqlDdl("").status().code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(ParseSqlDdl("CREATE TABLE broken (a INT").status().code(),
+            StatusCode::kInvalidInput);
+}
+
+TEST(SqlDdlTest, TruncatedReferencesIsAnErrorNotARead) {
+  // Regression: REFERENCES as the final token used to read one past the end
+  // of the token vector. Both the table-level and inline forms.
+  EXPECT_FALSE(
+      ParseSqlDdl("CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES").ok());
+  EXPECT_FALSE(ParseSqlDdl("CREATE TABLE t (a INT REFERENCES").ok());
 }
 
 TEST(SqlDdlTest, EmptyTablesStillYieldMetadataCandidates) {
   // The schema-only pipeline must produce candidates for DDL-only input
   // (no rows): metadata fallback in candidate generation.
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl(
+  DdlSchema schema = MustParse(
       "CREATE TABLE orders (order_id INT, cust_id INT);"
-      "CREATE TABLE customers (cust_id INT, name VARCHAR(10));",
-      &schema, &error))
-      << error;
+      "CREATE TABLE customers (cust_id INT, name VARCHAR(10));");
   CandidateSet cands = GenerateCandidates(schema.tables);
   bool found = false;
   for (const JoinCandidate& c : cands.candidates) {
@@ -153,10 +134,7 @@ TEST(SqlDdlTest, EmptyTablesStillYieldMetadataCandidates) {
 }
 
 TEST(SqlDdlTest, TablesAreEmptyButTyped) {
-  DdlSchema schema;
-  std::string error;
-  ASSERT_TRUE(ParseSqlDdl("CREATE TABLE t (a INT, b TEXT);", &schema,
-                          &error));
+  DdlSchema schema = MustParse("CREATE TABLE t (a INT, b TEXT);");
   EXPECT_EQ(schema.tables[0].num_rows(), 0u);
   EXPECT_TRUE(schema.tables[0].Validate());
 }

@@ -1,0 +1,120 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autobi {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidInput("bad").code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("stop").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("big").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("boom").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+  EXPECT_FALSE(Status::Internal("boom").ok());
+}
+
+TEST(StatusTest, ToStringNamesTheCode) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::InvalidInput("bad row").ToString(),
+            "INVALID_INPUT: bad row");
+  EXPECT_EQ(std::string(StatusCodeName(StatusCode::kResourceExhausted)),
+            "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusTest, WithContextChainsOutermostFirst) {
+  Status s = Status::InvalidInput("row 3 has 2 fields")
+                 .WithContext("read table.csv")
+                 .WithContext("load case");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(s.message(), "load case: read table.csv: row 3 has 2 fields");
+  // Context on OK is a no-op.
+  EXPECT_TRUE(Status::Ok().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidInput("x"), Status::InvalidInput("x"));
+  EXPECT_NE(Status::InvalidInput("x"), Status::InvalidInput("y"));
+  EXPECT_NE(Status::InvalidInput("x"), Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+
+  StatusOr<int> e = Status::InvalidInput("nope");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(e.value_or(-1), -1);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, MoveOnlyValueMovesOut) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  std::vector<int> out = std::move(v).value();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesMembers) {
+  StatusOr<std::string> s = std::string("hello");
+  EXPECT_EQ(s->size(), 5u);
+}
+
+namespace macros {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidInput("negative");
+  return Status::Ok();
+}
+
+Status Outer(int x) {
+  AUTOBI_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidInput("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  AUTOBI_ASSIGN_OR_RETURN(int half, Half(x));
+  AUTOBI_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+}  // namespace macros
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macros::Outer(1).ok());
+  EXPECT_EQ(macros::Outer(-1).code(), StatusCode::kInvalidInput);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  StatusOr<int> ok = macros::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_EQ(macros::Quarter(6).status().code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(macros::Quarter(5).status().code(), StatusCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace autobi
