@@ -1,0 +1,137 @@
+// bench_serve: cold- vs warm-cache Predict latency through the serving
+// cache layer (core/predict_cache.h), over the stratified REAL benchmark.
+//
+// Three measurements per case:
+//   cold     fresh cache, first Predict (populates it)
+//   warm     byte-identical re-submission (solve-memo hit)
+//   partial  one table mutated, the rest unchanged (per-table profile
+//            cache hits; the solve memo misses)
+// Correctness gates, checked for every case:
+//   - warm result is bit-identical to cold (ExportJson comparison), and
+//   - the partial-warm result is bit-identical to a cache-free Predict of
+//     the mutated table set.
+//
+// Usage: bench_serve [--json]
+// Scale via AUTOBI_REAL_CASES / AUTOBI_TRAIN_CASES (see bench_common.h).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/auto_bi.h"
+#include "core/model_export.h"
+#include "core/predict_cache.h"
+
+namespace autobi {
+namespace {
+
+std::string ModelFingerprint(const std::vector<Table>& tables,
+                             const AutoBiResult& result) {
+  StatusOr<std::string> json = ExportJson(tables, result.model);
+  return json.ok() ? *json : std::string("<invalid>");
+}
+
+int Run(bool as_json) {
+  LocalModel model = bench::GetTrainedModel();
+  RealBenchmark benchmark = bench::GetRealBenchmark();
+
+  double cold_total = 0.0, warm_total = 0.0;
+  double partial_total = 0.0, partial_nocache_total = 0.0;
+  size_t warm_mismatches = 0, partial_mismatches = 0;
+  size_t profile_hits = 0, profile_misses = 0;
+
+  for (const BiCase& bi_case : benchmark.cases) {
+    PredictCache cache;
+    AutoBiOptions options;
+    options.threads = 1;
+    options.cache = &cache;
+    AutoBi predictor(&model, options);
+
+    Timer cold_timer;
+    AutoBiResult cold = predictor.Predict(bi_case.tables);
+    cold_total += cold_timer.Seconds();
+
+    Timer warm_timer;
+    AutoBiResult warm = predictor.Predict(bi_case.tables);
+    warm_total += warm_timer.Seconds();
+
+    if (ModelFingerprint(bi_case.tables, cold) !=
+        ModelFingerprint(bi_case.tables, warm)) {
+      ++warm_mismatches;
+    }
+
+    // Partial re-upload: one table changes (an appended all-null row), the
+    // rest are byte-identical and should hit the per-table profile cache.
+    std::vector<Table> mutated = bi_case.tables;
+    for (size_t c = 0; c < mutated[0].num_columns(); ++c) {
+      mutated[0].column(c).AppendNull();
+    }
+    PredictCache::Stats before = cache.GetStats();
+    Timer partial_timer;
+    AutoBiResult partial = predictor.Predict(mutated);
+    partial_total += partial_timer.Seconds();
+    PredictCache::Stats after = cache.GetStats();
+    profile_hits += after.table_hits - before.table_hits;
+    profile_misses += after.table_misses - before.table_misses;
+
+    AutoBiOptions nocache_options;
+    nocache_options.threads = 1;
+    AutoBi nocache(&model, nocache_options);
+    Timer nocache_timer;
+    AutoBiResult reference = nocache.Predict(mutated);
+    partial_nocache_total += nocache_timer.Seconds();
+    if (ModelFingerprint(mutated, partial) !=
+        ModelFingerprint(mutated, reference)) {
+      ++partial_mismatches;
+    }
+  }
+
+  double speedup = warm_total > 0 ? cold_total / warm_total : 0.0;
+  double partial_speedup =
+      partial_total > 0 ? partial_nocache_total / partial_total : 0.0;
+  double hit_rate =
+      profile_hits + profile_misses > 0
+          ? double(profile_hits) / double(profile_hits + profile_misses)
+          : 0.0;
+  bool ok = warm_mismatches == 0 && partial_mismatches == 0;
+
+  if (as_json) {
+    std::printf(
+        "{\"bench\":\"serve_cold_warm\",\"cases\":%zu,"
+        "\"cold_total_seconds\":%.6f,\"warm_total_seconds\":%.6f,"
+        "\"warm_speedup\":%.2f,"
+        "\"partial_total_seconds\":%.6f,"
+        "\"partial_nocache_total_seconds\":%.6f,"
+        "\"partial_speedup\":%.2f,"
+        "\"profile_cache_hit_rate\":%.3f,"
+        "\"warm_bit_identical\":%s,\"partial_bit_identical\":%s}\n",
+        benchmark.cases.size(), cold_total, warm_total, speedup,
+        partial_total, partial_nocache_total, partial_speedup, hit_rate,
+        warm_mismatches == 0 ? "true" : "false",
+        partial_mismatches == 0 ? "true" : "false");
+  } else {
+    std::printf("bench_serve: %zu cases\n", benchmark.cases.size());
+    std::printf("  cold    total %.3f s\n", cold_total);
+    std::printf("  warm    total %.3f s (%.1fx speedup, %s)\n", warm_total,
+                speedup, warm_mismatches == 0 ? "bit-identical" : "MISMATCH");
+    std::printf("  partial total %.3f s vs %.3f s uncached (%.1fx, %s)\n",
+                partial_total, partial_nocache_total, partial_speedup,
+                partial_mismatches == 0 ? "bit-identical" : "MISMATCH");
+    std::printf("  profile cache hit rate on partial re-upload: %.1f%%\n",
+                100.0 * hit_rate);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace autobi
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") as_json = true;
+  }
+  return autobi::Run(as_json);
+}

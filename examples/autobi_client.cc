@@ -1,0 +1,191 @@
+// autobi_client: a small NDJSON client for the autobi_serve daemon.
+//
+//   autobi_client --socket /tmp/autobi.sock --demo      guided demo schema
+//   autobi_client --socket /tmp/autobi.sock             raw passthrough:
+//       reads one JSON request per stdin line, prints each response line
+//   autobi_client --socket /tmp/autobi.sock --shutdown  stop the daemon
+//
+// See SERVING.md for the protocol the demo walks through: create_session ->
+// upload_table x3 -> predict -> get_model -> diff -> close_session.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/json.h"
+
+namespace {
+
+int ConnectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "autobi_client: socket path too long\n");
+    return -1;
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("autobi_client: socket");
+    return -1;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "autobi_client: cannot connect to %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends one request line and reads exactly one response line.
+bool RoundTrip(int fd, const std::string& line, std::string* response) {
+  std::string out = line;
+  out.push_back('\n');
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t w = ::write(fd, out.data() + off, out.size() - off);
+    if (w <= 0) return false;
+    off += size_t(w);
+  }
+  response->clear();
+  char c;
+  while (true) {
+    ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    response->push_back(c);
+  }
+}
+
+// Sends, prints both sides, and fails loudly on an error response.
+bool Step(int fd, const std::string& request) {
+  std::printf(">> %s\n", request.c_str());
+  std::string response;
+  if (!RoundTrip(fd, request, &response)) {
+    std::fprintf(stderr, "autobi_client: connection lost\n");
+    return false;
+  }
+  std::printf("<< %s\n\n", response.c_str());
+  autobi::StatusOr<autobi::Json> parsed = autobi::ParseJson(response);
+  if (!parsed.ok()) return false;
+  const autobi::Json* ok = parsed->Find("ok");
+  return ok != nullptr && ok->is_bool() && ok->AsBool();
+}
+
+// A deterministic star schema big enough for confident join discovery:
+// orders references customers and products by id.
+std::string CustomersCsv() {
+  std::string csv = "cust_id,cust_name,region\n";
+  const char* regions[] = {"east", "west", "north", "south"};
+  for (int i = 0; i < 60; ++i) {
+    csv += std::to_string(1000 + i) + ",customer_" + std::to_string(i) + "," +
+           regions[i % 4] + "\n";
+  }
+  return csv;
+}
+
+std::string ProductsCsv() {
+  std::string csv = "product_id,product_name,unit_price\n";
+  for (int i = 0; i < 40; ++i) {
+    csv += std::to_string(500 + i) + ",product_" + std::to_string(i) + "," +
+           std::to_string(5 + (i * 7) % 90) + ".5\n";
+  }
+  return csv;
+}
+
+std::string OrdersCsv() {
+  std::string csv = "order_id,cust_id,product_id,quantity\n";
+  for (int i = 0; i < 240; ++i) {
+    csv += std::to_string(i + 1) + "," + std::to_string(1000 + (i * 13) % 60) +
+           "," + std::to_string(500 + (i * 17) % 40) + "," +
+           std::to_string(1 + i % 9) + "\n";
+  }
+  return csv;
+}
+
+std::string UploadRequest(int id, const std::string& name,
+                          const std::string& csv) {
+  autobi::Json req = autobi::Json::MakeObject();
+  req.Set("verb", autobi::Json::MakeString("upload_table"));
+  req.Set("id", autobi::Json::MakeInt(id));
+  req.Set("session", autobi::Json::MakeString("s1"));
+  req.Set("name", autobi::Json::MakeString(name));
+  req.Set("csv", autobi::Json::MakeString(csv));
+  return req.Write();
+}
+
+int RunDemo(int fd) {
+  // The demo assumes a fresh daemon (session ids start at s1).
+  if (!Step(fd, R"({"verb":"create_session","id":1})")) return 1;
+  if (!Step(fd, UploadRequest(2, "customers", CustomersCsv()))) return 1;
+  if (!Step(fd, UploadRequest(3, "products", ProductsCsv()))) return 1;
+  if (!Step(fd, UploadRequest(4, "orders", OrdersCsv()))) return 1;
+  if (!Step(fd, R"({"verb":"predict","id":5,"session":"s1","tier":"standard"})")) {
+    return 1;
+  }
+  if (!Step(fd, R"({"verb":"get_model","id":6,"session":"s1","format":"dot"})")) {
+    return 1;
+  }
+  if (!Step(fd, R"({"verb":"diff","id":7,"session":"s1"})")) return 1;
+  if (!Step(fd, R"({"verb":"close_session","id":8,"session":"s1"})")) return 1;
+  std::printf("demo complete: the predicted join graph is in the get_model "
+              "response above\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool demo = false;
+  bool shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: autobi_client --socket PATH [--demo|--shutdown]\n");
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "autobi_client: --socket PATH is required\n");
+    return 2;
+  }
+  int fd = ConnectUnix(socket_path);
+  if (fd < 0) return 1;
+
+  int rc = 0;
+  if (demo) {
+    rc = RunDemo(fd);
+  } else if (shutdown) {
+    rc = Step(fd, R"({"verb":"shutdown"})") ? 0 : 1;
+  } else {
+    // Raw passthrough: one request per stdin line.
+    std::string line;
+    std::string response;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (!RoundTrip(fd, line, &response)) {
+        std::fprintf(stderr, "autobi_client: connection lost\n");
+        rc = 1;
+        break;
+      }
+      std::printf("%s\n", response.c_str());
+    }
+  }
+  ::close(fd);
+  return rc;
+}

@@ -2,11 +2,13 @@
 # Perf-trajectory smoke run: builds Release, runs the profiling
 # micro-benchmark (machine-readable), the Figure 5 latency benchmark, the
 # PR 4 solver comparison (legacy vs wave-parallel k-MCA-CC on adversarial
-# instances), and the PR 5 RunContext overhead guard (Predict with an armed
-# but untripped context vs no context; must stay under 2%), and writes
-# BENCH_pr5.json at the repo root. Each perf-focused PR writes its own
-# BENCH_<pr>.json with the same shape, so the trajectory of the hot kernels
-# accumulates in-repo and regressions are diffable.
+# instances), the PR 5 RunContext overhead guard (Predict with an armed
+# but untripped context vs no context; must stay under 2%), and the PR 6
+# serving-cache benchmark (cold vs warm Predict through the cross-request
+# content-hash caches; warm must be >= 3x faster and bit-identical), and
+# writes BENCH_pr6.json at the repo root. Each perf-focused PR writes its
+# own BENCH_<pr>.json with the same shape, so the trajectory of the hot
+# kernels accumulates in-repo and regressions are diffable.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]     (default: build-bench)
 # Scale knobs (see DESIGN.md §3): AUTOBI_REAL_CASES (default 2 here — smoke,
@@ -15,11 +17,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
-OUT="BENCH_pr5.json"
+OUT="BENCH_pr6.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_profile bench_fig5_latency \
-  bench_fig6_kmcacc bench_micro_pipeline > /dev/null
+  bench_fig6_kmcacc bench_micro_pipeline bench_serve > /dev/null
 
 echo "bench_smoke: running bench_micro_profile..." >&2
 MICRO_JSON="$("$BUILD_DIR/bench/bench_micro_profile" --json)"
@@ -31,6 +33,14 @@ echo "bench_smoke: running bench_micro_pipeline --json (RunContext overhead)..."
 RUNCTX_JSON="$("$BUILD_DIR/bench/bench_micro_pipeline" --json)"
 
 export AUTOBI_REAL_CASES="${AUTOBI_REAL_CASES:-2}"
+
+echo "bench_smoke: running bench_serve --json (cold vs warm cache)..." >&2
+SERVE_JSON="$("$BUILD_DIR/bench/bench_serve" --json | tail -1)"
+if ! grep -q '"warm_bit_identical":true' <<< "$SERVE_JSON"; then
+  echo "bench_smoke: FAILED — warm-cache result not bit-identical" >&2
+  exit 1
+fi
+
 FIG5_LOG="$BUILD_DIR/fig5_latency.txt"
 echo "bench_smoke: running bench_fig5_latency (AUTOBI_REAL_CASES=$AUTOBI_REAL_CASES)..." >&2
 "$BUILD_DIR/bench/bench_fig5_latency" > "$FIG5_LOG"
@@ -58,9 +68,9 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "pr": 5,
+  "pr": 6,
   "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "note": "hardened service layer: Status/StatusOr propagation, RunContext deadlines/budgets through the pipeline, fault-injection harness; runcontext section guards the armed-but-untripped context overhead (< 2%)",
+  "note": "autobi_serve daemon with cross-request content-hash caches: serve section measures cold vs warm Predict (solve memo) and partial re-upload (per-table profile cache); warm and partial results are verified bit-identical to uncached runs",
   "real_cases_per_bucket": $AUTOBI_REAL_CASES,
   "fig5b_auto_bi_mean_seconds": {
     "ucc": $UCC,
@@ -68,9 +78,10 @@ cat > "$OUT" <<EOF
     "local_inference": $LOCAL,
     "global_predict": $GLOBAL
   },
+  "serve": $SERVE_JSON,
   "runcontext": $RUNCTX_JSON,
   "solver": $SOLVER_JSON,
   "micro": $MICRO_JSON
 }
 EOF
-echo "bench_smoke: wrote $OUT (fig5b IND stage: ${IND}s, full log: $FIG5_LOG)" >&2
+echo "bench_smoke: wrote $OUT (serve warm speedup: see .serve.warm_speedup)" >&2

@@ -30,6 +30,32 @@ fi
 [[ "$lint_fail" == "0" ]] || exit 1
 echo "check.sh: service-layer lint clean."
 
+# --- Docs lint (always on; no build needed). Two rules:
+#   1. Every src/<subsystem>/ directory must be named in the ARCHITECTURE.md
+#      module map, so the map cannot silently go stale.
+#   2. Relative *.md links in top-level markdown must resolve to real files.
+docs_fail=0
+for dir in src/*/; do
+  name="$(basename "$dir")"
+  if ! grep -q "src/$name" ARCHITECTURE.md; then
+    echo "check.sh: DOCS FAIL — src/$name/ is not mentioned in" \
+         "ARCHITECTURE.md; add it to the module map." >&2
+    docs_fail=1
+  fi
+done
+while IFS=: read -r file link; do
+  target="${link%%#*}"
+  [[ -z "$target" ]] && continue
+  if [[ ! -e "$(dirname "$file")/$target" ]]; then
+    echo "check.sh: DOCS FAIL — dead link '$link' in $file." >&2
+    docs_fail=1
+  fi
+done < <(grep -oHE '\]\([^)]+\.md[^)]*\)' ./*.md \
+           | sed -E 's/\]\(([^)]*)\)/\1/' \
+           | grep -vE ':(https?|mailto)' || true)
+[[ "$docs_fail" == "0" ]] || exit 1
+echo "check.sh: docs lint clean (module map + markdown links)."
+
 cmake -B "$BUILD_DIR" -S . -DAUTOBI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target autobi_parallel_tests autobi_core_tests \
   autobi_fuzz_tests
@@ -53,6 +79,32 @@ AUTOBI_THREADS=8 "$BUILD_DIR/tests/autobi_fuzz_tests" \
   --gtest_filter='SolverDeterminismTest.*'
 
 echo "check.sh: ThreadSanitizer clean (pipeline + solver determinism)."
+
+# --- Serve smoke (always on, under the same TSan build so the
+# thread-per-connection transport and shared caches are race-checked): boot
+# the daemon on a unix socket, run the client demo (create_session, three
+# uploads, predict, get_model, diff, close_session), then assert a clean
+# daemon shutdown via the shutdown verb.
+cmake --build "$BUILD_DIR" -j --target autobi_serve autobi_client
+SERVE_SOCK="$(mktemp -u /tmp/autobi_check.XXXXXX.sock)"
+"$BUILD_DIR/src/serve/autobi_serve" --socket "$SERVE_SOCK" --train_cases 60 &
+SERVE_PID=$!
+trap '[[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 300); do  # Daemon trains before binding; allow up to 60s.
+  [[ -S "$SERVE_SOCK" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if [[ ! -S "$SERVE_SOCK" ]]; then
+  echo "check.sh: SERVE FAIL — daemon never bound $SERVE_SOCK." >&2
+  exit 1
+fi
+"$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK" --demo
+"$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK" --shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+rm -f "$SERVE_SOCK"
+echo "check.sh: serve smoke clean (demo round-trips + clean shutdown)."
 
 # Opt-in perf smoke (AUTOBI_BENCH_SMOKE=1): refresh the BENCH_*.json perf
 # trajectory after the sanitizer gate passes.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <exception>
+#include <memory>
 #include <set>
 #include <utility>
 
@@ -10,8 +12,10 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/predict_cache.h"
 #include "graph/ems.h"
 #include "graph/kmca.h"
+#include "profile/sketch.h"
 
 namespace autobi {
 
@@ -42,6 +46,55 @@ BiModel EdgesToModel(const JoinGraph& graph, const std::vector<int>& edges) {
 
 namespace {
 
+uint64_t MixU64(uint64_t h, uint64_t v) { return SplitMix64(h ^ v); }
+
+uint64_t MixDouble(uint64_t h, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return MixU64(h, bits);
+}
+
+// Fingerprint of everything besides the table bytes that deterministically
+// shapes a Predict result: the AutoBi options (execution-only knobs like
+// `threads` excluded — results are bit-identical at any thread count) and
+// the RunContext's deterministic budgets. Deadlines/cancellation are *not*
+// part of the key: they are time-dependent, so runs they trip never
+// populate the memo in the first place (checked via result.degradation).
+uint64_t SolveKeyFingerprint(const AutoBiOptions& o, const RunContext* ctx) {
+  uint64_t h = MixU64(0xA07B1BEEFCAFE001ULL, uint64_t(o.mode));
+  h = MixDouble(h, o.penalty_probability);
+  h = MixDouble(h, o.tau);
+  h = MixU64(h, (uint64_t(o.enforce_fk_once) << 2) |
+                    (uint64_t(o.use_precision_mode) << 1) |
+                    uint64_t(o.lc_only));
+  const CandidateGenOptions& c = o.candidates;
+  h = MixU64(h, c.ucc.max_arity);
+  h = MixU64(h, c.ucc.max_candidates);
+  h = MixDouble(h, c.ucc.min_distinct_ratio);
+  h = MixDouble(h, c.ind.min_containment);
+  h = MixU64(h, c.ind.min_distinct);
+  h = MixDouble(h, c.ind.min_referenced_distinct_ratio);
+  h = MixU64(h, c.ind.max_arity);
+  h = MixU64(h, c.ind.max_composite_probes);
+  h = MixU64(h, uint64_t(c.ind.kmv_screen));
+  h = MixU64(h, c.ind.kmv_k);
+  h = MixDouble(h, c.ind.kmv_slack);
+  h = MixU64(h, c.ind.kmv_min_sample);
+  h = MixU64(h, c.ind.kmv_min_merge_size);
+  h = MixDouble(h, c.one_to_one_distinct_ratio);
+  h = MixDouble(h, c.one_to_one_min_containment);
+  h = MixU64(h, uint64_t(c.metadata_fallback_for_empty_tables));
+  h = MixU64(h, uint64_t(o.solver.max_one_mca_calls));
+  if (ctx != nullptr) {
+    h = MixU64(h, ctx->budgets.max_rows_per_table);
+    h = MixU64(h, ctx->budgets.max_cells_per_table);
+    h = MixU64(h, ctx->budgets.max_candidate_pairs);
+    h = MixU64(h, uint64_t(ctx->budgets.max_one_mca_calls));
+  }
+  return h;
+}
+
 // The pipeline proper. May throw (pool-propagated worker exceptions,
 // injected parallel-task faults); the public entry point converts those to
 // kInternal.
@@ -56,6 +109,7 @@ AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
   // a stage-specific count.
   CandidateGenOptions cand_options = options.candidates;
   if (cand_options.threads == 0) cand_options.threads = options.threads;
+  if (cand_options.cache == nullptr) cand_options.cache = options.cache;
   CandidateSet candidates = GenerateCandidates(tables, cand_options, ctx);
   result.timing.ucc = candidates.ucc_seconds;
   result.timing.ind = candidates.ind_seconds;
@@ -157,7 +211,41 @@ StatusOr<AutoBiResult> AutoBi::Predict(const std::vector<Table>& tables,
     }
   }
   try {
-    return RunPipeline(*model_, options_, tables, ctx);
+    // Cross-request solve memo: a byte-identical (tables, options, budgets)
+    // submission returns the cached healthy result without running the
+    // pipeline. Skipped when the context already tripped (the pipeline then
+    // owes the caller its degraded partial-model semantics, not a full
+    // cached answer).
+    PredictCache* cache = options_.cache;
+    const bool memo_usable =
+        cache != nullptr && (ctx == nullptr || !ctx->StopRequested());
+    uint64_t solve_key = 0;
+    if (memo_usable) {
+      solve_key =
+          MixU64(TablesContentHash(tables), SolveKeyFingerprint(options_, ctx));
+      if (std::shared_ptr<const PredictCache::SolveEntry> entry =
+              cache->FindSolve(solve_key)) {
+        AutoBiResult result;
+        result.timing.threads = ResolveThreads(options_.threads);
+        result.model = entry->model;
+        result.graph = entry->graph;
+        result.backbone_edges = entry->backbone_edges;
+        result.recall_edges = entry->recall_edges;
+        result.solver_stats = entry->solver_stats;
+        return result;
+      }
+    }
+    AutoBiResult result = RunPipeline(*model_, options_, tables, ctx);
+    if (memo_usable && !result.degradation.Any()) {
+      auto entry = std::make_shared<PredictCache::SolveEntry>();
+      entry->model = result.model;
+      entry->graph = result.graph;
+      entry->backbone_edges = result.backbone_edges;
+      entry->recall_edges = result.recall_edges;
+      entry->solver_stats = result.solver_stats;
+      cache->InsertSolve(solve_key, std::move(entry));
+    }
+    return result;
   } catch (const std::exception& e) {
     // Worker exceptions propagate out of the pool from the lowest-indexed
     // failing iteration; service callers get a Status, never a throw.

@@ -38,6 +38,15 @@ struct AutoBiOptions {
   bool lc_only = false;           // true  => "LC-only".
   CandidateGenOptions candidates;
   KmcaCcOptions solver;  // penalty_weight/enforce_fk_once are overwritten.
+  // Optional cross-request cache (core/predict_cache.h; not owned, must
+  // outlive the predictor). Flows into candidates.cache for the profiling
+  // layer, and additionally memoizes whole healthy solves keyed by the
+  // content hash of the table set plus an options/budget fingerprint: a
+  // byte-identical re-submission returns the cached result without running
+  // the pipeline. Hits are bit-identical to recomputation (models, graph,
+  // solver stats); only timing differs. Runs tripped by a deadline/cancel
+  // never populate the memo.
+  PredictCache* cache = nullptr;
 };
 
 // Per-stage latency (seconds) matching Figure 5(b)'s breakdown.

@@ -1,19 +1,35 @@
 #include "core/candidates.h"
 
 #include <atomic>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/predict_cache.h"
 #include "fuzz/faultpoints.h"
+#include "profile/sketch.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
 
 namespace autobi {
 
 namespace {
+
+// Everything profiling depends on besides the table bytes, folded into the
+// profile-cache key so an options change can never serve a stale entry.
+uint64_t UccOptionsFingerprint(const UccOptions& ucc) {
+  uint64_t h = SplitMix64(ucc.max_arity);
+  h = SplitMix64(h ^ ucc.max_candidates);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(ucc.min_distinct_ratio));
+  std::memcpy(&bits, &ucc.min_distinct_ratio, sizeof(bits));
+  return SplitMix64(h ^ bits);
+}
 
 double MeanDistinctRatio(const TableProfile& profile,
                          const std::vector<int>& columns) {
@@ -60,13 +76,65 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
   // UCC stage (includes profiling, which UCC pruning needs first). Each
   // table's profile + UCC lattice search is independent, so tables fan out
   // across the pool; slot-per-table writes keep the output order fixed.
+  //
+  // Before any scanning, every admitted table is content-hashed (one linear
+  // pass over its bytes — roughly 10x cheaper than profiling it). The hash
+  // serves two layers of reuse, both byte-identical to recomputation:
+  //   1. in-run dedup: a table identical to an earlier one in the same case
+  //      is profiled once and copied (slot-per-table output stays intact);
+  //   2. the cross-request PredictCache (options.cache), which lets a
+  //      re-uploaded unchanged table skip profiling + UCC entirely.
   Timer ucc_timer;
   out.profiles.resize(tables.size());
   out.uccs.resize(tables.size());
-  std::atomic<bool> ucc_stopped{false};
+  const uint64_t ucc_fp = UccOptionsFingerprint(options.ucc);
+  std::vector<uint64_t> table_keys(tables.size(), 0);
   ParallelFor(
       tables.size(),
       [&](size_t i) {
+        if (admitted[i]) {
+          table_keys[i] = SplitMix64(TableContentHash(tables[i]) ^ ucc_fp);
+        }
+      },
+      options.threads);
+  // rep[i] = lowest index with the same content key (serial, index order).
+  std::vector<size_t> rep(tables.size());
+  {
+    std::unordered_map<uint64_t, size_t> first_by_key;
+    first_by_key.reserve(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (!admitted[i]) {
+        rep[i] = i;
+        continue;
+      }
+      auto [it, inserted] = first_by_key.emplace(table_keys[i], i);
+      rep[i] = inserted ? i : it->second;
+    }
+  }
+  // Cross-request cache lookups, serially in index order for representative
+  // tables only (hit/miss counters stay deterministic).
+  std::vector<std::shared_ptr<const PredictCache::TableEntry>> cached(
+      tables.size());
+  if (options.cache != nullptr) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (admitted[i] && rep[i] == i) {
+        cached[i] = options.cache->FindTable(table_keys[i]);
+        if (cached[i] != nullptr) ++out.profile_cache_hits;
+      }
+    }
+  }
+  std::atomic<bool> ucc_stopped{false};
+  std::vector<char> profiled(tables.size(), 0);
+  ParallelFor(
+      tables.size(),
+      [&](size_t i) {
+        if (admitted[i] && rep[i] != i) return;  // Copied from rep[i] below.
+        if (cached[i] != nullptr) {
+          out.profiles[i] = cached[i]->profile;
+          out.uccs[i] = cached[i]->uccs;
+          profiled[i] = 1;
+          return;
+        }
         // Item-boundary stop poll: once the deadline passes or the run is
         // cancelled, remaining tables fall back to metadata-only profiles.
         if (!admitted[i] || (ctx != nullptr && ctx->StopRequested())) {
@@ -76,8 +144,26 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
         }
         out.profiles[i] = ProfileTable(tables[i]);
         out.uccs[i] = DiscoverUccs(tables[i], out.profiles[i], options.ucc);
+        profiled[i] = 1;
       },
       options.threads);
+  // Serial epilogue in index order: copy duplicate slots from their
+  // representative and publish freshly profiled tables to the cache.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (admitted[i] && rep[i] != i) {
+      out.profiles[i] = out.profiles[rep[i]];
+      out.uccs[i] = out.uccs[rep[i]];
+      profiled[i] = profiled[rep[i]];
+      ++out.profile_dedup_hits;
+      continue;
+    }
+    if (options.cache != nullptr && profiled[i] && cached[i] == nullptr) {
+      auto entry = std::make_shared<PredictCache::TableEntry>();
+      entry->profile = out.profiles[i];
+      entry->uccs = out.uccs[i];
+      options.cache->InsertTable(table_keys[i], std::move(entry));
+    }
+  }
   if (ucc_stopped.load(std::memory_order_relaxed)) {
     out.ucc_health.MarkDegraded(
         "run stopped during profiling/UCC; remaining tables metadata-only");

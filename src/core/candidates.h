@@ -11,6 +11,8 @@
 
 namespace autobi {
 
+class PredictCache;
+
 struct CandidateGenOptions {
   UccOptions ucc;
   IndOptions ind;
@@ -29,6 +31,13 @@ struct CandidateGenOptions {
   // 1 = serial. Also the default for ind.threads when that is 0. The
   // candidate set produced is identical at any thread count.
   int threads = 0;
+  // Optional cross-request profile cache (core/predict_cache.h), shared by
+  // the serving layer across sessions. When set, tables whose content hash
+  // (⊕ the UccOptions fingerprint) matches a cached entry reuse its
+  // profile + UCCs instead of re-scanning; fresh entries are inserted after
+  // profiling. A hit is byte-identical to recomputation, so results are
+  // unchanged with or without the cache. Not owned; must outlive the call.
+  PredictCache* cache = nullptr;
 };
 
 // Output of the candidate-generation stage (UCC + IND discovery, the first
@@ -48,6 +57,11 @@ struct CandidateSet {
   // ARCHITECTURE.md). Healthy runs leave both untouched.
   StageHealth ucc_health;
   StageHealth ind_health;
+  // Profiling-stage cache observability: tables whose profile + UCCs came
+  // from the cross-request PredictCache, and tables deduplicated against an
+  // identical table earlier in the same case (content-hash equality).
+  size_t profile_cache_hits = 0;
+  size_t profile_dedup_hits = 0;
 };
 
 // Profiles the tables, discovers UCCs and approximate INDs, and converts

@@ -1,0 +1,117 @@
+#ifndef AUTOBI_CORE_PREDICT_CACHE_H_
+#define AUTOBI_CORE_PREDICT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bi_model.h"
+#include "graph/join_graph.h"
+#include "graph/kmca_cc.h"
+#include "profile/column_profile.h"
+#include "profile/ucc.h"
+
+namespace autobi {
+
+// Cross-request caches for the prediction pipeline, keyed by content hash
+// (profile/sketch.h). A PredictCache outlives individual Predict calls: the
+// serving layer (src/serve/) shares one instance across sessions and
+// requests, so re-uploading a mostly-unchanged schema skips re-profiling
+// unchanged tables — the UCC/profiling stage is the dominant latency
+// component (Figure 5(b)) — and an entirely unchanged case skips the whole
+// pipeline via the solve memo.
+//
+// Correctness contract (see SERVING.md, "Cache keying & invalidation"):
+//   - Keys are pure functions of the input bytes plus the relevant option
+//     fingerprint, so a hit returns exactly what recomputation would have
+//     produced (modulo 64-bit hash collisions, probability ~ n^2 / 2^64).
+//     Warm results are bit-identical to cold ones; tests/serve_test.cc pins
+//     this and bench_serve measures the speedup.
+//   - Entries are immutable once inserted (shared_ptr<const T>), so lookups
+//     need no copy and hits can be shared across concurrent requests.
+//   - Only healthy (non-degraded) results are cached: a run tripped by a
+//     deadline/cancel is time-dependent and never populates either cache.
+//     Deterministic budgets are part of the key instead.
+//   - Capacity-bounded: eviction is FIFO by insertion order (cheap, and
+//     admission order is deterministic enough for an LRU-shaped workload).
+//
+// Thread safety: all methods may be called concurrently.
+class PredictCache {
+ public:
+  // Profiling output of one table under one UccOptions fingerprint.
+  struct TableEntry {
+    TableProfile profile;
+    std::vector<Ucc> uccs;
+  };
+
+  // A finished global solve for one (case, options, budgets) key. Timing is
+  // intentionally absent: a warm hit reports its own (near-zero) timings.
+  struct SolveEntry {
+    BiModel model;
+    JoinGraph graph;
+    std::vector<int> backbone_edges;
+    std::vector<int> recall_edges;
+    KmcaCcStats solver_stats;
+  };
+
+  struct Stats {
+    size_t table_hits = 0;
+    size_t table_misses = 0;
+    size_t solve_hits = 0;
+    size_t solve_misses = 0;
+    size_t table_entries = 0;
+    size_t solve_entries = 0;
+    size_t evictions = 0;
+  };
+
+  struct Options {
+    size_t max_table_entries = 4096;
+    size_t max_solve_entries = 512;
+  };
+
+  PredictCache() = default;
+  explicit PredictCache(Options options) : options_(options) {}
+  PredictCache(const PredictCache&) = delete;
+  PredictCache& operator=(const PredictCache&) = delete;
+
+  // --- Table-profile cache. `key` = TableContentHash ⊕ UccOptions
+  // fingerprint (the caller mixes them; see candidates.cc).
+  std::shared_ptr<const TableEntry> FindTable(uint64_t key) const;
+  void InsertTable(uint64_t key, std::shared_ptr<const TableEntry> entry);
+
+  // --- Solve memo. `key` = TablesContentHash ⊕ AutoBiOptions/budget
+  // fingerprint (see auto_bi.cc).
+  std::shared_ptr<const SolveEntry> FindSolve(uint64_t key) const;
+  void InsertSolve(uint64_t key, std::shared_ptr<const SolveEntry> entry);
+
+  Stats GetStats() const;
+  void Clear();
+
+ private:
+  template <typename T>
+  struct Shard {
+    std::unordered_map<uint64_t, std::shared_ptr<const T>> map;
+    std::vector<uint64_t> insertion_order;  // FIFO eviction queue.
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  template <typename T>
+  std::shared_ptr<const T> Find(const Shard<T>& shard, uint64_t key) const;
+  template <typename T>
+  void Insert(Shard<T>& shard, size_t capacity, uint64_t key,
+              std::shared_ptr<const T> entry);
+
+  Options options_;
+  mutable std::mutex mu_;
+  Shard<TableEntry> tables_;
+  Shard<SolveEntry> solves_;
+  size_t evictions_ = 0;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_CORE_PREDICT_CACHE_H_

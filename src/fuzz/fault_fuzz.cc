@@ -18,6 +18,8 @@
 #include "core/model_export.h"
 #include "core/trainer.h"
 #include "fuzz/faultpoints.h"
+#include "serve/engine.h"
+#include "serve/json.h"
 #include "synth/bi_generator.h"
 #include "synth/corpus.h"
 #include "table/csv.h"
@@ -287,6 +289,91 @@ void RunPipelineCase(Rng& rng, Scratch& s) {
   }
 }
 
+// Well-formed request lines the serve mutator starts from (one per verb
+// family; the byte mutator turns them into the malformed population).
+const char* const kServeSeeds[] = {
+    R"({"verb":"ping","id":1})",
+    R"({"verb":"create_session","id":2,"tenant":"fuzz"})",
+    R"({"verb":"upload_table","id":3,"session":"s1","name":"t",)"
+    R"("csv":"a,b\n1,x\n2,y\n"})",
+    R"({"verb":"upload_table","id":4,"session":"s1","name":"u",)"
+    R"("columns":[{"name":"k","values":[1,2,null]}]})",
+    R"({"verb":"predict","id":5,"session":"s1","tier":"interactive",)"
+    R"("max_rows_per_table":16})",
+    R"({"verb":"get_model","id":6,"session":"s1","format":"dot"})",
+    R"({"verb":"list_models","id":7,"tenant":"fuzz"})",
+    R"({"verb":"stats","id":8})",
+    R"({"verb":"nonsense","id":9,"payload":[1,[2,[3]]]})",
+};
+
+// One engine shared by every serve case: the campaign probes the wire
+// surface, and a long-lived engine also exercises session-table growth and
+// the session cap (kResourceExhausted is a well-formed outcome here).
+ServeEngine& SharedEngine() {
+  static ServeEngine* engine = [] {
+    ServeOptions options;
+    options.threads = 1;
+    options.max_sessions = 8;
+    options.max_tables_per_session = 8;
+    return new ServeEngine(&SharedTinyModel(), options);
+  }();
+  return *engine;
+}
+
+void RunServeCase(Rng& rng, Scratch& s) {
+  ++s.report->serve_cases;
+  std::string line;
+  if (rng.NextBool(0.2)) {
+    line = RandomBytes(rng, 256);
+  } else {
+    const char* seed = kServeSeeds[rng.NextBelow(sizeof(kServeSeeds) /
+                                                 sizeof(kServeSeeds[0]))];
+    line = rng.NextBool(0.3) ? seed : MutateBytes(seed, rng);
+  }
+  bool faults_armed = rng.NextBool(0.3);
+  if (faults_armed) {
+    std::string spec = StrFormat("serve.request=%.2f@%llu",
+                                 rng.NextDouble(0.2, 1.0),
+                                 (unsigned long long)rng.Next());
+    FaultPoints::Global().Configure(spec);
+  }
+  std::string response = SharedEngine().HandleLine(line);
+  if (faults_armed) {
+    s.report->injected_faults += FaultPoints::Global().fires();
+    FaultPoints::Global().Disable();
+  }
+
+  // The wire invariant: one single-line, well-formed JSON object with "ok";
+  // failures carry a named code and a message.
+  if (response.find('\n') != std::string::npos) {
+    s.Fail("response contains a raw newline");
+    return;
+  }
+  StatusOr<Json> parsed = ParseJson(response);
+  if (!parsed.ok()) {
+    s.Fail(StrFormat("response is not valid JSON: %s",
+                     parsed.status().ToString().c_str()));
+    return;
+  }
+  const Json* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    s.Fail("response lacks a boolean 'ok'");
+    return;
+  }
+  if (ok->AsBool()) {
+    ++s.report->parses_ok;
+    return;
+  }
+  ++s.report->status_errors;
+  const Json* error = parsed->Find("error");
+  const Json* code = error != nullptr ? error->Find("code") : nullptr;
+  const Json* message = error != nullptr ? error->Find("message") : nullptr;
+  if (code == nullptr || !code->is_string() || code->AsString().empty() ||
+      message == nullptr || !message->is_string()) {
+    s.Fail("error response lacks error.code / error.message");
+  }
+}
+
 }  // namespace
 
 FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
@@ -325,6 +412,11 @@ FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
           RunFileCase(rng, s, options.scratch_dir);
         }
         break;
+      case 6:
+      case 7:
+        s.scenario = "serve";
+        RunServeCase(rng, s);
+        break;
       default:
         s.scenario = "pipeline";
         RunPipelineCase(rng, s);
@@ -343,9 +435,9 @@ std::string FormatFaultFuzzReport(const FaultFuzzReport& report) {
       report.failures == 0 ? "PASS" : "FAIL", report.cases_run,
       report.elapsed_sec, report.failures);
   out += StrFormat(
-      "  scenarios: csv=%ld ddl=%ld file=%ld pipeline=%ld%s\n",
+      "  scenarios: csv=%ld ddl=%ld file=%ld pipeline=%ld serve=%ld%s\n",
       report.csv_cases, report.ddl_cases, report.file_cases,
-      report.pipeline_cases,
+      report.pipeline_cases, report.serve_cases,
       report.time_budget_hit ? " (time budget hit)" : "");
   out += StrFormat(
       "  outcomes: status_errors=%ld parses_ok=%ld degraded_models=%ld "

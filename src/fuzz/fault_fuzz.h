@@ -17,7 +17,11 @@ namespace autobi {
 //     io.open / io.short_read faults armed,
 //   - a full Predict run on a synthetic case under a randomized RunContext
 //     (budgets, near-zero deadlines, pre-cancellation) and a randomized
-//     AUTOBI_FAULT-style spec arming candidates.exhausted / parallel.task.
+//     AUTOBI_FAULT-style spec arming candidates.exhausted / parallel.task,
+//   - byte-mutated / arbitrary-byte NDJSON request lines through
+//     ServeEngine::HandleLine (sometimes with the serve.request fault point
+//     armed): any input bytes must yield exactly one well-formed JSON
+//     response line with "ok" and, on failure, an error code + message.
 //
 // The invariant checked on every case: the service layer either returns a
 // well-formed Status error or a result whose model passes ValidateBiModel
@@ -40,6 +44,7 @@ struct FaultFuzzReport {
   long ddl_cases = 0;
   long file_cases = 0;
   long pipeline_cases = 0;
+  long serve_cases = 0;
   // Outcome counts (informational; none of these are failures).
   long status_errors = 0;    // Well-formed non-OK Statuses observed.
   long parses_ok = 0;        // Mutated inputs that still parsed.

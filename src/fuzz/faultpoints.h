@@ -24,6 +24,9 @@ namespace autobi {
 //   parallel.task    a ParallelFor task throws (exercises the pool's
 //                    exception-propagation path and the kInternal catch at
 //                    the Predict service boundary)
+//   serve.request    ServeEngine::HandleLine corrupts the incoming request
+//                    line before parsing (truncation + stray quote),
+//                    exercising the daemon's malformed-input path
 //
 // Spec syntax (AUTOBI_FAULT env var or Configure()):
 //   "point=prob[,point=prob...][@seed]"

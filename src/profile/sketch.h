@@ -79,6 +79,32 @@ KmvEstimate EstimateContainment(const std::vector<uint64_t>& a_hashes,
                                 const std::vector<uint64_t>& b_hashes,
                                 size_t k);
 
+// SplitMix64 finalizer: a strong, stable 64 -> 64 bit mixer. Shared by the
+// k-MCA-CC memo signatures and the content hashes below so every layer's
+// notion of "mixing" agrees.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Content hash of a column: a stable function of the column name, declared
+// type, and every cell (nulls included, order-sensitive). Two columns have
+// equal hashes iff they are byte-identical (modulo 64-bit collisions), across
+// runs, platforms and thread counts. This is the key of the cross-request
+// profile caches (core/predict_cache.h): an unchanged column re-uploaded to
+// the prediction service hashes identically and skips re-profiling.
+uint64_t ColumnContentHash(const Column& column);
+
+// Content hash of a whole table: name + per-column content hashes, order
+// sensitive, SplitMix64-combined. Cost is one linear pass over the cell
+// bytes — roughly an order of magnitude cheaper than profiling the table.
+uint64_t TableContentHash(const Table& table);
+
+// Content hash of an ordered table set (a whole prediction case).
+uint64_t TablesContentHash(const std::vector<Table>& tables);
+
 // Streaming hash of the composite tuple of `columns` at row r. Byte-for-byte
 // equivalent to StableHash64 of the escaped rendering "v1|v2|...|" with '|'
 // and '\' backslash-escaped inside values (the TupleKey convention of

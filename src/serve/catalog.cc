@@ -1,0 +1,186 @@
+#include "serve/catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace autobi {
+
+std::string NamedColumnRef::ToString() const {
+  std::string out = table;
+  out.push_back('(');
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += columns[i];
+  }
+  out.push_back(')');
+  return out;
+}
+
+NamedJoin NamedJoin::Normalized() const {
+  NamedJoin j = *this;
+  if (j.kind == JoinKind::kOneToOne && j.to < j.from) {
+    std::swap(j.from, j.to);
+  }
+  return j;
+}
+
+bool NamedJoin::operator==(const NamedJoin& o) const {
+  NamedJoin a = Normalized();
+  NamedJoin b = o.Normalized();
+  return a.kind == b.kind && a.from == b.from && a.to == b.to;
+}
+
+std::string NamedJoin::ToString() const {
+  return StrFormat("%s -> %s [%s]", from.ToString().c_str(),
+                   to.ToString().c_str(),
+                   kind == JoinKind::kOneToOne ? "1:1" : "N:1");
+}
+
+namespace {
+
+NamedColumnRef NameRef(const std::vector<Table>& tables,
+                       const ColumnRef& ref) {
+  NamedColumnRef out;
+  const Table& t = tables[size_t(ref.table)];
+  out.table = t.name();
+  out.columns.reserve(ref.columns.size());
+  for (int c : ref.columns) out.columns.push_back(t.column(size_t(c)).name());
+  return out;
+}
+
+bool NamedJoinLess(const NamedJoin& a, const NamedJoin& b) {
+  if (!(a.from == b.from)) return a.from < b.from;
+  if (!(a.to == b.to)) return a.to < b.to;
+  return int(a.kind) < int(b.kind);
+}
+
+}  // namespace
+
+std::vector<NamedJoin> NameJoins(const std::vector<Table>& tables,
+                                 const BiModel& model) {
+  std::vector<NamedJoin> joins;
+  joins.reserve(model.joins.size());
+  for (const Join& j : model.joins) {
+    NamedJoin nj;
+    nj.from = NameRef(tables, j.from);
+    nj.to = NameRef(tables, j.to);
+    nj.kind = j.kind;
+    joins.push_back(nj.Normalized());
+  }
+  std::sort(joins.begin(), joins.end(), NamedJoinLess);
+  return joins;
+}
+
+ModelDiff DiffJoinSets(const std::vector<NamedJoin>& from,
+                       const std::vector<NamedJoin>& to) {
+  ModelDiff diff;
+  auto contains = [](const std::vector<NamedJoin>& set, const NamedJoin& j) {
+    for (const NamedJoin& s : set) {
+      if (s == j) return true;
+    }
+    return false;
+  };
+  for (const NamedJoin& j : to) {
+    if (!contains(from, j)) diff.added.push_back(j);
+  }
+  for (const NamedJoin& j : from) {
+    if (!contains(to, j)) diff.removed.push_back(j);
+  }
+  return diff;
+}
+
+ModelCatalog::ModelCatalog(size_t max_unpinned_per_tenant)
+    : max_unpinned_per_tenant_(
+          max_unpinned_per_tenant == 0 ? 1 : max_unpinned_per_tenant) {}
+
+int64_t ModelCatalog::Publish(const std::string& tenant, std::string label,
+                              uint64_t tables_hash,
+                              std::vector<NamedJoin> joins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = tenants_[tenant];
+  ModelSnapshot snap;
+  snap.version = t.next_version++;
+  snap.label = std::move(label);
+  snap.tables_hash = tables_hash;
+  snap.joins = std::move(joins);
+  t.snapshots.push_back(std::move(snap));
+
+  size_t unpinned = 0;
+  for (const ModelSnapshot& s : t.snapshots) {
+    if (!s.pinned) ++unpinned;
+  }
+  if (unpinned > max_unpinned_per_tenant_) {
+    // Evict the oldest unpinned snapshot (never the one just published,
+    // unless it is the only unpinned one — impossible here since the cap is
+    // >= 1 and we only exceed it with at least two unpinned).
+    for (auto it = t.snapshots.begin(); it != t.snapshots.end(); ++it) {
+      if (!it->pinned) {
+        t.snapshots.erase(it);
+        break;
+      }
+    }
+  }
+  return t.snapshots.back().version;
+}
+
+const ModelSnapshot* ModelCatalog::FindLocked(const std::string& tenant,
+                                              int64_t version) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.snapshots.empty()) return nullptr;
+  const std::vector<ModelSnapshot>& snaps = it->second.snapshots;
+  if (version <= 0) return &snaps.back();
+  for (const ModelSnapshot& s : snaps) {
+    if (s.version == version) return &s;
+  }
+  return nullptr;
+}
+
+StatusOr<ModelSnapshot> ModelCatalog::Get(const std::string& tenant,
+                                          int64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ModelSnapshot* s = FindLocked(tenant, version);
+  if (s == nullptr) {
+    return Status::InvalidInput(
+        StrFormat("no model version %lld for tenant '%s'",
+                  static_cast<long long>(version), tenant.c_str()));
+  }
+  return *s;
+}
+
+Status ModelCatalog::Pin(const std::string& tenant, int64_t version,
+                         bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ModelSnapshot* s = FindLocked(tenant, version);
+  if (s == nullptr) {
+    return Status::InvalidInput(
+        StrFormat("no model version %lld for tenant '%s'",
+                  static_cast<long long>(version), tenant.c_str()));
+  }
+  const_cast<ModelSnapshot*>(s)->pinned = pinned;
+  return Status::Ok();
+}
+
+std::vector<ModelSnapshot> ModelCatalog::List(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  return it->second.snapshots;
+}
+
+StatusOr<ModelDiff> ModelCatalog::Diff(const std::string& tenant, int64_t from,
+                                       int64_t to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ModelSnapshot* a = FindLocked(tenant, from);
+  const ModelSnapshot* b = FindLocked(tenant, to);
+  if (a == nullptr || b == nullptr) {
+    return Status::InvalidInput(StrFormat(
+        "diff needs two existing versions for tenant '%s' (got %lld, %lld)",
+        tenant.c_str(), static_cast<long long>(from),
+        static_cast<long long>(to)));
+  }
+  return DiffJoinSets(a->joins, b->joins);
+}
+
+}  // namespace autobi

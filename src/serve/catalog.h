@@ -1,0 +1,117 @@
+#ifndef AUTOBI_SERVE_CATALOG_H_
+#define AUTOBI_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bi_model.h"
+#include "table/table.h"
+
+namespace autobi {
+
+// A join endpoint resolved to names. A BiModel's joins reference tables by
+// index into one specific upload order; the catalog outlives sessions, so it
+// stores name-resolved joins instead — two sessions that upload the same
+// schema in different orders publish comparable snapshots.
+struct NamedColumnRef {
+  std::string table;
+  std::vector<std::string> columns;
+
+  bool operator==(const NamedColumnRef& o) const {
+    return table == o.table && columns == o.columns;
+  }
+  bool operator<(const NamedColumnRef& o) const {
+    if (table != o.table) return table < o.table;
+    return columns < o.columns;
+  }
+  // "Orders(cust_id)"
+  std::string ToString() const;
+};
+
+struct NamedJoin {
+  NamedColumnRef from;
+  NamedColumnRef to;
+  JoinKind kind = JoinKind::kNToOne;
+
+  // 1:1 joins oriented with the smaller endpoint first, mirroring
+  // Join::Normalized(), so equality is orientation-insensitive.
+  NamedJoin Normalized() const;
+  bool operator==(const NamedJoin& o) const;
+  // "Orders(cust_id) -> Customers(id) [N:1]"
+  std::string ToString() const;
+};
+
+// Resolves a model's index-based joins against its table set. The model must
+// already be structurally valid for `tables` (see ValidateBiModel); callers
+// in the serving layer validate before publishing.
+std::vector<NamedJoin> NameJoins(const std::vector<Table>& tables,
+                                 const BiModel& model);
+
+// One published model version.
+struct ModelSnapshot {
+  int64_t version = 0;  // Per-tenant, dense from 1, never reused.
+  std::string label;
+  bool pinned = false;        // Pinned snapshots are exempt from eviction.
+  uint64_t tables_hash = 0;   // TablesContentHash of the source table set.
+  std::vector<NamedJoin> joins;  // Normalized, sorted.
+};
+
+// Symmetric difference between two snapshots' join sets.
+struct ModelDiff {
+  std::vector<NamedJoin> added;    // In `to` but not `from`.
+  std::vector<NamedJoin> removed;  // In `from` but not `to`.
+};
+
+ModelDiff DiffJoinSets(const std::vector<NamedJoin>& from,
+                       const std::vector<NamedJoin>& to);
+
+// Thread-safe versioned store of published model snapshots, partitioned by
+// tenant (the serving protocol defaults the tenant to "default"). Versions
+// are assigned per tenant in publish order. Capacity is bounded: when a
+// tenant exceeds `max_unpinned_per_tenant` unpinned snapshots, the oldest
+// unpinned one is evicted (pins are durable within the process lifetime —
+// there is no persistence across daemon restarts).
+class ModelCatalog {
+ public:
+  explicit ModelCatalog(size_t max_unpinned_per_tenant = 32);
+
+  // Returns the assigned version (>= 1).
+  int64_t Publish(const std::string& tenant, std::string label,
+                  uint64_t tables_hash, std::vector<NamedJoin> joins);
+
+  // version <= 0 means "latest". kInvalidInput when the tenant or version
+  // does not exist (including evicted versions).
+  StatusOr<ModelSnapshot> Get(const std::string& tenant,
+                              int64_t version) const;
+
+  Status Pin(const std::string& tenant, int64_t version, bool pinned);
+
+  // Snapshots in ascending version order (empty for unknown tenants).
+  std::vector<ModelSnapshot> List(const std::string& tenant) const;
+
+  // Joins added/removed going from version `from` to version `to`.
+  StatusOr<ModelDiff> Diff(const std::string& tenant, int64_t from,
+                           int64_t to) const;
+
+ private:
+  struct Tenant {
+    int64_t next_version = 1;
+    std::vector<ModelSnapshot> snapshots;  // Ascending version.
+  };
+
+  // Requires lock. nullptr when absent; resolves version <= 0 to latest.
+  const ModelSnapshot* FindLocked(const std::string& tenant,
+                                  int64_t version) const;
+
+  const size_t max_unpinned_per_tenant_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Tenant> tenants_;
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SERVE_CATALOG_H_

@@ -1,0 +1,96 @@
+#ifndef AUTOBI_SERVE_JSON_H_
+#define AUTOBI_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autobi {
+
+// Minimal JSON value for the serving wire format (SERVING.md). The daemon
+// speaks newline-delimited JSON: one request object per line in, one
+// response object per line out. This is an untrusted-input surface — the
+// parser returns kInvalidInput on any malformed byte sequence (it is fuzzed
+// by the autobi_faultfuzz `serve` scenario) and the writer always emits a
+// single line (no raw newlines; control characters are escaped).
+//
+// Design notes: objects preserve insertion order (stable wire output for
+// tests and humans) with linear-scan lookup — protocol objects are small.
+// Numbers distinguish int64 from double so row counts and version ids
+// round-trip exactly; doubles render with %.17g (round-trip safe).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json MakeBool(bool b);
+  static Json MakeInt(int64_t v);
+  static Json MakeDouble(double v);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Value accessors. Calling the wrong accessor is a programmer error
+  // (checked); protocol code uses the typed Get* helpers below instead.
+  bool AsBool() const;
+  int64_t AsInt() const;      // Doubles truncate toward zero.
+  double AsDouble() const;    // Ints widen.
+  const std::string& AsString() const;
+
+  // --- Arrays.
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const;
+  Json& Append(Json v);  // Returns the appended element.
+
+  // --- Objects (insertion-ordered).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+  // nullptr when absent.
+  const Json* Find(std::string_view key) const;
+  // Inserts or overwrites; returns the stored value.
+  Json& Set(std::string key, Json value);
+
+  // Typed member lookups for protocol handling: OK + default when the key
+  // is absent, kInvalidInput when present with the wrong type.
+  StatusOr<std::string> GetString(std::string_view key,
+                                  std::string fallback) const;
+  StatusOr<int64_t> GetInt(std::string_view key, int64_t fallback) const;
+  StatusOr<double> GetDouble(std::string_view key, double fallback) const;
+  StatusOr<bool> GetBool(std::string_view key, bool fallback) const;
+
+  // Compact single-line serialization.
+  std::string Write() const;
+  void WriteTo(std::string* out) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  bool int_number_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+// Parses exactly one JSON value (plus surrounding whitespace) from `text`.
+// kInvalidInput on anything else: trailing bytes, unterminated strings, bad
+// escapes, numbers out of range, nesting beyond 64 levels.
+StatusOr<Json> ParseJson(std::string_view text);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SERVE_JSON_H_

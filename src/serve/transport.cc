@@ -1,0 +1,133 @@
+#include "serve/transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace autobi {
+
+Status RunStdioServer(ServeEngine* engine) {
+  std::string line;
+  while (!engine->shutdown_requested() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << engine->HandleLine(line) << "\n" << std::flush;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Reads buffered lines from `fd`, dispatching each through the engine.
+// Returns on EOF, error, or engine shutdown (polled every 200 ms so a
+// shutdown accepted on another connection unblocks this one).
+void ServeConnection(ServeEngine* engine, int fd) {
+  std::string pending;
+  char buf[4096];
+  while (true) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, 200);
+    if (engine->shutdown_requested()) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // EOF or error.
+    pending.append(buf, size_t(n));
+    size_t start = 0;
+    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      std::string_view line(pending.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!line.empty()) {
+        std::string response = engine->HandleLine(line);
+        response.push_back('\n');
+        size_t off = 0;
+        while (off < response.size()) {
+          ssize_t w =
+              ::write(fd, response.data() + off, response.size() - off);
+          if (w <= 0) {
+            ::close(fd);
+            return;
+          }
+          off += size_t(w);
+        }
+      }
+      start = nl + 1;
+      if (engine->shutdown_requested()) {
+        ::close(fd);
+        return;
+      }
+    }
+    pending.erase(0, start);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+Status RunUnixSocketServer(ServeEngine* engine, const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidInput(
+        StrFormat("socket path too long (%zu bytes)", path.size()));
+  }
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::Internal(
+        StrFormat("socket() failed: %s", std::strerror(errno)));
+  }
+  ::unlink(path.c_str());  // Replace a stale socket from a previous run.
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::Internal(
+        StrFormat("bind(%s) failed: %s", path.c_str(), std::strerror(errno)));
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    Status status = Status::Internal(
+        StrFormat("listen failed: %s", std::strerror(errno)));
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+
+  std::vector<std::thread> connections;
+  while (!engine->shutdown_requested()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    connections.emplace_back(ServeConnection, engine, conn_fd);
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return Status::Ok();
+}
+
+}  // namespace autobi

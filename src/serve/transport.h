@@ -1,0 +1,27 @@
+#ifndef AUTOBI_SERVE_TRANSPORT_H_
+#define AUTOBI_SERVE_TRANSPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/engine.h"
+
+namespace autobi {
+
+// Newline-delimited JSON transports for ServeEngine (POSIX only, no
+// dependencies). Both run until EOF or until the engine accepts a
+// `shutdown` request. Framing: one request per input line, one response
+// per output line; blank lines are ignored.
+
+// Serves over stdin/stdout — the mode `autobi_serve --stdio` runs in, and
+// the easiest way to drive the daemon from a shell pipeline.
+Status RunStdioServer(ServeEngine* engine);
+
+// Binds (and, on exit, unlinks) a unix-domain socket at `path` and serves
+// each accepted connection on its own thread. Concurrency across
+// connections is bounded by the engine's admission gate, not the transport.
+Status RunUnixSocketServer(ServeEngine* engine, const std::string& path);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SERVE_TRANSPORT_H_

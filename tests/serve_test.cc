@@ -1,0 +1,642 @@
+// Serving-layer tests: the NDJSON protocol surface (serve/json.h,
+// serve/engine.h), the versioned model catalog, the cross-request
+// content-hash caches (core/predict_cache.h), in-run profile dedupe, and
+// admission control. The load-bearing properties:
+//   - any request bytes produce one well-formed JSON response line,
+//   - Predict responses are byte-identical at any thread count and whether
+//     the caches are cold or warm,
+//   - admission overflow is an immediate kResourceExhausted, not a hang.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/auto_bi.h"
+#include "core/candidates.h"
+#include "core/predict_cache.h"
+#include "core/trainer.h"
+#include "profile/sketch.h"
+#include "serve/catalog.h"
+#include "serve/engine.h"
+#include "serve/json.h"
+#include "synth/corpus.h"
+#include "table/csv.h"
+
+namespace autobi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON wire format.
+
+TEST(ServeJson, RoundTripsScalarsAndContainers) {
+  const char* inputs[] = {
+      "null",
+      "true",
+      "false",
+      "0",
+      "-17",
+      "9007199254740993",  // > 2^53: must stay exact through int64.
+      "1.5",
+      "\"hi\"",
+      "[]",
+      "[1,2,[3]]",
+      "{}",
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}",
+  };
+  for (const char* input : inputs) {
+    StatusOr<Json> parsed = ParseJson(input);
+    ASSERT_TRUE(parsed.ok()) << input;
+    EXPECT_EQ(parsed->Write(), input) << input;
+  }
+}
+
+TEST(ServeJson, ObjectPreservesInsertionOrder) {
+  StatusOr<Json> parsed = ParseJson(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Write(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(ServeJson, EscapesControlCharactersToASingleLine) {
+  Json obj = Json::MakeObject();
+  obj.Set("text", Json::MakeString("line1\nline2\ttab\x01\"quote\""));
+  std::string wire = obj.Write();
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+  StatusOr<Json> back = ParseJson(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Find("text")->AsString(), "line1\nline2\ttab\x01\"quote\"");
+}
+
+TEST(ServeJson, ParsesUnicodeEscapes) {
+  StatusOr<Json> parsed = ParseJson(R"("\u00e9\ud83d\ude00")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xC3\xA9\xF0\x9F\x98\x80");  // é + emoji.
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  const char* inputs[] = {
+      "",       "{",     "}",          "[1,",       "{\"a\"}",
+      "\"abc",  "01",    "1.",         "1e",        "tru",
+      "nul",    "[1]]",  "{\"a\":1,}", "\"\\q\"",   "\"\\ud800\"",
+      "\"\x01\"",
+  };
+  for (const char* input : inputs) {
+    StatusOr<Json> parsed = ParseJson(input);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << input;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidInput) << input;
+    }
+  }
+}
+
+TEST(ServeJson, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(ServeJson, TypedGettersDistinguishAbsentFromWrongType) {
+  StatusOr<Json> obj = ParseJson(R"({"n":3,"s":"x"})");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->GetInt("n", 0).value(), 3);
+  EXPECT_EQ(obj->GetInt("missing", 7).value(), 7);
+  EXPECT_FALSE(obj->GetInt("s", 0).ok());
+  EXPECT_FALSE(obj->GetString("n", "").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Content hashing + PredictCache.
+
+Table MakeTable(const std::string& name, int rows, int salt = 0) {
+  Table t(name);
+  Column& id = t.AddColumn("id");
+  Column& label = t.AddColumn("label");
+  for (int i = 0; i < rows; ++i) {
+    id.AppendInt(i + salt);
+    label.AppendString("v" + std::to_string((i * 7 + salt) % 23));
+  }
+  return t;
+}
+
+TEST(ContentHash, SensitiveToValuesNamesAndTypes) {
+  Table a = MakeTable("t", 50);
+  Table b = MakeTable("t", 50);
+  EXPECT_EQ(TableContentHash(a), TableContentHash(b));
+  EXPECT_NE(TableContentHash(a), TableContentHash(MakeTable("t2", 50)));
+  EXPECT_NE(TableContentHash(a), TableContentHash(MakeTable("t", 50, 1)));
+
+  // null vs "" vs 3 vs "3" must not alias.
+  Table n1("x"), n2("x"), n3("x"), n4("x");
+  n1.AddColumn("c").AppendNull();
+  n2.AddColumn("c").AppendString("");
+  n3.AddColumn("c").AppendInt(3);
+  n4.AddColumn("c").AppendString("3");
+  uint64_t h1 = TableContentHash(n1), h2 = TableContentHash(n2);
+  uint64_t h3 = TableContentHash(n3), h4 = TableContentHash(n4);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h3, h4);
+  EXPECT_NE(h2, h3);
+}
+
+TEST(PredictCacheTest, TableShardHitMissAndEviction) {
+  PredictCache::Options options;
+  options.max_table_entries = 2;
+  PredictCache cache(options);
+  EXPECT_EQ(cache.FindTable(1), nullptr);
+  for (uint64_t k = 1; k <= 3; ++k) {
+    auto entry = std::make_shared<PredictCache::TableEntry>();
+    cache.InsertTable(k, entry);
+  }
+  PredictCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.table_entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(cache.FindTable(1), nullptr);  // FIFO: oldest evicted.
+  EXPECT_NE(cache.FindTable(3), nullptr);
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.table_hits, 1u);
+  EXPECT_GE(stats.table_misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared trained model for pipeline-level tests (tiny: the tests probe the
+// serving machinery, not classifier quality).
+
+const LocalModel& TestModel() {
+  static const LocalModel* model = [] {
+    CorpusOptions copt;
+    copt.seed = 99;
+    copt.training_cases = 12;
+    TrainerOptions topt;
+    topt.forest.num_trees = 4;
+    return new LocalModel(TrainLocalModel(BuildTrainingCorpus(copt), topt));
+  }();
+  return *model;
+}
+
+std::vector<Table> StarTables() {
+  std::vector<Table> tables;
+  Table customers("customers");
+  Column& cid = customers.AddColumn("cust_id");
+  Column& cname = customers.AddColumn("cust_name");
+  for (int i = 0; i < 40; ++i) {
+    cid.AppendInt(1000 + i);
+    cname.AppendString("customer_" + std::to_string(i));
+  }
+  tables.push_back(std::move(customers));
+  Table orders("orders");
+  Column& oid = orders.AddColumn("order_id");
+  Column& ocust = orders.AddColumn("cust_id");
+  Column& qty = orders.AddColumn("quantity");
+  for (int i = 0; i < 150; ++i) {
+    oid.AppendInt(i + 1);
+    ocust.AppendInt(1000 + (i * 13) % 40);
+    qty.AppendInt(1 + i % 9);
+  }
+  tables.push_back(std::move(orders));
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// Library-side cache behaviour: warm == cold, partial reuse, in-run dedupe.
+
+TEST(PredictCacheTest, WarmSolveIsBitIdenticalToCold) {
+  PredictCache cache;
+  AutoBiOptions options;
+  options.threads = 1;
+  options.cache = &cache;
+  AutoBi predictor(&TestModel(), options);
+  std::vector<Table> tables = StarTables();
+
+  AutoBiResult cold = predictor.Predict(tables);
+  PredictCache::Stats after_cold = cache.GetStats();
+  EXPECT_EQ(after_cold.solve_hits, 0u);
+  EXPECT_EQ(after_cold.solve_entries, 1u);
+
+  AutoBiResult warm = predictor.Predict(tables);
+  PredictCache::Stats after_warm = cache.GetStats();
+  EXPECT_EQ(after_warm.solve_hits, 1u);
+
+  ASSERT_EQ(cold.model.joins.size(), warm.model.joins.size());
+  for (size_t i = 0; i < cold.model.joins.size(); ++i) {
+    EXPECT_TRUE(cold.model.joins[i] == warm.model.joins[i]);
+  }
+  EXPECT_EQ(cold.backbone_edges, warm.backbone_edges);
+  EXPECT_EQ(cold.recall_edges, warm.recall_edges);
+  EXPECT_EQ(cold.graph.edges().size(), warm.graph.edges().size());
+}
+
+TEST(PredictCacheTest, PartialChangeReusesUnchangedTableProfiles) {
+  PredictCache cache;
+  AutoBiOptions options;
+  options.threads = 1;
+  options.cache = &cache;
+  AutoBi predictor(&TestModel(), options);
+  std::vector<Table> tables = StarTables();
+  predictor.Predict(tables);
+
+  // Change only the fact table; the dimension's profile must come from the
+  // cache, and the result must equal a cache-free run on the same input.
+  std::vector<Table> mutated = tables;
+  for (size_t c = 0; c < mutated[1].num_columns(); ++c) {
+    mutated[1].column(c).AppendNull();
+  }
+  PredictCache::Stats before = cache.GetStats();
+  AutoBiResult cached_run = predictor.Predict(mutated);
+  PredictCache::Stats after = cache.GetStats();
+  EXPECT_GE(after.table_hits, before.table_hits + 1);
+
+  AutoBiOptions nocache;
+  nocache.threads = 1;
+  AutoBi reference(&TestModel(), nocache);
+  AutoBiResult ref = reference.Predict(mutated);
+  ASSERT_EQ(cached_run.model.joins.size(), ref.model.joins.size());
+  for (size_t i = 0; i < ref.model.joins.size(); ++i) {
+    EXPECT_TRUE(cached_run.model.joins[i] == ref.model.joins[i]);
+  }
+}
+
+TEST(PredictCacheTest, DegradedRunsNeverPopulateTheSolveMemo) {
+  PredictCache cache;
+  AutoBiOptions options;
+  options.threads = 1;
+  options.cache = &cache;
+  AutoBi predictor(&TestModel(), options);
+  std::vector<Table> tables = StarTables();
+
+  RunContext ctx;
+  ctx.budgets.max_rows_per_table = 5;  // Trips metadata-only degradation.
+  StatusOr<AutoBiResult> degraded = predictor.Predict(tables, &ctx);
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_TRUE(degraded->degradation.Any());
+  EXPECT_EQ(cache.GetStats().solve_entries, 0u);
+}
+
+TEST(CandidatesTest, IdenticalTablesInOneRunAreProfiledOnce) {
+  std::vector<Table> tables = StarTables();
+  tables.push_back(tables[0]);  // The same dimension table twice.
+  CandidateGenOptions options;
+  options.threads = 1;
+  CandidateSet set = GenerateCandidates(tables, options, nullptr);
+  EXPECT_EQ(set.profile_dedup_hits, 1u);
+  ASSERT_EQ(set.profiles.size(), 3u);
+  ASSERT_EQ(set.uccs.size(), 3u);
+  EXPECT_EQ(set.uccs[0].size(), set.uccs[2].size());
+  EXPECT_EQ(set.profiles[0].columns.size(), set.profiles[2].columns.size());
+}
+
+// ---------------------------------------------------------------------------
+// ServeEngine protocol tests.
+
+Json Call(ServeEngine& engine, const std::string& request) {
+  StatusOr<Json> response = ParseJson(engine.HandleLine(request));
+  EXPECT_TRUE(response.ok()) << "response not JSON for: " << request;
+  return response.ok() ? *response : Json();
+}
+
+bool IsOk(const Json& response) {
+  const Json* ok = response.Find("ok");
+  return ok != nullptr && ok->is_bool() && ok->AsBool();
+}
+
+std::string ErrorCode(const Json& response) {
+  const Json* error = response.Find("error");
+  if (error == nullptr) return "";
+  const Json* code = error->Find("code");
+  return code != nullptr && code->is_string() ? code->AsString() : "";
+}
+
+std::string UploadLine(const std::string& session, const Table& table) {
+  Json req = Json::MakeObject();
+  req.Set("verb", Json::MakeString("upload_table"));
+  req.Set("session", Json::MakeString(session));
+  req.Set("name", Json::MakeString(table.name()));
+  req.Set("csv", Json::MakeString(WriteCsv(table)));
+  return req.Write();
+}
+
+// Creates a session, uploads the star schema, returns the session id.
+std::string SetUpStarSession(ServeEngine& engine) {
+  Json created = Call(engine, R"({"verb":"create_session"})");
+  EXPECT_TRUE(IsOk(created));
+  std::string session = created.Find("session")->AsString();
+  for (const Table& t : StarTables()) {
+    EXPECT_TRUE(IsOk(Call(engine, UploadLine(session, t))));
+  }
+  return session;
+}
+
+TEST(ServeEngineTest, SessionLifecycle) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  std::string session = SetUpStarSession(engine);
+
+  Json predict = Call(engine, R"({"verb":"predict","session":")" + session +
+                                  R"(","tier":"standard"})");
+  ASSERT_TRUE(IsOk(predict)) << predict.Write();
+  EXPECT_EQ(predict.Find("num_tables")->AsInt(), 2);
+  ASSERT_NE(predict.Find("joins"), nullptr);
+
+  Json model = Call(engine, R"({"verb":"get_model","session":")" + session +
+                                R"(","format":"json"})");
+  ASSERT_TRUE(IsOk(model)) << model.Write();
+  EXPECT_NE(model.Find("model"), nullptr);
+
+  Json diff =
+      Call(engine, R"({"verb":"diff","session":")" + session + R"("})");
+  ASSERT_TRUE(IsOk(diff));
+  EXPECT_FALSE(diff.Find("against_previous")->AsBool());
+
+  EXPECT_TRUE(IsOk(Call(engine, R"({"verb":"close_session","session":")" +
+                                    session + R"("})")));
+  Json after = Call(engine, R"({"verb":"predict","session":")" + session +
+                                R"("})");
+  EXPECT_FALSE(IsOk(after));
+  EXPECT_EQ(ErrorCode(after), "INVALID_INPUT");
+}
+
+TEST(ServeEngineTest, MalformedAndInvalidRequestsReturnTypedErrors) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  EXPECT_EQ(ErrorCode(Call(engine, "{not json")), "INVALID_INPUT");
+  EXPECT_EQ(ErrorCode(Call(engine, "[1,2,3]")), "INVALID_INPUT");
+  EXPECT_EQ(ErrorCode(Call(engine, R"({"verb":"no_such_verb"})")),
+            "INVALID_INPUT");
+  EXPECT_EQ(ErrorCode(Call(engine, R"({"id":4})")), "INVALID_INPUT");
+  EXPECT_EQ(ErrorCode(Call(engine, R"({"verb":"predict","session":"nope"})")),
+            "INVALID_INPUT");
+  // The id is echoed even on errors.
+  Json echoed = Call(engine, R"({"verb":"nope","id":42})");
+  ASSERT_NE(echoed.Find("id"), nullptr);
+  EXPECT_EQ(echoed.Find("id")->AsInt(), 42);
+}
+
+TEST(ServeEngineTest, UploadValidationAndReplacement) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  Json created = Call(engine, R"({"verb":"create_session"})");
+  std::string session = created.Find("session")->AsString();
+
+  EXPECT_EQ(ErrorCode(Call(engine, R"({"verb":"upload_table","session":")" +
+                                       session + R"("})")),
+            "INVALID_INPUT");
+  EXPECT_EQ(ErrorCode(Call(
+                engine, R"({"verb":"upload_table","session":")" + session +
+                            R"(","name":"t","csv":"a,b\n1\n"})")),
+            "INVALID_INPUT");  // Ragged CSV.
+  Json first = Call(engine, R"({"verb":"upload_table","session":")" + session +
+                                R"(","name":"t","csv":"a,b\n1,2\n"})");
+  ASSERT_TRUE(IsOk(first));
+  EXPECT_FALSE(first.Find("replaced")->AsBool());
+  Json second = Call(engine, R"({"verb":"upload_table","session":")" +
+                                 session +
+                                 R"(","name":"t","csv":"a,b\n3,4\n"})");
+  ASSERT_TRUE(IsOk(second));
+  EXPECT_TRUE(second.Find("replaced")->AsBool());
+  EXPECT_EQ(second.Find("num_tables")->AsInt(), 1);
+  EXPECT_NE(first.Find("content_hash")->AsString(),
+            second.Find("content_hash")->AsString());
+
+  // Columns-form upload with mixed types is rejected.
+  EXPECT_EQ(ErrorCode(Call(engine,
+                           R"({"verb":"upload_table","session":")" + session +
+                               R"(","name":"u","columns":[)"
+                               R"({"name":"c","values":[1,"x"]}]})")),
+            "INVALID_INPUT");
+}
+
+TEST(ServeEngineTest, PredictIsByteIdenticalAcrossThreadCountsAndCacheState) {
+  std::vector<std::string> joins_by_threads;
+  for (int threads : {1, 2, 8}) {
+    ServeOptions options;
+    options.threads = threads;
+    ServeEngine engine(&TestModel(), options);
+    std::string session = SetUpStarSession(engine);
+    std::string line = R"({"verb":"predict","session":")" + session +
+                       R"(","tier":"standard"})";
+    Json cold = Call(engine, line);
+    ASSERT_TRUE(IsOk(cold)) << cold.Write();
+    Json warm = Call(engine, line);
+    ASSERT_TRUE(IsOk(warm)) << warm.Write();
+    // Warm re-submission hits the solve memo and matches byte-for-byte.
+    EXPECT_GE(warm.Find("cache")->Find("solve_hits")->AsInt(), 1);
+    EXPECT_EQ(cold.Find("joins")->Write(), warm.Find("joins")->Write());
+    joins_by_threads.push_back(cold.Find("joins")->Write());
+  }
+  EXPECT_EQ(joins_by_threads[0], joins_by_threads[1]);
+  EXPECT_EQ(joins_by_threads[0], joins_by_threads[2]);
+}
+
+TEST(ServeEngineTest, ConcurrentPredictsAreDeterministic) {
+  ServeOptions options;
+  options.threads = 2;
+  options.max_inflight = 8;
+  ServeEngine engine(&TestModel(), options);
+  // Eight sessions with the same tables, predicted concurrently.
+  std::vector<std::string> sessions;
+  for (int i = 0; i < 8; ++i) sessions.push_back(SetUpStarSession(engine));
+
+  std::vector<std::string> joins(sessions.size());
+  std::vector<std::thread> workers;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    workers.emplace_back([&, i] {
+      Json response =
+          Call(engine, R"({"verb":"predict","session":")" + sessions[i] +
+                           R"(","tier":"standard"})");
+      if (IsOk(response)) joins[i] = response.Find("joins")->Write();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (size_t i = 1; i < joins.size(); ++i) {
+    EXPECT_EQ(joins[0], joins[i]) << "thread " << i;
+    EXPECT_FALSE(joins[i].empty());
+  }
+}
+
+TEST(AdmissionGateTest, OverflowRejectsImmediately) {
+  AdmissionGate gate(/*max_inflight=*/1, /*max_queue=*/0);
+  ASSERT_TRUE(gate.Enter().ok());
+  Status second = gate.Enter();
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(gate.rejected(), 1);
+  gate.Exit();
+  EXPECT_TRUE(gate.Enter().ok());
+  gate.Exit();
+}
+
+TEST(AdmissionGateTest, QueuedCallerProceedsAfterExit) {
+  AdmissionGate gate(1, 1);
+  ASSERT_TRUE(gate.Enter().ok());
+  std::atomic<bool> entered{false};
+  std::thread waiter([&] {
+    Status status = gate.Enter();
+    EXPECT_TRUE(status.ok());
+    entered.store(true);
+    gate.Exit();
+  });
+  // The waiter parks in the queue; an Exit must wake it.
+  while (gate.queued() == 0) std::this_thread::yield();
+  EXPECT_FALSE(entered.load());
+  gate.Exit();
+  waiter.join();
+  EXPECT_TRUE(entered.load());
+}
+
+TEST(ServeEngineTest, PredictOverflowReturnsResourceExhausted) {
+  ServeOptions options;
+  options.threads = 1;
+  options.max_inflight = 1;
+  options.max_queue = 0;
+  ServeEngine engine(&TestModel(), options);
+  std::string session = SetUpStarSession(engine);
+  std::string line = R"({"verb":"predict","session":")" + session + R"("})";
+
+  // The hook parks the first Predict while it holds the only slot.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool holding = false, release = false;
+  engine.SetPredictHoldHookForTest([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    holding = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::thread holder([&] {
+    Json response = Call(engine, line);
+    EXPECT_TRUE(IsOk(response)) << response.Write();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return holding; });
+  }
+  // Slot taken, queue empty: this request must be rejected, not parked.
+  engine.SetPredictHoldHookForTest(nullptr);
+  Json rejected = Call(engine, line);
+  EXPECT_FALSE(IsOk(rejected));
+  EXPECT_EQ(ErrorCode(rejected), "RESOURCE_EXHAUSTED");
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  holder.join();
+}
+
+TEST(ServeEngineTest, QosTierOverridesValidated) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  std::string session = SetUpStarSession(engine);
+  EXPECT_EQ(ErrorCode(Call(engine, R"({"verb":"predict","session":")" +
+                                       session + R"(","tier":"warp"})")),
+            "INVALID_INPUT");
+  EXPECT_EQ(ErrorCode(Call(engine,
+                           R"({"verb":"predict","session":")" + session +
+                               R"(","deadline_seconds":-1})")),
+            "INVALID_INPUT");
+  Json batch = Call(engine, R"({"verb":"predict","session":")" + session +
+                                R"(","tier":"batch","mode":"precision_only"})");
+  ASSERT_TRUE(IsOk(batch)) << batch.Write();
+  EXPECT_EQ(batch.Find("tier")->AsString(), "batch");
+}
+
+// ---------------------------------------------------------------------------
+// Catalog.
+
+std::vector<NamedJoin> OneJoin(const std::string& from_table,
+                               const std::string& to_table) {
+  NamedJoin j;
+  j.from = {from_table, {"id"}};
+  j.to = {to_table, {"id"}};
+  j.kind = JoinKind::kNToOne;
+  return {j};
+}
+
+TEST(ModelCatalogTest, PublishListPinDiff) {
+  ModelCatalog catalog(8);
+  EXPECT_EQ(catalog.Publish("acme", "v1", 111, OneJoin("a", "b")), 1);
+  std::vector<NamedJoin> two = OneJoin("a", "b");
+  two.push_back(OneJoin("c", "d")[0]);
+  EXPECT_EQ(catalog.Publish("acme", "v2", 222, two), 2);
+  // Tenants are isolated.
+  EXPECT_EQ(catalog.Publish("other", "x", 333, OneJoin("q", "r")), 1);
+
+  std::vector<ModelSnapshot> listed = catalog.List("acme");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].version, 1);
+  EXPECT_EQ(listed[1].label, "v2");
+
+  // Get: explicit version and "latest".
+  EXPECT_EQ(catalog.Get("acme", 1)->joins.size(), 1u);
+  EXPECT_EQ(catalog.Get("acme", 0)->version, 2);
+  EXPECT_FALSE(catalog.Get("acme", 9).ok());
+  EXPECT_FALSE(catalog.Get("ghost", 1).ok());
+
+  StatusOr<ModelDiff> diff = catalog.Diff("acme", 1, 2);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->added.size(), 1u);
+  EXPECT_TRUE(diff->added[0] == OneJoin("c", "d")[0]);
+  EXPECT_TRUE(diff->removed.empty());
+
+  ASSERT_TRUE(catalog.Pin("acme", 1, true).ok());
+  EXPECT_TRUE(catalog.Get("acme", 1)->pinned);
+  EXPECT_FALSE(catalog.Pin("acme", 9, true).ok());
+}
+
+TEST(ModelCatalogTest, EvictionSkipsPinnedSnapshots) {
+  ModelCatalog catalog(/*max_unpinned_per_tenant=*/2);
+  catalog.Publish("t", "keep", 1, OneJoin("a", "b"));
+  ASSERT_TRUE(catalog.Pin("t", 1, true).ok());
+  for (int i = 0; i < 4; ++i) {
+    catalog.Publish("t", "churn", 10 + uint64_t(i), OneJoin("c", "d"));
+  }
+  // The pinned v1 survives; only 2 unpinned remain.
+  EXPECT_TRUE(catalog.Get("t", 1).ok());
+  std::vector<ModelSnapshot> listed = catalog.List("t");
+  size_t unpinned = 0;
+  for (const ModelSnapshot& s : listed) {
+    if (!s.pinned) ++unpinned;
+  }
+  EXPECT_EQ(unpinned, 2u);
+}
+
+TEST(ServeEngineTest, CatalogVerbsEndToEnd) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  std::string session = SetUpStarSession(engine);
+  ASSERT_TRUE(IsOk(Call(engine, R"({"verb":"predict","session":")" + session +
+                                    R"("})")));
+  Json published = Call(engine, R"({"verb":"publish_model","session":")" +
+                                    session + R"(","label":"first"})");
+  ASSERT_TRUE(IsOk(published)) << published.Write();
+  EXPECT_EQ(published.Find("version")->AsInt(), 1);
+
+  Json listed = Call(engine, R"({"verb":"list_models"})");
+  ASSERT_TRUE(IsOk(listed));
+  ASSERT_EQ(listed.Find("models")->size(), 1u);
+  EXPECT_EQ(listed.Find("models")->at(0).Find("label")->AsString(), "first");
+
+  EXPECT_TRUE(IsOk(Call(engine, R"({"verb":"pin_model","version":1})")));
+  Json got = Call(engine, R"({"verb":"get_catalog_model","version":1})");
+  ASSERT_TRUE(IsOk(got));
+  EXPECT_TRUE(got.Find("pinned")->AsBool());
+
+  Json diff = Call(engine, R"({"verb":"diff_models","from":1,"to":1})");
+  ASSERT_TRUE(IsOk(diff));
+  EXPECT_EQ(diff.Find("added")->size(), 0u);
+  EXPECT_EQ(diff.Find("removed")->size(), 0u);
+}
+
+TEST(ServeEngineTest, StatsAndShutdown) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  Call(engine, R"({"verb":"ping"})");
+  Json stats = Call(engine, R"({"verb":"stats"})");
+  ASSERT_TRUE(IsOk(stats));
+  EXPECT_GE(stats.Find("requests")->AsInt(), 1);
+  ASSERT_NE(stats.Find("admission"), nullptr);
+  EXPECT_FALSE(engine.shutdown_requested());
+  EXPECT_TRUE(IsOk(Call(engine, R"({"verb":"shutdown"})")));
+  EXPECT_TRUE(engine.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace autobi
