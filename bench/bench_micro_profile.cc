@@ -1,12 +1,19 @@
-// Micro-benchmark of the hash-sketch profiling layer (profile/sketch.h):
+// Micro-benchmark of the profiling layer (profile/column_profile.h):
 //
-//   1. ProfileColumn cost (now includes building the sorted hash vectors).
-//   2. Exact unary Containment: legacy string-map implementation vs the
-//      sorted-hash merge, on high-cardinality string columns (the hottest
-//      kernel of candidate generation) and on the skewed small-FK-in-big-PK
-//      shape where the merge switches to binary search.
+//   1. ProfileColumn cost: hash-first columnar kernel (table/key_view.h +
+//      radix-sorted distinct aggregation) vs the legacy per-cell string-map
+//      kernel (ProfileColumnLegacy), on a 100k-row string column.
+//   2. Exact unary Containment: legacy string-map implementation (probing
+//      prebuilt maps, i.e. only the cost the historical kernel paid per
+//      probe) vs the sorted-hash merge, on high-cardinality string columns
+//      and on the skewed small-FK-in-big-PK shape where the merge switches
+//      to a galloping search. The skewed shape is asserted to never lose to
+//      the string map (>= 1.0x) — a regression gate, not just a report.
 //   3. KMV pre-screen hit-rate and DiscoverInds end-to-end with the screen
 //      on vs off, on REAL-style synthetic cases.
+//   4. TPC-H via the SQL-DDL path (synth/tpch_ddl.h): full-table profiling
+//      and UCC discovery, hash-first vs legacy kernels, on a recognizable
+//      8-table snowflake with a composite key.
 //
 // Usage: bench_micro_profile [--json]
 //   --json   emit a single machine-readable JSON object on stdout (consumed
@@ -17,12 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "profile/column_profile.h"
 #include "profile/ind.h"
 #include "profile/ucc.h"
 #include "synth/corpus.h"
+#include "synth/tpch_ddl.h"
+#include "table/key_view.h"
 #include "table/table.h"
 
 namespace autobi {
@@ -78,7 +88,7 @@ int main(int argc, char** argv) {
                            unit.c_str());
   };
 
-  // --- 1+2. Unary kernel on high-cardinality string columns.
+  // --- 1. Profiling kernel, old vs new, on a high-cardinality string column.
   constexpr size_t kRows = 100000;
   constexpr size_t kDistinct = 40000;
   Column fk = StringColumn("fk", kRows, kDistinct, "cust_", 17);
@@ -90,9 +100,27 @@ int main(int argc, char** argv) {
   ColumnProfile ppk = ProfileColumn(pk);
   add("profile_column_100k_rows", profile_ms, "ms");
 
+  Timer legacy_prof_timer;
+  ColumnProfile pfk_legacy = ProfileColumnLegacy(fk);
+  double profile_legacy_ms = legacy_prof_timer.Millis();
+  add("profile_column_100k_rows_legacy", profile_legacy_ms, "ms");
+  add("profile_column_speedup", profile_legacy_ms / profile_ms, "x");
+  if (pfk_legacy.num_distinct != pfk.num_distinct ||
+      pfk_legacy.distinct_hashes != pfk.distinct_hashes ||
+      pfk_legacy.distinct_pool != pfk.distinct_pool) {
+    std::fprintf(stderr,
+                 "FATAL: hash-first profile diverged from the legacy kernel\n");
+    return 1;
+  }
+
+  // --- 2. Unary containment kernels. The legacy timings probe *prebuilt*
+  // string maps, matching what the historical kernel paid per probe (its
+  // maps lived inside the profiles).
+  DistinctKeyMap map_fk = BuildDistinctKeyMap(pfk);
+  DistinctKeyMap map_pk = BuildDistinctKeyMap(ppk);
   constexpr size_t kIters = 20;
   double old_us = TimeUs(kIters, [&] {
-    return ContainmentViaStringMap(pfk, ppk);
+    return ContainmentViaStringMap(map_fk, pfk.non_null_count, map_pk);
   });
   double new_us = TimeUs(kIters, [&] { return Containment(pfk, ppk); });
   add("containment_string_map_40k_distinct", old_us, "us");
@@ -100,18 +128,27 @@ int main(int argc, char** argv) {
   add("containment_speedup_40k_distinct", old_us / new_us, "x");
 
   // Skewed shape: small FK distinct set probing a big key column (the merge
-  // switches to per-hash binary search).
+  // switches to a galloping search over the big side).
   Column small_fk = StringColumn("sfk", 20000, 500, "cust_", 23);
   ColumnProfile psmall = ProfileColumn(small_fk);
+  DistinctKeyMap map_small = BuildDistinctKeyMap(psmall);
   double old_skew_us = TimeUs(kIters * 10, [&] {
-    return ContainmentViaStringMap(psmall, ppk);
+    return ContainmentViaStringMap(map_small, psmall.non_null_count, map_pk);
   });
   double new_skew_us = TimeUs(kIters * 10, [&] {
     return Containment(psmall, ppk);
   });
+  double skew_speedup = old_skew_us / new_skew_us;
   add("containment_string_map_skewed", old_skew_us, "us");
   add("containment_hash_merge_skewed", new_skew_us, "us");
-  add("containment_speedup_skewed", old_skew_us / new_skew_us, "x");
+  add("containment_speedup_skewed", skew_speedup, "x");
+  if (skew_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FATAL: skewed containment regressed vs the string map "
+                 "(%.3fx < 1.0x)\n",
+                 skew_speedup);
+    return 1;
+  }
 
   // --- 3. KMV screen hit-rate + DiscoverInds end-to-end on REAL-style
   // cases (serial, so the kernel change is what's measured).
@@ -130,7 +167,18 @@ int main(int argc, char** argv) {
   }
   // Old vs new candidate-generation kernel end-to-end: evaluate exactly the
   // column pairs the unary IND scan evaluates (same pre-screens), with the
-  // legacy string-map kernel vs the hash-merge kernel.
+  // legacy string-map kernel (prebuilt maps, as the old profiles carried)
+  // vs the hash-merge kernel.
+  std::vector<std::vector<std::vector<DistinctKeyMap>>> maps(
+      real.cases.size());
+  for (size_t i = 0; i < real.cases.size(); ++i) {
+    maps[i].resize(profiles[i].size());
+    for (size_t t = 0; t < profiles[i].size(); ++t) {
+      for (const ColumnProfile& p : profiles[i][t].columns) {
+        maps[i][t].push_back(BuildDistinctKeyMap(p));
+      }
+    }
+  }
   IndOptions defaults;
   auto unary_kernel_ms = [&](bool legacy) {
     double sum = 0.0;
@@ -140,15 +188,19 @@ int main(int argc, char** argv) {
       for (size_t ti = 0; ti < tp.size(); ++ti) {
         for (size_t tj = 0; tj < tp.size(); ++tj) {
           if (ti == tj) continue;
-          for (const ColumnProfile& pa : tp[ti].columns) {
-            if (pa.distinct.size() < defaults.min_distinct) continue;
-            for (const ColumnProfile& pb : tp[tj].columns) {
+          for (size_t a = 0; a < tp[ti].columns.size(); ++a) {
+            const ColumnProfile& pa = tp[ti].columns[a];
+            if (pa.num_distinct < defaults.min_distinct) continue;
+            for (size_t b = 0; b < tp[tj].columns.size(); ++b) {
+              const ColumnProfile& pb = tp[tj].columns[b];
               if (pb.non_null_count == 0 ||
                   pb.distinct_ratio <
                       defaults.min_referenced_distinct_ratio) {
                 continue;
               }
-              sum += legacy ? ContainmentViaStringMap(pa, pb)
+              sum += legacy ? ContainmentViaStringMap(maps[i][ti][a],
+                                                      pa.non_null_count,
+                                                      maps[i][tj][b])
                             : Containment(pa, pb);
             }
           }
@@ -210,6 +262,63 @@ int main(int argc, char** argv) {
   add("composite_sets_built", double(on_stats.composite_sets_built), "sets");
   add("composite_budget_truncations",
       double(on_stats.composite_budget_truncations), "pairs");
+
+  // --- 4. TPC-H through the SQL-DDL ingestion path: profile + UCC kernels
+  // on a real multi-table snowflake (wide lineitem, composite partsupp key).
+  Rng tpch_rng(7);
+  StatusOr<BiCase> tpch = GenerateTpchFromDdl(/*scale=*/2.0, tpch_rng);
+  if (!tpch.ok()) {
+    std::fprintf(stderr, "FATAL: TPC-H DDL generation failed: %s\n",
+                 tpch.status().message().c_str());
+    return 1;
+  }
+  size_t tpch_rows = 0;
+  for (const Table& t : tpch->tables) tpch_rows += t.num_rows();
+  add("tpch_ddl_tables", double(tpch->tables.size()), "tables");
+  add("tpch_ddl_rows", double(tpch_rows), "rows");
+
+  Timer tpch_prof_timer;
+  std::vector<TableProfile> tpch_profiles =
+      ProfileTables(tpch->tables, /*max_sample=*/512, /*threads=*/1);
+  double tpch_prof_ms = tpch_prof_timer.Millis();
+  Timer tpch_prof_legacy_timer;
+  for (const Table& t : tpch->tables) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      g_sink += double(ProfileColumnLegacy(t.column(c)).num_distinct);
+    }
+  }
+  double tpch_prof_legacy_ms = tpch_prof_legacy_timer.Millis();
+  add("tpch_profile_ms", tpch_prof_ms, "ms");
+  add("tpch_profile_legacy_ms", tpch_prof_legacy_ms, "ms");
+  add("tpch_profile_speedup", tpch_prof_legacy_ms / tpch_prof_ms, "x");
+
+  size_t tpch_uccs_new = 0;
+  Timer tpch_ucc_timer;
+  for (size_t t = 0; t < tpch->tables.size(); ++t) {
+    TableKeyView view(tpch->tables[t]);
+    tpch_uccs_new +=
+        DiscoverUccs(tpch->tables[t], tpch_profiles[t], {}, &view).size();
+  }
+  double tpch_ucc_ms = tpch_ucc_timer.Millis();
+  size_t tpch_uccs_legacy = 0;
+  UccOptions legacy_opt;
+  legacy_opt.legacy_kernel = true;
+  Timer tpch_ucc_legacy_timer;
+  for (size_t t = 0; t < tpch->tables.size(); ++t) {
+    tpch_uccs_legacy +=
+        DiscoverUccs(tpch->tables[t], tpch_profiles[t], legacy_opt).size();
+  }
+  double tpch_ucc_legacy_ms = tpch_ucc_legacy_timer.Millis();
+  if (tpch_uccs_new != tpch_uccs_legacy) {
+    std::fprintf(stderr,
+                 "FATAL: TPC-H UCC kernels disagree (%zu vs %zu legacy)\n",
+                 tpch_uccs_new, tpch_uccs_legacy);
+    return 1;
+  }
+  add("tpch_uccs", double(tpch_uccs_new), "uccs");
+  add("tpch_ucc_ms", tpch_ucc_ms, "ms");
+  add("tpch_ucc_legacy_ms", tpch_ucc_legacy_ms, "ms");
+  add("tpch_ucc_speedup", tpch_ucc_legacy_ms / tpch_ucc_ms, "x");
 
   if (json) {
     std::printf("{\n  \"bench\": \"bench_micro_profile\",\n");

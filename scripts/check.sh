@@ -80,6 +80,20 @@ AUTOBI_THREADS=8 "$BUILD_DIR/tests/autobi_fuzz_tests" \
 
 echo "check.sh: ThreadSanitizer clean (pipeline + solver determinism)."
 
+# --- Kernel-oracle equivalence under ASan/UBSan (always on since PR 7):
+# the hash-first profiling/UCC/IND kernels (table/key_view.h + radix-sorted
+# aggregation) must stay bit-identical to the retained legacy string-map
+# oracles on adversarial data, the REAL corpus, and TPC-H-via-DDL, with the
+# arena/offset arithmetic of the key view checked for memory and UB errors.
+ASAN_BUILD_DIR="${AUTOBI_ASAN_BUILD_DIR:-build-asan}"
+cmake -B "$ASAN_BUILD_DIR" -S . -DAUTOBI_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$ASAN_BUILD_DIR" -j --target autobi_profile_ml_tests
+UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+  "$ASAN_BUILD_DIR/tests/autobi_profile_ml_tests" \
+  --gtest_filter='KernelOracle*:TpchDdl*'
+echo "check.sh: kernel-oracle equivalence clean (ASan/UBSan)."
+
 # --- Serve smoke (always on, under the same TSan build so the
 # thread-per-connection transport and shared caches are race-checked): boot
 # the daemon on a unix socket, run the client demo (create_session, three

@@ -13,6 +13,7 @@
 #include "core/predict_cache.h"
 #include "fuzz/faultpoints.h"
 #include "profile/sketch.h"
+#include "table/key_view.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
 
@@ -142,8 +143,13 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
           out.profiles[i] = MetadataOnlyProfile(tables[i]);
           return;
         }
-        out.profiles[i] = ProfileTable(tables[i]);
-        out.uccs[i] = DiscoverUccs(tables[i], out.profiles[i], options.ucc);
+        // One key view per table feeds both profiling and the UCC lattice
+        // scan (arity >= 2 candidates), so canonical keys are rendered and
+        // hashed exactly once per cell.
+        TableKeyView view(tables[i]);
+        out.profiles[i] = ProfileTable(tables[i], view);
+        out.uccs[i] =
+            DiscoverUccs(tables[i], out.profiles[i], options.ucc, &view);
         profiled[i] = 1;
       },
       options.threads);

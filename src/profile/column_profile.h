@@ -1,10 +1,13 @@
 #ifndef AUTOBI_PROFILE_COLUMN_PROFILE_H_
 #define AUTOBI_PROFILE_COLUMN_PROFILE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "table/key_view.h"
 #include "table/table.h"
 
 namespace autobi {
@@ -13,23 +16,35 @@ namespace autobi {
 // featurizers, and the baselines. Profiling is the only pass over the raw
 // data; everything downstream works off these summaries, which is what keeps
 // end-to-end inference fast (Figure 5).
+//
+// The distinct-value summary is hash-first (see table/key_view.h): the
+// canonical keys are materialized once into an arena-backed pool and
+// aggregated by their stable 64-bit FNV-1a hashes with a radix sort — no
+// per-cell std::string, no per-row string-map operation. The pooled key
+// bytes stay recoverable for the consumers that need the values themselves
+// (the legacy string-map containment oracle, tests, debugging).
 struct ColumnProfile {
   ValueType type = ValueType::kNull;
   size_t row_count = 0;
   size_t non_null_count = 0;
-  // Distinct canonical keys of all non-null cells, with occurrence counts
-  // (counts make containment row-weighted; see Containment below). Kept for
-  // the consumers that need the values themselves (EMD's legacy
-  // high-cardinality path, tests, debugging); kernels that only need
-  // membership/counts use the hash vectors below.
-  std::unordered_map<std::string, int32_t> distinct;
-  // Hash-sketch view of `distinct` (profile/sketch.h): stable 64-bit FNV-1a
-  // hashes of the canonical keys, sorted ascending and strictly increasing
-  // (in-column collisions merged), with parallel occurrence counts.
-  // Containment runs as a sorted-merge intersection over these vectors, and
-  // the first min(k, n) entries double as the column's bottom-k KMV sketch.
+  // Number of distinct canonical keys among non-null cells. Exact (collision
+  // runs in the hash aggregation are verified against the pooled key bytes),
+  // so IsUnique/distinct_ratio match the legacy string-map definition.
+  size_t num_distinct = 0;
+  // Hash-sketch view of the distinct values (profile/sketch.h): stable
+  // 64-bit FNV-1a hashes of the canonical keys, sorted ascending and
+  // strictly increasing (in-column collisions merged), with parallel
+  // occurrence counts. Containment runs as a sorted-merge intersection over
+  // these vectors, and the first min(k, n) entries double as the column's
+  // bottom-k KMV sketch.
   std::vector<uint64_t> distinct_hashes;
   std::vector<int32_t> distinct_counts;
+  // Pooled canonical key bytes of the distinct values, parallel to
+  // distinct_hashes (for a merged collision run the representative is the
+  // key of the lowest row). distinct_key(i) recovers the i-th distinct value
+  // without any per-value allocation.
+  std::string distinct_pool;
+  std::vector<uint64_t> distinct_offsets;  // distinct_hashes.size() + 1.
   // Distinct / non-null ratio (1.0 == column is a key candidate).
   double distinct_ratio = 0.0;
   // Numeric min/max (valid only if is_numeric).
@@ -41,8 +56,14 @@ struct ColumnProfile {
   // Average rendered value length (characters).
   double avg_value_length = 0.0;
 
+  // Canonical key bytes of the i-th distinct value (hash order).
+  std::string_view distinct_key(size_t i) const {
+    return std::string_view(distinct_pool.data() + distinct_offsets[i],
+                            distinct_offsets[i + 1] - distinct_offsets[i]);
+  }
+
   bool IsUnique() const {
-    return non_null_count > 0 && distinct.size() == non_null_count;
+    return non_null_count > 0 && num_distinct == non_null_count;
   }
 };
 
@@ -53,11 +74,25 @@ struct TableProfile {
 };
 
 // Computes a profile for one column. `max_sample` bounds the numeric sample
-// retained for distribution features.
+// retained for distribution features. The first form builds the column's
+// key view internally; the second reuses a prebuilt view (which must come
+// from the same column) so callers that also run UCC/IND kernels pay for the
+// view once.
 ColumnProfile ProfileColumn(const Column& col, size_t max_sample = 512);
+ColumnProfile ProfileColumn(const Column& col, const ColumnKeyView& view,
+                            size_t max_sample = 512);
 
-// Profiles every column of `table`.
+// Legacy reference kernel: the original per-cell KeyAt + string-map path,
+// producing a bit-identical ColumnProfile. Retained as the oracle for the
+// kernel-equivalence property tests and the old-vs-new micro-benchmark
+// (bench_micro_profile); production call sites use ProfileColumn.
+ColumnProfile ProfileColumnLegacy(const Column& col, size_t max_sample = 512);
+
+// Profiles every column of `table` (optionally through a prebuilt view of
+// the same table).
 TableProfile ProfileTable(const Table& table, size_t max_sample = 512);
+TableProfile ProfileTable(const Table& table, const TableKeyView& view,
+                          size_t max_sample = 512);
 
 // A schema-shaped profile that never scans rows: per-column types only, zero
 // counts and empty distinct sets. Used when a RunContext row/cell budget
@@ -78,17 +113,28 @@ std::vector<TableProfile> ProfileTables(const std::vector<Table>& tables,
 // handful of distinct junk values pollutes the FK column. 0 if A is empty.
 //
 // Implemented as a sorted-merge intersection of the columns' distinct-hash
-// vectors: no string hashing, contiguous memory. Exact modulo 64-bit FNV
-// collisions between distinct canonical keys (probability ~ n^2 / 2^64;
-// the sketch property tests verify equality with the string-map reference
-// on randomized and corpus data).
+// vectors, switching to a galloping (exponential) search when the dependent
+// side is much smaller — tiny/skewed sets probe a handful of nearby cache
+// lines instead of full-width binary searches, so they never lose to the
+// legacy string-map kernel. Exact modulo 64-bit FNV collisions between
+// distinct canonical keys (probability ~ n^2 / 2^64; the sketch property
+// tests verify equality with the string-map reference on randomized and
+// corpus data).
 double Containment(const ColumnProfile& a, const ColumnProfile& b);
 
-// Legacy reference implementation of Containment over the string map.
-// Retained as the oracle for the sketch property tests and the old-vs-new
-// micro-benchmark (bench_micro_profile); production call sites use
-// Containment.
+// The legacy distinct-value map of a profile, materialized from the pooled
+// keys (key -> occurrence count). Oracle/bench scaffolding, not a hot path.
+using DistinctKeyMap = std::unordered_map<std::string, int32_t>;
+DistinctKeyMap BuildDistinctKeyMap(const ColumnProfile& p);
+
+// Legacy reference implementation of Containment over string maps. Retained
+// as the oracle for the sketch property tests and the old-vs-new
+// micro-benchmark; production call sites use Containment. The two-profile
+// convenience form materializes both maps per call; the prebuilt-map form is
+// what the benchmark times (probe cost only, as the historical kernel paid).
 double ContainmentViaStringMap(const ColumnProfile& a, const ColumnProfile& b);
+double ContainmentViaStringMap(const DistinctKeyMap& a, size_t a_non_null,
+                               const DistinctKeyMap& b);
 
 }  // namespace autobi
 

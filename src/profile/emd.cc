@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <string>
 
 #include "profile/sketch.h"
 
@@ -11,26 +10,20 @@ namespace autobi {
 namespace {
 
 std::vector<double> HashedSample(const ColumnProfile& p, size_t cap = 512) {
+  // The profile's sorted distinct-hash vector uses the same FNV-1a hash this
+  // sample always did, and the hash -> unit mapping is monotone, so the
+  // sample is just the first min(cap, n) entries mapped into [0, 1): for a
+  // column under the cap that is the whole distinct set (as before); above
+  // the cap it is the bottom-cap slice — a uniform sample of the distinct
+  // values by the same uniform-hashing argument as the KMV sketch, and
+  // deterministic (the historical truncation took whatever unordered-map
+  // iteration order produced). Already sorted, no re-hash, no sort.
+  size_t n = std::min(p.distinct_hashes.size(), cap);
   std::vector<double> vals;
-  // Fast path: the profile's sorted distinct-hash vector uses the same
-  // FNV-1a hash this sample always did, so when the whole column fits under
-  // the cap it already IS the sample — monotone hash->unit mapping keeps it
-  // sorted, no re-hashing and no sort. (Columns above the cap keep the
-  // legacy map-order truncation so the feature stays byte-identical.)
-  if (p.distinct.size() <= cap && !p.distinct_hashes.empty()) {
-    vals.reserve(p.distinct_hashes.size());
-    for (uint64_t h : p.distinct_hashes) {
-      vals.push_back(HashToUnitInterval(h));
-    }
-    return vals;
+  vals.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals.push_back(HashToUnitInterval(p.distinct_hashes[i]));
   }
-  vals.reserve(std::min(p.distinct.size(), cap));
-  for (const auto& [key, count] : p.distinct) {
-    (void)count;
-    vals.push_back(HashToUnitInterval(StableHash64(key)));
-    if (vals.size() >= cap) break;
-  }
-  std::sort(vals.begin(), vals.end());
   return vals;
 }
 

@@ -1,11 +1,13 @@
 #include "profile/ind.h"
 
 #include <iterator>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/parallel.h"
 #include "profile/sketch.h"
+#include "table/key_view.h"
 
 namespace autobi {
 
@@ -64,7 +66,7 @@ PairScan ScanTablePair(const std::vector<Table>& tables,
   // --- Unary INDs.
   for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
     const ColumnProfile& pa = pi.columns[a];
-    if (pa.distinct.size() < options.min_distinct) continue;
+    if (pa.num_distinct < options.min_distinct) continue;
     for (int b = 0; b < static_cast<int>(pj.columns.size()); ++b) {
       const ColumnProfile& pb = pj.columns[b];
       if (pb.non_null_count == 0) continue;
@@ -92,6 +94,17 @@ PairScan ScanTablePair(const std::vector<Table>& tables,
   }
   // --- Composite INDs: probe composite UCCs of the referenced table.
   if (options.max_arity < 2) return out;
+  // Dependent-side key views, built lazily on first probe of a column and
+  // shared across every probe/UCC of this pair.
+  std::vector<std::unique_ptr<ColumnKeyView>> dep_views(pi.columns.size());
+  auto dep_view = [&](int a) -> const ColumnKeyView& {
+    auto& slot = dep_views[static_cast<size_t>(a)];
+    if (slot == nullptr) {
+      slot = std::make_unique<ColumnKeyView>(
+          tables[ti].column(static_cast<size_t>(a)));
+    }
+    return *slot;
+  };
   size_t probes = 0;
   bool budget_exhausted = false;
   double component_threshold = options.min_containment * 0.8;
@@ -107,7 +120,7 @@ PairScan ScanTablePair(const std::vector<Table>& tables,
       const ColumnProfile& pb = pj.columns[key.columns[k]];
       for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
         const ColumnProfile& pa = pi.columns[a];
-        if (pa.distinct.empty()) continue;
+        if (pa.num_distinct == 0) continue;
         if (RangesDisjoint(pa, pb)) continue;
         if (KmvScreenRejects(pa, pb, component_threshold, options)) continue;
         if (Containment(pa, pb) >= component_threshold) {
@@ -161,7 +174,11 @@ PairScan ScanTablePair(const std::vector<Table>& tables,
           referenced = cache->Get(tables[tj], tj, key.columns);
         }
         std::vector<int> src(assign.begin(), assign.end());
-        double c = CompositeContainment(tables[ti], src, *referenced);
+        std::vector<const ColumnKeyView*> src_views;
+        src_views.reserve(src.size());
+        for (int a2 : src) src_views.push_back(&dep_view(a2));
+        double c = CompositeContainment(src_views, tables[ti].num_rows(),
+                                        *referenced);
         if (c >= options.min_containment) {
           Ind ind;
           ind.dependent = ColumnRef{ti, src};
@@ -207,7 +224,68 @@ std::shared_ptr<const CompositeKeyCache::HashSet> CompositeKeyCache::Get(
   return future.get();
 }
 
+namespace {
+
+// Materializes key views for `cols` of `table` into `storage` and returns
+// pointer spans for the streaming tuple-hash kernels.
+std::vector<const ColumnKeyView*> BuildViews(
+    const Table& table, const std::vector<int>& cols,
+    std::vector<ColumnKeyView>* storage) {
+  storage->clear();
+  storage->reserve(cols.size());
+  for (int c : cols) {
+    storage->emplace_back(table.column(static_cast<size_t>(c)));
+  }
+  std::vector<const ColumnKeyView*> views;
+  views.reserve(storage->size());
+  for (const ColumnKeyView& v : *storage) views.push_back(&v);
+  return views;
+}
+
+}  // namespace
+
 CompositeKeyCache::HashSet BuildCompositeKeySet(
+    const Table& table, const std::vector<int>& cols) {
+  std::vector<ColumnKeyView> storage;
+  std::vector<const ColumnKeyView*> views = BuildViews(table, cols, &storage);
+  CompositeKeyCache::HashSet referenced;
+  referenced.reserve(table.num_rows() * 2);
+  uint64_t h = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (TupleHashFromViews(views, r, &h)) referenced.insert(h);
+  }
+  return referenced;
+}
+
+double CompositeContainment(const std::vector<const ColumnKeyView*>& cols,
+                            size_t rows,
+                            const CompositeKeyCache::HashSet& referenced) {
+  // Row-weighted, matching the unary Containment semantics.
+  size_t total = 0;
+  size_t hits = 0;
+  uint64_t h = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (!TupleHashFromViews(cols, r, &h)) continue;
+    ++total;
+    if (referenced.count(h)) ++hits;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const CompositeKeyCache::HashSet& referenced) {
+  std::vector<ColumnKeyView> storage;
+  std::vector<const ColumnKeyView*> views = BuildViews(ta, ca, &storage);
+  return CompositeContainment(views, ta.num_rows(), referenced);
+}
+
+double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const Table& tb, const std::vector<int>& cb) {
+  return CompositeContainment(ta, ca, BuildCompositeKeySet(tb, cb));
+}
+
+CompositeKeyCache::HashSet BuildCompositeKeySetLegacy(
     const Table& table, const std::vector<int>& cols) {
   CompositeKeyCache::HashSet referenced;
   referenced.reserve(table.num_rows() * 2);
@@ -219,9 +297,9 @@ CompositeKeyCache::HashSet BuildCompositeKeySet(
   return referenced;
 }
 
-double CompositeContainment(const Table& ta, const std::vector<int>& ca,
-                            const CompositeKeyCache::HashSet& referenced) {
-  // Row-weighted, matching the unary Containment semantics.
+double CompositeContainmentLegacy(const Table& ta, const std::vector<int>& ca,
+                                  const Table& tb, const std::vector<int>& cb) {
+  CompositeKeyCache::HashSet referenced = BuildCompositeKeySetLegacy(tb, cb);
   size_t total = 0;
   size_t hits = 0;
   std::string scratch;
@@ -233,11 +311,6 @@ double CompositeContainment(const Table& ta, const std::vector<int>& ca,
   }
   if (total == 0) return 0.0;
   return static_cast<double>(hits) / static_cast<double>(total);
-}
-
-double CompositeContainment(const Table& ta, const std::vector<int>& ca,
-                            const Table& tb, const std::vector<int>& cb) {
-  return CompositeContainment(ta, ca, BuildCompositeKeySet(tb, cb));
 }
 
 std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,

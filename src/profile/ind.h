@@ -14,6 +14,7 @@
 #include "common/run_context.h"
 #include "profile/column_profile.h"
 #include "profile/ucc.h"
+#include "table/key_view.h"
 #include "table/table.h"
 
 namespace autobi {
@@ -126,20 +127,34 @@ struct Ind {
 
 // Builds the set of stable 64-bit tuple hashes of the non-null-complete
 // tuples of `columns` over `table` (the referenced side of composite
-// containment). Exposed for CompositeKeyCache and tests.
+// containment). Exposed for CompositeKeyCache and tests. Streams the hashes
+// from per-column key views (table/key_view.h) — one bounded-format pass per
+// column, no per-cell string materialization.
 CompositeKeyCache::HashSet BuildCompositeKeySet(const Table& table,
                                                 const std::vector<int>& cols);
 
 // Row-weighted containment of the composite tuples of (ta, ca) in a
 // prebuilt referenced tuple-hash set: fraction of ta's non-null-complete
-// `ca` tuples (per row) that appear in `referenced`.
+// `ca` tuples (per row) that appear in `referenced`. The view-based overload
+// lets callers (ScanTablePair) reuse dependent-side views across probes.
 double CompositeContainment(const Table& ta, const std::vector<int>& ca,
+                            const CompositeKeyCache::HashSet& referenced);
+double CompositeContainment(const std::vector<const ColumnKeyView*>& cols,
+                            size_t rows,
                             const CompositeKeyCache::HashSet& referenced);
 
 // Convenience form that builds the referenced set ad hoc. Prefer the
 // prebuilt-set overload (via CompositeKeyCache) on hot paths.
 double CompositeContainment(const Table& ta, const std::vector<int>& ca,
                             const Table& tb, const std::vector<int>& cb);
+
+// Legacy reference kernels: the original per-row KeyAt-based TupleHash path
+// (profile/sketch.h). Retained as oracles for the kernel-equivalence
+// property tests; production call sites use the view-based forms above.
+CompositeKeyCache::HashSet BuildCompositeKeySetLegacy(
+    const Table& table, const std::vector<int>& cols);
+double CompositeContainmentLegacy(const Table& ta, const std::vector<int>& ca,
+                                  const Table& tb, const std::vector<int>& cb);
 
 // Discovers all approximate INDs between distinct tables of `tables`.
 // `profiles` must come from ProfileTables(tables); `uccs[i]` are the UCCs of

@@ -52,8 +52,10 @@ struct SortedHashCounts {
   std::vector<int32_t> counts;
 };
 
-// Builds the sorted hash/count vectors from a distinct-value map (as filled
-// by ProfileColumn). O(n log n) once per column.
+// Builds the sorted hash/count vectors from a distinct-value map. Historical
+// helper of the string-map profiling path; production profiles now fill
+// these vectors directly from the columnar key view (table/key_view.h), so
+// this survives for the legacy-oracle scaffolding and tests.
 SortedHashCounts BuildSortedHashCounts(
     const std::unordered_map<std::string, int32_t>& distinct);
 

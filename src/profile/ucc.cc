@@ -1,6 +1,8 @@
 #include "profile/ucc.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_set>
 
@@ -9,7 +11,8 @@ namespace autobi {
 namespace {
 
 // Concatenates the canonical keys of `columns` at row r with an unambiguous
-// separator. Returns false if any cell is null.
+// separator. Returns false if any cell is null. (Legacy-kernel helper; the
+// hash-first kernel streams the same bytes through TupleHashFromViews.)
 bool TupleKey(const Table& table, const std::vector<int>& columns, size_t r,
               std::string* out) {
   out->clear();
@@ -31,9 +34,98 @@ bool IsSubset(const std::vector<int>& small, const std::vector<int>& big) {
   return std::includes(big.begin(), big.end(), small.begin(), small.end());
 }
 
+// Lazily-built per-column key views for the lattice scan. A prebuilt table
+// view is used directly; otherwise a column's view is built on first touch,
+// so only columns that actually reach an arity >= 2 candidate pay for
+// materialization.
+class LazyViews {
+ public:
+  LazyViews(const Table& table, const TableKeyView* prebuilt)
+      : table_(table), prebuilt_(prebuilt) {
+    if (prebuilt_ == nullptr) own_.resize(table.num_columns());
+  }
+
+  const ColumnKeyView& Get(int c) {
+    if (prebuilt_ != nullptr) return prebuilt_->column(static_cast<size_t>(c));
+    auto& slot = own_[static_cast<size_t>(c)];
+    if (slot == nullptr) {
+      slot = std::make_unique<ColumnKeyView>(
+          table_.column(static_cast<size_t>(c)));
+    }
+    return *slot;
+  }
+
+ private:
+  const Table& table_;
+  const TableKeyView* prebuilt_;
+  std::vector<std::unique_ptr<ColumnKeyView>> own_;
+};
+
+// The hash-first uniqueness kernel over prebuilt views: radix-sort the
+// non-null-complete (tuple hash, row) pairs, then scan equal-hash runs. Any
+// two rows in a run with equal pooled tuples are a true duplicate; unequal
+// tuples in a run are a 64-bit collision and do not break uniqueness.
+bool UniqueOverViews(const std::vector<const ColumnKeyView*>& cols,
+                     size_t rows) {
+  // thread_local so the lattice scan (many candidate combinations over the
+  // same small table) does not pay a malloc per candidate; both buffers are
+  // fully rewritten before being read in each call.
+  static thread_local std::vector<HashRow> hr;
+  static thread_local std::vector<HashRow> scratch;
+  hr.clear();
+  hr.reserve(rows);
+  uint64_t h = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (TupleHashFromViews(cols, r, &h)) {
+      hr.push_back(HashRow{h, static_cast<uint32_t>(r)});
+    }
+  }
+  if (hr.empty()) return false;
+  StableRadixSortByHash(&hr, &scratch);
+  for (size_t i = 0; i < hr.size();) {
+    size_t j = i + 1;
+    while (j < hr.size() && hr[j].hash == hr[i].hash) ++j;
+    if (j - i > 1) {
+      for (size_t x = i; x < j; ++x) {
+        for (size_t y = x + 1; y < j; ++y) {
+          if (TuplesEqual(cols, hr[x].row, hr[y].row)) return false;
+        }
+      }
+    }
+    i = j;
+  }
+  return true;
+}
+
 }  // namespace
 
+bool IsUniqueCombination(const TableKeyView& view,
+                         const std::vector<int>& columns) {
+  std::vector<const ColumnKeyView*> cols;
+  cols.reserve(columns.size());
+  size_t rows = 0;
+  for (int c : columns) {
+    const ColumnKeyView& cv = view.column(static_cast<size_t>(c));
+    cols.push_back(&cv);
+    rows = cv.size();
+  }
+  return UniqueOverViews(cols, rows);
+}
+
 bool IsUniqueCombination(const Table& table, const std::vector<int>& columns) {
+  std::vector<ColumnKeyView> storage;
+  storage.reserve(columns.size());
+  for (int c : columns) {
+    storage.emplace_back(table.column(static_cast<size_t>(c)));
+  }
+  std::vector<const ColumnKeyView*> cols;
+  cols.reserve(storage.size());
+  for (const ColumnKeyView& v : storage) cols.push_back(&v);
+  return UniqueOverViews(cols, table.num_rows());
+}
+
+bool IsUniqueCombinationLegacy(const Table& table,
+                               const std::vector<int>& columns) {
   std::unordered_set<std::string> seen;
   seen.reserve(table.num_rows() * 2);
   std::string key;
@@ -47,7 +139,8 @@ bool IsUniqueCombination(const Table& table, const std::vector<int>& columns) {
 }
 
 std::vector<Ucc> DiscoverUccs(const Table& table, const TableProfile& profile,
-                              const UccOptions& options) {
+                              const UccOptions& options,
+                              const TableKeyView* view) {
   std::vector<Ucc> result;
   size_t ncols = table.num_columns();
   if (ncols == 0 || table.num_rows() == 0) return result;
@@ -67,6 +160,7 @@ std::vector<Ucc> DiscoverUccs(const Table& table, const TableProfile& profile,
 
   // Higher levels: apriori over non-unique eligible columns; any candidate
   // containing a known UCC is non-minimal and skipped.
+  LazyViews views(table, view);
   std::vector<std::vector<int>> frontier;
   for (int c : eligible) frontier.push_back({c});
   size_t checks = 0;
@@ -88,7 +182,36 @@ std::vector<Ucc> DiscoverUccs(const Table& table, const TableProfile& profile,
         }
         if (covered) continue;
         if (++checks > options.max_candidates) return result;
-        if (IsUniqueCombination(table, cand)) {
+        // Counting prune (pigeonhole): the candidate has at most
+        // prod(num_distinct) distinct tuples but at least
+        // rows - sum(nulls) non-null-complete rows; fewer possible tuples
+        // than rows forces a duplicate, so the scan can be skipped without
+        // changing the result.
+        uint64_t max_tuples = 1;
+        uint64_t min_tuple_rows = table.num_rows();
+        for (int cc : cand) {
+          const ColumnProfile& p = profile.columns[cc];
+          uint64_t d = p.num_distinct;
+          if (d != 0 && max_tuples > UINT64_MAX / d) {
+            max_tuples = UINT64_MAX;  // Saturate; never prunes.
+          } else {
+            max_tuples *= d;
+          }
+          uint64_t nulls = p.row_count - p.non_null_count;
+          min_tuple_rows = nulls >= min_tuple_rows ? 0 : min_tuple_rows - nulls;
+        }
+        bool unique;
+        if (max_tuples < min_tuple_rows) {
+          unique = false;
+        } else if (options.legacy_kernel) {
+          unique = IsUniqueCombinationLegacy(table, cand);
+        } else {
+          std::vector<const ColumnKeyView*> cols;
+          cols.reserve(cand.size());
+          for (int cc : cand) cols.push_back(&views.Get(cc));
+          unique = UniqueOverViews(cols, table.num_rows());
+        }
+        if (unique) {
           result.push_back(Ucc{cand});
         } else {
           next.push_back(std::move(cand));

@@ -1,0 +1,207 @@
+#include "synth/tpch_ddl.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "synth/schema_builder.h"
+#include "synth/tpc_util.h"
+#include "table/sql_ddl.h"
+
+namespace autobi {
+
+const char* TpchDdlScript() {
+  return R"sql(
+-- TPC-H schema (spec column order), consumed by ParseSqlDdl.
+CREATE TABLE region (
+  r_regionkey INTEGER,
+  r_name VARCHAR(25),
+  r_comment VARCHAR(152),
+  PRIMARY KEY (r_regionkey)
+);
+CREATE TABLE nation (
+  n_nationkey INTEGER,
+  n_name VARCHAR(25),
+  n_regionkey INTEGER,
+  n_comment VARCHAR(152),
+  PRIMARY KEY (n_nationkey),
+  FOREIGN KEY (n_regionkey) REFERENCES region (r_regionkey)
+);
+CREATE TABLE supplier (
+  s_suppkey INTEGER,
+  s_name CHAR(25),
+  s_address VARCHAR(40),
+  s_nationkey INTEGER,
+  s_phone CHAR(15),
+  s_acctbal DECIMAL(15,2),
+  s_comment VARCHAR(101),
+  PRIMARY KEY (s_suppkey),
+  FOREIGN KEY (s_nationkey) REFERENCES nation (n_nationkey)
+);
+CREATE TABLE customer (
+  c_custkey INTEGER,
+  c_name VARCHAR(25),
+  c_address VARCHAR(40),
+  c_nationkey INTEGER,
+  c_phone CHAR(15),
+  c_acctbal DECIMAL(15,2),
+  c_mktsegment CHAR(10),
+  c_comment VARCHAR(117),
+  PRIMARY KEY (c_custkey),
+  FOREIGN KEY (c_nationkey) REFERENCES nation (n_nationkey)
+);
+CREATE TABLE part (
+  p_partkey INTEGER,
+  p_name VARCHAR(55),
+  p_mfgr CHAR(25),
+  p_brand CHAR(10),
+  p_type VARCHAR(25),
+  p_size INTEGER,
+  p_container CHAR(10),
+  p_retailprice DECIMAL(15,2),
+  p_comment VARCHAR(23),
+  PRIMARY KEY (p_partkey)
+);
+CREATE TABLE partsupp (
+  ps_partkey INTEGER,
+  ps_suppkey INTEGER,
+  ps_availqty INTEGER,
+  ps_supplycost DECIMAL(15,2),
+  ps_comment VARCHAR(199),
+  PRIMARY KEY (ps_partkey, ps_suppkey),
+  FOREIGN KEY (ps_partkey) REFERENCES part (p_partkey),
+  FOREIGN KEY (ps_suppkey) REFERENCES supplier (s_suppkey)
+);
+CREATE TABLE orders (
+  o_orderkey INTEGER,
+  o_custkey INTEGER,
+  o_orderstatus CHAR(1),
+  o_totalprice DECIMAL(15,2),
+  o_orderdate DATE,
+  o_orderpriority CHAR(15),
+  o_clerk CHAR(15),
+  o_shippriority INTEGER,
+  o_comment VARCHAR(79),
+  PRIMARY KEY (o_orderkey),
+  FOREIGN KEY (o_custkey) REFERENCES customer (c_custkey)
+);
+CREATE TABLE lineitem (
+  l_orderkey INTEGER,
+  l_partkey INTEGER,
+  l_suppkey INTEGER,
+  l_linenumber INTEGER,
+  l_quantity DECIMAL(15,2),
+  l_extendedprice DECIMAL(15,2),
+  l_discount DECIMAL(15,2),
+  l_tax DECIMAL(15,2),
+  l_returnflag CHAR(1),
+  l_linestatus CHAR(1),
+  l_shipdate DATE,
+  l_commitdate DATE,
+  l_receiptdate DATE,
+  l_shipinstruct CHAR(25),
+  l_shipmode CHAR(10),
+  l_comment VARCHAR(44),
+  FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey),
+  FOREIGN KEY (l_partkey, l_suppkey) REFERENCES partsupp (ps_partkey, ps_suppkey)
+);
+)sql";
+}
+
+StatusOr<BiCase> GenerateTpchFromDdl(double scale, Rng& rng) {
+  StatusOr<DdlSchema> parsed = ParseSqlDdl(TpchDdlScript());
+  if (!parsed.ok()) return parsed.status();
+  const DdlSchema& schema = *parsed;
+
+  size_t parts = ScaleRows(scale, 200, 60);
+  auto rows_for = [&](const std::string& name) -> size_t {
+    // Spec size ordering with floors, matching the hand-built generator.
+    if (name == "region") return 5;
+    if (name == "nation") return 25;
+    if (name == "supplier") return ScaleRows(scale, 50, 35);
+    if (name == "customer") return ScaleRows(scale, 150, 60);
+    if (name == "part") return parts;
+    if (name == "partsupp") return parts * 4;
+    if (name == "orders") return ScaleRows(scale, 1500);
+    return ScaleRows(scale, 4000);  // lineitem
+  };
+
+  // Per-column outgoing reference, with composite FKs mapped positionally,
+  // plus the set of columns that are the target of a composite FK: such
+  // columns must form a unique tuple set, so when they themselves reference
+  // another table they are generated as deterministic cross-product keys
+  // (the partsupp shape) instead of sampled FKs.
+  using TableColumn = std::pair<std::string, std::string>;
+  std::map<TableColumn, TableColumn> ref;
+  std::set<TableColumn> composite_target;
+  for (const DdlForeignKey& fk : schema.foreign_keys) {
+    for (size_t k = 0; k < fk.from_columns.size(); ++k) {
+      ref[{fk.from_table, fk.from_columns[k]}] = {fk.to_table,
+                                                  fk.to_columns[k]};
+    }
+    if (fk.to_columns.size() > 1) {
+      for (const std::string& c : fk.to_columns) {
+        composite_target.insert({fk.to_table, c});
+      }
+    }
+  }
+
+  SchemaBuilder b;
+  for (const Table& t : schema.tables) {
+    TableSpec spec;
+    spec.name = t.name();
+    spec.rows = rows_for(t.name());
+    size_t cross_index = 0;
+    size_t cross_divisor = 1;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const Column& col = t.column(c);
+      auto it = ref.find({t.name(), col.name()});
+      ColumnSpec cs;
+      if (it != ref.end() && composite_target.count({t.name(), col.name()})) {
+        if (cross_index == 0) {
+          cross_divisor = rows_for(it->second.first);
+          cs = ModKey(col.name(), it->second.first, it->second.second);
+        } else {
+          cs = DivKey(col.name(), it->second.first, it->second.second,
+                      cross_divisor);
+        }
+        ++cross_index;
+      } else if (it != ref.end()) {
+        cs.name = col.name();
+        cs.kind = ColumnKind::kForeignKey;
+        cs.ref_table = it->second.first;
+        cs.ref_column = it->second.second;
+      } else if (c == 0) {
+        cs = Pk(col.name());
+      } else if (col.type() == ValueType::kInt) {
+        cs = IntCol(col.name(), 1, 1000);
+      } else if (col.type() == ValueType::kDouble) {
+        cs = NumCol(col.name(), 0, 10000);
+      } else if (EndsWith(ToLower(col.name()), "date")) {
+        cs = DateCol(col.name());
+      } else {
+        cs = TextCol(col.name());
+      }
+      spec.columns.push_back(std::move(cs));
+    }
+    b.AddTable(std::move(spec));
+  }
+  for (const DdlForeignKey& fk : schema.foreign_keys) {
+    RelationshipSpec rel;
+    rel.from_table = fk.from_table;
+    rel.from_columns = fk.from_columns;
+    rel.to_table = fk.to_table;
+    rel.to_columns = fk.to_columns;
+    rel.kind = JoinKind::kNToOne;
+    b.AddRelationship(std::move(rel));
+  }
+
+  BiCase out = b.Generate("TPC-H(ddl)", rng);
+  out.schema_type = SchemaType::kSnowflake;
+  return out;
+}
+
+}  // namespace autobi

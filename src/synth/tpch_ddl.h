@@ -1,0 +1,36 @@
+#ifndef AUTOBI_SYNTH_TPCH_DDL_H_
+#define AUTOBI_SYNTH_TPCH_DDL_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// DDL-driven TPC-H workload: the 8-table schema is defined as a standard SQL
+// CREATE TABLE script and ingested through the production ParseSqlDdl
+// surface (table/sql_ddl.h); scaled synthetic rows are then materialized
+// into the *parsed* shape. This exercises the sql_ddl path with a real
+// schema and gives the profiling/UCC benchmarks a recognizable gnarly
+// workload (wide lineitem, composite partsupp key, snowflaked dimensions)
+// instead of a single synthetic column.
+
+// The CREATE TABLE script: 8 tables in spec column order with PRIMARY KEY
+// clauses and all 8 FK relationships, including the composite
+// (l_partkey, l_suppkey) -> partsupp join.
+const char* TpchDdlScript();
+
+// Parses TpchDdlScript() and generates rows at `scale` (1.0 ≈ thousands of
+// lineitem rows; floors keep the spec's size ordering at tiny scales).
+// Column generators are derived from the parsed schema: the declared FKs
+// drive value sampling (components of a composite-FK target become
+// deterministic cross-product keys so the referenced tuple set is unique),
+// the first non-FK column of each table is its dense surrogate key, and the
+// rest fill by declared type. Ground truth = exactly the parsed FKs as N:1
+// joins. Returns kInvalidInput only if the embedded script ever fails to
+// parse (a build defect, caught by the synth tests).
+StatusOr<BiCase> GenerateTpchFromDdl(double scale, Rng& rng);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_TPCH_DDL_H_

@@ -188,9 +188,11 @@ TEST_P(IndPropertyTest, MatchesNaiveReference) {
   for (int t = 0; t < 3; ++t) {
     std::vector<std::pair<std::string, std::vector<std::string>>> cols;
     size_t ncols = 1 + rng.NextBelow(3);
+    // One row count per table: Table's contract requires equal-length
+    // columns (Table::Validate), and the columnar key view checks it.
+    size_t rows = 5 + rng.NextBelow(20);
     for (size_t c = 0; c < ncols; ++c) {
       std::vector<std::string> cells;
-      size_t rows = 5 + rng.NextBelow(20);
       long lo = long(rng.NextBelow(5));
       long hi = lo + 3 + long(rng.NextBelow(25));
       for (size_t r = 0; r < rows; ++r) {
@@ -214,16 +216,19 @@ TEST_P(IndPropertyTest, MatchesNaiveReference) {
         for (size_t bcol = 0; bcol < tables[tj].num_columns(); ++bcol) {
           const ColumnProfile& pa = profiles[ti].columns[a];
           const ColumnProfile& pb = profiles[tj].columns[bcol];
-          if (pa.distinct.size() < opt.min_distinct) continue;
+          if (pa.num_distinct < opt.min_distinct) continue;
           if (pb.non_null_count == 0 ||
               pb.distinct_ratio < opt.min_referenced_distinct_ratio) {
             continue;
           }
           if (pa.non_null_count == 0) continue;
-          // Row-weighted reference, matching Containment's contract.
+          // Row-weighted reference, matching Containment's contract,
+          // rebuilt from the pooled distinct keys.
+          DistinctKeyMap ma = BuildDistinctKeyMap(pa);
+          DistinctKeyMap mb = BuildDistinctKeyMap(pb);
           int64_t hits = 0;
-          for (const auto& [key, count] : pa.distinct) {
-            if (pb.distinct.count(key)) hits += count;
+          for (const auto& [key, count] : ma) {
+            if (mb.count(key)) hits += count;
           }
           double containment = double(hits) / double(pa.non_null_count);
           if (containment >= opt.min_containment) ++expected;

@@ -12,7 +12,7 @@ TEST(ColumnProfileTest, BasicStatistics) {
   ColumnProfile p = ProfileColumn(t.column(0));
   EXPECT_EQ(p.row_count, 5u);
   EXPECT_EQ(p.non_null_count, 4u);
-  EXPECT_EQ(p.distinct.size(), 3u);
+  EXPECT_EQ(p.num_distinct, 3u);
   EXPECT_DOUBLE_EQ(p.distinct_ratio, 3.0 / 4.0);
   EXPECT_TRUE(p.is_numeric);
   EXPECT_DOUBLE_EQ(p.min_value, 1.0);
@@ -31,7 +31,7 @@ TEST(ColumnProfileTest, StringColumnNotNumeric) {
   Table t = MakeTable("t", {{"c", {"x", "y", "x"}}});
   ColumnProfile p = ProfileColumn(t.column(0));
   EXPECT_FALSE(p.is_numeric);
-  EXPECT_EQ(p.distinct.size(), 2u);
+  EXPECT_EQ(p.num_distinct, 2u);
   EXPECT_DOUBLE_EQ(p.avg_value_length, 1.0);
 }
 

@@ -57,25 +57,24 @@ TEST(SketchTest, StableHashIsPureAndOrderFree) {
   EXPECT_LT(HashToUnitInterval(1), HashToUnitInterval(uint64_t{1} << 60));
 }
 
-TEST(SketchTest, ProfileHashVectorsMirrorDistinctMap) {
+TEST(SketchTest, ProfileHashVectorsMirrorDistinctKeys) {
   Rng rng(7);
   Column col = RandomColumn(&rng, 200, 0.1);
   ColumnProfile p = ProfileColumn(col);
   ASSERT_EQ(p.distinct_hashes.size(), p.distinct_counts.size());
-  // No collisions among the pool values: vector size == map size, counts sum
-  // to the non-null row count, hashes strictly increasing.
-  EXPECT_EQ(p.distinct_hashes.size(), p.distinct.size());
+  ASSERT_EQ(p.distinct_offsets.size(), p.distinct_hashes.size() + 1);
+  // No collisions among the pool values: vector size == exact distinct
+  // count, counts sum to the non-null row count, hashes strictly increasing.
+  EXPECT_EQ(p.distinct_hashes.size(), p.num_distinct);
   int64_t total = 0;
   for (int32_t c : p.distinct_counts) total += c;
   EXPECT_EQ(total, int64_t(p.non_null_count));
   for (size_t i = 1; i < p.distinct_hashes.size(); ++i) {
     EXPECT_LT(p.distinct_hashes[i - 1], p.distinct_hashes[i]);
   }
-  for (const auto& [key, count] : p.distinct) {
-    (void)count;
-    EXPECT_TRUE(std::binary_search(p.distinct_hashes.begin(),
-                                   p.distinct_hashes.end(),
-                                   StableHash64(key)));
+  // Every pooled distinct key hashes to its own slot.
+  for (size_t i = 0; i < p.distinct_hashes.size(); ++i) {
+    EXPECT_EQ(StableHash64(p.distinct_key(i)), p.distinct_hashes[i]);
   }
 }
 
