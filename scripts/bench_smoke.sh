@@ -8,13 +8,16 @@
 # overhead guard (Predict with an armed but untripped context vs no
 # context; must stay under 2%), and the PR 6 serving-cache benchmark (cold
 # vs warm Predict through the cross-request content-hash caches; warm must
-# be >= 3x faster and bit-identical), and writes BENCH_pr7.json at the
+# be >= 3x faster and bit-identical), and the PR 8 incremental
+# re-prediction benchmark (cold Predict vs delta-aware PredictIncremental
+# per mutation kind; every kind must stay bit-identical and the
+# single-table append must reach >= 5x), and writes BENCH_pr8.json at the
 # repo root. Each perf-focused PR writes its own BENCH_<pr>.json with the
 # same shape, so the trajectory of the hot kernels accumulates in-repo and
 # regressions are diffable.
 #
-# PR 7 guard: profile_column_100k_rows must come in at or under 7.5 ms
-# (>= 3x over the 22.4 ms string-map kernel of BENCH_pr5/pr6).
+# PR 7 guard (still enforced): profile_column_100k_rows must come in at or
+# under 7.5 ms (>= 3x over the 22.4 ms string-map kernel of BENCH_pr5/pr6).
 #
 # Usage: scripts/bench_smoke.sh [build-dir]     (default: build-bench)
 # Scale knobs (see DESIGN.md §3): AUTOBI_REAL_CASES (default 2 here — smoke,
@@ -23,11 +26,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
-OUT="BENCH_pr7.json"
+OUT="BENCH_pr8.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_profile bench_fig5_latency \
-  bench_fig6_kmcacc bench_micro_pipeline bench_serve > /dev/null
+  bench_fig6_kmcacc bench_micro_pipeline bench_serve bench_incremental \
+  > /dev/null
 
 echo "bench_smoke: running bench_micro_profile..." >&2
 MICRO_JSON="$("$BUILD_DIR/bench/bench_micro_profile" --json)"
@@ -64,6 +68,36 @@ if ! grep -q '"warm_bit_identical":true' <<< "$SERVE_JSON"; then
   exit 1
 fi
 
+echo "bench_smoke: running bench_incremental --json (cold vs delta re-prediction)..." >&2
+INCR_JSON="$("$BUILD_DIR/bench/bench_incremental" --json --reps 3)"
+
+# PR 8 acceptance: every mutation kind must be bit-identical to the cold
+# run (the binary also FATALs on divergence in-process), and the
+# single-table append — the headline delta path — must reach >= 5x.
+KIND_COUNT="$(grep -oE '"bit_identical": *true' <<< "$INCR_JSON" | wc -l || true)"
+if [[ "$KIND_COUNT" -lt 6 ]]; then
+  echo "bench_smoke: FAILED — expected 6 bit-identical mutation kinds in" \
+       "bench_incremental output, saw $KIND_COUNT" >&2
+  exit 1
+fi
+if grep -qE '"bit_identical": *false' <<< "$INCR_JSON"; then
+  echo "bench_smoke: FAILED — incremental result diverged from cold Predict" >&2
+  exit 1
+fi
+APPEND_SPEEDUP="$(awk '
+  /"append_rows":/ { split($0, a, "\"speedup\": *"); split(a[2], b, ",");
+                     print b[1]; exit }
+  ' <<< "$INCR_JSON")"
+if [[ -z "$APPEND_SPEEDUP" ]]; then
+  echo "bench_smoke: FAILED to parse kinds.append_rows.speedup" >&2
+  exit 1
+fi
+if ! awk -v s="$APPEND_SPEEDUP" 'BEGIN { exit !(s >= 5.0) }'; then
+  echo "bench_smoke: FAILED — append_rows incremental speedup" \
+       "${APPEND_SPEEDUP}x below the 5x PR 8 budget" >&2
+  exit 1
+fi
+
 FIG5_LOG="$BUILD_DIR/fig5_latency.txt"
 echo "bench_smoke: running bench_fig5_latency (AUTOBI_REAL_CASES=$AUTOBI_REAL_CASES)..." >&2
 "$BUILD_DIR/bench/bench_fig5_latency" > "$FIG5_LOG"
@@ -91,9 +125,9 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "pr": 7,
+  "pr": 8,
   "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "note": "columnar key view + hash-first profiling/UCC kernels: micro section now compares ProfileColumn / IsUniqueCombination against the retained legacy string-map oracles (bit-identity enforced in-binary), times the TPC-H-via-DDL workload, and gates profile_column_100k_rows <= 7.5 ms and containment_speedup_skewed >= 1.0x",
+  "note": "incremental re-prediction: new incremental section compares cold Predict vs delta-aware PredictIncremental per mutation kind on a 20-table case (bit-identity enforced in-binary and here; append_rows speedup gated >= 5x); PR 7 profile_column_100k_rows <= 7.5 ms gate still enforced",
   "real_cases_per_bucket": $AUTOBI_REAL_CASES,
   "fig5b_auto_bi_mean_seconds": {
     "ucc": $UCC,
@@ -101,10 +135,12 @@ cat > "$OUT" <<EOF
     "local_inference": $LOCAL,
     "global_predict": $GLOBAL
   },
+  "incremental": $INCR_JSON,
   "serve": $SERVE_JSON,
   "runcontext": $RUNCTX_JSON,
   "solver": $SOLVER_JSON,
   "micro": $MICRO_JSON
 }
 EOF
-echo "bench_smoke: wrote $OUT (serve warm speedup: see .serve.warm_speedup)" >&2
+echo "bench_smoke: wrote $OUT (append_rows incremental speedup:" \
+     "${APPEND_SPEEDUP}x)" >&2

@@ -88,11 +88,22 @@ echo "check.sh: ThreadSanitizer clean (pipeline + solver determinism)."
 ASAN_BUILD_DIR="${AUTOBI_ASAN_BUILD_DIR:-build-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DAUTOBI_SANITIZE=address,undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build "$ASAN_BUILD_DIR" -j --target autobi_profile_ml_tests
+cmake --build "$ASAN_BUILD_DIR" -j --target autobi_profile_ml_tests \
+  autobi_faultfuzz
 UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
   "$ASAN_BUILD_DIR/tests/autobi_profile_ml_tests" \
   --gtest_filter='KernelOracle*:TpchDdl*'
 echo "check.sh: kernel-oracle equivalence clean (ASan/UBSan)."
+
+# --- Schema-evolution differential smoke under ASan/UBSan (always on since
+# PR 8): every case replays a random 1-8 step mutation sequence through
+# AutoBi::PredictIncremental with a persistent IncrementalState and
+# cross-checks a cold Predict after each step — any incremental/cold
+# divergence, crash, leak, or UB fails the run.
+UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+  "$ASAN_BUILD_DIR/src/fuzz/autobi_faultfuzz" --seed 1 --cases 500 \
+  --scenario schema
+echo "check.sh: schema-evolution differential smoke clean (ASan/UBSan)."
 
 # --- Serve smoke (always on, under the same TSan build so the
 # thread-per-connection transport and shared caches are race-checked): boot

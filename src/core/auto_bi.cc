@@ -12,6 +12,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/incremental.h"
 #include "core/predict_cache.h"
 #include "graph/ems.h"
 #include "graph/kmca.h"
@@ -55,12 +56,8 @@ uint64_t MixDouble(uint64_t h, double d) {
   return MixU64(h, bits);
 }
 
-// Fingerprint of everything besides the table bytes that deterministically
-// shapes a Predict result: the AutoBi options (execution-only knobs like
-// `threads` excluded — results are bit-identical at any thread count) and
-// the RunContext's deterministic budgets. Deadlines/cancellation are *not*
-// part of the key: they are time-dependent, so runs they trip never
-// populate the memo in the first place (checked via result.degradation).
+}  // namespace
+
 uint64_t SolveKeyFingerprint(const AutoBiOptions& o, const RunContext* ctx) {
   uint64_t h = MixU64(0xA07B1BEEFCAFE001ULL, uint64_t(o.mode));
   h = MixDouble(h, o.penalty_probability);
@@ -95,37 +92,10 @@ uint64_t SolveKeyFingerprint(const AutoBiOptions& o, const RunContext* ctx) {
   return h;
 }
 
-// The pipeline proper. May throw (pool-propagated worker exceptions,
-// injected parallel-task faults); the public entry point converts those to
-// kInternal.
-AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
-                         const std::vector<Table>& tables,
-                         const RunContext* ctx) {
-  AutoBiResult result;
-  result.timing.threads = ResolveThreads(options.threads);
-
-  // Stage 1+2: UCC and IND discovery (candidate generation). The top-level
-  // thread setting flows into candidate generation unless the caller pinned
-  // a stage-specific count.
-  CandidateGenOptions cand_options = options.candidates;
-  if (cand_options.threads == 0) cand_options.threads = options.threads;
-  if (cand_options.cache == nullptr) cand_options.cache = options.cache;
-  CandidateSet candidates = GenerateCandidates(tables, cand_options, ctx);
-  result.timing.ucc = candidates.ucc_seconds;
-  result.timing.ind = candidates.ind_seconds;
-  result.degradation.ucc = candidates.ucc_health;
-  result.degradation.ind = candidates.ind_health;
-
-  // Stage 3: local inference — featurize and score each candidate with the
-  // calibrated classifiers (Algorithm 1).
-  bool schema_only = options.mode == AutoBiMode::kSchemaOnly;
-  result.graph = BuildJoinGraph(tables, candidates, model, schema_only,
-                                &result.timing.local_inference,
-                                options.threads, ctx,
-                                &result.degradation.local_inference);
+void RunGlobalPredict(const AutoBiOptions& options, const RunContext* ctx,
+                      AutoBiResult* out) {
+  AutoBiResult& result = *out;
   const JoinGraph& graph = result.graph;
-
-  // Stage 4: global prediction.
   Timer global_timer;
   if (ctx != nullptr && ctx->StopRequested()) {
     // Stage-boundary trip: an empty model is always feasible; return it
@@ -133,7 +103,7 @@ AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
     result.degradation.global_predict.MarkDegraded(
         "run stopped before global solve; empty model returned");
     result.timing.global_predict = global_timer.Seconds();
-    return result;
+    return;
   }
   if (options.lc_only) {
     // Ablation: keep every edge with calibrated probability >= 0.5, no graph
@@ -145,7 +115,7 @@ AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
     result.model = EdgesToModel(graph, kept);
     result.backbone_edges = kept;
     result.timing.global_predict = global_timer.Seconds();
-    return result;
+    return;
   }
 
   double penalty =
@@ -196,6 +166,41 @@ AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
   std::sort(all_edges.begin(), all_edges.end());
   result.model = EdgesToModel(graph, all_edges);
   result.timing.global_predict = global_timer.Seconds();
+}
+
+namespace {
+
+// The pipeline proper. May throw (pool-propagated worker exceptions,
+// injected parallel-task faults); the public entry point converts those to
+// kInternal.
+AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
+                         const std::vector<Table>& tables,
+                         const RunContext* ctx) {
+  AutoBiResult result;
+  result.timing.threads = ResolveThreads(options.threads);
+
+  // Stage 1+2: UCC and IND discovery (candidate generation). The top-level
+  // thread setting flows into candidate generation unless the caller pinned
+  // a stage-specific count.
+  CandidateGenOptions cand_options = options.candidates;
+  if (cand_options.threads == 0) cand_options.threads = options.threads;
+  if (cand_options.cache == nullptr) cand_options.cache = options.cache;
+  CandidateSet candidates = GenerateCandidates(tables, cand_options, ctx);
+  result.timing.ucc = candidates.ucc_seconds;
+  result.timing.ind = candidates.ind_seconds;
+  result.degradation.ucc = candidates.ucc_health;
+  result.degradation.ind = candidates.ind_health;
+
+  // Stage 3: local inference — featurize and score each candidate with the
+  // calibrated classifiers (Algorithm 1).
+  bool schema_only = options.mode == AutoBiMode::kSchemaOnly;
+  result.graph = BuildJoinGraph(tables, candidates, model, schema_only,
+                                &result.timing.local_inference,
+                                options.threads, ctx,
+                                &result.degradation.local_inference);
+
+  // Stage 4: global prediction.
+  RunGlobalPredict(options, ctx, &result);
   return result;
 }
 
@@ -249,6 +254,69 @@ StatusOr<AutoBiResult> AutoBi::Predict(const std::vector<Table>& tables,
   } catch (const std::exception& e) {
     // Worker exceptions propagate out of the pool from the lowest-indexed
     // failing iteration; service callers get a Status, never a throw.
+    return Status::Internal(
+        StrFormat("prediction pipeline failed: %s", e.what()));
+  }
+}
+
+StatusOr<AutoBiResult> AutoBi::PredictIncremental(
+    const std::vector<Table>& tables, const RunContext* ctx,
+    IncrementalState* state) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (!tables[i].Validate()) {
+      return Status::InvalidInput(
+          StrFormat("table %zu ('%s') is malformed (ragged columns)", i,
+                    tables[i].name().c_str()));
+    }
+  }
+  // Fallback screen: conditions under which the incremental engine cannot
+  // reproduce the plain pipeline bit-identically. A context that already
+  // tripped owes degraded partial-model semantics from the very first stage;
+  // a table over the value-probe budget keeps a metadata-only profile in the
+  // cold path, which no cached profile may stand in for. Both invalidate the
+  // state (the run about to happen produces nothing reusable).
+  bool fallback = ctx != nullptr && ctx->StopRequested();
+  if (!fallback && ctx != nullptr) {
+    for (const Table& t : tables) {
+      if (OverTableBudget(t, ctx->budgets)) {
+        fallback = true;
+        break;
+      }
+    }
+  }
+  if (fallback) {
+    state->valid = false;
+    return Predict(tables, ctx);
+  }
+  try {
+    AutoBiResult result =
+        RunIncrementalPipeline(*model_, options_, tables, ctx, state);
+    // Populate — but never consult — the cross-request solve memo. A memo
+    // hit here would silently replace the delta path (zeroing the
+    // observability counters callers rely on), while populating keeps plain
+    // Predict calls over the same bytes instant. The key reuses the
+    // snapshot hashes the engine just committed, so no extra pass over the
+    // cell bytes is needed.
+    if (options_.cache != nullptr && !result.degradation.Any()) {
+      std::vector<uint64_t> table_hashes;
+      table_hashes.reserve(state->snapshots.size());
+      for (const TableSnapshot& snap : state->snapshots) {
+        table_hashes.push_back(snap.table_hash);
+      }
+      uint64_t solve_key = MixU64(TablesContentHashFromHashes(table_hashes),
+                                  SolveKeyFingerprint(options_, ctx));
+      auto entry = std::make_shared<PredictCache::SolveEntry>();
+      entry->model = result.model;
+      entry->graph = result.graph;
+      entry->backbone_edges = result.backbone_edges;
+      entry->recall_edges = result.recall_edges;
+      entry->solver_stats = result.solver_stats;
+      options_.cache->InsertSolve(solve_key, std::move(entry));
+    }
+    return result;
+  } catch (const std::exception& e) {
+    // The engine mutates the state only at its final healthy commit, so the
+    // state still describes the previous healthy run — no invalidation.
     return Status::Internal(
         StrFormat("prediction pipeline failed: %s", e.what()));
   }

@@ -78,6 +78,26 @@ struct AutoBiDegradation {
   }
 };
 
+// Observability counters of an incremental run (core/incremental.h): how
+// much work the delta path actually did versus reused. A cold run (or a
+// plain Predict) leaves `used` false and everything zero.
+struct IncrementalStats {
+  // True when the delta engine ran (false: cold rebuild or plain Predict).
+  bool used = false;
+  // Tables whose profile + UCCs were recomputed from scratch this run.
+  size_t tables_reprofiled = 0;
+  // Tables whose cached profile was merged forward over an appended suffix
+  // (MergeAppendedTableProfile) instead of rescanned.
+  size_t tables_delta_merged = 0;
+  // Unordered table pairs whose IND scan + candidate scoring re-ran.
+  size_t pairs_rescored = 0;
+  // Unordered table pairs whose cached candidates + scores were reused.
+  size_t pairs_reused = 0;
+  // True when the global solve was reused wholesale because the join graph
+  // was structurally identical to the previous run's.
+  bool warm_start_used = false;
+};
+
 struct AutoBiResult {
   BiModel model;
   AutoBiTiming timing;
@@ -91,7 +111,16 @@ struct AutoBiResult {
   std::vector<int> recall_edges;
   // What (if anything) was degraded by the run's deadline/cancel/budgets.
   AutoBiDegradation degradation;
+  // Delta-path observability (all-zero unless PredictIncremental ran).
+  IncrementalStats incremental;
 };
+
+// Cross-call state of the incremental engine (core/incremental.h): cached
+// snapshots, profiles, per-pair candidates/scores, graph and solve of the
+// previous healthy run. Opaque here so auto_bi.h stays free of the engine's
+// internals; default-constructible and movable, owned by the caller (one per
+// logical table-set, e.g. per serve session).
+struct IncrementalState;
 
 // The online Auto-BI predictor (Section 4.3): candidate generation ->
 // calibrated local scoring -> k-MCA-CC precision mode -> EMS recall mode.
@@ -115,6 +144,26 @@ class AutoBi {
   // corpora): no context, CHECK-fails on Status errors.
   AutoBiResult Predict(const std::vector<Table>& tables) const;
 
+  // Delta-aware Predict: diffs `tables` against the previous run cached in
+  // `*state` (which must outlive the call and be reused across calls over
+  // the same evolving table-set) and recomputes only the work touching
+  // changed tables — appended tables merge their profiles forward, unchanged
+  // pairs reuse their candidates and scores, and a structurally identical
+  // join graph reuses the previous global solve wholesale.
+  //
+  // Contract: the returned result is bit-identical to what Predict would
+  // return on the same post-change tables — models, graph, edge sets, solver
+  // stats, degradation markers — with only timing and result.incremental
+  // differing. First call (or invalidated/mismatched state) runs a cold
+  // rebuild through the same engine; runs the engine cannot serve
+  // bit-identically (context stopped at entry, tables over the value-probe
+  // budget) invalidate the state and fall back to the plain pipeline.
+  // Degraded runs never update the state. `state` must not be shared across
+  // concurrent calls.
+  StatusOr<AutoBiResult> PredictIncremental(const std::vector<Table>& tables,
+                                            const RunContext* ctx,
+                                            IncrementalState* state) const;
+
   const AutoBiOptions& options() const { return options_; }
 
  private:
@@ -125,6 +174,24 @@ class AutoBi {
 // Converts selected graph edges into BiModel joins (1:1 pairs deduplicated to
 // a single normalized join).
 BiModel EdgesToModel(const JoinGraph& graph, const std::vector<int>& edges);
+
+// Stage 4 of the pipeline (global prediction), factored out so the
+// incremental engine runs the exact same code: consumes result->graph and
+// fills model/backbone_edges/recall_edges/solver_stats/kmca_cc_seconds,
+// timing.global_predict, and degradation.global_predict. Deterministic
+// function of (graph, options, ctx stop/budget state).
+void RunGlobalPredict(const AutoBiOptions& options, const RunContext* ctx,
+                      AutoBiResult* result);
+
+// Fingerprint of everything besides the table bytes that deterministically
+// shapes a Predict result: the AutoBi options (execution-only knobs like
+// `threads` excluded — results are bit-identical at any thread count) and
+// the RunContext's deterministic budgets. Deadlines/cancellation are *not*
+// part of the key: they are time-dependent, so runs they trip never populate
+// the solve memo (checked via result.degradation). Shared by the PredictCache
+// solve memo and the incremental engine's options-change detection.
+uint64_t SolveKeyFingerprint(const AutoBiOptions& options,
+                             const RunContext* ctx);
 
 }  // namespace autobi
 

@@ -21,8 +21,15 @@ namespace autobi {
 
 namespace {
 
-// Everything profiling depends on besides the table bytes, folded into the
-// profile-cache key so an options change can never serve a stale entry.
+double MeanDistinctRatio(const TableProfile& profile,
+                         const std::vector<int>& columns) {
+  double sum = 0.0;
+  for (int c : columns) sum += profile.columns[size_t(c)].distinct_ratio;
+  return sum / static_cast<double>(columns.size());
+}
+
+}  // namespace
+
 uint64_t UccOptionsFingerprint(const UccOptions& ucc) {
   uint64_t h = SplitMix64(ucc.max_arity);
   h = SplitMix64(h ^ ucc.max_candidates);
@@ -32,14 +39,6 @@ uint64_t UccOptionsFingerprint(const UccOptions& ucc) {
   return SplitMix64(h ^ bits);
 }
 
-double MeanDistinctRatio(const TableProfile& profile,
-                         const std::vector<int>& columns) {
-  double sum = 0.0;
-  for (int c : columns) sum += profile.columns[size_t(c)].distinct_ratio;
-  return sum / static_cast<double>(columns.size());
-}
-
-// True when a RunContext row/cell budget excludes `table` from value probing.
 bool OverTableBudget(const Table& table, const RunContext::Budgets& budgets) {
   if (budgets.max_rows_per_table > 0 &&
       table.num_rows() > budgets.max_rows_per_table) {
@@ -52,7 +51,86 @@ bool OverTableBudget(const Table& table, const RunContext::Budgets& budgets) {
   return false;
 }
 
-}  // namespace
+void AddIndCandidates(const std::vector<Ind>& inds,
+                      const std::vector<Table>& tables,
+                      const std::vector<TableProfile>& profiles,
+                      const CandidateGenOptions& options,
+                      CompositeKeyCache* composite_cache,
+                      CandidateMap* dedup) {
+  for (const Ind& ind : inds) {
+    JoinCandidate cand;
+    cand.src = ind.dependent;
+    cand.dst = ind.referenced;
+    cand.left_containment = ind.containment;
+    // Reverse containment: cheap via profiles for unary, exact probe for
+    // composite INDs (which are rare).
+    if (!ind.IsComposite()) {
+      cand.right_containment =
+          Containment(profiles[size_t(cand.dst.table)]
+                          .columns[size_t(cand.dst.columns[0])],
+                      profiles[size_t(cand.src.table)]
+                          .columns[size_t(cand.src.columns[0])]);
+    } else {
+      std::shared_ptr<const CompositeKeyCache::HashSet> referenced =
+          composite_cache->Get(tables[size_t(cand.src.table)], cand.src.table,
+                               cand.src.columns);
+      cand.right_containment = CompositeContainment(
+          tables[size_t(cand.dst.table)], cand.dst.columns, *referenced);
+    }
+
+    double src_distinct =
+        MeanDistinctRatio(profiles[size_t(cand.src.table)], cand.src.columns);
+    double dst_distinct =
+        MeanDistinctRatio(profiles[size_t(cand.dst.table)], cand.dst.columns);
+    cand.one_to_one =
+        src_distinct >= options.one_to_one_distinct_ratio &&
+        dst_distinct >= options.one_to_one_distinct_ratio &&
+        std::min(cand.left_containment, cand.right_containment) >=
+            options.one_to_one_min_containment;
+
+    // Canonical orientation for 1:1 candidates: both IND directions fold
+    // into one candidate keyed from the lower endpoint.
+    if (cand.one_to_one && cand.dst < cand.src) {
+      std::swap(cand.src, cand.dst);
+      std::swap(cand.left_containment, cand.right_containment);
+    }
+    auto key = std::make_pair(cand.src, cand.dst);
+    auto it = dedup->find(key);
+    if (it == dedup->end()) {
+      dedup->emplace(key, cand);
+    } else if (cand.one_to_one && !it->second.one_to_one) {
+      it->second = cand;  // Prefer the 1:1 interpretation when detected.
+    }
+  }
+}
+
+void AddMetadataFallbackCandidates(const std::vector<Table>& tables,
+                                   const std::vector<char>& probed, int ti,
+                                   int tj, CandidateMap* dedup) {
+  if (ti == tj) return;
+  if (probed[size_t(ti)] && probed[size_t(tj)]) return;
+  for (int a = 0; a < int(tables[size_t(ti)].num_columns()); ++a) {
+    const std::string& src = tables[size_t(ti)].column(size_t(a)).name();
+    std::string src_norm = NormalizeIdentifier(src);
+    for (int b = 0; b < int(tables[size_t(tj)].num_columns()); ++b) {
+      const std::string& dst = tables[size_t(tj)].column(size_t(b)).name();
+      std::string aug = tables[size_t(tj)].name() + " " + dst;
+      bool name_hit =
+          EditSimilarity(src_norm, NormalizeIdentifier(dst)) >= 0.5 ||
+          TokenContainment(TokenizeIdentifier(src),
+                           TokenizeIdentifier(aug)) >= 0.99;
+      bool key_shaped = b == 0 && (EndsWith(ToLower(src_norm), "id") ||
+                                   EndsWith(ToLower(src_norm), "key") ||
+                                   EndsWith(ToLower(src_norm), "code"));
+      if (!name_hit && !key_shaped) continue;
+      JoinCandidate cand;
+      cand.src = ColumnRef{ti, {a}};
+      cand.dst = ColumnRef{tj, {b}};
+      auto key = std::make_pair(cand.src, cand.dst);
+      if (!dedup->count(key)) dedup->emplace(key, cand);
+    }
+  }
+}
 
 CandidateSet GenerateCandidates(const std::vector<Table>& tables,
                                 const CandidateGenOptions& options,
@@ -194,52 +272,9 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
   }
 
   // Convert INDs to deduplicated candidates.
-  std::map<std::pair<ColumnRef, ColumnRef>, JoinCandidate> dedup;
-  for (const Ind& ind : inds) {
-    JoinCandidate cand;
-    cand.src = ind.dependent;
-    cand.dst = ind.referenced;
-    cand.left_containment = ind.containment;
-    // Reverse containment: cheap via profiles for unary, exact probe for
-    // composite INDs (which are rare).
-    if (!ind.IsComposite()) {
-      cand.right_containment = Containment(
-          out.profiles[size_t(cand.dst.table)]
-              .columns[size_t(cand.dst.columns[0])],
-          out.profiles[size_t(cand.src.table)]
-              .columns[size_t(cand.src.columns[0])]);
-    } else {
-      std::shared_ptr<const CompositeKeyCache::HashSet> referenced =
-          composite_cache.Get(tables[size_t(cand.src.table)], cand.src.table,
-                              cand.src.columns);
-      cand.right_containment = CompositeContainment(
-          tables[size_t(cand.dst.table)], cand.dst.columns, *referenced);
-    }
-
-    double src_distinct = MeanDistinctRatio(
-        out.profiles[size_t(cand.src.table)], cand.src.columns);
-    double dst_distinct = MeanDistinctRatio(
-        out.profiles[size_t(cand.dst.table)], cand.dst.columns);
-    cand.one_to_one =
-        src_distinct >= options.one_to_one_distinct_ratio &&
-        dst_distinct >= options.one_to_one_distinct_ratio &&
-        std::min(cand.left_containment, cand.right_containment) >=
-            options.one_to_one_min_containment;
-
-    // Canonical orientation for 1:1 candidates: both IND directions fold
-    // into one candidate keyed from the lower endpoint.
-    if (cand.one_to_one && cand.dst < cand.src) {
-      std::swap(cand.src, cand.dst);
-      std::swap(cand.left_containment, cand.right_containment);
-    }
-    auto key = std::make_pair(cand.src, cand.dst);
-    auto it = dedup.find(key);
-    if (it == dedup.end()) {
-      dedup.emplace(key, cand);
-    } else if (cand.one_to_one && !it->second.one_to_one) {
-      it->second = cand;  // Prefer the 1:1 interpretation when detected.
-    }
-  }
+  CandidateMap dedup;
+  AddIndCandidates(inds, tables, out.profiles, options, &composite_cache,
+                   &dedup);
   // Metadata fallback: for table pairs where a side could not be value
   // probed (no rows in DDL-only input, or excluded by a RunContext table
   // budget), screen candidate pairs by name instead so the schema-only
@@ -251,31 +286,7 @@ CandidateSet GenerateCandidates(const std::vector<Table>& tables,
     }
     for (int ti = 0; ti < int(tables.size()); ++ti) {
       for (int tj = 0; tj < int(tables.size()); ++tj) {
-        if (ti == tj) continue;
-        if (probed[size_t(ti)] && probed[size_t(tj)]) continue;
-        for (int a = 0; a < int(tables[size_t(ti)].num_columns()); ++a) {
-          const std::string& src = tables[size_t(ti)].column(size_t(a)).name();
-          std::string src_norm = NormalizeIdentifier(src);
-          for (int b = 0; b < int(tables[size_t(tj)].num_columns()); ++b) {
-            const std::string& dst =
-                tables[size_t(tj)].column(size_t(b)).name();
-            std::string aug = tables[size_t(tj)].name() + " " + dst;
-            bool name_hit =
-                EditSimilarity(src_norm, NormalizeIdentifier(dst)) >= 0.5 ||
-                TokenContainment(TokenizeIdentifier(src),
-                                 TokenizeIdentifier(aug)) >= 0.99;
-            bool key_shaped =
-                b == 0 && (EndsWith(ToLower(src_norm), "id") ||
-                           EndsWith(ToLower(src_norm), "key") ||
-                           EndsWith(ToLower(src_norm), "code"));
-            if (!name_hit && !key_shaped) continue;
-            JoinCandidate cand;
-            cand.src = ColumnRef{ti, {a}};
-            cand.dst = ColumnRef{tj, {b}};
-            auto key = std::make_pair(cand.src, cand.dst);
-            if (!dedup.count(key)) dedup.emplace(key, cand);
-          }
-        }
+        AddMetadataFallbackCandidates(tables, probed, ti, tj, &dedup);
       }
     }
   }

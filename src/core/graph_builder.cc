@@ -8,32 +8,24 @@
 
 namespace autobi {
 
-namespace {
-// Sentinel probability marking a candidate whose scoring was skipped after
-// a RunContext deadline/cancel trip (real scores are in [0, 1]).
-constexpr double kSkippedScore = -1.0;
-}  // namespace
-
-JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
-                         const CandidateSet& candidates,
-                         const LocalModel& model, bool schema_only,
-                         double* local_inference_seconds, int threads,
-                         const RunContext* run_ctx, StageHealth* health) {
-  Timer timer;
-  JoinGraph graph(static_cast<int>(tables.size()));
+std::vector<double> ScoreCandidates(const std::vector<Table>& tables,
+                                    const std::vector<TableProfile>& profiles,
+                                    const std::vector<JoinCandidate>& candidates,
+                                    const LocalModel& model, bool schema_only,
+                                    int threads, const RunContext* run_ctx) {
   FeatureContext ctx;
   ctx.tables = &tables;
-  ctx.profiles = &candidates.profiles;
+  ctx.profiles = &profiles;
   ctx.frequency = &model.frequency();
   // Featurize + score (the expensive part) in parallel; LocalModel::Score is
-  // const and stateless. Graph mutation stays serial in candidate order.
-  std::vector<double> probabilities = ParallelMap(
-      candidates.candidates.size(),
+  // const and stateless.
+  return ParallelMap(
+      candidates.size(),
       [&](size_t i) {
         // Item-boundary stop poll: skipped candidates are marked with a
         // sentinel and dropped during the serial edge-add pass below.
         if (run_ctx != nullptr && run_ctx->StopRequested()) {
-          return kSkippedScore;
+          return kSkippedCandidateScore;
         }
         // Fault point: a worker exception inside a parallel region. The pool
         // rethrows it from the lowest-indexed failing iteration and the
@@ -41,14 +33,21 @@ JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
         if (FaultPoints::Global().Fire("parallel.task")) {
           throw std::runtime_error("injected parallel task fault");
         }
-        return model.Score(ctx, candidates.candidates[i], schema_only);
+        return model.Score(ctx, candidates[i], schema_only);
       },
       threads);
+}
+
+JoinGraph BuildJoinGraphFromScores(size_t num_tables,
+                                   const std::vector<JoinCandidate>& candidates,
+                                   const std::vector<double>& probabilities,
+                                   StageHealth* health) {
+  JoinGraph graph(static_cast<int>(num_tables));
   size_t skipped = 0;
-  for (size_t i = 0; i < candidates.candidates.size(); ++i) {
-    const JoinCandidate& cand = candidates.candidates[i];
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const JoinCandidate& cand = candidates[i];
     double p = probabilities[i];
-    if (p == kSkippedScore) {
+    if (p == kSkippedCandidateScore) {
       ++skipped;
       continue;
     }
@@ -64,6 +63,20 @@ JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
     health->MarkDegraded(
         "run stopped during local inference; unscored candidates dropped");
   }
+  return graph;
+}
+
+JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
+                         const CandidateSet& candidates,
+                         const LocalModel& model, bool schema_only,
+                         double* local_inference_seconds, int threads,
+                         const RunContext* run_ctx, StageHealth* health) {
+  Timer timer;
+  std::vector<double> probabilities =
+      ScoreCandidates(tables, candidates.profiles, candidates.candidates,
+                      model, schema_only, threads, run_ctx);
+  JoinGraph graph = BuildJoinGraphFromScores(
+      tables.size(), candidates.candidates, probabilities, health);
   if (local_inference_seconds != nullptr) {
     *local_inference_seconds = timer.Seconds();
   }

@@ -35,6 +35,34 @@ JoinGraph BuildJoinGraph(const std::vector<Table>& tables,
                          const RunContext* run_ctx = nullptr,
                          StageHealth* health = nullptr);
 
+// --- The two halves of BuildJoinGraph, exposed so the incremental engine
+// (core/incremental.h) can score only the candidates of changed table pairs
+// (reusing cached probabilities elsewhere) and still assemble the exact
+// graph a cold run would build.
+
+// Sentinel probability marking a candidate whose scoring was skipped after a
+// RunContext deadline/cancel trip (real scores are in [0, 1]).
+inline constexpr double kSkippedCandidateScore = -1.0;
+
+// Featurizes and scores `candidates` in parallel — the ParallelMap half of
+// BuildJoinGraph, byte-identical scores in candidate order. Skipped
+// candidates (stop trip) get kSkippedCandidateScore.
+std::vector<double> ScoreCandidates(const std::vector<Table>& tables,
+                                    const std::vector<TableProfile>& profiles,
+                                    const std::vector<JoinCandidate>& candidates,
+                                    const LocalModel& model, bool schema_only,
+                                    int threads = 0,
+                                    const RunContext* run_ctx = nullptr);
+
+// The serial edge-add half: builds the graph from pre-scored candidates in
+// candidate order, dropping kSkippedCandidateScore entries (and marking
+// `health` degraded if any were dropped). BuildJoinGraph ==
+// BuildJoinGraphFromScores(tables.size(), cands, ScoreCandidates(...)).
+JoinGraph BuildJoinGraphFromScores(size_t num_tables,
+                                   const std::vector<JoinCandidate>& candidates,
+                                   const std::vector<double>& probabilities,
+                                   StageHealth* health = nullptr);
+
 }  // namespace autobi
 
 #endif  // AUTOBI_CORE_GRAPH_BUILDER_H_

@@ -1,0 +1,118 @@
+#include "core/schema_diff.h"
+
+#include "profile/sketch.h"
+
+namespace autobi {
+
+namespace {
+
+// True when every column of `table` extends the matched snapshot's column by
+// appended rows only: the snapshot's (name + cells) hash must reappear as
+// the prefix content hash of the new column over the old row count.
+bool IsAppendOnlyExtension(const TableSnapshot& prev, const Table& table) {
+  if (table.num_columns() != prev.num_columns) return false;
+  if (table.num_rows() < prev.num_rows) return false;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (ColumnContentHashPrefix(table.column(c), prev.num_rows) !=
+        prev.column_hashes[c]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True when the tables hold the same cells column-by-column regardless of
+// any name (table or column) differences.
+bool SameCells(const TableSnapshot& prev, const TableSnapshot& next) {
+  if (next.num_columns != prev.num_columns) return false;
+  if (next.num_rows != prev.num_rows) return false;
+  for (size_t c = 0; c < next.num_columns; ++c) {
+    if (next.cells_hashes[c] != prev.cells_hashes[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TableSnapshot SnapshotTable(const Table& table) {
+  TableSnapshot snap;
+  snap.name = table.name();
+  snap.num_rows = table.num_rows();
+  snap.num_columns = table.num_columns();
+  snap.column_hashes.reserve(table.num_columns());
+  snap.cells_hashes.reserve(table.num_columns());
+  // One pass over the cell bytes per column: the named hash and the table
+  // hash are both recompositions of the cells hash (profile/sketch.h).
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    uint64_t cells = ColumnCellsHash(table.column(c));
+    snap.cells_hashes.push_back(cells);
+    snap.column_hashes.push_back(
+        ColumnContentHashFromCells(table.column(c).name(), cells));
+  }
+  snap.table_hash =
+      TableContentHashFromColumnHashes(table.name(), snap.column_hashes);
+  return snap;
+}
+
+SchemaDiff DiffSchema(const std::vector<TableSnapshot>& prev,
+                      const std::vector<TableSnapshot>& next,
+                      const std::vector<Table>& tables) {
+  SchemaDiff diff;
+  diff.changes.resize(tables.size());
+  std::vector<char> used(prev.size(), 0);
+
+  // Pass 1: exact matches (kUnchanged) claim their previous table first so a
+  // same-name-but-edited twin can never steal an unchanged table's cache.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t p = 0; p < prev.size(); ++p) {
+      if (used[p]) continue;
+      if (prev[p].table_hash == next[i].table_hash) {
+        diff.changes[i] = {TableChangeKind::kUnchanged, int(p)};
+        used[p] = 1;
+        break;
+      }
+    }
+  }
+  // Pass 2: same-name matches — appended / column-renamed / replaced.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (diff.changes[i].prev_index >= 0) continue;
+    for (size_t p = 0; p < prev.size(); ++p) {
+      if (used[p] || prev[p].name != next[i].name) continue;
+      TableChangeKind kind;
+      if (SameCells(prev[p], next[i])) {
+        kind = TableChangeKind::kRenamed;  // Same cells, new column names.
+      } else if (IsAppendOnlyExtension(prev[p], tables[i])) {
+        kind = TableChangeKind::kAppended;
+      } else {
+        kind = TableChangeKind::kReplaced;
+      }
+      diff.changes[i] = {kind, int(p)};
+      used[p] = 1;
+      break;
+    }
+  }
+  // Pass 3: whole-table renames — same cells under a different table name.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (diff.changes[i].prev_index >= 0) continue;
+    for (size_t p = 0; p < prev.size(); ++p) {
+      if (used[p]) continue;
+      if (SameCells(prev[p], next[i])) {
+        diff.changes[i] = {TableChangeKind::kRenamed, int(p)};
+        used[p] = 1;
+        break;
+      }
+    }
+  }
+  // Everything still unmatched is new; leftover previous tables are dropped.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (diff.changes[i].prev_index < 0) {
+      diff.changes[i] = {TableChangeKind::kAdded, -1};
+    }
+  }
+  for (size_t p = 0; p < prev.size(); ++p) {
+    if (!used[p]) diff.dropped.push_back(int(p));
+  }
+  return diff;
+}
+
+}  // namespace autobi

@@ -25,7 +25,9 @@ void Usage() {
       "  --cases N          cases to run (default 1000)\n"
       "  --time_budget SEC  wall-clock budget; 0 = unlimited (default)\n"
       "  --scratch DIR      scratch dir for file-I/O cases\n"
-      "                     (default /tmp; '' disables them)\n");
+      "                     (default /tmp; '' disables them)\n"
+      "  --scenario NAME    '' = mixed campaign (default); 'schema' = only\n"
+      "                     the schema-evolution differential scenario\n");
 }
 
 }  // namespace
@@ -59,6 +61,12 @@ int main(int argc, char** argv) {
       opt.time_budget_sec = std::atof(need_value());
     } else if (arg == "--scratch") {
       opt.scratch_dir = need_value();
+    } else if (arg == "--scenario") {
+      opt.scenario = need_value();
+      if (!opt.scenario.empty() && opt.scenario != "schema") {
+        std::fprintf(stderr, "unknown scenario: %s\n", opt.scenario.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();

@@ -15,6 +15,7 @@
 #include "common/timer.h"
 #include "core/auto_bi.h"
 #include "core/bi_model.h"
+#include "core/incremental.h"
 #include "core/model_export.h"
 #include "core/trainer.h"
 #include "fuzz/faultpoints.h"
@@ -289,6 +290,217 @@ void RunPipelineCase(Rng& rng, Scratch& s) {
   }
 }
 
+// --- Schema-evolution scenario ------------------------------------------
+
+// Appends one cell matching the column's type (occasionally null).
+void AppendTypedCell(Column& col, Rng& rng) {
+  if (rng.NextBool(0.08)) {
+    col.AppendNull();
+    return;
+  }
+  switch (col.type()) {
+    case ValueType::kInt:
+      col.AppendInt(int64_t(rng.NextBelow(500)));
+      break;
+    case ValueType::kDouble:
+      col.AppendDouble(rng.NextDouble(0.0, 50.0));
+      break;
+    case ValueType::kString:
+      col.AppendString(StrFormat("fz_%llu",
+                                 (unsigned long long)rng.NextBelow(500)));
+      break;
+    default:  // All-null column: keep it all-null.
+      col.AppendNull();
+      break;
+  }
+}
+
+// Applies one random, always-well-formed mutation: tables stay rectangular
+// and typed, so the pipeline contract (not the loader) is what is probed.
+void MutateTables(std::vector<Table>* tables, Rng& rng) {
+  switch (rng.NextBelow(7)) {
+    case 0: {  // Append rows to one table.
+      Table& t = (*tables)[rng.NextBelow(tables->size())];
+      if (t.num_columns() == 0) break;
+      long rows = 1 + long(rng.NextBelow(10));
+      for (long r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < t.num_columns(); ++c) {
+          AppendTypedCell(t.column(c), rng);
+        }
+      }
+      break;
+    }
+    case 1: {  // Add a small fresh table.
+      Table t(StrFormat("fz_added_%llx", (unsigned long long)rng.Next()));
+      Column& id = t.AddColumn("fz_id", ValueType::kInt);
+      Column& label = t.AddColumn("fz_label", ValueType::kString);
+      long rows = 2 + long(rng.NextBelow(8));
+      for (long r = 0; r < rows; ++r) {
+        id.AppendInt(r);
+        label.AppendString(StrFormat("v%ld", r));
+      }
+      tables->push_back(std::move(t));
+      break;
+    }
+    case 2:  // Drop a table (always keep at least two).
+      if (tables->size() > 2) {
+        tables->erase(tables->begin() + long(rng.NextBelow(tables->size())));
+      }
+      break;
+    case 3: {  // Rename a column.
+      Table& t = (*tables)[rng.NextBelow(tables->size())];
+      if (t.num_columns() == 0) break;
+      Column& c = t.column(rng.NextBelow(t.num_columns()));
+      c.set_name(c.name() + "_r");
+      break;
+    }
+    case 4: {  // Rename a table (cells unchanged: the rename detector path).
+      Table& t = (*tables)[rng.NextBelow(tables->size())];
+      t.set_name(t.name() + "_r");
+      break;
+    }
+    case 5: {  // Replace some cells in one column (same length and type).
+      Table& t = (*tables)[rng.NextBelow(tables->size())];
+      if (t.num_columns() == 0 || t.num_rows() == 0) break;
+      Column& old = t.column(rng.NextBelow(t.num_columns()));
+      Column fresh(old.name(), old.type());
+      for (size_t i = 0; i < old.size(); ++i) {
+        if (!old.IsNull(i) && rng.NextBool(0.3)) {
+          AppendTypedCell(fresh, rng);
+        } else if (old.IsNull(i)) {
+          fresh.AppendNull();
+        } else if (old.type() == ValueType::kInt) {
+          fresh.AppendInt(old.Int(i));
+        } else if (old.type() == ValueType::kDouble) {
+          fresh.AppendDouble(old.Double(i));
+        } else {
+          fresh.AppendString(old.Str(i));
+        }
+      }
+      old = std::move(fresh);
+      break;
+    }
+    default:  // No-op step (the pure warm-start path).
+      break;
+  }
+}
+
+// Replays a random mutation sequence through PredictIncremental with a
+// persistent IncrementalState, cross-checking every step against a cold
+// Predict on the same tables. With no faults armed the two must agree
+// bit-for-bit (JSON export + degradation flags); with faults armed the
+// fault-point fire sequences diverge between the two runs, so only the
+// universal invariant is checked.
+void RunSchemaEvolutionCase(Rng& rng, Scratch& s) {
+  ++s.report->schema_evolution_cases;
+  BiGenOptions gen;
+  gen.num_tables = 2 + int(rng.NextBelow(3));
+  gen.min_dim_rows = 4;
+  gen.max_dim_rows = 20;
+  gen.min_fact_rows = 8;
+  gen.max_fact_rows = 40;
+  Rng case_rng = rng.Fork();
+  BiCase bi_case = GenerateBiCase(gen, case_rng);
+  std::vector<Table> tables = std::move(bi_case.tables);
+
+  AutoBiOptions opt;
+  opt.threads = 1 + int(rng.NextBelow(2));
+  if (rng.NextBool(0.2)) opt.mode = AutoBiMode::kSchemaOnly;
+  AutoBi autobi(&SharedTinyModel(), opt);
+  IncrementalState state;
+
+  StatusOr<AutoBiResult> seeded =
+      autobi.PredictIncremental(tables, nullptr, &state);
+  if (!seeded.ok()) {
+    s.Fail(StrFormat("seed PredictIncremental failed: %s",
+                     seeded.status().ToString().c_str()));
+    return;
+  }
+
+  int steps = 1 + int(rng.NextBelow(8));
+  for (int step = 0; step < steps; ++step) {
+    MutateTables(&tables, rng);
+
+    // Run control: usually none; sometimes deterministic budgets or an
+    // up-front cancellation. Wall-clock deadlines are excluded — they are
+    // time-dependent, so incremental and cold runs could legitimately
+    // degrade at different points.
+    RunContext ctx;
+    const RunContext* ctx_ptr = nullptr;
+    if (rng.NextBool(0.25)) {
+      if (rng.NextBool(0.5)) ctx.budgets.max_candidate_pairs = rng.NextBelow(6);
+      if (rng.NextBool(0.3)) {
+        ctx.budgets.max_rows_per_table = 1 + rng.NextBelow(64);
+      }
+      if (rng.NextBool(0.2)) ctx.Cancel();
+      ctx_ptr = &ctx;
+    }
+    bool faults_armed = rng.NextBool(0.25);
+    if (faults_armed) {
+      std::string spec =
+          StrFormat("candidates.exhausted=%.2f,parallel.task=%.3f@%llu",
+                    rng.NextDouble(0.0, 0.5), rng.NextDouble(0.0, 0.03),
+                    (unsigned long long)rng.Next());
+      FaultPoints::Global().Configure(spec);
+    }
+    StatusOr<AutoBiResult> incr =
+        autobi.PredictIncremental(tables, ctx_ptr, &state);
+    if (faults_armed) {
+      s.report->injected_faults += FaultPoints::Global().fires();
+      FaultPoints::Global().Disable();
+    }
+    if (!incr.ok()) {
+      if (incr.status().code() != StatusCode::kInternal) {
+        s.Fail(StrFormat("unexpected error from PredictIncremental: %s",
+                         incr.status().ToString().c_str()));
+      } else if (!faults_armed) {
+        s.Fail(StrFormat("kInternal without armed faults: %s",
+                         incr.status().ToString().c_str()));
+      }
+      ++s.report->status_errors;
+      continue;  // State is untouched on error; keep evolving.
+    }
+    Status valid = ValidateBiModel(tables, incr->model);
+    if (!valid.ok()) {
+      s.Fail(StrFormat("incremental model fails validation at step %d: %s",
+                       step, valid.ToString().c_str()));
+    }
+    if (incr->degradation.Any()) {
+      ++s.report->degraded_models;
+      for (const StageHealth* h :
+           {&incr->degradation.ucc, &incr->degradation.ind,
+            &incr->degradation.local_inference,
+            &incr->degradation.global_predict}) {
+        if (h->degraded && h->trigger.empty()) {
+          s.Fail("degraded stage with empty trigger");
+        }
+      }
+    }
+
+    if (faults_armed) continue;
+    // Differential cross-check: incremental vs cold on identical inputs.
+    StatusOr<AutoBiResult> cold = autobi.Predict(tables, ctx_ptr);
+    if (!cold.ok()) {
+      s.Fail(StrFormat("cold Predict failed where incremental succeeded: %s",
+                       cold.status().ToString().c_str()));
+      continue;
+    }
+    if (incr->degradation.Any() != cold->degradation.Any()) {
+      s.Fail(StrFormat("degradation mismatch at step %d "
+                       "(incremental=%d cold=%d)",
+                       step, int(incr->degradation.Any()),
+                       int(cold->degradation.Any())));
+    }
+    StatusOr<std::string> incr_json = ExportJson(tables, incr->model);
+    StatusOr<std::string> cold_json = ExportJson(tables, cold->model);
+    if (!incr_json.ok() || !cold_json.ok()) {
+      s.Fail("ExportJson rejected a validated model");
+    } else if (*incr_json != *cold_json) {
+      s.Fail(StrFormat("incremental/cold model divergence at step %d", step));
+    }
+  }
+}
+
 // Well-formed request lines the serve mutator starts from (one per verb
 // family; the byte mutator turns them into the malformed population).
 const char* const kServeSeeds[] = {
@@ -391,7 +603,13 @@ FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
     }
     Rng rng = master.Fork();
     Scratch s{&report, i};
-    switch (rng.NextBelow(10)) {
+    if (options.scenario == "schema") {
+      s.scenario = "schema";
+      RunSchemaEvolutionCase(rng, s);
+      ++report.cases_run;
+      continue;
+    }
+    switch (rng.NextBelow(12)) {
       case 0:
       case 1:
       case 2:
@@ -417,6 +635,11 @@ FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
         s.scenario = "serve";
         RunServeCase(rng, s);
         break;
+      case 10:
+      case 11:
+        s.scenario = "schema";
+        RunSchemaEvolutionCase(rng, s);
+        break;
       default:
         s.scenario = "pipeline";
         RunPipelineCase(rng, s);
@@ -435,9 +658,11 @@ std::string FormatFaultFuzzReport(const FaultFuzzReport& report) {
       report.failures == 0 ? "PASS" : "FAIL", report.cases_run,
       report.elapsed_sec, report.failures);
   out += StrFormat(
-      "  scenarios: csv=%ld ddl=%ld file=%ld pipeline=%ld serve=%ld%s\n",
+      "  scenarios: csv=%ld ddl=%ld file=%ld pipeline=%ld serve=%ld "
+      "schema=%ld%s\n",
       report.csv_cases, report.ddl_cases, report.file_cases,
       report.pipeline_cases, report.serve_cases,
+      report.schema_evolution_cases,
       report.time_budget_hit ? " (time budget hit)" : "");
   out += StrFormat(
       "  outcomes: status_errors=%ld parses_ok=%ld degraded_models=%ld "

@@ -21,7 +21,13 @@ namespace autobi {
 //   - byte-mutated / arbitrary-byte NDJSON request lines through
 //     ServeEngine::HandleLine (sometimes with the serve.request fault point
 //     armed): any input bytes must yield exactly one well-formed JSON
-//     response line with "ok" and, on failure, an error code + message.
+//     response line with "ok" and, on failure, an error code + message,
+//   - a schema-evolution sequence: 1-8 random mutations (row appends, added
+//     and dropped tables, column/table renames, cell replacements, no-ops)
+//     replayed through AutoBi::PredictIncremental with a persistent
+//     IncrementalState, cross-checked against a cold Predict on the same
+//     post-change tables after every step (bit-identical JSON export and
+//     degradation flags when no faults are armed).
 //
 // The invariant checked on every case: the service layer either returns a
 // well-formed Status error or a result whose model passes ValidateBiModel
@@ -35,6 +41,9 @@ struct FaultFuzzOptions {
   double time_budget_sec = 0.0;
   // Scratch directory for the ReadCsvFile scenario; empty skips it.
   std::string scratch_dir = "/tmp";
+  // Empty runs the mixed campaign above; "schema" runs only the
+  // schema-evolution differential scenario (the dedicated ASan CI stage).
+  std::string scenario;
 };
 
 struct FaultFuzzReport {
@@ -45,6 +54,7 @@ struct FaultFuzzReport {
   long file_cases = 0;
   long pipeline_cases = 0;
   long serve_cases = 0;
+  long schema_evolution_cases = 0;
   // Outcome counts (informational; none of these are failures).
   long status_errors = 0;    // Well-formed non-OK Statuses observed.
   long parses_ok = 0;        // Mutated inputs that still parsed.

@@ -44,6 +44,23 @@ int JoinGraph::AddEdge(int src, int dst, std::vector<int> src_columns,
   return edges_.back().id;
 }
 
+bool JoinGraph::StructurallyEqual(const JoinGraph& other) const {
+  if (num_vertices_ != other.num_vertices_) return false;
+  if (edges_.size() != other.edges_.size()) return false;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const JoinEdge& a = edges_[i];
+    const JoinEdge& b = other.edges_[i];
+    if (a.id != b.id || a.src != b.src || a.dst != b.dst ||
+        a.src_columns != b.src_columns || a.dst_columns != b.dst_columns ||
+        a.probability != b.probability || a.weight != b.weight ||
+        a.one_to_one != b.one_to_one || a.pair_id != b.pair_id ||
+        a.source_key != b.source_key) {
+      return false;
+    }
+  }
+  return true;
+}
+
 int JoinGraph::AddOneToOneEdge(int a, int b, std::vector<int> a_columns,
                                std::vector<int> b_columns,
                                double probability) {

@@ -58,6 +58,15 @@ class JoinGraph {
   // Restricts probabilities away from {0,1} so -log stays finite.
   static double ClampProbability(double p);
 
+  // Exact structural equality: same vertex count and the same edge sequence
+  // on every field (endpoints, columns, bit-identical probability/weight,
+  // 1:1 flags, pair and conflict-group ids). Since the downstream global
+  // solve is a deterministic function of the graph (plus options), equal
+  // graphs are the warm-start license of the incremental engine
+  // (core/incremental.h): the previous run's solve output can be reused
+  // wholesale with no bit-identity risk.
+  bool StructurallyEqual(const JoinGraph& other) const;
+
  private:
   int num_vertices_ = 0;
   std::vector<JoinEdge> edges_;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "profile/sketch.h"
 
@@ -43,17 +44,13 @@ void NumericStats(const Column& col, ColumnProfile* p, size_t max_sample) {
   p->sorted_numeric_sample = std::move(numeric);
 }
 
-}  // namespace
-
-ColumnProfile ProfileColumn(const Column& col, const ColumnKeyView& view,
-                            size_t max_sample) {
-  ColumnProfile p;
-  p.type = col.type();
-  p.row_count = col.size();
-  p.non_null_count = col.num_non_null();
-  p.is_numeric =
-      col.type() == ValueType::kInt || col.type() == ValueType::kDouble;
-
+// Single-pass distinct aggregation of `view` into the profile's distinct
+// vectors (hashes/counts/pool/offsets), collision bookkeeping, num_distinct
+// and key_bytes. Shared by full-column profiling and the append-only delta
+// path (MergeAppendedColumnProfile), which runs it over a suffix view.
+void AggregateDistinct(const ColumnKeyView& view, ColumnProfile* out) {
+  ColumnProfile& p = *out;
+  const size_t non_null = view.num_non_null();
   // Single-pass distinct aggregation over an open-addressing table keyed by
   // the cell's stable hash: one slot per distinct hash, carrying the run
   // count and the first (lowest) row. Rows are visited in order, so the
@@ -70,7 +67,7 @@ ColumnProfile ProfileColumn(const Column& col, const ColumnKeyView& view,
   // Sized against the all-distinct worst case at ~0.8 max load; the usual
   // load is distinct/cap, far lower, and prefetching hides the probes.
   size_t cap = 16;
-  while (cap * 4 < p.non_null_count * 5) cap <<= 1;
+  while (cap * 4 < non_null * 5) cap <<= 1;
   const int idx_shift =
       64 - static_cast<int>(std::countr_zero(cap));  // cap is a power of 2.
   static thread_local std::vector<Slot> slots;
@@ -150,11 +147,40 @@ ColumnProfile ProfileColumn(const Column& col, const ColumnKeyView& view,
   }
   p.distinct_offsets.push_back(p.distinct_pool.size());
   p.num_distinct = runs + extra_reps.size();
+  p.key_bytes = view.key_bytes();
+  if (!extra_reps.empty()) {
+    // Canonical collision order: (hash ascending, first-occurrence row
+    // ascending). extra_reps was appended in row order, so a stable sort by
+    // slot hash preserves the per-hash occurrence order.
+    std::stable_sort(extra_reps.begin(), extra_reps.end(),
+                     [&](const std::pair<size_t, uint32_t>& a,
+                         const std::pair<size_t, uint32_t>& b) {
+                       return slots[a.first].hash < slots[b.first].hash;
+                     });
+    p.collision_hashes.reserve(extra_reps.size());
+    p.collision_keys.reserve(extra_reps.size());
+    for (const auto& [slot_idx, row] : extra_reps) {
+      p.collision_hashes.push_back(slots[slot_idx].hash);
+      p.collision_keys.emplace_back(view.key(row));
+    }
+  }
+}
 
+}  // namespace
+
+ColumnProfile ProfileColumn(const Column& col, const ColumnKeyView& view,
+                            size_t max_sample) {
+  ColumnProfile p;
+  p.type = col.type();
+  p.row_count = col.size();
+  p.non_null_count = col.num_non_null();
+  p.is_numeric =
+      col.type() == ValueType::kInt || col.type() == ValueType::kDouble;
+  AggregateDistinct(view, &p);
   if (p.non_null_count > 0) {
     p.distinct_ratio = static_cast<double>(p.num_distinct) /
                        static_cast<double>(p.non_null_count);
-    p.avg_value_length = static_cast<double>(view.key_bytes()) /
+    p.avg_value_length = static_cast<double>(p.key_bytes) /
                          static_cast<double>(p.non_null_count);
   }
   NumericStats(col, &p, max_sample);
@@ -181,7 +207,7 @@ ColumnProfile ProfileColumnLegacy(const Column& col, size_t max_sample) {
   };
   std::unordered_map<std::string, Entry> distinct;
   std::string key;
-  double len_sum = 0.0;
+  size_t len_sum = 0;
   bool first_numeric = true;
   std::vector<double> numeric;
   numeric.reserve(std::min(p.non_null_count, max_sample));
@@ -193,7 +219,7 @@ ColumnProfile ProfileColumnLegacy(const Column& col, size_t max_sample) {
   for (size_t i = 0; i < col.size(); ++i) {
     if (col.IsNull(i)) continue;
     if (col.KeyAt(i, &key)) {
-      len_sum += static_cast<double>(key.size());
+      len_sum += key.size();
       auto [it, inserted] = distinct.try_emplace(key);
       if (inserted) it->second.first_row = static_cast<uint32_t>(i);
       ++it->second.count;
@@ -214,10 +240,12 @@ ColumnProfile ProfileColumnLegacy(const Column& col, size_t max_sample) {
     ++non_null_seen;
   }
   p.num_distinct = distinct.size();
+  p.key_bytes = len_sum;
   if (p.non_null_count > 0) {
     p.distinct_ratio = static_cast<double>(distinct.size()) /
                        static_cast<double>(p.non_null_count);
-    p.avg_value_length = len_sum / static_cast<double>(p.non_null_count);
+    p.avg_value_length = static_cast<double>(len_sum) /
+                         static_cast<double>(p.non_null_count);
   }
   std::sort(numeric.begin(), numeric.end());
   p.sorted_numeric_sample = std::move(numeric);
@@ -246,6 +274,11 @@ ColumnProfile ProfileColumnLegacy(const Column& col, size_t max_sample) {
     int32_t count = entries[i].count;
     while (j < entries.size() && entries[j].hash == entries[i].hash) {
       count += entries[j].count;
+      // A merged run's non-representative keys are true 64-bit collisions;
+      // the (hash, first_row) sort already puts them in first-occurrence
+      // order, matching the hash kernel's bookkeeping.
+      p.collision_hashes.push_back(entries[j].hash);
+      p.collision_keys.push_back(*entries[j].key);
       ++j;
     }
     p.distinct_hashes.push_back(entries[i].hash);
@@ -278,6 +311,142 @@ TableProfile ProfileTable(const Table& table, const TableKeyView& view,
   for (size_t c = 0; c < table.num_columns(); ++c) {
     tp.columns.push_back(
         ProfileColumn(table.column(c), view.column(c), max_sample));
+  }
+  return tp;
+}
+
+ColumnProfile MergeAppendedColumnProfile(const ColumnProfile& old_profile,
+                                         const Column& col,
+                                         size_t max_sample) {
+  // invariant: the caller proved (via the per-column prefix content hash)
+  // that col's first old_profile.row_count rows are byte-identical to what
+  // old_profile summarized — which also pins the declared type.
+  AUTOBI_CHECK(old_profile.row_count <= col.size());
+  AUTOBI_CHECK(old_profile.type == col.type());
+
+  // Aggregate the appended suffix only; everything per-key below is
+  // O(delta). The one full-column pass left is NumericStats at the end.
+  ColumnKeyView delta_view;
+  delta_view.BuildSuffix(col, old_profile.row_count);
+  ColumnProfile delta;
+  AggregateDistinct(delta_view, &delta);
+
+  ColumnProfile m;
+  m.type = col.type();
+  m.row_count = col.size();
+  m.non_null_count = col.num_non_null();
+  m.is_numeric =
+      col.type() == ValueType::kInt || col.type() == ValueType::kDouble;
+  m.key_bytes = old_profile.key_bytes + delta.key_bytes;
+
+  // Sorted merge of the two strictly-increasing distinct-hash vectors. For
+  // a shared hash the old representative wins (its row precedes every delta
+  // row), counts add, and any delta key not already among the old keys of
+  // that hash becomes a collision entry — exactly the bookkeeping a from-
+  // scratch scan would produce, in the same (hash, first-occurrence) order.
+  const std::vector<uint64_t>& oh = old_profile.distinct_hashes;
+  const std::vector<uint64_t>& dh = delta.distinct_hashes;
+  m.distinct_hashes.reserve(oh.size() + dh.size());
+  m.distinct_counts.reserve(oh.size() + dh.size());
+  m.distinct_offsets.reserve(oh.size() + dh.size() + 1);
+  m.distinct_pool.reserve(old_profile.distinct_pool.size() +
+                          delta.distinct_pool.size());
+  size_t i = 0;
+  size_t j = 0;
+  size_t ci = 0;  // Cursor into old_profile.collision_hashes.
+  size_t cj = 0;  // Cursor into delta.collision_hashes.
+  auto emit = [&m](uint64_t hash, int32_t count, std::string_view rep) {
+    m.distinct_hashes.push_back(hash);
+    m.distinct_counts.push_back(count);
+    m.distinct_offsets.push_back(m.distinct_pool.size());
+    m.distinct_pool.append(rep.data(), rep.size());
+  };
+  while (i < oh.size() || j < dh.size()) {
+    bool from_old = j >= dh.size() || (i < oh.size() && oh[i] < dh[j]);
+    bool from_delta = i >= oh.size() || (j < dh.size() && dh[j] < oh[i]);
+    if (from_old) {
+      uint64_t h = oh[i];
+      emit(h, old_profile.distinct_counts[i], old_profile.distinct_key(i));
+      while (ci < old_profile.collision_hashes.size() &&
+             old_profile.collision_hashes[ci] == h) {
+        m.collision_hashes.push_back(h);
+        m.collision_keys.push_back(old_profile.collision_keys[ci]);
+        ++ci;
+      }
+      ++i;
+    } else if (from_delta) {
+      uint64_t h = dh[j];
+      emit(h, delta.distinct_counts[j], delta.distinct_key(j));
+      while (cj < delta.collision_hashes.size() &&
+             delta.collision_hashes[cj] == h) {
+        m.collision_hashes.push_back(h);
+        m.collision_keys.push_back(std::move(delta.collision_keys[cj]));
+        ++cj;
+      }
+      ++j;
+    } else {
+      // Shared hash. Old keys of this hash first (representative + old
+      // collisions), then every delta key of the hash not already present.
+      uint64_t h = oh[i];
+      emit(h,
+           old_profile.distinct_counts[i] + delta.distinct_counts[j],
+           old_profile.distinct_key(i));
+      size_t old_coll_begin = ci;
+      while (ci < old_profile.collision_hashes.size() &&
+             old_profile.collision_hashes[ci] == h) {
+        m.collision_hashes.push_back(h);
+        m.collision_keys.push_back(old_profile.collision_keys[ci]);
+        ++ci;
+      }
+      auto known = [&](std::string_view key) {
+        if (key == old_profile.distinct_key(i)) return true;
+        for (size_t k = old_coll_begin; k < ci; ++k) {
+          if (key == old_profile.collision_keys[k]) return true;
+        }
+        return false;
+      };
+      if (!known(delta.distinct_key(j))) {
+        m.collision_hashes.push_back(h);
+        m.collision_keys.emplace_back(delta.distinct_key(j));
+      }
+      while (cj < delta.collision_hashes.size() &&
+             delta.collision_hashes[cj] == h) {
+        if (!known(delta.collision_keys[cj])) {
+          m.collision_hashes.push_back(h);
+          m.collision_keys.push_back(std::move(delta.collision_keys[cj]));
+        }
+        ++cj;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  m.distinct_offsets.push_back(m.distinct_pool.size());
+  m.num_distinct = m.distinct_hashes.size() + m.collision_keys.size();
+  if (m.non_null_count > 0) {
+    m.distinct_ratio = static_cast<double>(m.num_distinct) /
+                       static_cast<double>(m.non_null_count);
+    m.avg_value_length = static_cast<double>(m.key_bytes) /
+                         static_cast<double>(m.non_null_count);
+  }
+  // Min/max and the strided sample depend on the total non-null count (the
+  // stride phase restarts from row 0), so they are recomputed over the full
+  // column — a cheap numeric scan, not a key-rendering pass.
+  NumericStats(col, &m, max_sample);
+  return m;
+}
+
+TableProfile MergeAppendedTableProfile(const TableProfile& old_profile,
+                                       const Table& table,
+                                       size_t max_sample) {
+  AUTOBI_CHECK(old_profile.columns.size() == table.num_columns());
+  TableProfile tp;
+  tp.row_count = table.num_rows();
+  tp.columns.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    tp.columns.push_back(MergeAppendedColumnProfile(old_profile.columns[c],
+                                                    table.column(c),
+                                                    max_sample));
   }
   return tp;
 }

@@ -55,6 +55,18 @@ struct ColumnProfile {
   std::vector<double> sorted_numeric_sample;
   // Average rendered value length (characters).
   double avg_value_length = 0.0;
+  // Exact total canonical key bytes over all non-null cells
+  // (avg_value_length = key_bytes / non_null_count). An integer sum, so
+  // append-only deltas merge it exactly without rescanning old rows.
+  size_t key_bytes = 0;
+  // True 64-bit collision bookkeeping: distinct keys sharing a hash beyond
+  // the run representative, ordered by (hash ascending, first-occurrence row
+  // ascending), the two vectors parallel. Almost always empty; kept so
+  // num_distinct (= distinct_hashes.size() + collision_keys.size()) stays
+  // exact AND mergeable under append-only deltas — a cross-batch collision
+  // is only detectable if the representative keys travel with the profile.
+  std::vector<uint64_t> collision_hashes;
+  std::vector<std::string> collision_keys;
 
   // Canonical key bytes of the i-th distinct value (hash order).
   std::string_view distinct_key(size_t i) const {
@@ -93,6 +105,24 @@ ColumnProfile ProfileColumnLegacy(const Column& col, size_t max_sample = 512);
 TableProfile ProfileTable(const Table& table, size_t max_sample = 512);
 TableProfile ProfileTable(const Table& table, const TableKeyView& view,
                           size_t max_sample = 512);
+
+// Merges a cached profile forward over an append-only delta: `old_profile`
+// must be the profile of `col`'s first old_profile.row_count rows (the
+// caller establishes this via the per-column prefix content hash — see
+// core/schema_diff.h), and the result is bit-identical to
+// ProfileColumn(col) on every field. Key rendering, hashing, and distinct
+// aggregation run only over the appended suffix rows; the one full-column
+// pass left is the cheap numeric min/max/sample scan, whose strided sample
+// positions depend on the total non-null count and so cannot be merged.
+ColumnProfile MergeAppendedColumnProfile(const ColumnProfile& old_profile,
+                                         const Column& col,
+                                         size_t max_sample = 512);
+
+// MergeAppendedColumnProfile over every column of a table; bit-identical to
+// ProfileTable(table) under the same prefix contract per column.
+TableProfile MergeAppendedTableProfile(const TableProfile& old_profile,
+                                       const Table& table,
+                                       size_t max_sample = 512);
 
 // A schema-shaped profile that never scans rows: per-column types only, zero
 // counts and empty distinct sets. Used when a RunContext row/cell budget

@@ -40,24 +40,14 @@ bool KmvScreenRejects(const ColumnProfile& a, const ColumnProfile& b,
   return est.containment + options.kmv_slack < threshold;
 }
 
-// Result of scanning one ordered table pair: the INDs found plus the pair's
-// share of the run counters (aggregated serially by DiscoverInds).
-struct PairScan {
-  std::vector<Ind> inds;
-  IndStats stats;
-};
+}  // namespace
 
-// Scans one ordered table pair (ti -> tj) for unary and composite INDs.
-// Pure function of its inputs apart from the (internally synchronized)
-// composite-key cache, so pairs can be scanned on any thread; the caller
-// concatenates per-pair results in serial pair order to keep the output
-// identical to a single-threaded scan.
-PairScan ScanTablePair(const std::vector<Table>& tables,
-                       const std::vector<TableProfile>& profiles,
-                       const std::vector<std::vector<Ucc>>& uccs,
-                       const IndOptions& options, CompositeKeyCache* cache,
-                       int ti, int tj) {
-  PairScan out;
+IndPairScan ScanTablePair(const std::vector<Table>& tables,
+                          const std::vector<TableProfile>& profiles,
+                          const std::vector<std::vector<Ucc>>& uccs,
+                          const IndOptions& options, CompositeKeyCache* cache,
+                          int ti, int tj) {
+  IndPairScan out;
   std::vector<Ind>& result = out.inds;
   IndStats& stats = out.stats;
   stats.pairs_scanned = 1;
@@ -195,8 +185,6 @@ PairScan ScanTablePair(const std::vector<Table>& tables,
   return out;
 }
 
-}  // namespace
-
 std::shared_ptr<const CompositeKeyCache::HashSet> CompositeKeyCache::Get(
     const Table& table, int table_index, const std::vector<int>& columns) {
   std::promise<std::shared_ptr<const HashSet>> promise;
@@ -222,6 +210,30 @@ std::shared_ptr<const CompositeKeyCache::HashSet> CompositeKeyCache::Get(
     return set;
   }
   return future.get();
+}
+
+void CompositeKeyCache::Seed(int table_index, const std::vector<int>& columns,
+                             std::shared_ptr<const HashSet> set) {
+  std::promise<std::shared_ptr<const HashSet>> promise;
+  promise.set_value(std::move(set));
+  std::lock_guard<std::mutex> lock(mu_);
+  // emplace keeps any existing entry, so seeding never clobbers a build.
+  entries_.emplace(Key{table_index, columns}, promise.get_future().share());
+}
+
+std::vector<std::pair<CompositeKeyCache::Key,
+                      std::shared_ptr<const CompositeKeyCache::HashSet>>>
+CompositeKeyCache::Entries() {
+  std::vector<std::pair<Key, std::shared_ptr<const HashSet>>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [key, future] : entries_) {
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      out.emplace_back(key, future.get());
+    }
+  }
+  return out;
 }
 
 namespace {
@@ -333,20 +345,20 @@ std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
       if (ti != tj) pairs.emplace_back(ti, tj);
     }
   }
-  std::vector<PairScan> per_pair = ParallelMap(
+  std::vector<IndPairScan> per_pair = ParallelMap(
       pairs.size(),
       [&](size_t p) {
         // Item-boundary stop poll: once the deadline passes or the run is
         // cancelled, remaining pairs contribute nothing (the caller marks
         // the stage degraded). A null/untripped context changes nothing.
-        if (ctx != nullptr && ctx->StopRequested()) return PairScan{};
+        if (ctx != nullptr && ctx->StopRequested()) return IndPairScan{};
         return ScanTablePair(tables, profiles, uccs, options, cache,
                              pairs[p].first, pairs[p].second);
       },
       options.threads);
   std::vector<Ind> result;
   IndStats total;
-  for (PairScan& part : per_pair) {
+  for (IndPairScan& part : per_pair) {
     total.Add(part.stats);
     result.insert(result.end(), std::make_move_iterator(part.inds.begin()),
                   std::make_move_iterator(part.inds.end()));

@@ -99,17 +99,29 @@ struct IndStats {
 class CompositeKeyCache {
  public:
   using HashSet = std::unordered_set<uint64_t>;
+  using Key = std::pair<int, std::vector<int>>;
 
   // Returns the tuple-hash set of `columns` over `table` (which must be the
   // table at `table_index` of the case), building it on first request.
   std::shared_ptr<const HashSet> Get(const Table& table, int table_index,
                                      const std::vector<int>& columns);
 
-  // Number of sets actually constructed so far.
+  // Pre-seeds an already-built set (kept if the key is already present).
+  // The incremental engine re-injects sets of hash-proven-unchanged tables
+  // from the previous run this way: a set is a pure function of the table
+  // cells and the key columns, and consumers only probe it (count/size), so
+  // a reused set is observationally identical to a rebuilt one.
+  void Seed(int table_index, const std::vector<int>& columns,
+            std::shared_ptr<const HashSet> set);
+
+  // Snapshot of every entry whose set is ready (seeded or already built);
+  // in-flight builds are skipped. Used to persist sets across runs.
+  std::vector<std::pair<Key, std::shared_ptr<const HashSet>>> Entries();
+
+  // Number of sets actually constructed so far (seeded sets not included).
   size_t builds() const { return builds_.load(std::memory_order_relaxed); }
 
  private:
-  using Key = std::pair<int, std::vector<int>>;
   std::mutex mu_;
   std::map<Key, std::shared_future<std::shared_ptr<const HashSet>>> entries_;
   std::atomic<size_t> builds_{0};
@@ -155,6 +167,26 @@ CompositeKeyCache::HashSet BuildCompositeKeySetLegacy(
     const Table& table, const std::vector<int>& cols);
 double CompositeContainmentLegacy(const Table& ta, const std::vector<int>& ca,
                                   const Table& tb, const std::vector<int>& cb);
+
+// Result of scanning one ordered table pair: the INDs found plus the pair's
+// share of the run counters (aggregated serially by DiscoverInds).
+struct IndPairScan {
+  std::vector<Ind> inds;
+  IndStats stats;
+};
+
+// Scans one ordered table pair (ti -> tj) for unary and composite INDs —
+// exactly the per-pair unit DiscoverInds fans out. Pure function of its
+// inputs apart from the (internally synchronized) composite-key cache, so
+// the incremental engine (core/incremental.h) can re-run just the pairs
+// touching changed tables and splice the results into cached ones:
+// concatenating per-pair results in DiscoverInds' serial pair order
+// reproduces a full scan byte-for-byte.
+IndPairScan ScanTablePair(const std::vector<Table>& tables,
+                          const std::vector<TableProfile>& profiles,
+                          const std::vector<std::vector<Ucc>>& uccs,
+                          const IndOptions& options, CompositeKeyCache* cache,
+                          int ti, int tj);
 
 // Discovers all approximate INDs between distinct tables of `tables`.
 // `profiles` must come from ProfileTables(tables); `uccs[i]` are the UCCs of

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "core/incremental.h"
 #include "core/model_export.h"
 #include "fuzz/faultpoints.h"
 #include "profile/sketch.h"
@@ -154,6 +155,47 @@ Json CacheStatsToJson(const PredictCache::Stats& s) {
   return obj;
 }
 
+// Appends one JSON cell to a column, coercing numbers to the column's
+// established type. Shared by the full columns-form upload and the
+// update_table append path so both enforce identical typing rules.
+Status AppendJsonCell(Column& out, const Json& v, size_t r) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out.AppendNull();
+      break;
+    case Json::Type::kNumber:
+      // Integral JSON numbers become int cells, fractional ones double
+      // cells — but a column must stay single-typed, so once the column
+      // has a type, coerce to it.
+      if (out.type() == ValueType::kDouble) {
+        out.AppendDouble(v.AsDouble());
+      } else if (out.type() == ValueType::kInt) {
+        out.AppendInt(v.AsInt());
+      } else if (v.AsDouble() == double(v.AsInt()) &&
+                 double(v.AsInt()) == v.AsDouble()) {
+        out.AppendInt(v.AsInt());
+      } else {
+        out.AppendDouble(v.AsDouble());
+      }
+      break;
+    case Json::Type::kString:
+      if (out.type() != ValueType::kNull &&
+          out.type() != ValueType::kString) {
+        return Status::InvalidInput(StrFormat(
+            "column '%s' mixes strings with %s cells",
+            out.name().c_str(),
+            out.type() == ValueType::kInt ? "int" : "double"));
+      }
+      out.AppendString(v.AsString());
+      break;
+    default:
+      return Status::InvalidInput(StrFormat(
+          "column '%s' row %zu: cells must be null/number/string",
+          out.name().c_str(), r));
+  }
+  return Status::Ok();
+}
+
 StatusOr<Table> TableFromColumnsJson(const std::string& name,
                                      const Json& columns) {
   Table table(name);
@@ -175,47 +217,60 @@ StatusOr<Table> TableFromColumnsJson(const std::string& name,
     }
     Column& out = table.AddColumn(std::move(col_name));
     for (size_t r = 0; r < values->size(); ++r) {
-      const Json& v = values->at(r);
-      switch (v.type()) {
-        case Json::Type::kNull:
-          out.AppendNull();
-          break;
-        case Json::Type::kNumber:
-          // Integral JSON numbers become int cells, fractional ones double
-          // cells — but a column must stay single-typed, so once the column
-          // has a type, coerce to it.
-          if (out.type() == ValueType::kDouble) {
-            out.AppendDouble(v.AsDouble());
-          } else if (out.type() == ValueType::kInt) {
-            out.AppendInt(v.AsInt());
-          } else if (v.AsDouble() == double(v.AsInt()) &&
-                     double(v.AsInt()) == v.AsDouble()) {
-            out.AppendInt(v.AsInt());
-          } else {
-            out.AppendDouble(v.AsDouble());
-          }
-          break;
-        case Json::Type::kString:
-          if (out.type() != ValueType::kNull &&
-              out.type() != ValueType::kString) {
-            return Status::InvalidInput(StrFormat(
-                "column '%s' mixes strings with %s cells",
-                out.name().c_str(),
-                out.type() == ValueType::kInt ? "int" : "double"));
-          }
-          out.AppendString(v.AsString());
-          break;
-        default:
-          return Status::InvalidInput(StrFormat(
-              "column '%s' row %zu: cells must be null/number/string",
-              out.name().c_str(), r));
-      }
+      AUTOBI_RETURN_IF_ERROR(AppendJsonCell(out, values->at(r), r));
     }
   }
   if (!table.Validate()) {
     return Status::InvalidInput("columns have unequal lengths");
   }
   return table;
+}
+
+// Appends a columns-form delta to `table` in place: the delta must carry
+// exactly the table's columns (same names, same order) with equal-length
+// value arrays, typed compatibly with the existing cells. The append-only
+// shape is what the incremental engine's schema diff recognizes as
+// kAppended — old rows keep their byte-identical prefix.
+Status AppendDeltaColumns(Table* table, const Json& columns) {
+  if (columns.size() != table->num_columns()) {
+    return Status::InvalidInput(StrFormat(
+        "delta has %zu columns, table '%s' has %zu", columns.size(),
+        table->name().c_str(), table->num_columns()));
+  }
+  // Validate shape before mutating anything.
+  size_t rows = 0;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const Json& col = columns.at(i);
+    if (!col.is_object()) {
+      return Status::InvalidInput("each column must be an object");
+    }
+    AUTOBI_ASSIGN_OR_RETURN(std::string col_name,
+                            col.GetString("name", std::string()));
+    if (col_name != table->column(i).name()) {
+      return Status::InvalidInput(StrFormat(
+          "delta column %zu is '%s', table has '%s' (append must keep the "
+          "schema)",
+          i, col_name.c_str(), table->column(i).name().c_str()));
+    }
+    const Json* values = col.Find("values");
+    if (values == nullptr || !values->is_array()) {
+      return Status::InvalidInput(StrFormat(
+          "column '%s' needs a 'values' array", col_name.c_str()));
+    }
+    if (i == 0) {
+      rows = values->size();
+    } else if (values->size() != rows) {
+      return Status::InvalidInput("delta columns have unequal lengths");
+    }
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const Json* values = columns.at(i).Find("values");
+    Column& out = table->column(i);
+    for (size_t r = 0; r < values->size(); ++r) {
+      AUTOBI_RETURN_IF_ERROR(AppendJsonCell(out, values->at(r), r));
+    }
+  }
+  return Status::Ok();
 }
 
 StatusOr<AutoBiMode> ParseMode(std::string_view name) {
@@ -298,6 +353,8 @@ Json ServeEngine::Handle(const Json& request) {
         resp = HandleCloseSession(request);
       } else if (*verb == "upload_table") {
         resp = HandleUploadTable(request);
+      } else if (*verb == "update_table") {
+        resp = HandleUpdateTable(request);
       } else if (*verb == "predict") {
         resp = HandlePredict(request);
       } else if (*verb == "get_model") {
@@ -472,6 +529,67 @@ Json ServeEngine::HandleUploadTable(const Json& req) {
   return resp;
 }
 
+Json ServeEngine::HandleUpdateTable(const Json& req) {
+  StatusOr<std::string> id = req.GetString("session", std::string());
+  if (!id.ok()) return MakeErrorResponse(&req, id.status());
+  StatusOr<std::string> name = req.GetString("name", std::string());
+  if (!name.ok()) return MakeErrorResponse(&req, name.status());
+  if (name->empty()) {
+    return MakeErrorResponse(
+        &req, Status::InvalidInput("update_table needs a 'name'"));
+  }
+  const Json* columns = req.Find("columns");
+  if (columns == nullptr || !columns->is_array()) {
+    return MakeErrorResponse(
+        &req, Status::InvalidInput(
+                  "update_table needs 'columns' (array of appended rows)"));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(*id);
+  if (it == sessions_.end()) {
+    return MakeErrorResponse(
+        &req, Status::InvalidInput(
+                  StrFormat("unknown session '%s'", id->c_str())));
+  }
+  Session& session = it->second;
+  // Copy-on-write like upload_table: the append mutates a fresh copy, so a
+  // shape/type error discards it and Predicts on the old snapshot are
+  // unaffected. The committed table keeps its old rows byte-identical —
+  // the incremental engine's diff classifies it as append-only.
+  auto next = std::make_shared<std::vector<Table>>(*session.tables);
+  Table* target = nullptr;
+  for (Table& t : *next) {
+    if (t.name() == *name) {
+      target = &t;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return MakeErrorResponse(
+        &req, Status::InvalidInput(StrFormat(
+                  "unknown table '%s' (upload_table first)", name->c_str())));
+  }
+  const size_t rows_before = target->num_rows();
+  Status appended = AppendDeltaColumns(target, *columns);
+  if (!appended.ok()) {
+    return MakeErrorResponse(&req, appended.WithContext("update_table"));
+  }
+  const uint64_t content_hash = TableContentHash(*target);
+  const size_t rows_after = target->num_rows();
+  session.tables = std::move(next);
+
+  Json resp = OkResponse(req);
+  resp.Set("table", Json::MakeString(*name));
+  resp.Set("rows_appended", Json::MakeInt(int64_t(rows_after - rows_before)));
+  resp.Set("rows", Json::MakeInt(int64_t(rows_after)));
+  resp.Set("content_hash",
+           Json::MakeString(StrFormat("%016llx",
+                                      static_cast<unsigned long long>(
+                                          content_hash))));
+  return resp;
+}
+
 Json ServeEngine::HandlePredict(const Json& req) {
   StatusOr<std::string> id = req.GetString("session", std::string());
   if (!id.ok()) return MakeErrorResponse(&req, id.status());
@@ -483,6 +601,13 @@ Json ServeEngine::HandlePredict(const Json& req) {
   if (!mode_name.ok()) return MakeErrorResponse(&req, mode_name.status());
   StatusOr<AutoBiMode> mode = ParseMode(*mode_name);
   if (!mode.ok()) return MakeErrorResponse(&req, mode.status());
+  // Opt-in delta path: diff against the session's previous incremental run
+  // and recompute only what changed. Bit-identical joins/degradation to a
+  // plain predict over the same tables; the response additionally carries
+  // the "incremental" counters. Plain predicts keep the solve-memo
+  // semantics (the delta path populates but never consults the memo).
+  StatusOr<bool> incremental = req.GetBool("incremental", false);
+  if (!incremental.ok()) return MakeErrorResponse(&req, incremental.status());
 
   QosPolicy policy = PolicyForTier(*tier);
   // Explicit per-request overrides on top of the tier defaults. Budgets are
@@ -539,8 +664,28 @@ Json ServeEngine::HandlePredict(const Json& req) {
   ab.cache = &cache_;
   AutoBi predictor(model_, ab);
   ++predicts_;
-  StatusOr<AutoBiResult> result = predictor.Predict(*tables, &ctx);
-  if (!result.ok()) return MakeErrorResponse(&req, result.status());
+  // Take the session's incremental state (if any) for exclusive use — the
+  // engine must not share one state across concurrent calls. It goes back
+  // on the session after the run, errors included (a failed run leaves the
+  // state describing the last healthy one).
+  std::shared_ptr<IncrementalState> inc_state;
+  if (*incremental) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(*id);
+    if (it != sessions_.end()) inc_state = std::move(it->second.incremental);
+    if (inc_state == nullptr) inc_state = std::make_shared<IncrementalState>();
+  }
+  StatusOr<AutoBiResult> result =
+      *incremental ? predictor.PredictIncremental(*tables, &ctx, inc_state.get())
+                   : predictor.Predict(*tables, &ctx);
+  if (!result.ok()) {
+    if (inc_state != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = sessions_.find(*id);
+      if (it != sessions_.end()) it->second.incremental = std::move(inc_state);
+    }
+    return MakeErrorResponse(&req, result.status());
+  }
 
   std::vector<NamedJoin> joins = NameJoins(*tables, result->model);
 
@@ -559,6 +704,7 @@ Json ServeEngine::HandlePredict(const Json& req) {
       session.has_predicted = true;
       session.last_model = result->model;
       session.last_tables = tables;
+      if (inc_state != nullptr) session.incremental = std::move(inc_state);
     }
   }
 
@@ -578,6 +724,21 @@ Json ServeEngine::HandlePredict(const Json& req) {
   timing.Set("total_seconds", Json::MakeDouble(result->timing.Total()));
   timing.Set("threads", Json::MakeInt(result->timing.threads));
   resp.Set("timing", std::move(timing));
+  if (*incremental) {
+    Json inc = Json::MakeObject();
+    inc.Set("used", Json::MakeBool(result->incremental.used));
+    inc.Set("tables_reprofiled",
+            Json::MakeInt(int64_t(result->incremental.tables_reprofiled)));
+    inc.Set("tables_delta_merged",
+            Json::MakeInt(int64_t(result->incremental.tables_delta_merged)));
+    inc.Set("pairs_rescored",
+            Json::MakeInt(int64_t(result->incremental.pairs_rescored)));
+    inc.Set("pairs_reused",
+            Json::MakeInt(int64_t(result->incremental.pairs_reused)));
+    inc.Set("warm_start_used",
+            Json::MakeBool(result->incremental.warm_start_used));
+    resp.Set("incremental", std::move(inc));
+  }
   resp.Set("degraded", Json::MakeBool(result->degradation.Any()));
   if (result->degradation.Any()) {
     Json triggers = Json::MakeArray();

@@ -24,8 +24,22 @@ TEST(FaultFuzzSmoke, ThousandCasesNoInvariantViolations) {
   EXPECT_GT(report.ddl_cases, 0);
   EXPECT_GT(report.file_cases, 0);
   EXPECT_GT(report.pipeline_cases, 0);
+  EXPECT_GT(report.schema_evolution_cases, 0);
   EXPECT_GT(report.injected_faults, 0);
   EXPECT_GT(report.degraded_models, 0);
+}
+
+// The dedicated schema-evolution campaign: every case replays a mutation
+// sequence through PredictIncremental and cross-checks a cold Predict after
+// each step. Any incremental/cold divergence is an invariant violation.
+TEST(FaultFuzzSmoke, SchemaEvolutionDifferentialCampaign) {
+  FaultFuzzOptions options;
+  options.seed = 20260808;
+  options.cases = 150;
+  options.scenario = "schema";
+  FaultFuzzReport report = RunFaultFuzz(options);
+  EXPECT_EQ(report.failures, 0) << FormatFaultFuzzReport(report);
+  EXPECT_EQ(report.schema_evolution_cases, 150);
 }
 
 TEST(FaultFuzzSmoke, DeterministicAcrossRuns) {

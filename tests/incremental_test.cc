@@ -1,0 +1,356 @@
+// Differential-equivalence suite for the incremental re-prediction engine
+// (core/incremental.h): for every mutation kind — no-op, append rows, add
+// table, drop table, rename column, rename table, replace cells —
+// PredictIncremental over the mutated tables must be bit-identical to a
+// cold Predict on the same tables: joins, graph, backbone/recall edge sets,
+// solver stats, degradation markers, and the JSON model export, at 1/2/8
+// threads. The observability counters must also report exactly how much
+// work the delta path did.
+
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/strings.h"
+#include "core/auto_bi.h"
+#include "core/model_export.h"
+#include "core/trainer.h"
+#include "synth/corpus.h"
+#include "table/table.h"
+
+namespace autobi {
+namespace {
+
+// Shared tiny trained model (the suite probes the delta machinery, not
+// classifier quality).
+const LocalModel& TestModel() {
+  static const LocalModel* model = [] {
+    CorpusOptions copt;
+    copt.seed = 321;
+    copt.training_cases = 12;
+    TrainerOptions topt;
+    topt.forest.num_trees = 4;
+    return new LocalModel(TrainLocalModel(BuildTrainingCorpus(copt), topt));
+  }();
+  return *model;
+}
+
+// A 4-table snowflake: orders -> customers -> regions, orders -> products.
+// Six unordered pairs, so per-pair reuse counters are meaningful.
+std::vector<Table> BaseTables() {
+  std::vector<Table> tables;
+
+  Table customers("customers");
+  Column& cid = customers.AddColumn("cust_id");
+  Column& cname = customers.AddColumn("cust_name");
+  Column& cregion = customers.AddColumn("region_id");
+  for (int i = 0; i < 40; ++i) {
+    cid.AppendInt(1000 + i);
+    cname.AppendString("customer_" + std::to_string(i));
+    cregion.AppendInt(i % 5);
+  }
+  tables.push_back(std::move(customers));
+
+  Table regions("regions");
+  Column& rid = regions.AddColumn("region_id");
+  Column& rname = regions.AddColumn("region_name");
+  for (int i = 0; i < 5; ++i) {
+    rid.AppendInt(i);
+    rname.AppendString("region_" + std::to_string(i));
+  }
+  tables.push_back(std::move(regions));
+
+  Table products("products");
+  Column& pid = products.AddColumn("prod_id");
+  Column& pname = products.AddColumn("prod_name");
+  for (int i = 0; i < 30; ++i) {
+    pid.AppendInt(500 + i);
+    pname.AppendString("product_" + std::to_string(i));
+  }
+  tables.push_back(std::move(products));
+
+  Table orders("orders");
+  Column& oid = orders.AddColumn("order_id");
+  Column& ocust = orders.AddColumn("cust_id");
+  Column& oprod = orders.AddColumn("prod_id");
+  Column& oqty = orders.AddColumn("quantity");
+  for (int i = 0; i < 150; ++i) {
+    oid.AppendInt(i + 1);
+    ocust.AppendInt(1000 + (i * 13) % 40);
+    oprod.AppendInt(500 + (i * 7) % 30);
+    oqty.AppendInt(1 + i % 9);
+  }
+  tables.push_back(std::move(orders));
+
+  return tables;
+}
+
+// The full bit-identity contract, field by field.
+void ExpectBitIdentical(const AutoBiResult& incr, const AutoBiResult& cold,
+                        const std::vector<Table>& tables) {
+  ASSERT_EQ(incr.model.joins.size(), cold.model.joins.size());
+  for (size_t i = 0; i < cold.model.joins.size(); ++i) {
+    EXPECT_TRUE(incr.model.joins[i] == cold.model.joins[i]) << i;
+  }
+  EXPECT_TRUE(incr.graph.StructurallyEqual(cold.graph));
+  EXPECT_EQ(incr.backbone_edges, cold.backbone_edges);
+  EXPECT_EQ(incr.recall_edges, cold.recall_edges);
+  EXPECT_EQ(incr.solver_stats.one_mca_calls, cold.solver_stats.one_mca_calls);
+  EXPECT_EQ(incr.solver_stats.nodes, cold.solver_stats.nodes);
+  EXPECT_EQ(incr.solver_stats.budget_exhausted,
+            cold.solver_stats.budget_exhausted);
+  EXPECT_EQ(incr.degradation.Any(), cold.degradation.Any());
+  EXPECT_EQ(incr.degradation.ucc.degraded, cold.degradation.ucc.degraded);
+  EXPECT_EQ(incr.degradation.ind.degraded, cold.degradation.ind.degraded);
+  EXPECT_EQ(incr.degradation.local_inference.degraded,
+            cold.degradation.local_inference.degraded);
+  EXPECT_EQ(incr.degradation.global_predict.degraded,
+            cold.degradation.global_predict.degraded);
+  StatusOr<std::string> incr_json = ExportJson(tables, incr.model);
+  StatusOr<std::string> cold_json = ExportJson(tables, cold.model);
+  ASSERT_TRUE(incr_json.ok() && cold_json.ok());
+  EXPECT_EQ(*incr_json, *cold_json);
+}
+
+struct Mutation {
+  const char* name;
+  std::function<void(std::vector<Table>*)> apply;
+  // Expected counters of the incremental run after the mutation
+  // (4 base tables -> 6 unordered pairs).
+  size_t reprofiled;
+  size_t delta_merged;
+  size_t rescored;
+  size_t reused;
+};
+
+std::vector<Mutation> Mutations() {
+  std::vector<Mutation> muts;
+  muts.push_back({"no-op", [](std::vector<Table>*) {}, 0, 0, 0, 6});
+  muts.push_back({"append-rows",
+                  [](std::vector<Table>* t) {
+                    Table& orders = (*t)[3];
+                    for (int i = 150; i < 162; ++i) {
+                      orders.column(0).AppendInt(i + 1);
+                      orders.column(1).AppendInt(1000 + (i * 13) % 40);
+                      orders.column(2).AppendInt(500 + (i * 7) % 30);
+                      orders.column(3).AppendInt(1 + i % 9);
+                    }
+                  },
+                  0, 1, 3, 3});
+  muts.push_back({"add-table",
+                  [](std::vector<Table>* t) {
+                    Table shippers("shippers");
+                    Column& sid = shippers.AddColumn("shipper_id");
+                    Column& sname = shippers.AddColumn("shipper_name");
+                    for (int i = 0; i < 6; ++i) {
+                      sid.AppendInt(i);
+                      sname.AppendString("shipper_" + std::to_string(i));
+                    }
+                    t->push_back(std::move(shippers));
+                  },
+                  1, 0, 4, 6});
+  muts.push_back({"drop-table",
+                  [](std::vector<Table>* t) { t->erase(t->begin() + 2); },
+                  0, 0, 0, 3});
+  muts.push_back({"rename-column",
+                  [](std::vector<Table>* t) {
+                    (*t)[0].column(1).set_name("customer_name");
+                  },
+                  0, 0, 3, 3});
+  muts.push_back({"rename-table",
+                  [](std::vector<Table>* t) { (*t)[2].set_name("catalog"); },
+                  0, 0, 3, 3});
+  muts.push_back({"replace-cells",
+                  [](std::vector<Table>* t) {
+                    Table& orders = (*t)[3];
+                    Column fresh("quantity", ValueType::kInt);
+                    for (int i = 0; i < 150; ++i) fresh.AppendInt(9 - i % 9);
+                    orders.column(3) = std::move(fresh);
+                  },
+                  1, 0, 3, 3});
+  return muts;
+}
+
+class IncrementalDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalDifferentialTest, EveryMutationKindMatchesColdPredict) {
+  const int threads = GetParam();
+  AutoBiOptions options;
+  options.threads = threads;
+  AutoBi predictor(&TestModel(), options);
+
+  for (const Mutation& mut : Mutations()) {
+    SCOPED_TRACE(StrFormat("mutation=%s threads=%d", mut.name, threads));
+    IncrementalState state;
+
+    // Seed: first incremental call is a cold rebuild through the engine.
+    std::vector<Table> tables = BaseTables();
+    StatusOr<AutoBiResult> seed =
+        predictor.PredictIncremental(tables, nullptr, &state);
+    ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+    EXPECT_FALSE(seed->incremental.used);
+    EXPECT_EQ(seed->incremental.tables_reprofiled, 4u);
+    EXPECT_EQ(seed->incremental.pairs_rescored, 6u);
+    ASSERT_TRUE(state.valid);
+
+    // Differential step: incremental on the mutated tables vs cold.
+    mut.apply(&tables);
+    StatusOr<AutoBiResult> incr =
+        predictor.PredictIncremental(tables, nullptr, &state);
+    ASSERT_TRUE(incr.ok()) << incr.status().ToString();
+    StatusOr<AutoBiResult> cold = predictor.Predict(tables, nullptr);
+    ASSERT_TRUE(cold.ok());
+    ExpectBitIdentical(*incr, *cold, tables);
+
+    EXPECT_TRUE(incr->incremental.used);
+    EXPECT_EQ(incr->incremental.tables_reprofiled, mut.reprofiled);
+    EXPECT_EQ(incr->incremental.tables_delta_merged, mut.delta_merged);
+    EXPECT_EQ(incr->incremental.pairs_rescored, mut.rescored);
+    EXPECT_EQ(incr->incremental.pairs_reused, mut.reused);
+
+    // The committed state is a sound baseline: an immediate no-op re-run
+    // reuses everything, warm-starts the solve, and still matches cold.
+    StatusOr<AutoBiResult> again =
+        predictor.PredictIncremental(tables, nullptr, &state);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->incremental.used);
+    EXPECT_EQ(again->incremental.tables_reprofiled, 0u);
+    EXPECT_EQ(again->incremental.pairs_rescored, 0u);
+    EXPECT_TRUE(again->incremental.warm_start_used);
+    ExpectBitIdentical(*again, *cold, tables);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, IncrementalDifferentialTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(IncrementalTest, NoOpWarmStartsTheSolve) {
+  AutoBiOptions options;
+  options.threads = 2;
+  AutoBi predictor(&TestModel(), options);
+  IncrementalState state;
+  std::vector<Table> tables = BaseTables();
+  ASSERT_TRUE(predictor.PredictIncremental(tables, nullptr, &state).ok());
+  StatusOr<AutoBiResult> noop =
+      predictor.PredictIncremental(tables, nullptr, &state);
+  ASSERT_TRUE(noop.ok());
+  EXPECT_TRUE(noop->incremental.used);
+  EXPECT_TRUE(noop->incremental.warm_start_used);
+  EXPECT_EQ(noop->incremental.pairs_reused, 6u);
+}
+
+TEST(IncrementalTest, OptionsChangeForcesColdRebuild) {
+  std::vector<Table> tables = BaseTables();
+  IncrementalState state;
+  AutoBiOptions options;
+  options.threads = 1;
+  AutoBi predictor(&TestModel(), options);
+  ASSERT_TRUE(predictor.PredictIncremental(tables, nullptr, &state).ok());
+  ASSERT_TRUE(state.valid);
+
+  // Thread count is execution-only (results are bit-identical at any
+  // thread count), so it is excluded from the options fingerprint and the
+  // delta path still engages.
+  AutoBiOptions rethreaded = options;
+  rethreaded.threads = 4;
+  AutoBi rethreaded_predictor(&TestModel(), rethreaded);
+  StatusOr<AutoBiResult> same =
+      rethreaded_predictor.PredictIncremental(tables, nullptr, &state);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->incremental.used);
+
+  // A solve-shaping option, by contrast, must force a cold rebuild
+  // (used == false), not silently reuse results computed under the old
+  // options.
+  AutoBiOptions changed = options;
+  changed.tau = 0.75;
+  AutoBi changed_predictor(&TestModel(), changed);
+  StatusOr<AutoBiResult> rebuilt =
+      changed_predictor.PredictIncremental(tables, nullptr, &state);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt->incremental.used);
+}
+
+TEST(IncrementalTest, DegradedRunsMatchColdButNeverCommitState) {
+  std::vector<Table> tables = BaseTables();
+  AutoBiOptions options;
+  options.threads = 1;
+  AutoBi predictor(&TestModel(), options);
+  IncrementalState state;
+  ASSERT_TRUE(predictor.PredictIncremental(tables, nullptr, &state).ok());
+  ASSERT_TRUE(state.valid);
+
+  // A candidate-pair budget trips mid-engine (it is not part of the
+  // fallback screen): the degraded result still matches cold under the
+  // same budgets, and the state keeps describing the last healthy run.
+  RunContext budgeted;
+  budgeted.budgets.max_candidate_pairs = 1;
+  StatusOr<AutoBiResult> degraded =
+      predictor.PredictIncremental(tables, &budgeted, &state);
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_TRUE(degraded->degradation.Any());
+  StatusOr<AutoBiResult> cold_degraded = predictor.Predict(tables, &budgeted);
+  ASSERT_TRUE(cold_degraded.ok());
+  ExpectBitIdentical(*degraded, *cold_degraded, tables);
+  EXPECT_TRUE(state.valid);
+
+  // The surviving baseline still powers a healthy delta run.
+  StatusOr<AutoBiResult> healthy =
+      predictor.PredictIncremental(tables, nullptr, &state);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(healthy->incremental.used);
+  EXPECT_TRUE(healthy->incremental.warm_start_used);
+}
+
+TEST(IncrementalTest, FallbackConditionsInvalidateStateAndUsePlainPredict) {
+  std::vector<Table> tables = BaseTables();
+  AutoBiOptions options;
+  options.threads = 1;
+  AutoBi predictor(&TestModel(), options);
+  IncrementalState state;
+  ASSERT_TRUE(predictor.PredictIncremental(tables, nullptr, &state).ok());
+  ASSERT_TRUE(state.valid);
+
+  // A context that is already stopped at entry cannot run the delta path.
+  RunContext cancelled;
+  cancelled.Cancel();
+  StatusOr<AutoBiResult> stopped =
+      predictor.PredictIncremental(tables, &cancelled, &state);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_FALSE(stopped->incremental.used);
+  EXPECT_TRUE(stopped->degradation.Any());
+  EXPECT_FALSE(state.valid);
+
+  // Rebuild, then trip the value-probe table budget: same fallback.
+  ASSERT_TRUE(predictor.PredictIncremental(tables, nullptr, &state).ok());
+  ASSERT_TRUE(state.valid);
+  RunContext tiny_rows;
+  tiny_rows.budgets.max_rows_per_table = 5;
+  StatusOr<AutoBiResult> budgeted =
+      predictor.PredictIncremental(tables, &tiny_rows, &state);
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_FALSE(budgeted->incremental.used);
+  EXPECT_FALSE(state.valid);
+  StatusOr<AutoBiResult> cold = predictor.Predict(tables, &tiny_rows);
+  ASSERT_TRUE(cold.ok());
+  ExpectBitIdentical(*budgeted, *cold, tables);
+}
+
+TEST(IncrementalTest, MalformedTablesAreInvalidInput) {
+  std::vector<Table> tables = BaseTables();
+  tables[0].column(0).AppendInt(7);  // Ragged.
+  AutoBi predictor(&TestModel(), AutoBiOptions{});
+  IncrementalState state;
+  StatusOr<AutoBiResult> result =
+      predictor.PredictIncremental(tables, nullptr, &state);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace autobi

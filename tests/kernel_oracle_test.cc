@@ -110,6 +110,9 @@ void ExpectProfilesIdentical(const ColumnProfile& a, const ColumnProfile& b) {
   EXPECT_EQ(a.max_value, b.max_value);
   EXPECT_EQ(a.sorted_numeric_sample, b.sorted_numeric_sample);
   EXPECT_EQ(a.avg_value_length, b.avg_value_length);
+  EXPECT_EQ(a.key_bytes, b.key_bytes);
+  EXPECT_EQ(a.collision_hashes, b.collision_hashes);
+  EXPECT_EQ(a.collision_keys, b.collision_keys);
 }
 
 // Legacy-profiled TableProfile, assembled column-by-column through the

@@ -427,6 +427,169 @@ TEST(ServeEngineTest, PredictIsByteIdenticalAcrossThreadCountsAndCacheState) {
   EXPECT_EQ(joins_by_threads[0], joins_by_threads[2]);
 }
 
+// The orders rows of StarTables(), parameterized by row count so a fresh
+// full upload can reproduce exactly what update_table appends.
+Table OrdersTable(int rows) {
+  Table orders("orders");
+  Column& oid = orders.AddColumn("order_id");
+  Column& ocust = orders.AddColumn("cust_id");
+  Column& qty = orders.AddColumn("quantity");
+  for (int i = 0; i < rows; ++i) {
+    oid.AppendInt(i + 1);
+    ocust.AppendInt(1000 + (i * 13) % 40);
+    qty.AppendInt(1 + i % 9);
+  }
+  return orders;
+}
+
+std::string UpdateOrdersLine(const std::string& session, int start,
+                             int count) {
+  Table delta = OrdersTable(start + count);
+  Json req = Json::MakeObject();
+  req.Set("verb", Json::MakeString("update_table"));
+  req.Set("session", Json::MakeString(session));
+  req.Set("name", Json::MakeString("orders"));
+  Json cols = Json::MakeArray();
+  for (size_t c = 0; c < delta.num_columns(); ++c) {
+    Json col = Json::MakeObject();
+    col.Set("name", Json::MakeString(delta.column(c).name()));
+    Json values = Json::MakeArray();
+    for (int r = start; r < start + count; ++r) {
+      values.Append(Json::MakeInt(delta.column(c).Int(size_t(r))));
+    }
+    col.Set("values", std::move(values));
+    cols.Append(std::move(col));
+  }
+  req.Set("columns", std::move(cols));
+  return req.Write();
+}
+
+TEST(ServeEngineTest, UpdateTableAppendsAndIncrementalPredictMatchesFresh) {
+  ServeOptions options;
+  options.threads = 2;
+  ServeEngine engine(&TestModel(), options);
+  std::string session = SetUpStarSession(engine);
+  std::string predict_line = R"({"verb":"predict","session":")" + session +
+                             R"(","tier":"standard","incremental":true})";
+
+  // First incremental predict: a cold rebuild through the delta engine —
+  // everything reprofiled, nothing reused, counters say so.
+  Json first = Call(engine, predict_line);
+  ASSERT_TRUE(IsOk(first)) << first.Write();
+  const Json* inc = first.Find("incremental");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_FALSE(inc->Find("used")->AsBool());
+  EXPECT_EQ(inc->Find("tables_reprofiled")->AsInt(), 2);
+  EXPECT_EQ(inc->Find("pairs_rescored")->AsInt(), 1);
+  EXPECT_EQ(inc->Find("pairs_reused")->AsInt(), 0);
+
+  // Append ten orders rows. The response reports the append, and the next
+  // incremental predict merges the orders profile forward instead of
+  // reprofiling anything (tables_reprofiled == changed-from-scratch == 0).
+  Json updated = Call(engine, UpdateOrdersLine(session, 150, 10));
+  ASSERT_TRUE(IsOk(updated)) << updated.Write();
+  EXPECT_EQ(updated.Find("rows_appended")->AsInt(), 10);
+  EXPECT_EQ(updated.Find("rows")->AsInt(), 160);
+
+  Json second = Call(engine, predict_line);
+  ASSERT_TRUE(IsOk(second)) << second.Write();
+  inc = second.Find("incremental");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_TRUE(inc->Find("used")->AsBool());
+  EXPECT_EQ(inc->Find("tables_reprofiled")->AsInt(), 0);
+  EXPECT_EQ(inc->Find("tables_delta_merged")->AsInt(), 1);
+  EXPECT_EQ(inc->Find("pairs_rescored")->AsInt(), 1);
+
+  // A fresh session holding the full 160-row orders table predicts the
+  // exact same joins and model export with a plain (non-incremental)
+  // predict — the serve-side differential-equivalence contract.
+  ServeEngine fresh_engine(&TestModel(), options);
+  Json created = Call(fresh_engine, R"({"verb":"create_session"})");
+  ASSERT_TRUE(IsOk(created));
+  std::string fresh = created.Find("session")->AsString();
+  for (const Table& t : StarTables()) {
+    if (t.name() == "orders") continue;
+    ASSERT_TRUE(IsOk(Call(fresh_engine, UploadLine(fresh, t))));
+  }
+  ASSERT_TRUE(IsOk(Call(fresh_engine, UploadLine(fresh, OrdersTable(160)))));
+  Json reference = Call(fresh_engine, R"({"verb":"predict","session":")" +
+                                          fresh + R"(","tier":"standard"})");
+  ASSERT_TRUE(IsOk(reference)) << reference.Write();
+  EXPECT_EQ(second.Find("joins")->Write(), reference.Find("joins")->Write());
+  Json inc_model = Call(engine, R"({"verb":"get_model","session":")" +
+                                    session + R"(","format":"json"})");
+  Json ref_model = Call(fresh_engine, R"({"verb":"get_model","session":")" +
+                                          fresh + R"(","format":"json"})");
+  ASSERT_TRUE(IsOk(inc_model) && IsOk(ref_model));
+  EXPECT_EQ(inc_model.Find("model")->Write(), ref_model.Find("model")->Write());
+
+  // No-op re-predict: everything reused, solve warm-started wholesale.
+  Json third = Call(engine, predict_line);
+  ASSERT_TRUE(IsOk(third)) << third.Write();
+  inc = third.Find("incremental");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_TRUE(inc->Find("used")->AsBool());
+  EXPECT_EQ(inc->Find("tables_reprofiled")->AsInt(), 0);
+  EXPECT_EQ(inc->Find("tables_delta_merged")->AsInt(), 0);
+  EXPECT_EQ(inc->Find("pairs_rescored")->AsInt(), 0);
+  EXPECT_EQ(inc->Find("pairs_reused")->AsInt(), 1);
+  EXPECT_TRUE(inc->Find("warm_start_used")->AsBool());
+  EXPECT_EQ(third.Find("joins")->Write(), second.Find("joins")->Write());
+
+  // A replace-style change (re-upload with different cells) reprofiles
+  // exactly the changed table.
+  Table salted = MakeTable("customers", 40, 3);
+  ASSERT_TRUE(IsOk(Call(engine, UploadLine(session, salted))));
+  Json fourth = Call(engine, predict_line);
+  ASSERT_TRUE(IsOk(fourth)) << fourth.Write();
+  inc = fourth.Find("incremental");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_TRUE(inc->Find("used")->AsBool());
+  EXPECT_EQ(inc->Find("tables_reprofiled")->AsInt(), 1);
+}
+
+TEST(ServeEngineTest, UpdateTableRejectsMalformedDeltas) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  std::string session = SetUpStarSession(engine);
+
+  // Unknown table.
+  EXPECT_EQ(ErrorCode(Call(
+                engine, R"({"verb":"update_table","session":")" + session +
+                            R"(","name":"nope","columns":[]})")),
+            "INVALID_INPUT");
+  // Wrong column set.
+  EXPECT_EQ(ErrorCode(Call(
+                engine, R"({"verb":"update_table","session":")" + session +
+                            R"(","name":"orders","columns":[)" +
+                            R"({"name":"order_id","values":[999]}]})")),
+            "INVALID_INPUT");
+  // Type mismatch: a string into the int order_id column.
+  EXPECT_EQ(
+      ErrorCode(Call(
+          engine,
+          R"({"verb":"update_table","session":")" + session +
+              R"(","name":"orders","columns":[)" +
+              R"({"name":"order_id","values":["x"]},)" +
+              R"({"name":"cust_id","values":[1000]},)" +
+              R"({"name":"quantity","values":[1]}]})")),
+      "INVALID_INPUT");
+  // Ragged delta.
+  EXPECT_EQ(
+      ErrorCode(Call(
+          engine,
+          R"({"verb":"update_table","session":")" + session +
+              R"(","name":"orders","columns":[)" +
+              R"({"name":"order_id","values":[999,1000]},)" +
+              R"({"name":"cust_id","values":[1000]},)" +
+              R"({"name":"quantity","values":[1,2]}]})")),
+      "INVALID_INPUT");
+  // Failed updates must not have mutated the table: predict still works on
+  // 150 orders rows.
+  Json predict = Call(engine, R"({"verb":"predict","session":")" + session +
+                                  R"(","tier":"standard"})");
+  ASSERT_TRUE(IsOk(predict)) << predict.Write();
+}
+
 TEST(ServeEngineTest, ConcurrentPredictsAreDeterministic) {
   ServeOptions options;
   options.threads = 2;
