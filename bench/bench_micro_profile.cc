@@ -234,7 +234,7 @@ int main(int argc, char** argv) {
 
     IndOptions off;
     off.threads = 1;
-    off.kmv_screen = false;
+    off.blocking.enabled = false;
     Timer t2;
     inds_off += DiscoverInds(real.cases[i].tables, profiles[i], uccs[i], off,
                              &s).size();
@@ -243,22 +243,18 @@ int main(int argc, char** argv) {
   }
   if (inds_on != inds_off) {
     std::fprintf(stderr,
-                 "FATAL: KMV screen changed the IND count (%zu vs %zu)\n",
+                 "FATAL: blocking changed the IND count (%zu vs %zu)\n",
                  inds_on, inds_off);
     return 1;
   }
-  double screen_rate =
-      on_stats.unary_kmv_screened + on_stats.unary_exact_checks > 0
-          ? double(on_stats.unary_kmv_screened) /
-                double(on_stats.unary_kmv_screened +
-                       on_stats.unary_exact_checks)
-          : 0.0;
   add("real_cases", double(real.cases.size()), "cases");
   add("discover_inds_total_inds", double(inds_on), "inds");
-  add("kmv_screen_hit_rate", screen_rate, "frac");
-  add("discover_inds_screen_on", on_ms, "ms");
-  add("discover_inds_screen_off", off_ms, "ms");
-  add("discover_inds_screen_speedup", off_ms / on_ms, "x");
+  add("blocking_prune_rate", on_stats.blocking.PruningRate(), "frac");
+  add("blocking_table_pairs_active",
+      double(on_stats.blocking.table_pairs_active), "pairs");
+  add("discover_inds_blocking_on", on_ms, "ms");
+  add("discover_inds_blocking_off", off_ms, "ms");
+  add("discover_inds_blocking_speedup", off_ms / on_ms, "x");
   add("composite_sets_built", double(on_stats.composite_sets_built), "sets");
   add("composite_budget_truncations",
       double(on_stats.composite_budget_truncations), "pairs");

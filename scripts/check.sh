@@ -105,6 +105,16 @@ UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
   --scenario schema
 echo "check.sh: schema-evolution differential smoke clean (ASan/UBSan)."
 
+# --- Lake blocking differential smoke under ASan/UBSan (always on since
+# PR 9): every case pushes a small adversarial lake (disconnected islands,
+# shared dimension names/key ranges) through blocking + the partitioned
+# per-component solve under random faults and budgets; unfaulted cases are
+# cross-checked bit-identical against the exhaustive all-pairs oracle.
+UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+  "$ASAN_BUILD_DIR/src/fuzz/autobi_faultfuzz" --seed 1 --cases 500 \
+  --scenario lake
+echo "check.sh: lake blocking differential smoke clean (ASan/UBSan)."
+
 # --- Serve smoke (always on, under the same TSan build so the
 # thread-per-connection transport and shared caches are race-checked): boot
 # the daemon on a unix socket, run the client demo (create_session, three

@@ -74,11 +74,10 @@ uint64_t SolveKeyFingerprint(const AutoBiOptions& o, const RunContext* ctx) {
   h = MixDouble(h, c.ind.min_referenced_distinct_ratio);
   h = MixU64(h, c.ind.max_arity);
   h = MixU64(h, c.ind.max_composite_probes);
-  h = MixU64(h, uint64_t(c.ind.kmv_screen));
-  h = MixU64(h, c.ind.kmv_k);
-  h = MixDouble(h, c.ind.kmv_slack);
-  h = MixU64(h, c.ind.kmv_min_sample);
-  h = MixU64(h, c.ind.kmv_min_merge_size);
+  h = MixU64(h, uint64_t(c.ind.blocking.enabled));
+  h = MixU64(h, c.ind.blocking.bottom_probes);
+  h = MixU64(h, c.ind.blocking.heavy_probes);
+  h = MixU64(h, c.ind.blocking.probe_all_below);
   h = MixDouble(h, c.one_to_one_distinct_ratio);
   h = MixDouble(h, c.one_to_one_min_containment);
   h = MixU64(h, uint64_t(c.metadata_fallback_for_empty_tables));
@@ -133,13 +132,97 @@ void RunGlobalPredict(const AutoBiOptions& options, const RunContext* ctx,
       solver.max_one_mca_calls =
           std::min(solver.max_one_mca_calls, ctx->budgets.max_one_mca_calls);
     }
+    // Partition into connected components. Cost and FK-once are separable
+    // across components, so with 2+ solvable components each is solved
+    // independently (in parallel) and the selections stitched in component
+    // order. With 0-1 solvable components the flat solve runs unchanged —
+    // it is the historical path and the two are NOT guaranteed bit-identical
+    // on cost ties (per-component lexicographic tie-breaks compare local
+    // subsequences, not the global id sequence), so single-island inputs
+    // keep their exact pre-partition outputs.
+    std::vector<GraphComponent> components = PartitionJoinGraph(graph);
+    std::vector<const GraphComponent*> solvable;
+    result.partition.components = components.size();
+    for (const GraphComponent& c : components) {
+      if (c.edge_ids.empty()) continue;
+      solvable.push_back(&c);
+      result.partition.largest_component_edges = std::max(
+          result.partition.largest_component_edges, c.edge_ids.size());
+    }
     Timer kmca_timer;
-    KmcaResult backbone = SolveKmcaCc(graph, solver, &result.solver_stats);
+    if (solvable.size() <= 1) {
+      KmcaResult backbone = SolveKmcaCc(graph, solver, &result.solver_stats);
+      result.backbone_edges = backbone.edge_ids;
+    } else {
+      result.partition.used = true;
+      result.partition.components_solved = solvable.size();
+      result.partition.component_health.resize(solvable.size());
+      // Each component gets the FULL 1-MCA budget: a trip degrades that one
+      // component to its greedy feasible fallback while the others keep
+      // their exact solves (the flat path would degrade the whole model).
+      KmcaCcOptions comp_solver = solver;
+      comp_solver.threads = 1;  // Components are the unit of parallelism.
+      struct CompSolve {
+        KmcaResult backbone;
+        KmcaCcStats stats;
+        bool skipped = false;
+      };
+      std::vector<CompSolve> solves = ParallelMap(
+          solvable.size(),
+          [&](size_t i) {
+            CompSolve s;
+            // Component-boundary stop poll: a tripped run leaves remaining
+            // components unsolved (empty backbone there, marked below).
+            if (ctx != nullptr && ctx->StopRequested()) {
+              s.skipped = true;
+              return s;
+            }
+            JoinGraph local = BuildComponentGraph(graph, *solvable[i]);
+            s.backbone = SolveKmcaCc(local, comp_solver, &s.stats);
+            return s;
+          },
+          options.threads);
+      // Stitch serially in component order; map local edge ids back through
+      // the component's ascending edge-id list.
+      size_t skipped = 0;
+      for (size_t i = 0; i < solves.size(); ++i) {
+        const CompSolve& s = solves[i];
+        StageHealth& health = result.partition.component_health[i];
+        if (s.skipped) {
+          ++skipped;
+          health.MarkDegraded("run stopped before component solve");
+          continue;
+        }
+        for (int local_id : s.backbone.edge_ids) {
+          result.backbone_edges.push_back(
+              solvable[i]->edge_ids[size_t(local_id)]);
+        }
+        result.solver_stats.one_mca_calls += s.stats.one_mca_calls;
+        result.solver_stats.nodes += s.stats.nodes;
+        result.solver_stats.pruned += s.stats.pruned;
+        result.solver_stats.memo_hits += s.stats.memo_hits;
+        result.solver_stats.waves += s.stats.waves;
+        if (s.stats.budget_exhausted) {
+          result.solver_stats.budget_exhausted = true;
+          health.MarkDegraded(
+              "1-MCA call budget exhausted; greedy feasible backbone for "
+              "this component");
+        }
+      }
+      if (skipped > 0) {
+        result.degradation.global_predict.MarkDegraded(StrFormat(
+            "run stopped during partitioned solve; %zu of %zu components "
+            "unsolved",
+            skipped, solves.size()));
+      }
+    }
     result.kmca_cc_seconds = kmca_timer.Seconds();
-    result.backbone_edges = backbone.edge_ids;
     if (result.solver_stats.budget_exhausted) {
       result.degradation.global_predict.MarkDegraded(
-          "1-MCA call budget exhausted; greedy feasible backbone");
+          result.partition.used
+              ? "1-MCA call budget exhausted; greedy feasible backbone in "
+                "some components"
+              : "1-MCA call budget exhausted; greedy feasible backbone");
     }
   } else {
     // Ablation "no-precision-mode": recall mode growing from nothing.
@@ -190,6 +273,7 @@ AutoBiResult RunPipeline(const LocalModel& model, const AutoBiOptions& options,
   result.timing.ind = candidates.ind_seconds;
   result.degradation.ucc = candidates.ucc_health;
   result.degradation.ind = candidates.ind_health;
+  result.ind_stats = candidates.ind_stats;
 
   // Stage 3: local inference — featurize and score each candidate with the
   // calibrated classifiers (Algorithm 1).
@@ -237,6 +321,8 @@ StatusOr<AutoBiResult> AutoBi::Predict(const std::vector<Table>& tables,
         result.backbone_edges = entry->backbone_edges;
         result.recall_edges = entry->recall_edges;
         result.solver_stats = entry->solver_stats;
+        result.ind_stats = entry->ind_stats;
+        result.partition = entry->partition;
         return result;
       }
     }
@@ -248,6 +334,8 @@ StatusOr<AutoBiResult> AutoBi::Predict(const std::vector<Table>& tables,
       entry->backbone_edges = result.backbone_edges;
       entry->recall_edges = result.recall_edges;
       entry->solver_stats = result.solver_stats;
+      entry->ind_stats = result.ind_stats;
+      entry->partition = result.partition;
       cache->InsertSolve(solve_key, std::move(entry));
     }
     return result;
@@ -311,6 +399,8 @@ StatusOr<AutoBiResult> AutoBi::PredictIncremental(
       entry->backbone_edges = result.backbone_edges;
       entry->recall_edges = result.recall_edges;
       entry->solver_stats = result.solver_stats;
+      entry->ind_stats = result.ind_stats;
+      entry->partition = result.partition;
       options_.cache->InsertSolve(solve_key, std::move(entry));
     }
     return result;

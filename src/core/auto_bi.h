@@ -101,7 +101,8 @@ struct IncrementalStats {
 struct AutoBiResult {
   BiModel model;
   AutoBiTiming timing;
-  // Solver telemetry for Figures 6 and 7.
+  // Solver telemetry for Figures 6 and 7 (summed over components when the
+  // partitioned solve ran).
   KmcaCcStats solver_stats;
   double kmca_cc_seconds = 0.0;
   // The constructed join graph (diagnostics / tests).
@@ -113,6 +114,12 @@ struct AutoBiResult {
   AutoBiDegradation degradation;
   // Delta-path observability (all-zero unless PredictIncremental ran).
   IncrementalStats incremental;
+  // Candidate-generation counters, including the blocking stage's pruning
+  // numbers (profile/ind.h). Surfaced by the serve stats/predict verbs and
+  // bench_lake.
+  IndStats ind_stats;
+  // Partitioned-solve telemetry (PartitionStats, core/graph_builder.h).
+  PartitionStats partition;
 };
 
 // Cross-call state of the incremental engine (core/incremental.h): cached
@@ -153,8 +160,9 @@ class AutoBi {
   //
   // Contract: the returned result is bit-identical to what Predict would
   // return on the same post-change tables — models, graph, edge sets, solver
-  // stats, degradation markers — with only timing and result.incremental
-  // differing. First call (or invalidated/mismatched state) runs a cold
+  // stats, partition telemetry, degradation markers — with only timing,
+  // result.incremental, and result.ind_stats (which counts the scans this
+  // run actually performed, not what a cold run would redo) differing. First call (or invalidated/mismatched state) runs a cold
   // rebuild through the same engine; runs the engine cannot serve
   // bit-identically (context stopped at entry, tables over the value-probe
   // budget) invalidate the state and fall back to the plain pipeline.

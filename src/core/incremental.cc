@@ -223,6 +223,13 @@ AutoBiResult RunIncrementalPipeline(const LocalModel& model,
     result.degradation.ind.MarkDegraded(
         "run stopped during IND discovery; remaining pairs skipped");
   }
+  // Work counters for the scans this run actually performed (reused pairs
+  // contribute nothing — that is the point of the delta path). Pair-local
+  // blocking counters land in ind_stats.blocking via ScanTablePair.
+  for (const PairScans& sc : scans) {
+    result.ind_stats.Add(sc.fwd.stats);
+    result.ind_stats.Add(sc.rev.stats);
+  }
 
   // Candidate conversion + metadata fallback, serial per pair in pair
   // order. Candidate (src, dst) keys determine their unordered table pair
@@ -373,6 +380,7 @@ AutoBiResult RunIncrementalPipeline(const LocalModel& model,
     result.backbone_edges = state->backbone_edges;
     result.recall_edges = state->recall_edges;
     result.solver_stats = state->solver_stats;
+    result.partition = state->partition;
     result.incremental.warm_start_used = true;
     result.timing.global_predict = global_timer.Seconds();
   } else {
@@ -402,6 +410,7 @@ AutoBiResult RunIncrementalPipeline(const LocalModel& model,
     state->backbone_edges = result.backbone_edges;
     state->recall_edges = result.recall_edges;
     state->solver_stats = result.solver_stats;
+    state->partition = result.partition;
   }
   return result;
 }

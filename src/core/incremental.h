@@ -73,6 +73,10 @@ struct IncrementalState {
   std::vector<int> backbone_edges;
   std::vector<int> recall_edges;
   KmcaCcStats solver_stats;
+  // Partitioned-solve telemetry of the committed solve: a warm-started run
+  // reuses the solve wholesale, so it must replay these too (they are a
+  // deterministic function of the graph it reused).
+  PartitionStats partition;
 };
 
 // Runs the delta-aware pipeline: diffs `tables` against `*state`, reuses

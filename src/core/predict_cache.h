@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "core/bi_model.h"
+#include "core/graph_builder.h"
 #include "graph/join_graph.h"
 #include "graph/kmca_cc.h"
 #include "profile/column_profile.h"
+#include "profile/ind.h"
 #include "profile/ucc.h"
 
 namespace autobi {
@@ -55,6 +57,11 @@ class PredictCache {
     std::vector<int> backbone_edges;
     std::vector<int> recall_edges;
     KmcaCcStats solver_stats;
+    // Work counters of the producing run, replayed verbatim on a hit so warm
+    // results stay bit-identical to cold ones (blocking/pruning counters and
+    // partitioned-solve telemetry included).
+    IndStats ind_stats;
+    PartitionStats partition;
   };
 
   struct Stats {

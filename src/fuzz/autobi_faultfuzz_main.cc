@@ -27,7 +27,8 @@ void Usage() {
       "  --scratch DIR      scratch dir for file-I/O cases\n"
       "                     (default /tmp; '' disables them)\n"
       "  --scenario NAME    '' = mixed campaign (default); 'schema' = only\n"
-      "                     the schema-evolution differential scenario\n");
+      "                     the schema-evolution differential scenario;\n"
+      "                     'lake' = only the lake blocking differential\n");
 }
 
 }  // namespace
@@ -63,7 +64,8 @@ int main(int argc, char** argv) {
       opt.scratch_dir = need_value();
     } else if (arg == "--scenario") {
       opt.scenario = need_value();
-      if (!opt.scenario.empty() && opt.scenario != "schema") {
+      if (!opt.scenario.empty() && opt.scenario != "schema" &&
+          opt.scenario != "lake") {
         std::fprintf(stderr, "unknown scenario: %s\n", opt.scenario.c_str());
         return 2;
       }

@@ -23,6 +23,7 @@
 #include "serve/json.h"
 #include "synth/bi_generator.h"
 #include "synth/corpus.h"
+#include "synth/lake.h"
 #include "table/csv.h"
 #include "table/sql_ddl.h"
 
@@ -290,6 +291,124 @@ void RunPipelineCase(Rng& rng, Scratch& s) {
   }
 }
 
+// --- Lake scenario -------------------------------------------------------
+
+// A small synthetic lake (disconnected islands with adversarial shared
+// names/ranges, synth/lake.h) through the full pipeline: blocking plus the
+// partitioned per-component solve. Faults and budgets are randomized like
+// the pipeline scenario; when nothing nondeterministic is armed the case
+// additionally re-predicts with blocking disabled (the exhaustive oracle)
+// and fails on ANY divergence — model JSON, join graph, or selected edge
+// sets — which is the recall-1.0 / bit-identity contract of PR 9.
+void RunLakeCase(Rng& rng, Scratch& s) {
+  ++s.report->lake_cases;
+  LakeGenOptions gen;
+  gen.num_tables = 6 + int(rng.NextBelow(13));  // 6..18 tables.
+  gen.min_island = 2;
+  gen.max_island = 5;
+  gen.min_dim_rows = 4;
+  gen.max_dim_rows = 40;
+  gen.min_fact_rows = 10;
+  gen.max_fact_rows = 60;
+  // Roll the adversarial axes hard: the fuzzer wants collisions, not scale.
+  gen.shared_dim_name_prob = 0.6;
+  gen.shared_key_range_prob = 0.25;
+  Rng case_rng = rng.Fork();
+  BiCase lake = GenerateLake(gen, case_rng);
+
+  bool faults_armed = rng.NextBool(0.4);
+  if (faults_armed) {
+    std::string spec =
+        StrFormat("candidates.exhausted=%.2f,parallel.task=%.3f@%llu",
+                  rng.NextDouble(0.0, 0.7), rng.NextDouble(0.0, 0.05),
+                  (unsigned long long)rng.Next());
+    FaultPoints::Global().Configure(spec);
+  }
+
+  // Budgets / deadlines / cancellation exercise per-component degradation;
+  // any such run skips the differential below (blocking changes how much
+  // work each budget unit covers, so tripped runs legitimately diverge).
+  RunContext ctx;
+  bool use_ctx = rng.NextBool(0.4);
+  if (use_ctx) {
+    if (rng.NextBool(0.4)) {
+      ctx.budgets.max_rows_per_table = 1 + rng.NextBelow(64);
+    }
+    if (rng.NextBool(0.4)) {
+      ctx.budgets.max_candidate_pairs = rng.NextBelow(16);
+    }
+    if (rng.NextBool(0.3)) {
+      ctx.budgets.max_one_mca_calls = long(1 + rng.NextBelow(50));
+    }
+    if (rng.NextBool(0.2)) ctx.set_deadline_after(0.0);
+    if (rng.NextBool(0.1)) ctx.Cancel();
+  }
+
+  AutoBiOptions opt;
+  opt.threads = 1 + int(rng.NextBelow(3));
+  AutoBi autobi(&SharedTinyModel(), opt);
+  StatusOr<AutoBiResult> result =
+      autobi.Predict(lake.tables, use_ctx ? &ctx : nullptr);
+  if (faults_armed) {
+    s.report->injected_faults += FaultPoints::Global().fires();
+    FaultPoints::Global().Disable();
+  }
+
+  if (!result.ok()) {
+    if (result.status().code() != StatusCode::kInternal) {
+      s.Fail(StrFormat("unexpected error from lake predict: %s",
+                       result.status().ToString().c_str()));
+    } else if (!faults_armed) {
+      s.Fail(StrFormat("kInternal without armed faults: %s",
+                       result.status().ToString().c_str()));
+    }
+    ++s.report->status_errors;
+    return;
+  }
+  const AutoBiResult& r = result.value();
+  Status valid = ValidateBiModel(lake.tables, r.model);
+  if (!valid.ok()) {
+    s.Fail(StrFormat("lake model fails validation: %s",
+                     valid.ToString().c_str()));
+  }
+  if (r.degradation.Any()) ++s.report->degraded_models;
+  StatusOr<std::string> json = ExportJson(lake.tables, r.model);
+  if (!json.ok()) {
+    s.Fail(StrFormat("ExportJson rejected a validated lake model: %s",
+                     json.status().ToString().c_str()));
+    return;
+  }
+
+  if (faults_armed || use_ctx) return;
+  // Differential against the exhaustive oracle: same tables, same options,
+  // blocking off. Everything observable must be bit-identical.
+  AutoBiOptions off = opt;
+  off.candidates.ind.blocking.enabled = false;
+  AutoBi oracle(&SharedTinyModel(), off);
+  StatusOr<AutoBiResult> oracle_result = oracle.Predict(lake.tables, nullptr);
+  if (!oracle_result.ok()) {
+    s.Fail(StrFormat("exhaustive oracle errored: %s",
+                     oracle_result.status().ToString().c_str()));
+    return;
+  }
+  const AutoBiResult& o = oracle_result.value();
+  StatusOr<std::string> oracle_json = ExportJson(lake.tables, o.model);
+  if (!oracle_json.ok()) {
+    s.Fail("ExportJson rejected the oracle model");
+    return;
+  }
+  if (json.value() != oracle_json.value()) {
+    s.Fail("blocking-on model diverges from exhaustive oracle (recall loss)");
+  }
+  if (!r.graph.StructurallyEqual(o.graph)) {
+    s.Fail("blocking-on join graph diverges from exhaustive oracle");
+  }
+  if (r.backbone_edges != o.backbone_edges ||
+      r.recall_edges != o.recall_edges) {
+    s.Fail("blocking-on edge selection diverges from exhaustive oracle");
+  }
+}
+
 // --- Schema-evolution scenario ------------------------------------------
 
 // Appends one cell matching the column's type (occasionally null).
@@ -520,16 +639,32 @@ const char* const kServeSeeds[] = {
 
 // One engine shared by every serve case: the campaign probes the wire
 // surface, and a long-lived engine also exercises session-table growth and
-// the session cap (kResourceExhausted is a well-formed outcome here).
+// the session cap (kResourceExhausted is a well-formed outcome here). The
+// engine lives for ONE campaign — RunFaultFuzz resets it on entry so a
+// campaign is a pure function of its options (two same-seed runs in one
+// process must produce identical reports; carried-over sessions/uploads
+// would flip cap outcomes between them).
+ServeEngine*& SharedEngineSlot() {
+  static ServeEngine* engine = nullptr;
+  return engine;
+}
+
 ServeEngine& SharedEngine() {
-  static ServeEngine* engine = [] {
+  ServeEngine*& slot = SharedEngineSlot();
+  if (slot == nullptr) {
     ServeOptions options;
     options.threads = 1;
     options.max_sessions = 8;
     options.max_tables_per_session = 8;
-    return new ServeEngine(&SharedTinyModel(), options);
-  }();
-  return *engine;
+    slot = new ServeEngine(&SharedTinyModel(), options);
+  }
+  return *slot;
+}
+
+void ResetSharedEngine() {
+  ServeEngine*& slot = SharedEngineSlot();
+  delete slot;
+  slot = nullptr;
 }
 
 void RunServeCase(Rng& rng, Scratch& s) {
@@ -593,8 +728,10 @@ FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
   Timer timer;
   Rng master(options.seed);
   // Make sure the env-configured global state never leaks into the
-  // campaign's own deterministic specs.
+  // campaign's own deterministic specs, and start from a fresh serve engine
+  // so per-campaign reports are reproducible within one process.
   FaultPoints::Global().Disable();
+  ResetSharedEngine();
   for (long i = 0; i < options.cases; ++i) {
     if (options.time_budget_sec > 0 &&
         timer.Seconds() > options.time_budget_sec) {
@@ -609,7 +746,13 @@ FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
       ++report.cases_run;
       continue;
     }
-    switch (rng.NextBelow(12)) {
+    if (options.scenario == "lake") {
+      s.scenario = "lake";
+      RunLakeCase(rng, s);
+      ++report.cases_run;
+      continue;
+    }
+    switch (rng.NextBelow(13)) {
       case 0:
       case 1:
       case 2:
@@ -640,6 +783,10 @@ FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
         s.scenario = "schema";
         RunSchemaEvolutionCase(rng, s);
         break;
+      case 12:
+        s.scenario = "lake";
+        RunLakeCase(rng, s);
+        break;
       default:
         s.scenario = "pipeline";
         RunPipelineCase(rng, s);
@@ -659,10 +806,10 @@ std::string FormatFaultFuzzReport(const FaultFuzzReport& report) {
       report.elapsed_sec, report.failures);
   out += StrFormat(
       "  scenarios: csv=%ld ddl=%ld file=%ld pipeline=%ld serve=%ld "
-      "schema=%ld%s\n",
+      "schema=%ld lake=%ld%s\n",
       report.csv_cases, report.ddl_cases, report.file_cases,
       report.pipeline_cases, report.serve_cases,
-      report.schema_evolution_cases,
+      report.schema_evolution_cases, report.lake_cases,
       report.time_budget_hit ? " (time budget hit)" : "");
   out += StrFormat(
       "  outcomes: status_errors=%ld parses_ok=%ld degraded_models=%ld "

@@ -27,7 +27,12 @@ namespace autobi {
 //     replayed through AutoBi::PredictIncremental with a persistent
 //     IncrementalState, cross-checked against a cold Predict on the same
 //     post-change tables after every step (bit-identical JSON export and
-//     degradation flags when no faults are armed).
+//     degradation flags when no faults are armed),
+//   - a small synthetic lake (disconnected islands, synth/lake.h) through
+//     Predict with the usual randomized faults/budgets, and — when nothing
+//     time-dependent is armed — a differential run against the exhaustive
+//     blocking oracle (blocking.enabled = false): model JSON, join graph
+//     and selected edge sets must be bit-identical.
 //
 // The invariant checked on every case: the service layer either returns a
 // well-formed Status error or a result whose model passes ValidateBiModel
@@ -42,7 +47,8 @@ struct FaultFuzzOptions {
   // Scratch directory for the ReadCsvFile scenario; empty skips it.
   std::string scratch_dir = "/tmp";
   // Empty runs the mixed campaign above; "schema" runs only the
-  // schema-evolution differential scenario (the dedicated ASan CI stage).
+  // schema-evolution differential scenario and "lake" only the lake
+  // blocking-differential scenario (the dedicated ASan CI stages).
   std::string scenario;
 };
 
@@ -55,6 +61,7 @@ struct FaultFuzzReport {
   long pipeline_cases = 0;
   long serve_cases = 0;
   long schema_evolution_cases = 0;
+  long lake_cases = 0;
   // Outcome counts (informational; none of these are failures).
   long status_errors = 0;    // Well-formed non-OK Statuses observed.
   long parses_ok = 0;        // Mutated inputs that still parsed.

@@ -21,43 +21,57 @@ bool RangesDisjoint(const ColumnProfile& a, const ColumnProfile& b) {
   return a.max_value < b.min_value || b.max_value < a.min_value;
 }
 
-// Conservative KMV pre-screen: true if the pair (a in b) can safely be
-// skipped without running the exact merge against `threshold`. Only fires
-// on pairs large enough for the exact merge to matter, with enough sampled
-// values to trust the estimate, and with a generous slack margin; the
-// defaults are validated corpus-wide by the sketch tests (identical
-// candidate sets with the screen on and off).
-bool KmvScreenRejects(const ColumnProfile& a, const ColumnProfile& b,
-                      double threshold, const IndOptions& options) {
-  if (!options.kmv_screen || options.kmv_k == 0) return false;
-  if (a.distinct_hashes.size() + b.distinct_hashes.size() <
-      options.kmv_min_merge_size) {
-    return false;
-  }
-  KmvEstimate est = EstimateContainment(a.distinct_hashes, a.distinct_counts,
-                                        b.distinct_hashes, options.kmv_k);
-  if (est.sample < options.kmv_min_sample) return false;
-  return est.containment + options.kmv_slack < threshold;
-}
-
 }  // namespace
 
 IndPairScan ScanTablePair(const std::vector<Table>& tables,
                           const std::vector<TableProfile>& profiles,
                           const std::vector<std::vector<Ucc>>& uccs,
                           const IndOptions& options, CompositeKeyCache* cache,
-                          int ti, int tj) {
+                          int ti, int tj, const PairBlocking* blocking) {
   IndPairScan out;
   std::vector<Ind>& result = out.inds;
   IndStats& stats = out.stats;
   stats.pairs_scanned = 1;
   const TableProfile& pi = profiles[ti];
   const TableProfile& pj = profiles[tj];
+  const size_t na = pi.columns.size();
+  const size_t nb = pj.columns.size();
+  // Blocking admission for this pair: the caller's precomputed plan entry
+  // (cold path), or recomputed pair-locally from the two profiles
+  // (incremental path) — identical by construction. The exhaustive loop
+  // structure below is kept and non-admitted column pairs are skipped in
+  // place, so the iteration order of everything that still runs is exactly
+  // the oracle's.
+  PairBlocking local;
+  if (options.blocking.enabled && blocking == nullptr) {
+    local = ComputePairBlocking(pi, pj, options.blocking);
+    blocking = &local;
+    stats.blocking.column_pairs_total = na * nb;
+    stats.blocking.column_pairs_admitted = local.admitted.size();
+    stats.blocking.column_pairs_pruned = na * nb - local.admitted.size();
+    stats.blocking.table_pairs_total = 1;
+    stats.blocking.table_pairs_active = local.admitted.empty() ? 0 : 1;
+  }
+  std::vector<char> admit;  // (a * nb + b) -> admitted; empty = admit all.
+  if (options.blocking.enabled && blocking != nullptr) {
+    admit.assign(na * nb, 0);
+    for (const auto& [a, b] : blocking->admitted) {
+      admit[static_cast<size_t>(a) * nb + static_cast<size_t>(b)] = 1;
+    }
+  }
+  auto admitted = [&](int a, int b) {
+    return admit.empty() ||
+           admit[static_cast<size_t>(a) * nb + static_cast<size_t>(b)] != 0;
+  };
   // --- Unary INDs.
-  for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
+  for (int a = 0; a < static_cast<int>(na); ++a) {
     const ColumnProfile& pa = pi.columns[a];
     if (pa.num_distinct < options.min_distinct) continue;
-    for (int b = 0; b < static_cast<int>(pj.columns.size()); ++b) {
+    for (int b = 0; b < static_cast<int>(nb); ++b) {
+      if (!admitted(a, b)) {
+        ++stats.unary_blocked;
+        continue;
+      }
       const ColumnProfile& pb = pj.columns[b];
       if (pb.non_null_count == 0) continue;
       if (pb.distinct_ratio < options.min_referenced_distinct_ratio) {
@@ -65,10 +79,6 @@ IndPairScan ScanTablePair(const std::vector<Table>& tables,
       }
       if (RangesDisjoint(pa, pb)) {
         ++stats.unary_range_screened;
-        continue;
-      }
-      if (KmvScreenRejects(pa, pb, options.min_containment, options)) {
-        ++stats.unary_kmv_screened;
         continue;
       }
       ++stats.unary_exact_checks;
@@ -108,11 +118,14 @@ IndPairScan ScanTablePair(const std::vector<Table>& tables,
     bool viable = true;
     for (size_t k = 0; k < arity; ++k) {
       const ColumnProfile& pb = pj.columns[key.columns[k]];
-      for (int a = 0; a < static_cast<int>(pi.columns.size()); ++a) {
+      for (int a = 0; a < static_cast<int>(na); ++a) {
         const ColumnProfile& pa = pi.columns[a];
         if (pa.num_distinct == 0) continue;
+        // Blocking admission is threshold-agnostic (shared values, not a
+        // score), so the same admit matrix serves the relaxed
+        // component_threshold here.
+        if (!admitted(a, key.columns[k])) continue;
         if (RangesDisjoint(pa, pb)) continue;
-        if (KmvScreenRejects(pa, pb, component_threshold, options)) continue;
         if (Containment(pa, pb) >= component_threshold) {
           component_candidates[k].push_back(a);
         }
@@ -333,17 +346,35 @@ std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
                               const RunContext* ctx) {
   // Enumerate ordered pairs in the serial scan order, fan the per-pair scans
   // out, then concatenate per-pair results in that same order: the combined
-  // IND list is byte-identical at any thread count.
+  // IND list is byte-identical at any thread count. With blocking enabled
+  // the pair list shrinks to the plan's ACTIVE pairs — std::map iteration
+  // over (ti, tj) keys is the serial ti-major order restricted to them, so
+  // the concatenation order is unchanged.
   CompositeKeyCache local_cache;
   if (cache == nullptr) cache = &local_cache;
   size_t builds_before = cache->builds();
   int n = static_cast<int>(tables.size());
+  IndStats total;
   std::vector<std::pair<int, int>> pairs;
-  pairs.reserve(static_cast<size_t>(n) * static_cast<size_t>(n));
-  for (int ti = 0; ti < n; ++ti) {
-    for (int tj = 0; tj < n; ++tj) {
-      if (ti != tj) pairs.emplace_back(ti, tj);
+  std::vector<const PairBlocking*> pair_blocking;
+  std::map<std::pair<int, int>, PairBlocking> plan;
+  if (options.blocking.enabled) {
+    plan = BuildBlockingPlan(profiles, options.blocking, &total.blocking,
+                             options.threads, ctx);
+    pairs.reserve(plan.size());
+    pair_blocking.reserve(plan.size());
+    for (const auto& [key, admission] : plan) {
+      pairs.push_back(key);
+      pair_blocking.push_back(&admission);
     }
+  } else {
+    pairs.reserve(static_cast<size_t>(n) * static_cast<size_t>(n));
+    for (int ti = 0; ti < n; ++ti) {
+      for (int tj = 0; tj < n; ++tj) {
+        if (ti != tj) pairs.emplace_back(ti, tj);
+      }
+    }
+    pair_blocking.assign(pairs.size(), nullptr);
   }
   std::vector<IndPairScan> per_pair = ParallelMap(
       pairs.size(),
@@ -353,15 +384,21 @@ std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
         // the stage degraded). A null/untripped context changes nothing.
         if (ctx != nullptr && ctx->StopRequested()) return IndPairScan{};
         return ScanTablePair(tables, profiles, uccs, options, cache,
-                             pairs[p].first, pairs[p].second);
+                             pairs[p].first, pairs[p].second,
+                             pair_blocking[p]);
       },
       options.threads);
   std::vector<Ind> result;
-  IndStats total;
   for (IndPairScan& part : per_pair) {
     total.Add(part.stats);
     result.insert(result.end(), std::make_move_iterator(part.inds.begin()),
                   std::make_move_iterator(part.inds.end()));
+  }
+  if (options.blocking.enabled) {
+    // Per-pair scans only see blocked column pairs inside ACTIVE table
+    // pairs; the plan-level pruned count covers never-scanned pairs too and
+    // is the authoritative number.
+    total.unary_blocked = total.blocking.column_pairs_pruned;
   }
   // Attribute exactly the sets built during this run (the cache may be
   // shared across calls).

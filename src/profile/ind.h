@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/run_context.h"
+#include "profile/blocking.h"
 #include "profile/column_profile.h"
 #include "profile/ucc.h"
 #include "table/key_view.h"
@@ -45,25 +46,13 @@ struct IndOptions {
   // AUTOBI_THREADS / hardware, 1 = serial). Output is identical regardless.
   int threads = 0;
 
-  // --- KMV pre-screen (profile/sketch.h). Before running the exact
-  // sorted-merge containment on a large column pair, a bottom-k sketch
-  // estimate is computed from the first `kmv_k` entries of each side's
-  // distinct-hash vector; pairs whose estimate falls more than `kmv_slack`
-  // below the containment threshold are skipped. The screen is conservative
-  // by construction (generous slack + minimum sample + minimum size) and
-  // the defaults are validated by a test asserting candidate sets on the
-  // synthetic REAL corpus are identical with and without it.
-  bool kmv_screen = true;
-  // Sketch size (bottom-k prefix of the sorted hash vector).
-  size_t kmv_k = 256;
-  // Estimated containment must be below (threshold - kmv_slack) to skip.
-  double kmv_slack = 0.25;
-  // Minimum distinct A-values the estimate must have seen to be trusted.
-  size_t kmv_min_sample = 64;
-  // Screen only pairs whose combined distinct counts exceed this (small
-  // pairs are cheap to merge exactly; screening them risks more than it
-  // saves).
-  size_t kmv_min_merge_size = 1024;
+  // Inverted-index candidate blocking (profile/blocking.h). Replaced the
+  // PR 5 KMV pre-screen in PR 9: one pruning mechanism, one set of
+  // counters, and — unlike the sketch screen, which still visited every
+  // column pair — blocking skips entire table pairs, which is what makes
+  // lake-scale discovery near-linear. blocking.enabled = false restores the
+  // exhaustive all-pairs oracle.
+  BlockingOptions blocking;
 };
 
 // Observability counters for one DiscoverInds run (summed over table pairs
@@ -72,21 +61,26 @@ struct IndStats {
   size_t pairs_scanned = 0;
   // Unary screens/evaluations.
   size_t unary_range_screened = 0;  // Skipped by numeric-range disjointness.
-  size_t unary_kmv_screened = 0;    // Skipped by the KMV sketch screen.
+  size_t unary_blocked = 0;         // Skipped by inverted-index blocking.
   size_t unary_exact_checks = 0;    // Exact sorted-merge containments run.
   // Composite search.
   size_t composite_probes = 0;      // Exact composite containments run.
   size_t composite_sets_built = 0;  // Referenced tuple-hash sets constructed.
   size_t composite_budget_truncations = 0;  // Pairs that hit the probe cap.
+  // Blocking-plan counters. On the cold path these are set once per
+  // DiscoverInds run from BuildBlockingPlan; incremental ScanTablePair
+  // calls contribute their pair-local admissions instead.
+  BlockingStats blocking;
 
   void Add(const IndStats& o) {
     pairs_scanned += o.pairs_scanned;
     unary_range_screened += o.unary_range_screened;
-    unary_kmv_screened += o.unary_kmv_screened;
+    unary_blocked += o.unary_blocked;
     unary_exact_checks += o.unary_exact_checks;
     composite_probes += o.composite_probes;
     composite_sets_built += o.composite_sets_built;
     composite_budget_truncations += o.composite_budget_truncations;
+    blocking.Add(o.blocking);
   }
 };
 
@@ -182,11 +176,18 @@ struct IndPairScan {
 // touching changed tables and splice the results into cached ones:
 // concatenating per-pair results in DiscoverInds' serial pair order
 // reproduces a full scan byte-for-byte.
+//
+// `blocking` is the pair's admission from a precomputed BuildBlockingPlan
+// entry. Callers without a plan (the incremental engine) leave it null:
+// with options.blocking.enabled the admission is then recomputed
+// pair-locally via ComputePairBlocking — the predicate is a pure function
+// of the two profiles, so the result is identical either way.
 IndPairScan ScanTablePair(const std::vector<Table>& tables,
                           const std::vector<TableProfile>& profiles,
                           const std::vector<std::vector<Ucc>>& uccs,
                           const IndOptions& options, CompositeKeyCache* cache,
-                          int ti, int tj);
+                          int ti, int tj,
+                          const PairBlocking* blocking = nullptr);
 
 // Discovers all approximate INDs between distinct tables of `tables`.
 // `profiles` must come from ProfileTables(tables); `uccs[i]` are the UCCs of
@@ -198,6 +199,10 @@ IndPairScan ScanTablePair(const std::vector<Table>& tables,
 // If `ctx` is non-null, each table-pair scan polls RunContext::StopRequested
 // at its boundary and returns no INDs once the run is stopped (graceful
 // degradation; a null or untripped context leaves results byte-identical).
+// With options.blocking.enabled (default) a BuildBlockingPlan pass first
+// prunes the ordered-pair space: only table pairs with at least one admitted
+// column pair are scanned at all, and each scan skips non-admitted column
+// pairs. The plan's counters land in stats->blocking.
 std::vector<Ind> DiscoverInds(const std::vector<Table>& tables,
                               const std::vector<TableProfile>& profiles,
                               const std::vector<std::vector<Ucc>>& uccs,

@@ -71,7 +71,10 @@ SortedHashCounts BuildSortedHashCounts(
 // row-weighted hit ratio over that sample estimates the exact row-weighted
 // containment. `sample` is the number of A-distinct values that
 // participated — callers must require a minimum sample before trusting the
-// estimate (see IndOptions::kmv_min_sample).
+// estimate. (The PR 5 IND pre-screen built on this was retired in PR 9 in
+// favor of inverted-index blocking — profile/blocking.h — which prunes
+// whole table pairs instead of individual merges; the kernel survives as a
+// standalone estimator for tests and tooling.)
 struct KmvEstimate {
   double containment = 0.0;  // Estimated row-weighted containment of A in B.
   size_t sample = 0;         // Distinct A-values below the threshold.

@@ -739,6 +739,38 @@ Json ServeEngine::HandlePredict(const Json& req) {
             Json::MakeBool(result->incremental.warm_start_used));
     resp.Set("incremental", std::move(inc));
   }
+  // Lake-scale observability (PR 9): what the blocking stage pruned and how
+  // the global solve partitioned. Cumulative engine-level sums feed the
+  // stats verb.
+  {
+    const BlockingStats& b = result->ind_stats.blocking;
+    Json blocking = Json::MakeObject();
+    blocking.Set("column_pairs_total",
+                 Json::MakeInt(int64_t(b.column_pairs_total)));
+    blocking.Set("column_pairs_admitted",
+                 Json::MakeInt(int64_t(b.column_pairs_admitted)));
+    blocking.Set("column_pairs_pruned",
+                 Json::MakeInt(int64_t(b.column_pairs_pruned)));
+    blocking.Set("table_pairs_total",
+                 Json::MakeInt(int64_t(b.table_pairs_total)));
+    blocking.Set("table_pairs_active",
+                 Json::MakeInt(int64_t(b.table_pairs_active)));
+    blocking.Set("pruning_rate", Json::MakeDouble(b.PruningRate()));
+    resp.Set("blocking", std::move(blocking));
+    Json partition = Json::MakeObject();
+    partition.Set("used", Json::MakeBool(result->partition.used));
+    partition.Set("components",
+                  Json::MakeInt(int64_t(result->partition.components)));
+    partition.Set("components_solved",
+                  Json::MakeInt(int64_t(result->partition.components_solved)));
+    partition.Set(
+        "largest_component_edges",
+        Json::MakeInt(int64_t(result->partition.largest_component_edges)));
+    resp.Set("partition", std::move(partition));
+    blocked_pairs_ += int64_t(b.column_pairs_pruned);
+    admitted_pairs_ += int64_t(b.column_pairs_admitted);
+    components_solved_ += int64_t(result->partition.components_solved);
+  }
   resp.Set("degraded", Json::MakeBool(result->degradation.Any()));
   if (result->degradation.Any()) {
     Json triggers = Json::MakeArray();
@@ -921,6 +953,11 @@ Json ServeEngine::HandleStats(const Json& req) {
   admission.Set("max_inflight", Json::MakeInt(options_.max_inflight));
   admission.Set("max_queue", Json::MakeInt(options_.max_queue));
   resp.Set("admission", std::move(admission));
+  Json blocking = Json::MakeObject();
+  blocking.Set("column_pairs_pruned", Json::MakeInt(blocked_pairs_.load()));
+  blocking.Set("column_pairs_admitted", Json::MakeInt(admitted_pairs_.load()));
+  blocking.Set("components_solved", Json::MakeInt(components_solved_.load()));
+  resp.Set("blocking", std::move(blocking));
   return resp;
 }
 

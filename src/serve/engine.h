@@ -191,6 +191,12 @@ class ServeEngine {
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> errors_{0};
   std::atomic<int64_t> predicts_{0};
+  // Cumulative lake-scale counters across every successful predict (PR 9):
+  // column pairs the blocking stage pruned/admitted and graph components
+  // solved by the partitioned global solve.
+  std::atomic<int64_t> blocked_pairs_{0};
+  std::atomic<int64_t> admitted_pairs_{0};
+  std::atomic<int64_t> components_solved_{0};
 };
 
 // Builds the standard error response envelope.

@@ -1,0 +1,166 @@
+#include "synth/lake.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "synth/names.h"
+#include "synth/schema_builder.h"
+
+namespace autobi {
+
+namespace {
+
+// Types an entity attribute the way bi_generator does, minus the naming
+// noise (lake adversarialness lives in the key columns, not the attributes).
+ColumnSpec LakeAttribute(const std::string& name) {
+  ColumnSpec col;
+  col.name = name;
+  auto has = [&](const char* s) { return name.find(s) != std::string::npos; };
+  if (has("date")) {
+    col.kind = ColumnKind::kDate;
+    col.min_value = 0;
+    col.max_value = 2000;
+  } else if (has("price") || has("salary") || has("budget") || has("rate") ||
+             has("amount") || has("cost") || has("weight")) {
+    col.kind = ColumnKind::kDouble;
+    col.min_value = 1.0;
+    col.max_value = 5000.0;
+  } else if (has("year") || has("population") || has("pages") ||
+             has("credits") || has("capacity") || has("rooms") ||
+             has("sq_ft") || has("runtime") || has("founded") ||
+             has("rank") || has("zip") || has("level")) {
+    col.kind = ColumnKind::kInt;
+    col.min_value = 1;
+    col.max_value = 5000;
+  } else {
+    col.kind = ColumnKind::kText;
+  }
+  return col;
+}
+
+}  // namespace
+
+BiCase GenerateLake(const LakeGenOptions& options, Rng& rng) {
+  AUTOBI_CHECK(options.num_tables >= 1);
+  AUTOBI_CHECK(options.min_island >= 2 && options.min_island <= options.max_island);
+  const std::vector<EntityTemplate>& entities = EntityPool();
+  const std::vector<FactTemplate>& facts = FactPool();
+
+  SchemaBuilder builder;
+  // Entities any earlier island already used — the shared-name draw pool.
+  std::vector<const EntityTemplate*> used_entities;
+
+  int remaining = options.num_tables;
+  int island = 0;
+  while (remaining > 0) {
+    int size = int(rng.NextInt(options.min_island, options.max_island));
+    size = std::min(size, remaining);
+    const std::string prefix = StrFormat("l%d_", island);
+    // Island key-space offset: value-disjoint from every other island
+    // unless this island rolls the shared range (then both its surrogate
+    // base and its string-key prefixes collapse to the shared pool).
+    const bool shared_range = rng.NextBool(options.shared_key_range_prob);
+    const long key_base = shared_range ? 1 : 1 + island * 100003L;
+
+    // --- Dimensions (size - 1 of them; a 1-table remainder island is a
+    // standalone dim — an edgeless singleton component).
+    const int num_dims = std::max(1, size - 1);
+    struct PlannedDim {
+      const EntityTemplate* entity = nullptr;
+      std::string table;
+      std::string pk;
+      bool string_key = false;
+    };
+    std::vector<PlannedDim> dims;
+    std::set<std::string> taken;  // Entity names used inside this island.
+    for (int d = 0; d < num_dims; ++d) {
+      const EntityTemplate* entity = nullptr;
+      for (int attempt = 0; attempt < 16 && entity == nullptr; ++attempt) {
+        const EntityTemplate* pick =
+            (!used_entities.empty() &&
+             rng.NextBool(options.shared_dim_name_prob))
+                ? used_entities[size_t(rng.NextBelow(used_entities.size()))]
+                : &entities[size_t(rng.NextBelow(entities.size()))];
+        if (taken.insert(pick->name).second) entity = pick;
+      }
+      if (entity == nullptr) break;  // Island saturated the pool; shrink it.
+      PlannedDim dim;
+      dim.entity = entity;
+      dim.table = prefix + entity->name;
+      dim.pk = std::string(entity->name) + "_id";
+      dim.string_key = rng.NextBool(options.string_key_prob);
+
+      TableSpec spec;
+      spec.name = dim.table;
+      spec.rows = size_t(rng.NextInt(int64_t(options.min_dim_rows),
+                                     int64_t(options.max_dim_rows)));
+      ColumnSpec key;
+      key.name = dim.pk;
+      if (dim.string_key) {
+        key.kind = ColumnKind::kStringKey;
+        // Shared-range islands drop the island tag from the prefix: their
+        // "c1".."cN" counters overlap every other shared-range island with
+        // the same entity initial — near-joins that survive blocking and
+        // must be settled by the exact containment checks.
+        key.prefix = shared_range ? std::string(1, entity->name[0])
+                                  : StrFormat("%c%d_", entity->name[0], island);
+      } else {
+        key.kind = ColumnKind::kSurrogateKey;
+        key.key_base = key_base;
+      }
+      spec.columns.push_back(key);
+      const size_t num_attrs = std::min<size_t>(entity->attributes.size(), 2);
+      for (size_t a = 0; a < num_attrs; ++a) {
+        spec.columns.push_back(LakeAttribute(entity->attributes[a]));
+      }
+      builder.AddTable(std::move(spec));
+      used_entities.push_back(entity);
+      // Snowflake chain: this dim references an earlier dim of the island.
+      if (!dims.empty() && rng.NextBool(options.snowflake_prob)) {
+        const PlannedDim& parent =
+            dims[size_t(rng.NextBelow(dims.size()))];
+        builder.AddFkColumn(dim.table, parent.pk, parent.table, parent.pk);
+      }
+      dims.push_back(std::move(dim));
+    }
+
+    // --- Fact (only when the island has room for one).
+    if (size >= 2 && !dims.empty()) {
+      const FactTemplate& fact =
+          facts[size_t(rng.NextBelow(facts.size()))];
+      TableSpec spec;
+      spec.name = prefix + fact.name;
+      spec.rows = size_t(rng.NextInt(int64_t(options.min_fact_rows),
+                                     int64_t(options.max_fact_rows)));
+      const size_t num_measures = std::min<size_t>(fact.measures.size(), 2);
+      for (size_t m = 0; m < num_measures; ++m) {
+        ColumnSpec col;
+        col.name = fact.measures[m];
+        col.kind = ColumnKind::kDouble;
+        col.min_value = 1.0;
+        col.max_value = 5000.0;
+        spec.columns.push_back(col);
+      }
+      const std::string fact_name = spec.name;
+      builder.AddTable(std::move(spec));
+      for (const PlannedDim& dim : dims) {
+        builder.AddFkColumn(fact_name, dim.pk, dim.table, dim.pk);
+      }
+    }
+
+    remaining -= int(dims.size()) + ((size >= 2 && !dims.empty()) ? 1 : 0);
+    ++island;
+    AUTOBI_CHECK(!dims.empty());  // Progress guarantee: each island adds tables.
+  }
+
+  BiCase result =
+      builder.Generate(StrFormat("lake_%d", options.num_tables), rng);
+  result.schema_type = SchemaType::kOther;
+  return result;
+}
+
+}  // namespace autobi

@@ -1,0 +1,61 @@
+#ifndef AUTOBI_SYNTH_LAKE_H_
+#define AUTOBI_SYNTH_LAKE_H_
+
+#include "common/rng.h"
+#include "core/bi_model.h"
+
+namespace autobi {
+
+// Synthetic data-lake generator (PR 9). Where bi_generator.h models ONE
+// harvested BI case (a handful of tables, one connected schema graph), a
+// lake is what blocking and the partitioned solve exist for: hundreds of
+// tables forming many small DISCONNECTED star/snowflake islands, the way a
+// departmental lake accretes unrelated extracts. Ground truth contains only
+// the within-island joins; islands share nothing but (adversarially) names
+// and sometimes key ranges:
+//   - Column names are UNPREFIXED entity names ("customer_id"): two islands
+//     that drew the same dimension entity collide by name, so any
+//     name-driven candidate pruning would produce false joins. Only values
+//     separate them — which is exactly what the blocking index probes.
+//   - Key ranges are island-offset by default (island i counts surrogates
+//     from 1 + i * 100003), so cross-island column pairs are value-disjoint
+//     and blocking prunes them. With `shared_key_range_prob` an island
+//     instead counts from 1 like everyone else: those near-joins survive
+//     blocking by design and must be rejected (or kept — the oracle
+//     decides) by the exact containment checks downstream.
+// A lake whose table budget ends with a 1-table remainder gets a standalone
+// dimension: an edgeless singleton component for the partition path.
+struct LakeGenOptions {
+  int num_tables = 100;
+  // Tables per island, inclusive (islands are clipped by the table budget).
+  int min_island = 3;
+  int max_island = 8;
+  // Row-count ranges. Small on purpose: lake benchmarks sweep table COUNT,
+  // and per-table cost must not drown the pair-enumeration effect.
+  size_t min_dim_rows = 24;
+  size_t max_dim_rows = 120;
+  size_t min_fact_rows = 60;
+  size_t max_fact_rows = 240;
+  // Chance a non-first dimension chains to an earlier dim of its island
+  // (snowflake edge, in the ground truth).
+  double snowflake_prob = 0.35;
+  // Chance a dimension reuses an entity some earlier island already used —
+  // the adversarial same-name-different-data case.
+  double shared_dim_name_prob = 0.4;
+  // Chance an island's keys count from 1 instead of its private offset
+  // (string-key prefixes lose their island tag too), overlapping every
+  // other shared-range island. Kept small: shared-range islands overlap
+  // PAIRWISE, so this adds an (p*n)^2 quadratic term to the admitted-pair
+  // curve by construction.
+  double shared_key_range_prob = 0.08;
+  // Chance a dimension uses string business keys ("c1", "c2", ...).
+  double string_key_prob = 0.25;
+};
+
+// Generates one lake case (tables + within-island ground truth).
+// Deterministic given the Rng state; table order is island-major.
+BiCase GenerateLake(const LakeGenOptions& options, Rng& rng);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SYNTH_LAKE_H_

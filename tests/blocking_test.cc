@@ -1,0 +1,154 @@
+// PR 9 differential suite for the lake-scale path: the blocking stage is a
+// pure pruning optimization, so a blocking-on Predict must be bit-identical
+// to the exhaustive all-pairs oracle (blocking off) on every workload — the
+// synthetic REAL corpus, the DDL-driven TPC-H schema, and adversarial lakes
+// (shared dimension names, shared key ranges) — and the partitioned
+// per-component solve must stitch the same result at 1, 2 and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/auto_bi.h"
+#include "core/model_export.h"
+#include "core/trainer.h"
+#include "synth/corpus.h"
+#include "synth/lake.h"
+#include "synth/tpch_ddl.h"
+
+namespace autobi {
+namespace {
+
+// One shared model for the whole suite (training dominates runtime).
+const LocalModel& SharedModel() {
+  static const LocalModel* model = [] {
+    CorpusOptions opt;
+    opt.seed = 808;
+    opt.training_cases = 50;
+    TrainerOptions trainer;
+    trainer.forest.num_trees = 16;
+    return new LocalModel(TrainLocalModel(BuildTrainingCorpus(opt), trainer));
+  }();
+  return *model;
+}
+
+AutoBiResult RunPredict(const std::vector<Table>& tables, bool blocking,
+                        int threads) {
+  AutoBiOptions opt;
+  opt.threads = threads;
+  opt.candidates.ind.blocking.enabled = blocking;
+  AutoBi autobi(&SharedModel(), opt);
+  return autobi.Predict(tables);
+}
+
+std::string ExportOrDie(const std::vector<Table>& tables,
+                        const AutoBiResult& result) {
+  StatusOr<std::string> json = ExportJson(tables, result.model);
+  EXPECT_TRUE(json.ok()) << json.status().ToString();
+  return json.ok() ? json.value() : std::string();
+}
+
+// The full bit-identity contract: model export, join graph, and the solver's
+// selected edge sets must all match the exhaustive oracle exactly.
+void ExpectMatchesExhaustive(const std::vector<Table>& tables, int threads,
+                             const char* what) {
+  AutoBiResult on = RunPredict(tables, true, threads);
+  AutoBiResult off = RunPredict(tables, false, threads);
+  EXPECT_EQ(ExportOrDie(tables, on), ExportOrDie(tables, off))
+      << what << ": blocking changed the exported model (recall loss)";
+  EXPECT_TRUE(on.graph.StructurallyEqual(off.graph))
+      << what << ": blocking changed the join graph";
+  EXPECT_EQ(on.backbone_edges, off.backbone_edges) << what;
+  EXPECT_EQ(on.recall_edges, off.recall_edges) << what;
+  // Blocking must actually do work (prune something) wherever more than one
+  // table pair exists; the counters prove the fast path ran.
+  if (tables.size() > 2) {
+    EXPECT_GT(on.ind_stats.blocking.column_pairs_total, 0);
+  }
+  EXPECT_EQ(off.ind_stats.blocking.column_pairs_pruned, 0);
+}
+
+TEST(BlockingDifferentialTest, CorpusBitIdenticalToExhaustive) {
+  CorpusOptions opt;
+  opt.seed = 911;
+  opt.training_cases = 12;
+  std::vector<BiCase> corpus = BuildTrainingCorpus(opt);
+  ASSERT_FALSE(corpus.empty());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    ExpectMatchesExhaustive(corpus[i].tables, 1,
+                            corpus[i].name.empty() ? "corpus case"
+                                                   : corpus[i].name.c_str());
+  }
+}
+
+TEST(BlockingDifferentialTest, TpchDdlBitIdenticalToExhaustive) {
+  Rng rng(424242);
+  StatusOr<BiCase> tpch = GenerateTpchFromDdl(0.05, rng);
+  ASSERT_TRUE(tpch.ok()) << tpch.status().ToString();
+  for (int threads : {1, 2, 8}) {
+    ExpectMatchesExhaustive(tpch->tables, threads, "TPC-H(ddl)");
+  }
+}
+
+TEST(BlockingDifferentialTest, LakeBitIdenticalToExhaustiveAcrossThreads) {
+  LakeGenOptions gen;
+  gen.num_tables = 80;
+  gen.shared_dim_name_prob = 0.6;   // Force name collisions across islands.
+  gen.shared_key_range_prob = 0.2;  // And value-overlapping near-joins.
+  Rng rng(0x9a5e);
+  BiCase lake = GenerateLake(gen, rng);
+  for (int threads : {1, 2, 8}) {
+    ExpectMatchesExhaustive(lake.tables, threads, "lake");
+  }
+}
+
+// The partitioned solve must kick in on a lake (many islands -> many
+// components) and stitch bit-identically at any thread count: the thread-1
+// run is the reference, 2 and 8 must reproduce it byte for byte, including
+// the partition telemetry.
+TEST(BlockingDifferentialTest, ComponentStitchDeterministicAcrossThreads) {
+  LakeGenOptions gen;
+  gen.num_tables = 60;
+  Rng rng(0x57a7);
+  BiCase lake = GenerateLake(gen, rng);
+
+  AutoBiResult reference = RunPredict(lake.tables, true, 1);
+  ASSERT_TRUE(reference.partition.used);
+  ASSERT_GT(reference.partition.components, 1u);
+  EXPECT_EQ(reference.partition.component_health.size(),
+            reference.partition.components_solved);
+  std::string reference_json = ExportOrDie(lake.tables, reference);
+
+  for (int threads : {2, 8}) {
+    AutoBiResult run = RunPredict(lake.tables, true, threads);
+    EXPECT_EQ(ExportOrDie(lake.tables, run), reference_json) << threads;
+    EXPECT_TRUE(run.graph.StructurallyEqual(reference.graph)) << threads;
+    EXPECT_EQ(run.backbone_edges, reference.backbone_edges) << threads;
+    EXPECT_EQ(run.recall_edges, reference.recall_edges) << threads;
+    EXPECT_EQ(run.partition.used, reference.partition.used) << threads;
+    EXPECT_EQ(run.partition.components, reference.partition.components);
+    EXPECT_EQ(run.partition.components_solved,
+              reference.partition.components_solved);
+    EXPECT_EQ(run.partition.largest_component_edges,
+              reference.partition.largest_component_edges);
+  }
+}
+
+// An edgeless singleton island (1-table remainder) must flow through the
+// partition path without a solve call and without disturbing the others.
+TEST(BlockingDifferentialTest, SingletonComponentsAreSkippedNotSolved) {
+  LakeGenOptions gen;
+  gen.num_tables = 31;  // 31 = islands of 3..8 plus a likely remainder.
+  Rng rng(0xbeef);
+  BiCase lake = GenerateLake(gen, rng);
+  AutoBiResult result = RunPredict(lake.tables, true, 2);
+  if (result.partition.used) {
+    EXPECT_LE(result.partition.components_solved, result.partition.components);
+  }
+  ExpectMatchesExhaustive(lake.tables, 2, "singleton lake");
+}
+
+}  // namespace
+}  // namespace autobi

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/trainer.h"
@@ -100,6 +101,86 @@ TEST(GraphBuilderTest, SchemaOnlyScoresDifferFromFullOnceTrained) {
     }
   }
   EXPECT_TRUE(any_diff);
+}
+
+// --- Partitioned-solve units (PR 9) --------------------------------------
+
+TEST(PartitionTest, ComponentsCoverAllVerticesOrderedBySmallest) {
+  JoinGraph g(6);
+  g.AddEdge(4, 5, {0}, {0}, 0.9);  // Component {4, 5}, edge 0.
+  g.AddEdge(1, 2, {0}, {0}, 0.8);  // Component {1, 2}, edge 1.
+  // Vertices 0 and 3 are edgeless singletons.
+  std::vector<GraphComponent> comps = PartitionJoinGraph(g);
+  ASSERT_EQ(comps.size(), 4u);
+  EXPECT_EQ(comps[0].vertices, (std::vector<int>{0}));
+  EXPECT_TRUE(comps[0].edge_ids.empty());
+  EXPECT_EQ(comps[1].vertices, (std::vector<int>{1, 2}));
+  EXPECT_EQ(comps[1].edge_ids, (std::vector<int>{1}));
+  EXPECT_EQ(comps[2].vertices, (std::vector<int>{3}));
+  EXPECT_EQ(comps[3].vertices, (std::vector<int>{4, 5}));
+  EXPECT_EQ(comps[3].edge_ids, (std::vector<int>{0}));
+}
+
+TEST(PartitionTest, ComponentGraphRemapIsMonotoneAndExact) {
+  JoinGraph g(5);
+  // Component {1, 3, 4}: one composite N:1 edge plus a 1:1 pair.
+  g.AddEdge(1, 3, {0, 1}, {0, 1}, 0.7);
+  g.AddOneToOneEdge(3, 4, {2}, {0}, 0.6);
+  g.AddEdge(0, 2, {0}, {0}, 0.5);  // The other component, {0, 2}.
+  std::vector<GraphComponent> comps = PartitionJoinGraph(g);
+  ASSERT_EQ(comps.size(), 2u);
+  const GraphComponent& comp = comps[1];
+  ASSERT_EQ(comp.vertices, (std::vector<int>{1, 3, 4}));
+
+  JoinGraph local = BuildComponentGraph(g, comp);
+  EXPECT_EQ(local.num_vertices(), 3);
+  ASSERT_EQ(local.num_edges(), comp.edge_ids.size());
+  auto rank = [&](int v) {
+    return int(std::lower_bound(comp.vertices.begin(), comp.vertices.end(),
+                                v) -
+               comp.vertices.begin());
+  };
+  for (size_t k = 0; k < local.num_edges(); ++k) {
+    const JoinEdge& le = local.edge(int(k));
+    const JoinEdge& ge = g.edge(comp.edge_ids[k]);
+    EXPECT_EQ(le.src, rank(ge.src));
+    EXPECT_EQ(le.dst, rank(ge.dst));
+    EXPECT_EQ(le.src_columns, ge.src_columns);
+    EXPECT_EQ(le.dst_columns, ge.dst_columns);
+    // Bit-identical carry-over: the per-component solve must see exactly the
+    // numbers the flat solve would.
+    EXPECT_EQ(le.probability, ge.probability);
+    EXPECT_EQ(le.weight, ge.weight);
+    EXPECT_EQ(le.one_to_one, ge.one_to_one);
+    EXPECT_EQ(le.pair_id, ge.pair_id);
+  }
+}
+
+TEST(PartitionTest, ConflictGroupsSurviveTheRemap) {
+  JoinGraph g(4);
+  // Two edges from the same (src, columns) — one FK-once conflict group —
+  // landing in the same component.
+  int a = g.AddEdge(0, 1, {0}, {0}, 0.9);
+  int b = g.AddEdge(0, 2, {0}, {0}, 0.8);
+  int c = g.AddEdge(0, 3, {1}, {0}, 0.7);  // Different columns: own group.
+  ASSERT_EQ(g.edge(a).source_key, g.edge(b).source_key);
+  ASSERT_NE(g.edge(a).source_key, g.edge(c).source_key);
+  std::vector<GraphComponent> comps = PartitionJoinGraph(g);
+  ASSERT_EQ(comps.size(), 1u);
+  JoinGraph local = BuildComponentGraph(g, comps[0]);
+  ASSERT_EQ(local.num_edges(), 3u);
+  EXPECT_EQ(local.edge(0).source_key, local.edge(1).source_key);
+  EXPECT_NE(local.edge(0).source_key, local.edge(2).source_key);
+}
+
+TEST(PartitionTest, EmptyAndSingleVertexGraphs) {
+  JoinGraph empty(0);
+  EXPECT_TRUE(PartitionJoinGraph(empty).empty());
+  JoinGraph one(1);
+  std::vector<GraphComponent> comps = PartitionJoinGraph(one);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].vertices, (std::vector<int>{0}));
+  EXPECT_TRUE(comps[0].edge_ids.empty());
 }
 
 }  // namespace

@@ -789,6 +789,46 @@ TEST(ServeEngineTest, CatalogVerbsEndToEnd) {
   EXPECT_EQ(diff.Find("removed")->size(), 0u);
 }
 
+// Lake-scale observability (PR 9): every successful predict reports what the
+// blocking stage pruned and how the global solve partitioned, and the stats
+// verb accumulates those numbers across requests.
+TEST(ServeEngineTest, PredictReportsBlockingAndPartitionCounters) {
+  ServeEngine engine(&TestModel(), ServeOptions{});
+  std::string session = SetUpStarSession(engine);
+  Json predict =
+      Call(engine, R"({"verb":"predict","session":")" + session + R"("})");
+  ASSERT_TRUE(IsOk(predict)) << predict.Write();
+
+  const Json* blocking = predict.Find("blocking");
+  ASSERT_NE(blocking, nullptr);
+  int64_t total = blocking->Find("column_pairs_total")->AsInt();
+  int64_t admitted = blocking->Find("column_pairs_admitted")->AsInt();
+  int64_t pruned = blocking->Find("column_pairs_pruned")->AsInt();
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(total, admitted + pruned);
+  EXPECT_GE(blocking->Find("table_pairs_total")->AsInt(),
+            blocking->Find("table_pairs_active")->AsInt());
+  const Json* rate = blocking->Find("pruning_rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_GE(rate->AsDouble(), 0.0);
+  EXPECT_LE(rate->AsDouble(), 1.0);
+
+  const Json* partition = predict.Find("partition");
+  ASSERT_NE(partition, nullptr);
+  ASSERT_NE(partition->Find("used"), nullptr);
+  EXPECT_GE(partition->Find("components")->AsInt(),
+            partition->Find("components_solved")->AsInt());
+
+  // The stats verb carries the cumulative sums of the same counters.
+  Json stats = Call(engine, R"({"verb":"stats"})");
+  ASSERT_TRUE(IsOk(stats));
+  const Json* cumulative = stats.Find("blocking");
+  ASSERT_NE(cumulative, nullptr);
+  EXPECT_EQ(cumulative->Find("column_pairs_pruned")->AsInt(), pruned);
+  EXPECT_EQ(cumulative->Find("column_pairs_admitted")->AsInt(), admitted);
+  EXPECT_GE(cumulative->Find("components_solved")->AsInt(), 0);
+}
+
 TEST(ServeEngineTest, StatsAndShutdown) {
   ServeEngine engine(&TestModel(), ServeOptions{});
   Call(engine, R"({"verb":"ping"})");

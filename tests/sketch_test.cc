@@ -2,7 +2,7 @@
 // the sorted-merge Containment must equal the legacy string-map
 // implementation on adversarial randomized columns (nulls, duplicates,
 // escape-worthy values), the composite tuple-hash containment must equal a
-// string-set oracle, and the KMV-screened DiscoverInds must return
+// string-set oracle, and the blocking-screened DiscoverInds must return
 // byte-identical IND and candidate lists on the synthetic REAL corpus with
 // the screen on and off, at 1 and 8 threads.
 
@@ -179,10 +179,10 @@ TEST(SketchTest, KmvEstimateIsExactWhenSketchCoversColumns) {
   EXPECT_DOUBLE_EQ(est.containment, 0.5);
 }
 
-TEST(SketchTest, KmvScreenSkipsDisjointHighCardinalityPair) {
-  // Two large key-like string columns with disjoint domains: the screen must
-  // skip the exact merge in both directions without changing the (empty)
-  // result.
+TEST(SketchTest, BlockingSkipsDisjointHighCardinalityPair) {
+  // Two large key-like string columns with disjoint domains: blocking must
+  // prune both ordered pairs — no exact merges, no active table pairs —
+  // without changing the (empty) result.
   std::vector<std::string> va, vb;
   for (int i = 0; i < 3000; ++i) {
     va.push_back(StrFormat("a%d", i));
@@ -194,24 +194,28 @@ TEST(SketchTest, KmvScreenSkipsDisjointHighCardinalityPair) {
   auto profiles = ProfileTables(tables);
   std::vector<std::vector<Ucc>> uccs(2);
 
-  IndOptions screened;
+  IndOptions blocked;
   IndStats s_on;
-  auto on = DiscoverInds(tables, profiles, uccs, screened, &s_on);
+  auto on = DiscoverInds(tables, profiles, uccs, blocked, &s_on);
   EXPECT_TRUE(on.empty());
-  EXPECT_EQ(s_on.unary_kmv_screened, 2u);
+  EXPECT_EQ(s_on.unary_blocked, 2u);
   EXPECT_EQ(s_on.unary_exact_checks, 0u);
+  EXPECT_EQ(s_on.blocking.table_pairs_active, 0u);
+  EXPECT_EQ(s_on.blocking.column_pairs_pruned, 2u);
+  EXPECT_EQ(s_on.pairs_scanned, 0u);
 
-  IndOptions unscreened;
-  unscreened.kmv_screen = false;
+  IndOptions exhaustive;
+  exhaustive.blocking.enabled = false;
   IndStats s_off;
-  auto off = DiscoverInds(tables, profiles, uccs, unscreened, &s_off);
+  auto off = DiscoverInds(tables, profiles, uccs, exhaustive, &s_off);
   EXPECT_TRUE(off.empty());
-  EXPECT_EQ(s_off.unary_kmv_screened, 0u);
+  EXPECT_EQ(s_off.unary_blocked, 0u);
   EXPECT_EQ(s_off.unary_exact_checks, 2u);
+  EXPECT_EQ(s_off.pairs_scanned, 2u);
 }
 
-TEST(SketchTest, KmvScreenKeepsContainedHighCardinalityPair) {
-  // A true FK -> PK inclusion over a large domain must survive the screen.
+TEST(SketchTest, BlockingKeepsContainedHighCardinalityPair) {
+  // A true FK -> PK inclusion over a large domain must survive blocking.
   std::vector<std::string> pk, fk;
   for (int i = 0; i < 4000; ++i) pk.push_back(StrFormat("k%d", i));
   Rng rng(3);
@@ -449,10 +453,10 @@ TEST(SketchCorpusTest, ContainmentMatchesReferenceOnTrainingCorpus) {
   }
 }
 
-// The KMV screen's default parameters must not change a single IND or
-// candidate on the REAL corpus, at 1 and 8 threads (screened results are
+// Blocking's default probe budgets must not change a single IND or
+// candidate on the REAL corpus, at 1 and 8 threads (blocked results are
 // additionally thread-count invariant by construction).
-TEST(SketchCorpusTest, KmvScreenIdenticalIndsAndCandidatesOnRealCorpus) {
+TEST(SketchCorpusTest, BlockingIdenticalIndsAndCandidatesOnRealCorpus) {
   CorpusOptions opt;
   opt.seed = 9091;
   opt.cases_per_bucket = 1;
@@ -467,10 +471,10 @@ TEST(SketchCorpusTest, KmvScreenIdenticalIndsAndCandidatesOnRealCorpus) {
     }
     std::string reference;
     for (int threads : {1, 8}) {
-      for (bool screen : {false, true}) {
+      for (bool block : {false, true}) {
         IndOptions ind_opt;
         ind_opt.threads = threads;
-        ind_opt.kmv_screen = screen;
+        ind_opt.blocking.enabled = block;
         IndStats stats;
         std::string got =
             SerializeInds(DiscoverInds(bi_case.tables, profiles, uccs,
@@ -480,9 +484,9 @@ TEST(SketchCorpusTest, KmvScreenIdenticalIndsAndCandidatesOnRealCorpus) {
         } else {
           EXPECT_EQ(reference, got)
               << bi_case.name << " threads=" << threads
-              << " screen=" << screen;
+              << " blocking=" << block;
         }
-        if (screen) screened_total += stats.unary_kmv_screened;
+        if (block) screened_total += stats.unary_blocked;
       }
     }
 
@@ -491,7 +495,7 @@ TEST(SketchCorpusTest, KmvScreenIdenticalIndsAndCandidatesOnRealCorpus) {
     // of identical input, so predicted join graphs cannot differ either.
     CandidateGenOptions gen_on;
     CandidateGenOptions gen_off;
-    gen_off.ind.kmv_screen = false;
+    gen_off.ind.blocking.enabled = false;
     EXPECT_EQ(
         SerializeCandidates(GenerateCandidates(bi_case.tables, gen_on)
                                 .candidates),
