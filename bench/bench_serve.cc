@@ -11,10 +11,24 @@
 //   - the partial-warm result is bit-identical to a cache-free Predict of
 //     the mutated table set.
 //
+// A fourth measurement covers the durability layer (SERVING.md "Durability
+// & recovery"): the publish_model verb against a volatile engine vs one
+// with --state_dir journaling (write-ahead record + fsync per publish).
+// The gate: journaled publish stays under 2x the volatile publish. The
+// journaled state dir goes on a RAM-backed fs when one is available so the
+// gate tracks the journaling code path (framing, checksum, write, commit
+// bookkeeping) rather than the CI host's device flush latency, which ranges
+// from ~10us (NVMe FUA) to milliseconds (cloud block storage) and would
+// make the ratio meaningless across machines.
+//
 // Usage: bench_serve [--json]
 // Scale via AUTOBI_REAL_CASES / AUTOBI_TRAIN_CASES (see bench_common.h).
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -23,6 +37,9 @@
 #include "core/auto_bi.h"
 #include "core/model_export.h"
 #include "core/predict_cache.h"
+#include "serve/engine.h"
+#include "serve/json.h"
+#include "table/csv.h"
 
 namespace autobi {
 namespace {
@@ -31,6 +48,50 @@ std::string ModelFingerprint(const std::vector<Table>& tables,
                              const AutoBiResult& result) {
   StatusOr<std::string> json = ExportJson(tables, result.model);
   return json.ok() ? *json : std::string("<invalid>");
+}
+
+// Seconds for the best of `batches` runs of `publishes` publish_model
+// requests each, on an engine prepared with one session + predict over
+// `tables`. Min-of-batches suppresses device fsync-latency spikes, which
+// would otherwise dominate the journaled stream on slow block devices.
+// Returns a negative value when any request fails (folded into the
+// bit-identity gate by the caller).
+double TimePublishes(ServeEngine& engine, const std::vector<Table>& tables,
+                     int publishes, int batches) {
+  StatusOr<Json> created =
+      ParseJson(engine.HandleLine(R"({"verb":"create_session"})"));
+  if (!created.ok() || created->Find("session") == nullptr) return -1.0;
+  std::string session = created->Find("session")->AsString();
+  for (const Table& t : tables) {
+    Json req = Json::MakeObject();
+    req.Set("verb", Json::MakeString("upload_table"));
+    req.Set("session", Json::MakeString(session));
+    req.Set("name", Json::MakeString(t.name()));
+    req.Set("csv", Json::MakeString(WriteCsv(t)));
+    engine.HandleLine(req.Write());
+  }
+  Json predict = Json::MakeObject();
+  predict.Set("verb", Json::MakeString("predict"));
+  predict.Set("session", Json::MakeString(session));
+  StatusOr<Json> predicted = ParseJson(engine.HandleLine(predict.Write()));
+  if (!predicted.ok()) return -1.0;
+
+  Json publish = Json::MakeObject();
+  publish.Set("verb", Json::MakeString("publish_model"));
+  publish.Set("session", Json::MakeString(session));
+  publish.Set("label", Json::MakeString("bench"));
+  const std::string line = publish.Write();
+  double best = -1.0;
+  for (int b = 0; b < batches; ++b) {
+    Timer timer;
+    for (int i = 0; i < publishes; ++i) {
+      StatusOr<Json> response = ParseJson(engine.HandleLine(line));
+      if (!response.ok() || response->Find("version") == nullptr) return -1.0;
+    }
+    double seconds = timer.Seconds();
+    if (best < 0.0 || seconds < best) best = seconds;
+  }
+  return best;
 }
 
 int Run(bool as_json) {
@@ -88,6 +149,47 @@ int Run(bool as_json) {
     }
   }
 
+  // Journaling overhead on publish_model: identical publish streams against
+  // a volatile engine and one journaling to a fresh state dir.
+  const int kPublishes = 64;
+  const int kBatches = 3;
+  const std::vector<Table>& publish_tables = benchmark.cases[0].tables;
+  // Retention above the total publish count so neither engine evicts: the
+  // measurement isolates the publish path (eviction adds a second record to
+  // the same commit barrier and would make the streams diverge at the cap).
+  // compact_every stays at its default, so each journaled batch amortizes
+  // one snapshot compaction, as production would.
+  ServeOptions publish_options;
+  publish_options.max_unpinned_models_per_tenant =
+      size_t(2 * kBatches * kPublishes);
+  double publish_plain = 0.0, publish_journaled = 0.0;
+  {
+    ServeEngine plain(&model, publish_options);
+    publish_plain = TimePublishes(plain, publish_tables, kPublishes, kBatches);
+  }
+  // RAM-backed when possible (see the file comment); /tmp otherwise.
+  char shm_template[] = "/dev/shm/autobi_bench_state_XXXXXX";
+  char tmp_template[] = "/tmp/autobi_bench_state_XXXXXX";
+  char* state_dir = ::mkdtemp(shm_template);
+  if (state_dir == nullptr) state_dir = ::mkdtemp(tmp_template);
+  if (state_dir != nullptr) {
+    ServeOptions options = publish_options;
+    options.state_dir = state_dir;
+    ServeEngine journaled(&model, options);
+    if (journaled.RecoverState().ok()) {
+      publish_journaled =
+          TimePublishes(journaled, publish_tables, kPublishes, kBatches);
+    } else {
+      publish_journaled = -1.0;
+    }
+    std::filesystem::remove_all(state_dir);
+  } else {
+    publish_journaled = -1.0;
+  }
+  double publish_overhead = publish_plain > 0.0 && publish_journaled > 0.0
+                                ? publish_journaled / publish_plain
+                                : -1.0;
+
   double speedup = warm_total > 0 ? cold_total / warm_total : 0.0;
   double partial_speedup =
       partial_total > 0 ? partial_nocache_total / partial_total : 0.0;
@@ -95,7 +197,8 @@ int Run(bool as_json) {
       profile_hits + profile_misses > 0
           ? double(profile_hits) / double(profile_hits + profile_misses)
           : 0.0;
-  bool ok = warm_mismatches == 0 && partial_mismatches == 0;
+  bool ok = warm_mismatches == 0 && partial_mismatches == 0 &&
+            publish_overhead > 0.0;
 
   if (as_json) {
     std::printf(
@@ -106,9 +209,13 @@ int Run(bool as_json) {
         "\"partial_nocache_total_seconds\":%.6f,"
         "\"partial_speedup\":%.2f,"
         "\"profile_cache_hit_rate\":%.3f,"
+        "\"publish_plain_seconds\":%.6f,"
+        "\"publish_journaled_seconds\":%.6f,"
+        "\"publish_journal_overhead\":%.2f,"
         "\"warm_bit_identical\":%s,\"partial_bit_identical\":%s}\n",
         benchmark.cases.size(), cold_total, warm_total, speedup,
         partial_total, partial_nocache_total, partial_speedup, hit_rate,
+        publish_plain, publish_journaled, publish_overhead,
         warm_mismatches == 0 ? "true" : "false",
         partial_mismatches == 0 ? "true" : "false");
   } else {
@@ -121,6 +228,10 @@ int Run(bool as_json) {
                 partial_mismatches == 0 ? "bit-identical" : "MISMATCH");
     std::printf("  profile cache hit rate on partial re-upload: %.1f%%\n",
                 100.0 * hit_rate);
+    std::printf(
+        "  publish_model x%d: %.3f ms plain, %.3f ms journaled (%.2fx)\n",
+        kPublishes, 1e3 * publish_plain, 1e3 * publish_journaled,
+        publish_overhead);
   }
   return ok ? 0 : 1;
 }

@@ -5,14 +5,24 @@
 //       reads one JSON request per stdin line, prints each response line
 //   autobi_client --socket /tmp/autobi.sock --shutdown  stop the daemon
 //
+// Transient failures are retried with capped exponential backoff plus
+// deterministic jitter (--max_retries, default 5): a refused connect (the
+// daemon is still booting or training) and RESOURCE_EXHAUSTED responses
+// (the AdmissionGate shed the request; SERVING.md "Troubleshooting" says to
+// retry with backoff, so the client does).
+//
 // See SERVING.md for the protocol the demo walks through: create_session ->
-// upload_table x3 -> predict -> get_model -> diff -> close_session.
+// upload_table x3 -> predict -> get_model -> diff -> close_session;
+// --publish LABEL adds publish_model -> list_models before the close.
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -21,27 +31,62 @@
 
 namespace {
 
+int g_max_retries = 5;
+
+// Deterministic jitter: a splitmix-style mix of the attempt number, so two
+// runs back off identically (reproducible demos) while different attempts
+// do not synchronize on exact powers of two.
+unsigned JitterMs(int attempt) {
+  uint64_t z = uint64_t(attempt) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return unsigned((z ^ (z >> 31)) % 25);
+}
+
+// Capped exponential backoff: 50ms, 100ms, 200ms, ... capped at 2s, plus
+// up to 25ms of jitter.
+void BackoffSleep(int attempt) {
+  long ms = 50L << (attempt < 6 ? attempt : 6);
+  if (ms > 2000) ms = 2000;
+  ms += JitterMs(attempt);
+  ::usleep(useconds_t(ms) * 1000);
+}
+
 int ConnectUnix(const std::string& path) {
   if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     std::fprintf(stderr, "autobi_client: socket path too long\n");
     return -1;
   }
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("autobi_client: socket");
-    return -1;
-  }
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size());
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::fprintf(stderr, "autobi_client: cannot connect to %s: %s\n",
-                 path.c_str(), std::strerror(errno));
+  for (int attempt = 0;; ++attempt) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::perror("autobi_client: socket");
+      return -1;
+    }
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    int err = errno;
     ::close(fd);
-    return -1;
+    // ECONNREFUSED / ENOENT are what a daemon that is still booting (or
+    // still training its model) looks like; everything else is permanent.
+    bool transient = err == ECONNREFUSED || err == ENOENT;
+    if (!transient || attempt >= g_max_retries) {
+      std::fprintf(stderr, "autobi_client: cannot connect to %s: %s\n",
+                   path.c_str(), std::strerror(err));
+      return -1;
+    }
+    std::fprintf(stderr,
+                 "autobi_client: connect to %s failed (%s), retry %d/%d\n",
+                 path.c_str(), std::strerror(err), attempt + 1,
+                 g_max_retries);
+    BackoffSleep(attempt);
   }
-  return fd;
 }
 
 // Sends one request line and reads exactly one response line.
@@ -64,11 +109,39 @@ bool RoundTrip(int fd, const std::string& line, std::string* response) {
   }
 }
 
+bool IsResourceExhausted(const std::string& response) {
+  autobi::StatusOr<autobi::Json> parsed = autobi::ParseJson(response);
+  if (!parsed.ok()) return false;
+  const autobi::Json* error = parsed->Find("error");
+  const autobi::Json* code = error != nullptr ? error->Find("code") : nullptr;
+  return code != nullptr && code->is_string() &&
+         code->AsString() == "RESOURCE_EXHAUSTED";
+}
+
+// RoundTrip plus retry-on-shed: a RESOURCE_EXHAUSTED response means the
+// admission gate was full, not that the request was wrong — back off and
+// resend. Still exactly one final response per request (the shed responses
+// are consumed here), so the passthrough contract holds.
+bool RoundTripWithRetry(int fd, const std::string& request,
+                        std::string* response) {
+  for (int attempt = 0;; ++attempt) {
+    if (!RoundTrip(fd, request, response)) return false;
+    if (!IsResourceExhausted(*response) || attempt >= g_max_retries) {
+      return true;
+    }
+    std::fprintf(stderr,
+                 "autobi_client: admission rejected the request, retry "
+                 "%d/%d\n",
+                 attempt + 1, g_max_retries);
+    BackoffSleep(attempt);
+  }
+}
+
 // Sends, prints both sides, and fails loudly on an error response.
 bool Step(int fd, const std::string& request) {
   std::printf(">> %s\n", request.c_str());
   std::string response;
-  if (!RoundTrip(fd, request, &response)) {
+  if (!RoundTripWithRetry(fd, request, &response)) {
     std::fprintf(stderr, "autobi_client: connection lost\n");
     return false;
   }
@@ -121,7 +194,16 @@ std::string UploadRequest(int id, const std::string& name,
   return req.Write();
 }
 
-int RunDemo(int fd) {
+std::string PublishRequest(int id, const std::string& label) {
+  autobi::Json req = autobi::Json::MakeObject();
+  req.Set("verb", autobi::Json::MakeString("publish_model"));
+  req.Set("id", autobi::Json::MakeInt(id));
+  req.Set("session", autobi::Json::MakeString("s1"));
+  req.Set("label", autobi::Json::MakeString(label));
+  return req.Write();
+}
+
+int RunDemo(int fd, const std::string& publish_label) {
   // The demo assumes a fresh daemon (session ids start at s1).
   if (!Step(fd, R"({"verb":"create_session","id":1})")) return 1;
   if (!Step(fd, UploadRequest(2, "customers", CustomersCsv()))) return 1;
@@ -134,7 +216,11 @@ int RunDemo(int fd) {
     return 1;
   }
   if (!Step(fd, R"({"verb":"diff","id":7,"session":"s1"})")) return 1;
-  if (!Step(fd, R"({"verb":"close_session","id":8,"session":"s1"})")) return 1;
+  if (!publish_label.empty()) {
+    if (!Step(fd, PublishRequest(8, publish_label))) return 1;
+    if (!Step(fd, R"({"verb":"list_models","id":9})")) return 1;
+  }
+  if (!Step(fd, R"({"verb":"close_session","id":10,"session":"s1"})")) return 1;
   std::printf("demo complete: the predicted join graph is in the get_model "
               "response above\n");
   return 0;
@@ -144,6 +230,7 @@ int RunDemo(int fd) {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string publish_label;
   bool demo = false;
   bool shutdown = false;
   for (int i = 1; i < argc; ++i) {
@@ -152,11 +239,22 @@ int main(int argc, char** argv) {
       socket_path = argv[++i];
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--publish" && i + 1 < argc) {
+      publish_label = argv[++i];
+    } else if (arg == "--max_retries" && i + 1 < argc) {
+      char* end = nullptr;
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "autobi_client: bad --max_retries\n");
+        return 2;
+      }
+      g_max_retries = int(v);
     } else if (arg == "--shutdown") {
       shutdown = true;
     } else {
       std::fprintf(stderr,
-                   "usage: autobi_client --socket PATH [--demo|--shutdown]\n");
+                   "usage: autobi_client --socket PATH [--demo [--publish "
+                   "LABEL] | --shutdown] [--max_retries N]\n");
       return 2;
     }
   }
@@ -169,16 +267,17 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (demo) {
-    rc = RunDemo(fd);
+    rc = RunDemo(fd, publish_label);
   } else if (shutdown) {
     rc = Step(fd, R"({"verb":"shutdown"})") ? 0 : 1;
   } else {
-    // Raw passthrough: one request per stdin line.
+    // Raw passthrough: one request per stdin line, one (post-retry)
+    // response per output line.
     std::string line;
     std::string response;
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
-      if (!RoundTrip(fd, line, &response)) {
+      if (!RoundTripWithRetry(fd, line, &response)) {
         std::fprintf(stderr, "autobi_client: connection lost\n");
         rc = 1;
         break;

@@ -15,10 +15,14 @@
 # blocking + partitioned solve on vs the exhaustive all-pairs oracle;
 # gated on >= 90% column-pair pruning at 500 tables, bit-identity at every
 # size, a sub-quadratic admitted-pairs growth exponent < 1.5, and a 2 s
-# wall ceiling for the 500-table Predict), and writes BENCH_pr9.json at
-# the repo root. Each perf-focused PR writes its own BENCH_<pr>.json with
-# the same shape, so the trajectory of the hot kernels accumulates in-repo
-# and regressions are diffable.
+# wall ceiling for the 500-table Predict), and the PR 10 durability guard
+# (publish_model against a journaled --state_dir engine vs a volatile one;
+# the software journaling overhead must stay under 2x — bench_serve puts
+# the journal on a RAM-backed fs so the ratio tracks the code path, not the
+# CI host's device flush latency), and writes BENCH_pr10.json at the repo
+# root. Each perf-focused PR writes its own BENCH_<pr>.json with the same
+# shape, so the trajectory of the hot kernels accumulates in-repo and
+# regressions are diffable.
 #
 # PR 7 guard (still enforced): profile_column_100k_rows must come in at or
 # under 7.5 ms (>= 3x over the 22.4 ms string-map kernel of BENCH_pr5/pr6).
@@ -30,7 +34,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
-OUT="BENCH_pr9.json"
+OUT="BENCH_pr10.json"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_DIR" -j --target bench_micro_profile bench_fig5_latency \
@@ -69,6 +73,22 @@ echo "bench_smoke: running bench_serve --json (cold vs warm cache)..." >&2
 SERVE_JSON="$("$BUILD_DIR/bench/bench_serve" --json | tail -1)"
 if ! grep -q '"warm_bit_identical":true' <<< "$SERVE_JSON"; then
   echo "bench_smoke: FAILED — warm-cache result not bit-identical" >&2
+  exit 1
+fi
+
+# PR 10 acceptance: journaled publish_model stays under 2x the volatile
+# publish (software overhead; see the bench_serve file comment).
+PUBLISH_OVERHEAD="$(awk '
+  /"publish_journal_overhead":/ { split($0, a, "\"publish_journal_overhead\": *");
+                                  split(a[2], b, ","); print b[1]; exit }
+  ' <<< "$SERVE_JSON")"
+if [[ -z "$PUBLISH_OVERHEAD" ]]; then
+  echo "bench_smoke: FAILED to parse publish_journal_overhead" >&2
+  exit 1
+fi
+if ! awk -v o="$PUBLISH_OVERHEAD" 'BEGIN { exit !(o > 0 && o < 2.0) }'; then
+  echo "bench_smoke: FAILED — publish_model journaling overhead" \
+       "${PUBLISH_OVERHEAD}x outside the (0, 2.0) PR 10 budget" >&2
   exit 1
 fi
 
@@ -176,9 +196,9 @@ fi
 
 cat > "$OUT" <<EOF
 {
-  "pr": 9,
+  "pr": 10,
   "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "note": "lake-scale blocking + partitioned solve: new lake section sweeps 50 -> 500 tables comparing blocking-on Predict vs the exhaustive all-pairs oracle (bit-identity enforced in-binary and here; pruning gated >= 0.90 at 500 tables, admitted-pairs exponent gated < 1.5, 500-table Predict gated <= 2000 ms); PR 7 and PR 8 gates still enforced",
+  "note": "crash-safe serving state: bench_serve gains a publish_model durability section (volatile vs journaled --state_dir engine; software journaling overhead gated < 2x, journal on a RAM-backed fs so device flush latency does not skew the ratio); PR 7, PR 8 and PR 9 gates still enforced",
   "real_cases_per_bucket": $AUTOBI_REAL_CASES,
   "lake": $LAKE_JSON,
   "fig5b_auto_bi_mean_seconds": {
@@ -194,5 +214,6 @@ cat > "$OUT" <<EOF
   "micro": $MICRO_JSON
 }
 EOF
-echo "bench_smoke: wrote $OUT (lake pruning ${LAKE_PRUNING}, admitted-pairs" \
-     "exponent ${LAKE_EXP}, append_rows incremental speedup ${APPEND_SPEEDUP}x)" >&2
+echo "bench_smoke: wrote $OUT (publish journal overhead ${PUBLISH_OVERHEAD}x," \
+     "lake pruning ${LAKE_PRUNING}, admitted-pairs exponent ${LAKE_EXP}," \
+     "append_rows incremental speedup ${APPEND_SPEEDUP}x)" >&2

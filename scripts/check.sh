@@ -115,31 +115,88 @@ UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
   --scenario lake
 echo "check.sh: lake blocking differential smoke clean (ASan/UBSan)."
 
+# --- Crash-recovery differential smoke under ASan/UBSan (always on since
+# PR 10): every case drives a journaled ModelCatalog through random
+# publish/pin ops with the journal fault points armed
+# (journal.short_write/fsync/corrupt, io.rename), crashes it by tearing or
+# bit-flipping the journal at a random byte, recovers, and asserts the
+# recovered catalog is a committed prefix of the acked history — pins
+# intact, NamedJoin sets byte-identical, publishes still accepted.
+CRASH_SCRATCH="$(mktemp -d /tmp/autobi_crash.XXXXXX)"
+UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+  "$ASAN_BUILD_DIR/src/fuzz/autobi_faultfuzz" --seed 1 --cases 300 \
+  --scenario crash --scratch "$CRASH_SCRATCH"
+rm -rf "$CRASH_SCRATCH"
+echo "check.sh: crash-recovery differential smoke clean (ASan/UBSan)."
+
 # --- Serve smoke (always on, under the same TSan build so the
 # thread-per-connection transport and shared caches are race-checked): boot
-# the daemon on a unix socket, run the client demo (create_session, three
-# uploads, predict, get_model, diff, close_session), then assert a clean
-# daemon shutdown via the shutdown verb.
+# the daemon on a unix socket with a durable state dir, run the client demo
+# with a publish (create_session, three uploads, predict, get_model, diff,
+# publish_model, list_models, close_session), capture the published model,
+# kill the daemon with SIGKILL — no flush, the crash the journal exists
+# for — then restart from the same state dir and assert the recovered
+# get_catalog_model response is byte-identical before a clean shutdown.
 cmake --build "$BUILD_DIR" -j --target autobi_serve autobi_client
+
+wait_for_socket() {  # $1 = socket path, $2 = daemon pid
+  for _ in $(seq 1 300); do  # Daemon trains before binding; allow up to 60s.
+    [[ -S "$1" ]] && return 0
+    kill -0 "$2" 2>/dev/null || break
+    sleep 0.2
+  done
+  return 1
+}
+
 SERVE_SOCK="$(mktemp -u /tmp/autobi_check.XXXXXX.sock)"
-"$BUILD_DIR/src/serve/autobi_serve" --socket "$SERVE_SOCK" --train_cases 60 &
+SERVE_STATE="$(mktemp -d /tmp/autobi_check_state.XXXXXX)"
+"$BUILD_DIR/src/serve/autobi_serve" --socket "$SERVE_SOCK" --train_cases 60 \
+  --state_dir "$SERVE_STATE" &
 SERVE_PID=$!
 trap '[[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
-for _ in $(seq 1 300); do  # Daemon trains before binding; allow up to 60s.
-  [[ -S "$SERVE_SOCK" ]] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || break
-  sleep 0.2
-done
-if [[ ! -S "$SERVE_SOCK" ]]; then
+if ! wait_for_socket "$SERVE_SOCK" "$SERVE_PID"; then
   echo "check.sh: SERVE FAIL — daemon never bound $SERVE_SOCK." >&2
   exit 1
 fi
-"$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK" --demo
-"$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK" --shutdown
-wait "$SERVE_PID"
+"$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK" --demo \
+  --publish smoke
+MODEL_BEFORE="$(echo '{"verb":"get_catalog_model","version":1}' \
+  | "$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK")"
+if [[ -z "$MODEL_BEFORE" ]]; then
+  echo "check.sh: SERVE FAIL — empty get_catalog_model response." >&2
+  exit 1
+fi
+
+# Crash: SIGKILL gives the daemon no chance to flush or unlink anything.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 rm -f "$SERVE_SOCK"
-echo "check.sh: serve smoke clean (demo round-trips + clean shutdown)."
+
+SERVE_SOCK2="$(mktemp -u /tmp/autobi_check.XXXXXX.sock)"
+"$BUILD_DIR/src/serve/autobi_serve" --socket "$SERVE_SOCK2" --train_cases 60 \
+  --state_dir "$SERVE_STATE" &
+SERVE_PID=$!
+if ! wait_for_socket "$SERVE_SOCK2" "$SERVE_PID"; then
+  echo "check.sh: SERVE FAIL — restarted daemon never bound $SERVE_SOCK2." >&2
+  exit 1
+fi
+MODEL_AFTER="$(echo '{"verb":"get_catalog_model","version":1}' \
+  | "$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK2")"
+if [[ "$MODEL_BEFORE" != "$MODEL_AFTER" ]]; then
+  echo "check.sh: SERVE FAIL — recovered catalog model differs from the" \
+       "pre-crash publish:" >&2
+  echo "  before: $MODEL_BEFORE" >&2
+  echo "  after:  $MODEL_AFTER" >&2
+  exit 1
+fi
+"$BUILD_DIR/examples/autobi_client" --socket "$SERVE_SOCK2" --shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+rm -f "$SERVE_SOCK2"
+rm -rf "$SERVE_STATE"
+echo "check.sh: serve smoke clean (demo + publish, SIGKILL restart" \
+     "round-trip byte-identical, clean shutdown)."
 
 # Opt-in perf smoke (AUTOBI_BENCH_SMOKE=1): refresh the BENCH_*.json perf
 # trajectory after the sanitizer gate passes.

@@ -1,0 +1,109 @@
+#include "common/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+#include "fuzz/faultpoints.h"
+
+namespace autobi {
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+namespace {
+
+Status WriteAll(int fd, std::string_view content) {
+  size_t off = 0;
+  while (off < content.size()) {
+    ssize_t w = ::write(fd, content.data() + off, content.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrFormat("write failed: %s", std::strerror(errno)));
+    }
+    off += size_t(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("cannot open directory %s: %s",
+                                      dir.c_str(), std::strerror(errno)));
+  }
+  // Some filesystems reject fsync on directory fds; the rename is still
+  // atomic there, so a sync failure is not worth failing the write over.
+  ::fsync(fd);
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("cannot create %s: %s", tmp.c_str(),
+                                      std::strerror(errno)));
+  }
+  Status written = WriteAll(fd, content);
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = Status::Internal(
+        StrFormat("fsync %s failed: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  ::close(fd);
+  if (written.ok() && FaultPoints::Global().Fire("io.rename")) {
+    written = Status::Internal(
+        StrFormat("injected rename fault for %s", path.c_str()));
+  }
+  if (written.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    written = Status::Internal(StrFormat("rename %s -> %s failed: %s",
+                                         tmp.c_str(), path.c_str(),
+                                         std::strerror(errno)));
+  }
+  if (!written.ok()) {
+    ::unlink(tmp.c_str());
+    return written;
+  }
+  return SyncDir(DirName(path));
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0 || FaultPoints::Global().Fire("io.open")) {
+    if (fd >= 0) ::close(fd);
+    return Status::Internal(StrFormat("cannot open %s: %s", path.c_str(),
+                                      fd < 0 ? std::strerror(errno)
+                                             : "injected fault"));
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::Internal(
+          StrFormat("read %s failed: %s", path.c_str(), std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, size_t(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace autobi

@@ -1,0 +1,38 @@
+#ifndef AUTOBI_COMMON_FS_H_
+#define AUTOBI_COMMON_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace autobi {
+
+// Durable file primitives for state that must survive a crash: the serving
+// catalog's snapshot files (serve/journal.h) and exported model artifacts
+// (core/model_export.h). Everything here is POSIX-only, like the transports.
+
+// Writes `content` to `path` atomically and durably: the bytes go to a
+// temporary sibling file, are fsync'd, and the temp file is renamed over
+// `path` — rename within one filesystem is atomic, so a concurrent reader
+// (or a reboot) sees either the complete old file or the complete new one,
+// never a torn write. The containing directory is then fsync'd so the
+// rename itself is on stable storage. Fault point `io.rename` fails the
+// rename step (the temp file is cleaned up and `path` is left untouched).
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+// Reads the whole file into a string. kInternal when the file cannot be
+// opened or read (including the `io.open` fault point).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// fsyncs the directory itself so recently created/renamed entries in it
+// survive a crash. Best-effort: kInternal only when the directory cannot be
+// opened at all.
+Status SyncDir(const std::string& dir);
+
+// The directory part of `path` ("." when there is none).
+std::string DirName(const std::string& path);
+
+}  // namespace autobi
+
+#endif  // AUTOBI_COMMON_FS_H_

@@ -1,5 +1,6 @@
 #include "core/model_export.h"
 
+#include "common/fs.h"
 #include "common/strings.h"
 
 namespace autobi {
@@ -104,6 +105,18 @@ StatusOr<std::string> ExportJson(const std::vector<Table>& tables,
   }
   out += "  ]\n}\n";
   return out;
+}
+
+Status ExportToFile(const std::vector<Table>& tables, const BiModel& model,
+                    const std::string& format, const std::string& path) {
+  StatusOr<std::string> rendered =
+      format == "dot"    ? ExportDot(tables, model)
+      : format == "sql"  ? ExportSqlDdl(tables, model)
+      : format == "json" ? ExportJson(tables, model)
+                         : StatusOr<std::string>(Status::InvalidInput(
+                               "unknown export format: " + format));
+  AUTOBI_RETURN_IF_ERROR(rendered.status());
+  return WriteFileAtomic(path, *rendered).WithContext("export to " + path);
 }
 
 }  // namespace autobi

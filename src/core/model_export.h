@@ -33,6 +33,12 @@ StatusOr<std::string> ExportSqlDdl(const std::vector<Table>& tables,
 StatusOr<std::string> ExportJson(const std::vector<Table>& tables,
                                  const BiModel& model);
 
+// Renders the model in the given format ("dot", "sql" or "json") and writes
+// it to `path` durably (WriteFileAtomic: temp file + fsync + atomic rename),
+// so a crash mid-export never leaves a truncated artifact behind.
+Status ExportToFile(const std::vector<Table>& tables, const BiModel& model,
+                    const std::string& format, const std::string& path);
+
 }  // namespace autobi
 
 #endif  // AUTOBI_CORE_MODEL_EXPORT_H_

@@ -28,7 +28,9 @@ void Usage() {
       "                     (default /tmp; '' disables them)\n"
       "  --scenario NAME    '' = mixed campaign (default); 'schema' = only\n"
       "                     the schema-evolution differential scenario;\n"
-      "                     'lake' = only the lake blocking differential\n");
+      "                     'lake' = only the lake blocking differential;\n"
+      "                     'crash' = only the catalog crash-recovery\n"
+      "                     differential (torn-write journal replay)\n");
 }
 
 }  // namespace
@@ -65,7 +67,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--scenario") {
       opt.scenario = need_value();
       if (!opt.scenario.empty() && opt.scenario != "schema" &&
-          opt.scenario != "lake") {
+          opt.scenario != "lake" && opt.scenario != "crash") {
         std::fprintf(stderr, "unknown scenario: %s\n", opt.scenario.c_str());
         return 2;
       }

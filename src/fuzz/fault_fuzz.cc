@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -721,6 +723,289 @@ void RunServeCase(Rng& rng, Scratch& s) {
   }
 }
 
+// --- Crash-recovery differential (serve/journal.h, serve/catalog.h).
+//
+// Each case drives a journaled ModelCatalog through a random history of
+// publish/pin operations with journal faults sometimes armed, simulates a
+// crash by tearing or corrupting the journal file at a random point, then
+// recovers into a fresh catalog and checks the committed-prefix invariant:
+// the recovered state must be byte-identical (versions, labels, pins,
+// hashes, NamedJoin sets) to replaying some prefix of the ACKED operations
+// through an independent oracle — and exactly the full history when nothing
+// damaged an acked record.
+
+// The oracle mirrors catalog semantics in plain data: per-tenant dense
+// versions and oldest-unpinned eviction. Candidate states are recorded at
+// RECORD granularity, not op granularity — a publish and the eviction it
+// triggers are two journal records under one commit, and a torn tail can
+// legitimately split them.
+struct OracleTenant {
+  int64_t next_version = 1;
+  std::vector<ModelSnapshot> snapshots;
+};
+
+std::string FingerprintOracle(
+    const std::map<std::string, OracleTenant>& tenants) {
+  std::string out;
+  for (const auto& entry : tenants) {  // std::map: deterministic order.
+    out += "tenant " + entry.first + "\n";
+    for (const ModelSnapshot& snap : entry.second.snapshots) {
+      out += StrFormat("  v%lld label=%s pinned=%d hash=%016llx\n",
+                       static_cast<long long>(snap.version),
+                       snap.label.c_str(), snap.pinned ? 1 : 0,
+                       static_cast<unsigned long long>(snap.tables_hash));
+      for (const NamedJoin& join : snap.joins) {
+        out += "    " + join.ToString() + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string FingerprintCatalog(const ModelCatalog& catalog,
+                               const std::vector<std::string>& tenant_names) {
+  std::map<std::string, OracleTenant> tenants;
+  for (const std::string& name : tenant_names) {
+    std::vector<ModelSnapshot> snaps = catalog.List(name);
+    if (snaps.empty()) continue;
+    tenants[name].snapshots = std::move(snaps);
+  }
+  return FingerprintOracle(tenants);
+}
+
+std::vector<NamedJoin> RandomNamedJoins(Rng& rng) {
+  static const char* const kTables[] = {"Orders", "Customers", "Products",
+                                        "Dates"};
+  static const char* const kCols[] = {"id", "cust_id", "prod_id", "date_id"};
+  std::vector<NamedJoin> joins;
+  size_t n = rng.NextBelow(4);
+  for (size_t i = 0; i < n; ++i) {
+    NamedJoin j;
+    j.from.table = kTables[rng.NextBelow(4)];
+    j.from.columns.push_back(kCols[rng.NextBelow(4)]);
+    if (rng.NextBool(0.2)) j.from.columns.push_back(kCols[rng.NextBelow(4)]);
+    j.to.table = kTables[rng.NextBelow(4)];
+    for (size_t c = 0; c < j.from.columns.size(); ++c) {
+      j.to.columns.push_back(kCols[rng.NextBelow(4)]);
+    }
+    j.kind = rng.NextBool(0.3) ? JoinKind::kOneToOne : JoinKind::kNToOne;
+    joins.push_back(j.Normalized());
+  }
+  return joins;
+}
+
+void RunCrashCase(Rng& rng, Scratch& s, const std::string& scratch_dir) {
+  ++s.report->crash_cases;
+  namespace fs = std::filesystem;
+  const std::string state_dir =
+      (fs::path(scratch_dir) / "autobi_crash_state").string();
+  std::error_code ec;
+  fs::remove_all(state_dir, ec);
+
+  const size_t max_unpinned = 1 + rng.NextBelow(3);
+  const size_t compact_every = 1 + rng.NextBelow(6);
+  const std::vector<std::string> tenant_names =
+      rng.NextBool(0.3) ? std::vector<std::string>{"t0", "t1"}
+                        : std::vector<std::string>{"t0"};
+
+  // Phase 1: random op history against a live journaled catalog, journal
+  // faults armed about half the time. Only ACKED (OK-returning) operations
+  // enter the oracle history.
+  auto live = std::make_unique<ModelCatalog>(max_unpinned);
+  if (!live->OpenStateDir(state_dir, compact_every).ok()) {
+    s.Fail("OpenStateDir failed on a fresh state dir");
+    return;
+  }
+  bool faults_armed = rng.NextBool();
+  if (faults_armed) {
+    std::string spec = StrFormat(
+        "journal.short_write=%.2f,journal.fsync=%.2f,journal.corrupt=%.2f,"
+        "io.rename=%.2f@%llu",
+        rng.NextDouble(0.0, 0.3), rng.NextDouble(0.0, 0.3),
+        rng.NextDouble(0.0, 0.15), rng.NextDouble(0.0, 0.4),
+        (unsigned long long)rng.Next());
+    FaultPoints::Global().Configure(spec);
+  }
+
+  struct AckedOp {
+    bool is_publish = true;
+    std::string tenant;
+    std::string label;     // publish
+    uint64_t tables_hash;  // publish
+    std::vector<NamedJoin> joins;  // publish
+    int64_t version = 0;   // pin
+    bool pinned = false;   // pin
+  };
+  std::vector<AckedOp> acked;
+  const long total_ops = 3 + long(rng.NextBelow(20));
+  for (long op = 0; op < total_ops; ++op) {
+    const std::string& tenant =
+        tenant_names[rng.NextBelow(tenant_names.size())];
+    std::vector<ModelSnapshot> existing = live->List(tenant);
+    if (!existing.empty() && rng.NextBool(0.3)) {
+      AckedOp pin;
+      pin.is_publish = false;
+      pin.tenant = tenant;
+      pin.version = existing[rng.NextBelow(existing.size())].version;
+      pin.pinned = rng.NextBool(0.8);
+      Status status = live->Pin(tenant, pin.version, pin.pinned);
+      if (status.ok()) {
+        acked.push_back(std::move(pin));
+      } else if (status.code() != StatusCode::kInternal) {
+        s.Fail(StrFormat("pin of an existing version failed with %s",
+                         status.ToString().c_str()));
+      }
+      continue;
+    }
+    AckedOp pub;
+    pub.tenant = tenant;
+    pub.label = StrFormat("op%ld", op);
+    pub.tables_hash = rng.Next();
+    pub.joins = RandomNamedJoins(rng);
+    StatusOr<int64_t> version =
+        live->Publish(tenant, pub.label, pub.tables_hash, pub.joins);
+    if (version.ok()) {
+      acked.push_back(std::move(pub));
+    } else if (version.status().code() != StatusCode::kInternal) {
+      s.Fail(StrFormat("publish failed with %s",
+                       version.status().ToString().c_str()));
+    }
+  }
+  bool corrupt_fired = false;
+  if (faults_armed) {
+    s.report->injected_faults += FaultPoints::Global().fires();
+    for (const auto& entry : FaultPoints::Global().FireCounts()) {
+      if (entry.first == "journal.corrupt" && entry.second > 0) {
+        corrupt_fired = true;
+      }
+    }
+    FaultPoints::Global().Disable();
+  }
+  const uint64_t live_generation = live->durability().generation;
+  live.reset();  // The "crash": the process dies; no flush, no close order.
+
+  // Phase 2: oracle replay of the acked history, recording a candidate
+  // fingerprint at every record boundary (publish and its eviction are
+  // separate records).
+  std::map<std::string, OracleTenant> oracle;
+  std::vector<std::string> candidates;
+  candidates.push_back(FingerprintOracle(oracle));
+  for (const AckedOp& op : acked) {
+    OracleTenant& t = oracle[op.tenant];
+    if (op.is_publish) {
+      ModelSnapshot snap;
+      snap.version = t.next_version++;
+      snap.label = op.label;
+      snap.tables_hash = op.tables_hash;
+      snap.joins = op.joins;
+      size_t unpinned = 1;
+      for (const ModelSnapshot& existing : t.snapshots) {
+        if (!existing.pinned) ++unpinned;
+      }
+      const bool evicts = unpinned > max_unpinned;
+      t.snapshots.push_back(std::move(snap));
+      if (evicts) {
+        candidates.push_back(FingerprintOracle(oracle));  // Torn mid-pair.
+        for (auto it = t.snapshots.begin(); it != t.snapshots.end(); ++it) {
+          if (!it->pinned) {
+            t.snapshots.erase(it);
+            break;
+          }
+        }
+      }
+    } else {
+      for (ModelSnapshot& snap : t.snapshots) {
+        if (snap.version == op.version) {
+          snap.pinned = op.pinned;
+          break;
+        }
+      }
+    }
+    candidates.push_back(FingerprintOracle(oracle));
+  }
+
+  // Phase 3: damage the journal the way a crash mid-write would — truncate
+  // at a random byte or flip a random bit. The snapshot file is never
+  // touched: WriteFileAtomic guarantees it is whole or absent.
+  const std::string journal_path = StrFormat(
+      "%s/journal.%llu", state_dir.c_str(),
+      static_cast<unsigned long long>(live_generation));
+  bool damaged = false;
+  if (fs::exists(journal_path, ec) && rng.NextBool(0.7)) {
+    const auto size = fs::file_size(journal_path, ec);
+    if (!ec && size > 0) {
+      if (rng.NextBool()) {
+        fs::resize_file(journal_path, rng.NextBelow(size + 1), ec);
+        damaged = !ec;
+      } else {
+        std::fstream f(journal_path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        const long pos = long(rng.NextBelow(size));
+        f.seekg(pos);
+        char byte = 0;
+        f.get(byte);
+        f.seekp(pos);
+        f.put(char(byte ^ (1 << rng.NextBelow(8))));
+        damaged = bool(f);
+      }
+    }
+  }
+
+  // Phase 4: recover and check the committed-prefix invariant.
+  ModelCatalog recovered(max_unpinned);
+  Status reopened = recovered.OpenStateDir(state_dir, compact_every);
+  if (!reopened.ok()) {
+    s.Fail(StrFormat("recovery errored instead of discarding the tail: %s",
+                     reopened.ToString().c_str()));
+    return;
+  }
+  const std::string got = FingerprintCatalog(recovered, tenant_names);
+  bool is_prefix = false;
+  for (const std::string& candidate : candidates) {
+    if (got == candidate) {
+      is_prefix = true;
+      break;
+    }
+  }
+  if (!is_prefix) {
+    s.Fail(StrFormat(
+        "recovered state is not a committed prefix of the %zu acked ops "
+        "(damaged=%d corrupt_fired=%d)\nrecovered:\n%s",
+        acked.size(), damaged ? 1 : 0, corrupt_fired ? 1 : 0, got.c_str()));
+    return;
+  }
+  // With no tearing and no silent corruption, recovery must be exact and
+  // report nothing discarded.
+  if (!damaged && !corrupt_fired) {
+    if (got != candidates.back()) {
+      s.Fail("clean recovery lost acked operations");
+      return;
+    }
+    if (recovered.durability().discarded_records != 0) {
+      s.Fail("clean recovery reported discarded records");
+      return;
+    }
+  }
+  // The recovered catalog must keep serving: a new publish gets a version
+  // strictly above every surviving one for its tenant.
+  int64_t max_seen = 0;
+  for (const ModelSnapshot& snap : recovered.List("t0")) {
+    max_seen = std::max(max_seen, snap.version);
+  }
+  StatusOr<int64_t> next =
+      recovered.Publish("t0", "post-crash", 7, RandomNamedJoins(rng));
+  if (!next.ok()) {
+    s.Fail(StrFormat("publish after recovery failed: %s",
+                     next.status().ToString().c_str()));
+  } else if (*next <= max_seen) {
+    s.Fail(StrFormat("post-recovery version %lld not above surviving %lld",
+                     static_cast<long long>(*next),
+                     static_cast<long long>(max_seen)));
+  }
+  ++s.report->parses_ok;
+  fs::remove_all(state_dir, ec);
+}
+
 }  // namespace
 
 FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
@@ -749,6 +1034,14 @@ FaultFuzzReport RunFaultFuzz(const FaultFuzzOptions& options) {
     if (options.scenario == "lake") {
       s.scenario = "lake";
       RunLakeCase(rng, s);
+      ++report.cases_run;
+      continue;
+    }
+    if (options.scenario == "crash") {
+      s.scenario = "crash";
+      RunCrashCase(rng, s,
+                   options.scratch_dir.empty() ? "/tmp"
+                                               : options.scratch_dir);
       ++report.cases_run;
       continue;
     }
@@ -806,10 +1099,10 @@ std::string FormatFaultFuzzReport(const FaultFuzzReport& report) {
       report.elapsed_sec, report.failures);
   out += StrFormat(
       "  scenarios: csv=%ld ddl=%ld file=%ld pipeline=%ld serve=%ld "
-      "schema=%ld lake=%ld%s\n",
+      "schema=%ld lake=%ld crash=%ld%s\n",
       report.csv_cases, report.ddl_cases, report.file_cases,
       report.pipeline_cases, report.serve_cases,
-      report.schema_evolution_cases, report.lake_cases,
+      report.schema_evolution_cases, report.lake_cases, report.crash_cases,
       report.time_budget_hit ? " (time budget hit)" : "");
   out += StrFormat(
       "  outcomes: status_errors=%ld parses_ok=%ld degraded_models=%ld "

@@ -32,7 +32,15 @@ namespace autobi {
 //     Predict with the usual randomized faults/budgets, and — when nothing
 //     time-dependent is armed — a differential run against the exhaustive
 //     blocking oracle (blocking.enabled = false): model JSON, join graph
-//     and selected edge sets must be bit-identical.
+//     and selected edge sets must be bit-identical,
+//   - a crash-recovery differential (--scenario crash only): a journaled
+//     ModelCatalog driven through random publish/pin ops with
+//     journal.short_write / journal.fsync / journal.corrupt / io.rename
+//     armed, crashed by tearing or bit-flipping the journal at a random
+//     byte, then recovered — the recovered catalog must be byte-identical
+//     (versions, labels, pins, NamedJoin sets) to an oracle replay of some
+//     committed prefix of the acked history, exact when nothing damaged an
+//     acked record, and must keep accepting publishes.
 //
 // The invariant checked on every case: the service layer either returns a
 // well-formed Status error or a result whose model passes ValidateBiModel
@@ -44,11 +52,13 @@ struct FaultFuzzOptions {
   // Wall-clock budget in seconds; 0 disables. When exhausted the run stops
   // early and reports time_budget_hit.
   double time_budget_sec = 0.0;
-  // Scratch directory for the ReadCsvFile scenario; empty skips it.
+  // Scratch directory for the ReadCsvFile and crash scenarios; empty skips
+  // the file scenario (crash falls back to /tmp).
   std::string scratch_dir = "/tmp";
   // Empty runs the mixed campaign above; "schema" runs only the
-  // schema-evolution differential scenario and "lake" only the lake
-  // blocking-differential scenario (the dedicated ASan CI stages).
+  // schema-evolution differential scenario, "lake" only the lake
+  // blocking-differential scenario, and "crash" only the crash-recovery
+  // differential (the dedicated ASan CI stages).
   std::string scenario;
 };
 
@@ -62,6 +72,7 @@ struct FaultFuzzReport {
   long serve_cases = 0;
   long schema_evolution_cases = 0;
   long lake_cases = 0;
+  long crash_cases = 0;
   // Outcome counts (informational; none of these are failures).
   long status_errors = 0;    // Well-formed non-OK Statuses observed.
   long parses_ok = 0;        // Mutated inputs that still parsed.

@@ -27,6 +27,14 @@ namespace autobi {
 //   serve.request    ServeEngine::HandleLine corrupts the incoming request
 //                    line before parsing (truncation + stray quote),
 //                    exercising the daemon's malformed-input path
+//   io.rename        WriteFileAtomic fails the atomic-rename step (the
+//                    temp file is cleaned up, the target left untouched)
+//   journal.short_write  RecordLog::Append persists only a prefix of the
+//                        framed record before failing (torn write)
+//   journal.corrupt  RecordLog::Append silently flips one byte in the
+//                    record — acked but damaged; recovery must drop it
+//   journal.fsync    RecordLog::Commit fails its fsync barrier (the
+//                    appended records are rolled back, the op rejected)
 //
 // Spec syntax (AUTOBI_FAULT env var or Configure()):
 //   "point=prob[,point=prob...][@seed]"

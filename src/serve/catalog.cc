@@ -1,9 +1,18 @@
 #include "serve/catalog.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include "common/fs.h"
 #include "common/strings.h"
+#include "serve/json.h"
 
 namespace autobi {
 
@@ -56,6 +65,184 @@ bool NamedJoinLess(const NamedJoin& a, const NamedJoin& b) {
   return int(a.kind) < int(b.kind);
 }
 
+// --- Journal payload encoding. Payloads are single-line JSON (serve/json.h)
+// so journal files are greppable during an incident. tables_hash is a hex
+// string: the wire Json int is signed 64-bit and content hashes use the
+// full unsigned range.
+
+Json ColumnRefToJson(const NamedColumnRef& ref) {
+  Json j = Json::MakeObject();
+  j.Set("table", Json::MakeString(ref.table));
+  Json& cols = j.Set("columns", Json::MakeArray());
+  for (const std::string& c : ref.columns) cols.Append(Json::MakeString(c));
+  return j;
+}
+
+StatusOr<NamedColumnRef> ColumnRefFromJson(const Json& j) {
+  if (!j.is_object()) return Status::InvalidInput("column ref not an object");
+  NamedColumnRef ref;
+  AUTOBI_ASSIGN_OR_RETURN(ref.table, j.GetString("table", ""));
+  const Json* cols = j.Find("columns");
+  if (cols == nullptr || !cols->is_array()) {
+    return Status::InvalidInput("column ref without columns array");
+  }
+  for (size_t i = 0; i < cols->size(); ++i) {
+    if (!cols->at(i).is_string()) {
+      return Status::InvalidInput("column name not a string");
+    }
+    ref.columns.push_back(cols->at(i).AsString());
+  }
+  return ref;
+}
+
+Json JoinToJson(const NamedJoin& join) {
+  Json j = Json::MakeObject();
+  j.Set("from", ColumnRefToJson(join.from));
+  j.Set("to", ColumnRefToJson(join.to));
+  j.Set("kind", Json::MakeString(join.kind == JoinKind::kOneToOne ? "1:1"
+                                                                  : "N:1"));
+  return j;
+}
+
+StatusOr<NamedJoin> JoinFromJson(const Json& j) {
+  if (!j.is_object()) return Status::InvalidInput("join not an object");
+  NamedJoin join;
+  const Json* from = j.Find("from");
+  const Json* to = j.Find("to");
+  if (from == nullptr || to == nullptr) {
+    return Status::InvalidInput("join without endpoints");
+  }
+  AUTOBI_ASSIGN_OR_RETURN(join.from, ColumnRefFromJson(*from));
+  AUTOBI_ASSIGN_OR_RETURN(join.to, ColumnRefFromJson(*to));
+  std::string kind;
+  AUTOBI_ASSIGN_OR_RETURN(kind, j.GetString("kind", "N:1"));
+  if (kind != "1:1" && kind != "N:1") {
+    return Status::InvalidInput(StrFormat("unknown join kind '%s'",
+                                          kind.c_str()));
+  }
+  join.kind = kind == "1:1" ? JoinKind::kOneToOne : JoinKind::kNToOne;
+  return join;
+}
+
+std::string HashToHex(uint64_t hash) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(hash));
+}
+
+StatusOr<uint64_t> HashFromHex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) {
+    return Status::InvalidInput("bad tables_hash");
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(hex.c_str(), &end, 16);
+  if (errno != 0 || end != hex.c_str() + hex.size()) {
+    return Status::InvalidInput("bad tables_hash");
+  }
+  return uint64_t(v);
+}
+
+Json SnapshotToJson(const ModelSnapshot& snap) {
+  Json j = Json::MakeObject();
+  j.Set("version", Json::MakeInt(snap.version));
+  j.Set("label", Json::MakeString(snap.label));
+  j.Set("pinned", Json::MakeBool(snap.pinned));
+  j.Set("tables_hash", Json::MakeString(HashToHex(snap.tables_hash)));
+  Json& joins = j.Set("joins", Json::MakeArray());
+  for (const NamedJoin& join : snap.joins) joins.Append(JoinToJson(join));
+  return j;
+}
+
+StatusOr<ModelSnapshot> SnapshotFromJson(const Json& j) {
+  if (!j.is_object()) return Status::InvalidInput("snapshot not an object");
+  ModelSnapshot snap;
+  AUTOBI_ASSIGN_OR_RETURN(snap.version, j.GetInt("version", 0));
+  if (snap.version < 1) return Status::InvalidInput("bad snapshot version");
+  AUTOBI_ASSIGN_OR_RETURN(snap.label, j.GetString("label", ""));
+  AUTOBI_ASSIGN_OR_RETURN(snap.pinned, j.GetBool("pinned", false));
+  std::string hex;
+  AUTOBI_ASSIGN_OR_RETURN(hex, j.GetString("tables_hash", ""));
+  AUTOBI_ASSIGN_OR_RETURN(snap.tables_hash, HashFromHex(hex));
+  const Json* joins = j.Find("joins");
+  if (joins == nullptr || !joins->is_array()) {
+    return Status::InvalidInput("snapshot without joins array");
+  }
+  for (size_t i = 0; i < joins->size(); ++i) {
+    NamedJoin join;
+    AUTOBI_ASSIGN_OR_RETURN(join, JoinFromJson(joins->at(i)));
+    snap.joins.push_back(std::move(join));
+  }
+  return snap;
+}
+
+std::string EncodePublishOp(const std::string& tenant,
+                            const ModelSnapshot& snap) {
+  Json op = Json::MakeObject();
+  op.Set("op", Json::MakeString("publish"));
+  op.Set("tenant", Json::MakeString(tenant));
+  op.Set("snapshot", SnapshotToJson(snap));
+  return op.Write();
+}
+
+std::string EncodeEvictOp(const std::string& tenant, int64_t version) {
+  Json op = Json::MakeObject();
+  op.Set("op", Json::MakeString("evict"));
+  op.Set("tenant", Json::MakeString(tenant));
+  op.Set("version", Json::MakeInt(version));
+  return op.Write();
+}
+
+std::string EncodePinOp(const std::string& tenant, int64_t version,
+                        bool pinned) {
+  Json op = Json::MakeObject();
+  op.Set("op", Json::MakeString("pin"));
+  op.Set("tenant", Json::MakeString(tenant));
+  op.Set("version", Json::MakeInt(version));
+  op.Set("pinned", Json::MakeBool(pinned));
+  return op.Write();
+}
+
+// Creates `dir` and any missing parents (EEXIST is fine at every level).
+Status MakeDirs(const std::string& dir) {
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t slash = dir.find('/', pos);
+    if (slash == std::string::npos) slash = dir.size();
+    prefix = dir.substr(0, slash);
+    pos = slash + 1;
+    if (prefix.empty()) continue;  // Leading '/'.
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal(StrFormat("cannot create state dir %s: %s",
+                                        prefix.c_str(), strerror(errno)));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string JournalPath(const std::string& dir, uint64_t generation) {
+  return StrFormat("%s/journal.%llu", dir.c_str(),
+                   static_cast<unsigned long long>(generation));
+}
+
+// Generations of every `journal.<n>` file in `dir`.
+std::vector<uint64_t> ListJournalGenerations(const std::string& dir) {
+  std::vector<uint64_t> gens;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return gens;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.rfind("journal.", 0) != 0) continue;
+    std::string suffix = name.substr(8);
+    if (suffix.empty()) continue;
+    char* end = nullptr;
+    unsigned long long g = std::strtoull(suffix.c_str(), &end, 10);
+    if (end != suffix.c_str() + suffix.size()) continue;
+    gens.push_back(uint64_t(g));
+  }
+  ::closedir(d);
+  return gens;
+}
+
 }  // namespace
 
 std::vector<NamedJoin> NameJoins(const std::vector<Table>& tables,
@@ -95,33 +282,257 @@ ModelCatalog::ModelCatalog(size_t max_unpinned_per_tenant)
     : max_unpinned_per_tenant_(
           max_unpinned_per_tenant == 0 ? 1 : max_unpinned_per_tenant) {}
 
-int64_t ModelCatalog::Publish(const std::string& tenant, std::string label,
-                              uint64_t tables_hash,
-                              std::vector<NamedJoin> joins) {
+ModelCatalog::~ModelCatalog() = default;
+
+std::string ModelCatalog::EncodeStateLocked() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& entry : tenants_) names.push_back(entry.first);
+  std::sort(names.begin(), names.end());  // Deterministic snapshot bytes.
+  Json state = Json::MakeObject();
+  Json& tenants = state.Set("tenants", Json::MakeArray());
+  for (const std::string& name : names) {
+    const Tenant& t = tenants_.at(name);
+    Json& tj = tenants.Append(Json::MakeObject());
+    tj.Set("name", Json::MakeString(name));
+    tj.Set("next_version", Json::MakeInt(t.next_version));
+    Json& snaps = tj.Set("snapshots", Json::MakeArray());
+    for (const ModelSnapshot& s : t.snapshots) {
+      snaps.Append(SnapshotToJson(s));
+    }
+  }
+  return state.Write();
+}
+
+Status ModelCatalog::ApplyOpLocked(const std::string& payload) {
+  StatusOr<Json> parsed = ParseJson(payload);
+  if (!parsed.ok()) return parsed.status().WithContext("journal record");
+  const Json& op = *parsed;
+  std::string kind;
+  AUTOBI_ASSIGN_OR_RETURN(kind, op.GetString("op", ""));
+  std::string tenant;
+  AUTOBI_ASSIGN_OR_RETURN(tenant, op.GetString("tenant", ""));
+  if (tenant.empty()) return Status::InvalidInput("journal op without tenant");
+  if (kind == "publish") {
+    const Json* snap_json = op.Find("snapshot");
+    if (snap_json == nullptr) {
+      return Status::InvalidInput("publish record without snapshot");
+    }
+    ModelSnapshot snap;
+    AUTOBI_ASSIGN_OR_RETURN(snap, SnapshotFromJson(*snap_json));
+    Tenant& t = tenants_[tenant];
+    if (t.next_version <= snap.version) t.next_version = snap.version + 1;
+    t.snapshots.push_back(std::move(snap));
+    return Status::Ok();
+  }
+  if (kind == "evict" || kind == "pin") {
+    int64_t version = 0;
+    AUTOBI_ASSIGN_OR_RETURN(version, op.GetInt("version", 0));
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return Status::Ok();  // Tolerate: no-op.
+    std::vector<ModelSnapshot>& snaps = it->second.snapshots;
+    for (auto s = snaps.begin(); s != snaps.end(); ++s) {
+      if (s->version != version) continue;
+      if (kind == "evict") {
+        snaps.erase(s);
+      } else {
+        bool pinned = false;
+        AUTOBI_ASSIGN_OR_RETURN(pinned, op.GetBool("pinned", false));
+        s->pinned = pinned;
+      }
+      break;
+    }
+    return Status::Ok();
+  }
+  return Status::InvalidInput(
+      StrFormat("unknown journal op '%s'", kind.c_str()));
+}
+
+Status ModelCatalog::OpenStateDir(const std::string& dir,
+                                  size_t compact_every) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ != nullptr) {
+    return Status::InvalidInput("state dir is already attached");
+  }
+  AUTOBI_RETURN_IF_ERROR(MakeDirs(dir));
+  state_dir_ = dir;
+  compact_every_ = compact_every == 0 ? 1 : compact_every;
+  ops_since_compact_ = 0;
+  tenants_.clear();
+  stats_ = DurabilityStats();
+  stats_.enabled = true;
+
+  // 1. Restore the compacted snapshot, if any. A damaged snapshot cannot
+  // come from our own crash model (WriteFileAtomic renames are atomic), so
+  // treat it as external corruption: count it, start empty, and move past
+  // every existing journal generation rather than replay a suffix whose
+  // base state is gone.
+  uint64_t generation = 0;
+  SnapshotReadResult snap = ReadSnapshotFile(dir + "/snapshot");
+  bool snapshot_usable = snap.found && !snap.corrupt;
+  if (snapshot_usable) {
+    StatusOr<Json> parsed = ParseJson(snap.payload);
+    Status restored = parsed.ok() ? Status::Ok() : parsed.status();
+    if (restored.ok()) {
+      const Json* tenant_list = parsed->Find("tenants");
+      if (tenant_list == nullptr || !tenant_list->is_array()) {
+        restored = Status::InvalidInput("snapshot without tenants");
+      } else {
+        for (size_t i = 0; restored.ok() && i < tenant_list->size(); ++i) {
+          const Json& tj = tenant_list->at(i);
+          std::string name = tj.GetString("name", "").value_or("");
+          if (name.empty()) {
+            restored = Status::InvalidInput("snapshot tenant without name");
+            break;
+          }
+          Tenant& t = tenants_[name];
+          t.next_version = tj.GetInt("next_version", 1).value_or(1);
+          const Json* snaps = tj.Find("snapshots");
+          if (snaps == nullptr || !snaps->is_array()) continue;
+          for (size_t k = 0; k < snaps->size(); ++k) {
+            StatusOr<ModelSnapshot> s = SnapshotFromJson(snaps->at(k));
+            if (!s.ok()) {
+              restored = s.status();
+              break;
+            }
+            t.snapshots.push_back(std::move(*s));
+          }
+        }
+      }
+    }
+    if (restored.ok()) {
+      generation = snap.generation;
+    } else {
+      snapshot_usable = false;
+      tenants_.clear();
+    }
+  }
+  if (snap.found && !snapshot_usable) {
+    ++stats_.discarded_records;
+    for (uint64_t g : ListJournalGenerations(dir)) {
+      if (g >= generation) generation = g + 1;
+    }
+  }
+
+  // 2. Replay the journal suffix for this generation, stopping at the first
+  // torn/corrupt/undecodable record. That tail is crash debris: count it,
+  // truncate it away, keep serving the committed prefix.
+  const std::string journal_path = JournalPath(dir, generation);
+  std::string bytes;
+  if (::access(journal_path.c_str(), F_OK) == 0) {
+    StatusOr<std::string> read = ReadFileToString(journal_path);
+    if (!read.ok()) return read.status().WithContext("journal recovery");
+    bytes = std::move(*read);
+  }
+  LogReadResult records = DecodeRecords(bytes, generation);
+  size_t valid_bytes = records.valid_bytes;
+  stats_.discarded_records += records.discarded_records;
+  for (size_t i = 0; i < records.payloads.size(); ++i) {
+    if (!ApplyOpLocked(records.payloads[i]).ok()) {
+      valid_bytes = records.offsets[i];
+      stats_.discarded_records += long(records.payloads.size() - i);
+      break;
+    }
+  }
+
+  // 3. Reopen the journal for appending, truncated to the committed prefix,
+  // and sweep stale generations left by a crash mid-compaction.
+  journal_ = std::make_unique<RecordLog>();
+  Status opened = journal_->Open(journal_path, generation, valid_bytes);
+  if (!opened.ok()) {
+    journal_.reset();
+    return opened;
+  }
+  for (uint64_t g : ListJournalGenerations(dir)) {
+    if (g != generation) ::unlink(JournalPath(dir, g).c_str());
+  }
+
+  stats_.generation = generation;
+  stats_.recovered_tenants = long(tenants_.size());
+  for (const auto& entry : tenants_) {
+    stats_.recovered_versions += long(entry.second.snapshots.size());
+  }
+  return Status::Ok();
+}
+
+void ModelCatalog::MaybeCompactLocked() {
+  if (journal_ == nullptr || ops_since_compact_ < compact_every_) return;
+  // Crash-safe ordering: create the next-generation journal first, then
+  // atomically publish the snapshot that points at it, then retire the old
+  // log. A crash between any two steps recovers cleanly (stray files from
+  // the incomplete step are swept on the next OpenStateDir).
+  const uint64_t next_gen = stats_.generation + 1;
+  const std::string next_path = JournalPath(state_dir_, next_gen);
+  auto next_log = std::make_unique<RecordLog>();
+  if (!next_log->Open(next_path, next_gen, 0).ok()) return;
+  Status written =
+      WriteSnapshotFile(state_dir_ + "/snapshot", next_gen,
+                        EncodeStateLocked());
+  if (!written.ok()) {
+    // Non-fatal (io.rename lands here): keep journaling to the current
+    // generation; the counter stays over threshold so the next mutation
+    // retries.
+    next_log->Close();
+    ::unlink(next_path.c_str());
+    return;
+  }
+  const std::string old_path = journal_->path();
+  journal_ = std::move(next_log);
+  stats_.generation = next_gen;
+  ::unlink(old_path.c_str());
+  ops_since_compact_ = 0;
+  ++stats_.snapshots_written;
+}
+
+StatusOr<int64_t> ModelCatalog::Publish(const std::string& tenant,
+                                        std::string label,
+                                        uint64_t tables_hash,
+                                        std::vector<NamedJoin> joins) {
   std::lock_guard<std::mutex> lock(mu_);
   Tenant& t = tenants_[tenant];
   ModelSnapshot snap;
-  snap.version = t.next_version++;
+  snap.version = t.next_version;
   snap.label = std::move(label);
   snap.tables_hash = tables_hash;
   snap.joins = std::move(joins);
-  t.snapshots.push_back(std::move(snap));
 
-  size_t unpinned = 0;
+  // Pick the eviction victim before journaling: the publish and the
+  // eviction it causes are one logical mutation and share one commit
+  // barrier. The victim is the oldest unpinned existing snapshot — never
+  // the one being published, since the cap is >= 1.
+  auto victim = t.snapshots.end();
+  size_t unpinned = 1;  // The new snapshot.
   for (const ModelSnapshot& s : t.snapshots) {
     if (!s.pinned) ++unpinned;
   }
   if (unpinned > max_unpinned_per_tenant_) {
-    // Evict the oldest unpinned snapshot (never the one just published,
-    // unless it is the only unpinned one — impossible here since the cap is
-    // >= 1 and we only exceed it with at least two unpinned).
     for (auto it = t.snapshots.begin(); it != t.snapshots.end(); ++it) {
       if (!it->pinned) {
-        t.snapshots.erase(it);
+        victim = it;
         break;
       }
     }
   }
+
+  if (journal_ != nullptr) {
+    Status committed = journal_->Append(EncodePublishOp(tenant, snap));
+    if (committed.ok() && victim != t.snapshots.end()) {
+      committed = journal_->Append(EncodeEvictOp(tenant, victim->version));
+    }
+    if (committed.ok()) committed = journal_->Commit();
+    if (!committed.ok()) {
+      ++stats_.journal_errors;
+      return committed.WithContext("publish rejected");
+    }
+    stats_.journal_records += victim != t.snapshots.end() ? 2 : 1;
+    ++stats_.journal_commits;
+  }
+
+  if (victim != t.snapshots.end()) t.snapshots.erase(victim);
+  ++t.next_version;
+  t.snapshots.push_back(std::move(snap));
+  ++ops_since_compact_;
+  MaybeCompactLocked();
   return t.snapshots.back().version;
 }
 
@@ -158,7 +569,19 @@ Status ModelCatalog::Pin(const std::string& tenant, int64_t version,
         StrFormat("no model version %lld for tenant '%s'",
                   static_cast<long long>(version), tenant.c_str()));
   }
+  if (journal_ != nullptr) {
+    Status committed = journal_->Append(EncodePinOp(tenant, s->version, pinned));
+    if (committed.ok()) committed = journal_->Commit();
+    if (!committed.ok()) {
+      ++stats_.journal_errors;
+      return committed.WithContext("pin rejected");
+    }
+    ++stats_.journal_records;
+    ++stats_.journal_commits;
+  }
   const_cast<ModelSnapshot*>(s)->pinned = pinned;
+  ++ops_since_compact_;
+  MaybeCompactLocked();
   return Status::Ok();
 }
 
@@ -181,6 +604,17 @@ StatusOr<ModelDiff> ModelCatalog::Diff(const std::string& tenant, int64_t from,
         static_cast<long long>(to)));
   }
   return DiffJoinSets(a->joins, b->joins);
+}
+
+Status ModelCatalog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ == nullptr) return Status::Ok();
+  return journal_->Commit();
+}
+
+DurabilityStats ModelCatalog::durability() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace autobi

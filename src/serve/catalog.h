@@ -2,6 +2,7 @@
 #define AUTOBI_SERVE_CATALOG_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/bi_model.h"
+#include "serve/journal.h"
 #include "table/table.h"
 
 namespace autobi {
@@ -73,21 +75,42 @@ ModelDiff DiffJoinSets(const std::vector<NamedJoin>& from,
 // tenant (the serving protocol defaults the tenant to "default"). Versions
 // are assigned per tenant in publish order. Capacity is bounded: when a
 // tenant exceeds `max_unpinned_per_tenant` unpinned snapshots, the oldest
-// unpinned one is evicted (pins are durable within the process lifetime —
-// there is no persistence across daemon restarts).
+// unpinned one is evicted.
+//
+// Durability: OpenStateDir attaches a write-ahead journal (serve/journal.h)
+// so publishes, pins and evictions survive a crash or restart. Every
+// mutation is framed, CRC32C-checksummed, appended and fsync'd BEFORE the
+// in-memory state changes — a mutation that cannot be made durable is
+// rejected with kInternal and leaves both memory and disk untouched. Every
+// `compact_every` committed operations the catalog writes an atomic
+// snapshot of its full state (common/fs.h WriteFileAtomic) stamped with a
+// new generation and switches to a fresh `journal.<generation>` file; a
+// failed compaction is non-fatal (the old journal keeps growing and
+// compaction is retried). Without OpenStateDir the catalog behaves exactly
+// as before: in-memory only, nothing survives the process.
 class ModelCatalog {
  public:
   explicit ModelCatalog(size_t max_unpinned_per_tenant = 32);
+  ~ModelCatalog();
 
-  // Returns the assigned version (>= 1).
-  int64_t Publish(const std::string& tenant, std::string label,
-                  uint64_t tables_hash, std::vector<NamedJoin> joins);
+  // Attaches `dir` (created if missing) and recovers any state in it:
+  // replays the snapshot, then the journal suffix, silently discarding a
+  // torn/short/corrupt tail (that is crash debris, not an error — see
+  // DurabilityStats::discarded_records). Call once, before serving traffic.
+  Status OpenStateDir(const std::string& dir, size_t compact_every = 64);
+
+  // Returns the assigned version (>= 1). kInternal when the journal append
+  // or commit fails — nothing was published.
+  StatusOr<int64_t> Publish(const std::string& tenant, std::string label,
+                            uint64_t tables_hash,
+                            std::vector<NamedJoin> joins);
 
   // version <= 0 means "latest". kInvalidInput when the tenant or version
   // does not exist (including evicted versions).
   StatusOr<ModelSnapshot> Get(const std::string& tenant,
                               int64_t version) const;
 
+  // kInternal when journaling the pin fails — the pin did not take effect.
   Status Pin(const std::string& tenant, int64_t version, bool pinned);
 
   // Snapshots in ascending version order (empty for unknown tenants).
@@ -96,6 +119,11 @@ class ModelCatalog {
   // Joins added/removed going from version `from` to version `to`.
   StatusOr<ModelDiff> Diff(const std::string& tenant, int64_t from,
                            int64_t to) const;
+
+  // Final fsync barrier for clean shutdown. No-op without a state dir.
+  Status Flush();
+
+  DurabilityStats durability() const;
 
  private:
   struct Tenant {
@@ -107,9 +135,29 @@ class ModelCatalog {
   const ModelSnapshot* FindLocked(const std::string& tenant,
                                   int64_t version) const;
 
+  // Requires lock. Serializes the full catalog state (deterministic tenant
+  // order) for the compacted snapshot file.
+  std::string EncodeStateLocked() const;
+
+  // Requires lock. Applies one replayed journal operation. kInvalidInput on
+  // an undecodable record — replay stops there and truncates.
+  Status ApplyOpLocked(const std::string& payload);
+
+  // Requires lock. Writes a new-generation snapshot + journal if due;
+  // failures are swallowed (compaction retries on a later mutation).
+  void MaybeCompactLocked();
+
   const size_t max_unpinned_per_tenant_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Tenant> tenants_;
+
+  // Durability state (all guarded by mu_). journal_ is null when no state
+  // dir is attached.
+  std::string state_dir_;
+  size_t compact_every_ = 64;
+  size_t ops_since_compact_ = 0;
+  std::unique_ptr<RecordLog> journal_;
+  DurabilityStats stats_;
 };
 
 }  // namespace autobi

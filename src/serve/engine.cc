@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -63,6 +64,7 @@ Status AdmissionGate::Enter() {
   std::unique_lock<std::mutex> lock(mu_);
   if (inflight_ < max_inflight_) {
     ++inflight_;
+    ++admitted_;
     return Status::Ok();
   }
   if (queued_ >= max_queue_) {
@@ -72,9 +74,17 @@ Status AdmissionGate::Enter() {
         inflight_, queued_));
   }
   ++queued_;
+  const auto wait_start = std::chrono::steady_clock::now();
   cv_.wait(lock, [this] { return inflight_ < max_inflight_; });
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wait_start)
+          .count();
+  queue_wait_total_seconds_ += waited;
+  if (waited > queue_wait_max_seconds_) queue_wait_max_seconds_ = waited;
   --queued_;
   ++inflight_;
+  ++admitted_;
   return Status::Ok();
 }
 
@@ -99,6 +109,21 @@ int AdmissionGate::queued() const {
 int64_t AdmissionGate::rejected() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rejected_;
+}
+
+int64_t AdmissionGate::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+double AdmissionGate::queue_wait_total_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_wait_total_seconds_;
+}
+
+double AdmissionGate::queue_wait_max_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_wait_max_seconds_;
 }
 
 namespace {
@@ -307,6 +332,19 @@ void ServeEngine::SetPredictHoldHookForTest(std::function<void()> hook) {
   std::lock_guard<std::mutex> lock(hook_mu_);
   predict_hold_hook_ = std::move(hook);
 }
+
+void ServeEngine::SetShutdownCallback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  shutdown_callback_ = std::move(callback);
+}
+
+Status ServeEngine::RecoverState() {
+  if (options_.state_dir.empty()) return Status::Ok();
+  return catalog_.OpenStateDir(options_.state_dir,
+                               options_.journal_compact_every);
+}
+
+Status ServeEngine::FlushState() { return catalog_.Flush(); }
 
 std::string ServeEngine::HandleLine(std::string_view line) {
   std::string buffer;
@@ -858,12 +896,13 @@ Json ServeEngine::HandlePublishModel(const Json& req) {
   }
   StatusOr<std::string> tenant = req.GetString("tenant", snapshot->tenant);
   if (!tenant.ok()) return MakeErrorResponse(&req, tenant.status());
-  int64_t version =
+  StatusOr<int64_t> version =
       catalog_.Publish(*tenant, *label, TablesContentHash(*snapshot->last_tables),
                        snapshot->last_joins);
+  if (!version.ok()) return MakeErrorResponse(&req, version.status());
   Json resp = OkResponse(req);
   resp.Set("tenant", Json::MakeString(*tenant));
-  resp.Set("version", Json::MakeInt(version));
+  resp.Set("version", Json::MakeInt(*version));
   return resp;
 }
 
@@ -949,7 +988,12 @@ Json ServeEngine::HandleStats(const Json& req) {
   Json admission = Json::MakeObject();
   admission.Set("inflight", Json::MakeInt(gate_.inflight()));
   admission.Set("queued", Json::MakeInt(gate_.queued()));
+  admission.Set("admitted", Json::MakeInt(gate_.admitted()));
   admission.Set("rejected", Json::MakeInt(gate_.rejected()));
+  admission.Set("queue_wait_total_seconds",
+                Json::MakeDouble(gate_.queue_wait_total_seconds()));
+  admission.Set("queue_wait_max_seconds",
+                Json::MakeDouble(gate_.queue_wait_max_seconds()));
   admission.Set("max_inflight", Json::MakeInt(options_.max_inflight));
   admission.Set("max_queue", Json::MakeInt(options_.max_queue));
   resp.Set("admission", std::move(admission));
@@ -958,13 +1002,35 @@ Json ServeEngine::HandleStats(const Json& req) {
   blocking.Set("column_pairs_admitted", Json::MakeInt(admitted_pairs_.load()));
   blocking.Set("components_solved", Json::MakeInt(components_solved_.load()));
   resp.Set("blocking", std::move(blocking));
+  DurabilityStats dur = catalog_.durability();
+  Json durability = Json::MakeObject();
+  durability.Set("enabled", Json::MakeBool(dur.enabled));
+  durability.Set("generation", Json::MakeInt(int64_t(dur.generation)));
+  durability.Set("recovered_versions", Json::MakeInt(dur.recovered_versions));
+  durability.Set("recovered_tenants", Json::MakeInt(dur.recovered_tenants));
+  durability.Set("discarded_records", Json::MakeInt(dur.discarded_records));
+  durability.Set("journal_records", Json::MakeInt(dur.journal_records));
+  durability.Set("journal_commits", Json::MakeInt(dur.journal_commits));
+  durability.Set("journal_errors", Json::MakeInt(dur.journal_errors));
+  durability.Set("snapshots_written", Json::MakeInt(dur.snapshots_written));
+  resp.Set("durability", std::move(durability));
   return resp;
 }
 
 Json ServeEngine::HandleShutdown(const Json& req) {
   shutdown_.store(true, std::memory_order_release);
+  // Flush-on-shutdown: the final commit barrier happens while the response
+  // is still pending, so an acked shutdown implies durable state.
+  Status flushed = FlushState();
+  std::function<void()> callback;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    callback = shutdown_callback_;
+  }
+  if (callback) callback();
   Json resp = OkResponse(req);
   resp.Set("shutting_down", Json::MakeBool(true));
+  resp.Set("state_flushed", Json::MakeBool(flushed.ok()));
   return resp;
 }
 

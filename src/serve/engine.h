@@ -56,6 +56,12 @@ class AdmissionGate {
   int inflight() const;
   int queued() const;
   int64_t rejected() const;
+  // Requests granted a slot (immediately or after queueing).
+  int64_t admitted() const;
+  // Time requests spent waiting in the queue before admission, for the
+  // `stats` verb: overload shedding is invisible without it.
+  double queue_wait_total_seconds() const;
+  double queue_wait_max_seconds() const;
 
  private:
   const int max_inflight_;
@@ -65,6 +71,9 @@ class AdmissionGate {
   int inflight_ = 0;
   int queued_ = 0;
   int64_t rejected_ = 0;
+  int64_t admitted_ = 0;
+  double queue_wait_total_seconds_ = 0.0;
+  double queue_wait_max_seconds_ = 0.0;
 };
 
 struct ServeOptions {
@@ -85,6 +94,14 @@ struct ServeOptions {
   PredictCache::Options cache;
   // Catalog retention (serve/catalog.h).
   size_t max_unpinned_models_per_tenant = 32;
+  // Durable catalog state (serve/journal.h). Empty = in-memory only. When
+  // set, RecoverState() must be called before serving traffic; published
+  // models, versions and pins then survive crashes and restarts. Sessions
+  // and the PredictCache are intentionally volatile (SERVING.md
+  // "Durability & recovery").
+  std::string state_dir;
+  // Journal operations between compacted snapshots.
+  size_t journal_compact_every = 64;
 };
 
 // The transport-independent serving engine: a session table, the shared
@@ -123,6 +140,23 @@ class ServeEngine {
 
   PredictCache::Stats CacheStats() const { return cache_.GetStats(); }
   const ServeOptions& options() const { return options_; }
+
+  // Attaches options().state_dir (no-op when empty) and replays any state
+  // found there — see ModelCatalog::OpenStateDir. Call once, before the
+  // transport starts accepting traffic.
+  Status RecoverState();
+
+  // Final fsync barrier on the catalog journal; called by HandleShutdown
+  // and again by serve_main after the transport drains (idempotent).
+  Status FlushState();
+
+  DurabilityStats durability() const { return catalog_.durability(); }
+
+  // Invoked (if set) when a `shutdown` request is accepted, after
+  // shutdown_requested() starts returning true. Transports register a
+  // self-pipe wakeup here so blocked pollers exit immediately instead of
+  // timing out.
+  void SetShutdownCallback(std::function<void()> callback);
 
   // Test hook: runs while a Predict request holds its admission slot (after
   // Enter, before the pipeline). Lets tests saturate admission
@@ -185,7 +219,8 @@ class ServeEngine {
   std::unordered_map<std::string, Session> sessions_;
   int64_t next_session_ = 1;
   std::function<void()> predict_hold_hook_;
-  std::mutex hook_mu_;
+  std::function<void()> shutdown_callback_;
+  std::mutex hook_mu_;  // Guards predict_hold_hook_ and shutdown_callback_.
 
   // Request counters for the `stats` verb.
   std::atomic<int64_t> requests_{0};

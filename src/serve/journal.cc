@@ -1,0 +1,251 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fs.h"
+#include "common/strings.h"
+#include "fuzz/faultpoints.h"
+
+namespace autobi {
+
+namespace {
+
+// CRC32C lookup table (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78),
+// generated once on first use.
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr size_t kHeaderSize = 4 + 4 + 8;  // length + crc + generation
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(uint8_t(p[i])) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(uint8_t(p[i])) << (8 * i);
+  return v;
+}
+
+Status WriteAllFd(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t w = ::write(fd, data + off, size - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrFormat("journal write failed: %s", std::strerror(errno)));
+    }
+    off += size_t(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size) {
+  const uint32_t* table = Crc32cTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendFramedRecord(std::string* out, uint64_t generation,
+                        std::string_view payload) {
+  PutU32(out, uint32_t(payload.size()));
+  PutU32(out, Crc32c(payload.data(), payload.size()));
+  PutU64(out, generation);
+  out->append(payload.data(), payload.size());
+}
+
+LogReadResult DecodeRecords(std::string_view bytes, uint64_t generation) {
+  LogReadResult result;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kHeaderSize) break;  // torn header
+    const char* header = bytes.data() + off;
+    uint32_t size = GetU32(header);
+    uint32_t crc = GetU32(header + 4);
+    uint64_t gen = GetU64(header + 8);
+    if (gen != generation) break;  // stale or damaged epoch stamp
+    if (bytes.size() - off - kHeaderSize < size) break;  // torn payload
+    const char* payload = header + kHeaderSize;
+    if (Crc32c(payload, size) != crc) break;  // corrupt record
+    result.offsets.push_back(off);
+    result.payloads.emplace_back(payload, size);
+    off += kHeaderSize + size;
+  }
+  result.valid_bytes = off;
+  if (off < bytes.size()) result.discarded_records = 1;
+  return result;
+}
+
+RecordLog::~RecordLog() { Close(); }
+
+Status RecordLog::Open(const std::string& path, uint64_t generation,
+                       size_t committed_size) {
+  Close();
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("cannot open journal %s: %s",
+                                      path.c_str(), std::strerror(errno)));
+  }
+  // Drop any torn tail left by a crash before appending behind it.
+  if (::ftruncate(fd, off_t(committed_size)) != 0 ||
+      ::lseek(fd, off_t(committed_size), SEEK_SET) < 0) {
+    Status status = Status::Internal(StrFormat(
+        "cannot truncate journal %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  broken_ = false;
+  generation_ = generation;
+  committed_size_ = committed_size;
+  pending_size_ = committed_size;
+  path_ = path;
+  return Status::Ok();
+}
+
+void RecordLog::RollbackLocked() {
+  if (fd_ < 0) return;
+  if (::ftruncate(fd_, off_t(committed_size_)) != 0 ||
+      ::lseek(fd_, off_t(committed_size_), SEEK_SET) < 0) {
+    // The file may now hold bytes we cannot account for; refuse further
+    // writes rather than risk acking records behind garbage.
+    broken_ = true;
+    return;
+  }
+  pending_size_ = committed_size_;
+}
+
+Status RecordLog::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::Internal("journal is not open");
+  if (broken_) return Status::Internal("journal is broken (failed rollback)");
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  AppendFramedRecord(&frame, generation_, payload);
+  FaultPoints& faults = FaultPoints::Global();
+  if (faults.Fire("journal.corrupt")) {
+    // Model a silently damaged write: the record is acked and counted as
+    // committed, but a byte on disk is wrong. Recovery must detect it via
+    // CRC and discard it (and everything after) — the acked-prefix case.
+    size_t pos = size_t(faults.Fraction("journal.corrupt") * frame.size());
+    if (pos >= frame.size()) pos = frame.size() - 1;
+    frame[pos] = char(frame[pos] ^ 0x20);
+  }
+  if (faults.Fire("journal.short_write")) {
+    size_t cut = size_t(faults.Fraction("journal.short_write") * frame.size());
+    Status ignored = WriteAllFd(fd_, frame.data(), cut);
+    (void)ignored;
+    RollbackLocked();
+    return Status::Internal("injected short write on journal append");
+  }
+  Status written = WriteAllFd(fd_, frame.data(), frame.size());
+  if (!written.ok()) {
+    RollbackLocked();
+    return written;
+  }
+  pending_size_ += frame.size();
+  return Status::Ok();
+}
+
+Status RecordLog::Commit() {
+  if (fd_ < 0) return Status::Internal("journal is not open");
+  if (broken_) return Status::Internal("journal is broken (failed rollback)");
+  if (FaultPoints::Global().Fire("journal.fsync")) {
+    RollbackLocked();
+    return Status::Internal("injected fsync fault on journal commit");
+  }
+  // fdatasync suffices: record framing never changes the file's metadata
+  // beyond its size, which fdatasync covers.
+  if (::fdatasync(fd_) != 0) {
+    Status status = Status::Internal(
+        StrFormat("journal fsync failed: %s", std::strerror(errno)));
+    RollbackLocked();
+    return status;
+  }
+  committed_size_ = pending_size_;
+  return Status::Ok();
+}
+
+void RecordLog::Close() {
+  if (fd_ >= 0) {
+    // Uncommitted bytes must not outlive the writer that promised to roll
+    // them back.
+    if (pending_size_ != committed_size_) RollbackLocked();
+    ::close(fd_);
+  }
+  fd_ = -1;
+  broken_ = false;
+  committed_size_ = 0;
+  pending_size_ = 0;
+  path_.clear();
+}
+
+Status WriteSnapshotFile(const std::string& path, uint64_t generation,
+                         std::string_view payload) {
+  std::string framed;
+  framed.reserve(kHeaderSize + payload.size());
+  AppendFramedRecord(&framed, generation, payload);
+  return WriteFileAtomic(path, framed);
+}
+
+SnapshotReadResult ReadSnapshotFile(const std::string& path) {
+  SnapshotReadResult result;
+  if (::access(path.c_str(), F_OK) != 0) return result;
+  result.found = true;
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    result.corrupt = true;
+    return result;
+  }
+  const std::string& data = *bytes;
+  if (data.size() < kHeaderSize) {
+    result.corrupt = true;
+    return result;
+  }
+  uint32_t size = GetU32(data.data());
+  uint32_t crc = GetU32(data.data() + 4);
+  uint64_t gen = GetU64(data.data() + 8);
+  if (data.size() != kHeaderSize + size ||
+      Crc32c(data.data() + kHeaderSize, size) != crc) {
+    result.corrupt = true;
+    return result;
+  }
+  result.generation = gen;
+  result.payload.assign(data.data() + kHeaderSize, size);
+  return result;
+}
+
+}  // namespace autobi

@@ -1,0 +1,129 @@
+#ifndef AUTOBI_SERVE_JOURNAL_H_
+#define AUTOBI_SERVE_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autobi {
+
+// Crash-safe record log + snapshot primitives backing the durable model
+// catalog (serve/catalog.h, SERVING.md "Durability & recovery").
+//
+// Record framing (little-endian, fixed-width header):
+//   [u32 payload_size][u32 crc32c(payload)][u64 generation][payload bytes]
+// The generation stamps which snapshot epoch a record belongs to: each
+// compaction bumps it and starts a fresh `journal.<generation>` file, so a
+// crash between "snapshot renamed" and "old journal removed" can never
+// replay stale records. Torn, short, or checksum-failing tails are data a
+// crash legitimately produces — readers discard them silently and keep the
+// committed prefix; they are never an error.
+
+// CRC32C (Castagnoli polynomial), software table implementation. Chosen
+// over plain CRC32 for its better burst-error detection on the short
+// records the journal writes.
+uint32_t Crc32c(const void* data, size_t size);
+
+// Appends one framed record to `out`.
+void AppendFramedRecord(std::string* out, uint64_t generation,
+                        std::string_view payload);
+
+struct LogReadResult {
+  std::vector<std::string> payloads;  // Committed records, in append order.
+  std::vector<size_t> offsets;        // Byte offset where payloads[i] starts.
+  size_t valid_bytes = 0;             // Length of the decodable prefix.
+  long discarded_records = 0;  // 1 when a torn/corrupt tail was dropped.
+};
+
+// Tolerant log reader: decodes records until the first short, torn,
+// CRC-mismatched, or wrong-generation record and stops there. Never errors
+// — a damaged tail yields the committed prefix plus discarded_records == 1.
+LogReadResult DecodeRecords(std::string_view bytes, uint64_t generation);
+
+// Append-only record log with explicit fsync commit barriers. Usage:
+// Append() one or more records, then Commit() — only after Commit returns
+// OK are those records durable (write-ahead contract: callers apply the
+// mutation in memory only after the commit). On any append/commit failure
+// the log rolls the file back to the last committed byte, so the on-disk
+// log always holds exactly the committed records (a real crash, not a
+// reported error, is what produces torn tails).
+//
+// Fault points (src/fuzz/faultpoints.h): `journal.short_write` persists only
+// a prefix of the record before failing, `journal.corrupt` silently flips a
+// byte in the framed record (an acked-but-damaged record recovery must
+// discard), `journal.fsync` fails the commit barrier.
+class RecordLog {
+ public:
+  RecordLog() = default;
+  ~RecordLog();
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  // Opens (creating if needed) `path` for appending. `committed_size` is
+  // the length of the valid record prefix (from DecodeRecords); anything
+  // after it — a torn tail from a crash — is truncated away so new records
+  // never land behind garbage.
+  Status Open(const std::string& path, uint64_t generation,
+              size_t committed_size);
+
+  // Appends one framed record (not yet durable).
+  Status Append(std::string_view payload);
+
+  // fsync barrier: all appended records are durable once this returns OK.
+  Status Commit();
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t generation() const { return generation_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  // Restores the file to the last committed byte after a failed append or
+  // commit; marks the log broken if even that is impossible.
+  void RollbackLocked();
+
+  int fd_ = -1;
+  bool broken_ = false;
+  uint64_t generation_ = 0;
+  size_t committed_size_ = 0;
+  size_t pending_size_ = 0;
+  std::string path_;
+};
+
+// One framed record written atomically (common/fs.h WriteFileAtomic), used
+// for the compacted catalog snapshot. Readers see either the previous
+// snapshot or the complete new one.
+Status WriteSnapshotFile(const std::string& path, uint64_t generation,
+                         std::string_view payload);
+
+struct SnapshotReadResult {
+  bool found = false;    // File exists.
+  bool corrupt = false;  // Exists but fails framing/CRC validation.
+  uint64_t generation = 0;
+  std::string payload;
+};
+
+// Never errors: a missing file reads as found == false, a damaged one as
+// corrupt == true.
+SnapshotReadResult ReadSnapshotFile(const std::string& path);
+
+// Recovery + runtime counters for the `stats` verb and operator logs.
+struct DurabilityStats {
+  bool enabled = false;         // A state dir is attached.
+  uint64_t generation = 0;      // Current snapshot epoch.
+  long recovered_versions = 0;  // Live model versions restored on open.
+  long recovered_tenants = 0;   // Tenants restored on open.
+  long discarded_records = 0;   // Torn/corrupt journal records dropped.
+  long journal_records = 0;     // Records appended since open.
+  long journal_commits = 0;     // fsync barriers since open.
+  long journal_errors = 0;      // Rejected mutations (log rolled back).
+  long snapshots_written = 0;   // Compactions since open.
+};
+
+}  // namespace autobi
+
+#endif  // AUTOBI_SERVE_JOURNAL_H_

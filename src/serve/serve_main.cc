@@ -11,6 +11,11 @@
 //   autobi_serve --stdio
 //   autobi_serve --socket /tmp/autobi.sock --threads 4
 //   autobi_serve --model forests.bin --socket /tmp/autobi.sock
+//   autobi_serve --socket /tmp/autobi.sock --state_dir /var/lib/autobi
+//
+// With --state_dir the model catalog (published versions, labels, pins) is
+// journaled and survives crashes and restarts; see SERVING.md "Durability &
+// recovery".
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +38,9 @@ void PrintUsage() {
                "  --train_cases N   synthetic training-corpus size (240)\n"
                "  --threads N       worker threads per predict (0 = auto)\n"
                "  --max_inflight N  concurrent predicts (4)\n"
-               "  --max_queue N     waiting predicts before rejection (16)\n");
+               "  --max_queue N     waiting predicts before rejection (16)\n"
+               "  --state_dir PATH  journal the model catalog to PATH and\n"
+               "                    recover it on boot (default: in-memory)\n");
 }
 
 bool ParseInt(const char* text, long* out) {
@@ -92,6 +99,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.max_queue = int(v);
+    } else if (arg == "--state_dir") {
+      options.state_dir = next("--state_dir");
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -133,6 +142,23 @@ int main(int argc, char** argv) {
   }
 
   autobi::ServeEngine engine(&model, options);
+  if (!options.state_dir.empty()) {
+    autobi::Status recovered = engine.RecoverState();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "autobi_serve: state recovery failed: %s\n",
+                   recovered.ToString().c_str());
+      return 1;
+    }
+    autobi::DurabilityStats dur = engine.durability();
+    std::fprintf(stderr,
+                 "autobi_serve: recovered %ld model version(s) across %ld "
+                 "tenant(s) from %s (generation %llu, %ld discarded "
+                 "record(s))\n",
+                 dur.recovered_versions, dur.recovered_tenants,
+                 options.state_dir.c_str(),
+                 static_cast<unsigned long long>(dur.generation),
+                 dur.discarded_records);
+  }
   autobi::Status status;
   if (stdio) {
     status = autobi::RunStdioServer(&engine);
@@ -143,6 +169,14 @@ int main(int argc, char** argv) {
   }
   if (!status.ok()) {
     std::fprintf(stderr, "autobi_serve: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  // Final fsync barrier after the transport drains (HandleShutdown already
+  // flushed once; this also covers EOF-driven stdio exits).
+  autobi::Status flushed = engine.FlushState();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "autobi_serve: state flush failed: %s\n",
+                 flushed.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "autobi_serve: clean shutdown\n");

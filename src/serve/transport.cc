@@ -28,22 +28,28 @@ Status RunStdioServer(ServeEngine* engine) {
 namespace {
 
 // Reads buffered lines from `fd`, dispatching each through the engine.
-// Returns on EOF, error, or engine shutdown (polled every 200 ms so a
-// shutdown accepted on another connection unblocks this one).
-void ServeConnection(ServeEngine* engine, int fd) {
+// Returns on EOF, error, or engine shutdown. `wake_fd` is the read end of
+// the transport's self-pipe: the engine's shutdown callback writes one byte
+// there (which is never drained, so the pipe stays level-triggered
+// readable), waking every blocked poller at once — shutdown accepted on one
+// connection unblocks all others immediately, with no polling interval.
+void ServeConnection(ServeEngine* engine, int fd, int wake_fd) {
   std::string pending;
   char buf[4096];
   while (true) {
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    int ready = ::poll(&pfd, 1, 200);
+    struct pollfd pfds[2];
+    pfds[0].fd = fd;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake_fd;
+    pfds[1].events = POLLIN;
+    int ready = ::poll(pfds, 2, -1);
     if (engine->shutdown_requested()) break;
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (ready == 0) continue;
+    if (pfds[1].revents != 0) break;  // Shutdown wakeup.
+    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
     ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) break;  // EOF or error.
     pending.append(buf, size_t(n));
@@ -109,22 +115,47 @@ Status RunUnixSocketServer(ServeEngine* engine, const std::string& path) {
     return status;
   }
 
+  // Self-pipe shutdown wakeup: the engine's shutdown callback writes one
+  // byte to the pipe, which is never read back — it stays level-triggered
+  // readable, so the accept loop and every connection poller unblock at
+  // once instead of timing out on a polling interval.
+  int wake[2];
+  if (::pipe(wake) != 0) {
+    Status status = Status::Internal(
+        StrFormat("pipe failed: %s", std::strerror(errno)));
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  const int wake_write = wake[1];
+  engine->SetShutdownCallback([wake_write] {
+    char byte = 1;
+    ssize_t ignored = ::write(wake_write, &byte, 1);
+    (void)ignored;
+  });
+
   std::vector<std::thread> connections;
   while (!engine->shutdown_requested()) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd;
-    pfd.events = POLLIN;
-    int ready = ::poll(&pfd, 1, 200);
+    struct pollfd pfds[2];
+    pfds[0].fd = listen_fd;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake[0];
+    pfds[1].events = POLLIN;
+    int ready = ::poll(pfds, 2, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (ready == 0) continue;
+    if (pfds[1].revents != 0) break;  // Shutdown wakeup.
+    if ((pfds[0].revents & POLLIN) == 0) continue;
     int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) continue;
-    connections.emplace_back(ServeConnection, engine, conn_fd);
+    connections.emplace_back(ServeConnection, engine, conn_fd, wake[0]);
   }
   for (std::thread& t : connections) t.join();
+  engine->SetShutdownCallback(nullptr);
+  ::close(wake[0]);
+  ::close(wake[1]);
   ::close(listen_fd);
   ::unlink(path.c_str());
   return Status::Ok();

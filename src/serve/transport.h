@@ -20,6 +20,10 @@ Status RunStdioServer(ServeEngine* engine);
 // Binds (and, on exit, unlinks) a unix-domain socket at `path` and serves
 // each accepted connection on its own thread. Concurrency across
 // connections is bounded by the engine's admission gate, not the transport.
+// Shutdown is immediate: an accepted `shutdown` request wakes the accept
+// loop and every idle connection through a self-pipe (no polling interval),
+// and the engine flushes its durable state before the shutdown response is
+// written.
 Status RunUnixSocketServer(ServeEngine* engine, const std::string& path);
 
 }  // namespace autobi

@@ -1,7 +1,9 @@
 #include "core/model_export.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include "common/fs.h"
 #include "tests/test_util.h"
 
 namespace autobi {
@@ -82,6 +84,22 @@ TEST(ExportTest, EmptyModel) {
   EXPECT_EQ(MustExport(ExportSqlDdl(tables, empty)), "");
   EXPECT_NE(MustExport(ExportJson(tables, empty)).find("\"joins\": [\n  ]"),
             std::string::npos);
+}
+
+TEST(ExportTest, ExportToFileWritesAtomicallyAndValidatesFormat) {
+  ExportFixture f;
+  std::string dir = ::testing::TempDir();
+  std::string path = dir + "/autobi_export_test.json";
+  ASSERT_TRUE(ExportToFile(f.tables, f.model, "json", path).ok());
+  StatusOr<std::string> back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, MustExport(ExportJson(f.tables, f.model)));
+  // The temp file used for the atomic rename must not linger.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+
+  Status bad = ExportToFile(f.tables, f.model, "yaml", path);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidInput);
+  ::unlink(path.c_str());
 }
 
 TEST(ExportTest, OutOfRangeJoinRejectedNotDereferenced) {

@@ -8,7 +8,9 @@
 //   - admission overflow is an immediate kResourceExhausted, not a hang.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -646,6 +648,28 @@ TEST(AdmissionGateTest, QueuedCallerProceedsAfterExit) {
   EXPECT_TRUE(entered.load());
 }
 
+TEST(AdmissionGateTest, TracksAdmittedAndQueueWaitTime) {
+  AdmissionGate gate(1, 1);
+  ASSERT_TRUE(gate.Enter().ok());
+  EXPECT_EQ(gate.admitted(), 1);
+  EXPECT_EQ(gate.queue_wait_total_seconds(), 0.0);
+
+  std::thread waiter([&] {
+    EXPECT_TRUE(gate.Enter().ok());
+    gate.Exit();
+  });
+  while (gate.queued() == 0) std::this_thread::yield();
+  // Make the waiter's queue time unambiguously measurable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Exit();
+  waiter.join();
+
+  EXPECT_EQ(gate.admitted(), 2);
+  EXPECT_GT(gate.queue_wait_total_seconds(), 0.0);
+  EXPECT_GE(gate.queue_wait_max_seconds(), 0.015);
+  EXPECT_LE(gate.queue_wait_max_seconds(), gate.queue_wait_total_seconds());
+}
+
 TEST(ServeEngineTest, PredictOverflowReturnsResourceExhausted) {
   ServeOptions options;
   options.threads = 1;
@@ -717,12 +741,12 @@ std::vector<NamedJoin> OneJoin(const std::string& from_table,
 
 TEST(ModelCatalogTest, PublishListPinDiff) {
   ModelCatalog catalog(8);
-  EXPECT_EQ(catalog.Publish("acme", "v1", 111, OneJoin("a", "b")), 1);
+  EXPECT_EQ(catalog.Publish("acme", "v1", 111, OneJoin("a", "b")).value(), 1);
   std::vector<NamedJoin> two = OneJoin("a", "b");
   two.push_back(OneJoin("c", "d")[0]);
-  EXPECT_EQ(catalog.Publish("acme", "v2", 222, two), 2);
+  EXPECT_EQ(catalog.Publish("acme", "v2", 222, two).value(), 2);
   // Tenants are isolated.
-  EXPECT_EQ(catalog.Publish("other", "x", 333, OneJoin("q", "r")), 1);
+  EXPECT_EQ(catalog.Publish("other", "x", 333, OneJoin("q", "r")).value(), 1);
 
   std::vector<ModelSnapshot> listed = catalog.List("acme");
   ASSERT_EQ(listed.size(), 2u);
@@ -748,10 +772,12 @@ TEST(ModelCatalogTest, PublishListPinDiff) {
 
 TEST(ModelCatalogTest, EvictionSkipsPinnedSnapshots) {
   ModelCatalog catalog(/*max_unpinned_per_tenant=*/2);
-  catalog.Publish("t", "keep", 1, OneJoin("a", "b"));
+  ASSERT_TRUE(catalog.Publish("t", "keep", 1, OneJoin("a", "b")).ok());
   ASSERT_TRUE(catalog.Pin("t", 1, true).ok());
   for (int i = 0; i < 4; ++i) {
-    catalog.Publish("t", "churn", 10 + uint64_t(i), OneJoin("c", "d"));
+    ASSERT_TRUE(
+        catalog.Publish("t", "churn", 10 + uint64_t(i), OneJoin("c", "d"))
+            .ok());
   }
   // The pinned v1 survives; only 2 unpinned remain.
   EXPECT_TRUE(catalog.Get("t", 1).ok());
@@ -835,10 +861,65 @@ TEST(ServeEngineTest, StatsAndShutdown) {
   Json stats = Call(engine, R"({"verb":"stats"})");
   ASSERT_TRUE(IsOk(stats));
   EXPECT_GE(stats.Find("requests")->AsInt(), 1);
-  ASSERT_NE(stats.Find("admission"), nullptr);
+  const Json* admission = stats.Find("admission");
+  ASSERT_NE(admission, nullptr);
+  // Queue-wait and rejection counters are always present; only predicts
+  // pass through the gate, so everything is zero after a ping.
+  EXPECT_EQ(admission->Find("admitted")->AsInt(), 0);
+  EXPECT_EQ(admission->Find("rejected")->AsInt(), 0);
+  EXPECT_EQ(admission->Find("queue_wait_total_seconds")->AsDouble(), 0.0);
+  EXPECT_EQ(admission->Find("queue_wait_max_seconds")->AsDouble(), 0.0);
+  // Without --state_dir the durability block reports disabled.
+  const Json* durability = stats.Find("durability");
+  ASSERT_NE(durability, nullptr);
+  EXPECT_FALSE(durability->Find("enabled")->AsBool());
   EXPECT_FALSE(engine.shutdown_requested());
-  EXPECT_TRUE(IsOk(Call(engine, R"({"verb":"shutdown"})")));
+  Json shutdown = Call(engine, R"({"verb":"shutdown"})");
+  EXPECT_TRUE(IsOk(shutdown));
+  EXPECT_TRUE(shutdown.Find("state_flushed")->AsBool());
   EXPECT_TRUE(engine.shutdown_requested());
+}
+
+// The tentpole end-to-end property: a daemon restarted from a populated
+// state dir serves the published model byte-identically, and the stats verb
+// reports what recovery found.
+TEST(ServeEngineTest, StateDirRestartServesByteIdenticalCatalogModel) {
+  std::string dir = ::testing::TempDir() + "/autobi_serve_restart";
+  std::filesystem::remove_all(dir);
+  ServeOptions options;
+  options.state_dir = dir;
+
+  std::string first_response;
+  {
+    ServeEngine engine(&TestModel(), options);
+    ASSERT_TRUE(engine.RecoverState().ok());
+    std::string session = SetUpStarSession(engine);
+    ASSERT_TRUE(IsOk(Call(engine, R"({"verb":"predict","session":")" +
+                                      session + R"("})")));
+    Json published = Call(engine, R"({"verb":"publish_model","session":")" +
+                                      session + R"(","label":"durable"})");
+    ASSERT_TRUE(IsOk(published)) << published.Write();
+    ASSERT_TRUE(IsOk(Call(engine, R"({"verb":"pin_model","version":1})")));
+    first_response =
+        engine.HandleLine(R"({"verb":"get_catalog_model","version":1})");
+    ASSERT_TRUE(engine.FlushState().ok());
+  }  // Engine destroyed: the "restart".
+
+  ServeEngine engine(&TestModel(), options);
+  ASSERT_TRUE(engine.RecoverState().ok());
+  // Byte-identical response without any session or re-predict.
+  EXPECT_EQ(engine.HandleLine(R"({"verb":"get_catalog_model","version":1})"),
+            first_response);
+
+  Json stats = Call(engine, R"({"verb":"stats"})");
+  ASSERT_TRUE(IsOk(stats));
+  const Json* durability = stats.Find("durability");
+  ASSERT_NE(durability, nullptr);
+  EXPECT_TRUE(durability->Find("enabled")->AsBool());
+  EXPECT_EQ(durability->Find("recovered_versions")->AsInt(), 1);
+  EXPECT_EQ(durability->Find("recovered_tenants")->AsInt(), 1);
+  EXPECT_EQ(durability->Find("discarded_records")->AsInt(), 0);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
